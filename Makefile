@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test race bench experiments experiments-full check fmt vet examples clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the evaluation tables (quick) / the EXPERIMENTS.md-scale run.
+experiments:
+	$(GO) run ./cmd/scbench -config quick
+
+experiments-full:
+	$(GO) run ./cmd/scbench -config full
+
+# Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
+check:
+	$(GO) run ./cmd/scbench -config quick -check
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/domset
+	$(GO) run ./examples/blogwatch
+	$(GO) run ./examples/separation
+	$(GO) run ./examples/orlib
+	$(GO) run ./examples/filestream
+
+clean:
+	$(GO) clean ./...
+	rm -f stream.scs out.scs

@@ -1,0 +1,74 @@
+package streamcover
+
+import "testing"
+
+func TestPublicMultiPass(t *testing.T) {
+	rng := NewRand(21)
+	w := PlantedWorkload(rng.Split(), 100, 800, 5, 0)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+	res, err := RunMultiPass(100, 800, NewSliceStream(edges), MultiPassOptions{SampleBudget: 20}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 1 {
+		t.Fatalf("passes %d", res.Passes)
+	}
+}
+
+func TestPublicSimpleProtocol(t *testing.T) {
+	rng := NewRand(22)
+	w := PlantedWorkload(rng.Split(), 100, 800, 5, 0)
+	edges := Arrange(w.Inst, RoundRobin, rng.Split())
+	res, err := RunSimpleProtocol(100, SplitEdges(edges, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMessageWords <= 0 || res.MaxMessageWords > 400 {
+		t.Fatalf("message %d outside O(n)", res.MaxMessageWords)
+	}
+}
+
+func TestPublicEnsemble(t *testing.T) {
+	rng := NewRand(23)
+	w := PlantedWorkload(rng.Split(), 100, 800, 5, 0)
+	edges := Arrange(w.Inst, RoundRobin, rng.Split())
+	ens := NewEnsemble(
+		NewAdversarial(100, 800, 20, rng.Split()),
+		NewAdversarial(100, 800, 20, rng.Split()),
+		NewAdversarial(100, 800, 20, rng.Split()),
+	)
+	res := RunEdges(ens, edges)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+	if ens.BestIndex < 0 || ens.BestIndex > 2 {
+		t.Fatalf("BestIndex %d", ens.BestIndex)
+	}
+
+	// The ensemble's cover is never larger than a fresh single run would
+	// average: weak check — just confirm it is at most the worst copy by
+	// re-running copies individually with the same seeds.
+	rng2 := NewRand(23)
+	_ = PlantedWorkload(rng2.Split(), 100, 800, 5, 0) // burn the same draws
+	edges2 := Arrange(w.Inst, RoundRobin, rng2.Split())
+	sizes := make([]int, 3)
+	for i := range sizes {
+		r := RunEdges(NewAdversarial(100, 800, 20, rng2.Split()), edges2)
+		sizes[i] = r.Cover.Size()
+	}
+	minSize := sizes[0]
+	for _, s := range sizes[1:] {
+		if s < minSize {
+			minSize = s
+		}
+	}
+	if res.Cover.Size() != minSize {
+		t.Fatalf("ensemble picked %d, min individual %d", res.Cover.Size(), minSize)
+	}
+}

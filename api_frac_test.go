@@ -1,0 +1,72 @@
+package streamcover
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPublicFractional(t *testing.T) {
+	rng := NewRand(31)
+	w := PlantedWorkload(rng.Split(), 80, 400, 4, 0)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+
+	sol, err := SolveFractional(80, 400, NewSliceStream(edges), FractionalOptions{Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible(1e-9) {
+		t.Fatal("infeasible fractional solution")
+	}
+	cov, err := RoundFractional(80, 400, NewSliceStream(edges), sol, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cov.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSetArrivalMultiPass(t *testing.T) {
+	rng := NewRand(32)
+	w := PlantedWorkload(rng.Split(), 100, 500, 5, 0)
+	edges := Arrange(w.Inst, SetMajorShuffled, rng.Split())
+	alg := NewSetArrivalMultiPass(100, 3)
+	cov, err := RunSetArrivalMultiPass(alg, NewSliceStream(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cov.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicOpenStreamFile(t *testing.T) {
+	rng := NewRand(33)
+	w := PlantedWorkload(rng.Split(), 50, 200, 5, 0)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+	hdr := StreamHeader{N: 50, M: 200, E: len(edges)}
+
+	path := filepath.Join(t.TempDir(), "s.scs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeStream(f, hdr, edges); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs, err := OpenStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	res := Run(NewKK(50, 200, rng.Split()), fs)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != len(edges) {
+		t.Fatalf("file stream delivered %d edges, want %d", res.Edges, len(edges))
+	}
+}

@@ -1,0 +1,160 @@
+package streamcover
+
+import (
+	"bytes"
+	"testing"
+)
+
+// These tests exercise the public facade end-to-end: a downstream user's
+// view of the library.
+
+func TestPublicQuickPath(t *testing.T) {
+	rng := NewRand(1)
+	w := PlantedWorkload(rng.Split(), 200, 2000, 10, 0)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+
+	res := RunEdges(NewRandomOrder(200, 2000, len(edges), rng.Split()), edges)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatalf("alg1: %v", err)
+	}
+	if res.Space.State == 0 {
+		t.Fatal("no space reported")
+	}
+
+	resKK := RunEdges(NewKK(200, 2000, rng.Split()), edges)
+	if err := resKK.Cover.Verify(w.Inst); err != nil {
+		t.Fatalf("kk: %v", err)
+	}
+	// The headline separation, visible through the public API: Algorithm 1
+	// uses far less m-dependent state than the KK-algorithm.
+	if res.Space.State*2 >= resKK.Space.State {
+		t.Fatalf("alg1 state %d not well below kk state %d", res.Space.State, resKK.Space.State)
+	}
+}
+
+func TestPublicAllAlgorithmsProduceValidCovers(t *testing.T) {
+	rng := NewRand(2)
+	w := PlantedWorkload(rng.Split(), 100, 1000, 5, 0)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+	n, m := 100, 1000
+
+	algs := map[string]Algorithm{
+		"kk":       NewKK(n, m, rng.Split()),
+		"alg1":     NewRandomOrder(n, m, len(edges), rng.Split()),
+		"alg2":     NewAdversarial(n, m, 20, rng.Split()),
+		"es":       NewElementSampling(n, m, 4, rng.Split()),
+		"storeall": NewStoreAll(n, m),
+	}
+	for name, alg := range algs {
+		res := RunEdges(alg, edges)
+		if err := res.Cover.Verify(w.Inst); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicSolvers(t *testing.T) {
+	inst, err := NewInstance(4, [][]Element{{0, 1}, {2, 3}, {0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Greedy(inst)
+	if err != nil || g.Size() != 1 {
+		t.Fatalf("greedy %v %v", g, err)
+	}
+	e, err := Exact(inst)
+	if err != nil || e.Size() != 1 {
+		t.Fatalf("exact %v %v", e, err)
+	}
+	tr, err := TrivialCover(inst)
+	if err != nil || tr.Size() == 0 {
+		t.Fatalf("trivial %v %v", tr, err)
+	}
+}
+
+func TestPublicBuilder(t *testing.T) {
+	b := NewBuilder(3)
+	s := b.AddSet([]Element{0, 1})
+	if err := b.AddEdge(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumEdges() != 3 {
+		t.Fatalf("edges %d", inst.NumEdges())
+	}
+}
+
+func TestPublicStreamCodec(t *testing.T) {
+	rng := NewRand(3)
+	w := DominatingSetWorkload(rng.Split(), 50, 0.1)
+	edges := Arrange(w.Inst, SetMajorShuffled, rng.Split())
+	hdr := StreamHeader{N: 50, M: 50, E: len(edges)}
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, hdr, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, gotEdges, err := DecodeStream(&buf)
+	if err != nil || got != hdr || len(gotEdges) != len(edges) {
+		t.Fatalf("roundtrip hdr=%v err=%v", got, err)
+	}
+}
+
+func TestPublicSetArrival(t *testing.T) {
+	rng := NewRand(4)
+	w := PlantedWorkload(rng.Split(), 100, 500, 5, 0)
+	edges := Arrange(w.Inst, SetMajorShuffled, rng.Split())
+	cov, err := RunSetArrival(NewSetArrivalThreshold(100), NewSliceStream(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cov.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicLowerBound(t *testing.T) {
+	rng := NewRand(5)
+	f := NewLBFamily(rng.Split(), 100, 20, 4)
+	if f.SetSize() != 20 {
+		t.Fatalf("set size %d", f.SetSize())
+	}
+	d := &LBDisjointness{Universe: 20, Parties: [][]int{{0}, {1}, {2}, {3}}}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewLBReduction(f, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumSets() != 4*20+1 {
+		t.Fatalf("NumSets %d", r.NumSets())
+	}
+}
+
+func TestPublicZipfWorkload(t *testing.T) {
+	w := ZipfWorkload(NewRand(6), 100, 300, 8, 1.2)
+	if err := w.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaithfulParamsExposed(t *testing.T) {
+	p := FaithfulRandomOrderParams(1000, 100000)
+	if !p.Faithful {
+		t.Fatal("not faithful")
+	}
+	q := DefaultRandomOrderParams(1000, 100000)
+	if q.Faithful {
+		t.Fatal("default should not be faithful")
+	}
+	rng := NewRand(7)
+	w := PlantedWorkload(rng.Split(), 100, 1000, 5, 0)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+	res := RunEdges(NewRandomOrderWithParams(100, 1000, len(edges), p, rng.Split()), edges)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}

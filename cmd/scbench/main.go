@@ -1,0 +1,108 @@
+// Command scbench regenerates every evaluation artifact of the paper — the
+// four regimes of Table 1, the adversarial-vs-random separation, the
+// Theorem 2 lower-bound construction, the Lemma 2 concentration checks and
+// the per-algorithm ablations — and prints them as aligned tables (or
+// markdown for pasting into EXPERIMENTS.md).
+//
+// Usage:
+//
+//	scbench [-config quick|full] [-id E-T1-R4] [-markdown] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streamcover/internal/experiments"
+)
+
+func main() {
+	var (
+		config   = flag.String("config", "quick", "experiment scale: quick or full")
+		id       = flag.String("id", "", "run only the experiment with this id (e.g. E-T1-R2); empty = all")
+		markdown = flag.Bool("markdown", false, "emit markdown tables instead of aligned text")
+		check    = flag.Bool("check", false, "evaluate each report against the paper's predicted shape and exit non-zero on failure")
+		outFile  = flag.String("out", "", "additionally write a full markdown evaluation report to this file")
+		seed     = flag.Uint64("seed", 0, "override the base seed (0 keeps the config default)")
+		reps     = flag.Int("reps", 0, "override repetitions per cell (0 keeps the config default)")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *config {
+	case "quick":
+		cfg = experiments.Quick()
+	case "full":
+		cfg = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "scbench: unknown -config %q (want quick or full)\n", *config)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	matched := false
+	anyFailed := false
+	var collected []*experiments.Report
+	for _, e := range experiments.Registry() {
+		if *id != "" && !strings.EqualFold(e.ID, *id) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		rep := e.Run(cfg)
+		collected = append(collected, rep)
+		if *markdown {
+			fmt.Printf("### %s — %s\n\n%s\n", rep.ID, rep.Title, rep.Table.Markdown())
+			for _, note := range rep.Notes {
+				fmt.Printf("> %s\n", note)
+			}
+			fmt.Println()
+		} else {
+			fmt.Print(rep.String())
+			fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+		if *check {
+			if fails := e.Check(rep); len(fails) > 0 {
+				anyFailed = true
+				for _, f := range fails {
+					fmt.Printf("CHECK FAIL %s: %s\n", e.ID, f)
+				}
+			} else {
+				fmt.Printf("CHECK PASS %s (%s)\n", e.ID, e.Paper)
+			}
+			fmt.Println()
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "scbench: no experiment matches id %q\n", *id)
+		os.Exit(2)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteMarkdownReport(f, cfg, collected); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outFile)
+	}
+	if anyFailed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,45 @@
+// Command scgen generates a synthetic Set Cover instance, arranges its
+// edge-arrival stream in a chosen order, and writes it to a stream file for
+// cmd/scrun.
+//
+// Usage:
+//
+//	scgen -workload planted -n 400 -m 8000 -opt 10 -order random -seed 1 -out stream.scs
+//
+// Workloads: planted, uniform, zipf, domset, heavy, quadratic. Orders:
+// set-major, set-major-shuffled, element-major, round-robin,
+// high-degree-last, random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamcover/internal/cli"
+)
+
+func main() {
+	var opt cli.GenerateOptions
+	flag.StringVar(&opt.Workload, "workload", "planted", "workload generator: planted|uniform|zipf|domset|heavy|quadratic")
+	flag.IntVar(&opt.N, "n", 400, "universe size")
+	flag.IntVar(&opt.M, "m", 8000, "number of sets (ignored by domset and quadratic)")
+	flag.IntVar(&opt.Opt, "opt", 10, "planted optimum (planted/quadratic)")
+	flag.IntVar(&opt.Noise, "noise", 0, "noise-set size for planted (0 = auto)")
+	flag.IntVar(&opt.MinSize, "min", 2, "min set size (uniform)")
+	flag.IntVar(&opt.MaxSize, "max", 20, "max set size (uniform)")
+	flag.IntVar(&opt.Mean, "mean", 8, "mean set size (zipf)")
+	flag.Float64Var(&opt.S, "s", 1.1, "zipf exponent")
+	flag.Float64Var(&opt.P, "p", 0.05, "edge probability (domset)")
+	flag.IntVar(&opt.Heavy, "heavy", 5, "heavy element count (heavy)")
+	flag.IntVar(&opt.Factor, "factor", 2, "m = factor·n² (quadratic)")
+	flag.StringVar(&opt.Order, "order", "random", "arrival order")
+	flag.Uint64Var(&opt.Seed, "seed", 1, "random seed")
+	flag.StringVar(&opt.Out, "out", "stream.scs", "output file")
+	flag.Parse()
+
+	if err := cli.Generate(opt, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "scgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command scrun replays a stream file through one of the streaming
+// algorithms, verifies the output cover against the reconstructed instance,
+// and reports cover size, approximation ratio versus offline greedy, and
+// peak space.
+//
+// Usage:
+//
+//	scrun -in stream.scs -algo kk
+//	scrun -in stream.scs -algo alg2 -alpha 64 -copies 8
+//	scrun -in stream.scs -algo alg1
+//	scrun -in stream.scs -algo es -alpha 8
+//	scrun -in stream.scs -algo multipass -budget 100
+//	scrun -in stream.scs -algo fractional
+//	scrun -in stream.scs -algo storeall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamcover/internal/cli"
+)
+
+func main() {
+	var opt cli.ReplayOptions
+	flag.StringVar(&opt.In, "in", "stream.scs", "stream file from scgen")
+	flag.StringVar(&opt.Algo, "algo", "kk", "algorithm: kk|alg1|alg2|es|storeall|multipass|fractional")
+	flag.Float64Var(&opt.Alpha, "alpha", 0, "approximation target for alg2/es (0 = 2√n)")
+	flag.Uint64Var(&opt.Seed, "seed", 1, "random seed")
+	flag.IntVar(&opt.Budget, "budget", 64, "per-round element sample budget for multipass")
+	flag.IntVar(&opt.Copies, "copies", 1, "parallel ensemble copies (kk/alg2/es)")
+	flag.Parse()
+
+	if err := cli.Replay(opt, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "scrun: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command scsweep runs a full (algorithm × n × m × order) benchmark grid on
+// planted-OPT workloads and emits an aligned table or CSV — the tool for
+// building custom evaluation matrices beyond the fixed experiments of
+// cmd/scbench.
+//
+// Usage:
+//
+//	scsweep -algos kk,alg1 -n 400 -m 4000,8000 -orders random,round-robin -reps 3
+//	scsweep -algos alg2 -alpha 80 -n 400 -m 8000 -orders round-robin -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamcover/internal/cli"
+)
+
+func main() {
+	var (
+		algos  = flag.String("algos", "kk,alg1", "comma-separated algorithms: kk|alg1|alg2|es|storeall")
+		ns     = flag.String("n", "400", "comma-separated universe sizes")
+		ms     = flag.String("m", "8000", "comma-separated set counts")
+		orders = flag.String("orders", "random", "comma-separated arrival orders")
+		optV   = flag.Int("opt", 10, "planted optimum")
+		alpha  = flag.Float64("alpha", 0, "approximation target for alg2/es (0 = 2√n)")
+		reps   = flag.Int("reps", 3, "repetitions per cell")
+		seed   = flag.Uint64("seed", 1, "base random seed")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	nsList, err := parseInts(*ns)
+	if err != nil {
+		fatalf("-n: %v", err)
+	}
+	msList, err := parseInts(*ms)
+	if err != nil {
+		fatalf("-m: %v", err)
+	}
+	opt := cli.SweepOptions{
+		Algos:  splitList(*algos),
+		Ns:     nsList,
+		Ms:     msList,
+		Orders: splitList(*orders),
+		Opt:    *optV,
+		Alpha:  *alpha,
+		Reps:   *reps,
+		Seed:   *seed,
+		CSV:    *csvOut,
+	}
+	if err := cli.Sweep(opt, os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+package streamcover
+
+// Cross-validation: every streaming algorithm, on every workload family and
+// arrival order, must emit a verifiable cover that is never smaller than
+// the exact optimum (small instances) and stays within its regime's
+// approximation budget. This is the library-level safety net over the
+// per-package tests.
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/workload"
+)
+
+// algorithms returns a fresh instance of every one-pass streaming algorithm
+// for the given shape.
+func algorithms(n, m, streamLen int, rng *Rand) map[string]Algorithm {
+	alpha := math.Max(2, 2*math.Sqrt(float64(n)))
+	return map[string]Algorithm{
+		"kk":       NewKK(n, m, rng.Split()),
+		"alg1":     NewRandomOrder(n, m, streamLen, rng.Split()),
+		"alg2":     NewAdversarial(n, m, alpha, rng.Split()),
+		"es":       NewElementSampling(n, m, 4, rng.Split()),
+		"storeall": NewStoreAll(n, m),
+	}
+}
+
+func TestCrossValidationSmallInstancesAgainstExact(t *testing.T) {
+	rng := NewRand(101)
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + rng.IntN(24) // ≤ 32 so Exact stays fast
+		m := 10 + rng.IntN(40)
+		w := workload.UniformRandom(rng.Split(), n, m, 1, max(2, n/3))
+		opt, err := Exact(w.Inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, order := range []Order{RandomOrder, RoundRobin, SetMajorShuffled} {
+			edges := Arrange(w.Inst, order, rng.Split())
+			for name, alg := range algorithms(n, m, len(edges), rng) {
+				res := RunEdges(alg, edges)
+				if err := res.Cover.Verify(w.Inst); err != nil {
+					t.Fatalf("trial %d %s/%v: %v", trial, name, order, err)
+				}
+				if res.Cover.Size() < opt.Size() {
+					t.Fatalf("trial %d %s/%v: cover %d below exact OPT %d — verification is broken",
+						trial, name, order, res.Cover.Size(), opt.Size())
+				}
+			}
+		}
+	}
+}
+
+func TestCrossValidationGreedyWorstCase(t *testing.T) {
+	// On the Johnson instance greedy is Θ(log n) from OPT=2; streaming
+	// algorithms must still emit valid covers, and store-all (which runs
+	// greedy) must land exactly on the bait count.
+	w := workload.GreedyWorstCase(6)
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	rng := NewRand(102)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+	for name, alg := range algorithms(n, m, len(edges), rng) {
+		res := RunEdges(alg, edges)
+		if err := res.Cover.Verify(w.Inst); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "storeall" && res.Cover.Size() != 6 {
+			t.Errorf("store-all(greedy) picked %d sets, want the 6 baits", res.Cover.Size())
+		}
+	}
+}
+
+func TestCrossValidationGeometricDisks(t *testing.T) {
+	w := workload.GeometricDisks(NewRand(103), 16, 50, 3.0)
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	rng := NewRand(104)
+	for _, order := range []Order{RandomOrder, ElementMajor} {
+		edges := Arrange(w.Inst, order, rng.Split())
+		for name, alg := range algorithms(n, m, len(edges), rng) {
+			res := RunEdges(alg, edges)
+			if err := res.Cover.Verify(w.Inst); err != nil {
+				t.Fatalf("%s/%v: %v", name, order, err)
+			}
+		}
+	}
+}
+
+func TestCrossValidationApproximationBudgets(t *testing.T) {
+	// Each algorithm within its regime's budget (generous slack), on a
+	// planted instance in its intended order.
+	n, m, opt := 400, 4000, 10
+	w := workload.Planted(NewRand(105), n, m, opt, 0)
+	rng := NewRand(106)
+	sq := math.Sqrt(float64(n))
+	logm := math.Log2(float64(m))
+
+	cases := []struct {
+		name  string
+		order Order
+		mk    func(streamLen int) Algorithm
+		bound float64
+	}{
+		{"kk", RoundRobin,
+			func(int) Algorithm { return NewKK(n, m, rng.Split()) },
+			4 * sq * logm * float64(opt)},
+		{"alg1", RandomOrder,
+			func(sl int) Algorithm { return NewRandomOrder(n, m, sl, rng.Split()) },
+			6 * sq * logm * float64(opt)},
+		{"alg2", RoundRobin,
+			func(int) Algorithm { return NewAdversarial(n, m, 2*sq, rng.Split()) },
+			4 * 2 * sq * logm * float64(opt)},
+		{"es(α=4)", RoundRobin,
+			func(int) Algorithm { return NewElementSampling(n, m, 4, rng.Split()) },
+			4 * (4 + math.Log(float64(n))) * logm * float64(opt)},
+	}
+	for _, tc := range cases {
+		edges := Arrange(w.Inst, tc.order, rng.Split())
+		res := RunEdges(tc.mk(len(edges)), edges)
+		if err := res.Cover.Verify(w.Inst); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if float64(res.Cover.Size()) > tc.bound {
+			t.Errorf("%s: cover %d exceeds regime budget %.0f", tc.name, res.Cover.Size(), tc.bound)
+		}
+	}
+}
+
+func TestCrossValidationInfeasibleInstanceSurfaces(t *testing.T) {
+	// An element in no set: every algorithm's cover must FAIL verification
+	// (with a missing witness), never silently pass.
+	inst, err := NewInstance(5, [][]Element{{0, 1}, {2, 3}}) // element 4 uncoverable
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(107)
+	edges := EdgesOf(inst)
+	for name, alg := range algorithms(5, 2, len(edges), rng) {
+		res := RunEdges(alg, edges)
+		if err := res.Cover.Verify(inst); err == nil {
+			t.Errorf("%s: cover of infeasible instance verified", name)
+		}
+	}
+}
+
+func TestCrossValidationDominatingSetSpecialCase(t *testing.T) {
+	// m = n (the [19] setting): everything must hold with set ids equal to
+	// vertex ids.
+	w := DominatingSetWorkload(NewRand(108), 120, 0.08)
+	rng := NewRand(109)
+	edges := Arrange(w.Inst, RandomOrder, rng.Split())
+	for name, alg := range algorithms(120, 120, len(edges), rng) {
+		res := RunEdges(alg, edges)
+		if err := res.Cover.Verify(w.Inst); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

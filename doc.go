@@ -1,0 +1,31 @@
+// Package streamcover is a Go library for the Set Cover problem in the
+// one-pass edge-arrival streaming model, reproducing "Set Cover in the
+// One-pass Edge-arrival Streaming Model" (Khanna, Konrad, Alexandru,
+// PODS 2023, doi:10.1145/3584372.3588678).
+//
+// In this model the input is a stream of tuples (S, u) — "element u belongs
+// to set S" — arriving in adversarial or uniformly random order, and an
+// algorithm must output a small cover together with a certificate mapping
+// each element to a covering set, using memory sublinear in the input.
+//
+// The library provides, behind one import path:
+//
+//   - the problem model: instances, covers with certificates, validation,
+//     offline greedy and exact solvers (NewInstance, Greedy, Exact);
+//   - the streaming substrate: arrival orders, a stream driver, a binary
+//     stream codec, word-level space accounting (Arrange, Run, Encode);
+//   - every algorithm in the paper: the KK-algorithm (Theorem 1, Õ(m)
+//     space, adversarial), Algorithm 2 (Theorem 4, Õ(mn/α²) space,
+//     adversarial), Algorithm 1 (Theorem 3, the main result: Õ(m/√n) space
+//     in random order), and the element-sampling algorithm for the
+//     α = o(√n) regime (NewKK, NewAdversarial, NewRandomOrder,
+//     NewElementSampling), plus the set-arrival threshold baseline;
+//   - the Theorem 2 lower-bound machinery: the Lemma 1 set family, t-party
+//     Set-Disjointness, the reduction to edge-arrival streams and a one-way
+//     communication simulator;
+//   - workload generators with known optima and an experiment harness that
+//     regenerates the paper's Table 1 regimes (see cmd/scbench).
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package streamcover

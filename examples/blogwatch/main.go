@@ -1,0 +1,65 @@
+// Blog-watch: the coverage-monitoring scenario that started streaming Set
+// Cover (Saha & Getoor, SDM'09 [22], cited in paper §1.3): choose a small
+// set of blogs whose posts collectively cover every topic of interest.
+//
+// In the edge-arrival formulation each incoming post yields tuples
+// (blog, topic) — a blog's topic profile is spread across the stream rather
+// than arriving as one block, exactly the setting this paper studies. Topic
+// popularity is heavy-tailed (Zipf), so a few topics appear in nearly every
+// blog while the tail is rare; the element-sampling algorithm trades its
+// space budget against the approximation target α.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamcover"
+)
+
+func main() {
+	const (
+		topics = 500  // universe: topics to monitor
+		blogs  = 3000 // sets: candidate blogs
+	)
+	rng := streamcover.NewRand(2023)
+
+	// Each blog mentions ~12 topics, Zipf-skewed: topic 0 is everywhere,
+	// the tail is rare.
+	w := streamcover.ZipfWorkload(rng.Split(), topics, blogs, 12, 1.05)
+	inst := w.Inst
+	st := inst.Stats()
+	fmt.Printf("corpus: %d blogs × %d topics, %d (blog,topic) mentions, max topic degree %d\n\n",
+		blogs, topics, st.Edges, st.MaxElemDeg)
+
+	// Mentions arrive in random order as posts are published.
+	edges := streamcover.Arrange(inst, streamcover.RandomOrder, rng.Split())
+
+	greedy, err := streamcover.Greedy(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline greedy reading list: %d blogs\n\n", greedy.Size())
+
+	// Sweep the approximation target of the element-sampling algorithm:
+	// smaller α costs more memory (Õ(mn/α) words) but yields smaller
+	// reading lists.
+	fmt.Println("one-pass element sampling (Table 1 row 1 regime):")
+	fmt.Println("alpha  reading list  state(words)")
+	for _, alpha := range []float64{4, 8, 16, 32} {
+		alg := streamcover.NewElementSampling(topics, blogs, alpha, rng.Split())
+		res := streamcover.RunEdges(alg, edges)
+		if err := res.Cover.Verify(inst); err != nil {
+			log.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		fmt.Printf("%5.0f  %12d  %12d\n", alpha, res.Cover.Size(), res.Space.State)
+	}
+
+	// And the Õ(√n)-approximation regime for comparison.
+	alg1 := streamcover.NewRandomOrder(topics, blogs, len(edges), rng.Split())
+	res := streamcover.RunEdges(alg1, edges)
+	if err := res.Cover.Verify(inst); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nalgorithm 1 (Õ(m/√n) space): %d blogs, %v\n", res.Cover.Size(), res.Space)
+}

@@ -1,0 +1,3 @@
+module streamcover
+
+go 1.22

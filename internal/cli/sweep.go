@@ -1,0 +1,196 @@
+package cli
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+
+	"streamcover/internal/adversarial"
+	"streamcover/internal/core"
+	"streamcover/internal/elementsampling"
+	"streamcover/internal/kk"
+	"streamcover/internal/stats"
+	"streamcover/internal/stream"
+	"streamcover/internal/texttable"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// SweepOptions configure Sweep: the full (algorithm × n × m × order) grid
+// on planted workloads.
+type SweepOptions struct {
+	Algos  []string // any of kk|alg1|alg2|es|storeall
+	Ns     []int
+	Ms     []int
+	Orders []string
+	Opt    int     // planted optimum per instance
+	Alpha  float64 // 0 = 2√n per instance (alg2/es)
+	Reps   int
+	Seed   uint64
+	CSV    bool // emit CSV instead of an aligned table
+}
+
+// sweepCell is one aggregated grid cell.
+type sweepCell struct {
+	algo  string
+	n, m  int
+	order stream.Order
+	cover stats.Summary
+	ratio stats.Summary
+	state stats.Summary
+}
+
+// Sweep runs the grid and writes the results. Cells are computed in
+// parallel; the output order is deterministic.
+func Sweep(opt SweepOptions, stdout io.Writer) error {
+	if len(opt.Algos) == 0 || len(opt.Ns) == 0 || len(opt.Ms) == 0 || len(opt.Orders) == 0 {
+		return fmt.Errorf("sweep: empty grid dimension")
+	}
+	if opt.Reps < 1 {
+		opt.Reps = 1
+	}
+	if opt.Opt < 1 {
+		opt.Opt = 10
+	}
+	for _, a := range opt.Algos {
+		switch a {
+		case "kk", "alg1", "alg2", "es", "storeall":
+		default:
+			return fmt.Errorf("sweep: unknown algorithm %q", a)
+		}
+	}
+	orders := make([]stream.Order, len(opt.Orders))
+	for i, name := range opt.Orders {
+		o, err := stream.ParseOrder(name)
+		if err != nil {
+			return err
+		}
+		orders[i] = o
+	}
+
+	type job struct {
+		idx   int
+		algo  string
+		n, m  int
+		order stream.Order
+	}
+	var jobs []job
+	for _, n := range opt.Ns {
+		for _, m := range opt.Ms {
+			for _, order := range orders {
+				for _, algo := range opt.Algos {
+					jobs = append(jobs, job{len(jobs), algo, n, m, order})
+				}
+			}
+		}
+	}
+	cells := make([]sweepCell, len(jobs))
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs))
+	sem := make(chan struct{}, 8)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cell, err := runSweepCell(opt, j.algo, j.n, j.m, j.order)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			cells[j.idx] = cell
+		}(j)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+
+	if opt.CSV {
+		w := csv.NewWriter(stdout)
+		if err := w.Write([]string{"algo", "n", "m", "order", "cover_mean", "cover_std", "ratio_mean", "state_mean"}); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			rec := []string{
+				c.algo, strconv.Itoa(c.n), strconv.Itoa(c.m), c.order.String(),
+				fmt.Sprintf("%.2f", c.cover.Mean), fmt.Sprintf("%.2f", c.cover.Stddev),
+				fmt.Sprintf("%.3f", c.ratio.Mean), fmt.Sprintf("%.1f", c.state.Mean),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	}
+
+	tb := texttable.New(
+		fmt.Sprintf("Sweep: planted opt=%d, %d reps per cell, seed %d", opt.Opt, opt.Reps, opt.Seed),
+		"algo", "n", "m", "order", "cover(mean±std)", "ratio", "state(words)")
+	for _, c := range cells {
+		tb.AddRow(c.algo, strconv.Itoa(c.n), strconv.Itoa(c.m), c.order.String(),
+			fmt.Sprintf("%.0f±%.0f", c.cover.Mean, c.cover.Stddev),
+			fmt.Sprintf("%.2f", c.ratio.Mean),
+			fmt.Sprintf("%.0f", c.state.Mean))
+	}
+	_, err := tb.WriteTo(stdout)
+	return err
+}
+
+func runSweepCell(opt SweepOptions, algo string, n, m int, order stream.Order) (sweepCell, error) {
+	if opt.Opt > n {
+		return sweepCell{}, fmt.Errorf("sweep: opt=%d exceeds n=%d", opt.Opt, n)
+	}
+	w := workload.Planted(xrand.New(opt.Seed^uint64(n*31+m)), n, m, opt.Opt, 0)
+	alpha := opt.Alpha
+	if alpha <= 0 {
+		alpha = 2 * math.Sqrt(float64(n))
+	}
+	var covers, ratios, states []float64
+	for rep := 0; rep < opt.Reps; rep++ {
+		rng := xrand.New(opt.Seed ^ uint64(rep)*0x9e3779b97f4a7c15 ^ uint64(order) ^ hashStr(algo))
+		edges := stream.Arrange(w.Inst, order, rng.Split())
+		var alg stream.Algorithm
+		switch algo {
+		case "kk":
+			alg = kk.New(n, m, rng.Split())
+		case "alg1":
+			alg = core.New(n, m, len(edges), core.DefaultParams(n, m), rng.Split())
+		case "alg2":
+			alg = adversarial.New(n, m, alpha, rng.Split())
+		case "es":
+			alg = elementsampling.New(n, m, alpha, rng.Split())
+		case "storeall":
+			alg = stream.NewStoreAll(n, m)
+		}
+		res := stream.RunEdges(alg, edges)
+		if err := res.Cover.Verify(w.Inst); err != nil {
+			return sweepCell{}, fmt.Errorf("sweep: %s n=%d m=%d %v: %w", algo, n, m, order, err)
+		}
+		covers = append(covers, float64(res.Cover.Size()))
+		ratios = append(ratios, float64(res.Cover.Size())/float64(opt.Opt))
+		states = append(states, float64(res.Space.State))
+	}
+	return sweepCell{
+		algo: algo, n: n, m: m, order: order,
+		cover: stats.Summarize(covers),
+		ratio: stats.Summarize(ratios),
+		state: stats.Summarize(states),
+	}, nil
+}
+
+func hashStr(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,106 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func smallSweep() SweepOptions {
+	return SweepOptions{
+		Algos:  []string{"kk", "alg1"},
+		Ns:     []int{100},
+		Ms:     []int{500, 1000},
+		Orders: []string{"random", "round-robin"},
+		Opt:    5,
+		Reps:   2,
+		Seed:   1,
+	}
+}
+
+func TestSweepTableOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := Sweep(smallSweep(), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// 2 algos × 1 n × 2 m × 2 orders = 8 body rows.
+	for _, frag := range []string{"kk", "alg1", "random", "round-robin", "500", "1000"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, s)
+		}
+	}
+	lines := strings.Count(strings.TrimRight(s, "\n"), "\n") + 1
+	if lines != 3+8 { // title + header + separator + 8 cells
+		t.Fatalf("got %d lines, want 11:\n%s", lines, s)
+	}
+}
+
+func TestSweepCSVOutput(t *testing.T) {
+	opt := smallSweep()
+	opt.CSV = true
+	var out bytes.Buffer
+	if err := Sweep(opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+8 {
+		t.Fatalf("%d CSV records, want 9", len(recs))
+	}
+	if recs[0][0] != "algo" || len(recs[1]) != 8 {
+		t.Fatalf("header/arity wrong: %v", recs[:2])
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Sweep(smallSweep(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sweep(smallSweep(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("sweep not deterministic despite parallel cells:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	opt := smallSweep()
+	opt.Algos = nil
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	opt = smallSweep()
+	opt.Algos = []string{"quantum"}
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	opt = smallSweep()
+	opt.Orders = []string{"sideways"}
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("unknown order accepted")
+	}
+	opt = smallSweep()
+	opt.Opt = 1000 // exceeds n
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("opt > n accepted")
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	opt := smallSweep()
+	opt.Reps = 0 // → 1
+	opt.Opt = 0  // → 10
+	var out bytes.Buffer
+	if err := Sweep(opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "opt=10") {
+		t.Fatalf("defaults not applied:\n%s", out.String())
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func runOn(t testing.TB, w workload.Workload, p Params, order stream.Order, seed uint64) (stream.Result, *Algorithm) {
+	t.Helper()
+	rng := xrand.New(seed)
+	edges := stream.Arrange(w.Inst, order, rng.Split())
+	alg := New(w.Inst.UniverseSize(), w.Inst.NumSets(), len(edges), p, rng.Split())
+	res := stream.RunEdges(alg, edges)
+	return res, alg
+}
+
+func TestCoverValidOnAllWorkloadsAndOrders(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range workload.Catalog(rng) {
+		p := DefaultParams(w.Inst.UniverseSize(), w.Inst.NumSets())
+		for _, o := range stream.Orders() {
+			res, _ := runOn(t, w, p, o, 77)
+			if err := res.Cover.Verify(w.Inst); err != nil {
+				t.Errorf("%s/%v: %v", w.Name, o, err)
+			}
+		}
+	}
+}
+
+func TestCoverValidWithFaithfulParams(t *testing.T) {
+	w := workload.Planted(xrand.New(2), 400, 8000, 10, 0)
+	p := FaithfulParams(400, 8000)
+	res, _ := runOn(t, w, p, stream.Random, 3)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproximationWithinSqrtNBoundRandomOrder(t *testing.T) {
+	w := workload.Planted(xrand.New(3), 400, 8000, 10, 0)
+	p := DefaultParams(400, 8000)
+	bound := 6 * math.Sqrt(400) * math.Log2(8000) * float64(w.PlantedOPT)
+	for seed := uint64(0); seed < 3; seed++ {
+		res, _ := runOn(t, w, p, stream.Random, seed)
+		if float64(res.Cover.Size()) > bound {
+			t.Errorf("seed %d: cover %d exceeds Õ(√n)·OPT bound %.0f", seed, res.Cover.Size(), bound)
+		}
+	}
+}
+
+func TestStateSpaceSublinearInM(t *testing.T) {
+	// The defining property of Theorem 3: peak working state scales as m/√n,
+	// far below the KK-algorithm's m. Verify (a) absolute sublinearity and
+	// (b) the growth rate when m quadruples is ~4x (still ∝ m) while the
+	// ratio to m stays ≈ constant and ≪ 1.
+	n := 400
+	for _, m := range []int{8000, 32000} {
+		w := workload.Planted(xrand.New(4), n, m, 10, 0)
+		p := DefaultParams(n, m)
+		res, _ := runOn(t, w, p, stream.Random, 5)
+		// Generous polylog allowance over m/√n = m/20.
+		budget := int64(float64(m) / math.Sqrt(float64(n)) * 8 * math.Log2(float64(m)))
+		if res.Space.State > budget {
+			t.Errorf("m=%d: state %d exceeds Õ(m/√n) budget %d", m, res.Space.State, budget)
+		}
+		if res.Space.State > int64(m)/2 {
+			t.Errorf("m=%d: state %d not sublinear in m", m, res.Space.State)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	w := workload.Planted(xrand.New(5), 400, 8000, 10, 0)
+	p := DefaultParams(400, 8000)
+	a, _ := runOn(t, w, p, stream.Random, 9)
+	b, _ := runOn(t, w, p, stream.Random, 9)
+	if a.Cover.Size() != b.Cover.Size() {
+		t.Fatalf("nondeterministic: %d vs %d", a.Cover.Size(), b.Cover.Size())
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	w := workload.Planted(xrand.New(6), 400, 8000, 10, 0)
+	p := DefaultParams(400, 8000)
+	res, alg := runOn(t, w, p, stream.Random, 11)
+	tr := alg.Trace()
+
+	if got := tr.Epoch0Edges + tr.APhaseEdges + tr.RemainderEdges; got != res.Edges {
+		t.Errorf("phase edge counts sum to %d, stream has %d", got, res.Edges)
+	}
+	added := tr.AddedEpoch0
+	for _, c := range tr.AddedPerAlg {
+		added += c
+	}
+	if added != alg.SampledSets() {
+		t.Errorf("trace additions %d != |Sol| %d", added, alg.SampledSets())
+	}
+	if len(tr.SolAdditions) != added-tr.AddedEpoch0 {
+		t.Errorf("SolAdditions len %d, want %d", len(tr.SolAdditions), added-tr.AddedEpoch0)
+	}
+	for _, sa := range tr.SolAdditions {
+		if sa.Pos < 0 || sa.Pos >= res.Edges || sa.Alg < 1 || sa.Alg > len(tr.AddedPerAlg) {
+			t.Errorf("implausible SolAddition %+v", sa)
+		}
+	}
+}
+
+func TestHeavyElementsMarkedInEpoch0(t *testing.T) {
+	// 5 elements of degree ≈ 0.9·m ≫ 1.1·m/√n: epoch 0's detector must mark
+	// them. C is made tiny so the p_0 Sol sample does not cover them first
+	// (in a normal run either mechanism suffices — the point of line 6/7);
+	// Epoch0Frac keeps the detection window at a tenth of the stream.
+	w := workload.HeavyElements(xrand.New(7), 100, 3200, 5, 3)
+	p := DefaultParams(100, 3200)
+	p.C = 0.01
+	p.Epoch0Frac = 0.1
+	_, alg := runOn(t, w, p, stream.Random, 13)
+	if alg.Trace().MarkedEpoch0 < 3 {
+		t.Errorf("epoch 0 marked %d heavy elements, want ≥ 3 of 5", alg.Trace().MarkedEpoch0)
+	}
+	if alg.Trace().MarkedEpoch0 > 20 {
+		t.Errorf("epoch 0 marked %d elements; light elements leaking through", alg.Trace().MarkedEpoch0)
+	}
+}
+
+func TestSpecialsDecayAcrossEpochs(t *testing.T) {
+	// Lemma 8's shape: the per-epoch special-set counts should trend down
+	// (the 2^j threshold growth plus marking starves later epochs).
+	w := workload.Planted(xrand.New(8), 900, 27000, 10, 0)
+	p := DefaultParams(900, 27000)
+	_, alg := runOn(t, w, p, stream.Random, 17)
+	tot := alg.Trace().SpecialsTotal()
+	if len(tot) < 2 {
+		t.Skip("not enough epochs to observe decay")
+	}
+	first, last := tot[0], tot[len(tot)-1]
+	if first > 0 && last > first {
+		t.Errorf("specials grew across epochs: %v", tot)
+	}
+}
+
+func TestDegenerateFallbackStillValid(t *testing.T) {
+	// Tiny n with large C forces |Sol| ≥ n and the trivial-cover fallback.
+	w := workload.Planted(xrand.New(9), 30, 2000, 3, 0)
+	p := DefaultParams(30, 2000)
+	p.C = 50
+	res, alg := runOn(t, w, p, stream.Random, 19)
+	if !alg.Trace().Degenerate {
+		t.Skip("fallback did not trigger at this seed")
+	}
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatalf("degenerate cover invalid: %v", err)
+	}
+	if res.Cover.Size() > 30 {
+		t.Fatalf("trivial fallback produced %d sets > n", res.Cover.Size())
+	}
+}
+
+func TestFinishTwicePanics(t *testing.T) {
+	w := workload.Planted(xrand.New(10), 100, 500, 5, 0)
+	_, alg := runOn(t, w, DefaultParams(100, 500), stream.Random, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Finish did not panic")
+		}
+	}()
+	alg.Finish()
+}
+
+func TestShortStreamStillWorks(t *testing.T) {
+	// Declare N far larger than the actual stream: phases never complete,
+	// Finish must still patch a valid cover.
+	w := workload.Planted(xrand.New(11), 100, 500, 5, 0)
+	rng := xrand.New(21)
+	edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+	alg := New(100, 500, len(edges)*100, DefaultParams(100, 500), rng.Split())
+	res := stream.RunEdges(alg, edges)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongStreamStillWorks(t *testing.T) {
+	// Declare N far smaller than actual: the cursor runs off the schedule
+	// into the remainder phase and keeps collecting witnesses.
+	w := workload.Planted(xrand.New(12), 100, 500, 5, 0)
+	rng := xrand.New(22)
+	edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+	alg := New(100, 500, len(edges)/10+1, DefaultParams(100, 500), rng.Split())
+	res := stream.RunEdges(alg, edges)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveSchedule(t *testing.T) {
+	p := DefaultParams(400, 8000)
+	r := p.resolve(400, 8000, 100000)
+	if r.B != 20 {
+		t.Errorf("B=%d want 20", r.B)
+	}
+	if r.K < 1 || r.E < 1 {
+		t.Errorf("K=%d E=%d", r.K, r.E)
+	}
+	// ℓ_i doubles.
+	for i := 2; i <= r.K; i++ {
+		lo, hi := r.ell[i-1], r.ell[i]
+		if hi < lo || hi > 2*lo+2 {
+			t.Errorf("ell not ~doubling: %v", r.ell[1:])
+		}
+	}
+	// Total A-phase within budget (+1 edge/subepoch rounding slack).
+	total := r.epoch0P
+	for i := 1; i <= r.K; i++ {
+		total += r.E * r.B * r.ell[i]
+	}
+	if float64(total) > 0.7*100000+float64(r.E*r.B*r.K) {
+		t.Errorf("planned prefix %d exceeds budget", total)
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty schedule string")
+	}
+}
+
+func TestResolveClampsBadParams(t *testing.T) {
+	p := Params{C: -1, BudgetFrac: 7, SpecialBase: -2, TrackBoost: -3}
+	r := p.resolve(100, 1000, 5000)
+	if r.C <= 0 || r.BudgetFrac <= 0 || r.BudgetFrac >= 1 || r.SpecialBase <= 0 || r.TrackBoost <= 0 {
+		t.Errorf("clamping failed: %+v", r.Params)
+	}
+}
+
+func TestResolvePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Params{}.resolve(0, 10, 10)
+}
+
+func TestProbabilitySchedules(t *testing.T) {
+	r := DefaultParams(400, 8000).resolve(400, 8000, 100000)
+	for j := 1; j < 8; j++ {
+		if r.pj(j) < r.pj(j-1) {
+			t.Errorf("p_j not monotone at %d", j)
+		}
+		if r.qj(j) < r.qj(j-1) {
+			t.Errorf("q_j not monotone at %d", j)
+		}
+		if r.pj(j) > 1 || r.qj(j) > 1 {
+			t.Errorf("probability above 1 at %d", j)
+		}
+	}
+	if r.specialThreshold(1) < 1 {
+		t.Error("threshold below 1")
+	}
+	if r.specialThreshold(3) < r.specialThreshold(1) {
+		t.Error("threshold not monotone in epoch")
+	}
+}
+
+func TestFaithfulParamsSchedule(t *testing.T) {
+	p := FaithfulParams(1<<20, 1<<30) // astronomically large shape
+	r := p.resolve(1<<20, 1<<30, 1<<40)
+	// K = ½·20 − 3·log2(30) − 2 ≈ 10 − 14.7 − 2 < 0 → clamped to 1? No:
+	// for n=2^20, m=2^30: ½log n = 10, 3 log log m ≈ 14.7 ⇒ clamp to 1.
+	if r.K < 1 {
+		t.Errorf("K=%d", r.K)
+	}
+	if r.SpecialBase < 1000 {
+		t.Errorf("faithful SpecialBase %v suspiciously small", r.SpecialBase)
+	}
+}
+
+func TestSingleElementInstance(t *testing.T) {
+	inst := setcover.MustNewInstance(1, [][]setcover.Element{{0}})
+	alg := New(1, 1, 1, DefaultParams(1, 1), xrand.New(1))
+	res := stream.RunEdges(alg, stream.EdgesOf(inst))
+	if err := res.Cover.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoNMatchesKnownN(t *testing.T) {
+	w := workload.Planted(xrand.New(13), 400, 8000, 10, 0)
+	rng := xrand.New(23)
+	edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+	auto := NewAutoN(400, 8000, DefaultParams(400, 8000), rng.Split())
+	if auto.Copies() < 2 {
+		t.Fatalf("only %d guessing copies", auto.Copies())
+	}
+	res := stream.RunEdges(auto, edges)
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+	// Cover quality should be in the same regime as the known-N run.
+	known, _ := runOn(t, w, DefaultParams(400, 8000), stream.Random, 23)
+	if res.Cover.Size() > 5*known.Cover.Size()+50 {
+		t.Errorf("AutoN cover %d far worse than known-N %d", res.Cover.Size(), known.Cover.Size())
+	}
+	if res.Space.State == 0 {
+		t.Error("AutoN reported zero space")
+	}
+}
+
+func BenchmarkAlg1Process(b *testing.B) {
+	w := workload.Planted(xrand.New(1), 900, 9000, 15, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(2))
+	p := DefaultParams(900, 9000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg := New(900, 9000, len(edges), p, xrand.New(uint64(i)))
+		stream.RunEdges(alg, edges)
+	}
+}

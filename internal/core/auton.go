@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// AutoN removes Algorithm 1's assumption that the stream length N is known,
+// exactly as the paper argues it away (§4.1): since m/√n ≤ N ≤ m·n, run a
+// logarithmic number of copies in parallel, copy g guessing N_g = 2^g·m/√n,
+// and keep the answer of the copy whose guess is closest to the true length.
+// The space cost is the claimed bound times the O(log(n^1.5)) copy count.
+type AutoN struct {
+	copies  []*Algorithm
+	guesses []int
+	seen    int
+}
+
+// NewAutoN builds the parallel guessing runs for an instance with n elements
+// and m sets.
+func NewAutoN(n, m int, p Params, rng *xrand.Rand) *AutoN {
+	lo := float64(m) / math.Sqrt(float64(n))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := float64(m) * float64(n)
+	a := &AutoN{}
+	for g := lo; ; g *= 2 {
+		guess := int(g)
+		if guess < 1 {
+			guess = 1
+		}
+		a.guesses = append(a.guesses, guess)
+		a.copies = append(a.copies, New(n, m, guess, p, rng.Split()))
+		if g >= hi {
+			break
+		}
+	}
+	return a
+}
+
+// Copies returns how many parallel guesses are running.
+func (a *AutoN) Copies() int { return len(a.copies) }
+
+// Process implements stream.Algorithm by forwarding to every copy.
+func (a *AutoN) Process(e stream.Edge) {
+	a.seen++
+	for _, c := range a.copies {
+		c.Process(e)
+	}
+}
+
+// Finish implements stream.Algorithm: it selects the copy whose guess is
+// closest to the observed stream length (on a log scale, matching the
+// doubling grid) and returns its cover.
+func (a *AutoN) Finish() *setcover.Cover {
+	best := 0
+	bestDist := math.Inf(1)
+	for i, g := range a.guesses {
+		d := math.Abs(math.Log2(float64(g)) - math.Log2(float64(max(1, a.seen))))
+		if d < bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	return a.copies[best].Finish()
+}
+
+// Space implements space.Reporter: the total over all parallel copies.
+func (a *AutoN) Space() space.Usage {
+	var total space.Usage
+	for _, c := range a.copies {
+		u := c.Space()
+		total.State += u.State
+		total.Aux += u.Aux
+	}
+	return total
+}
+
+var _ stream.Algorithm = (*AutoN)(nil)
+var _ space.Reporter = (*AutoN)(nil)

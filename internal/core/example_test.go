@@ -1,0 +1,28 @@
+package core_test
+
+import (
+	"fmt"
+
+	"streamcover/internal/core"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// Algorithm 1 end to end: a random-order stream of a planted instance, the
+// practical parameter calibration, and the Õ(m/√n) working state visible in
+// the space report (the instance has m = 2000 sets, √n = 20).
+func Example() {
+	rng := xrand.New(3)
+	w := workload.Planted(rng.Split(), 400, 2000, 10, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+
+	alg := core.New(400, 2000, len(edges), core.DefaultParams(400, 2000), rng.Split())
+	res := stream.RunEdges(alg, edges)
+
+	fmt.Println("valid cover:", res.Cover.Verify(w.Inst) == nil)
+	fmt.Println("state well below m:", res.Space.State < 1000)
+	// Output:
+	// valid cover: true
+	// state well below m: true
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// These tests target the optimistic-marking machinery of line 31 — the
+// tracked sample Q̃, the per-element tally T, and the epoch-boundary
+// threshold — by driving the internals directly.
+
+// newBareAlg builds an Algorithm around a resolved schedule without the
+// constructor's sampling (deterministic internals for white-box tests).
+func newBareAlg(t *testing.T, n, m, N int, p Params) *Algorithm {
+	t.Helper()
+	r := p.resolve(n, m, N)
+	a := &Algorithm{
+		r:      r,
+		rng:    xrand.New(99),
+		first:  make([]setcover.SetID, n),
+		cert:   make([]setcover.SetID, n),
+		marked: make([]bool, n),
+		sol:    map[setcover.SetID]struct{}{},
+	}
+	for u := 0; u < n; u++ {
+		a.first[u] = setcover.NoSet
+		a.cert[u] = setcover.NoSet
+	}
+	a.trace.Specials = make([][]int, r.K)
+	for i := range a.trace.Specials {
+		a.trace.Specials[i] = make([]int, r.E)
+	}
+	a.trace.AddedPerAlg = make([]int, r.K)
+	return a
+}
+
+func TestTrackedEdgesTallyPerElement(t *testing.T) {
+	a := newBareAlg(t, 100, 1000, 10000, DefaultParams(100, 1000))
+	a.startAPhase()
+	// Force a known tracked set.
+	trackedSet := setcover.SetID(777)
+	if _, in := a.qCur[trackedSet]; !in {
+		a.qCur[trackedSet] = struct{}{}
+	}
+	for i := 0; i < 4; i++ {
+		a.processAlgEdge(setcover.Element(42), trackedSet)
+	}
+	if got := a.tcounts[42]; got != 4 {
+		t.Fatalf("tcounts[42] = %d want 4", got)
+	}
+	// Untracked sets contribute nothing to T.
+	untracked := setcover.SetID(778)
+	delete(a.qCur, untracked)
+	a.processAlgEdge(43, untracked)
+	if _, in := a.tcounts[43]; in && a.tcounts[43] > 0 && a.batchOf(untracked) != a.sub {
+		t.Fatal("untracked set tallied into T")
+	}
+}
+
+func TestEndOfEpochMarksHeavyTrackedElements(t *testing.T) {
+	a := newBareAlg(t, 100, 1000, 10000, DefaultParams(100, 1000))
+	a.startAPhase()
+	// Plant tallies straddling the threshold: the threshold here is
+	// max(2, ...) so an element with a huge tally must be marked and one
+	// with a single tracked edge must not.
+	a.tcounts[7] = 1000
+	a.tcounts[8] = 1
+	a.StateMeter.Add(2 * 2) // two planted map entries, as processAlgEdge would charge
+	a.qCurProb = 1          // pretend a full tracking sample for the calibration
+	a.endOfEpoch()
+	if !a.marked[7] {
+		t.Fatal("heavily tracked element not marked")
+	}
+	if a.marked[8] {
+		t.Fatal("barely tracked element marked")
+	}
+	if a.trace.MarkedTracking != 1 {
+		t.Fatalf("MarkedTracking = %d want 1", a.trace.MarkedTracking)
+	}
+	// T reset and Q̃ rotated.
+	if len(a.tcounts) != 0 {
+		t.Fatal("T not reset at epoch boundary")
+	}
+}
+
+func TestEndOfEpochRotatesTrackingSample(t *testing.T) {
+	a := newBareAlg(t, 100, 1000, 10000, DefaultParams(100, 1000))
+	a.startAPhase()
+	a.qNext[55] = struct{}{}
+	a.StateMeter.Add(1)
+	a.endOfEpoch()
+	if _, in := a.qCur[55]; !in {
+		t.Fatal("Q̃' did not become Q̃")
+	}
+	if len(a.qNext) != 0 {
+		t.Fatal("Q̃' not reset")
+	}
+	if a.qCurProb != a.r.qj(a.ej) {
+		t.Fatalf("qCurProb %v, want q_j(%d) = %v", a.qCurProb, a.ej, a.r.qj(a.ej))
+	}
+}
+
+func TestLemma5ViolationsCounting(t *testing.T) {
+	tr := &Trace{SpecialSets: [][][]int32{
+		{
+			{1, 2, 3}, // epoch 1 specials
+			{2, 3, 9}, // epoch 2: 9 is new → one violation
+			{},        // epoch 3: nothing
+		},
+	}}
+	bad, total := tr.Lemma5Violations()
+	if bad != 1 || total != 3 {
+		t.Fatalf("violations %d/%d want 1/3", bad, total)
+	}
+	empty := &Trace{}
+	if b, tot := empty.Lemma5Violations(); b != 0 || tot != 0 {
+		t.Fatalf("empty trace %d/%d", b, tot)
+	}
+}
+
+func TestSnapshotTakenOnceAtAEnd(t *testing.T) {
+	n, m := 100, 1000
+	w := workload.Planted(xrand.New(11), n, m, 5, 0)
+	rng := xrand.New(12)
+	edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+	alg := New(n, m, len(edges), DefaultParams(n, m), rng.Split())
+	res := stream.RunEdges(alg, edges)
+	tr := alg.Trace()
+	if tr.MarkedAtAEnd == nil {
+		t.Skip("A-phase did not complete at this shape")
+	}
+	if len(tr.MarkedAtAEnd) != n {
+		t.Fatalf("snapshot length %d", len(tr.MarkedAtAEnd))
+	}
+	if len(tr.SolAtAEnd) == 0 {
+		t.Fatal("Sol snapshot empty")
+	}
+	if len(tr.SolAtAEnd) > res.Cover.Size()+tr.Patched {
+		t.Fatalf("Sol snapshot %d larger than final cover %d + patched %d",
+			len(tr.SolAtAEnd), res.Cover.Size(), tr.Patched)
+	}
+}

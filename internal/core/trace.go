@@ -1,0 +1,101 @@
+package core
+
+// Trace records the internal counters of one Algorithm 1 run that the
+// paper's analysis reasons about, so the E-ABL-A1 ablation can check the
+// invariants empirically:
+//
+//   - (I3) / Lemma 9: sets added per A(i) should be Õ(√n);
+//   - Lemma 8: the number of special sets per epoch should decay
+//     geometrically in j;
+//   - Lemma 6 / epoch 0: high-degree elements are detected and marked
+//     optimistically.
+type Trace struct {
+	// Specials[i-1][j-1] counts sets that crossed the special threshold in
+	// epoch j of A(i).
+	Specials [][]int
+	// AddedPerAlg[i-1] counts sets sampled into Sol during A(i).
+	AddedPerAlg []int
+	// AddedEpoch0 counts sets sampled into Sol by the up-front p_0 sampling.
+	AddedEpoch0 int
+	// MarkedEpoch0 counts elements marked by epoch 0's degree detection.
+	MarkedEpoch0 int
+	// MarkedTracking counts elements marked optimistically via the tracked
+	// sample Q̃ (line 31).
+	MarkedTracking int
+	// Epoch0Edges and APhaseEdges record how much of the stream the
+	// detection phases consumed; RemainderEdges is the witness-collection
+	// suffix.
+	Epoch0Edges    int
+	APhaseEdges    int
+	RemainderEdges int
+	// Patched counts elements covered by the post-processing phase
+	// (line 38).
+	Patched int
+	// Degenerate reports the |Sol| ≥ n trivial-cover fallback from the
+	// space analysis of Theorem 3 fired.
+	Degenerate bool
+	// TrackedPeak is the largest number of tracked-edge counter entries |T|
+	// held at once.
+	TrackedPeak int
+	// SolAdditions records, in order, the stream position of every set
+	// added to Sol mid-stream (excluding epoch 0's up-front sample), for
+	// missed-edge analysis.
+	SolAdditions []SolAddition
+	// MarkedAtAEnd is a snapshot of the marked-as-covered bitmap taken when
+	// the last A(i) finished — the set U^(K) complement invariant (I1)
+	// reasons about. Nil if the A-phase never completed.
+	MarkedAtAEnd []bool
+	// SolAtAEnd snapshots Sol at the same moment.
+	SolAtAEnd []int32
+	// SpecialSets, when Params.TraceSpecialSets is set, records the ids of
+	// the sets that became special in epoch j of A(i) as
+	// SpecialSets[i-1][j-1] — the data behind the Lemma 5 monotonicity
+	// check (specials of epoch j should have been special in epoch j−1).
+	SpecialSets [][][]int32
+}
+
+// Lemma5Violations counts, across all A(i) and epochs j ≥ 2, how many
+// special sets of epoch j were NOT special in epoch j−1 of the same A(i),
+// along with the total number of epoch-≥2 specials. The paper's Lemma 5
+// predicts a vanishing violation rate (under its log⁶m thresholds; the
+// practical calibration reports whatever margin it achieves).
+func (t *Trace) Lemma5Violations() (violations, total int) {
+	for _, alg := range t.SpecialSets {
+		for j := 1; j < len(alg); j++ {
+			prev := make(map[int32]struct{}, len(alg[j-1]))
+			for _, s := range alg[j-1] {
+				prev[s] = struct{}{}
+			}
+			for _, s := range alg[j] {
+				total++
+				if _, ok := prev[s]; !ok {
+					violations++
+				}
+			}
+		}
+	}
+	return violations, total
+}
+
+// SolAddition is one mid-stream inclusion into Sol.
+type SolAddition struct {
+	Pos   int   // 0-based stream position of the triggering edge
+	Set   int32 // the set added
+	Alg   int   // which A(i) (1-based)
+	Epoch int   // which epoch j (1-based)
+}
+
+// SpecialsTotal sums special-set counts over all algorithms per epoch index,
+// the series Lemma 8 predicts decays geometrically.
+func (t *Trace) SpecialsTotal() []int {
+	var out []int
+	for _, alg := range t.Specials {
+		for j, c := range alg {
+			for len(out) <= j {
+				out = append(out, 0)
+			}
+			out[j] += c
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package domset adapts graph streams to edge-arrival Set Cover, realizing
+// the paper's observation that streaming Dominating Set is the m = n
+// special case ([19], §1): vertex i's set is its closed neighbourhood N[i],
+// so one undirected graph edge {u, v} arriving in the stream corresponds to
+// the two Set Cover tuples (N[u], v) and (N[v], u), and each vertex's
+// self-loop tuple (N[v], v) is emitted once up front (every vertex
+// dominates itself).
+//
+// The adapter lets any streaming Set Cover algorithm in this library run
+// directly on a graph edge stream and emit a dominating set with a
+// dominator certificate.
+package domset
+
+import (
+	"fmt"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+)
+
+// GraphEdge is one undirected edge {U, V} of the graph stream.
+type GraphEdge struct {
+	U, V int32
+}
+
+// Adapter feeds a streaming Set Cover algorithm from a graph edge stream.
+type Adapter struct {
+	n     int
+	alg   stream.Algorithm
+	seen  map[GraphEdge]struct{}
+	edges int
+}
+
+// NewAdapter wraps alg (built for n elements and m = n sets) for a graph of
+// n vertices. The n self-loop tuples are fed immediately — they correspond
+// to no stream edge and are known a priori.
+func NewAdapter(n int, alg stream.Algorithm) *Adapter {
+	if n <= 0 {
+		panic("domset: need n > 0")
+	}
+	a := &Adapter{n: n, alg: alg, seen: make(map[GraphEdge]struct{})}
+	for v := 0; v < n; v++ {
+		alg.Process(stream.Edge{Set: setcover.SetID(v), Elem: setcover.Element(v)})
+	}
+	return a
+}
+
+// ProcessEdge feeds one undirected graph edge, translating it into its two
+// Set Cover tuples. Self-loops and duplicate edges are ignored (closed
+// neighbourhoods are sets); out-of-range endpoints are an error.
+func (a *Adapter) ProcessEdge(e GraphEdge) error {
+	if e.U < 0 || int(e.U) >= a.n || e.V < 0 || int(e.V) >= a.n {
+		return fmt.Errorf("domset: edge {%d,%d} out of range [0,%d)", e.U, e.V, a.n)
+	}
+	if e.U == e.V {
+		return nil
+	}
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	if _, dup := a.seen[e]; dup {
+		return nil
+	}
+	a.seen[e] = struct{}{}
+	a.edges++
+	a.alg.Process(stream.Edge{Set: setcover.SetID(e.U), Elem: setcover.Element(e.V)})
+	a.alg.Process(stream.Edge{Set: setcover.SetID(e.V), Elem: setcover.Element(e.U)})
+	return nil
+}
+
+// GraphEdges returns how many distinct undirected edges were processed.
+func (a *Adapter) GraphEdges() int { return a.edges }
+
+// Finish returns the dominating set: Result.Dominators lists the chosen
+// vertices and Dominator[v] names a chosen vertex dominating v.
+func (a *Adapter) Finish() Result {
+	cov := a.alg.Finish()
+	res := Result{Dominator: make([]int32, a.n)}
+	for _, s := range cov.Sets {
+		res.Dominators = append(res.Dominators, int32(s))
+	}
+	for v := 0; v < a.n; v++ {
+		res.Dominator[v] = int32(cov.Certificate[v])
+	}
+	return res
+}
+
+// Result is a dominating set with its certificate.
+type Result struct {
+	// Dominators are the chosen vertices, ascending.
+	Dominators []int32
+	// Dominator[v] is a chosen vertex dominating v (v itself or a
+	// neighbour), or -1 if v was never dominated (disconnected input fed to
+	// an algorithm that missed it — impossible with the self-loop feed).
+	Dominator []int32
+}
+
+// Size returns the dominating set's cardinality.
+func (r Result) Size() int { return len(r.Dominators) }
+
+// Verify checks the result against the graph's adjacency: every vertex's
+// dominator must be chosen and must be the vertex itself or a neighbour.
+func (r Result) Verify(n int, adj func(u, v int32) bool) error {
+	chosen := make(map[int32]struct{}, len(r.Dominators))
+	for _, d := range r.Dominators {
+		chosen[d] = struct{}{}
+	}
+	for v := 0; v < n; v++ {
+		d := r.Dominator[v]
+		if d < 0 {
+			return fmt.Errorf("domset: vertex %d undominated", v)
+		}
+		if _, in := chosen[d]; !in {
+			return fmt.Errorf("domset: dominator %d of vertex %d not chosen", d, v)
+		}
+		if d != int32(v) && !adj(d, int32(v)) {
+			return fmt.Errorf("domset: %d does not dominate %d", d, v)
+		}
+	}
+	return nil
+}

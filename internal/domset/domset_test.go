@@ -1,0 +1,139 @@
+package domset
+
+import (
+	"testing"
+
+	"streamcover/internal/core"
+	"streamcover/internal/kk"
+	"streamcover/internal/xrand"
+)
+
+// randomGraph draws an Erdős–Rényi graph and returns its edges plus an
+// adjacency oracle.
+func randomGraph(rng *xrand.Rand, n int, p float64) ([]GraphEdge, func(u, v int32) bool) {
+	adj := make(map[[2]int32]struct{})
+	var edges []GraphEdge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Coin(p) {
+				edges = append(edges, GraphEdge{int32(u), int32(v)})
+				adj[[2]int32{int32(u), int32(v)}] = struct{}{}
+			}
+		}
+	}
+	oracle := func(a, b int32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		_, ok := adj[[2]int32{a, b}]
+		return ok
+	}
+	return edges, oracle
+}
+
+func TestAdapterWithKK(t *testing.T) {
+	const n = 200
+	rng := xrand.New(1)
+	edges, adj := randomGraph(rng.Split(), n, 0.05)
+
+	a := NewAdapter(n, kk.New(n, n, rng.Split()))
+	for _, e := range edges {
+		if err := a.ProcessEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.GraphEdges() != len(edges) {
+		t.Fatalf("processed %d edges, fed %d", a.GraphEdges(), len(edges))
+	}
+	res := a.Finish()
+	if err := res.Verify(n, adj); err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() < 1 || res.Size() > n {
+		t.Fatalf("dominating set size %d", res.Size())
+	}
+}
+
+func TestAdapterWithAlg1(t *testing.T) {
+	const n = 200
+	rng := xrand.New(2)
+	edges, adj := randomGraph(rng.Split(), n, 0.08)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	// Stream length for alg1: n self loops + 2 tuples per graph edge.
+	streamLen := n + 2*len(edges)
+	alg := core.New(n, n, streamLen, core.DefaultParams(n, n), rng.Split())
+	a := NewAdapter(n, alg)
+	for _, e := range edges {
+		if err := a.ProcessEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := a.Finish()
+	if err := res.Verify(n, adj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdapterDeduplicatesAndSkipsLoops(t *testing.T) {
+	a := NewAdapter(4, kk.New(4, 4, xrand.New(3)))
+	for _, e := range []GraphEdge{{0, 1}, {1, 0}, {0, 1}, {2, 2}} {
+		if err := a.ProcessEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.GraphEdges() != 1 {
+		t.Fatalf("counted %d distinct edges, want 1", a.GraphEdges())
+	}
+}
+
+func TestAdapterRejectsOutOfRange(t *testing.T) {
+	a := NewAdapter(3, kk.New(3, 3, xrand.New(4)))
+	if err := a.ProcessEdge(GraphEdge{0, 3}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := a.ProcessEdge(GraphEdge{-1, 0}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+func TestIsolatedVerticesDominateThemselves(t *testing.T) {
+	// No edges at all: every vertex must dominate itself via the self-loop
+	// feed; the dominating set is all of V.
+	const n = 10
+	a := NewAdapter(n, kk.New(n, n, xrand.New(5)))
+	res := a.Finish()
+	if err := res.Verify(n, func(u, v int32) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range res.Dominator {
+		if d != int32(v) {
+			t.Fatalf("isolated vertex %d dominated by %d", v, d)
+		}
+	}
+}
+
+func TestVerifyCatchesBadResults(t *testing.T) {
+	adj := func(u, v int32) bool { return false }
+	bad := Result{Dominators: []int32{0}, Dominator: []int32{0, 0}}
+	if err := bad.Verify(2, adj); err == nil {
+		t.Fatal("non-adjacent dominator accepted")
+	}
+	bad = Result{Dominators: []int32{0}, Dominator: []int32{0, -1}}
+	if err := bad.Verify(2, adj); err == nil {
+		t.Fatal("undominated vertex accepted")
+	}
+	bad = Result{Dominators: []int32{0}, Dominator: []int32{0, 1}}
+	if err := bad.Verify(2, adj); err == nil {
+		t.Fatal("unchosen dominator accepted")
+	}
+}
+
+func TestNewAdapterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdapter(0, nil)
+}

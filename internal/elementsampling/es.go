@@ -1,0 +1,211 @@
+// Package elementsampling implements the α = o(√n) regime of Table 1: a
+// one-pass edge-arrival α-approximation (up to log factors) using Õ(m·n/α)
+// space, the element-sampling scheme of Assadi, Khanna and Li [4] (building
+// on Demaine et al. [12]), which the paper notes is implementable in the
+// edge-arrival setting (appendix of [19]).
+//
+// The scheme keeps three sketches, all edge-filterable and together Õ(mn/α)
+// words:
+//
+//  1. a universe sample U' (each element kept with probability
+//     ρ = c·log m/α) together with the projection of every set onto U' —
+//     expected ρ·N = Õ(mn/α) words — on which a cover C1 of the sampled
+//     elements is computed offline at stream end;
+//  2. an up-front random collection D0 of Θ(α·log m) sets, which w.h.p.
+//     covers every element of degree ≥ m·log n/α;
+//  3. for every element, its first k = Θ(m·log n/α) incident sets — n·k =
+//     Õ(mn/α) words — from which covering witnesses are drawn at the end.
+//
+// The classical sampling lemma gives that any collection covering U' leaves
+// at most ≈ α·|C1| elements of the full universe uncovered w.h.p.; those are
+// patched one set per element, for an O(α·log) approximation overall.
+package elementsampling
+
+import (
+	"math"
+	"slices"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// Algorithm is one run of the element-sampling algorithm. Create with New,
+// feed edges with Process, call Finish once.
+type Algorithm struct {
+	space.Tracked
+
+	n, m  int
+	alpha float64
+	k     int // per-element incident-set cap
+
+	sampled []bool                                // u ∈ U'
+	proj    map[setcover.SetID][]setcover.Element // set projections onto U'
+	inc     [][]setcover.SetID                    // first k incident sets per element
+	d0      map[setcover.SetID]struct{}           // up-front random collection
+	first   []setcover.SetID                      // R(u)
+
+	patched int
+	rng     *xrand.Rand
+}
+
+// New returns an element-sampling run targeting approximation factor alpha
+// (the paper's regime of interest is 1 ≤ α = o(√n); larger values are
+// accepted and simply store less).
+func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
+	if n <= 0 || m <= 0 {
+		panic("elementsampling: need n > 0 and m > 0")
+	}
+	if alpha < 1 {
+		panic("elementsampling: need alpha >= 1")
+	}
+	logm := math.Log2(float64(m) + 1)
+	logn := math.Log2(float64(n) + 1)
+
+	a := &Algorithm{
+		n:       n,
+		m:       m,
+		alpha:   alpha,
+		k:       int(math.Ceil(float64(m) * logn / alpha)),
+		sampled: make([]bool, n),
+		proj:    make(map[setcover.SetID][]setcover.Element),
+		inc:     make([][]setcover.SetID, n),
+		d0:      make(map[setcover.SetID]struct{}),
+		first:   make([]setcover.SetID, n),
+		rng:     rng,
+	}
+	for u := range a.first {
+		a.first[u] = setcover.NoSet
+	}
+	a.AuxMeter.Add(int64(n)) // R(u)
+
+	rho := math.Min(1, logm/alpha)
+	for u := 0; u < n; u++ {
+		if rng.Coin(rho) {
+			a.sampled[u] = true
+		}
+	}
+	a.AuxMeter.Add(int64(n)) // the U' bitmap
+
+	p0 := math.Min(1, alpha*logm/float64(m))
+	cnt := rng.Binomial(m, p0)
+	for _, s := range rng.SampleK(m, cnt) {
+		a.d0[setcover.SetID(s)] = struct{}{}
+		a.StateMeter.Add(space.SetEntryWords)
+	}
+	return a
+}
+
+// Process implements stream.Algorithm.
+func (a *Algorithm) Process(e stream.Edge) {
+	s, u := e.Set, e.Elem
+	if a.first[u] == setcover.NoSet {
+		a.first[u] = s
+	}
+	if a.sampled[u] {
+		if _, seen := a.proj[s]; !seen {
+			a.StateMeter.Add(space.MapEntryWords)
+		}
+		a.proj[s] = append(a.proj[s], u)
+		a.StateMeter.Add(space.SliceElemWords)
+	}
+	if len(a.inc[u]) < a.k {
+		a.inc[u] = append(a.inc[u], s)
+		a.StateMeter.Add(space.SliceElemWords)
+	}
+}
+
+// Finish implements stream.Algorithm: solve the projected instance with
+// greedy, merge with D0, certify elements from their stored incident sets,
+// and patch the remainder with R(u).
+func (a *Algorithm) Finish() *setcover.Cover {
+	chosenSet := make(map[setcover.SetID]struct{}, len(a.d0))
+	for s := range a.d0 {
+		chosenSet[s] = struct{}{}
+	}
+	for _, s := range a.coverSample() {
+		chosenSet[s] = struct{}{}
+	}
+
+	cert := make([]setcover.SetID, a.n)
+	chosen := make([]setcover.SetID, 0, len(chosenSet)+16)
+	for s := range chosenSet {
+		chosen = append(chosen, s)
+	}
+	for u := 0; u < a.n; u++ {
+		cert[u] = setcover.NoSet
+		for _, s := range a.inc[u] {
+			if _, in := chosenSet[s]; in {
+				cert[u] = s
+				break
+			}
+		}
+		if cert[u] == setcover.NoSet && a.first[u] != setcover.NoSet {
+			cert[u] = a.first[u]
+			chosen = append(chosen, a.first[u])
+			a.patched++
+		}
+	}
+	return setcover.NewCover(chosen, cert)
+}
+
+// coverSample runs greedy over the stored projections to cover every
+// sampled element that appeared in the stream, returning original set ids.
+func (a *Algorithm) coverSample() []setcover.SetID {
+	// Iterate sets in id order: map iteration order would leak into greedy
+	// tie-breaking and make runs nondeterministic for a fixed seed.
+	ids := make([]setcover.SetID, 0, len(a.proj))
+	for s := range a.proj {
+		ids = append(ids, s)
+	}
+	slices.Sort(ids)
+
+	// Remap sampled-and-seen elements to a compact range.
+	remap := make(map[setcover.Element]setcover.Element)
+	for _, s := range ids {
+		for _, u := range a.proj[s] {
+			if _, ok := remap[u]; !ok {
+				remap[u] = setcover.Element(len(remap))
+			}
+		}
+	}
+	if len(remap) == 0 {
+		return nil
+	}
+	sets := make([][]setcover.Element, 0, len(ids))
+	for _, s := range ids {
+		elems := a.proj[s]
+		mapped := make([]setcover.Element, len(elems))
+		for i, u := range elems {
+			mapped[i] = remap[u]
+		}
+		sets = append(sets, mapped)
+	}
+	inst, err := setcover.NewInstance(len(remap), sets)
+	if err != nil {
+		// Projections are valid by construction; failure means a bug.
+		panic("elementsampling: projected instance: " + err.Error())
+	}
+	cov, err := setcover.Greedy(inst)
+	if err != nil {
+		panic("elementsampling: projected greedy: " + err.Error())
+	}
+	out := make([]setcover.SetID, len(cov.Sets))
+	for i, s := range cov.Sets {
+		out[i] = ids[s]
+	}
+	return out
+}
+
+// Patched returns how many elements the final patching covered.
+func (a *Algorithm) Patched() int { return a.patched }
+
+// D0Size returns |D0|, the up-front random collection size.
+func (a *Algorithm) D0Size() int { return len(a.d0) }
+
+// IncidenceCap returns the per-element incident-set cap k.
+func (a *Algorithm) IncidenceCap() int { return a.k }
+
+var _ stream.Algorithm = (*Algorithm)(nil)
+var _ space.Reporter = (*Algorithm)(nil)

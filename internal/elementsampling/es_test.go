@@ -1,0 +1,135 @@
+package elementsampling
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func runOn(t testing.TB, w workload.Workload, alpha float64, order stream.Order, seed uint64) (stream.Result, *Algorithm) {
+	t.Helper()
+	rng := xrand.New(seed)
+	edges := stream.Arrange(w.Inst, order, rng.Split())
+	alg := New(w.Inst.UniverseSize(), w.Inst.NumSets(), alpha, rng.Split())
+	res := stream.RunEdges(alg, edges)
+	return res, alg
+}
+
+func TestCoverValidOnAllWorkloadsAndOrders(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range workload.Catalog(rng) {
+		for _, o := range stream.Orders() {
+			res, _ := runOn(t, w, 4, o, 55)
+			if err := res.Cover.Verify(w.Inst); err != nil {
+				t.Errorf("%s/%v: %v", w.Name, o, err)
+			}
+		}
+	}
+}
+
+func TestApproximationWithinAlphaLogBound(t *testing.T) {
+	w := workload.Planted(xrand.New(2), 400, 2000, 10, 0)
+	for _, alpha := range []float64{2, 4, 8} {
+		res, _ := runOn(t, w, alpha, stream.RoundRobin, 3)
+		bound := 4 * (alpha + math.Log(400)) * math.Log2(2000) * float64(w.PlantedOPT)
+		if float64(res.Cover.Size()) > bound {
+			t.Errorf("alpha=%v: cover %d exceeds bound %.0f", alpha, res.Cover.Size(), bound)
+		}
+	}
+}
+
+func TestSpaceScalesInverselyWithAlpha(t *testing.T) {
+	// Õ(mn/α): growing α shrinks both the ρ = log m/α universe sample (and
+	// with it the projections) and the k = m·log n/α incidence cap. The
+	// effect only shows once ρ < 1 and k < typical element degree, so use a
+	// dense instance and α well above log m.
+	w := workload.UniformRandom(xrand.New(3), 100, 1000, 50, 80)
+	var peaks []int64
+	for _, alpha := range []float64{16, 64} {
+		res, _ := runOn(t, w, alpha, stream.RoundRobin, 5)
+		peaks = append(peaks, res.Space.State)
+	}
+	if ratio := float64(peaks[0]) / float64(peaks[1]); ratio < 2 {
+		t.Errorf("α 16→64 should shrink state ≈4x; peaks %v (ratio %.2f)", peaks, ratio)
+	}
+}
+
+func TestSmallAlphaApproachesGreedy(t *testing.T) {
+	// With α close to 1 the sample is the whole universe and the run reduces
+	// to offline greedy plus D0 noise; the cover should be near greedy size.
+	w := workload.Planted(xrand.New(4), 200, 800, 10, 0)
+	res, _ := runOn(t, w, 1, stream.Random, 7)
+	g, err := setcover.GreedySize(w.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Size() > 5*g+int(2*math.Log2(800)) {
+		t.Errorf("α=1 cover %d far above greedy %d", res.Cover.Size(), g)
+	}
+}
+
+func TestIncidenceCapRespected(t *testing.T) {
+	w := workload.HeavyElements(xrand.New(5), 50, 2000, 3, 2)
+	_, alg := runOn(t, w, 100, stream.Random, 9)
+	for u, sets := range alg.inc {
+		if len(sets) > alg.IncidenceCap() {
+			t.Fatalf("element %d stored %d incident sets, cap %d", u, len(sets), alg.IncidenceCap())
+		}
+	}
+}
+
+func TestD0SizeNearExpectation(t *testing.T) {
+	a := New(1000, 100000, 16, xrand.New(6))
+	want := 16 * math.Log2(100000)
+	if got := float64(a.D0Size()); got < want/3 || got > want*3 {
+		t.Errorf("|D0| = %v, want ≈ α·log m = %.0f", got, want)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	w := workload.UniformRandom(xrand.New(7), 100, 400, 2, 15)
+	a, _ := runOn(t, w, 4, stream.Random, 11)
+	b, _ := runOn(t, w, 4, stream.Random, 11)
+	if a.Cover.Size() != b.Cover.Size() {
+		t.Fatalf("nondeterministic: %d vs %d", a.Cover.Size(), b.Cover.Size())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n, m  int
+		alpha float64
+	}{{0, 1, 2}, {1, 0, 2}, {5, 5, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,%v) did not panic", tc.n, tc.m, tc.alpha)
+				}
+			}()
+			New(tc.n, tc.m, tc.alpha, xrand.New(1))
+		}()
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	inst := setcover.MustNewInstance(1, [][]setcover.Element{{0}})
+	alg := New(1, 1, 1, xrand.New(2))
+	res := stream.RunEdges(alg, stream.EdgesOf(inst))
+	if err := res.Cover.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkElementSampling(b *testing.B) {
+	w := workload.Planted(xrand.New(1), 1000, 5000, 20, 0)
+	edges := stream.Arrange(w.Inst, stream.RoundRobin, xrand.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg := New(1000, 5000, 8, xrand.New(uint64(i)))
+		stream.RunEdges(alg, edges)
+	}
+}

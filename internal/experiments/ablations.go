@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"streamcover/internal/adversarial"
+	"streamcover/internal/core"
+	"streamcover/internal/kk"
+	"streamcover/internal/stats"
+	"streamcover/internal/stream"
+	"streamcover/internal/texttable"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// AblationKKLevels verifies the invariant driving the KK-algorithm's
+// analysis ([19], recounted in §1.2): the number of level-i sets — those
+// with final uncovered-degree in [i√n, (i+1)√n) — decays geometrically,
+// E|S_i| ≤ ½·E|S_{i−1}|, which is why the probabilistic inclusion adds only
+// Õ(√n) sets per level.
+func AblationKKLevels(cfg Config) *Report {
+	n := cfg.N / 2
+	w := workload.DominatingSet(xrand.New(cfg.Seed+31), n, 0.2)
+
+	// Average level histograms across repetitions.
+	var hist []float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		rng := xrand.New(cfg.Seed + 31 + uint64(rep))
+		edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+		alg := kk.New(n, w.Inst.NumSets(), rng.Split())
+		stream.RunEdges(alg, edges)
+		for lvl, c := range alg.LevelCounts() {
+			for len(hist) <= lvl {
+				hist = append(hist, 0)
+			}
+			hist[lvl] += float64(c) / float64(cfg.Reps)
+		}
+	}
+	tb := texttable.New(
+		fmt.Sprintf("KK level decay on %s (mean over %d runs)", w.Name, cfg.Reps),
+		"level i", "E|S_i|", "ratio to previous")
+	worstRatio := 0.0
+	for i, c := range hist {
+		ratio := ""
+		if i > 0 && hist[i-1] > 0 {
+			r := c / hist[i-1]
+			ratio = f2(r)
+			if i >= 2 && r > worstRatio { // level 1/level 0 is not predicted to halve
+				worstRatio = r
+			}
+		}
+		tb.AddRow(fi(i), f2(c), ratio)
+	}
+	rep := newReport("E-ABL-KK", "KK-algorithm level decay (E|S_i| ≤ ½·E|S_{i−1}|)", tb)
+	rep.Findings["worst_decay_ratio_from_level2"] = worstRatio
+	rep.Notes = append(rep.Notes, "paper predicts ratios ≤ ~0.5 from the first sampled level on")
+	return rep
+}
+
+// AblationPromoted verifies Theorem 4's space mechanism: the number of sets
+// Algorithm 2 ever promotes to level ≥ 1 — the size of its level map L —
+// scales as mn/α², i.e. slope ≈ −2 in an α-sweep.
+func AblationPromoted(cfg Config) *Report {
+	w := workload.Planted(xrand.New(cfg.Seed+41), cfg.N, cfg.M, cfg.OPT, 0)
+	sq := sqrtf(cfg.N)
+	tb := texttable.New(
+		fmt.Sprintf("Algorithm 2 promoted sets vs α (n=%d m=%d)", cfg.N, cfg.M),
+		"alpha", "promoted(mean)", "predicted N_edges/alpha", "promotions(mean)")
+	var alphas, promoted []float64
+	for _, mult := range []float64{2, 4, 8, 16} {
+		alpha := mult * sq
+		var proms, promotions []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := xrand.New(cfg.Seed ^ uint64(mult*1000) ^ uint64(rep)*977)
+			edges := stream.Arrange(w.Inst, stream.RoundRobin, rng.Split())
+			alg := adversarial.New(cfg.N, cfg.M, alpha, rng.Split())
+			stream.RunEdges(alg, edges)
+			proms = append(proms, float64(alg.PromotedSets()))
+			promotions = append(promotions, float64(alg.Promotions()))
+		}
+		p := stats.Summarize(proms)
+		tb.AddRow(f0(alpha), f2(p.Mean),
+			f0(float64(w.Inst.NumEdges())/alpha), f2(stats.Summarize(promotions).Mean))
+		alphas = append(alphas, alpha)
+		promoted = append(promoted, math.Max(p.Mean, 0.1))
+	}
+	rep := newReport("E-ABL-A2", "Algorithm 2 promoted-set scaling (Õ(mn/α²))", tb)
+	rep.Findings["promoted_vs_alpha_slope"] = stats.GeometricFitSlope(alphas, promoted)
+	rep.Notes = append(rep.Notes,
+		"promoted count ≈ (#uncovered-edge arrivals)/α, itself shrinking with α ⇒ paper predicts slope ≈ −2 for α = Ω̃(√n)")
+	return rep
+}
+
+// AblationAlg1 verifies the Algorithm 1 invariants on a random-order run:
+// (I3)/Lemma 9 — only Õ(√n) sets are added per A(i); Lemma 8 — per-epoch
+// special-set counts decay; and (I2) — each mid-stream inclusion has few
+// "pre-inclusion" edges (the budget from which missed edges come).
+func AblationAlg1(cfg Config) *Report {
+	w := workload.Planted(xrand.New(cfg.Seed+61), cfg.N, cfg.M, cfg.OPT, 0)
+	n, m := cfg.N, cfg.M
+	rng := xrand.New(cfg.Seed + 61)
+	edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+	params := core.DefaultParams(n, m)
+	params.TraceSpecialSets = true
+	alg := core.New(n, m, len(edges), params, rng.Split())
+	res := stream.RunEdges(alg, edges)
+	tr := alg.Trace()
+
+	// (I2) proxy: for every mid-stream inclusion, count the set's edges that
+	// had already passed — the pool missed edges are drawn from.
+	preEdges := map[int32]int{}
+	addedAt := map[int32]int{}
+	for _, sa := range tr.SolAdditions {
+		addedAt[sa.Set] = sa.Pos
+	}
+	for pos, e := range edges {
+		if at, ok := addedAt[e.Set]; ok && pos < at {
+			preEdges[e.Set]++
+		}
+	}
+	var pre []float64
+	for _, sa := range tr.SolAdditions {
+		pre = append(pre, float64(preEdges[sa.Set]))
+	}
+	preSum := stats.Summarize(pre)
+
+	tb := texttable.New(
+		fmt.Sprintf("Algorithm 1 invariants on %s, random order (cover=%d, state=%d words)",
+			w.Name, res.Cover.Size(), res.Space.State),
+		"invariant", "measured", "paper bound (shape)")
+	sq := sqrtf(n)
+	maxPerAlg := 0
+	for _, c := range tr.AddedPerAlg {
+		if c > maxPerAlg {
+			maxPerAlg = c
+		}
+	}
+	tb.AddRow("(I3) max sets added per A(i)", fi(maxPerAlg), fmt.Sprintf("Õ(√n) = Õ(%.0f)", sq))
+	tb.AddRow("epoch-0 sample |Sol|", fi(tr.AddedEpoch0), fmt.Sprintf("≈ C·√n·log m = %.0f", 2*sq*math.Log2(float64(m))))
+	specials := tr.SpecialsTotal()
+	tb.AddRow("specials per epoch (Lemma 8)", fmt.Sprint(specials), "geometrically decaying")
+	tb.AddRow("(I2) pre-inclusion edges mean/max", fmt.Sprintf("%.1f / %.0f", preSum.Mean, preSum.Max), fmt.Sprintf("Õ(√n) = Õ(%.0f)", sq))
+	tb.AddRow("elements marked by tracking", fi(tr.MarkedTracking), "—")
+	tb.AddRow("elements marked in epoch 0", fi(tr.MarkedEpoch0), "deg ≥ 1.1·m/√n detected")
+	tb.AddRow("patched at end", fi(tr.Patched), "≤ Õ(√n)·OPT")
+
+	// (I1): when A(K) finished, no set outside Sol should still be able to
+	// cover more than Õ(√n)-scale unmarked elements.
+	i1Max := 0
+	if tr.MarkedAtAEnd != nil {
+		inSol := make(map[int32]struct{}, len(tr.SolAtAEnd))
+		for _, s := range tr.SolAtAEnd {
+			inSol[s] = struct{}{}
+		}
+		for s := 0; s < m; s++ {
+			if _, in := inSol[int32(s)]; in {
+				continue
+			}
+			c := 0
+			for _, u := range w.Inst.Set(int32(s)) {
+				if !tr.MarkedAtAEnd[u] {
+					c++
+				}
+			}
+			if c > i1Max {
+				i1Max = c
+			}
+		}
+		tb.AddRow("(I1) max unmarked coverable by S∉Sol at A-end", fi(i1Max),
+			fmt.Sprintf("Õ(√n·polylog) = Õ(%.0f)", sq))
+	}
+
+	// Lemma 5: specials of epoch j should have been special in epoch j−1.
+	l5bad, l5total := tr.Lemma5Violations()
+	l5 := "no epoch-≥2 specials"
+	if l5total > 0 {
+		l5 = fmt.Sprintf("%d/%d violate", l5bad, l5total)
+	}
+	tb.AddRow("Lemma 5 monotonicity of specials", l5, "violations vanish (w.h.p. at paper constants)")
+
+	rep := newReport("E-ABL-A1", "Algorithm 1 invariants (I1)–(I3), Lemmas 5 and 8", tb)
+	rep.Findings["max_added_per_alg"] = float64(maxPerAlg)
+	rep.Findings["pre_inclusion_edges_max"] = preSum.Max
+	rep.Findings["patched"] = float64(tr.Patched)
+	rep.Findings["i1_max_unmarked_coverage"] = float64(i1Max)
+	if l5total > 0 {
+		rep.Findings["lemma5_violation_rate"] = float64(l5bad) / float64(l5total)
+	}
+	if len(specials) > 0 {
+		rep.Findings["specials_first_epoch"] = float64(specials[0])
+		rep.Findings["specials_last_epoch"] = float64(specials[len(specials)-1])
+	}
+	return rep
+}

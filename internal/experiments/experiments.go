@@ -1,0 +1,187 @@
+// Package experiments reproduces the paper's evaluation artifacts: the four
+// regimes of Table 1, the adversarial-vs-random separation, the Theorem 2
+// lower-bound construction, the Lemma 2 concentration bounds, and the
+// ablations on the invariants behind each algorithm ((I1)–(I3), Lemma 8, KK
+// level decay).
+//
+// The paper is a theory paper: it reports no testbed numbers, only
+// asymptotic space/approximation trade-offs. "Reproducing" an artifact
+// therefore means measuring the *shape* — who wins in which regime, how
+// peak space scales with m, n and α, where the planted optimum sits
+// relative to the streamed covers — on synthetic workloads with known OPT.
+// Every experiment returns a Report with a rendered table plus named
+// findings (fitted slopes, ratios) that EXPERIMENTS.md records against the
+// paper's predictions; the corresponding testing.B benchmarks live in the
+// repository root's bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stats"
+	"streamcover/internal/stream"
+	"streamcover/internal/texttable"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed drives every random choice; identical configs reproduce
+	// identical reports.
+	Seed uint64
+	// Reps is the number of randomized repetitions averaged per cell.
+	Reps int
+	// N is the universe size of the main planted workloads; M the base
+	// family size; OPT the planted optimum.
+	N, M, OPT int
+}
+
+// Quick returns a configuration sized for unit tests and smoke runs
+// (sub-second per experiment).
+func Quick() Config {
+	return Config{Seed: 1, Reps: 3, N: 400, M: 8000, OPT: 10}
+}
+
+// Full returns the configuration used to generate EXPERIMENTS.md
+// (seconds-to-a-minute per experiment).
+func Full() Config {
+	return Config{Seed: 1, Reps: 5, N: 2500, M: 50000, OPT: 25}
+}
+
+// Report is one experiment's rendered outcome.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md's per-experiment
+	// index (e.g. "E-T1-R2").
+	ID string
+	// Title is a human-readable one-liner.
+	Title string
+	// Table is the regenerated table.
+	Table *texttable.Table
+	// Findings are named scalar results (fitted slopes, worst ratios, ...)
+	// that tests and EXPERIMENTS.md assert against the paper's predictions.
+	Findings map[string]float64
+	// Notes carries free-form observations.
+	Notes []string
+}
+
+func newReport(id, title string, table *texttable.Table) *Report {
+	return &Report{ID: id, Title: title, Table: table, Findings: map[string]float64{}}
+}
+
+// String renders the report for terminal output.
+func (r *Report) String() string {
+	s := fmt.Sprintf("=== %s — %s ===\n%s", r.ID, r.Title, r.Table.String())
+	if len(r.Findings) > 0 {
+		s += "findings:"
+		for _, k := range sortedKeys(r.Findings) {
+			s += fmt.Sprintf(" %s=%.3g", k, r.Findings[k])
+		}
+		s += "\n"
+	}
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// maker builds a fresh streaming algorithm for a workload instance.
+type maker func(w workload.Workload, streamLen int, rng *xrand.Rand) stream.Algorithm
+
+// cell aggregates repeated randomized runs of one (workload, order,
+// algorithm) combination.
+type cell struct {
+	CoverSize stats.Summary
+	State     stats.Summary
+	Aux       stats.Summary
+	Ratio     stats.Summary // cover size / OPT estimate
+}
+
+// runCell performs cfg.Reps independent runs with fresh stream orders and
+// algorithm coins. Repetitions run in parallel — every rep derives its own
+// generator from (seed, salt, rep), so the aggregate is identical to a
+// sequential run regardless of scheduling.
+func runCell(cfg Config, w workload.Workload, order stream.Order, mk maker, salt uint64) cell {
+	opt, err := w.OptEstimate()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: OPT estimate for %s: %v", w.Name, err))
+	}
+	sizes := make([]float64, cfg.Reps)
+	states := make([]float64, cfg.Reps)
+	auxes := make([]float64, cfg.Reps)
+	ratios := make([]float64, cfg.Reps)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Reps)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			rng := xrand.New(cfg.Seed ^ salt ^ (uint64(rep) * 0x9e37_79b9_7f4a_7c15))
+			edges := stream.Arrange(w.Inst, order, rng.Split())
+			alg := mk(w, len(edges), rng.Split())
+			res := stream.RunEdges(alg, edges)
+			if err := res.Cover.Verify(w.Inst); err != nil {
+				errCh <- fmt.Errorf("experiments: invalid cover from %s/%v: %v", w.Name, order, err)
+				return
+			}
+			sizes[rep] = float64(res.Cover.Size())
+			states[rep] = float64(res.Space.State)
+			auxes[rep] = float64(res.Space.Aux)
+			ratios[rep] = float64(res.Cover.Size()) / float64(opt)
+		}(rep)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		panic(err.Error())
+	}
+	return cell{
+		CoverSize: stats.Summarize(sizes),
+		State:     stats.Summarize(states),
+		Aux:       stats.Summarize(auxes),
+		Ratio:     stats.Summarize(ratios),
+	}
+}
+
+// greedyRef computes the greedy reference cover size for a workload.
+func greedyRef(w workload.Workload) int {
+	g, err := setcover.GreedySize(w.Inst)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: greedy on %s: %v", w.Name, err))
+	}
+	return g
+}
+
+// All runs every registered experiment at the given configuration, in the
+// order of DESIGN.md's per-experiment index.
+func All(cfg Config) []*Report {
+	entries := Registry()
+	out := make([]*Report, len(entries))
+	for i, e := range entries {
+		out[i] = e.Run(cfg)
+	}
+	return out
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func fi(v int) string     { return fmt.Sprintf("%d", v) }
+func f64i(v int64) string { return fmt.Sprintf("%d", v) }
+func sqrtf(n int) float64 { return math.Sqrt(float64(n)) }

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment's paper-predicted shape is encoded once, in the registry
+// Check functions; this test executes all of them at the quick
+// configuration — the executable form of EXPERIMENTS.md's paper-vs-measured
+// table (cmd/scbench -check runs the identical assertions for users).
+func TestEveryExperimentMatchesPaperShape(t *testing.T) {
+	cfg := Quick()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(cfg)
+			if rep.ID != e.ID {
+				t.Fatalf("report id %s, registry id %s", rep.ID, e.ID)
+			}
+			if rep.Table == nil || rep.Table.NumRows() == 0 {
+				t.Fatal("empty table")
+			}
+			for _, fail := range e.Check(rep) {
+				t.Errorf("%s: %s\n%s", e.Paper, fail, rep.Table)
+			}
+		})
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	reports := All(Quick())
+	if len(reports) != len(Registry()) {
+		t.Fatalf("All returned %d reports for %d registry entries", len(reports), len(Registry()))
+	}
+	seen := map[string]bool{}
+	for i, r := range reports {
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.ID != Registry()[i].ID {
+			t.Errorf("report %d has id %s, registry says %s", i, r.ID, Registry()[i].ID)
+		}
+		out := r.String()
+		if !strings.Contains(out, r.ID) {
+			t.Errorf("report text missing id: %q", out[:60])
+		}
+	}
+}
+
+func TestRegistryFind(t *testing.T) {
+	if _, ok := Find("E-T1-R4"); !ok {
+		t.Fatal("E-T1-R4 missing from registry")
+	}
+	if _, ok := Find("E-NOPE"); ok {
+		t.Fatal("Find accepted unknown id")
+	}
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Paper == "" || e.Run == nil || e.Check == nil {
+			t.Fatalf("incomplete entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate registry id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestCheckReportsMissingFindings(t *testing.T) {
+	// A Check against an empty report must flag missing findings rather
+	// than panic or silently pass.
+	e, ok := Find("E-T1-R2")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	empty := newReport("E-T1-R2", "x", nil)
+	fails := e.Check(empty)
+	if len(fails) == 0 {
+		t.Fatal("empty report passed its checks")
+	}
+	if !strings.Contains(fails[0], "missing") {
+		t.Fatalf("unexpected failure message %q", fails[0])
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	a := Table1Row2(Quick()).String()
+	b := Table1Row2(Quick()).String()
+	if a != b {
+		t.Fatal("experiment not reproducible for a fixed config")
+	}
+}
+
+// Deeper one-off assertions that go beyond the registry's shape checks.
+
+func TestLowerBoundDecisionDetails(t *testing.T) {
+	rep := LowerBound(Quick())
+	if rep.Findings["bounded_detects_intersecting"] == 1 {
+		t.Logf("note: starved algorithm detected the intersecting case at this seed\n%s", rep.Table)
+	}
+}
+
+func TestSeparationReportsEveryOrder(t *testing.T) {
+	rep := Separation(Quick())
+	if rep.Table.NumRows() != 6 {
+		t.Fatalf("separation table has %d rows, want one per order", rep.Table.NumRows())
+	}
+}
+
+func TestAblationAlg1ReportsInvariantRows(t *testing.T) {
+	rep := AblationAlg1(Quick())
+	s := rep.Table.String()
+	for _, frag := range []string{"(I1)", "(I2)", "(I3)", "Lemma 5", "Lemma 8"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("ablation table missing %s:\n%s", frag, s)
+		}
+	}
+}

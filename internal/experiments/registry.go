@@ -1,0 +1,278 @@
+package experiments
+
+import "fmt"
+
+// Entry describes one registered experiment together with its
+// paper-predicted expectations.
+type Entry struct {
+	// ID is the identifier from DESIGN.md's per-experiment index.
+	ID string
+	// Paper names the artifact being reproduced.
+	Paper string
+	// Run executes the experiment.
+	Run func(Config) *Report
+	// Check evaluates the report against the paper's predicted shape and
+	// returns one message per failed expectation (empty = everything
+	// holds). The same checks back the unit tests and scbench's -check
+	// mode, so "paper vs measured" has a single executable definition.
+	Check func(*Report) []string
+}
+
+// failf collects formatted failures.
+type failures []string
+
+func (f *failures) addf(format string, args ...any) {
+	*f = append(*f, fmt.Sprintf(format, args...))
+}
+
+// expectRange appends a failure unless lo ≤ value ≤ hi.
+func (f *failures) expectRange(rep *Report, key string, lo, hi float64) {
+	v, ok := rep.Findings[key]
+	if !ok {
+		f.addf("finding %q missing", key)
+		return
+	}
+	if v < lo || v > hi {
+		f.addf("%s = %.3g outside expected [%.3g, %.3g]", key, v, lo, hi)
+	}
+}
+
+// Registry lists every experiment in presentation order — the single source
+// of truth shared by All, cmd/scbench and the root benchmarks.
+func Registry() []Entry {
+	return []Entry{
+		{
+			ID: "E-T1-R1", Paper: "Table 1 row 1 (α = o(√n), element sampling)",
+			Run: Table1Row1,
+			Check: func(r *Report) []string {
+				var f failures
+				// Paper: space ∝ mn/α ⇒ slope ≈ −1 (the log m/α clamp
+				// flattens the smallest α, hence the asymmetric window).
+				f.expectRange(r, "space_vs_alpha_slope", -1.6, -0.4)
+				return f
+			},
+		},
+		{
+			ID: "E-T1-R2", Paper: "Table 1 row 2 (KK-algorithm, Õ(m))",
+			Run: Table1Row2,
+			Check: func(r *Report) []string {
+				var f failures
+				// Paper: space Θ(m) ⇒ slope ≈ 1.
+				f.expectRange(r, "space_vs_m_slope", 0.8, 1.2)
+				return f
+			},
+		},
+		{
+			ID: "E-T1-R3", Paper: "Table 1 row 3 (Algorithm 2, Õ(mn/α²))",
+			Run: Table1Row3,
+			Check: func(r *Report) []string {
+				var f failures
+				// Paper: promoted level map ∝ mn/α² ⇒ slope ≈ −2.
+				f.expectRange(r, "promoted_vs_alpha_slope", -2.8, -1.2)
+				return f
+			},
+		},
+		{
+			ID: "E-T1-R4", Paper: "Table 1 row 4 (Algorithm 1, Õ(m/√n), main result)",
+			Run: Table1Row4,
+			Check: func(r *Report) []string {
+				var f failures
+				// Paper: space ∝ m (slope 1) at a √n factor below KK.
+				f.expectRange(r, "space_vs_m_slope", 0.6, 1.4)
+				f.expectRange(r, "kk_to_alg1_space_ratio", 3, 1e9)
+				return f
+			},
+		},
+		{
+			ID: "E-SEP", Paper: "Adversarial vs random separation (Thm 2 vs Thm 3)",
+			Run: Separation,
+			Check: func(r *Report) []string {
+				var f failures
+				// Random order must not be worse than the worst adversarial.
+				f.expectRange(r, "adversarial_to_random_cover_ratio", 1.0, 1e9)
+				return f
+			},
+		},
+		{
+			ID: "E-LB", Paper: "Theorem 2 lower-bound construction",
+			Run: LowerBound,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "storeall_correct_intersecting", 1, 1)
+				f.expectRange(r, "storeall_correct_disjoint", 1, 1)
+				// Lemma 1: O(log n) part-vs-set intersections.
+				f.expectRange(r, "lemma1_max_part_intersection", 1, 30)
+				// The starved algorithm's messages must be much smaller.
+				if r.Findings["bounded_msg_intersecting"] >= r.Findings["storeall_msg_intersecting"] {
+					f.addf("space-starved messages (%.0f) not below store-all (%.0f)",
+						r.Findings["bounded_msg_intersecting"], r.Findings["storeall_msg_intersecting"])
+				}
+				return f
+			},
+		},
+		{
+			ID: "E-CONC", Paper: "Lemma 2 concentration",
+			Run: Concentration,
+			Check: func(r *Report) []string {
+				var f failures
+				for _, k := range []string{"regime1_violation_rate", "regime2_violation_rate", "regime3_violation_rate"} {
+					f.expectRange(r, k, 0, 0.05)
+				}
+				return f
+			},
+		},
+		{
+			ID: "E-ABL-KK", Paper: "KK level decay ([19])",
+			Run: AblationKKLevels,
+			Check: func(r *Report) []string {
+				var f failures
+				// E|S_i| ≤ ½·E|S_{i−1}| from level 2 on (with slack).
+				f.expectRange(r, "worst_decay_ratio_from_level2", 0, 1.0)
+				return f
+			},
+		},
+		{
+			ID: "E-ABL-A2", Paper: "Algorithm 2 promoted-set scaling",
+			Run: AblationPromoted,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "promoted_vs_alpha_slope", -2.8, -1.2)
+				return f
+			},
+		},
+		{
+			ID: "E-ABL-A1", Paper: "Algorithm 1 invariants (I1)–(I3), Lemmas 5/8",
+			Run: AblationAlg1,
+			Check: func(r *Report) []string {
+				var f failures
+				// (I3): Õ(√n) additions per A(i); generous constant.
+				f.expectRange(r, "max_added_per_alg", 0, 400)
+				// (I1): Õ(√n·polylog) uncovered coverage outside Sol.
+				f.expectRange(r, "i1_max_unmarked_coverage", 0, 400)
+				return f
+			},
+		},
+		{
+			ID: "E-SETARR", Paper: "Arrival-model contrast (§1)",
+			Run: SetArrivalContrast,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "edge_to_set_space_ratio", 2, 1e9)
+				return f
+			},
+		},
+		{
+			ID: "E-PROTO", Paper: "Deterministic t-party protocol (§3)",
+			Run: Protocol,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "worst_cover_over_bound", 0, 1.1)
+				f.expectRange(r, "max_message_over_n", 0, 3)
+				return f
+			},
+		},
+		{
+			ID: "E-EXT-MP", Paper: "Multi-pass sample-and-prune ([6])",
+			Run: MultiPassTradeoff,
+			Check: func(r *Report) []string {
+				var f failures
+				if r.Findings["passes_at_full_budget"] > r.Findings["passes_at_small_budget"] {
+					f.addf("bigger budgets needed more passes (%.0f > %.0f)",
+						r.Findings["passes_at_full_budget"], r.Findings["passes_at_small_budget"])
+				}
+				f.expectRange(r, "passes_vs_budget_slope", -10, 0.01)
+				return f
+			},
+		},
+		{
+			ID: "E-ENS", Paper: "High-probability boosting (remarks)",
+			Run: EnsembleBoost,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "boost_improvement", 0.95, 1e9)
+				return f
+			},
+		},
+		{
+			ID: "E-FRAC", Paper: "Fractional Set Cover ([16])",
+			Run: Fractional,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "lp_monotone_in_delta", 1, 1)
+				f.expectRange(r, "lp_over_opt", 0.3, 8)
+				// LP duality: the certified bound cannot exceed OPT.
+				f.expectRange(r, "dual_lb_over_opt", 0, 1.000001)
+				return f
+			},
+		},
+		{
+			ID: "E-EXT-CW", Paper: "Chakrabarti–Wirth p-pass ladder ([10])",
+			Run: CWPasses,
+			Check: func(r *Report) []string {
+				var f failures
+				// [10]'s guarantee is per-p: cover ≤ O(p·n^{1/(p+1)})·OPT
+				// (the budget itself is not monotone in p).
+				f.expectRange(r, "worst_cover_over_budget", 0, 1.5)
+				f.expectRange(r, "max_space_over_n", 0, 5)
+				return f
+			},
+		},
+		{
+			ID: "E-CURVE", Paper: "Coverage/state trajectories",
+			Run: CoverageCurves,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "final_covered_frac_alg1", 0.5, 1)
+				f.expectRange(r, "final_covered_frac_alg2", 0.5, 1)
+				f.expectRange(r, "final_covered_frac_kk", 0, 1)
+				f.expectRange(r, "kk_to_alg1_state", 3, 1e9)
+				return f
+			},
+		},
+		{
+			ID: "E-ROBUST", Paper: "Partial-randomness robustness",
+			Run: Robustness,
+			Check: func(r *Report) []string {
+				var f failures
+				f.expectRange(r, "adversarial_to_random", 0.95, 1e9)
+				return f
+			},
+		},
+		{
+			ID: "E-VAR", Paper: "Run-to-run variance of the randomized algorithms",
+			Run: Variance,
+			Check: func(r *Report) []string {
+				var f failures
+				for _, alg := range []string{"kk", "alg1", "alg2"} {
+					f.expectRange(r, "rel_spread_"+alg, 0, 0.35)
+				}
+				return f
+			},
+		},
+		{
+			ID: "E-ABL-KNOCK", Paper: "Algorithm 1 component knockouts",
+			Run: Knockout,
+			Check: func(r *Report) []string {
+				var f failures
+				// No knockout may *improve* the cover beyond noise, and the
+				// bare variant must be at least as bad as the full one.
+				f.expectRange(r, "patch_only_to_full", 0.9, 1e9)
+				if r.Findings["no_sample_cover"] < 0.8*r.Findings["full_cover"] {
+					f.addf("removing the epoch-0 sample improved the cover (%.0f < %.0f)",
+						r.Findings["no_sample_cover"], r.Findings["full_cover"])
+				}
+				return f
+			},
+		},
+	}
+}
+
+// Find returns the entry with the given id (case-sensitive) or false.
+func Find(id string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"streamcover/internal/adversarial"
+	"streamcover/internal/core"
+	"streamcover/internal/elementsampling"
+	"streamcover/internal/kk"
+	"streamcover/internal/stats"
+	"streamcover/internal/stream"
+	"streamcover/internal/texttable"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// Table1Row1 reproduces row 1 of Table 1 — the α = o(√n) regime: the
+// element-sampling algorithm at Θ̃(mn/α) space, swept over α. Expected
+// shape: peak state shrinks ~1/α (fitted slope ≈ −1 once α ≫ log m) and
+// the approximation ratio stays O(α + log n).
+func Table1Row1(cfg Config) *Report {
+	// A dense instance so both sampling knobs (ρ = log m/α projections and
+	// the k = m·log n/α incidence cap) actually bite; see the package docs
+	// of internal/elementsampling.
+	n := cfg.N / 4
+	m := cfg.M / 16
+	w := workload.UniformRandom(xrand.New(cfg.Seed), n, m, n/4, n/2)
+
+	tb := texttable.New(
+		fmt.Sprintf("Table 1 row 1: element sampling, adversarial order (n=%d m=%d greedy=%d)", n, m, greedyRef(w)),
+		"alpha", "cover(mean)", "ratio", "state(words)", "mn/alpha")
+	var alphas, states []float64
+	for _, alpha := range []float64{16, 32, 64, 128} {
+		c := runCell(cfg, w, stream.RoundRobin, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
+			return elementsampling.New(w.Inst.UniverseSize(), w.Inst.NumSets(), alpha, rng)
+		}, uint64(alpha))
+		tb.AddRow(f0(alpha), f0(c.CoverSize.Mean), f2(c.Ratio.Mean), f0(c.State.Mean),
+			f0(float64(m)*float64(n)/alpha))
+		alphas = append(alphas, alpha)
+		states = append(states, c.State.Mean)
+	}
+	rep := newReport("E-T1-R1", "α = o(√n): Õ(mn/α) space (element sampling)", tb)
+	rep.Findings["space_vs_alpha_slope"] = stats.GeometricFitSlope(alphas, states)
+	rep.Notes = append(rep.Notes, "paper predicts slope ≈ −1 (space ∝ mn/α)")
+	return rep
+}
+
+// Table1Row2 reproduces row 2 — the KK-algorithm at α = Θ̃(√n) in
+// adversarial order with Õ(m) space. Expected shape: peak state ≈ m words
+// (slope ≈ 1 in an m-sweep) and cover ≤ Õ(√n)·OPT on every adversarial
+// order.
+func Table1Row2(cfg Config) *Report {
+	tb := texttable.New(
+		fmt.Sprintf("Table 1 row 2: KK-algorithm, adversarial order (n=%d opt=%d)", cfg.N, cfg.OPT),
+		"m", "order", "cover(mean)", "ratio", "state(words)", "state/m")
+	var ms, states []float64
+	for _, m := range []int{cfg.M / 4, cfg.M / 2, cfg.M} {
+		w := workload.Planted(xrand.New(cfg.Seed+uint64(m)), cfg.N, m, cfg.OPT, 0)
+		for _, order := range []stream.Order{stream.RoundRobin, stream.HighDegreeLast} {
+			c := runCell(cfg, w, order, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
+				return kk.New(w.Inst.UniverseSize(), w.Inst.NumSets(), rng)
+			}, uint64(m))
+			tb.AddRow(fi(m), order.String(), f0(c.CoverSize.Mean), f2(c.Ratio.Mean),
+				f0(c.State.Mean), f2(c.State.Mean/float64(m)))
+			if order == stream.RoundRobin {
+				ms = append(ms, float64(m))
+				states = append(states, c.State.Mean)
+			}
+		}
+	}
+	rep := newReport("E-T1-R2", "α = Θ̃(√n): Õ(m) space, adversarial (KK-algorithm)", tb)
+	rep.Findings["space_vs_m_slope"] = stats.GeometricFitSlope(ms, states)
+	rep.Notes = append(rep.Notes, "paper predicts slope ≈ 1 (space ∝ m, the bound Theorem 2 proves optimal)")
+	return rep
+}
+
+// Table1Row3 reproduces row 3 — Algorithm 2 in adversarial order, swept
+// over α = Ω̃(√n). Expected shape: the promoted-level map — the space term
+// Theorem 4's Õ(mn/α²) bound is about — shrinks with slope ≈ −2 in α. The
+// total state additionally carries the |D_0| ≈ α up-front sample and the
+// growing patch-free solution, which floors it once α³ ≳ mn; both columns
+// are reported.
+func Table1Row3(cfg Config) *Report {
+	w := workload.Planted(xrand.New(cfg.Seed), cfg.N, cfg.M, cfg.OPT, 0)
+	opt, _ := w.OptEstimate()
+	sq := sqrtf(cfg.N)
+	tb := texttable.New(
+		fmt.Sprintf("Table 1 row 3: Algorithm 2, adversarial order (n=%d m=%d opt=%d)", cfg.N, cfg.M, cfg.OPT),
+		"alpha", "cover(mean)", "ratio", "state(words)", "promoted |L|", "mn/alpha^2")
+	var alphas, promoted []float64
+	for _, mult := range []float64{2, 4, 8, 16} {
+		alpha := mult * sq
+		var covers, states, proms []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := xrand.New(cfg.Seed ^ uint64(mult*131) ^ uint64(rep)*0x9e3779b97f4a7c15)
+			edges := stream.Arrange(w.Inst, stream.RoundRobin, rng.Split())
+			alg := adversarial.New(cfg.N, cfg.M, alpha, rng.Split())
+			res := stream.RunEdges(alg, edges)
+			covers = append(covers, float64(res.Cover.Size()))
+			states = append(states, float64(res.Space.State))
+			proms = append(proms, float64(alg.PromotedSets()))
+		}
+		cs, ss, ps := stats.Summarize(covers), stats.Summarize(states), stats.Summarize(proms)
+		tb.AddRow(f0(alpha), f0(cs.Mean), f2(cs.Mean/float64(opt)), f0(ss.Mean), f2(ps.Mean),
+			f0(float64(cfg.M)*float64(cfg.N)/(alpha*alpha)))
+		alphas = append(alphas, alpha)
+		promoted = append(promoted, math.Max(ps.Mean, 0.1))
+	}
+	rep := newReport("E-T1-R3", "α = Ω̃(√n): Õ(mn/α²) space, adversarial (Algorithm 2)", tb)
+	rep.Findings["promoted_vs_alpha_slope"] = stats.GeometricFitSlope(alphas, promoted)
+	rep.Notes = append(rep.Notes, "paper predicts the level map to scale as mn/α² (slope ≈ −2, Theorem 4)")
+	return rep
+}
+
+// Table1Row4 reproduces row 4 — Algorithm 1 in random order at Õ(m/√n)
+// space, the paper's main result. Expected shape: at fixed n, peak state
+// grows linearly in m but sits a ≈√n factor below the KK-algorithm's on the
+// identical instance, while the cover stays within Õ(√n)·OPT.
+func Table1Row4(cfg Config) *Report {
+	// Theorem 3 assumes m = Ω̃(n²); outside that regime the Õ(√n·polylog)
+	// and Õ(n) additive terms mask the m/√n scaling. Hold n modest and
+	// sweep m from n² up.
+	n := cfg.N / 4
+	if n > 150 {
+		n = 150
+	}
+	opt := cfg.OPT
+	if opt > n/4 {
+		opt = n / 4
+	}
+	tb := texttable.New(
+		fmt.Sprintf("Table 1 row 4: Algorithm 1, random order (n=%d opt=%d, m = Ω(n²) regime)", n, opt),
+		"m", "algo", "cover(mean)", "ratio", "state(words)", "state*sqrt(n)/m")
+	var ms, states []float64
+	var kkStates []float64
+	for _, m := range []int{n * n, 2 * n * n, 4 * n * n} {
+		w := workload.Planted(xrand.New(cfg.Seed+uint64(m)), n, m, opt, 0)
+		cAlg1 := runCell(cfg, w, stream.Random, func(w workload.Workload, streamLen int, rng *xrand.Rand) stream.Algorithm {
+			n, mm := w.Inst.UniverseSize(), w.Inst.NumSets()
+			return core.New(n, mm, streamLen, core.DefaultParams(n, mm), rng)
+		}, uint64(m))
+		cKK := runCell(cfg, w, stream.Random, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
+			return kk.New(w.Inst.UniverseSize(), w.Inst.NumSets(), rng)
+		}, uint64(m)+1)
+		norm := cAlg1.State.Mean * sqrtf(n) / float64(m)
+		tb.AddRow(fi(m), "alg1", f0(cAlg1.CoverSize.Mean), f2(cAlg1.Ratio.Mean), f0(cAlg1.State.Mean), f2(norm))
+		tb.AddRow(fi(m), "kk", f0(cKK.CoverSize.Mean), f2(cKK.Ratio.Mean), f0(cKK.State.Mean), f2(cKK.State.Mean*sqrtf(n)/float64(m)))
+		ms = append(ms, float64(m))
+		states = append(states, cAlg1.State.Mean)
+		kkStates = append(kkStates, cKK.State.Mean)
+	}
+	rep := newReport("E-T1-R4", "α = Θ̃(√n): Õ(m/√n) space, random order (Algorithm 1)", tb)
+	rep.Findings["space_vs_m_slope"] = stats.GeometricFitSlope(ms, states)
+	rep.Findings["kk_to_alg1_space_ratio"] = kkStates[len(kkStates)-1] / states[len(states)-1]
+	rep.Notes = append(rep.Notes,
+		"paper predicts slope ≈ 1 with a ≈√n-factor gap below the KK-algorithm at the same m",
+		fmt.Sprintf("√n = %.0f", sqrtf(n)))
+	return rep
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdownReport(t *testing.T) {
+	cfg := Quick()
+	reports := []*Report{
+		Table1Row2(cfg),
+		Concentration(cfg),
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, cfg, reports); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, frag := range []string{
+		"# streamcover evaluation report",
+		"## E-T1-R2",
+		"## E-CONC",
+		"CHECK PASSED",
+		"## Summary",
+		"2/2 experiments match",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, s[:min(len(s), 400)])
+		}
+	}
+}
+
+func TestWriteMarkdownReportFlagsFailures(t *testing.T) {
+	cfg := Quick()
+	// A doctored report that violates its own check.
+	rep := Table1Row2(cfg)
+	rep.Findings["space_vs_m_slope"] = 0 // far outside [0.8, 1.2]
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, cfg, []*Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "CHECK FAILED") {
+		t.Fatalf("failure not flagged:\n%s", s)
+	}
+	if !strings.Contains(s, "0/1 experiments match") {
+		t.Fatalf("summary wrong:\n%s", s)
+	}
+}
+
+func TestWriteMarkdownReportDeterministic(t *testing.T) {
+	cfg := Quick()
+	reports := []*Report{Concentration(cfg)}
+	var a, b bytes.Buffer
+	if err := WriteMarkdownReport(&a, cfg, reports); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMarkdownReport(&b, cfg, reports); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report rendering not deterministic")
+	}
+}
+
+func TestWriteMarkdownReportUnknownID(t *testing.T) {
+	// Reports without a registry entry render without a check block.
+	rep := newReport("E-CUSTOM", "custom", Concentration(Quick()).Table)
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, Quick(), []*Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "CHECK") {
+		t.Fatal("unregistered report got a check verdict")
+	}
+}

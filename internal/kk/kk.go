@@ -1,0 +1,157 @@
+// Package kk implements the KK-algorithm (paper Theorem 1, due to Khanna
+// and Konrad, ITCS'22 [19]): a randomized one-pass Õ(√n)-approximation
+// streaming algorithm for edge-arrival Set Cover using Õ(m) space in
+// adversarially ordered streams.
+//
+// The key device (paper §1.2) is the uncovered-degree counter: every tuple
+// (S, u) with u not yet covered increments d(S). Whenever d(S) reaches i·√n
+// for integral i ≥ 1, the set is included in the solution with probability
+// min(1, 2^i·√n/m); once included it covers all its elements arriving from
+// that moment onward. The analysis shows the number of level-i sets halves
+// per level, so each level contributes only Õ(√n) sets.
+//
+// The paper proves this Õ(m) space bound optimal for α = Θ̃(√n) in
+// adversarial order (Theorem 2), which is what makes the algorithm the
+// baseline every other regime is measured against.
+package kk
+
+import (
+	"math"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// Algorithm is one run of the KK-algorithm. Create with New, feed the stream
+// with Process, and call Finish once at the end.
+type Algorithm struct {
+	space.Tracked
+
+	n, m  int
+	sqrtN int
+	rng   *xrand.Rand
+
+	deg          []int32 // uncovered-degree d(S) for every set: the Θ(m) term
+	sol          map[setcover.SetID]struct{}
+	covered      []bool           // u covered by a set in sol (witness recorded)
+	coveredCount int              // running count of covered elements
+	first        []setcover.SetID // R(u): first set seen containing u
+	cert         []setcover.SetID // output certificate
+
+	patched int // sets added by the patching phase, for reporting
+}
+
+// New returns a KK-algorithm run for an instance with n elements and m sets,
+// drawing coins from rng.
+func New(n, m int, rng *xrand.Rand) *Algorithm {
+	if n <= 0 || m <= 0 {
+		panic("kk: need n > 0 and m > 0")
+	}
+	a := &Algorithm{
+		n:       n,
+		m:       m,
+		sqrtN:   int(math.Max(1, math.Round(math.Sqrt(float64(n))))),
+		rng:     rng,
+		deg:     make([]int32, m),
+		sol:     make(map[setcover.SetID]struct{}),
+		covered: make([]bool, n),
+		first:   make([]setcover.SetID, n),
+		cert:    make([]setcover.SetID, n),
+	}
+	for u := range a.first {
+		a.first[u] = setcover.NoSet
+		a.cert[u] = setcover.NoSet
+	}
+	// The degree array is the algorithm's defining Θ(m) state; the three
+	// per-element structures are the Õ(n) bookkeeping every regime carries.
+	a.StateMeter.Add(int64(m))
+	a.AuxMeter.Add(3 * int64(n))
+	return a
+}
+
+// inclusionProb is the level-i inclusion probability min(1, 2^i·√n/m).
+// Ldexp keeps large i finite (+Inf), which Coin clamps to certainty.
+func (a *Algorithm) inclusionProb(level int) float64 {
+	return math.Ldexp(float64(a.sqrtN)/float64(a.m), level)
+}
+
+// Process implements stream.Algorithm.
+func (a *Algorithm) Process(e stream.Edge) {
+	u, s := e.Elem, e.Set
+	if a.first[u] == setcover.NoSet {
+		a.first[u] = s
+	}
+	if _, in := a.sol[s]; in {
+		if !a.covered[u] {
+			a.covered[u] = true
+			a.coveredCount++
+			a.cert[u] = s
+		}
+		return
+	}
+	if a.covered[u] {
+		return
+	}
+	a.deg[s]++
+	if int(a.deg[s])%a.sqrtN != 0 {
+		return
+	}
+	level := int(a.deg[s]) / a.sqrtN
+	if a.rng.Coin(a.inclusionProb(level)) {
+		a.sol[s] = struct{}{}
+		a.StateMeter.Add(space.SetEntryWords)
+		a.covered[u] = true
+		a.coveredCount++
+		a.cert[u] = s
+	}
+}
+
+// Finish implements stream.Algorithm: the patching phase covers every
+// element without a witness using its stored first set R(u).
+func (a *Algorithm) Finish() *setcover.Cover {
+	chosen := make([]setcover.SetID, 0, len(a.sol)+16)
+	for s := range a.sol {
+		chosen = append(chosen, s)
+	}
+	for u := range a.cert {
+		if a.cert[u] == setcover.NoSet && a.first[u] != setcover.NoSet {
+			a.cert[u] = a.first[u]
+			chosen = append(chosen, a.first[u])
+			a.patched++
+		}
+	}
+	return setcover.NewCover(chosen, a.cert)
+}
+
+// Patched returns how many elements the patching phase covered, available
+// after Finish.
+func (a *Algorithm) Patched() int { return a.patched }
+
+// SampledSets returns how many sets the probabilistic inclusion process
+// added (excluding patching), available at any time.
+func (a *Algorithm) SampledSets() int { return len(a.sol) }
+
+// CoveredCount implements stream.CoverageReporter: the number of elements
+// currently holding a covering witness.
+func (a *Algorithm) CoveredCount() int { return a.coveredCount }
+
+// LevelCounts returns |S_i| for i = 0..max: the number of sets whose final
+// uncovered-degree lies in [i·√n, (i+1)·√n). The analysis of [19] shows
+// E|S_i| ≤ ½·E|S_{i-1}|; the E-ABL-KK ablation verifies this decay
+// empirically.
+func (a *Algorithm) LevelCounts() []int {
+	var counts []int
+	for _, d := range a.deg {
+		lvl := int(d) / a.sqrtN
+		for len(counts) <= lvl {
+			counts = append(counts, 0)
+		}
+		counts[lvl]++
+	}
+	return counts
+}
+
+var _ stream.Algorithm = (*Algorithm)(nil)
+var _ space.Reporter = (*Algorithm)(nil)

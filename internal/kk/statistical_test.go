@@ -1,0 +1,82 @@
+package kk
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// Statistical validation of the probabilistic inclusion process itself
+// (paper §1.2): when a set's uncovered-degree crosses i·√n, it must join
+// the solution with probability min(1, 2^i·√n/m). The test fixes a stream
+// in which exactly one set accumulates uncovered-degree and measures the
+// empirical inclusion frequency at the first threshold over many seeds.
+func TestInclusionFrequencyMatchesSchedule(t *testing.T) {
+	const (
+		n      = 100 // √n = 10
+		m      = 1000
+		trials = 4000
+	)
+	// A stream of exactly √n = 10 edges of set 0 to distinct elements: the
+	// set reaches level 1 exactly once, so P(included) = 2·√n/m = 0.02.
+	var edges []stream.Edge
+	for u := 0; u < 10; u++ {
+		edges = append(edges, stream.Edge{Set: 0, Elem: setcover.Element(u)})
+	}
+	included := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		alg := New(n, m, xrand.New(seed))
+		for _, e := range edges {
+			alg.Process(e)
+		}
+		if alg.SampledSets() == 1 {
+			included++
+		} else if alg.SampledSets() > 1 {
+			t.Fatalf("seed %d: %d sets included, only one ever crossed a threshold", seed, alg.SampledSets())
+		}
+	}
+	want := 2.0 * 10 / float64(m) // 0.02
+	got := float64(included) / trials
+	sd := math.Sqrt(want * (1 - want) / trials)
+	if math.Abs(got-want) > 5*sd {
+		t.Fatalf("level-1 inclusion frequency %.4f, want %.4f ± %.4f", got, want, 5*sd)
+	}
+}
+
+// A set whose degree crosses several thresholds must be included with the
+// union probability 1 − Π(1 − p_i); verify the empirical rate after three
+// levels.
+func TestCumulativeInclusionAcrossLevels(t *testing.T) {
+	const (
+		n      = 100
+		m      = 200
+		trials = 3000
+	)
+	var edges []stream.Edge
+	for u := 0; u < 30; u++ { // three thresholds at degrees 10, 20, 30
+		edges = append(edges, stream.Edge{Set: 0, Elem: setcover.Element(u)})
+	}
+	included := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		alg := New(n, m, xrand.New(seed))
+		for _, e := range edges {
+			alg.Process(e)
+		}
+		if alg.SampledSets() >= 1 {
+			included++
+		}
+	}
+	// p_i = min(1, 2^i·10/200): 0.1, 0.2, 0.4 — but once included, later
+	// edges are witness hits and the degree stops rising, so the union
+	// bound only applies to the not-yet-included trajectory, which is
+	// exactly 1 − 0.9·0.8·0.6.
+	want := 1 - 0.9*0.8*0.6
+	got := float64(included) / trials
+	sd := math.Sqrt(want * (1 - want) / trials)
+	if math.Abs(got-want) > 5*sd {
+		t.Fatalf("cumulative inclusion %.3f, want %.3f ± %.3f", got, want, 5*sd)
+	}
+}

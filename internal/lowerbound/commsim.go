@@ -1,0 +1,101 @@
+package lowerbound
+
+import (
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+)
+
+// CutAlgorithm is a streaming algorithm whose instantaneous state size can
+// be observed, so the simulator can measure what crosses each party cut.
+// Every algorithm in this repository satisfies it via space.Tracked.
+type CutAlgorithm interface {
+	stream.Algorithm
+	Current() space.Usage
+}
+
+// SimResult is the outcome of simulating one parallel run of the one-way
+// protocol built from a streaming algorithm.
+type SimResult struct {
+	// Cover is the algorithm's output for the run.
+	Cover *setcover.Cover
+	// Uncovered counts certificate entries left at NoSet — elements the run
+	// instance cannot cover (possible in the disjoint promise case).
+	Uncovered int
+	// EffectiveSize is Cover.Size() + Uncovered: the cover-size estimate
+	// with each uncoverable element priced at one (absent) set, which is
+	// what the last party thresholds against OPT0.
+	EffectiveSize int
+	// Messages[i] is the state (in words) carried from party i to party
+	// i+1 — the length of message M_{i+1} in the protocol. The final entry
+	// is the state entering the complement chunk.
+	Messages []int64
+	// MaxMessage is the largest entry of Messages, the quantity Theorem 5
+	// lower-bounds by Ω(m/t²) for any protocol deciding disjointness.
+	MaxMessage int64
+}
+
+// SimulateRun feeds the chunk sequence to alg in order, recording the state
+// size at every chunk boundary, and finishes the algorithm.
+//
+// The paper's last party forks the algorithm m times, one parallel run per
+// candidate set. Forking is simulated by running a fresh, identically-seeded
+// algorithm per run: determinism makes every run's prefix behaviour
+// identical to the forked original, so the measured cut sizes and outputs
+// coincide with the forking construction.
+func SimulateRun(alg CutAlgorithm, chunks [][]stream.Edge) SimResult {
+	res := SimResult{}
+	for i, chunk := range chunks {
+		if i > 0 {
+			msg := alg.Current().State
+			res.Messages = append(res.Messages, msg)
+			if msg > res.MaxMessage {
+				res.MaxMessage = msg
+			}
+		}
+		for _, e := range chunk {
+			alg.Process(e)
+		}
+	}
+	res.Cover = alg.Finish()
+	for _, w := range res.Cover.Certificate {
+		if w == setcover.NoSet {
+			res.Uncovered++
+		}
+	}
+	res.EffectiveSize = res.Cover.Size() + res.Uncovered
+	return res
+}
+
+// Decision is the last party's output in the reduction.
+type Decision struct {
+	// Intersecting is true when some parallel run produced a cover small
+	// enough (≤ threshold) to certify the uniquely-intersecting case.
+	Intersecting bool
+	// BestRun is the index of the run with the smallest cover, and BestSize
+	// its size.
+	BestRun  int
+	BestSize int
+	// MaxMessage is the largest message over all runs and cuts.
+	MaxMessage int64
+}
+
+// Decide implements the last party's rule from the proof of Theorem 2:
+// report "uniquely intersecting" iff some parallel run's cover size is at
+// most threshold (the paper uses OPT0 − 1 where OPT0 = O((s − s/t)/log n)).
+// newAlg must return a fresh identically-seeded algorithm per run.
+func Decide(r *Reduction, newAlg func(run int) CutAlgorithm, threshold int) Decision {
+	d := Decision{BestRun: -1, BestSize: 1 << 30}
+	for j := 0; j < r.F.Count; j++ {
+		res := SimulateRun(newAlg(j), r.RunChunks(j))
+		if res.MaxMessage > d.MaxMessage {
+			d.MaxMessage = res.MaxMessage
+		}
+		if res.EffectiveSize < d.BestSize {
+			d.BestSize = res.EffectiveSize
+			d.BestRun = j
+		}
+	}
+	d.Intersecting = d.BestSize <= threshold
+	return d
+}

@@ -1,0 +1,101 @@
+package lowerbound
+
+import (
+	"math"
+
+	"streamcover/internal/xrand"
+)
+
+// This file implements the sampling experiment behind Lemma 2, the
+// concentration result the whole random-order analysis rests on (paper §4.3
+// and Appendix A.1): a random-order stream restricted to a fixed index set
+// I of size ℓ contains a hypergeometrically distributed number of the edges
+// (S, x), x ∈ X, and that count concentrates around ℓ·|X|/N.
+
+// Hypergeometric draws the number of "marked" items obtained when drawing
+// l items without replacement from a population of size N containing X
+// marked items. It simulates the draw directly in O(l) time.
+// It panics if the parameters are out of range.
+func Hypergeometric(rng *xrand.Rand, N, X, l int) int {
+	if N < 0 || X < 0 || X > N || l < 0 || l > N {
+		panic("lowerbound: Hypergeometric parameters out of range")
+	}
+	marked := 0
+	remMarked, remTotal := X, N
+	for i := 0; i < l; i++ {
+		if rng.Coin(float64(remMarked) / float64(remTotal)) {
+			marked++
+			remMarked--
+		}
+		remTotal--
+	}
+	return marked
+}
+
+// Lemma2Stats summarises repeated hypergeometric trials against the bounds
+// of one Lemma 2 regime.
+type Lemma2Stats struct {
+	Trials     int
+	Mean       float64 // empirical mean count
+	Expected   float64 // ℓ·|X|/N
+	Violations int     // trials outside the regime's bounds
+}
+
+// CheckRegime1 runs trials of the regime-1 experiment (ℓ ≤ 0.001·N and
+// ℓ·|X|/N ≥ C·log m): counts must lie in [0.99, 1.01]·ℓ·|X|/N. It reports
+// how many trials violate the two-sided bound.
+func CheckRegime1(rng *xrand.Rand, N, X, l, trials int) Lemma2Stats {
+	exp := float64(l) * float64(X) / float64(N)
+	st := Lemma2Stats{Trials: trials, Expected: exp}
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		c := Hypergeometric(rng, N, X, l)
+		sum += float64(c)
+		if float64(c) < 0.99*exp || float64(c) > 1.01*exp {
+			st.Violations++
+		}
+	}
+	st.Mean = sum / float64(trials)
+	return st
+}
+
+// CheckRegime2 runs trials of the regime-2 experiment (ℓ ≤ N/2): counts
+// must be at most C·log(m)·max(ℓ·|X|/N, 1) for the given C and m.
+func CheckRegime2(rng *xrand.Rand, N, X, l, trials int, c float64, m int) Lemma2Stats {
+	exp := float64(l) * float64(X) / float64(N)
+	bound := c * math.Log2(float64(m)) * math.Max(exp, 1)
+	st := Lemma2Stats{Trials: trials, Expected: exp}
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		cnt := Hypergeometric(rng, N, X, l)
+		sum += float64(cnt)
+		if float64(cnt) > bound {
+			st.Violations++
+		}
+	}
+	st.Mean = sum / float64(trials)
+	return st
+}
+
+// CheckRegime3 runs trials of the regime-3 experiment (ℓ ≤ N/√n and
+// ℓ·|X|/N ≥ log⁶m): counts must lie within the ±log(m)·√(ℓ·|X|/N)
+// two-sided window of Lemma 2(3), up to the (1 ± 1/√n) skews.
+func CheckRegime3(rng *xrand.Rand, N, X, l, trials, n, m int) Lemma2Stats {
+	exp := float64(l) * float64(X) / float64(N)
+	logm := math.Log2(float64(m))
+	sq := 1 - 1/math.Sqrt(float64(n))
+	lo := exp*sq - logm*math.Sqrt(exp*sq)
+	hiBase := exp / sq
+	hi := hiBase + logm*math.Sqrt(hiBase)
+	st := Lemma2Stats{Trials: trials, Expected: exp}
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		cnt := Hypergeometric(rng, N, X, l)
+		sum += float64(cnt)
+		if float64(cnt) < lo || float64(cnt) > hi {
+			st.Violations++
+		}
+	}
+	st.Mean = sum / float64(trials)
+	return st
+}

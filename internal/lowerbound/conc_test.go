@@ -1,0 +1,130 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/xrand"
+)
+
+func TestHypergeometricRange(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(seed uint16) bool {
+		N := int(seed%500) + 10
+		X := int(seed) % (N + 1)
+		l := int(seed/3) % (N + 1)
+		c := Hypergeometric(rng, N, X, l)
+		// Count is within [max(0, l+X-N), min(l, X)].
+		lo := l + X - N
+		if lo < 0 {
+			lo = 0
+		}
+		hi := l
+		if X < hi {
+			hi = X
+		}
+		return c >= lo && c <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypergeometricDegenerate(t *testing.T) {
+	rng := xrand.New(2)
+	if Hypergeometric(rng, 100, 0, 50) != 0 {
+		t.Fatal("X=0 must give 0")
+	}
+	if Hypergeometric(rng, 100, 100, 37) != 37 {
+		t.Fatal("X=N must give l")
+	}
+	if Hypergeometric(rng, 100, 40, 0) != 0 {
+		t.Fatal("l=0 must give 0")
+	}
+	if Hypergeometric(rng, 100, 40, 100) != 40 {
+		t.Fatal("l=N must give X")
+	}
+}
+
+func TestHypergeometricPanics(t *testing.T) {
+	rng := xrand.New(3)
+	for _, tc := range []struct{ N, X, l int }{
+		{-1, 0, 0}, {10, 11, 0}, {10, 5, 11}, {10, -1, 2}, {10, 2, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Hypergeometric(%d,%d,%d) did not panic", tc.N, tc.X, tc.l)
+				}
+			}()
+			Hypergeometric(rng, tc.N, tc.X, tc.l)
+		}()
+	}
+}
+
+func TestHypergeometricMean(t *testing.T) {
+	rng := xrand.New(4)
+	const N, X, l, trials = 10000, 3000, 500, 3000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += float64(Hypergeometric(rng, N, X, l))
+	}
+	mean := sum / trials
+	want := float64(l) * float64(X) / float64(N) // 150
+	if math.Abs(mean-want) > 2 {
+		t.Fatalf("mean %v, want ≈ %v", mean, want)
+	}
+}
+
+// Lemma 2 regime 1: ℓ ≤ 0.001·N and ℓ|X|/N ≥ C·log m ⇒ count within 1% of
+// expectation with overwhelming probability.
+func TestLemma2Regime1(t *testing.T) {
+	rng := xrand.New(5)
+	// The 1% window is ≈ 3 standard deviations only once the expectation is
+	// large (the regime's ℓ|X|/N ≥ C·log m precondition with large C):
+	// N = 10^7, ℓ = 10^4 = 0.001·N, X = 0.9·N ⇒ expectation 9000, sd ≈ 30.
+	st := CheckRegime1(rng, 10_000_000, 9_000_000, 10_000, 300)
+	if float64(st.Violations)/float64(st.Trials) > 0.05 {
+		t.Fatalf("regime 1 violated in %d/%d trials (mean %.1f, expected %.1f)",
+			st.Violations, st.Trials, st.Mean, st.Expected)
+	}
+	if math.Abs(st.Mean-st.Expected) > 0.005*st.Expected {
+		t.Fatalf("regime 1 mean %.1f far from expected %.1f", st.Mean, st.Expected)
+	}
+}
+
+// Lemma 2 regime 2: ℓ ≤ N/2 ⇒ count ≤ C·log(m)·max(ℓ|X|/N, 1) w.h.p.
+func TestLemma2Regime2(t *testing.T) {
+	rng := xrand.New(6)
+	// Tiny expectation: ℓ|X|/N = 0.5; the log-factor cap must hold anyway.
+	st := CheckRegime2(rng, 100_000, 50, 1000, 2000, 4, 1<<20)
+	if st.Violations != 0 {
+		t.Fatalf("regime 2 violated %d times (mean %.2f)", st.Violations, st.Mean)
+	}
+	// Moderate expectation.
+	st = CheckRegime2(rng, 100_000, 5000, 2000, 2000, 4, 1<<20)
+	if st.Violations != 0 {
+		t.Fatalf("regime 2 (moderate) violated %d times", st.Violations)
+	}
+}
+
+// Lemma 2 regime 3: ℓ ≤ N/√n and ℓ|X|/N ≥ log⁶m ⇒ two-sided
+// ±log(m)·√(expectation) window.
+func TestLemma2Regime3(t *testing.T) {
+	rng := xrand.New(7)
+	// n = 400 ⇒ ℓ ≤ N/20; expectation 1000 with log m = 20 gives a window of
+	// ±20·√1000 ≈ ±632.
+	st := CheckRegime3(rng, 1_000_000, 20_000, 50_000, 500, 400, 1<<20)
+	if st.Violations != 0 {
+		t.Fatalf("regime 3 violated %d/%d times (mean %.1f expected %.1f)",
+			st.Violations, st.Trials, st.Mean, st.Expected)
+	}
+}
+
+func BenchmarkHypergeometric(b *testing.B) {
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		Hypergeometric(rng, 100000, 30000, 1000)
+	}
+}

@@ -1,0 +1,104 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"streamcover/internal/xrand"
+)
+
+// Disjointness is a t-party Set-Disjointness promise instance (paper §3,
+// Theorem 5): each party i holds Parties[i] ⊆ [0, universe); either the sets
+// are pairwise disjoint, or they intersect in exactly one common element
+// (and pairwise in exactly that element).
+type Disjointness struct {
+	Universe int
+	// Parties[i] is party i's subset, sorted ascending.
+	Parties [][]int
+	// Intersecting reports which promise case this instance is in.
+	Intersecting bool
+	// Witness is the unique common element when Intersecting, else -1.
+	Witness int
+}
+
+// NewDisjoint draws a pairwise-disjoint instance: the universe is split so
+// each of the t parties gets setSize private elements. It panics if
+// t·setSize > universe.
+func NewDisjoint(rng *xrand.Rand, universe, t, setSize int) *Disjointness {
+	if t <= 0 || setSize <= 0 || t*setSize > universe {
+		panic(fmt.Sprintf("lowerbound: NewDisjoint universe=%d t=%d setSize=%d infeasible", universe, t, setSize))
+	}
+	pool := rng.SampleK(universe, t*setSize)
+	d := &Disjointness{Universe: universe, Witness: -1, Parties: make([][]int, t)}
+	for i := 0; i < t; i++ {
+		part := append([]int(nil), pool[i*setSize:(i+1)*setSize]...)
+		sortInts(part)
+		d.Parties[i] = part
+	}
+	return d
+}
+
+// NewIntersecting draws a uniquely-intersecting instance: one witness
+// element is shared by all parties, and the remaining setSize−1 elements of
+// each party are private. It panics if t·(setSize−1)+1 > universe or
+// setSize < 1.
+func NewIntersecting(rng *xrand.Rand, universe, t, setSize int) *Disjointness {
+	if t <= 0 || setSize < 1 || t*(setSize-1)+1 > universe {
+		panic(fmt.Sprintf("lowerbound: NewIntersecting universe=%d t=%d setSize=%d infeasible", universe, t, setSize))
+	}
+	pool := rng.SampleK(universe, t*(setSize-1)+1)
+	witness := pool[0]
+	rest := pool[1:]
+	d := &Disjointness{Universe: universe, Intersecting: true, Witness: witness, Parties: make([][]int, t)}
+	for i := 0; i < t; i++ {
+		part := append([]int(nil), rest[i*(setSize-1):(i+1)*(setSize-1)]...)
+		part = append(part, witness)
+		sortInts(part)
+		d.Parties[i] = part
+	}
+	return d
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Check verifies the promise structurally: pairwise intersections are empty
+// in the disjoint case and exactly {Witness} in the intersecting case. It
+// returns an error describing the first violation.
+func (d *Disjointness) Check() error {
+	for i := 0; i < len(d.Parties); i++ {
+		for j := i + 1; j < len(d.Parties); j++ {
+			inter := intersect(d.Parties[i], d.Parties[j])
+			if d.Intersecting {
+				if len(inter) != 1 || inter[0] != d.Witness {
+					return fmt.Errorf("lowerbound: parties %d,%d intersect in %v, want {%d}", i, j, inter, d.Witness)
+				}
+			} else if len(inter) != 0 {
+				return fmt.Errorf("lowerbound: parties %d,%d intersect in %v, want ∅", i, j, inter)
+			}
+		}
+	}
+	return nil
+}
+
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

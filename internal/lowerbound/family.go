@@ -1,0 +1,163 @@
+// Package lowerbound implements the machinery behind the paper's Theorem 2
+// space lower bound for adversarial-order edge-arrival Set Cover:
+//
+//   - the Lemma 1 random set family (m sets of size √(nt), each randomly
+//     partitioned into t parts of size √(n/t), with all pairwise
+//     part-vs-set intersections of size O(log n));
+//   - t-party Set-Disjointness promise instances (Theorem 5, [9]);
+//   - the reduction that turns a disjointness instance into per-party
+//     edge-arrival Set Cover streams (one parallel run per candidate set,
+//     each appending the complement set [n]\T_j);
+//   - a one-way communication simulator that drives any streaming algorithm
+//     through the party cut points and records the maximum state crossing a
+//     cut — the message size a protocol built from the algorithm would
+//     need;
+//   - the sampling-without-replacement experiments behind the Lemma 2
+//     concentration bounds for random-order streams.
+//
+// A lower bound cannot be "run"; what can be run is the reduction, forward:
+// on the hard distribution, an algorithm whose state is much smaller than
+// the Ω̃(m·n²/α⁴) bound fails to distinguish the two promise cases, and one
+// with enough state succeeds. The E-LB experiment measures exactly that
+// trade-off.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+// Family is a Lemma 1 set family: Count sets over the universe [0, n), each
+// of size PartSize·T, partitioned into T parts of PartSize elements.
+type Family struct {
+	N        int // universe size
+	T        int // parts per set (= parties)
+	PartSize int // √(n/t), rounded
+	Count    int // number of sets (the disjointness universe size m)
+
+	// Parts[i][r] is part r of set T_i, sorted. Set T_i is the disjoint
+	// union of its parts.
+	Parts [][][]setcover.Element
+}
+
+// NewFamily draws a random family in the shape of Lemma 1: each T_i is a
+// uniform √(n·t)-subset of [n] under a uniform partition into t parts.
+// Sizes are rounded so that SetSize = PartSize·t exactly. It panics if the
+// rounded set size exceeds n or any parameter is non-positive.
+func NewFamily(rng *xrand.Rand, n, count, t int) *Family {
+	if n <= 0 || count <= 0 || t <= 0 {
+		panic("lowerbound: NewFamily needs positive n, count, t")
+	}
+	partSize := int(math.Round(math.Sqrt(float64(n) / float64(t))))
+	if partSize < 1 {
+		partSize = 1
+	}
+	if partSize*t > n {
+		panic(fmt.Sprintf("lowerbound: set size %d·%d exceeds n=%d", partSize, t, n))
+	}
+	f := &Family{N: n, T: t, PartSize: partSize, Count: count,
+		Parts: make([][][]setcover.Element, count)}
+	setSize := partSize * t
+	for i := 0; i < count; i++ {
+		elems := rng.SampleK32(n, setSize) // already in random order
+		parts := make([][]setcover.Element, t)
+		for r := 0; r < t; r++ {
+			part := append([]setcover.Element(nil), elems[r*partSize:(r+1)*partSize]...)
+			sortElems(part)
+			parts[r] = part
+		}
+		f.Parts[i] = parts
+	}
+	return f
+}
+
+func sortElems(s []setcover.Element) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SetSize returns |T_i| = PartSize·T.
+func (f *Family) SetSize() int { return f.PartSize * f.T }
+
+// Set returns the full set T_i (all parts concatenated, sorted).
+func (f *Family) Set(i int) []setcover.Element {
+	out := make([]setcover.Element, 0, f.SetSize())
+	for _, p := range f.Parts[i] {
+		out = append(out, p...)
+	}
+	sortElems(out)
+	return out
+}
+
+// Part returns part r of set T_i, sorted.
+func (f *Family) Part(i, r int) []setcover.Element { return f.Parts[i][r] }
+
+// Complement returns [n] \ T_i, the set the last party appends in parallel
+// run i of the reduction.
+func (f *Family) Complement(i int) []setcover.Element {
+	in := make([]bool, f.N)
+	for _, p := range f.Parts[i] {
+		for _, u := range p {
+			in[u] = true
+		}
+	}
+	out := make([]setcover.Element, 0, f.N-f.SetSize())
+	for u := 0; u < f.N; u++ {
+		if !in[u] {
+			out = append(out, setcover.Element(u))
+		}
+	}
+	return out
+}
+
+// MaxPartIntersection returns max over the checked (i, j, r) triples, i≠j,
+// of |T_i^r ∩ T_j| — the quantity Lemma 1 bounds by O(log n). Checking all
+// triples is Θ(count²·t) set intersections; maxPairs > 0 bounds the number
+// of (i, j) pairs examined, sampled deterministically from rng (pass 0 to
+// check every pair).
+func (f *Family) MaxPartIntersection(rng *xrand.Rand, maxPairs int) int {
+	type pair struct{ i, j int }
+	var pairs []pair
+	total := f.Count * (f.Count - 1)
+	if maxPairs <= 0 || maxPairs >= total {
+		for i := 0; i < f.Count; i++ {
+			for j := 0; j < f.Count; j++ {
+				if i != j {
+					pairs = append(pairs, pair{i, j})
+				}
+			}
+		}
+	} else {
+		for len(pairs) < maxPairs {
+			i, j := rng.IntN(f.Count), rng.IntN(f.Count)
+			if i != j {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	best := 0
+	for _, p := range pairs {
+		inJ := make(map[setcover.Element]struct{}, f.SetSize())
+		for _, u := range f.Set(p.j) {
+			inJ[u] = struct{}{}
+		}
+		for r := 0; r < f.T; r++ {
+			c := 0
+			for _, u := range f.Part(p.i, r) {
+				if _, ok := inJ[u]; ok {
+					c++
+				}
+			}
+			if c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+func TestFamilyShape(t *testing.T) {
+	f := NewFamily(xrand.New(1), 400, 50, 4)
+	if f.PartSize != 10 {
+		t.Fatalf("PartSize=%d want √(400/4)=10", f.PartSize)
+	}
+	if f.SetSize() != 40 {
+		t.Fatalf("SetSize=%d want √(400·4)=40", f.SetSize())
+	}
+	for i := 0; i < f.Count; i++ {
+		if got := len(f.Set(i)); got != 40 {
+			t.Fatalf("set %d size %d", i, got)
+		}
+		for r := 0; r < f.T; r++ {
+			if got := len(f.Part(i, r)); got != 10 {
+				t.Fatalf("part (%d,%d) size %d", i, r, got)
+			}
+		}
+	}
+}
+
+func TestFamilyPartsPartitionSet(t *testing.T) {
+	f := NewFamily(xrand.New(2), 100, 20, 4)
+	for i := 0; i < f.Count; i++ {
+		seen := make(map[setcover.Element]bool)
+		for r := 0; r < f.T; r++ {
+			for _, u := range f.Part(i, r) {
+				if u < 0 || int(u) >= f.N {
+					t.Fatalf("element %d out of range", u)
+				}
+				if seen[u] {
+					t.Fatalf("set %d: element %d appears in two parts", i, u)
+				}
+				seen[u] = true
+			}
+		}
+		if len(seen) != f.SetSize() {
+			t.Fatalf("set %d: %d distinct elements, want %d", i, len(seen), f.SetSize())
+		}
+	}
+}
+
+func TestFamilyComplement(t *testing.T) {
+	f := NewFamily(xrand.New(3), 100, 10, 4)
+	for i := 0; i < f.Count; i++ {
+		comp := f.Complement(i)
+		if len(comp) != f.N-f.SetSize() {
+			t.Fatalf("complement %d size %d", i, len(comp))
+		}
+		inSet := make(map[setcover.Element]bool)
+		for _, u := range f.Set(i) {
+			inSet[u] = true
+		}
+		for _, u := range comp {
+			if inSet[u] {
+				t.Fatalf("complement %d contains set element %d", i, u)
+			}
+		}
+	}
+}
+
+func TestFamilyIntersectionsSmall(t *testing.T) {
+	// Lemma 1: |T_i^r ∩ T_j| = O(log n). Expected value is exactly 1 by the
+	// paper's calculation; allow a C·log n allowance.
+	n := 900
+	f := NewFamily(xrand.New(4), n, 60, 4)
+	maxInter := f.MaxPartIntersection(xrand.New(5), 0)
+	bound := int(3*math.Log2(float64(n))) + 1
+	if maxInter > bound {
+		t.Fatalf("max part-set intersection %d exceeds O(log n) allowance %d", maxInter, bound)
+	}
+	if maxInter == 0 {
+		t.Fatal("no intersections at all; family degenerate")
+	}
+}
+
+func TestFamilySampledIntersectionCheck(t *testing.T) {
+	f := NewFamily(xrand.New(6), 400, 80, 4)
+	full := f.MaxPartIntersection(xrand.New(7), 0)
+	sampled := f.MaxPartIntersection(xrand.New(7), 500)
+	if sampled > full {
+		t.Fatalf("sampled max %d exceeds full max %d", sampled, full)
+	}
+}
+
+func TestNewFamilyPanics(t *testing.T) {
+	cases := []struct{ n, count, t int }{
+		{0, 5, 2}, {10, 0, 2}, {10, 5, 0},
+		{4, 5, 16}, // partSize·t = 0.5·16 rounds to 8, 8 > 4... ensure panic
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFamily(%d,%d,%d) did not panic", tc.n, tc.count, tc.t)
+				}
+			}()
+			NewFamily(xrand.New(1), tc.n, tc.count, tc.t)
+		}()
+	}
+}
+
+func TestDisjointInstance(t *testing.T) {
+	d := NewDisjoint(xrand.New(8), 100, 5, 10)
+	if d.Intersecting || d.Witness != -1 {
+		t.Fatal("disjoint instance mislabelled")
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range d.Parties {
+		if len(p) != 10 {
+			t.Fatalf("party %d size %d", i, len(p))
+		}
+	}
+}
+
+func TestIntersectingInstance(t *testing.T) {
+	d := NewIntersecting(xrand.New(9), 100, 5, 10)
+	if !d.Intersecting {
+		t.Fatal("mislabelled")
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Witness present in every party.
+	for i, p := range d.Parties {
+		found := false
+		for _, v := range p {
+			if v == d.Witness {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("party %d missing witness", i)
+		}
+		if len(p) != 10 {
+			t.Fatalf("party %d size %d", i, len(p))
+		}
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	d := NewDisjoint(xrand.New(10), 50, 3, 5)
+	// Corrupt: copy an element of party 0 into party 1.
+	d.Parties[1][0] = d.Parties[0][0]
+	sortInts(d.Parties[1])
+	if err := d.Check(); err == nil {
+		t.Fatal("corrupted disjoint instance passed Check")
+	}
+
+	di := NewIntersecting(xrand.New(11), 50, 3, 5)
+	di.Witness = -42
+	if err := di.Check(); err == nil {
+		t.Fatal("wrong witness passed Check")
+	}
+}
+
+func TestDisjointnessPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDisjoint(xrand.New(1), 10, 3, 5) },     // 15 > 10
+		func() { NewDisjoint(xrand.New(1), 10, 0, 5) },     //
+		func() { NewIntersecting(xrand.New(1), 10, 4, 4) }, // 4·3+1 = 13 > 10
+		func() { NewIntersecting(xrand.New(1), 10, 0, 1) }, //
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

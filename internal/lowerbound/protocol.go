@@ -1,0 +1,164 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+)
+
+// This file implements the deterministic t-party protocol the paper invokes
+// (§3, "In the full version ... a t-party protocol with approximation
+// factor α = 2√(nt) and maximum message length Õ(n)"). Its existence is why
+// the Theorem 2 lower bound must use t = Ω(α²/n) parties: with fewer
+// parties, cheap messages already achieve the target approximation.
+//
+// Protocol. Fix the threshold τ = √(n/t). Each party p receives the
+// running state (covered set C, per-element backup sets R, partial solution
+// Sol), groups its own edges by set, and for each of its local sets S (in
+// id order) adds S to Sol — covering S's local elements — iff S has at
+// least τ elements outside C. The last party patches every still-uncovered
+// element with its recorded backup set.
+//
+// Approximation: every threshold addition covers ≥ τ new elements, so at
+// most n/τ = √(nt) sets are added that way; a set of an optimal cover that
+// was never added contributed < τ new elements at each of its ≤ t partial
+// appearances, so at most OPT·t·τ = OPT·√(nt) elements are patched. Total:
+// ≤ √(nt) + OPT·√(nt) ≤ 2√(nt)·OPT.
+//
+// Message: the covered bitmap (n bits, counted as n words here for
+// consistency with the rest of the library's accounting), R (≤ n words) and
+// Sol (≤ n ids) — Õ(n) regardless of m.
+
+// ProtocolResult is the outcome of running the deterministic protocol.
+type ProtocolResult struct {
+	Cover *setcover.Cover
+	// ThresholdAdded counts sets added by the τ-rule; Patched counts
+	// elements covered by the final backup patching.
+	ThresholdAdded, Patched int
+	// MaxMessageWords is the largest state forwarded between parties, in
+	// words (covered bitmap + backups + solution ids).
+	MaxMessageWords int64
+	// Threshold is τ = ⌈√(n/t)⌉.
+	Threshold int
+}
+
+// SimpleProtocol runs the deterministic t-party protocol on an instance
+// split into per-party edge lists over universe [0, n). It returns an error
+// if an edge is out of range. The cover covers every element that appears
+// in some party's input; elements appearing nowhere keep NoSet
+// certificates (infeasible input).
+func SimpleProtocol(n int, parties [][]stream.Edge) (ProtocolResult, error) {
+	t := len(parties)
+	if n <= 0 || t == 0 {
+		return ProtocolResult{}, fmt.Errorf("lowerbound: SimpleProtocol needs n > 0 and ≥ 1 party")
+	}
+	tau := int(math.Ceil(math.Sqrt(float64(n) / float64(t))))
+	if tau < 1 {
+		tau = 1
+	}
+
+	covered := make([]bool, n)
+	backup := make([]setcover.SetID, n)
+	cert := make([]setcover.SetID, n)
+	for u := range backup {
+		backup[u] = setcover.NoSet
+		cert[u] = setcover.NoSet
+	}
+	solSet := make(map[setcover.SetID]struct{})
+	var sol []setcover.SetID
+	res := ProtocolResult{Threshold: tau}
+
+	for _, edges := range parties {
+		// Group this party's edges by set, preserving first-seen order of
+		// elements; iterate sets in ascending id for determinism.
+		local := make(map[setcover.SetID][]setcover.Element)
+		var ids []setcover.SetID
+		for _, e := range edges {
+			if e.Elem < 0 || int(e.Elem) >= n || e.Set < 0 {
+				return ProtocolResult{}, fmt.Errorf("lowerbound: SimpleProtocol edge %v out of range", e)
+			}
+			if _, seen := local[e.Set]; !seen {
+				ids = append(ids, e.Set)
+			}
+			local[e.Set] = append(local[e.Set], e.Elem)
+			if backup[e.Elem] == setcover.NoSet {
+				backup[e.Elem] = e.Set
+			}
+		}
+		sortSetIDs(ids)
+		for _, s := range ids {
+			elems := local[s]
+			if _, in := solSet[s]; in {
+				// Already chosen by an earlier party: its local elements are
+				// covered for free.
+				for _, u := range elems {
+					if !covered[u] {
+						covered[u] = true
+						cert[u] = s
+					}
+				}
+				continue
+			}
+			gain := 0
+			for _, u := range elems {
+				if !covered[u] {
+					gain++
+				}
+			}
+			if gain < tau {
+				continue
+			}
+			solSet[s] = struct{}{}
+			sol = append(sol, s)
+			res.ThresholdAdded++
+			for _, u := range elems {
+				if !covered[u] {
+					covered[u] = true
+					cert[u] = s
+				}
+			}
+		}
+		// The message to the next party: covered bitmap + backups + solution.
+		msg := int64(n) + int64(n) + int64(len(sol))
+		if msg > res.MaxMessageWords {
+			res.MaxMessageWords = msg
+		}
+	}
+
+	// Last party patches from backups.
+	for u := 0; u < n; u++ {
+		if !covered[u] && backup[u] != setcover.NoSet {
+			cert[u] = backup[u]
+			sol = append(sol, backup[u])
+			res.Patched++
+		}
+	}
+	res.Cover = setcover.NewCover(sol, cert)
+	return res, nil
+}
+
+func sortSetIDs(s []setcover.SetID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SplitEdges partitions a stream into t consecutive chunks of (nearly)
+// equal size — the canonical way experiments hand an instance to the
+// protocol's parties.
+func SplitEdges(edges []stream.Edge, t int) [][]stream.Edge {
+	if t <= 0 {
+		panic("lowerbound: SplitEdges needs t > 0")
+	}
+	out := make([][]stream.Edge, t)
+	for i := 0; i < t; i++ {
+		lo := i * len(edges) / t
+		hi := (i + 1) * len(edges) / t
+		out[i] = edges[lo:hi]
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func TestSimpleProtocolCoverValid(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range workload.Catalog(rng) {
+		edges := stream.Arrange(w.Inst, stream.Random, rng.Split())
+		for _, tParties := range []int{1, 2, 4, 8} {
+			res, err := SimpleProtocol(w.Inst.UniverseSize(), SplitEdges(edges, tParties))
+			if err != nil {
+				t.Fatalf("%s t=%d: %v", w.Name, tParties, err)
+			}
+			if err := res.Cover.Verify(w.Inst); err != nil {
+				t.Errorf("%s t=%d: %v", w.Name, tParties, err)
+			}
+		}
+	}
+}
+
+func TestSimpleProtocolApproximation(t *testing.T) {
+	// The paper's claim: approximation ≤ 2√(nt) (times OPT).
+	w := workload.Planted(xrand.New(2), 400, 4000, 10, 0)
+	opt := w.PlantedOPT
+	for _, tParties := range []int{2, 4, 16} {
+		edges := stream.Arrange(w.Inst, stream.RoundRobin, xrand.New(uint64(tParties)))
+		res, err := SimpleProtocol(400, SplitEdges(edges, tParties))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 2 * math.Sqrt(float64(400*tParties)) * float64(opt)
+		// +t·τ slack for ceil effects on tiny thresholds.
+		if float64(res.Cover.Size()) > bound+float64(tParties*res.Threshold) {
+			t.Errorf("t=%d: cover %d exceeds 2√(nt)·OPT = %.0f", tParties, res.Cover.Size(), bound)
+		}
+	}
+}
+
+func TestSimpleProtocolMessageIndependentOfM(t *testing.T) {
+	// Õ(n) messages: growing m must not grow the message size.
+	n := 300
+	var msgs []int64
+	for _, m := range []int{500, 5000} {
+		w := workload.Planted(xrand.New(3), n, m, 10, 0)
+		edges := stream.Arrange(w.Inst, stream.Random, xrand.New(9))
+		res, err := SimpleProtocol(n, SplitEdges(edges, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, res.MaxMessageWords)
+		if res.MaxMessageWords > 3*int64(n) {
+			t.Errorf("m=%d: message %d exceeds O(n)", m, res.MaxMessageWords)
+		}
+	}
+	if msgs[1] > msgs[0]+int64(n) {
+		t.Errorf("message grew with m: %v", msgs)
+	}
+}
+
+func TestSimpleProtocolThreshold(t *testing.T) {
+	// τ = ⌈√(n/t)⌉.
+	w := workload.Planted(xrand.New(4), 100, 400, 5, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(4))
+	res, err := SimpleProtocol(100, SplitEdges(edges, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold != 5 {
+		t.Fatalf("threshold %d want √(100/4) = 5", res.Threshold)
+	}
+	if res.ThresholdAdded > 100/5 {
+		t.Fatalf("threshold additions %d exceed n/τ = 20", res.ThresholdAdded)
+	}
+}
+
+func TestSimpleProtocolSinglePartyEqualsThresholdAlg(t *testing.T) {
+	// With t = 1 and a set-contiguous stream, the protocol is exactly the
+	// set-arrival threshold algorithm (τ = √n): the cover sizes coincide in
+	// spirit — both cover everything validly.
+	inst := setcover.MustNewInstance(9, [][]setcover.Element{
+		{0, 1, 2}, {3, 4, 5}, {6, 7}, {8},
+	})
+	edges := stream.EdgesOf(inst)
+	res, err := SimpleProtocol(9, SplitEdges(edges, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cover.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+	// τ = 3: the two 3-element sets are threshold-added; {6,7} and {8} are
+	// patched.
+	if res.ThresholdAdded != 2 || res.Patched != 3 {
+		t.Fatalf("added=%d patched=%d, want 2/3", res.ThresholdAdded, res.Patched)
+	}
+}
+
+func TestSimpleProtocolErrors(t *testing.T) {
+	if _, err := SimpleProtocol(0, [][]stream.Edge{{}}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SimpleProtocol(5, nil); err == nil {
+		t.Error("zero parties accepted")
+	}
+	if _, err := SimpleProtocol(5, [][]stream.Edge{{{Set: 0, Elem: 9}}}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}
+
+func TestSplitEdges(t *testing.T) {
+	edges := make([]stream.Edge, 10)
+	parts := SplitEdges(edges, 3)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 10 || len(parts) != 3 {
+		t.Fatalf("parts %v", parts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitEdges(0) did not panic")
+		}
+	}()
+	SplitEdges(edges, 0)
+}
+
+func BenchmarkSimpleProtocol(b *testing.B) {
+	w := workload.Planted(xrand.New(1), 1000, 10000, 20, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(2))
+	parties := SplitEdges(edges, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimpleProtocol(1000, parties); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

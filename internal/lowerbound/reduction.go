@@ -1,0 +1,121 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+)
+
+// Reduction assembles the Theorem 2 construction: given a Lemma 1 family
+// T_1..T_count (partitioned into t parts each) and a t-party Set-Disjointness
+// instance over universe [count], party p contributes the partial sets
+// {T_b^p : b ∈ S_p} to an edge-arrival Set Cover stream, and parallel run j
+// of the last party appends the complement set [n] \ T_j.
+//
+// Set-id scheme: partial set T_b^p has id p·count + b; the complement set of
+// the active run always has id t·count, so every parallel run shares the
+// same id space of t·count + 1 sets over the universe [0, n).
+type Reduction struct {
+	F *Family
+	D *Disjointness
+}
+
+// NewReduction pairs a family with a disjointness instance, validating that
+// the disjointness universe matches the family size and the party counts
+// agree.
+func NewReduction(f *Family, d *Disjointness) (*Reduction, error) {
+	if d.Universe != f.Count {
+		return nil, fmt.Errorf("lowerbound: disjointness universe %d != family count %d", d.Universe, f.Count)
+	}
+	if len(d.Parties) != f.T {
+		return nil, fmt.Errorf("lowerbound: %d parties != family t=%d", len(d.Parties), f.T)
+	}
+	return &Reduction{F: f, D: d}, nil
+}
+
+// NumSets returns the per-run set-id space size, t·count + 1.
+func (r *Reduction) NumSets() int { return r.F.T*r.F.Count + 1 }
+
+// ComplementID returns the set id used by every run's complement set.
+func (r *Reduction) ComplementID() setcover.SetID {
+	return setcover.SetID(r.F.T * r.F.Count)
+}
+
+// partialID returns the global id of partial set T_b^p.
+func (r *Reduction) partialID(p, b int) setcover.SetID {
+	return setcover.SetID(p*r.F.Count + b)
+}
+
+// PartyEdges returns the edge chunk party p feeds to the algorithm: all
+// edges of the partial sets selected by p's disjointness set.
+func (r *Reduction) PartyEdges(p int) []stream.Edge {
+	var edges []stream.Edge
+	for _, b := range r.D.Parties[p] {
+		id := r.partialID(p, b)
+		for _, u := range r.F.Part(b, p) {
+			edges = append(edges, stream.Edge{Set: id, Elem: u})
+		}
+	}
+	return edges
+}
+
+// ComplementEdges returns the final chunk of parallel run j: the edges of
+// the complement set [n] \ T_j.
+func (r *Reduction) ComplementEdges(j int) []stream.Edge {
+	id := r.ComplementID()
+	var edges []stream.Edge
+	for _, u := range r.F.Complement(j) {
+		edges = append(edges, stream.Edge{Set: id, Elem: u})
+	}
+	return edges
+}
+
+// RunChunks returns the full chunk sequence of parallel run j: one chunk per
+// party, then the complement chunk. Concatenated they form the adversarial
+// stream the reduction presents to the algorithm; the boundaries are the
+// one-way communication cut points.
+func (r *Reduction) RunChunks(j int) [][]stream.Edge {
+	chunks := make([][]stream.Edge, 0, r.F.T+1)
+	for p := 0; p < r.F.T; p++ {
+		chunks = append(chunks, r.PartyEdges(p))
+	}
+	return append(chunks, r.ComplementEdges(j))
+}
+
+// Instance materialises parallel run j as a Set Cover instance (for offline
+// reference solutions). Sets that the disjointness instance leaves out are
+// present but empty. The instance may be infeasible — in the disjoint
+// promise case nothing guarantees the present partial sets cover all of
+// T_j — so callers should use GreedyLower rather than assuming Validate
+// passes.
+func (r *Reduction) Instance(j int) (*setcover.Instance, error) {
+	b := setcover.NewBuilder(r.F.N)
+	b.EnsureSets(r.NumSets())
+	for _, chunk := range r.RunChunks(j) {
+		for _, e := range chunk {
+			if err := b.AddEdge(e.Set, e.Elem); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GreedyLower computes an offline reference for run j: the greedy cover
+// size over coverable elements plus the number of uncoverable elements
+// (each of which would need its own absent set — in the disjoint case the
+// random partial sets need not cover every element of T_j). The sum is the
+// "estimated optimal cover size" the last party thresholds against OPT0
+// (paper, proof of Theorem 2).
+func (r *Reduction) GreedyLower(j int) (coverSize, uncoverable int, err error) {
+	inst, err := r.Instance(j)
+	if err != nil {
+		return 0, 0, err
+	}
+	cov, uncoverable, err := setcover.GreedyPartial(inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	return cov.Size(), uncoverable, nil
+}

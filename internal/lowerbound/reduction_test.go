@@ -1,0 +1,182 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// fixtureReduction builds the canonical small Theorem 2 construction used
+// across these tests: n = 400, t = 4 parties, 30 candidate sets.
+func fixtureReduction(t *testing.T, intersecting bool, seed uint64) *Reduction {
+	t.Helper()
+	rng := xrand.New(seed)
+	f := NewFamily(rng.Split(), 400, 30, 4)
+	var d *Disjointness
+	if intersecting {
+		d = NewIntersecting(rng.Split(), 30, 4, 7)
+	} else {
+		d = NewDisjoint(rng.Split(), 30, 4, 7)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReduction(f, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewReductionValidates(t *testing.T) {
+	rng := xrand.New(1)
+	f := NewFamily(rng.Split(), 100, 20, 4)
+	if _, err := NewReduction(f, NewDisjoint(rng.Split(), 21, 4, 3)); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+	if _, err := NewReduction(f, NewDisjoint(rng.Split(), 20, 3, 3)); err == nil {
+		t.Error("party-count mismatch accepted")
+	}
+}
+
+func TestPartyEdgesUseDistinctIDs(t *testing.T) {
+	r := fixtureReduction(t, false, 2)
+	seen := make(map[setcover.SetID]int)
+	for p := 0; p < r.F.T; p++ {
+		for _, e := range r.PartyEdges(p) {
+			seen[e.Set] = p
+			if int(e.Set)/r.F.Count != p {
+				t.Fatalf("edge set id %d not in party %d's id block", e.Set, p)
+			}
+		}
+	}
+	if len(seen) != r.F.T*7 {
+		t.Fatalf("%d distinct partial sets, want t·|S_p| = %d", len(seen), r.F.T*7)
+	}
+}
+
+func TestRunChunksShape(t *testing.T) {
+	r := fixtureReduction(t, true, 3)
+	chunks := r.RunChunks(0)
+	if len(chunks) != r.F.T+1 {
+		t.Fatalf("%d chunks, want t+1 = %d", len(chunks), r.F.T+1)
+	}
+	last := chunks[len(chunks)-1]
+	if len(last) != r.F.N-r.F.SetSize() {
+		t.Fatalf("complement chunk has %d edges, want %d", len(last), r.F.N-r.F.SetSize())
+	}
+	for _, e := range last {
+		if e.Set != r.ComplementID() {
+			t.Fatalf("complement edge with set id %d", e.Set)
+		}
+	}
+}
+
+func TestInstanceBuilds(t *testing.T) {
+	r := fixtureReduction(t, true, 4)
+	inst, err := r.Instance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumSets() != r.NumSets() {
+		t.Fatalf("m=%d want %d", inst.NumSets(), r.NumSets())
+	}
+	if inst.UniverseSize() != r.F.N {
+		t.Fatalf("n=%d", inst.UniverseSize())
+	}
+}
+
+func TestIntersectingWitnessRunHasTinyCover(t *testing.T) {
+	// In the intersecting case, the run for the witness set contains all t
+	// parts of T_witness plus the complement: greedy needs at most t+1 sets.
+	r := fixtureReduction(t, true, 5)
+	j := r.D.Witness
+	size, uncoverable, err := r.GreedyLower(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncoverable != 0 {
+		t.Fatalf("witness run has %d uncoverable elements", uncoverable)
+	}
+	if size > r.F.T+1 {
+		t.Fatalf("witness run greedy size %d, want ≤ t+1 = %d", size, r.F.T+1)
+	}
+}
+
+func TestDisjointRunsNeedManySets(t *testing.T) {
+	// In the disjoint case every run must cover T_j via O(log n)-sized
+	// overlaps: the effective cover is much larger than t+1.
+	r := fixtureReduction(t, false, 6)
+	for j := 0; j < 5; j++ {
+		size, uncoverable, err := r.GreedyLower(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size+uncoverable <= r.F.T+1 {
+			t.Fatalf("disjoint run %d coverable with %d sets (+%d uncoverable); gap collapsed", j, size, uncoverable)
+		}
+	}
+}
+
+func TestSimulateRunMeasuresCuts(t *testing.T) {
+	r := fixtureReduction(t, true, 7)
+	alg := stream.NewStoreAll(r.F.N, r.NumSets())
+	res := SimulateRun(alg, r.RunChunks(r.D.Witness))
+	if len(res.Messages) != r.F.T {
+		t.Fatalf("%d messages, want t = %d", len(res.Messages), r.F.T)
+	}
+	for i := 1; i < len(res.Messages); i++ {
+		if res.Messages[i] < res.Messages[i-1] {
+			t.Fatalf("StoreAll messages should be nondecreasing: %v", res.Messages)
+		}
+	}
+	if res.MaxMessage != res.Messages[len(res.Messages)-1] {
+		t.Fatalf("MaxMessage %d inconsistent with %v", res.MaxMessage, res.Messages)
+	}
+	if res.EffectiveSize != res.Cover.Size()+res.Uncovered {
+		t.Fatal("EffectiveSize inconsistent")
+	}
+}
+
+func TestDecideSeparatesPromiseCases(t *testing.T) {
+	// With the unbounded-space reference algorithm, the last party's rule
+	// must answer both promise cases correctly at threshold t+1.
+	threshold := 5 // t + 1
+	for _, tc := range []struct {
+		name         string
+		intersecting bool
+	}{{"intersecting", true}, {"disjoint", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := fixtureReduction(t, tc.intersecting, 8)
+			dec := Decide(r, func(run int) CutAlgorithm {
+				return stream.NewStoreAll(r.F.N, r.NumSets())
+			}, threshold)
+			if dec.Intersecting != tc.intersecting {
+				t.Fatalf("Decide=%v best=%d (run %d)", dec.Intersecting, dec.BestSize, dec.BestRun)
+			}
+			if tc.intersecting && dec.BestRun != r.D.Witness {
+				t.Errorf("best run %d, witness %d", dec.BestRun, r.D.Witness)
+			}
+			if dec.MaxMessage == 0 {
+				t.Error("no message size recorded")
+			}
+		})
+	}
+}
+
+func BenchmarkReductionRun(b *testing.B) {
+	rng := xrand.New(1)
+	f := NewFamily(rng.Split(), 400, 30, 4)
+	d := NewIntersecting(rng.Split(), 30, 4, 7)
+	r, err := NewReduction(f, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg := stream.NewStoreAll(r.F.N, r.NumSets())
+		SimulateRun(alg, r.RunChunks(i%r.F.Count))
+	}
+}

@@ -1,0 +1,228 @@
+// Package multipass implements the multi-pass edge-arrival Set Cover
+// algorithm of Bateni, Esfandiari and Mirrokni (SPAA'17, [6] in the paper)
+// in its sample-and-prune form — the p-pass baseline the paper's
+// introduction contrasts with its one-pass results.
+//
+// Each round makes one pass over the stream. At the start of a round every
+// yet-uncovered element is put in a sample with probability
+// p = min(1, B/|U|), where B is the element-sample budget and |U| the
+// current uncovered count; during the pass the algorithm stores the
+// projection of every set onto the sampled elements (the round's sketch)
+// and, at the end, adds an offline greedy cover of the sampled elements to
+// the solution. Elements covered by the growing solution are pruned as
+// their edges arrive in later passes. Larger budgets mean denser samples,
+// fewer rounds and better covers at more space — exactly the passes/space
+// trade-off of the multi-pass literature ([6], [10], [1], [15]).
+package multipass
+
+import (
+	"fmt"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// Result reports a multi-pass run.
+type Result struct {
+	Cover *setcover.Cover
+	// Passes is the number of full passes over the stream.
+	Passes int
+	// Added[r] is how many sets round r added; Sampled[r] how many
+	// elements round r's sample contained.
+	Added, Sampled []int
+	// Patched counts elements covered by the final backup patching (only
+	// possible when MaxPasses truncated the run).
+	Patched int
+	// Space is the peak sketch space (state) and bookkeeping (aux).
+	Space space.Usage
+}
+
+// Options configure Run.
+type Options struct {
+	// SampleBudget is B, the expected number of uncovered elements sampled
+	// per round. Must be ≥ 1. B ≥ n degenerates to offline greedy in one
+	// round.
+	SampleBudget int
+	// MaxPasses caps the number of passes (0 means until done, with a hard
+	// safety cap of 64).
+	MaxPasses int
+}
+
+// Run executes the multi-pass algorithm over a replayable stream of an
+// instance with n elements and m sets, drawing sampling coins from rng.
+func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error) {
+	if n <= 0 || m <= 0 {
+		return Result{}, fmt.Errorf("multipass: need n > 0 and m > 0")
+	}
+	if opt.SampleBudget < 1 {
+		return Result{}, fmt.Errorf("multipass: SampleBudget must be ≥ 1, got %d", opt.SampleBudget)
+	}
+	maxPasses := opt.MaxPasses
+	if maxPasses <= 0 || maxPasses > 64 {
+		maxPasses = 64
+	}
+
+	var tracked space.Tracked
+	tracked.AuxMeter.Add(4 * int64(n)) // covered, backup, certificate, sample flags
+
+	covered := make([]bool, n)
+	backup := make([]setcover.SetID, n)
+	cert := make([]setcover.SetID, n)
+	sampled := make([]bool, n)
+	for u := range backup {
+		backup[u] = setcover.NoSet
+		cert[u] = setcover.NoSet
+	}
+	solSet := make(map[setcover.SetID]struct{})
+	var sol []setcover.SetID
+	res := Result{}
+	uncovered := n
+
+	for pass := 0; pass < maxPasses && uncovered > 0; pass++ {
+		res.Passes++
+
+		// Round sample: every uncovered element independently with
+		// probability B/|U|. (covered[] may lag behind the true coverage of
+		// sol — that only makes the sample denser than needed.)
+		p := 1.0
+		if uncovered > opt.SampleBudget {
+			p = float64(opt.SampleBudget) / float64(uncovered)
+		}
+		nSampled := 0
+		for u := 0; u < n; u++ {
+			sampled[u] = !covered[u] && rng.Coin(p)
+			if sampled[u] {
+				nSampled++
+			}
+		}
+		res.Sampled = append(res.Sampled, nSampled)
+
+		proj := make(map[setcover.SetID][]setcover.Element)
+		projWords := int64(0)
+		sawUncovered := false
+
+		s.Reset()
+		for {
+			e, ok := s.Next()
+			if !ok {
+				break
+			}
+			u, set := e.Elem, e.Set
+			if u < 0 || int(u) >= n || set < 0 || int(set) >= m {
+				return Result{}, fmt.Errorf("multipass: edge %v out of range", e)
+			}
+			if backup[u] == setcover.NoSet {
+				backup[u] = set
+			}
+			if _, in := solSet[set]; in {
+				if cert[u] == setcover.NoSet {
+					cert[u] = set
+					if !covered[u] {
+						covered[u] = true
+						uncovered--
+					}
+				}
+				continue
+			}
+			if covered[u] {
+				continue
+			}
+			sawUncovered = true
+			if !sampled[u] {
+				continue
+			}
+			if _, seen := proj[set]; !seen {
+				projWords += space.MapEntryWords
+				tracked.StateMeter.Add(space.MapEntryWords)
+			}
+			proj[set] = append(proj[set], u)
+			projWords += space.SliceElemWords
+			tracked.StateMeter.Add(space.SliceElemWords)
+		}
+
+		if !sawUncovered {
+			tracked.StateMeter.Sub(projWords)
+			break
+		}
+
+		added := coverSample(proj, covered, cert, solSet, &sol, &uncovered)
+		res.Added = append(res.Added, added)
+		tracked.StateMeter.Sub(projWords)
+		if added == 0 && nSampled == 0 {
+			// Nothing uncovered was sampled (can happen when covered[] lags
+			// sol's true coverage); the next pass's sol-hits will prune.
+			continue
+		}
+	}
+
+	// Patch whatever never got a certificate (possible when MaxPasses ran
+	// out, or when a chosen set's remaining edges never re-appeared after
+	// the final pass).
+	for u := 0; u < n; u++ {
+		if cert[u] == setcover.NoSet && backup[u] != setcover.NoSet {
+			cert[u] = backup[u]
+			sol = append(sol, backup[u])
+			res.Patched++
+		}
+	}
+	res.Cover = setcover.NewCover(sol, cert)
+	res.Space = tracked.Space()
+	return res, nil
+}
+
+// coverSample greedily covers every projected (sampled, uncovered) element
+// and commits the chosen sets. Returns how many new sets were added.
+func coverSample(proj map[setcover.SetID][]setcover.Element,
+	covered []bool, cert []setcover.SetID,
+	solSet map[setcover.SetID]struct{}, sol *[]setcover.SetID, uncovered *int) int {
+
+	if len(proj) == 0 {
+		return 0
+	}
+	ids := make([]setcover.SetID, 0, len(proj))
+	for s := range proj {
+		ids = append(ids, s)
+	}
+	sortIDs(ids)
+
+	added := 0
+	for {
+		best := setcover.NoSet
+		bestGain := 0
+		for _, s := range ids {
+			gain := 0
+			for _, u := range proj[s] {
+				if !covered[u] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				best = s
+			}
+		}
+		if best == setcover.NoSet {
+			return added
+		}
+		solSet[best] = struct{}{}
+		*sol = append(*sol, best)
+		added++
+		for _, u := range proj[best] {
+			if !covered[u] {
+				covered[u] = true
+				cert[u] = best
+				*uncovered--
+			}
+		}
+	}
+}
+
+func sortIDs(s []setcover.SetID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

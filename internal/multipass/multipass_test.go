@@ -1,0 +1,163 @@
+package multipass
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func TestCoverValidAllWorkloadsAndOrders(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range workload.Catalog(rng) {
+		for _, o := range stream.Orders() {
+			edges := stream.Arrange(w.Inst, o, rng.Split())
+			res, err := Run(w.Inst.UniverseSize(), w.Inst.NumSets(),
+				stream.NewSlice(edges), Options{SampleBudget: 16}, rng.Split())
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w.Name, o, err)
+			}
+			if err := res.Cover.Verify(w.Inst); err != nil {
+				t.Errorf("%s/%v: %v", w.Name, o, err)
+			}
+		}
+	}
+}
+
+func TestFullBudgetMatchesOfflineGreedyRegime(t *testing.T) {
+	// With B ≥ n, the first round samples every element and the algorithm
+	// reduces to offline greedy: a couple of passes and a near-greedy cover.
+	w := workload.Planted(xrand.New(2), 100, 500, 5, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(3))
+	res, err := Run(100, 500, stream.NewSlice(edges), Options{SampleBudget: 100}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := setcover.GreedySize(w.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes > 2 {
+		t.Errorf("full budget needed %d passes, want ≤ 2", res.Passes)
+	}
+	if res.Cover.Size() > 2*g {
+		t.Errorf("full-budget cover %d far above greedy %d", res.Cover.Size(), g)
+	}
+}
+
+func TestSmallBudgetUsesMorePassesLessSpace(t *testing.T) {
+	w := workload.Planted(xrand.New(4), 400, 2000, 10, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(5))
+
+	small, err := Run(400, 2000, stream.NewSlice(edges), Options{SampleBudget: 10}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(400, 2000, stream.NewSlice(edges), Options{SampleBudget: 400}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Passes <= big.Passes {
+		t.Errorf("smaller budget should need more passes: B=10 %d, B=400 %d", small.Passes, big.Passes)
+	}
+	if small.Space.State > big.Space.State {
+		t.Errorf("smaller budget should use ≤ sketch space: B=10 %d, B=400 %d", small.Space.State, big.Space.State)
+	}
+}
+
+func TestPassesLogarithmicInPractice(t *testing.T) {
+	// Sample-and-prune shape: a budget a few times OPT converges in few
+	// rounds.
+	w := workload.Planted(xrand.New(6), 400, 4000, 10, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(7))
+	res, err := Run(400, 4000, stream.NewSlice(edges), Options{SampleBudget: 80}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes > 4*int(math.Log2(400)) {
+		t.Errorf("%d passes; sample-and-prune should converge in O(log n)-ish rounds", res.Passes)
+	}
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPassesTruncationStillValid(t *testing.T) {
+	w := workload.Planted(xrand.New(8), 200, 1000, 10, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(9))
+	res, err := Run(200, 1000, stream.NewSlice(edges), Options{SampleBudget: 5, MaxPasses: 1}, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 1 {
+		t.Fatalf("passes %d", res.Passes)
+	}
+	if err := res.Cover.Verify(w.Inst); err != nil {
+		t.Fatalf("truncated run invalid: %v", err)
+	}
+	if res.Patched == 0 {
+		t.Error("a one-pass tiny-budget run should have needed patching")
+	}
+}
+
+func TestBookkeepingConsistent(t *testing.T) {
+	w := workload.UniformRandom(xrand.New(10), 100, 400, 2, 12)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(11))
+	res, err := Run(100, 400, stream.NewSlice(edges), Options{SampleBudget: 20}, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) > res.Passes || len(res.Sampled) > res.Passes {
+		t.Fatalf("per-round records exceed passes: %d added, %d sampled, %d passes",
+			len(res.Added), len(res.Sampled), res.Passes)
+	}
+	total := res.Patched
+	for _, a := range res.Added {
+		total += a
+	}
+	if res.Cover.Size() > total {
+		t.Fatalf("cover %d > additions %d", res.Cover.Size(), total)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	edges := []stream.Edge{{Set: 0, Elem: 0}}
+	rng := xrand.New(1)
+	if _, err := Run(0, 1, stream.NewSlice(edges), Options{SampleBudget: 1}, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Run(1, 0, stream.NewSlice(edges), Options{SampleBudget: 1}, rng); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Run(1, 1, stream.NewSlice(edges), Options{}, rng); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	bad := []stream.Edge{{Set: 5, Elem: 0}}
+	if _, err := Run(1, 1, stream.NewSlice(bad), Options{SampleBudget: 1}, rng); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := workload.Planted(xrand.New(12), 100, 500, 5, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(13))
+	a, _ := Run(100, 500, stream.NewSlice(edges), Options{SampleBudget: 30}, xrand.New(14))
+	b, _ := Run(100, 500, stream.NewSlice(edges), Options{SampleBudget: 30}, xrand.New(14))
+	if a.Cover.Size() != b.Cover.Size() || a.Passes != b.Passes {
+		t.Fatal("multipass not deterministic")
+	}
+}
+
+func BenchmarkMultipass(b *testing.B) {
+	w := workload.Planted(xrand.New(1), 1000, 10000, 20, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(1000, 10000, stream.NewSlice(edges), Options{SampleBudget: 100}, xrand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package orlib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+const tiny = `
+4 3
+2 5 1
+1 1
+2 1 2
+2 2 3
+1 3
+`
+
+func TestParseTiny(t *testing.T) {
+	got, err := Parse(strings.NewReader(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := got.Inst
+	if inst.UniverseSize() != 4 || inst.NumSets() != 3 {
+		t.Fatalf("shape %d×%d", inst.UniverseSize(), inst.NumSets())
+	}
+	if len(got.Costs) != 3 || got.Costs[1] != 5 {
+		t.Fatalf("costs %v", got.Costs)
+	}
+	// Column 1 (set 0) covers rows 1 and 2 (elements 0, 1).
+	wantSets := map[int][]setcover.Element{
+		0: {0, 1},
+		1: {1, 2},
+		2: {2, 3},
+	}
+	for s, want := range wantSets {
+		gotElems := inst.Set(setcover.SetID(s))
+		if len(gotElems) != len(want) {
+			t.Fatalf("set %d = %v want %v", s, gotElems, want)
+		}
+		for i := range want {
+			if gotElems[i] != want[i] {
+				t.Fatalf("set %d = %v want %v", s, gotElems, want)
+			}
+		}
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		frag  string
+	}{
+		{"empty", "", "unexpected end"},
+		{"bad dims", "0 3\n", "invalid dimensions"},
+		{"non integer", "2 2\n1 x\n", "not an integer"},
+		{"negative cost", "2 2\n1 -1\n1 1\n1 2\n", "negative cost"},
+		{"missing costs", "2 2\n1\n", "unexpected end"},
+		{"row covered by zero", "2 2\n1 1\n0\n1 1\n", "infeasible"},
+		{"column out of range", "2 2\n1 1\n1 3\n1 1\n", "outside"},
+		{"column zero", "2 2\n1 1\n1 0\n1 1\n", "outside"},
+		{"truncated row", "2 2\n1 1\n2 1\n", "unexpected end"},
+		{"trailing garbage", "1 1\n1\n1 1\n99\n", "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("accepted malformed input")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q missing %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	w := workload.Planted(xrand.New(1), 60, 120, 6, 0)
+	var buf bytes.Buffer
+	if err := Write(&buf, w.Inst, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Inst.Equal(w.Inst) {
+		t.Fatalf("round trip changed the instance: %v vs %v", got.Inst.Stats(), w.Inst.Stats())
+	}
+	for _, c := range got.Costs {
+		if c != 1 {
+			t.Fatalf("unit costs expected, got %v", got.Costs)
+		}
+	}
+}
+
+func TestWriteCustomCosts(t *testing.T) {
+	inst := setcover.MustNewInstance(2, [][]setcover.Element{{0}, {1}})
+	var buf bytes.Buffer
+	if err := Write(&buf, inst, []int{7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Costs[0] != 7 || got.Costs[1] != 9 {
+		t.Fatalf("costs %v", got.Costs)
+	}
+	if err := Write(&buf, inst, []int{1}); err == nil {
+		t.Fatal("cost-count mismatch accepted")
+	}
+}
+
+func TestParsedInstanceRunsThroughGreedy(t *testing.T) {
+	got, err := Parse(strings.NewReader(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := setcover.Greedy(got.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cov.Verify(got.Inst); err != nil {
+		t.Fatal(err)
+	}
+	// {col1, col3} = sets {0,2} cover everything: greedy finds 2.
+	if cov.Size() != 2 {
+		t.Fatalf("greedy %d want 2", cov.Size())
+	}
+}

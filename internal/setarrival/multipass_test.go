@@ -1,0 +1,144 @@
+package setarrival
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func runMP(t testing.TB, w workload.Workload, p int, seed uint64) (*setcover.Cover, *MultiPassThreshold) {
+	t.Helper()
+	edges := stream.Arrange(w.Inst, stream.SetMajorShuffled, xrand.New(seed))
+	alg := NewMultiPassThreshold(w.Inst.UniverseSize(), p)
+	cov, err := RunMultiPassSetArrival(alg, stream.NewSlice(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cov, alg
+}
+
+func TestMultiPassCoverValid(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range workload.Catalog(rng) {
+		for _, p := range []int{1, 2, 3} {
+			cov, _ := runMP(t, w, p, 5)
+			if err := cov.Verify(w.Inst); err != nil {
+				t.Errorf("%s p=%d: %v", w.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestThresholdSchedule(t *testing.T) {
+	alg := NewMultiPassThreshold(256, 3)
+	th := alg.Thresholds()
+	// θ_j = 256^{(4-j)/4} = 64, 16, 4.
+	want := []int{64, 16, 4}
+	for i := range want {
+		if th[i] != want[i] {
+			t.Fatalf("thresholds %v want %v", th, want)
+		}
+	}
+	// Strictly decreasing always.
+	for i := 1; i < len(th); i++ {
+		if th[i] >= th[i-1] {
+			t.Fatalf("thresholds not decreasing: %v", th)
+		}
+	}
+}
+
+func TestOnePassMatchesThresholdAlgorithm(t *testing.T) {
+	// p = 1 ⇒ θ_1 = √n: same rule as Threshold, same stream, same cover.
+	w := workload.Planted(xrand.New(2), 100, 500, 5, 0)
+	edges := stream.Arrange(w.Inst, stream.SetMajorShuffled, xrand.New(3))
+
+	mp := NewMultiPassThreshold(100, 1)
+	covMP, err := RunMultiPassSetArrival(mp, stream.NewSlice(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := NewThreshold(100)
+	covS, err := RunSetArrival(single, stream.NewSlice(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covMP.Size() != covS.Size() {
+		t.Fatalf("p=1 multipass %d != single-pass threshold %d", covMP.Size(), covS.Size())
+	}
+}
+
+func TestMorePassesImproveApproximation(t *testing.T) {
+	// More passes ⇒ lower final threshold ⇒ fewer patched elements and (on
+	// planted instances) covers closer to greedy.
+	w := workload.Planted(xrand.New(4), 400, 2000, 10, 0)
+	var sizes []int
+	for _, p := range []int{1, 2, 4} {
+		cov, _ := runMP(t, w, p, 7)
+		sizes = append(sizes, cov.Size())
+	}
+	if sizes[2] > sizes[0] {
+		t.Errorf("4 passes (%d) worse than 1 pass (%d)", sizes[2], sizes[0])
+	}
+	// The p-pass bound O(p·n^{1/(p+1)})·OPT with slack.
+	for i, p := range []int{1, 2, 4} {
+		bound := 4 * float64(p) * math.Pow(400, 1/float64(p+1)) * float64(w.PlantedOPT)
+		if float64(sizes[i]) > bound {
+			t.Errorf("p=%d: cover %d exceeds O(p·n^{1/(p+1)})·OPT = %.0f", p, sizes[i], bound)
+		}
+	}
+}
+
+func TestSpaceStaysLinearInN(t *testing.T) {
+	n := 300
+	w := workload.Planted(xrand.New(5), n, 3000, 10, 0)
+	_, alg := runMP(t, w, 3, 9)
+	if total := alg.Space().Total(); total > 5*int64(n) {
+		t.Errorf("space %d exceeds O(n)", total)
+	}
+}
+
+func TestNextPassExhaustion(t *testing.T) {
+	alg := NewMultiPassThreshold(16, 2)
+	if err := alg.NextPass(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.NextPass(); err == nil {
+		t.Fatal("pass overflow accepted")
+	}
+}
+
+func TestMultiPassRejectsNonContiguous(t *testing.T) {
+	inst := setcover.MustNewInstance(4, [][]setcover.Element{{0, 1}, {2, 3}})
+	edges := stream.Arrange(inst, stream.RoundRobin, nil)
+	if _, err := RunMultiPassSetArrival(NewMultiPassThreshold(4, 2), stream.NewSlice(edges)); err == nil {
+		t.Fatal("interleaved stream accepted")
+	}
+}
+
+func TestNewMultiPassPanics(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{0, 1}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMultiPassThreshold(%d,%d) did not panic", tc.n, tc.p)
+				}
+			}()
+			NewMultiPassThreshold(tc.n, tc.p)
+		}()
+	}
+}
+
+func BenchmarkMultiPassThreshold(b *testing.B) {
+	w := workload.Planted(xrand.New(1), 1000, 5000, 20, 0)
+	edges := stream.Arrange(w.Inst, stream.SetMajorShuffled, xrand.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMultiPassSetArrival(NewMultiPassThreshold(1000, 3), stream.NewSlice(edges)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

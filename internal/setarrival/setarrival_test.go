@@ -1,0 +1,127 @@
+package setarrival
+
+import (
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func runOn(t testing.TB, w workload.Workload, seed uint64) (*setcover.Cover, *Threshold) {
+	t.Helper()
+	rng := xrand.New(seed)
+	edges := stream.Arrange(w.Inst, stream.SetMajorShuffled, rng)
+	alg := NewThreshold(w.Inst.UniverseSize())
+	cov, err := RunSetArrival(alg, stream.NewSlice(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cov, alg
+}
+
+func TestCoverValidOnAllWorkloads(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range workload.Catalog(rng) {
+		cov, _ := runOn(t, w, 33)
+		if err := cov.Verify(w.Inst); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestApproximationWithinSqrtN(t *testing.T) {
+	w := workload.Planted(xrand.New(2), 400, 2000, 10, 0)
+	cov, _ := runOn(t, w, 3)
+	// The deterministic bound: |cover| ≤ √n + √n·OPT.
+	bound := math.Sqrt(400) * float64(1+w.PlantedOPT)
+	if float64(cov.Size()) > bound {
+		t.Errorf("cover %d exceeds √n·(OPT+1) = %.0f", cov.Size(), bound)
+	}
+}
+
+func TestSpaceIndependentOfM(t *testing.T) {
+	// O(n) words regardless of m — the set-arrival contrast to Theorem 2.
+	n := 300
+	var peaks []int64
+	for _, m := range []int{500, 5000} {
+		w := workload.Planted(xrand.New(3), n, m, 10, 0)
+		_, alg := runOn(t, w, 5)
+		u := alg.Space()
+		peaks = append(peaks, u.Total())
+		if u.Total() > 5*int64(n) {
+			t.Errorf("m=%d: space %d exceeds O(n)", m, u.Total())
+		}
+	}
+	if float64(peaks[1]) > 1.5*float64(peaks[0]) {
+		t.Errorf("space grew with m: %v", peaks)
+	}
+}
+
+func TestThresholdRule(t *testing.T) {
+	// n = 16 → threshold 4. A set with 4 new elements is taken; 3 is not.
+	alg := NewThreshold(16)
+	if alg.ThresholdValue() != 4 {
+		t.Fatalf("threshold %d", alg.ThresholdValue())
+	}
+	alg.ProcessSet(0, []setcover.Element{0, 1, 2})
+	if len(alg.sol) != 0 {
+		t.Fatal("3-element set accepted")
+	}
+	alg.ProcessSet(1, []setcover.Element{0, 1, 2, 3})
+	if len(alg.sol) != 1 {
+		t.Fatal("4-new-element set rejected")
+	}
+	// Overlapping set: 4 elements but only 2 new → rejected.
+	alg.ProcessSet(2, []setcover.Element{2, 3, 4, 5})
+	if len(alg.sol) != 1 {
+		t.Fatal("set with 2 new elements accepted")
+	}
+}
+
+func TestPatchingCoversRemainder(t *testing.T) {
+	// All sets below threshold: everything is patched via backups.
+	inst := setcover.MustNewInstance(9, [][]setcover.Element{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8}})
+	alg := NewThreshold(9) // threshold 3 > every set size
+	cov, err := RunSetArrival(alg, stream.NewSlice(stream.EdgesOf(inst)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cov.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+	if alg.Patched() != 9 {
+		t.Fatalf("patched %d, want all 9", alg.Patched())
+	}
+}
+
+func TestRunSetArrivalRejectsNonContiguous(t *testing.T) {
+	inst := setcover.MustNewInstance(4, [][]setcover.Element{{0, 1}, {2, 3}})
+	edges := stream.Arrange(inst, stream.RoundRobin, nil) // interleaved
+	_, err := RunSetArrival(NewThreshold(4), stream.NewSlice(edges))
+	if err == nil {
+		t.Fatal("interleaved stream accepted as set-arrival")
+	}
+}
+
+func TestNewThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewThreshold(0)
+}
+
+func BenchmarkThreshold(b *testing.B) {
+	w := workload.Planted(xrand.New(1), 1000, 5000, 20, 0)
+	edges := stream.Arrange(w.Inst, stream.SetMajorShuffled, xrand.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSetArrival(NewThreshold(1000), stream.NewSlice(edges)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

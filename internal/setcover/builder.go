@@ -1,0 +1,60 @@
+package setcover
+
+import "fmt"
+
+// Builder assembles an Instance incrementally. It accepts memberships in any
+// order — whole sets via AddSet or individual (set, element) pairs via
+// AddEdge — mirroring how workload generators and stream decoders produce
+// instances. Duplicate memberships are tolerated and collapsed.
+type Builder struct {
+	n    int
+	sets [][]Element
+}
+
+// NewBuilder starts a builder over a universe of size n.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddSet appends a new set with the given elements and returns its SetID.
+// The slice is copied.
+func (b *Builder) AddSet(elems []Element) SetID {
+	id := SetID(len(b.sets))
+	b.sets = append(b.sets, append([]Element(nil), elems...))
+	return id
+}
+
+// NewSet appends a new empty set and returns its SetID.
+func (b *Builder) NewSet() SetID {
+	return b.AddSet(nil)
+}
+
+// AddEdge records that element u belongs to set s. The set must have been
+// created by AddSet/NewSet or by EnsureSets.
+func (b *Builder) AddEdge(s SetID, u Element) error {
+	if s < 0 || int(s) >= len(b.sets) {
+		return fmt.Errorf("setcover: AddEdge: unknown set %d (have %d)", s, len(b.sets))
+	}
+	if u < 0 || int(u) >= b.n {
+		return fmt.Errorf("setcover: AddEdge: element %d outside universe [0,%d)", u, b.n)
+	}
+	b.sets[s] = append(b.sets[s], u)
+	return nil
+}
+
+// EnsureSets guarantees at least m (possibly empty) sets exist, so edges for
+// set ids known in advance can be added in any order.
+func (b *Builder) EnsureSets(m int) {
+	for len(b.sets) < m {
+		b.sets = append(b.sets, nil)
+	}
+}
+
+// NumSets returns the number of sets added so far.
+func (b *Builder) NumSets() int { return len(b.sets) }
+
+// Build validates and returns the instance. The builder may be reused
+// afterwards, but further mutation does not affect the built instance.
+func (b *Builder) Build() (*Instance, error) {
+	return NewInstance(b.n, b.sets)
+}

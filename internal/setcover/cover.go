@@ -1,0 +1,119 @@
+package setcover
+
+import (
+	"fmt"
+	"slices"
+)
+
+// NoSet marks an element without a covering witness in a Certificate.
+const NoSet SetID = -1
+
+// Cover is a candidate solution: the chosen sets plus the cover certificate
+// C : U → T the paper requires algorithms to output (§1), mapping each
+// element to a chosen set that contains it.
+type Cover struct {
+	// Sets holds the chosen set ids, sorted ascending without duplicates.
+	Sets []SetID
+	// Certificate[u] is the witness set covering element u, or NoSet if the
+	// cover is invalid/partial. len(Certificate) == n.
+	Certificate []SetID
+}
+
+// NewCover assembles a Cover from a possibly unsorted, possibly duplicated
+// list of chosen sets and a certificate slice (which is used as-is).
+func NewCover(sets []SetID, cert []SetID) *Cover {
+	s := slices.Clone(sets)
+	slices.Sort(s)
+	s = slices.Compact(s)
+	return &Cover{Sets: s, Certificate: cert}
+}
+
+// Size returns |T|, the number of chosen sets.
+func (c *Cover) Size() int { return len(c.Sets) }
+
+// Has reports whether set s was chosen.
+func (c *Cover) Has(s SetID) bool {
+	_, ok := slices.BinarySearch(c.Sets, s)
+	return ok
+}
+
+// Verify checks that c is a valid cover of inst with a valid certificate:
+//
+//  1. the certificate assigns every element a witness,
+//  2. every witness is one of the chosen sets,
+//  3. every witness actually contains its element, and
+//  4. every chosen set id is in range.
+//
+// It returns nil iff all four hold. This is the acceptance criterion every
+// streaming algorithm's output is held to in tests and experiments.
+func (c *Cover) Verify(inst *Instance) error {
+	if len(c.Certificate) != inst.UniverseSize() {
+		return fmt.Errorf("setcover: certificate length %d, want n=%d", len(c.Certificate), inst.UniverseSize())
+	}
+	m := SetID(inst.NumSets())
+	for _, s := range c.Sets {
+		if s < 0 || s >= m {
+			return fmt.Errorf("setcover: chosen set %d out of range [0,%d)", s, m)
+		}
+	}
+	for u, s := range c.Certificate {
+		if s == NoSet {
+			return fmt.Errorf("setcover: element %d has no covering witness", u)
+		}
+		if s < 0 || s >= m {
+			return fmt.Errorf("setcover: element %d has out-of-range witness %d", u, s)
+		}
+		if !c.Has(s) {
+			return fmt.Errorf("setcover: witness %d for element %d is not a chosen set", s, u)
+		}
+		if !inst.Contains(s, Element(u)) {
+			return fmt.Errorf("setcover: witness %d does not contain element %d", s, u)
+		}
+	}
+	return nil
+}
+
+// CoveredBy returns how many elements c's certificate assigns to set s.
+func (c *Cover) CoveredBy(s SetID) int {
+	count := 0
+	for _, w := range c.Certificate {
+		if w == s {
+			count++
+		}
+	}
+	return count
+}
+
+// Ratio returns Size()/opt as a float64; opt must be positive.
+func (c *Cover) Ratio(opt int) float64 {
+	if opt <= 0 {
+		panic("setcover: Ratio needs opt > 0")
+	}
+	return float64(c.Size()) / float64(opt)
+}
+
+// TrivialCover covers every element with an arbitrary containing set (the
+// first one in id order) — the "one set per element" fallback Algorithm 1
+// switches to when |Sol| would exceed n (Theorem 3's space analysis). It
+// returns an error on infeasible instances.
+func TrivialCover(inst *Instance) (*Cover, error) {
+	cert := make([]SetID, inst.UniverseSize())
+	for u := range cert {
+		cert[u] = NoSet
+	}
+	for i := 0; i < inst.NumSets(); i++ {
+		for _, u := range inst.Set(SetID(i)) {
+			if cert[u] == NoSet {
+				cert[u] = SetID(i)
+			}
+		}
+	}
+	chosen := make([]SetID, 0)
+	for u, s := range cert {
+		if s == NoSet {
+			return nil, fmt.Errorf("setcover: infeasible instance: element %d uncovered", u)
+		}
+		chosen = append(chosen, s)
+	}
+	return NewCover(chosen, cert), nil
+}

@@ -1,0 +1,116 @@
+package setcover
+
+import (
+	"strings"
+	"testing"
+)
+
+func coverFixture(t *testing.T) *Instance {
+	t.Helper()
+	return MustNewInstance(4, [][]Element{
+		{0, 1}, // set 0
+		{2, 3}, // set 1
+		{1, 2}, // set 2
+		{3},    // set 3
+	})
+}
+
+func TestNewCoverSortsAndDedups(t *testing.T) {
+	c := NewCover([]SetID{3, 1, 3, 0}, nil)
+	want := []SetID{0, 1, 3}
+	if len(c.Sets) != len(want) {
+		t.Fatalf("Sets=%v", c.Sets)
+	}
+	for i := range want {
+		if c.Sets[i] != want[i] {
+			t.Fatalf("Sets=%v want %v", c.Sets, want)
+		}
+	}
+	if c.Size() != 3 {
+		t.Fatalf("Size=%d", c.Size())
+	}
+}
+
+func TestCoverHas(t *testing.T) {
+	c := NewCover([]SetID{5, 2}, nil)
+	if !c.Has(2) || !c.Has(5) || c.Has(3) {
+		t.Fatal("Has incorrect")
+	}
+}
+
+func TestVerifyValid(t *testing.T) {
+	inst := coverFixture(t)
+	c := NewCover([]SetID{0, 1}, []SetID{0, 0, 1, 1})
+	if err := c.Verify(inst); err != nil {
+		t.Fatalf("valid cover rejected: %v", err)
+	}
+}
+
+func TestVerifyFailures(t *testing.T) {
+	inst := coverFixture(t)
+	cases := []struct {
+		name string
+		c    *Cover
+		frag string
+	}{
+		{"short certificate", NewCover([]SetID{0, 1}, []SetID{0, 0, 1}), "certificate length"},
+		{"missing witness", NewCover([]SetID{0, 1}, []SetID{0, 0, 1, NoSet}), "no covering witness"},
+		{"witness not chosen", NewCover([]SetID{0, 1}, []SetID{0, 0, 1, 3}), "not a chosen set"},
+		{"witness lacks element", NewCover([]SetID{0, 1}, []SetID{0, 0, 1, 0}), "does not contain"},
+		{"chosen set out of range", NewCover([]SetID{0, 99}, []SetID{0, 0, 0, 0}), "out of range"},
+		{"negative witness", NewCover([]SetID{0, 1}, []SetID{0, 0, 1, -7}), "out-of-range witness"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Verify(inst)
+			if err == nil {
+				t.Fatal("invalid cover accepted")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q missing %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	c := NewCover([]SetID{0, 1}, []SetID{0, 0, 1, 1})
+	if c.CoveredBy(0) != 2 || c.CoveredBy(1) != 2 || c.CoveredBy(2) != 0 {
+		t.Fatal("CoveredBy wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	c := NewCover([]SetID{0, 1, 2}, nil)
+	if got := c.Ratio(2); got != 1.5 {
+		t.Fatalf("Ratio=%v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ratio(0) did not panic")
+		}
+	}()
+	c.Ratio(0)
+}
+
+func TestTrivialCover(t *testing.T) {
+	inst := coverFixture(t)
+	c, err := TrivialCover(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(inst); err != nil {
+		t.Fatalf("trivial cover invalid: %v", err)
+	}
+	// First containing set in id order: elem 3 is in sets 1 and 3; expect 1.
+	if c.Certificate[3] != 1 {
+		t.Errorf("Certificate[3]=%d want 1", c.Certificate[3])
+	}
+}
+
+func TestTrivialCoverInfeasible(t *testing.T) {
+	inst := MustNewInstance(3, [][]Element{{0}})
+	if _, err := TrivialCover(inst); err == nil {
+		t.Fatal("infeasible accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package setcover
+
+import "testing"
+
+func TestInstanceEqual(t *testing.T) {
+	a := MustNewInstance(3, [][]Element{{0, 1}, {2}})
+	b := MustNewInstance(3, [][]Element{{1, 0}, {2}}) // same after sorting
+	if !a.Equal(b) {
+		t.Fatal("identical instances not equal")
+	}
+	if !a.Equal(a) {
+		t.Fatal("instance not equal to itself")
+	}
+	cases := []*Instance{
+		MustNewInstance(4, [][]Element{{0, 1}, {2}}),      // different n
+		MustNewInstance(3, [][]Element{{0, 1}}),           // different m
+		MustNewInstance(3, [][]Element{{0, 1}, {1}}),      // different membership
+		MustNewInstance(3, [][]Element{{0, 1, 2}, {2}}),   // different size
+		MustNewInstance(3, [][]Element{{2}, {0, 1}}),      // sets swapped
+	}
+	for i, c := range cases {
+		if a.Equal(c) {
+			t.Errorf("case %d: different instances reported equal", i)
+		}
+	}
+	if a.Equal(nil) {
+		t.Fatal("nil reported equal")
+	}
+}

@@ -1,0 +1,115 @@
+package setcover
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxExactUniverse is the largest universe Exact accepts. The exact solver
+// exists to ground-truth tiny test instances; 64 elements fit one machine
+// word and keep branch-and-bound fast.
+const MaxExactUniverse = 64
+
+// Exact computes an optimal set cover by branch and bound over element
+// bitmasks. It is exponential in the worst case and restricted to universes
+// of at most MaxExactUniverse elements; tests use it to validate the greedy
+// solver and the streaming algorithms' approximation ratios on small inputs.
+//
+// It returns an error for infeasible or oversized instances.
+func Exact(inst *Instance) (*Cover, error) {
+	n := inst.UniverseSize()
+	if n > MaxExactUniverse {
+		return nil, fmt.Errorf("setcover: Exact supports n <= %d, got %d", MaxExactUniverse, n)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	m := inst.NumSets()
+	full := uint64(1)<<uint(n) - 1
+	if n == 64 {
+		full = ^uint64(0)
+	}
+
+	masks := make([]uint64, m)
+	for s := 0; s < m; s++ {
+		var mask uint64
+		for _, u := range inst.Set(SetID(s)) {
+			mask |= 1 << uint(u)
+		}
+		masks[s] = mask
+	}
+
+	// elemSets[u] lists the sets containing u, used to branch on the
+	// lowest-index uncovered element (a complete branching rule: some set
+	// containing it must be chosen).
+	elemSets := make([][]SetID, n)
+	for s := 0; s < m; s++ {
+		for _, u := range inst.Set(SetID(s)) {
+			elemSets[u] = append(elemSets[u], SetID(s))
+		}
+	}
+
+	// Upper bound from greedy.
+	g, err := Greedy(inst)
+	if err != nil {
+		return nil, err
+	}
+	best := append([]SetID(nil), g.Sets...)
+
+	maxSize := 0
+	for s := 0; s < m; s++ {
+		if c := bits.OnesCount64(masks[s]); c > maxSize {
+			maxSize = c
+		}
+	}
+	if maxSize == 0 {
+		return nil, fmt.Errorf("setcover: all sets empty")
+	}
+
+	var cur []SetID
+	var rec func(covered uint64)
+	rec = func(covered uint64) {
+		if covered == full {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		// Lower bound: every set covers at most maxSize new elements.
+		uncovered := bits.OnesCount64(full &^ covered)
+		lb := (uncovered + maxSize - 1) / maxSize
+		if len(cur)+lb >= len(best) {
+			return
+		}
+		u := bits.TrailingZeros64(full &^ covered)
+		for _, s := range elemSets[u] {
+			cur = append(cur, s)
+			rec(covered | masks[s])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+
+	// Rebuild a certificate from the optimal choice.
+	cert := make([]SetID, n)
+	for u := range cert {
+		cert[u] = NoSet
+	}
+	for _, s := range best {
+		for _, u := range inst.Set(s) {
+			if cert[u] == NoSet {
+				cert[u] = s
+			}
+		}
+	}
+	return NewCover(best, cert), nil
+}
+
+// ExactSize is a convenience wrapper returning only OPT.
+func ExactSize(inst *Instance) (int, error) {
+	c, err := Exact(inst)
+	if err != nil {
+		return 0, err
+	}
+	return c.Size(), nil
+}

@@ -1,0 +1,192 @@
+// Package setcover defines the Set Cover problem model used throughout
+// streamcover: instances, covers with certificates, validation, and the
+// offline solvers (greedy and exact) that provide ground truth for the
+// streaming experiments.
+//
+// Following the paper's notation, an instance has a universe U of n elements
+// identified as 0..n-1 and a family S of m sets identified as 0..m-1. The
+// bipartite-graph view (paper §2) treats each membership u ∈ S_i as an edge
+// (S_i, u); the edge-arrival stream is a permutation of these edges.
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+)
+
+// Element identifies a universe element in [0, n).
+type Element = int32
+
+// SetID identifies a set in [0, m).
+type SetID = int32
+
+// Instance is an immutable Set Cover instance. Construct one with
+// NewInstance or via a Builder.
+type Instance struct {
+	n     int
+	sets  [][]Element // sets[i] is sorted and duplicate-free
+	edges int         // Σ|sets[i]|, the edge-arrival stream length N
+}
+
+// NewInstance builds an instance over a universe of size n from the given
+// family of sets. Each set is copied, sorted and deduplicated. It returns an
+// error if n <= 0, the family is empty, or any element is out of range.
+//
+// Feasibility (every element in at least one set, which the paper assumes
+// throughout §2) is NOT required here; call Validate to enforce it.
+func NewInstance(n int, sets [][]Element) (*Instance, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("setcover: universe size %d, want > 0", n)
+	}
+	if len(sets) == 0 {
+		return nil, errors.New("setcover: empty set family")
+	}
+	inst := &Instance{n: n, sets: make([][]Element, len(sets))}
+	for i, s := range sets {
+		cp := slices.Clone(s)
+		slices.Sort(cp)
+		cp = slices.Compact(cp)
+		for _, u := range cp {
+			if u < 0 || int(u) >= n {
+				return nil, fmt.Errorf("setcover: set %d contains element %d outside universe [0,%d)", i, u, n)
+			}
+		}
+		inst.sets[i] = cp
+		inst.edges += len(cp)
+	}
+	return inst, nil
+}
+
+// MustNewInstance is NewInstance that panics on error, for tests and
+// generators whose inputs are valid by construction.
+func MustNewInstance(n int, sets [][]Element) *Instance {
+	inst, err := NewInstance(n, sets)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// UniverseSize returns n.
+func (in *Instance) UniverseSize() int { return in.n }
+
+// NumSets returns m.
+func (in *Instance) NumSets() int { return len(in.sets) }
+
+// NumEdges returns N = Σ|S_i|, the edge-arrival stream length.
+func (in *Instance) NumEdges() int { return in.edges }
+
+// Set returns the elements of set i, sorted ascending. The returned slice is
+// shared with the instance and must not be modified.
+func (in *Instance) Set(i SetID) []Element { return in.sets[i] }
+
+// SetSize returns |S_i|.
+func (in *Instance) SetSize(i SetID) int { return len(in.sets[i]) }
+
+// Contains reports whether element u belongs to set i.
+func (in *Instance) Contains(i SetID, u Element) bool {
+	_, ok := slices.BinarySearch(in.sets[i], u)
+	return ok
+}
+
+// Validate checks feasibility: every universe element must belong to at
+// least one set (paper §2 assumes this of every input). It returns an error
+// naming the first uncovered element otherwise.
+func (in *Instance) Validate() error {
+	covered := make([]bool, in.n)
+	seen := 0
+	for _, s := range in.sets {
+		for _, u := range s {
+			if !covered[u] {
+				covered[u] = true
+				seen++
+			}
+		}
+	}
+	if seen == in.n {
+		return nil
+	}
+	for u, ok := range covered {
+		if !ok {
+			return fmt.Errorf("setcover: infeasible instance: element %d belongs to no set", u)
+		}
+	}
+	return nil
+}
+
+// ElementDegrees returns, for each element, the number of sets containing it
+// (its degree in the bipartite graph). Algorithm 1's epoch 0 reasons about
+// elements of degree ≥ 1.1·m/√n; experiments use this to characterise
+// workloads.
+func (in *Instance) ElementDegrees() []int {
+	deg := make([]int, in.n)
+	for _, s := range in.sets {
+		for _, u := range s {
+			deg[u]++
+		}
+	}
+	return deg
+}
+
+// Equal reports whether two instances have identical universes and
+// identical set families (same ids, same elements).
+func (in *Instance) Equal(other *Instance) bool {
+	if other == nil || in.n != other.n || len(in.sets) != len(other.sets) {
+		return false
+	}
+	for s := range in.sets {
+		if !slices.Equal(in.sets[s], other.sets[s]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarises an instance for experiment reports.
+type Stats struct {
+	N            int     // universe size
+	M            int     // number of sets
+	Edges        int     // stream length N
+	MinSetSize   int     //
+	MaxSetSize   int     //
+	MeanSetSize  float64 //
+	MaxElemDeg   int     // max element degree
+	MeanElemDeg  float64 //
+	ZeroDegElems int     // uncovered elements (0 for feasible instances)
+}
+
+// Stats computes summary statistics of the instance.
+func (in *Instance) Stats() Stats {
+	st := Stats{N: in.n, M: len(in.sets), Edges: in.edges, MinSetSize: in.n + 1}
+	for _, s := range in.sets {
+		if len(s) < st.MinSetSize {
+			st.MinSetSize = len(s)
+		}
+		if len(s) > st.MaxSetSize {
+			st.MaxSetSize = len(s)
+		}
+	}
+	if st.M > 0 {
+		st.MeanSetSize = float64(in.edges) / float64(st.M)
+	}
+	deg := in.ElementDegrees()
+	for _, d := range deg {
+		if d > st.MaxElemDeg {
+			st.MaxElemDeg = d
+		}
+		if d == 0 {
+			st.ZeroDegElems++
+		}
+	}
+	if in.n > 0 {
+		st.MeanElemDeg = float64(in.edges) / float64(in.n)
+	}
+	return st
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d N=%d set-size[min=%d mean=%.1f max=%d] elem-deg[mean=%.1f max=%d] uncovered=%d",
+		st.N, st.M, st.Edges, st.MinSetSize, st.MeanSetSize, st.MaxSetSize,
+		st.MeanElemDeg, st.MaxElemDeg, st.ZeroDegElems)
+}

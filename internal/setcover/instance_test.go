@@ -1,0 +1,256 @@
+package setcover
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInstanceBasic(t *testing.T) {
+	inst, err := NewInstance(4, [][]Element{{0, 1}, {2, 3}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.UniverseSize() != 4 {
+		t.Errorf("n=%d", inst.UniverseSize())
+	}
+	if inst.NumSets() != 3 {
+		t.Errorf("m=%d", inst.NumSets())
+	}
+	if inst.NumEdges() != 6 {
+		t.Errorf("N=%d", inst.NumEdges())
+	}
+}
+
+func TestNewInstanceSortsAndDedups(t *testing.T) {
+	inst, err := NewInstance(5, [][]Element{{3, 1, 3, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := inst.Set(0)
+	want := []Element{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("set = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("set = %v, want %v", got, want)
+		}
+	}
+	if inst.NumEdges() != 3 {
+		t.Errorf("edges after dedup = %d, want 3", inst.NumEdges())
+	}
+}
+
+func TestNewInstanceDoesNotAliasInput(t *testing.T) {
+	raw := [][]Element{{2, 0, 1}}
+	inst, err := NewInstance(3, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0][0] = 99 // mutate the caller's slice
+	if !inst.Contains(0, 2) {
+		t.Error("instance aliased caller-owned memory")
+	}
+}
+
+func TestNewInstanceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		sets [][]Element
+	}{
+		{"zero universe", 0, [][]Element{{0}}},
+		{"negative universe", -1, [][]Element{{0}}},
+		{"empty family", 5, nil},
+		{"element too large", 3, [][]Element{{0, 3}}},
+		{"negative element", 3, [][]Element{{-1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewInstance(tc.n, tc.sets); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestMustNewInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewInstance(0, nil)
+}
+
+func TestContains(t *testing.T) {
+	inst := MustNewInstance(10, [][]Element{{1, 3, 5, 7, 9}})
+	for u := Element(0); u < 10; u++ {
+		want := u%2 == 1
+		if inst.Contains(0, u) != want {
+			t.Errorf("Contains(0,%d) = %v", u, !want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	feasible := MustNewInstance(3, [][]Element{{0, 1}, {2}})
+	if err := feasible.Validate(); err != nil {
+		t.Errorf("feasible instance rejected: %v", err)
+	}
+	infeasible := MustNewInstance(3, [][]Element{{0, 1}})
+	err := infeasible.Validate()
+	if err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+	if !strings.Contains(err.Error(), "element 2") {
+		t.Errorf("error does not name the uncovered element: %v", err)
+	}
+}
+
+func TestElementDegrees(t *testing.T) {
+	inst := MustNewInstance(3, [][]Element{{0, 1}, {1, 2}, {1}})
+	deg := inst.ElementDegrees()
+	want := []int{1, 3, 1}
+	for u, d := range want {
+		if deg[u] != d {
+			t.Errorf("deg[%d]=%d want %d", u, deg[u], d)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	inst := MustNewInstance(4, [][]Element{{0, 1, 2}, {3}})
+	st := inst.Stats()
+	if st.N != 4 || st.M != 2 || st.Edges != 4 {
+		t.Errorf("basic stats wrong: %+v", st)
+	}
+	if st.MinSetSize != 1 || st.MaxSetSize != 3 || st.MeanSetSize != 2 {
+		t.Errorf("set size stats wrong: %+v", st)
+	}
+	if st.MaxElemDeg != 1 || st.ZeroDegElems != 0 {
+		t.Errorf("degree stats wrong: %+v", st)
+	}
+	if s := st.String(); !strings.Contains(s, "n=4") {
+		t.Errorf("Stats.String = %q", s)
+	}
+}
+
+func TestStatsCountsUncovered(t *testing.T) {
+	inst := MustNewInstance(5, [][]Element{{0}})
+	if got := inst.Stats().ZeroDegElems; got != 4 {
+		t.Errorf("ZeroDegElems=%d want 4", got)
+	}
+}
+
+// Property: for random instances, NumEdges equals the sum of set sizes and
+// every set is sorted strictly ascending.
+func TestInstanceInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := rng.IntN(50) + 1
+		m := rng.IntN(20) + 1
+		sets := make([][]Element, m)
+		for i := range sets {
+			sz := rng.IntN(n + 1)
+			for j := 0; j < sz; j++ {
+				sets[i] = append(sets[i], Element(rng.IntN(n)))
+			}
+		}
+		inst, err := NewInstance(n, sets)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for s := 0; s < inst.NumSets(); s++ {
+			elems := inst.Set(SetID(s))
+			total += len(elems)
+			for k := 1; k < len(elems); k++ {
+				if elems[k-1] >= elems[k] {
+					return false
+				}
+			}
+		}
+		return total == inst.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderAddSetAndEdge(t *testing.T) {
+	b := NewBuilder(5)
+	s0 := b.AddSet([]Element{0, 1})
+	s1 := b.NewSet()
+	if s0 != 0 || s1 != 1 {
+		t.Fatalf("ids %d %d", s0, s1)
+	}
+	if err := b.AddEdge(s1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(s1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(s0, 4); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumSets() != 2 || inst.NumEdges() != 5 {
+		t.Fatalf("m=%d N=%d", inst.NumSets(), inst.NumEdges())
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0); err == nil {
+		t.Error("edge into nonexistent set accepted")
+	}
+	b.NewSet()
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("negative set accepted")
+	}
+}
+
+func TestBuilderEnsureSets(t *testing.T) {
+	b := NewBuilder(2)
+	b.EnsureSets(3)
+	if b.NumSets() != 3 {
+		t.Fatalf("NumSets=%d", b.NumSets())
+	}
+	if err := b.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	b.EnsureSets(2) // no-op, must not shrink
+	if b.NumSets() != 3 {
+		t.Fatalf("EnsureSets shrank to %d", b.NumSets())
+	}
+}
+
+func TestBuilderDuplicateEdgesCollapsed(t *testing.T) {
+	b := NewBuilder(2)
+	s := b.NewSet()
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(s, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.AddSet([]Element{0})
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.SetSize(s) != 1 {
+		t.Fatalf("duplicates not collapsed: size %d", inst.SetSize(s))
+	}
+}

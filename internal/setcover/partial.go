@@ -1,0 +1,53 @@
+package setcover
+
+// GreedyPartial runs the greedy cover over the coverable part of a possibly
+// infeasible instance: elements contained in no set are skipped (their
+// certificate entries stay NoSet) instead of aborting. It returns the cover
+// and the number of uncoverable elements.
+//
+// This is the primitive behind the store-all reference algorithm and the
+// Theorem 2 reduction's offline estimates, where the disjoint promise case
+// legitimately produces instances whose candidate set T_j is not fully
+// coverable.
+func GreedyPartial(inst *Instance) (cover *Cover, uncoverable int, err error) {
+	deg := inst.ElementDegrees()
+	remap := make([]Element, inst.UniverseSize())
+	next := Element(0)
+	for u, d := range deg {
+		if d == 0 {
+			uncoverable++
+			remap[u] = NoSet
+			continue
+		}
+		remap[u] = next
+		next++
+	}
+	cert := make([]SetID, inst.UniverseSize())
+	for u := range cert {
+		cert[u] = NoSet
+	}
+	if next == 0 {
+		return NewCover(nil, cert), uncoverable, nil
+	}
+
+	sets := make([][]Element, inst.NumSets())
+	for s := 0; s < inst.NumSets(); s++ {
+		for _, u := range inst.Set(SetID(s)) {
+			sets[s] = append(sets[s], remap[u])
+		}
+	}
+	sub, err := NewInstance(int(next), sets)
+	if err != nil {
+		return nil, 0, err
+	}
+	subCover, err := Greedy(sub)
+	if err != nil {
+		return nil, 0, err
+	}
+	for u := 0; u < inst.UniverseSize(); u++ {
+		if remap[u] != NoSet {
+			cert[u] = subCover.Certificate[remap[u]]
+		}
+	}
+	return NewCover(subCover.Sets, cert), uncoverable, nil
+}

@@ -1,0 +1,63 @@
+package setcover
+
+import "testing"
+
+func TestGreedyPartialFeasibleMatchesGreedy(t *testing.T) {
+	inst := MustNewInstance(6, [][]Element{
+		{0, 1, 2}, {3, 4, 5}, {0, 3},
+	})
+	full, err := Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, uncoverable, err := GreedyPartial(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncoverable != 0 {
+		t.Fatalf("uncoverable=%d on feasible instance", uncoverable)
+	}
+	if part.Size() != full.Size() {
+		t.Fatalf("partial %d vs full greedy %d", part.Size(), full.Size())
+	}
+	if err := part.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyPartialSkipsUncoverable(t *testing.T) {
+	// Elements 3 and 4 belong to no set.
+	inst := MustNewInstance(5, [][]Element{{0, 1}, {2}})
+	cov, uncoverable, err := GreedyPartial(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncoverable != 2 {
+		t.Fatalf("uncoverable=%d want 2", uncoverable)
+	}
+	if cov.Certificate[3] != NoSet || cov.Certificate[4] != NoSet {
+		t.Fatal("uncoverable elements received witnesses")
+	}
+	for u := 0; u < 3; u++ {
+		if cov.Certificate[u] == NoSet {
+			t.Fatalf("coverable element %d uncovered", u)
+		}
+		if !inst.Contains(cov.Certificate[u], Element(u)) {
+			t.Fatalf("witness for %d invalid", u)
+		}
+	}
+	if cov.Size() != 2 {
+		t.Fatalf("size %d want 2", cov.Size())
+	}
+}
+
+func TestGreedyPartialAllUncoverable(t *testing.T) {
+	inst := MustNewInstance(3, [][]Element{{}})
+	cov, uncoverable, err := GreedyPartial(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncoverable != 3 || cov.Size() != 0 {
+		t.Fatalf("uncoverable=%d size=%d", uncoverable, cov.Size())
+	}
+}

@@ -1,0 +1,200 @@
+package setcover
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomFeasibleInstance builds a feasible random instance: one "spine" set
+// per element block plus random noise sets.
+func randomFeasibleInstance(rng *rand.Rand, n, m int) *Instance {
+	sets := make([][]Element, 0, m)
+	// Spine: ceil(n/5) sets of 5 consecutive elements covering everything.
+	for lo := 0; lo < n; lo += 5 {
+		var s []Element
+		for u := lo; u < lo+5 && u < n; u++ {
+			s = append(s, Element(u))
+		}
+		sets = append(sets, s)
+	}
+	for len(sets) < m {
+		sz := rng.IntN(n/2+1) + 1
+		var s []Element
+		for j := 0; j < sz; j++ {
+			s = append(s, Element(rng.IntN(n)))
+		}
+		sets = append(sets, s)
+	}
+	return MustNewInstance(n, sets)
+}
+
+func TestGreedyOnHandInstance(t *testing.T) {
+	// One big set covers everything; greedy must pick exactly it.
+	inst := MustNewInstance(6, [][]Element{
+		{0, 1}, {2, 3}, {0, 1, 2, 3, 4, 5}, {4},
+	})
+	c, err := Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 1 || c.Sets[0] != 2 {
+		t.Fatalf("greedy chose %v", c.Sets)
+	}
+	if err := c.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyCertificateValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 25; trial++ {
+		inst := randomFeasibleInstance(rng, 40+trial, 30)
+		c, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Verify(inst); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	inst := MustNewInstance(4, [][]Element{{0, 1}})
+	if _, err := Greedy(inst); err == nil {
+		t.Fatal("greedy accepted infeasible instance")
+	}
+}
+
+func TestGreedySize(t *testing.T) {
+	inst := MustNewInstance(2, [][]Element{{0}, {1}})
+	sz, err := GreedySize(inst)
+	if err != nil || sz != 2 {
+		t.Fatalf("sz=%d err=%v", sz, err)
+	}
+}
+
+func TestExactOnHandInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		sets [][]Element
+		opt  int
+	}{
+		{"single set", 3, [][]Element{{0, 1, 2}}, 1},
+		{"forced pair", 4, [][]Element{{0, 1}, {2, 3}, {0, 2}, {1, 3}}, 2},
+		{"greedy suboptimal", 6, [][]Element{
+			// The classic instance where greedy picks the big set first and
+			// then needs 2 more, while OPT = 2 ({0,1,2},{3,4,5}).
+			{0, 1, 2}, {3, 4, 5}, {0, 1, 3, 4},
+		}, 2},
+		{"singletons", 3, [][]Element{{0}, {1}, {2}}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := MustNewInstance(tc.n, tc.sets)
+			c, err := Exact(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Size() != tc.opt {
+				t.Fatalf("OPT=%d want %d (sets %v)", c.Size(), tc.opt, c.Sets)
+			}
+			if err := c.Verify(inst); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExactRejectsOversized(t *testing.T) {
+	sets := [][]Element{make([]Element, 65)}
+	for i := range sets[0] {
+		sets[0][i] = Element(i)
+	}
+	inst := MustNewInstance(65, sets)
+	if _, err := Exact(inst); err == nil {
+		t.Fatal("Exact accepted n=65")
+	}
+}
+
+func TestExactRejectsInfeasible(t *testing.T) {
+	inst := MustNewInstance(4, [][]Element{{0, 1}})
+	if _, err := Exact(inst); err == nil {
+		t.Fatal("Exact accepted infeasible instance")
+	}
+}
+
+// Property: greedy is within (ln n + 1)·OPT and never better than OPT,
+// validated against the exact solver on random small instances.
+func TestGreedyWithinLnNOfExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.IntN(20) + 4
+		m := rng.IntN(15) + 3
+		inst := randomFeasibleInstance(rng, n, m)
+		gr, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := Exact(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Size() < ex.Size() {
+			t.Fatalf("greedy %d beat exact %d", gr.Size(), ex.Size())
+		}
+		bound := float64(ex.Size()) * (math.Log(float64(n)) + 1)
+		if float64(gr.Size()) > bound+1e-9 {
+			t.Fatalf("greedy %d exceeds (ln n+1)·OPT = %.2f (OPT=%d, n=%d)",
+				gr.Size(), bound, ex.Size(), n)
+		}
+	}
+}
+
+func TestExactSize(t *testing.T) {
+	inst := MustNewInstance(2, [][]Element{{0, 1}})
+	sz, err := ExactSize(inst)
+	if err != nil || sz != 1 {
+		t.Fatalf("sz=%d err=%v", sz, err)
+	}
+}
+
+func TestExactFullWord(t *testing.T) {
+	// n = 64 exercises the full-mask special case.
+	var all []Element
+	for i := 0; i < 64; i++ {
+		all = append(all, Element(i))
+	}
+	inst := MustNewInstance(64, [][]Element{all[:32], all[32:], all})
+	c, err := Exact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 1 {
+		t.Fatalf("OPT=%d want 1", c.Size())
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	inst := randomFeasibleInstance(rng, 2000, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSmall(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	inst := randomFeasibleInstance(rng, 24, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

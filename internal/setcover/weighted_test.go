@@ -1,0 +1,165 @@
+package setcover
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestWeightedGreedyUnitCostsMatchesUnweightedQuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomFeasibleInstance(rng, 40, 30)
+		costs := make([]int, inst.NumSets())
+		for i := range costs {
+			costs[i] = 1
+		}
+		wg, err := WeightedGreedy(inst, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wg.Verify(inst); err != nil {
+			t.Fatal(err)
+		}
+		if wg.Cost != wg.Size() {
+			t.Fatalf("unit costs: cost %d != size %d", wg.Cost, wg.Size())
+		}
+		g, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same rule, different tie-breaking: sizes within 1.5x.
+		if float64(wg.Size()) > 1.5*float64(g.Size())+1 {
+			t.Fatalf("weighted-unit %d vs unweighted %d", wg.Size(), g.Size())
+		}
+	}
+}
+
+func TestWeightedGreedyPrefersCheapSets(t *testing.T) {
+	// One expensive set covering everything vs two cheap sets: ratio greedy
+	// must pick the cheap pair.
+	inst := MustNewInstance(4, [][]Element{
+		{0, 1, 2, 3}, // cost 100
+		{0, 1},       // cost 1
+		{2, 3},       // cost 1
+	})
+	wg, err := WeightedGreedy(inst, []int{100, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wg.Cost != 2 || wg.Size() != 2 {
+		t.Fatalf("cost %d size %d, want 2/2 (%v)", wg.Cost, wg.Size(), wg.Sets)
+	}
+}
+
+func TestWeightedGreedyErrors(t *testing.T) {
+	inst := MustNewInstance(2, [][]Element{{0, 1}})
+	if _, err := WeightedGreedy(inst, []int{1, 2}); err == nil {
+		t.Error("cost-count mismatch accepted")
+	}
+	if _, err := WeightedGreedy(inst, []int{-1}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	infeasible := MustNewInstance(3, [][]Element{{0}})
+	if _, err := WeightedGreedy(infeasible, []int{1}); err == nil {
+		t.Error("infeasible accepted")
+	}
+}
+
+func TestWeightedExactHandInstances(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		sets  [][]Element
+		costs []int
+		want  int
+	}{
+		{"cheap pair beats big set", 4,
+			[][]Element{{0, 1, 2, 3}, {0, 1}, {2, 3}},
+			[]int{5, 2, 2}, 4},
+		{"big set beats pair", 4,
+			[][]Element{{0, 1, 2, 3}, {0, 1}, {2, 3}},
+			[]int{3, 2, 2}, 3},
+		{"zero-cost set is free", 3,
+			[][]Element{{0, 1, 2}, {0}},
+			[]int{0, 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := MustNewInstance(tc.n, tc.sets)
+			we, err := WeightedExact(inst, tc.costs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if we.Cost != tc.want {
+				t.Fatalf("cost %d want %d (sets %v)", we.Cost, tc.want, we.Sets)
+			}
+			if err := we.Verify(inst); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWeightedGreedyWithinHnOfExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.IntN(16) + 4
+		inst := randomFeasibleInstance(rng, n, rng.IntN(10)+3)
+		costs := make([]int, inst.NumSets())
+		for i := range costs {
+			costs[i] = rng.IntN(9) + 1
+		}
+		wg, err := WeightedGreedy(inst, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, err := WeightedExact(inst, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wg.Cost < we.Cost {
+			t.Fatalf("greedy cost %d beat exact %d", wg.Cost, we.Cost)
+		}
+		hn := 0.0
+		for k := 1; k <= n; k++ {
+			hn += 1 / float64(k)
+		}
+		if float64(wg.Cost) > math.Ceil(hn*float64(we.Cost))+1e-9 {
+			t.Fatalf("greedy %d exceeds H_n·OPT = %.2f (OPT=%d)", wg.Cost, hn*float64(we.Cost), we.Cost)
+		}
+	}
+}
+
+func TestWeightedExactErrors(t *testing.T) {
+	big := make([]Element, 65)
+	for i := range big {
+		big[i] = Element(i)
+	}
+	inst := MustNewInstance(65, [][]Element{big})
+	if _, err := WeightedExact(inst, []int{1}); err == nil {
+		t.Error("oversized accepted")
+	}
+	small := MustNewInstance(2, [][]Element{{0, 1}})
+	if _, err := WeightedExact(small, []int{1, 2}); err == nil {
+		t.Error("cost mismatch accepted")
+	}
+	if _, err := WeightedExact(small, []int{-5}); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func BenchmarkWeightedGreedy(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	inst := randomFeasibleInstance(rng, 300, 400)
+	costs := make([]int, inst.NumSets())
+	for i := range costs {
+		costs[i] = rng.IntN(20) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WeightedGreedy(inst, costs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

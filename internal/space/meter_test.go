@@ -1,0 +1,134 @@
+package space
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.Current() != 0 || m.Peak() != 0 {
+		t.Fatalf("zero meter not zero: %v", m.String())
+	}
+}
+
+func TestMeterAddSub(t *testing.T) {
+	var m Meter
+	m.Add(10)
+	if m.Current() != 10 || m.Peak() != 10 {
+		t.Fatalf("after Add(10): %v", m.String())
+	}
+	m.Sub(4)
+	if m.Current() != 6 {
+		t.Fatalf("after Sub(4): cur=%d", m.Current())
+	}
+	if m.Peak() != 10 {
+		t.Fatalf("peak dropped: %d", m.Peak())
+	}
+	m.Add(20)
+	if m.Peak() != 26 {
+		t.Fatalf("peak not raised: %d", m.Peak())
+	}
+}
+
+func TestMeterNegativeAddIsRefund(t *testing.T) {
+	var m Meter
+	m.Add(5)
+	m.Add(-3)
+	if m.Current() != 2 {
+		t.Fatalf("cur=%d", m.Current())
+	}
+}
+
+func TestMeterPanicsOnNegativeBalance(t *testing.T) {
+	var m Meter
+	m.Add(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub below zero did not panic")
+		}
+	}()
+	m.Sub(3)
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.Add(100)
+	m.Reset()
+	if m.Current() != 0 || m.Peak() != 0 {
+		t.Fatalf("after Reset: %v", m.String())
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	var m Meter
+	m.Add(3)
+	m.Sub(1)
+	if got := m.String(); got != "2/3 words" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: peak is the running maximum of the balance under any sequence of
+// valid operations.
+func TestMeterPeakIsRunningMax(t *testing.T) {
+	f := func(deltas []int16) bool {
+		var m Meter
+		var cur, peak int64
+		for _, d := range deltas {
+			w := int64(d)
+			if cur+w < 0 {
+				w = -cur // clamp to keep the op valid
+			}
+			m.Add(w)
+			cur += w
+			if cur > peak {
+				peak = cur
+			}
+		}
+		return m.Current() == cur && m.Peak() == peak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageTotalAndString(t *testing.T) {
+	u := Usage{State: 7, Aux: 5}
+	if u.Total() != 12 {
+		t.Fatalf("Total=%d", u.Total())
+	}
+	if s := u.String(); !strings.Contains(s, "state=7") || !strings.Contains(s, "total=12") {
+		t.Fatalf("String=%q", s)
+	}
+}
+
+func TestTrackedSpace(t *testing.T) {
+	var tr Tracked
+	tr.StateMeter.Add(40)
+	tr.StateMeter.Sub(10)
+	tr.AuxMeter.Add(8)
+	u := tr.Space()
+	if u.State != 40 {
+		t.Fatalf("State=%d want peak 40", u.State)
+	}
+	if u.Aux != 8 {
+		t.Fatalf("Aux=%d", u.Aux)
+	}
+	var _ Reporter = &tr
+}
+
+func TestChargeConstants(t *testing.T) {
+	if MapEntryWords != 2 || SetEntryWords != 1 || SliceElemWords != 1 {
+		t.Fatal("charge constants changed; experiments compare across algorithms using these")
+	}
+}
+
+func BenchmarkMeterAdd(b *testing.B) {
+	var m Meter
+	for i := 0; i < b.N; i++ {
+		m.Add(1)
+		m.Sub(1)
+	}
+}

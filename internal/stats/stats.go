@@ -1,0 +1,134 @@
+// Package stats provides the small summary-statistics toolkit the
+// experiment harness uses to aggregate repeated randomized runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(varsum / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f±%.2f median=%.2f range=[%.2f,%.2f]",
+		s.N, s.Mean, s.Stddev, s.Median, s.Min, s.Max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty sample or
+// q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	sorted := slices.Clone(xs)
+	slices.Sort(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ints converts an int sample for Summarize/Quantile.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Int64s converts an int64 sample.
+func Int64s(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// GeometricFitSlope fits log2(y) = a + slope·log2(x) by least squares and
+// returns the slope — the tool experiments use to verify power-law space
+// scalings (e.g. peak-space vs m should have slope ≈ 1 for the
+// KK-algorithm and for Algorithm 1 at fixed n, and vs α slope ≈ −2 for
+// Algorithm 2). Points with non-positive coordinates are skipped; fewer
+// than two usable points yield NaN.
+func GeometricFitSlope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: GeometricFitSlope length mismatch")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log2(xs[i]))
+			ly = append(ly, math.Log2(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return math.NaN()
+	}
+	mx := mean(lx)
+	my := mean(ly)
+	num, den := 0.0, 0.0
+	for i := range lx {
+		num += (lx[i] - mx) * (ly[i] - my)
+		den += (lx[i] - mx) * (lx[i] - mx)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.Median != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if s := Summarize([]float64{1, 2}).String(); s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if math.IsNaN(qa) || math.IsNaN(qb) {
+			return true
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	fi := Ints([]int{1, 2, 3})
+	f64 := Int64s([]int64{4, 5})
+	if fi[2] != 3 || f64[1] != 5 {
+		t.Fatal("conversion wrong")
+	}
+}
+
+func TestGeometricFitSlope(t *testing.T) {
+	// y = 4·x² must fit slope 2 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 4 * x * x
+	}
+	if got := GeometricFitSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slope %v want 2", got)
+	}
+	// y = 8/x must fit slope −1.
+	for i, x := range xs {
+		ys[i] = 8 / x
+	}
+	if got := GeometricFitSlope(xs, ys); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("slope %v want -1", got)
+	}
+}
+
+func TestGeometricFitSlopeDegenerate(t *testing.T) {
+	if !math.IsNaN(GeometricFitSlope([]float64{1}, []float64{2})) {
+		t.Fatal("single point should be NaN")
+	}
+	if !math.IsNaN(GeometricFitSlope([]float64{-1, -2}, []float64{1, 2})) {
+		t.Fatal("nonpositive xs should be NaN")
+	}
+	if !math.IsNaN(GeometricFitSlope([]float64{3, 3}, []float64{1, 2})) {
+		t.Fatal("zero x-variance should be NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	GeometricFitSlope([]float64{1}, []float64{1, 2})
+}

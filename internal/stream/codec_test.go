@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	inst := fixture(t)
+	edges := Arrange(inst, Random, xrand.New(1))
+	hdr := Header{N: inst.UniverseSize(), M: inst.NumSets(), E: len(edges)}
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, hdr, edges); err != nil {
+		t.Fatal(err)
+	}
+	gotHdr, gotEdges, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr != hdr {
+		t.Fatalf("header %+v want %+v", gotHdr, hdr)
+	}
+	if len(gotEdges) != len(edges) {
+		t.Fatalf("len %d want %d", len(gotEdges), len(edges))
+	}
+	for i := range edges {
+		if gotEdges[i] != edges[i] {
+			t.Fatalf("edge %d: %v want %v (order must be preserved)", i, gotEdges[i], edges[i])
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := rng.IntN(40) + 1
+		m := rng.IntN(20) + 1
+		b := setcover.NewBuilder(n)
+		b.EnsureSets(m)
+		for i := 0; i < m; i++ {
+			for _, u := range rng.SampleK32(n, rng.IntN(n+1)) {
+				if err := b.AddEdge(setcover.SetID(i), u); err != nil {
+					return false
+				}
+			}
+		}
+		inst, err := b.Build()
+		if err != nil {
+			return false
+		}
+		edges := Arrange(inst, Random, rng)
+		hdr := Header{N: n, M: m, E: len(edges)}
+		var buf bytes.Buffer
+		if err := Encode(&buf, hdr, edges); err != nil {
+			return false
+		}
+		gotHdr, gotEdges, err := Decode(&buf)
+		if err != nil || gotHdr != hdr || len(gotEdges) != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if gotEdges[i] != edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{N: 2, M: 2, E: 1}, nil); err == nil {
+		t.Error("edge count mismatch accepted")
+	}
+	if err := Encode(&buf, Header{N: 0, M: 2, E: 0}, nil); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if err := Encode(&buf, Header{N: 2, M: 2, E: 1}, []Edge{{5, 0}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func encodeFixture(t *testing.T) []byte {
+	t.Helper()
+	inst := fixture(t)
+	edges := EdgesOf(inst)
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{N: inst.UniverseSize(), M: inst.NumSets(), E: len(edges)}, edges); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	good := encodeFixture(t)
+
+	t.Run("bit flip", func(t *testing.T) {
+		for pos := 0; pos < len(good); pos += 3 {
+			bad := append([]byte(nil), good...)
+			bad[pos] ^= 0x40
+			if _, _, err := Decode(bytes.NewReader(bad)); err == nil {
+				// A flip may coincidentally produce another valid file only if
+				// both payload and CRC stay consistent, which a single bit
+				// flip cannot do.
+				t.Fatalf("bit flip at %d undetected", pos)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut += 5 {
+			if _, _, err := Decode(bytes.NewReader(good[:cut])); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncation at %d: err=%v", cut, err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 'X'
+		if _, _, err := Decode(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestInstanceFromEdges(t *testing.T) {
+	inst := fixture(t)
+	edges := Arrange(inst, Random, xrand.New(9))
+	hdr := Header{N: inst.UniverseSize(), M: inst.NumSets(), E: len(edges)}
+	got, err := InstanceFromEdges(hdr, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(inst) {
+		t.Fatalf("reconstructed instance differs: %v vs %v", got.Stats(), inst.Stats())
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	inst := setcover.MustNewInstance(1000, func() [][]setcover.Element {
+		rng := xrand.New(1)
+		sets := make([][]setcover.Element, 500)
+		for i := range sets {
+			sets[i] = rng.SampleK32(1000, 20)
+		}
+		return sets
+	}())
+	edges := EdgesOf(inst)
+	hdr := Header{N: 1000, M: 500, E: len(edges)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, hdr, edges); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

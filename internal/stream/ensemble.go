@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+)
+
+// Ensemble runs several independent copies of a randomized streaming
+// algorithm in parallel over the same stream and outputs the smallest
+// cover. The paper uses exactly this device twice: the remark after
+// Theorem 2 (boosting success probability from 3/4 to 1 − 1/(4m) with
+// O(log m) copies) and the remark after Theorem 4 (turning Algorithm 2's
+// expected approximation guarantee into a high-probability one at the cost
+// of a log m space factor).
+type Ensemble struct {
+	copies []Algorithm
+	// BestIndex is the index of the winning copy, set by Finish.
+	BestIndex int
+}
+
+// NewEnsemble wraps the given independently-seeded copies. It panics if no
+// copies are supplied.
+func NewEnsemble(copies ...Algorithm) *Ensemble {
+	if len(copies) == 0 {
+		panic("stream: NewEnsemble needs at least one copy")
+	}
+	return &Ensemble{copies: copies, BestIndex: -1}
+}
+
+// Copies returns the number of parallel copies.
+func (e *Ensemble) Copies() int { return len(e.copies) }
+
+// Process implements Algorithm by forwarding the edge to every copy.
+func (e *Ensemble) Process(ed Edge) {
+	for _, c := range e.copies {
+		c.Process(ed)
+	}
+}
+
+// Finish implements Algorithm: every copy is finished and the smallest
+// cover wins (ties broken toward the earliest copy).
+func (e *Ensemble) Finish() *setcover.Cover {
+	var best *setcover.Cover
+	for i, c := range e.copies {
+		cov := c.Finish()
+		if best == nil || cov.Size() < best.Size() {
+			best = cov
+			e.BestIndex = i
+		}
+	}
+	return best
+}
+
+// Space implements space.Reporter: the total over all copies (the log m
+// space factor of the paper's remarks).
+func (e *Ensemble) Space() space.Usage {
+	var total space.Usage
+	for _, c := range e.copies {
+		if rep, ok := c.(space.Reporter); ok {
+			u := rep.Space()
+			total.State += u.State
+			total.Aux += u.Aux
+		}
+	}
+	return total
+}
+
+var _ Algorithm = (*Ensemble)(nil)
+var _ space.Reporter = (*Ensemble)(nil)

@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"streamcover/internal/setcover"
+)
+
+// File is a Stream backed by an on-disk stream file (the Encode format),
+// decoded lazily: edges are read from disk as Next is called, so a stream
+// much larger than memory can be replayed — which is the point of the
+// streaming model. Reset seeks back to the first edge.
+//
+// OpenFile verifies the magic, header and CRC-32 up front with a single
+// sequential scan (without retaining the edges), so a corrupt file fails at
+// open time rather than mid-stream.
+type File struct {
+	f         *os.File
+	hdr       Header
+	dataStart int64
+	br        *bufio.Reader
+	remaining int
+}
+
+// OpenFile opens and validates a stream file for lazy replay.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fs := &File{f: f}
+	if err := fs.validate(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	fs.Reset()
+	return fs, nil
+}
+
+// validate scans the whole file once: checksum, magic, header.
+func (fs *File) validate() error {
+	info, err := fs.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size < int64(len(magic))+4 {
+		return fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, size)
+	}
+
+	// Streaming CRC over everything except the 4-byte trailer.
+	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	if _, err := io.CopyN(crc, fs.f, size-4); err != nil {
+		return fmt.Errorf("%w: read: %v", ErrCorrupt, err)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(fs.f, trailer[:]); err != nil {
+		return fmt.Errorf("%w: trailer: %v", ErrCorrupt, err)
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[:]) {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+
+	// Magic and header.
+	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReader(io.LimitReader(fs.f, size-4))
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
+		return fmt.Errorf("%w: short magic: %v", ErrCorrupt, err)
+	}
+	if gotMagic != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
+	}
+	consumed := int64(len(magic))
+	for i, dst := range []*int{&fs.hdr.N, &fs.hdr.M, &fs.hdr.E} {
+		v, n, err := readUvarintCounting(br)
+		if err != nil {
+			return fmt.Errorf("%w: header field %d: %v", ErrCorrupt, i, err)
+		}
+		if v > 1<<31 {
+			return fmt.Errorf("%w: header field %d overflows", ErrCorrupt, i)
+		}
+		*dst = int(v)
+		consumed += int64(n)
+	}
+	if fs.hdr.N <= 0 || fs.hdr.M <= 0 || fs.hdr.E < 0 {
+		return fmt.Errorf("%w: invalid header %+v", ErrCorrupt, fs.hdr)
+	}
+	fs.dataStart = consumed
+	return nil
+}
+
+// readUvarintCounting reads one uvarint and reports how many bytes it used.
+func readUvarintCounting(br *bufio.Reader) (uint64, int, error) {
+	var v uint64
+	var shift, n int
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		n++
+		if shift >= 64 {
+			return 0, n, fmt.Errorf("uvarint overflow")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, n, nil
+		}
+		shift += 7
+	}
+}
+
+// Header returns the stream's header.
+func (fs *File) Header() Header { return fs.hdr }
+
+// Len implements Stream.
+func (fs *File) Len() int { return fs.hdr.E }
+
+// Reset implements Stream, seeking back to the first edge.
+func (fs *File) Reset() {
+	if _, err := fs.f.Seek(fs.dataStart, io.SeekStart); err != nil {
+		// Seek on a regular file only fails if the file was closed; make
+		// the stream empty rather than panicking mid-experiment.
+		fs.remaining = 0
+		fs.br = bufio.NewReader(io.LimitReader(fs.f, 0))
+		return
+	}
+	fs.br = bufio.NewReader(fs.f)
+	fs.remaining = fs.hdr.E
+}
+
+// Next implements Stream. A decoding error (impossible on a file OpenFile
+// validated, barring concurrent modification) terminates the stream early.
+func (fs *File) Next() (Edge, bool) {
+	if fs.remaining <= 0 {
+		return Edge{}, false
+	}
+	s, err := binary.ReadUvarint(fs.br)
+	if err != nil {
+		fs.remaining = 0
+		return Edge{}, false
+	}
+	u, err := binary.ReadUvarint(fs.br)
+	if err != nil {
+		fs.remaining = 0
+		return Edge{}, false
+	}
+	fs.remaining--
+	if s >= uint64(fs.hdr.M) || u >= uint64(fs.hdr.N) {
+		fs.remaining = 0
+		return Edge{}, false
+	}
+	return Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}, true
+}
+
+// Close releases the underlying file.
+func (fs *File) Close() error { return fs.f.Close() }
+
+var _ Stream = (*File)(nil)

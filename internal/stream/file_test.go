@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcover/internal/xrand"
+)
+
+func writeStreamFile(t *testing.T, dir string, mutate func([]byte) []byte) (string, Header, []Edge) {
+	t.Helper()
+	inst := fixture(t)
+	edges := Arrange(inst, Random, xrand.New(1))
+	hdr := Header{N: inst.UniverseSize(), M: inst.NumSets(), E: len(edges)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, hdr, edges); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if mutate != nil {
+		data = mutate(data)
+	}
+	path := filepath.Join(dir, "s.scs")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, hdr, edges
+}
+
+func TestFileStreamMatchesDecode(t *testing.T) {
+	path, hdr, edges := writeStreamFile(t, t.TempDir(), nil)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	if fs.Header() != hdr {
+		t.Fatalf("header %+v want %+v", fs.Header(), hdr)
+	}
+	if fs.Len() != len(edges) {
+		t.Fatalf("Len %d want %d", fs.Len(), len(edges))
+	}
+	for i, want := range edges {
+		got, ok := fs.Next()
+		if !ok || got != want {
+			t.Fatalf("edge %d: got %v ok=%v want %v", i, got, ok, want)
+		}
+	}
+	if _, ok := fs.Next(); ok {
+		t.Fatal("Next past end returned ok")
+	}
+}
+
+func TestFileStreamReset(t *testing.T) {
+	path, _, edges := writeStreamFile(t, t.TempDir(), nil)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Consume half, reset, verify full replay.
+	for i := 0; i < len(edges)/2; i++ {
+		fs.Next()
+	}
+	fs.Reset()
+	count := 0
+	for {
+		e, ok := fs.Next()
+		if !ok {
+			break
+		}
+		if e != edges[count] {
+			t.Fatalf("after Reset, edge %d = %v want %v", count, e, edges[count])
+		}
+		count++
+	}
+	if count != len(edges) {
+		t.Fatalf("replayed %d edges, want %d", count, len(edges))
+	}
+}
+
+func TestFileStreamDrivesAlgorithm(t *testing.T) {
+	path, hdr, _ := writeStreamFile(t, t.TempDir(), nil)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	res := Run(newFirstSetAlg(hdr.N), fs)
+	if res.Edges != hdr.E {
+		t.Fatalf("processed %d edges, want %d", res.Edges, hdr.E)
+	}
+}
+
+func TestOpenFileRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("bit flip", func(t *testing.T) {
+		path, _, _ := writeStreamFile(t, dir, func(b []byte) []byte {
+			b[len(b)/2] ^= 0x10
+			return b
+		})
+		if _, err := OpenFile(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		path, _, _ := writeStreamFile(t, dir, func(b []byte) []byte { return b[:len(b)-6] })
+		if _, err := OpenFile(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		path, _, _ := writeStreamFile(t, dir, func(b []byte) []byte {
+			b[0] = 'Z'
+			return b
+		})
+		if _, err := OpenFile(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := OpenFile(filepath.Join(dir, "nope.scs")); err == nil {
+			t.Fatal("missing file accepted")
+		}
+	})
+}
+
+func TestFileStreamResetAfterClose(t *testing.T) {
+	// Reset on a closed file degrades to an empty stream rather than
+	// panicking mid-experiment (documented behaviour).
+	path, _, _ := writeStreamFile(t, t.TempDir(), nil)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	fs.Reset()
+	if _, ok := fs.Next(); ok {
+		t.Fatal("closed stream yielded an edge")
+	}
+}
+
+func TestFileStreamEquivalentToSliceStream(t *testing.T) {
+	// The same algorithm on the same stream via memory and via disk must
+	// produce identical covers.
+	path, hdr, edges := writeStreamFile(t, t.TempDir(), nil)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	a := Run(newFirstSetAlg(hdr.N), fs)
+	b := Run(newFirstSetAlg(hdr.N), NewSlice(edges))
+	if a.Cover.Size() != b.Cover.Size() {
+		t.Fatalf("file %d vs slice %d", a.Cover.Size(), b.Cover.Size())
+	}
+	for u := range a.Cover.Certificate {
+		if a.Cover.Certificate[u] != b.Cover.Certificate[u] {
+			t.Fatalf("certificates diverge at %d", u)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"streamcover/internal/setcover"
+)
+
+// FuzzDecode checks that Decode never panics and never returns structurally
+// invalid data on arbitrary byte inputs, and that anything it accepts
+// re-encodes to a file it accepts again.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid file and a few mutations.
+	inst := setcover.MustNewInstance(5, [][]setcover.Element{{0, 1, 2}, {3, 4}})
+	edges := EdgesOf(inst)
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{N: 5, M: 2, E: len(edges)}, edges); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("SCSTRM1\n"))
+	mutated := append([]byte(nil), valid...)
+	mutated[10] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, decoded, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: structure must be internally consistent.
+		if hdr.N <= 0 || hdr.M <= 0 || hdr.E != len(decoded) {
+			t.Fatalf("accepted inconsistent header %+v with %d edges", hdr, len(decoded))
+		}
+		for _, e := range decoded {
+			if e.Set < 0 || int(e.Set) >= hdr.M || e.Elem < 0 || int(e.Elem) >= hdr.N {
+				t.Fatalf("accepted out-of-range edge %v", e)
+			}
+		}
+		// Round trip: re-encoding must produce a decodable file with the
+		// same content.
+		var out bytes.Buffer
+		if err := Encode(&out, hdr, decoded); err != nil {
+			t.Fatalf("re-encode of accepted data failed: %v", err)
+		}
+		hdr2, decoded2, err := Decode(&out)
+		if err != nil || hdr2 != hdr || len(decoded2) != len(decoded) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzValidate checks that Validate never panics on arbitrary edge lists.
+func FuzzValidate(f *testing.F) {
+	f.Add(int16(3), int16(2), []byte{0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, nRaw, mRaw int16, raw []byte) {
+		n := int(nRaw%64) + 1
+		m := int(mRaw%64) + 1
+		sets := make([][]setcover.Element, m)
+		inst, err := setcover.NewInstance(n, sets)
+		if err != nil {
+			return
+		}
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{
+				Set:  setcover.SetID(int(raw[i]) % (m + 2)),
+				Elem: setcover.Element(int(raw[i+1]) % (n + 2)),
+			})
+		}
+		_ = Validate(inst, edges) // must not panic
+	})
+}

@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+)
+
+// CoverageReporter is implemented by algorithms that can report, mid-stream,
+// how many elements they currently consider covered (i.e. hold a witness
+// for). The instrumented runner uses it to record coverage curves — how
+// quickly each regime's algorithm accumulates its cover along the stream.
+type CoverageReporter interface {
+	CoveredCount() int
+}
+
+// TrajectoryPoint is one checkpoint of an instrumented run.
+type TrajectoryPoint struct {
+	// Pos is the number of edges processed so far (checkpoint taken after
+	// processing edge Pos-1).
+	Pos int
+	// StateWords is the instantaneous working-state size, -1 when the
+	// algorithm does not expose it.
+	StateWords int64
+	// Covered is the algorithm's current witnessed-element count, -1 when
+	// the algorithm does not expose it.
+	Covered int
+}
+
+// RunInstrumented drives alg over s like Run, additionally recording a
+// trajectory checkpoint every `every` edges (and one final checkpoint at
+// stream end). every < 1 is treated as 1.
+func RunInstrumented(alg Algorithm, s Stream, every int) (Result, []TrajectoryPoint) {
+	if every < 1 {
+		every = 1
+	}
+	s.Reset()
+	var traj []TrajectoryPoint
+	sample := func(pos int) {
+		p := TrajectoryPoint{Pos: pos, StateWords: -1, Covered: -1}
+		if cr, ok := alg.(space.CurrentReporter); ok {
+			p.StateWords = cr.Current().State
+		}
+		if cc, ok := alg.(CoverageReporter); ok {
+			p.Covered = cc.CoveredCount()
+		}
+		traj = append(traj, p)
+	}
+
+	n := 0
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		alg.Process(e)
+		n++
+		if n%every == 0 {
+			sample(n)
+		}
+	}
+	if len(traj) == 0 || traj[len(traj)-1].Pos != n {
+		sample(n)
+	}
+	res := Result{Cover: alg.Finish(), Edges: n}
+	if rep, ok := alg.(space.Reporter); ok {
+		res.Space = rep.Space()
+	}
+	return res, traj
+}
+
+// CoveredOf counts the witnessed elements of a certificate — the post-hoc
+// equivalent of CoveredCount for algorithms that do not implement it.
+func CoveredOf(cert []setcover.SetID) int {
+	c := 0
+	for _, w := range cert {
+		if w != setcover.NoSet {
+			c++
+		}
+	}
+	return c
+}

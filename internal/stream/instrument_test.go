@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"testing"
+
+	"streamcover/internal/setcover"
+)
+
+// coverageAlg implements both reporters for the instrumentation tests.
+type coverageAlg struct {
+	*firstSetAlg
+	count int
+}
+
+func (a *coverageAlg) Process(e Edge) {
+	if a.cert[e.Elem] == setcover.NoSet {
+		a.count++
+	}
+	a.firstSetAlg.Process(e)
+}
+
+func (a *coverageAlg) CoveredCount() int { return a.count }
+
+func TestRunInstrumentedCheckpoints(t *testing.T) {
+	inst := fixture(t)
+	edges := EdgesOf(inst)
+	alg := &coverageAlg{firstSetAlg: newFirstSetAlg(inst.UniverseSize())}
+	res, traj := RunInstrumented(alg, NewSlice(edges), 3)
+
+	if res.Edges != len(edges) {
+		t.Fatalf("Edges=%d", res.Edges)
+	}
+	if err := res.Cover.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints at 3, 6, ... plus the final one.
+	want := len(edges)/3 + boolToInt(len(edges)%3 != 0)
+	if len(traj) != want {
+		t.Fatalf("%d checkpoints, want %d (N=%d)", len(traj), want, len(edges))
+	}
+	if traj[len(traj)-1].Pos != len(edges) {
+		t.Fatalf("last checkpoint at %d, want stream end %d", traj[len(traj)-1].Pos, len(edges))
+	}
+	// Coverage and positions are nondecreasing; coverage is reported.
+	for i := 1; i < len(traj); i++ {
+		if traj[i].Pos <= traj[i-1].Pos {
+			t.Fatal("positions not increasing")
+		}
+		if traj[i].Covered < traj[i-1].Covered {
+			t.Fatal("coverage decreased")
+		}
+	}
+	if traj[len(traj)-1].Covered != inst.UniverseSize() {
+		t.Fatalf("final coverage %d, want n", traj[len(traj)-1].Covered)
+	}
+	if traj[0].StateWords < 0 {
+		t.Fatal("state not reported despite space.Tracked")
+	}
+}
+
+func TestRunInstrumentedWithoutReporters(t *testing.T) {
+	inst := fixture(t)
+	res, traj := RunInstrumented(&nonReportingAlg{n: inst.UniverseSize()}, NewSlice(EdgesOf(inst)), 0)
+	if res.Edges != inst.NumEdges() {
+		t.Fatal("stream not consumed")
+	}
+	for _, p := range traj {
+		if p.StateWords != -1 || p.Covered != -1 {
+			t.Fatalf("missing reporters should yield -1, got %+v", p)
+		}
+	}
+}
+
+func TestCoveredOf(t *testing.T) {
+	cert := []setcover.SetID{0, setcover.NoSet, 3, setcover.NoSet}
+	if got := CoveredOf(cert); got != 2 {
+		t.Fatalf("CoveredOf=%d", got)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,186 @@
+package stream
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+// Order identifies an arrival order for the edges of an instance.
+//
+// The paper distinguishes adversarially ordered streams (Theorems 1, 2, 4)
+// from uniformly random ones (Theorem 3). An actual worst-case adversary is
+// algorithm-specific; the experiments instead use a family of structured
+// orders that exercise the behaviours the analysis worries about — sets
+// spread across the whole stream (RoundRobin), sets arriving contiguously
+// (SetMajor, the set-arrival special case), elements arriving grouped
+// (ElementMajor), and high-degree elements arriving last (HighDegreeLast,
+// which starves degree-based signals for as long as possible).
+type Order int
+
+const (
+	// SetMajor emits each set's edges contiguously, sets in id order. This
+	// makes an edge-arrival stream equivalent to a set-arrival one.
+	SetMajor Order = iota
+	// SetMajorShuffled emits each set's edges contiguously, sets in random
+	// order — the standard set-arrival model.
+	SetMajorShuffled
+	// ElementMajor groups edges by element, elements in id order.
+	ElementMajor
+	// RoundRobin deals one edge per set in rotation, maximally spreading
+	// every set across the stream — the hard case motivating uncovered-degree
+	// counters (paper §1.2).
+	RoundRobin
+	// HighDegreeLast emits edges of low-degree elements first and edges of
+	// the highest-degree elements at the very end, starving the degree
+	// signal Algorithm 1's epoch 0 relies on.
+	HighDegreeLast
+	// Random is a uniformly random permutation — the random-order model of
+	// Theorem 3.
+	Random
+)
+
+// Orders lists every defined order, for sweep experiments.
+func Orders() []Order {
+	return []Order{SetMajor, SetMajorShuffled, ElementMajor, RoundRobin, HighDegreeLast, Random}
+}
+
+// AdversarialOrders lists the structured (non-random) orders.
+func AdversarialOrders() []Order {
+	return []Order{SetMajor, SetMajorShuffled, ElementMajor, RoundRobin, HighDegreeLast}
+}
+
+func (o Order) String() string {
+	switch o {
+	case SetMajor:
+		return "set-major"
+	case SetMajorShuffled:
+		return "set-major-shuffled"
+	case ElementMajor:
+		return "element-major"
+	case RoundRobin:
+		return "round-robin"
+	case HighDegreeLast:
+		return "high-degree-last"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// ParseOrder maps an order name (as produced by String) back to its Order.
+func ParseOrder(s string) (Order, error) {
+	for _, o := range Orders() {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("stream: unknown order %q", s)
+}
+
+// Arrange materialises the edges of inst in the given order. Orders with a
+// random component (SetMajorShuffled, Random) draw from rng; the others
+// ignore it (rng may be nil for deterministic orders).
+func Arrange(inst *setcover.Instance, o Order, rng *xrand.Rand) []Edge {
+	switch o {
+	case SetMajor:
+		return EdgesOf(inst)
+
+	case SetMajorShuffled:
+		perm := rng.Perm(inst.NumSets())
+		edges := make([]Edge, 0, inst.NumEdges())
+		for _, s := range perm {
+			for _, u := range inst.Set(setcover.SetID(s)) {
+				edges = append(edges, Edge{Set: setcover.SetID(s), Elem: u})
+			}
+		}
+		return edges
+
+	case ElementMajor:
+		edges := EdgesOf(inst)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Elem != edges[j].Elem {
+				return edges[i].Elem < edges[j].Elem
+			}
+			return edges[i].Set < edges[j].Set
+		})
+		return edges
+
+	case RoundRobin:
+		m := inst.NumSets()
+		pos := make([]int, m)
+		edges := make([]Edge, 0, inst.NumEdges())
+		for remaining := inst.NumEdges(); remaining > 0; {
+			for s := 0; s < m; s++ {
+				set := inst.Set(setcover.SetID(s))
+				if pos[s] < len(set) {
+					edges = append(edges, Edge{Set: setcover.SetID(s), Elem: set[pos[s]]})
+					pos[s]++
+					remaining--
+				}
+			}
+		}
+		return edges
+
+	case HighDegreeLast:
+		deg := inst.ElementDegrees()
+		edges := EdgesOf(inst)
+		sort.SliceStable(edges, func(i, j int) bool {
+			di, dj := deg[edges[i].Elem], deg[edges[j].Elem]
+			if di != dj {
+				return di < dj
+			}
+			if edges[i].Elem != edges[j].Elem {
+				return edges[i].Elem < edges[j].Elem
+			}
+			return edges[i].Set < edges[j].Set
+		})
+		return edges
+
+	case Random:
+		edges := EdgesOf(inst)
+		rng.Shuffle(len(edges), func(i, j int) {
+			edges[i], edges[j] = edges[j], edges[i]
+		})
+		return edges
+
+	default:
+		panic(fmt.Sprintf("stream: unknown order %d", int(o)))
+	}
+}
+
+// Shuffled returns a fresh uniformly random permutation of edges without
+// modifying the input — used when the same instance is streamed repeatedly
+// with independent random orders.
+func Shuffled(edges []Edge, rng *xrand.Rand) []Edge {
+	out := slices.Clone(edges)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// WindowShuffled interpolates between an adversarial base order and the
+// uniform random order: the input sequence is cut into consecutive windows
+// of the given size and each window is shuffled internally, so the
+// adversary keeps control at granularity `window` while local order is
+// random. window ≤ 1 returns the base order unchanged; window ≥ len(edges)
+// is a full uniform shuffle. The E-ROBUST experiment sweeps the window to
+// chart how much local randomness Algorithm 1's signal detection needs.
+func WindowShuffled(edges []Edge, window int, rng *xrand.Rand) []Edge {
+	out := slices.Clone(edges)
+	if window <= 1 {
+		return out
+	}
+	for lo := 0; lo < len(out); lo += window {
+		hi := lo + window
+		if hi > len(out) {
+			hi = len(out)
+		}
+		win := out[lo:hi]
+		rng.Shuffle(len(win), func(i, j int) { win[i], win[j] = win[j], win[i] })
+	}
+	return out
+}

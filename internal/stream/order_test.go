@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+func TestOrderStringsRoundTrip(t *testing.T) {
+	for _, o := range Orders() {
+		got, err := ParseOrder(o.String())
+		if err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+		if got != o {
+			t.Fatalf("round trip %v -> %v", o, got)
+		}
+	}
+	if _, err := ParseOrder("nonsense"); err == nil {
+		t.Fatal("ParseOrder accepted nonsense")
+	}
+	if s := Order(99).String(); s != "order(99)" {
+		t.Fatalf("unknown order String = %q", s)
+	}
+}
+
+func TestAdversarialOrdersExcludeRandom(t *testing.T) {
+	for _, o := range AdversarialOrders() {
+		if o == Random {
+			t.Fatal("AdversarialOrders contains Random")
+		}
+	}
+	if len(AdversarialOrders())+1 != len(Orders()) {
+		t.Fatal("order lists inconsistent")
+	}
+}
+
+func TestArrangeAllOrdersArePermutations(t *testing.T) {
+	inst := fixture(t)
+	rng := xrand.New(5)
+	for _, o := range Orders() {
+		edges := Arrange(inst, o, rng)
+		if err := Validate(inst, edges); err != nil {
+			t.Errorf("%v not a permutation: %v", o, err)
+		}
+	}
+}
+
+func TestSetMajorContiguous(t *testing.T) {
+	inst := fixture(t)
+	for _, o := range []Order{SetMajor, SetMajorShuffled} {
+		edges := Arrange(inst, o, xrand.New(2))
+		// Every set's edges must be contiguous.
+		lastSeen := map[setcover.SetID]int{}
+		for i, e := range edges {
+			if prev, ok := lastSeen[e.Set]; ok && prev != i-1 {
+				t.Errorf("%v: set %d not contiguous (positions %d and %d)", o, e.Set, prev, i)
+			}
+			lastSeen[e.Set] = i
+		}
+	}
+}
+
+func TestElementMajorGrouped(t *testing.T) {
+	inst := fixture(t)
+	edges := Arrange(inst, ElementMajor, nil)
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Elem < edges[i-1].Elem {
+			t.Fatalf("elements not ascending at %d: %v after %v", i, edges[i], edges[i-1])
+		}
+	}
+}
+
+func TestRoundRobinSpreadsSets(t *testing.T) {
+	// Instance with two sets of 3 elements each: round robin must alternate.
+	inst := setcover.MustNewInstance(6, [][]setcover.Element{{0, 1, 2}, {3, 4, 5}})
+	edges := Arrange(inst, RoundRobin, nil)
+	want := []Edge{{0, 0}, {1, 3}, {0, 1}, {1, 4}, {0, 2}, {1, 5}}
+	for i, e := range want {
+		if edges[i] != e {
+			t.Fatalf("edges[%d]=%v want %v", i, edges[i], e)
+		}
+	}
+}
+
+func TestHighDegreeLastOrdersByDegree(t *testing.T) {
+	// Element 0 has degree 3, element 1 degree 1, element 2 degree 1.
+	inst := setcover.MustNewInstance(3, [][]setcover.Element{{0, 1}, {0, 2}, {0}})
+	edges := Arrange(inst, HighDegreeLast, nil)
+	// The three degree-3 edges (element 0) must be the last three.
+	for i := len(edges) - 3; i < len(edges); i++ {
+		if edges[i].Elem != 0 {
+			t.Fatalf("edge %d = %v, want element 0 at the end", i, edges[i])
+		}
+	}
+}
+
+func TestRandomOrderDeterministicPerSeed(t *testing.T) {
+	inst := fixture(t)
+	a := Arrange(inst, Random, xrand.New(7))
+	b := Arrange(inst, Random, xrand.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+	c := Arrange(inst, Random, xrand.New(8))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical order (suspicious)")
+	}
+}
+
+func TestShuffledDoesNotMutate(t *testing.T) {
+	inst := fixture(t)
+	orig := EdgesOf(inst)
+	snapshot := append([]Edge(nil), orig...)
+	_ = Shuffled(orig, xrand.New(3))
+	for i := range orig {
+		if orig[i] != snapshot[i] {
+			t.Fatal("Shuffled mutated its input")
+		}
+	}
+}
+
+func TestWindowShuffledIsPermutation(t *testing.T) {
+	inst := fixture(t)
+	base := EdgesOf(inst)
+	for _, win := range []int{1, 2, 3, len(base), len(base) * 2} {
+		out := WindowShuffled(base, win, xrand.New(uint64(win)))
+		if err := Validate(inst, out); err != nil {
+			t.Errorf("window %d: %v", win, err)
+		}
+	}
+}
+
+func TestWindowShuffledRespectsWindows(t *testing.T) {
+	inst := fixture(t)
+	base := EdgesOf(inst)
+	win := 3
+	out := WindowShuffled(base, win, xrand.New(5))
+	// Each window must be a permutation of the corresponding base window.
+	for lo := 0; lo < len(base); lo += win {
+		hi := lo + win
+		if hi > len(base) {
+			hi = len(base)
+		}
+		want := map[Edge]int{}
+		got := map[Edge]int{}
+		for i := lo; i < hi; i++ {
+			want[base[i]]++
+			got[out[i]]++
+		}
+		for e, c := range want {
+			if got[e] != c {
+				t.Fatalf("window [%d,%d): edge %v escaped its window", lo, hi, e)
+			}
+		}
+	}
+}
+
+func TestWindowShuffledEdgeCases(t *testing.T) {
+	inst := fixture(t)
+	base := EdgesOf(inst)
+	// window ≤ 1 must be the identity.
+	out := WindowShuffled(base, 1, xrand.New(1))
+	for i := range base {
+		if out[i] != base[i] {
+			t.Fatal("window 1 permuted the stream")
+		}
+	}
+	out = WindowShuffled(base, 0, xrand.New(1))
+	for i := range base {
+		if out[i] != base[i] {
+			t.Fatal("window 0 permuted the stream")
+		}
+	}
+	// Input must not be mutated.
+	snapshot := append([]Edge(nil), base...)
+	_ = WindowShuffled(base, 4, xrand.New(2))
+	for i := range base {
+		if base[i] != snapshot[i] {
+			t.Fatal("WindowShuffled mutated its input")
+		}
+	}
+}
+
+func TestArrangeUnknownOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Arrange(fixture(t), Order(42), nil)
+}

@@ -1,0 +1,54 @@
+package stream
+
+import (
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+)
+
+// Algorithm is a one-pass streaming set cover algorithm: it observes each
+// edge exactly once, in stream order, and afterwards produces a cover with a
+// certificate. Implementations additionally implement space.Reporter so the
+// harness can verify the paper's space bounds.
+type Algorithm interface {
+	// Process observes the next edge of the stream.
+	Process(e Edge)
+	// Finish runs any post-processing (e.g. the patching phases of
+	// Algorithms 1 and 2) and returns the output cover. It must be called
+	// exactly once, after the whole stream has been processed.
+	Finish() *setcover.Cover
+}
+
+// Result is the outcome of driving an Algorithm over a Stream.
+type Result struct {
+	Cover *setcover.Cover
+	// Edges is the number of edges processed (= stream length).
+	Edges int
+	// Space is the algorithm's peak usage if it implements space.Reporter,
+	// zero otherwise.
+	Space space.Usage
+}
+
+// Run resets s, feeds every edge to alg in order, finishes the algorithm
+// and collects the result.
+func Run(alg Algorithm, s Stream) Result {
+	s.Reset()
+	n := 0
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		alg.Process(e)
+		n++
+	}
+	res := Result{Cover: alg.Finish(), Edges: n}
+	if rep, ok := alg.(space.Reporter); ok {
+		res.Space = rep.Space()
+	}
+	return res
+}
+
+// RunEdges is Run over an in-memory edge slice.
+func RunEdges(alg Algorithm, edges []Edge) Result {
+	return Run(alg, NewSlice(edges))
+}

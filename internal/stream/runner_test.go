@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+)
+
+// firstSetAlg is a toy one-pass algorithm: cover every element with the
+// first set it arrives with. It exists to test the driver.
+type firstSetAlg struct {
+	space.Tracked
+	n    int
+	cert []setcover.SetID
+}
+
+func newFirstSetAlg(n int) *firstSetAlg {
+	a := &firstSetAlg{n: n, cert: make([]setcover.SetID, n)}
+	for i := range a.cert {
+		a.cert[i] = setcover.NoSet
+	}
+	a.AuxMeter.Add(int64(n))
+	return a
+}
+
+func (a *firstSetAlg) Process(e Edge) {
+	if a.cert[e.Elem] == setcover.NoSet {
+		a.cert[e.Elem] = e.Set
+		a.StateMeter.Add(1)
+	}
+}
+
+func (a *firstSetAlg) Finish() *setcover.Cover {
+	var chosen []setcover.SetID
+	for _, s := range a.cert {
+		if s != setcover.NoSet {
+			chosen = append(chosen, s)
+		}
+	}
+	return setcover.NewCover(chosen, a.cert)
+}
+
+func TestRunDrivesWholeStream(t *testing.T) {
+	inst := fixture(t)
+	alg := newFirstSetAlg(inst.UniverseSize())
+	res := Run(alg, NewSlice(EdgesOf(inst)))
+	if res.Edges != inst.NumEdges() {
+		t.Fatalf("Edges=%d want %d", res.Edges, inst.NumEdges())
+	}
+	if err := res.Cover.Verify(inst); err != nil {
+		t.Fatalf("cover invalid: %v", err)
+	}
+	if res.Space.State != int64(inst.UniverseSize()) {
+		t.Fatalf("Space.State=%d want %d", res.Space.State, inst.UniverseSize())
+	}
+	if res.Space.Aux != int64(inst.UniverseSize()) {
+		t.Fatalf("Space.Aux=%d", res.Space.Aux)
+	}
+}
+
+func TestRunResetsStream(t *testing.T) {
+	inst := fixture(t)
+	s := NewSlice(EdgesOf(inst))
+	// Exhaust the stream first; Run must still see everything.
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	res := Run(newFirstSetAlg(inst.UniverseSize()), s)
+	if res.Edges != inst.NumEdges() {
+		t.Fatalf("Run did not Reset: saw %d edges", res.Edges)
+	}
+}
+
+func TestRunEdges(t *testing.T) {
+	inst := fixture(t)
+	res := RunEdges(newFirstSetAlg(inst.UniverseSize()), EdgesOf(inst))
+	if err := res.Cover.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nonReportingAlg checks Run tolerates algorithms without space reporting.
+type nonReportingAlg struct{ n int }
+
+func (a *nonReportingAlg) Process(Edge) {}
+func (a *nonReportingAlg) Finish() *setcover.Cover {
+	return setcover.NewCover(nil, make([]setcover.SetID, a.n))
+}
+
+func TestRunWithoutSpaceReporter(t *testing.T) {
+	inst := fixture(t)
+	res := Run(&nonReportingAlg{n: inst.UniverseSize()}, NewSlice(EdgesOf(inst)))
+	if res.Space != (space.Usage{}) {
+		t.Fatalf("Space=%v want zero", res.Space)
+	}
+}

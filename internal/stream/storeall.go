@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+)
+
+// StoreAll is the unbounded-space reference algorithm: it stores every edge
+// and solves the observed instance with offline greedy at the end. It is the
+// upper anchor in space experiments (what "remembering everything" costs)
+// and the distinguishing oracle in the Theorem 2 reduction experiments.
+//
+// Elements that never appear in the stream are uncoverable; their
+// certificate entries remain NoSet and Uncovered reports how many there are
+// (the resulting Cover then fails Verify, faithfully signalling an
+// infeasible input).
+type StoreAll struct {
+	space.Tracked
+
+	n, m      int
+	edges     []Edge
+	uncovered int
+}
+
+// NewStoreAll returns a store-everything run for n elements and m sets.
+func NewStoreAll(n, m int) *StoreAll {
+	if n <= 0 || m <= 0 {
+		panic("stream: NewStoreAll needs n > 0 and m > 0")
+	}
+	return &StoreAll{n: n, m: m}
+}
+
+// Process implements Algorithm.
+func (a *StoreAll) Process(e Edge) {
+	a.edges = append(a.edges, e)
+	a.StateMeter.Add(2) // a stored edge is two words
+}
+
+// Finish implements Algorithm: greedy over the elements that appeared.
+func (a *StoreAll) Finish() *setcover.Cover {
+	b := setcover.NewBuilder(a.n)
+	b.EnsureSets(a.m)
+	for _, e := range a.edges {
+		if err := b.AddEdge(e.Set, e.Elem); err != nil {
+			panic("stream: StoreAll rebuild: " + err.Error())
+		}
+	}
+	inst, err := b.Build()
+	if err != nil {
+		panic("stream: StoreAll rebuild: " + err.Error())
+	}
+	cov, uncoverable, err := setcover.GreedyPartial(inst)
+	if err != nil {
+		panic("stream: StoreAll greedy: " + err.Error())
+	}
+	a.uncovered = uncoverable
+	return cov
+}
+
+// Uncovered reports how many elements never appeared in the stream,
+// available after Finish.
+func (a *StoreAll) Uncovered() int { return a.uncovered }
+
+var _ Algorithm = (*StoreAll)(nil)
+var _ space.Reporter = (*StoreAll)(nil)

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+func fixture(t testing.TB) *setcover.Instance {
+	t.Helper()
+	return setcover.MustNewInstance(5, [][]setcover.Element{
+		{0, 1, 2},
+		{2, 3},
+		{4},
+		{0, 4},
+	})
+}
+
+func TestEdgesOfCanonical(t *testing.T) {
+	inst := fixture(t)
+	edges := EdgesOf(inst)
+	if len(edges) != inst.NumEdges() {
+		t.Fatalf("len=%d want %d", len(edges), inst.NumEdges())
+	}
+	want := []Edge{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 2}, {1, 3},
+		{2, 4},
+		{3, 0}, {3, 4},
+	}
+	for i, e := range want {
+		if edges[i] != e {
+			t.Fatalf("edges[%d]=%v want %v", i, edges[i], e)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	edges := []Edge{{0, 1}, {2, 3}}
+	s := NewSlice(edges)
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	e, ok := s.Next()
+	if !ok || e != (Edge{0, 1}) {
+		t.Fatalf("first Next = %v %v", e, ok)
+	}
+	e, ok = s.Next()
+	if !ok || e != (Edge{2, 3}) {
+		t.Fatalf("second Next = %v %v", e, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next after end returned ok")
+	}
+	s.Reset()
+	if e, ok := s.Next(); !ok || e != (Edge{0, 1}) {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestValidateAcceptsPermutation(t *testing.T) {
+	inst := fixture(t)
+	rng := xrand.New(1)
+	for _, o := range Orders() {
+		edges := Arrange(inst, o, rng)
+		if err := Validate(inst, edges); err != nil {
+			t.Errorf("%v: %v", o, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	inst := fixture(t)
+	good := EdgesOf(inst)
+	cases := []struct {
+		name  string
+		edges []Edge
+	}{
+		{"short", good[:len(good)-1]},
+		{"duplicate", append(append([]Edge{}, good[:len(good)-1]...), good[0])},
+		{"bad set", append(append([]Edge{}, good[:len(good)-1]...), Edge{99, 0})},
+		{"bad elem", append(append([]Edge{}, good[:len(good)-1]...), Edge{0, 99})},
+		{"not a member", append(append([]Edge{}, good[:len(good)-1]...), Edge{2, 0})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Validate(inst, tc.edges); err == nil {
+				t.Error("accepted invalid stream")
+			}
+		})
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	if got := (Edge{3, 7}).String(); got != "(S3,u7)" {
+		t.Fatalf("String=%q", got)
+	}
+}

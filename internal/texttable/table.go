@@ -1,0 +1,118 @@
+// Package texttable renders aligned plain-text tables for the benchmark
+// harness output — the rows of the paper's Table 1 and the experiment
+// reports in EXPERIMENTS.md.
+package texttable
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells; each argument is rendered with
+// %v.
+func (t *Table) AddRowf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		s[i] = fmt.Sprintf("%v", c)
+	}
+	t.AddRow(s...)
+}
+
+// NumRows returns how many rows have been added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table. It always returns a nil error unless the
+// underlying writer fails.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
+			}
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	var out strings.Builder
+	if t.title != "" {
+		out.WriteString(t.title + "\n")
+	}
+	out.WriteString(line(t.headers) + "\n")
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	out.WriteString(line(sep) + "\n")
+	for _, row := range t.rows {
+		out.WriteString(line(row) + "\n")
+	}
+	n, err := io.WriteString(w, out.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table (used
+// when regenerating EXPERIMENTS.md sections).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.title)
+	}
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

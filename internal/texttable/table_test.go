@@ -1,0 +1,107 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("Demo", "algo", "space", "ratio")
+	tb.AddRow("kk", "12345", "1.5")
+	tb.AddRow("alg1-random", "99", "20.25")
+	out := tb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// Column 2 ("space") must start at the same offset in every body line.
+	hIdx := strings.Index(lines[1], "space")
+	r1Idx := strings.Index(lines[3], "12345")
+	r2Idx := strings.Index(lines[4], "99")
+	if hIdx != r1Idx || hIdx != r2Idx {
+		t.Fatalf("columns misaligned (%d, %d, %d):\n%s", hIdx, r1Idx, r2Idx, out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("1", "2")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatalf("leading blank line:\n%q", out)
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Fatalf("missing header:\n%q", out)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")              // short row padded
+	tb.AddRow("x", "y", "dropped") // long row truncated
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows=%d", tb.NumRows())
+	}
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "n", "ratio")
+	tb.AddRowf(400, 1.25)
+	if !strings.Contains(tb.String(), "400") || !strings.Contains(tb.String(), "1.25") {
+		t.Fatalf("formatted row missing:\n%s", tb.String())
+	}
+}
+
+func TestNoTrailingSpaces(t *testing.T) {
+	tb := New("T", "col", "c")
+	tb.AddRow("longvalue", "x")
+	tb.AddRow("s", "x")
+	for _, line := range strings.Split(tb.String(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Fatalf("trailing space in %q", line)
+		}
+	}
+}
+
+func TestMultiByteCellsAlign(t *testing.T) {
+	tb := New("", "value", "note")
+	tb.AddRow("90±6", "x")
+	tb.AddRow("1900±55", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// The "note" column must start at the same rune offset on every line.
+	col := -1
+	for _, line := range lines[2:] {
+		runes := []rune(line)
+		idx := -1
+		for i, r := range runes {
+			if r == 'x' || r == 'y' {
+				idx = i
+				break
+			}
+		}
+		if col == -1 {
+			col = idx
+		} else if idx != col {
+			t.Fatalf("multi-byte cells misaligned (%d vs %d):\n%s", idx, col, tb.String())
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("Title", "a", "b")
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	for _, want := range []string{"**Title**", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

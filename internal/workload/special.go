@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+// GreedyWorstCase builds the classical tight instance for the greedy
+// algorithm (Johnson's construction): a universe of 2^{k+1}−2 elements
+// partitioned into bait blocks B_1..B_k with |B_j| = 2^{k+1−j}, plus two
+// optimal sets each holding half of every block. Greedy strictly prefers
+// the baits (|B_1| = 2^k beats each optimal set's 2^k−1) and takes all k of
+// them, so greedy/OPT = k/2 = Θ(log n) while OPT = 2.
+//
+// Experiments use it to exercise the regime where even the offline
+// reference is far from OPT — streaming ratios are measured against OPT,
+// not greedy, on such instances. PlantedOPT is set to the true optimum 2.
+func GreedyWorstCase(k int) Workload {
+	if k < 1 || k > 30 {
+		panic(fmt.Sprintf("workload: GreedyWorstCase k=%d out of [1,30]", k))
+	}
+	n := (1 << (k + 1)) - 2
+	var baits [][]setcover.Element
+	opt1 := make([]setcover.Element, 0, n/2)
+	opt2 := make([]setcover.Element, 0, n/2)
+	next := setcover.Element(0)
+	for j := 1; j <= k; j++ {
+		blockSize := 1 << (k + 1 - j)
+		bait := make([]setcover.Element, 0, blockSize)
+		for i := 0; i < blockSize; i++ {
+			bait = append(bait, next)
+			if i < blockSize/2 {
+				opt1 = append(opt1, next)
+			} else {
+				opt2 = append(opt2, next)
+			}
+			next++
+		}
+		baits = append(baits, bait)
+	}
+	sets := append([][]setcover.Element{opt1, opt2}, baits...)
+	return Workload{
+		Name:       fmt.Sprintf("greedy-worst(k=%d,n=%d)", k, n),
+		Inst:       setcover.MustNewInstance(n, sets),
+		PlantedOPT: 2,
+	}
+}
+
+// GeometricDisks builds a geometric covering instance: the universe is a
+// g×g grid of points and each set is the disk of radius r around a random
+// center — the "sensor placement" flavour of Set Cover. Feasibility is
+// patched by inserting uncovered points into their nearest disk's set.
+func GeometricDisks(rng *xrand.Rand, g, m int, r float64) Workload {
+	if g < 1 || m < 1 || r <= 0 {
+		panic(fmt.Sprintf("workload: GeometricDisks g=%d m=%d r=%v invalid", g, m, r))
+	}
+	n := g * g
+	type pt struct{ x, y int }
+	centers := make([]pt, m)
+	sets := make([][]setcover.Element, m)
+	covered := make([]bool, n)
+	r2 := r * r
+	for i := 0; i < m; i++ {
+		c := pt{rng.IntN(g), rng.IntN(g)}
+		centers[i] = c
+		lo := func(v int) int { return max(0, v-int(r)-1) }
+		hi := func(v int) int { return min(g-1, v+int(r)+1) }
+		for x := lo(c.x); x <= hi(c.x); x++ {
+			for y := lo(c.y); y <= hi(c.y); y++ {
+				dx, dy := float64(x-c.x), float64(y-c.y)
+				if dx*dx+dy*dy <= r2 {
+					u := setcover.Element(x*g + y)
+					sets[i] = append(sets[i], u)
+					covered[u] = true
+				}
+			}
+		}
+	}
+	// Patch: each uncovered point joins the disk with the nearest center.
+	for u := 0; u < n; u++ {
+		if covered[u] {
+			continue
+		}
+		x, y := u/g, u%g
+		best, bestD := 0, math.Inf(1)
+		for i, c := range centers {
+			dx, dy := float64(x-c.x), float64(y-c.y)
+			if d := dx*dx + dy*dy; d < bestD {
+				bestD = d
+				best = i
+			}
+		}
+		sets[best] = append(sets[best], setcover.Element(u))
+	}
+	return Workload{
+		Name: fmt.Sprintf("disks(g=%d,m=%d,r=%.1f)", g, m, r),
+		Inst: setcover.MustNewInstance(n, sets),
+	}
+}

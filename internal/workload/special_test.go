@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+func TestGreedyWorstCaseShape(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		w := GreedyWorstCase(k)
+		n := (1 << (k + 1)) - 2
+		if w.Inst.UniverseSize() != n {
+			t.Fatalf("k=%d: n=%d want %d", k, w.Inst.UniverseSize(), n)
+		}
+		if w.Inst.NumSets() != k+2 {
+			t.Fatalf("k=%d: m=%d want %d", k, w.Inst.NumSets(), k+2)
+		}
+		if err := w.Inst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Sets 0 and 1 are the optimal pair.
+		if w.Inst.SetSize(0) != n/2 || w.Inst.SetSize(1) != n/2 {
+			t.Fatalf("k=%d: optimal sets sized %d/%d", k, w.Inst.SetSize(0), w.Inst.SetSize(1))
+		}
+	}
+}
+
+func TestGreedyWorstCaseFoolsGreedy(t *testing.T) {
+	k := 6
+	w := GreedyWorstCase(k)
+	g, err := setcover.GreedySize(w.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != k {
+		t.Fatalf("greedy picked %d sets, want exactly the %d baits", g, k)
+	}
+	// Exact solver confirms OPT = 2 for small k.
+	small := GreedyWorstCase(4)
+	opt, err := setcover.ExactSize(small.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Fatalf("exact OPT = %d want 2", opt)
+	}
+}
+
+func TestGreedyWorstCasePanics(t *testing.T) {
+	for _, k := range []int{0, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GreedyWorstCase(%d) did not panic", k)
+				}
+			}()
+			GreedyWorstCase(k)
+		}()
+	}
+}
+
+func TestGeometricDisksFeasibleAndLocal(t *testing.T) {
+	w := GeometricDisks(xrand.New(1), 20, 60, 3.0)
+	if w.Inst.UniverseSize() != 400 {
+		t.Fatalf("n=%d", w.Inst.UniverseSize())
+	}
+	if err := w.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Disk sets (before patching) are geometrically local: their size is at
+	// most the number of grid points in a radius-3 disk (~29) plus patched
+	// strays; demand a loose cap.
+	for s := 0; s < w.Inst.NumSets(); s++ {
+		if w.Inst.SetSize(setcover.SetID(s)) > 80 {
+			t.Fatalf("disk %d has %d points; not local", s, w.Inst.SetSize(setcover.SetID(s)))
+		}
+	}
+}
+
+func TestGeometricDisksDeterministic(t *testing.T) {
+	a := GeometricDisks(xrand.New(2), 15, 40, 2.5)
+	b := GeometricDisks(xrand.New(2), 15, 40, 2.5)
+	if a.Inst.NumEdges() != b.Inst.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestGeometricDisksPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { GeometricDisks(xrand.New(1), 0, 5, 1) },
+		func() { GeometricDisks(xrand.New(1), 5, 0, 1) },
+		func() { GeometricDisks(xrand.New(1), 5, 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

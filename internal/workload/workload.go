@@ -1,0 +1,235 @@
+// Package workload generates the synthetic Set Cover instances the
+// experiments run on.
+//
+// The paper's evaluation landscape (Table 1) is about approximation-vs-space
+// trade-offs relative to OPT, so most experiments use planted-cover
+// instances where OPT is known by construction. The remaining generators
+// exercise specific behaviours: Zipf-skewed element degrees (the high-degree
+// elements epoch 0 of Algorithm 1 must detect), dominating-set graphs (the
+// m = n special case the KK-algorithm was designed for, [19]), and the
+// m = Ω̃(n²) regime Theorem 3 requires.
+//
+// Every generator returns a feasible instance (each element in ≥ 1 set).
+package workload
+
+import (
+	"fmt"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+// Workload couples an instance with what is known about its optimum.
+type Workload struct {
+	// Name identifies the generator and parameters, for reports.
+	Name string
+	// Inst is the generated, feasible instance.
+	Inst *setcover.Instance
+	// PlantedOPT is a known upper bound on OPT when the generator planted a
+	// cover (the true OPT can only be smaller if noise sets happen to form a
+	// better cover, which the generators make unlikely); 0 when unknown.
+	PlantedOPT int
+}
+
+// OptEstimate returns the best available stand-in for OPT: the planted value
+// when present, otherwise the greedy cover size (an (ln n+1)-approximation).
+func (w Workload) OptEstimate() (int, error) {
+	if w.PlantedOPT > 0 {
+		return w.PlantedOPT, nil
+	}
+	return setcover.GreedySize(w.Inst)
+}
+
+// Planted builds an instance whose optimum is (essentially) known: the
+// universe is partitioned into opt equal blocks, one planted set per block,
+// and the remaining m-opt sets are noise sets of size noiseSize drawn
+// uniformly at random. Since every noise set is much smaller than a block,
+// no cover can use fewer than opt sets unless noiseSize·k ≥ n for small k;
+// callers keep noiseSize ≤ n/(2·opt) for a sharp bound — the default used
+// when noiseSize <= 0.
+//
+// Planted panics on invalid parameters (opt < 1, opt > n, m < opt).
+func Planted(rng *xrand.Rand, n, m, opt, noiseSize int) Workload {
+	if opt < 1 || opt > n {
+		panic(fmt.Sprintf("workload: Planted opt=%d out of range [1,%d]", opt, n))
+	}
+	if m < opt {
+		panic(fmt.Sprintf("workload: Planted m=%d < opt=%d", m, opt))
+	}
+	if noiseSize <= 0 {
+		noiseSize = n / (2 * opt)
+		if noiseSize < 1 {
+			noiseSize = 1
+		}
+	}
+	sets := make([][]setcover.Element, 0, m)
+	// Planted blocks: contiguous ranges, element u in block u·opt/n.
+	block := make([][]setcover.Element, opt)
+	for u := 0; u < n; u++ {
+		b := u * opt / n
+		block[b] = append(block[b], setcover.Element(u))
+	}
+	sets = append(sets, block...)
+	for len(sets) < m {
+		sz := noiseSize
+		if sz > n {
+			sz = n
+		}
+		sets = append(sets, rng.SampleK32(n, sz))
+	}
+	// Shuffle set ids so planted sets are not a recognisable prefix.
+	rng.Shuffle(len(sets), func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
+	return Workload{
+		Name:       fmt.Sprintf("planted(n=%d,m=%d,opt=%d,noise=%d)", n, m, opt, noiseSize),
+		Inst:       setcover.MustNewInstance(n, sets),
+		PlantedOPT: opt,
+	}
+}
+
+// UniformRandom builds m sets whose sizes are uniform in [minSize, maxSize]
+// and whose elements are uniform without replacement, then patches
+// feasibility by inserting every uncovered element into one random set.
+func UniformRandom(rng *xrand.Rand, n, m, minSize, maxSize int) Workload {
+	if minSize < 1 || maxSize < minSize || maxSize > n {
+		panic(fmt.Sprintf("workload: UniformRandom sizes [%d,%d] invalid for n=%d", minSize, maxSize, n))
+	}
+	sets := make([][]setcover.Element, m)
+	covered := make([]bool, n)
+	for i := range sets {
+		sz := minSize + rng.IntN(maxSize-minSize+1)
+		sets[i] = rng.SampleK32(n, sz)
+		for _, u := range sets[i] {
+			covered[u] = true
+		}
+	}
+	for u := 0; u < n; u++ {
+		if !covered[u] {
+			i := rng.IntN(m)
+			sets[i] = append(sets[i], setcover.Element(u))
+		}
+	}
+	return Workload{
+		Name: fmt.Sprintf("uniform(n=%d,m=%d,size=[%d,%d])", n, m, minSize, maxSize),
+		Inst: setcover.MustNewInstance(n, sets),
+	}
+}
+
+// ZipfSkewed builds sets whose elements follow a Zipf law with exponent s,
+// producing the heavy-tailed element degrees (a few elements in very many
+// sets) that exercise the high-degree detection of Algorithm 1's epoch 0 and
+// Lemma 6's tracking. Feasibility is patched as in UniformRandom.
+func ZipfSkewed(rng *xrand.Rand, n, m, meanSize int, s float64) Workload {
+	if meanSize < 1 || meanSize > n {
+		panic(fmt.Sprintf("workload: ZipfSkewed meanSize=%d invalid for n=%d", meanSize, n))
+	}
+	z := xrand.NewZipf(rng, n, s)
+	sets := make([][]setcover.Element, m)
+	covered := make([]bool, n)
+	for i := range sets {
+		seen := make(map[setcover.Element]struct{}, meanSize)
+		// Draw until meanSize distinct elements (bounded retries keep the
+		// generator fast even under extreme skew).
+		for tries := 0; len(seen) < meanSize && tries < 20*meanSize; tries++ {
+			seen[setcover.Element(z.Draw())] = struct{}{}
+		}
+		for u := range seen {
+			sets[i] = append(sets[i], u)
+			covered[u] = true
+		}
+	}
+	for u := 0; u < n; u++ {
+		if !covered[u] {
+			sets[rng.IntN(m)] = append(sets[rng.IntN(m)], setcover.Element(u))
+		}
+	}
+	return Workload{
+		Name: fmt.Sprintf("zipf(n=%d,m=%d,mean=%d,s=%.2f)", n, m, meanSize, s),
+		Inst: setcover.MustNewInstance(n, sets),
+	}
+}
+
+// DominatingSet builds the Dominating Set special case of edge-arrival Set
+// Cover ([19]): an Erdős–Rényi graph G(n, p) where set i is the closed
+// neighbourhood N[i] of vertex i, so m = n and the instance is feasible by
+// construction (i ∈ N[i]).
+func DominatingSet(rng *xrand.Rand, n int, p float64) Workload {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("workload: DominatingSet p=%v out of [0,1]", p))
+	}
+	sets := make([][]setcover.Element, n)
+	for i := 0; i < n; i++ {
+		sets[i] = append(sets[i], setcover.Element(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Coin(p) {
+				sets[i] = append(sets[i], setcover.Element(j))
+				sets[j] = append(sets[j], setcover.Element(i))
+			}
+		}
+	}
+	return Workload{
+		Name: fmt.Sprintf("domset(n=%d,p=%.3f)", n, p),
+		Inst: setcover.MustNewInstance(n, sets),
+	}
+}
+
+// QuadraticPlanted is Planted in the m = Ω̃(n²) regime Theorem 3 assumes:
+// m = factor·n². Noise sets are kept small so the planted optimum stays
+// sharp even with quadratically many sets.
+func QuadraticPlanted(rng *xrand.Rand, n, opt, factor int) Workload {
+	if factor < 1 {
+		panic("workload: QuadraticPlanted factor < 1")
+	}
+	m := factor * n * n
+	w := Planted(rng, n, m, opt, 0)
+	w.Name = fmt.Sprintf("quadratic-planted(n=%d,m=%d,opt=%d)", n, m, opt)
+	return w
+}
+
+// HeavyElements builds an instance where heavyCount elements are contained
+// in nearly every set (degree ≈ m) while the rest have small uniform degree.
+// This is the stress case for epoch 0 of Algorithm 1 (degree ≥ 1.1·m/√n
+// detection) and for Lemma 6's forward-degree tracking.
+func HeavyElements(rng *xrand.Rand, n, m, heavyCount, lightSize int) Workload {
+	if heavyCount < 0 || heavyCount > n {
+		panic(fmt.Sprintf("workload: HeavyElements heavyCount=%d invalid", heavyCount))
+	}
+	sets := make([][]setcover.Element, m)
+	covered := make([]bool, n)
+	for i := range sets {
+		for h := 0; h < heavyCount; h++ {
+			if rng.Coin(0.9) {
+				sets[i] = append(sets[i], setcover.Element(h))
+				covered[h] = true
+			}
+		}
+		if lightSize > 0 && heavyCount < n {
+			for _, u := range rng.SampleK(n-heavyCount, min(lightSize, n-heavyCount)) {
+				sets[i] = append(sets[i], setcover.Element(heavyCount+u))
+				covered[heavyCount+u] = true
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if !covered[u] {
+			sets[rng.IntN(m)] = append(sets[rng.IntN(m)], setcover.Element(u))
+		}
+	}
+	return Workload{
+		Name: fmt.Sprintf("heavy(n=%d,m=%d,heavy=%d,light=%d)", n, m, heavyCount, lightSize),
+		Inst: setcover.MustNewInstance(n, sets),
+	}
+}
+
+// Catalog returns a representative small workload of each kind, used by
+// cross-cutting integration tests that must hold on every generator.
+func Catalog(rng *xrand.Rand) []Workload {
+	return []Workload{
+		Planted(rng.Split(), 100, 400, 10, 0),
+		UniformRandom(rng.Split(), 80, 200, 2, 20),
+		ZipfSkewed(rng.Split(), 100, 300, 8, 1.1),
+		DominatingSet(rng.Split(), 120, 0.05),
+		HeavyElements(rng.Split(), 90, 250, 5, 4),
+	}
+}

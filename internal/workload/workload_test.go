@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+func TestAllGeneratorsFeasible(t *testing.T) {
+	rng := xrand.New(1)
+	for _, w := range Catalog(rng) {
+		t.Run(w.Name, func(t *testing.T) {
+			if err := w.Inst.Validate(); err != nil {
+				t.Fatalf("infeasible: %v", err)
+			}
+		})
+	}
+}
+
+func TestAllGeneratorsDeterministic(t *testing.T) {
+	a := Catalog(xrand.New(42))
+	b := Catalog(xrand.New(42))
+	for i := range a {
+		if !a[i].Inst.Equal(b[i].Inst) {
+			t.Fatalf("%s: not deterministic", a[i].Name)
+		}
+	}
+}
+
+func TestPlantedShape(t *testing.T) {
+	w := Planted(xrand.New(2), 100, 400, 10, 0)
+	if w.Inst.UniverseSize() != 100 || w.Inst.NumSets() != 400 {
+		t.Fatalf("shape n=%d m=%d", w.Inst.UniverseSize(), w.Inst.NumSets())
+	}
+	if w.PlantedOPT != 10 {
+		t.Fatalf("PlantedOPT=%d", w.PlantedOPT)
+	}
+	// Greedy must find a cover no larger than ~opt·ln(n); in practice it
+	// finds the planted blocks, so allow a small margin.
+	g, err := setcover.GreedySize(w.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g > 3*w.PlantedOPT {
+		t.Fatalf("greedy=%d far above planted OPT=%d; planting broken?", g, w.PlantedOPT)
+	}
+}
+
+func TestPlantedOPTTight(t *testing.T) {
+	// Small instance where the exact solver can confirm the planted OPT.
+	w := Planted(xrand.New(3), 40, 80, 4, 0)
+	opt, err := setcover.ExactSize(w.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != w.PlantedOPT {
+		t.Fatalf("exact OPT=%d, planted=%d", opt, w.PlantedOPT)
+	}
+}
+
+func TestPlantedPanics(t *testing.T) {
+	for _, tc := range []struct{ n, m, opt int }{
+		{10, 20, 0}, {10, 20, 11}, {10, 3, 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Planted(n=%d,m=%d,opt=%d) did not panic", tc.n, tc.m, tc.opt)
+				}
+			}()
+			Planted(xrand.New(1), tc.n, tc.m, tc.opt, 0)
+		}()
+	}
+}
+
+func TestUniformRandomSizes(t *testing.T) {
+	w := UniformRandom(xrand.New(4), 50, 100, 3, 7)
+	for s := 0; s < w.Inst.NumSets(); s++ {
+		sz := w.Inst.SetSize(setcover.SetID(s))
+		// +patching can push a set slightly above maxSize.
+		if sz < 1 || sz > 7+50 {
+			t.Fatalf("set %d size %d", s, sz)
+		}
+	}
+	if err := w.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandomPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UniformRandom(xrand.New(1), 10, 5, 8, 3) // min > max
+}
+
+func TestZipfSkewedDegrees(t *testing.T) {
+	w := ZipfSkewed(xrand.New(5), 200, 500, 10, 1.3)
+	deg := w.Inst.ElementDegrees()
+	// Element 0 (most popular under Zipf) should far exceed the median.
+	lo, hi := 0, 0
+	for u := 0; u < 10; u++ {
+		hi += deg[u]
+	}
+	for u := 100; u < 110; u++ {
+		lo += deg[u]
+	}
+	if hi <= lo {
+		t.Fatalf("no skew: head degree %d vs tail %d", hi, lo)
+	}
+}
+
+func TestDominatingSetShape(t *testing.T) {
+	w := DominatingSet(xrand.New(6), 50, 0.1)
+	if w.Inst.NumSets() != 50 {
+		t.Fatalf("m=%d want n=50", w.Inst.NumSets())
+	}
+	// Every vertex is in its own closed neighbourhood.
+	for i := 0; i < 50; i++ {
+		if !w.Inst.Contains(setcover.SetID(i), setcover.Element(i)) {
+			t.Fatalf("vertex %d missing from own neighbourhood", i)
+		}
+	}
+	// Symmetry: j ∈ N[i] ⟺ i ∈ N[j].
+	for i := 0; i < 50; i++ {
+		for _, j := range w.Inst.Set(setcover.SetID(i)) {
+			if !w.Inst.Contains(setcover.SetID(j), setcover.Element(i)) {
+				t.Fatalf("adjacency not symmetric: %d in N[%d] but not vice versa", j, i)
+			}
+		}
+	}
+}
+
+func TestDominatingSetEdgeProbabilities(t *testing.T) {
+	// p=0: only self loops. p=1: complete graph.
+	w0 := DominatingSet(xrand.New(7), 20, 0)
+	if w0.Inst.NumEdges() != 20 {
+		t.Fatalf("p=0 edges=%d want 20", w0.Inst.NumEdges())
+	}
+	w1 := DominatingSet(xrand.New(7), 20, 1)
+	if w1.Inst.NumEdges() != 20*20 {
+		t.Fatalf("p=1 edges=%d want 400", w1.Inst.NumEdges())
+	}
+}
+
+func TestQuadraticPlantedRegime(t *testing.T) {
+	w := QuadraticPlanted(xrand.New(8), 30, 5, 2)
+	if w.Inst.NumSets() != 2*30*30 {
+		t.Fatalf("m=%d want %d", w.Inst.NumSets(), 2*30*30)
+	}
+	if w.PlantedOPT != 5 {
+		t.Fatalf("PlantedOPT=%d", w.PlantedOPT)
+	}
+	if err := w.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyElementsDegrees(t *testing.T) {
+	w := HeavyElements(xrand.New(9), 100, 400, 3, 2)
+	deg := w.Inst.ElementDegrees()
+	for h := 0; h < 3; h++ {
+		if deg[h] < 300 {
+			t.Fatalf("heavy element %d degree %d, want ≈ 0.9·400", h, deg[h])
+		}
+	}
+	light := 0
+	for u := 3; u < 100; u++ {
+		light += deg[u]
+	}
+	if light/97 > 50 {
+		t.Fatalf("light elements too heavy: mean %d", light/97)
+	}
+}
+
+func TestOptEstimate(t *testing.T) {
+	w := Planted(xrand.New(10), 50, 100, 5, 0)
+	opt, err := w.OptEstimate()
+	if err != nil || opt != 5 {
+		t.Fatalf("opt=%d err=%v", opt, err)
+	}
+	u := UniformRandom(xrand.New(11), 30, 60, 2, 10)
+	opt, err = u.OptEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := setcover.GreedySize(u.Inst)
+	if opt != g {
+		t.Fatalf("unplanted OptEstimate=%d, greedy=%d", opt, g)
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	for _, w := range Catalog(xrand.New(12)) {
+		if w.Name == "" || !strings.Contains(w.Name, "n=") {
+			t.Errorf("uninformative name %q", w.Name)
+		}
+	}
+}

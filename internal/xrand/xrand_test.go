@@ -1,0 +1,303 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 agree on %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical streams")
+	}
+
+	// Splitting must not perturb the parent stream.
+	p1 := New(7)
+	p2 := New(7)
+	_ = p2.Split()
+	for i := 0; i < 100; i++ {
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatalf("Split perturbed parent stream at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(99).Split()
+	b := New(99).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestCoinClamping(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if r.Coin(0) {
+			t.Fatal("Coin(0) fired")
+		}
+		if r.Coin(-1) {
+			t.Fatal("Coin(-1) fired")
+		}
+		if !r.Coin(1) {
+			t.Fatal("Coin(1) missed")
+		}
+		if !r.Coin(2.5) {
+			t.Fatal("Coin(2.5) missed")
+		}
+	}
+}
+
+func TestCoinBias(t *testing.T) {
+	r := New(5)
+	const trials = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Coin(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Coin(%v) empirical rate %v", p, got)
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 10000; i++ {
+		v := r.IntN(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleKProperties(t *testing.T) {
+	r := New(9)
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw) % (n + 1)
+		s := r.SampleK(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]struct{}, k)
+		for _, v := range s {
+			if v < 0 || v >= n {
+				return false
+			}
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKSparseAndDense(t *testing.T) {
+	r := New(10)
+	// Sparse path: k*8 < n.
+	s := r.SampleK(10000, 5)
+	if len(s) != 5 {
+		t.Fatalf("sparse sample len %d", len(s))
+	}
+	// Dense path: k == n must return all values.
+	s = r.SampleK(50, 50)
+	seen := make([]bool, 50)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("dense sample missing %d", i)
+		}
+	}
+}
+
+func TestSampleKPanics(t *testing.T) {
+	r := New(11)
+	for _, tc := range []struct{ n, k int }{{5, 6}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SampleK(%d,%d) did not panic", tc.n, tc.k)
+				}
+			}()
+			r.SampleK(tc.n, tc.k)
+		}()
+	}
+}
+
+func TestSampleK32Matches(t *testing.T) {
+	s := New(12).SampleK32(100, 10)
+	if len(s) != 10 {
+		t.Fatalf("len %d", len(s))
+	}
+	for _, v := range s {
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range %d", v)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(13)
+	const trials = 20000
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{100, 0.1}, {1000, 0.01}, {100000, 0.3}} {
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			v := r.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial out of range: %d", v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / trials
+		want := float64(tc.n) * tc.p
+		sd := math.Sqrt(want * (1 - tc.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(trials)+0.5 {
+			t.Errorf("Binomial(%d,%v) mean %v want ~%v", tc.n, tc.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(14)
+	if r.Binomial(0, 0.5) != 0 {
+		t.Error("Binomial(0, .5) != 0")
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Error("Binomial(10, 0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Error("Binomial(10, 1) != 10")
+	}
+	if r.Binomial(10, -0.5) != 0 {
+		t.Error("Binomial(10, -0.5) != 0")
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(15)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	if counts[0] == 50000 {
+		t.Error("Zipf degenerate: all mass at 0")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(16)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-10000) > 600 {
+			t.Errorf("Zipf(s=0) bucket %d count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(17)
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-3, 1}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d,%v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(r, tc.n, tc.s)
+		}()
+	}
+}
+
+func BenchmarkCoin(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Coin(0.25)
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1<<16, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Draw()
+	}
+}
