@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench experiments experiments-full check fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Snapshot the perf-tracked benchmarks (EndToEnd*, Scaling) into the next
+# BENCH_<n>.json; bench-diff compares the two most recent snapshots and
+# fails on ns/op or allocs/op regression beyond the threshold.
+bench-save:
+	$(GO) test -run '^$$' -bench 'EndToEnd|Scaling' -benchmem . | $(GO) run ./cmd/scbenchdiff -save
+
+bench-diff:
+	$(GO) run ./cmd/scbenchdiff -diff
+
 # Regenerate the evaluation tables (quick) / the EXPERIMENTS.md-scale run.
 experiments:
 	$(GO) run ./cmd/scbench -config quick
@@ -23,8 +32,16 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/scbench -config full
 
-# Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
+# Tier-1 gate (ROADMAP.md): static checks, full race-enabled test suite and
+# a one-iteration smoke of the perf-tracked benchmarks.
 check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench EndToEnd -benchtime 1x .
+
+# Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
+paper-check:
 	$(GO) run ./cmd/scbench -config quick -check
 
 fmt:

@@ -101,6 +101,9 @@ const (
 	RandomOrder      = stream.Random
 )
 
+// Orders lists every defined arrival order, for sweep experiments.
+func Orders() []Order { return stream.Orders() }
+
 // NewRand returns a deterministic generator for the given seed.
 func NewRand(seed uint64) *Rand { return xrand.New(seed) }
 

@@ -12,11 +12,21 @@
 // up front). For α = Ω̃(√n) only Õ(m·n/α²) sets are ever promoted, so the
 // level map — the dominant space term — stays within the bound (paper §1.2,
 // §5).
+//
+// Hot-path representation: the level dictionary and the solution set are
+// backed by dense arrays indexed by set id (recycled through a pool and
+// released on Finish), so the per-edge work is array loads plus the 1/α
+// coin. The space meter still charges the paper's *logical* accounting —
+// two words per promoted set, one per chosen set — not the physical Θ(m)
+// backing, which is exactly the distinction the package documents above:
+// Theorem 4's bound is about live dictionary entries.
 package adversarial
 
 import (
 	"math"
+	"sync"
 
+	"streamcover/internal/dense"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -32,16 +42,53 @@ type Algorithm struct {
 	alpha float64
 	rng   *xrand.Rand
 
-	levels       map[setcover.SetID]int32    // L: level of every promoted set (≥ 1)
-	sol          map[setcover.SetID]struct{} // ∪_ℓ D_ℓ
-	dCounts      []int                       // |D_ℓ| per level, for reporting
-	covered      []bool                      // U: covered elements
-	coveredCount int                         // running |U|
-	first        []setcover.SetID            // R(u)
-	cert         []setcover.SetID            // C(u)
+	sc *a2Scratch
+
+	levels        []int32    // L: level of every set (0 = never promoted)
+	promotedCount int        // |L|: sets at level ≥ 1
+	sol           dense.Bits // ∪_ℓ D_ℓ membership
+	solCount      int
+	dCounts       []int            // |D_ℓ| per level, for reporting
+	covered       []bool           // U: covered elements
+	coveredCount  int              // running |U|
+	first         []setcover.SetID // R(u)
+	cert          []setcover.SetID // C(u)
 
 	promotions int64 // total level increments, for the E-ABL-A2 ablation
 	patched    int
+	finished   bool
+}
+
+// a2Scratch bundles the recyclable per-run arrays (everything but the
+// certificate, which escapes into the Cover).
+type a2Scratch struct {
+	n, m    int
+	levels  []int32
+	sol     dense.Bits
+	covered []bool
+	first   []setcover.SetID
+}
+
+var a2Pool sync.Pool
+
+func getA2Scratch(n, m int) *a2Scratch {
+	if v := a2Pool.Get(); v != nil {
+		sc := v.(*a2Scratch)
+		if sc.n == n && sc.m == m {
+			clear(sc.levels)
+			sc.sol.Reset()
+			clear(sc.covered)
+			return sc
+		}
+	}
+	return &a2Scratch{
+		n:       n,
+		m:       m,
+		levels:  make([]int32, m),
+		sol:     dense.NewBits(m),
+		covered: make([]bool, n),
+		first:   make([]setcover.SetID, n),
+	}
 }
 
 // New returns an Algorithm 2 run for n elements, m sets and approximation
@@ -55,15 +102,17 @@ func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
 	if alpha < 1 {
 		panic("adversarial: need alpha >= 1")
 	}
+	sc := getA2Scratch(n, m)
 	a := &Algorithm{
 		n:       n,
 		m:       m,
 		alpha:   alpha,
 		rng:     rng,
-		levels:  make(map[setcover.SetID]int32),
-		sol:     make(map[setcover.SetID]struct{}),
-		covered: make([]bool, n),
-		first:   make([]setcover.SetID, n),
+		sc:      sc,
+		levels:  sc.levels,
+		sol:     sc.sol,
+		covered: sc.covered,
+		first:   sc.first,
 		cert:    make([]setcover.SetID, n),
 	}
 	for u := range a.first {
@@ -84,10 +133,11 @@ func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
 }
 
 func (a *Algorithm) addToSol(s setcover.SetID, level int) {
-	if _, in := a.sol[s]; in {
+	if a.sol.Test(s) {
 		return
 	}
-	a.sol[s] = struct{}{}
+	a.sol.Set(s)
+	a.solCount++
 	a.StateMeter.Add(space.SetEntryWords)
 	for len(a.dCounts) <= level {
 		a.dCounts = append(a.dCounts, 0)
@@ -101,7 +151,16 @@ func (a *Algorithm) inclusionProb(level int32) float64 {
 }
 
 // Process implements stream.Algorithm, mirroring lines 8–24 of the listing.
-func (a *Algorithm) Process(e stream.Edge) {
+func (a *Algorithm) Process(e stream.Edge) { a.process(e) }
+
+// ProcessBatch implements stream.BatchProcessor.
+func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
+	for _, e := range edges {
+		a.process(e)
+	}
+}
+
+func (a *Algorithm) process(e stream.Edge) {
 	s, u := e.Set, e.Elem
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
@@ -110,8 +169,9 @@ func (a *Algorithm) Process(e stream.Edge) {
 		return
 	}
 	if a.rng.Coin(1 / a.alpha) {
-		lvl := a.levels[s] + 1 // absent key reads as level 0
+		lvl := a.levels[s] + 1 // level 0 = never promoted
 		if lvl == 1 {
+			a.promotedCount++
 			a.StateMeter.Add(space.MapEntryWords)
 		}
 		a.levels[s] = lvl
@@ -120,7 +180,7 @@ func (a *Algorithm) Process(e stream.Edge) {
 			a.addToSol(s, int(lvl))
 		}
 	}
-	if _, in := a.sol[s]; in {
+	if a.sol.Test(s) {
 		a.covered[u] = true
 		a.coveredCount++
 		a.cert[u] = s
@@ -128,12 +188,15 @@ func (a *Algorithm) Process(e stream.Edge) {
 }
 
 // Finish implements stream.Algorithm: line 25's patching covers every
-// still-uncovered element with its stored first set.
+// still-uncovered element with its stored first set. It must be called
+// exactly once; the recyclable working arrays are released here.
 func (a *Algorithm) Finish() *setcover.Cover {
-	chosen := make([]setcover.SetID, 0, len(a.sol)+16)
-	for s := range a.sol {
-		chosen = append(chosen, s)
+	if a.finished {
+		panic("adversarial: Finish called twice")
 	}
+	a.finished = true
+	chosen := make([]setcover.SetID, 0, a.solCount+16)
+	a.sol.ForEach(func(s int32) { chosen = append(chosen, s) })
 	for u := range a.cert {
 		if !a.covered[u] && a.first[u] != setcover.NoSet {
 			a.cert[u] = a.first[u]
@@ -141,13 +204,18 @@ func (a *Algorithm) Finish() *setcover.Cover {
 			a.patched++
 		}
 	}
-	return setcover.NewCover(chosen, a.cert)
+	cov := setcover.NewCover(chosen, a.cert)
+	sc := a.sc
+	a.sc, a.levels, a.covered, a.first = nil, nil, nil, nil
+	a.sol = dense.Bits{}
+	a2Pool.Put(sc)
+	return cov
 }
 
 // PromotedSets returns |L|: the number of sets that reached level ≥ 1. Its
 // expectation is the Õ(m·n/α²) term Theorem 4's space bound rests on, and
 // the E-ABL-A2 ablation sweeps α to verify the scaling.
-func (a *Algorithm) PromotedSets() int { return len(a.levels) }
+func (a *Algorithm) PromotedSets() int { return a.promotedCount }
 
 // Promotions returns the total number of level increments.
 func (a *Algorithm) Promotions() int64 { return a.promotions }
@@ -156,7 +224,7 @@ func (a *Algorithm) Promotions() int64 { return a.promotions }
 func (a *Algorithm) LevelSizes() []int { return append([]int(nil), a.dCounts...) }
 
 // SampledSets returns |∪D_ℓ| (excluding patching).
-func (a *Algorithm) SampledSets() int { return len(a.sol) }
+func (a *Algorithm) SampledSets() int { return a.solCount }
 
 // Patched returns how many elements the patching phase covered.
 func (a *Algorithm) Patched() int { return a.patched }
@@ -166,4 +234,5 @@ func (a *Algorithm) Patched() int { return a.patched }
 func (a *Algorithm) CoveredCount() int { return a.coveredCount }
 
 var _ stream.Algorithm = (*Algorithm)(nil)
+var _ stream.BatchProcessor = (*Algorithm)(nil)
 var _ space.Reporter = (*Algorithm)(nil)

@@ -65,18 +65,18 @@ func TestInclusionScheduleGeometric(t *testing.T) {
 		alg := New(n, m, alpha, xrand.New(seed))
 		for _, e := range edges {
 			prevLvl := alg.levels[0]
-			prevIn := len(alg.sol)
+			prevIn := alg.solCount
 			alg.Process(e)
 			if alg.levels[0] > prevLvl {
 				switch alg.levels[0] {
 				case 1:
 					promTo1++
-					if len(alg.sol) > prevIn {
+					if alg.solCount > prevIn {
 						d1++
 					}
 				case 2:
 					promTo2++
-					if len(alg.sol) > prevIn {
+					if alg.solCount > prevIn {
 						d2++
 					}
 				}

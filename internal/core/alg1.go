@@ -27,9 +27,21 @@
 //
 // The paper's polylog constants are vacuous below astronomical scale; see
 // Params for the documented calibration.
+//
+// Hot-path representation: the paper specifies the working state as
+// dictionaries (C, Q̃, Q̃', T, Sol) and the space accounting charges one or
+// two words per live entry. The implementation backs those dictionaries with
+// dense generation-stamped tables (internal/dense) indexed by set/element
+// id: membership tests are array loads, and the epoch/subepoch boundary
+// "re-initialise" steps are O(1) generation bumps instead of map
+// allocations. The physical arrays live in a pooled scratch (see scratch.go)
+// so repeated runs reuse them; space.Tracked still meters the *logical*
+// per-entry words of the paper's bounds, entry for entry identical to the
+// original map-backed implementation.
 package core
 
 import (
+	"streamcover/internal/dense"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -55,11 +67,14 @@ type Algorithm struct {
 	pos   int
 	phase phase
 
+	sc *scratch // pooled dense state; released on Finish
+
 	first        []setcover.SetID // R(u): first set seen containing u (line 4)
 	cert         []setcover.SetID // covering witness
 	coveredCount int              // running count of witnessed elements
-	marked       []bool           // marked-as-covered (line 3); may lack a witness
-	sol          map[setcover.SetID]struct{}
+	marked       dense.Bits       // marked-as-covered (line 3); may lack a witness
+	sol          dense.Bits       // Sol membership over set ids
+	solCount     int              // |Sol|
 
 	e0counts []int32 // element occurrence counts in the epoch-0 prefix
 
@@ -67,11 +82,11 @@ type Algorithm struct {
 	// subepoch sub ∈ [0,B), position within the subepoch.
 	ai, ej, sub, subPos int
 
-	counters map[setcover.SetID]int32    // C[S] for the current batch (line 17)
-	qCur     map[setcover.SetID]struct{} // Q̃: tracked sets this epoch
-	qNext    map[setcover.SetID]struct{} // Q̃': sampled specials for next epoch
-	qCurProb float64                     // the (clamped) probability qCur was sampled with
-	tcounts  map[setcover.Element]int32  // T: tracked-edge counts per element
+	counters dense.Counts     // C[S] for the current batch, indexed by S/B (line 17)
+	qCur     dense.StampedSet // Q̃: tracked sets this epoch
+	qNext    dense.StampedSet // Q̃': sampled specials for next epoch
+	qCurProb float64          // the (clamped) probability qCur was sampled with
+	tcounts  dense.Counts     // T: tracked-edge counts per element
 
 	trace    Trace
 	finished bool
@@ -82,18 +97,7 @@ type Algorithm struct {
 // need not be known exactly — see AutoN for the guessing wrapper.
 func New(n, m, N int, p Params, rng *xrand.Rand) *Algorithm {
 	r := p.resolve(n, m, N)
-	a := &Algorithm{
-		r:      r,
-		rng:    rng,
-		first:  make([]setcover.SetID, n),
-		cert:   make([]setcover.SetID, n),
-		marked: make([]bool, n),
-		sol:    make(map[setcover.SetID]struct{}),
-	}
-	for u := 0; u < n; u++ {
-		a.first[u] = setcover.NoSet
-		a.cert[u] = setcover.NoSet
-	}
+	a := newState(r, rng)
 	a.AuxMeter.Add(3 * int64(n))
 
 	a.trace.Specials = make([][]int, r.K)
@@ -115,10 +119,9 @@ func New(n, m, N int, p Params, rng *xrand.Rand) *Algorithm {
 			a.addToSol(setcover.SetID(s))
 		}
 	}
-	a.trace.AddedEpoch0 = len(a.sol)
+	a.trace.AddedEpoch0 = a.solCount
 
 	if r.epoch0P > 0 && !r.DisableEpoch0Detection {
-		a.e0counts = make([]int32, n)
 		a.AuxMeter.Add(int64(n))
 		a.phase = phaseEpoch0
 	} else {
@@ -127,16 +130,69 @@ func New(n, m, N int, p Params, rng *xrand.Rand) *Algorithm {
 	return a
 }
 
+// newState assembles the dense working state for a resolved schedule,
+// drawing the backing arrays from the scratch pool. It performs no sampling
+// and sets up no trace, so internal tests can drive the state machine
+// directly.
+func newState(r resolved, rng *xrand.Rand) *Algorithm {
+	sc := getScratch(r.n, r.m, countersCap(r.m, r.B))
+	a := &Algorithm{
+		r:        r,
+		rng:      rng,
+		sc:       sc,
+		first:    sc.first,
+		cert:     make([]setcover.SetID, r.n),
+		marked:   sc.marked,
+		sol:      sc.sol,
+		e0counts: sc.e0counts,
+		counters: sc.counters,
+		qCur:     sc.qCur,
+		qNext:    sc.qNext,
+		tcounts:  sc.tcounts,
+	}
+	for u := 0; u < r.n; u++ {
+		a.first[u] = setcover.NoSet
+		a.cert[u] = setcover.NoSet
+	}
+	return a
+}
+
+// countersCap is the size of the batch-local counter table: sets are
+// assigned to batches by id mod B, so batch b holds ids {b, b+B, b+2B, ...}
+// and the in-batch index s/B never exceeds ⌈m/B⌉.
+func countersCap(m, b int) int { return (m + b - 1) / b }
+
+// release returns the dense state to the scratch pool. The evolved
+// generation counters are copied back so a future reuse can invalidate the
+// stamps in O(1).
+func (a *Algorithm) release() {
+	sc := a.sc
+	if sc == nil {
+		return
+	}
+	a.sc = nil
+	sc.first = a.first
+	sc.marked = a.marked
+	sc.sol = a.sol
+	sc.e0counts = a.e0counts
+	sc.counters = a.counters
+	sc.qCur = a.qCur
+	sc.qNext = a.qNext
+	sc.tcounts = a.tcounts
+	putScratch(sc)
+}
+
 // Resolved returns the concrete schedule in use, for reports.
 func (a *Algorithm) Resolved() string { return a.r.String() }
 
 func (a *Algorithm) addToSol(s setcover.SetID) {
-	if _, in := a.sol[s]; in {
+	if a.sol.Test(s) {
 		return
 	}
-	a.sol[s] = struct{}{}
+	a.sol.Set(s)
+	a.solCount++
 	a.StateMeter.Add(space.SetEntryWords)
-	if len(a.sol) >= a.r.n {
+	if a.solCount >= a.r.n {
 		a.trace.Degenerate = true
 	}
 }
@@ -148,30 +204,48 @@ func (a *Algorithm) batchOf(s setcover.SetID) int { return int(s) % a.r.B }
 func (a *Algorithm) startAPhase() {
 	a.phase = phaseAlgs
 	a.ai, a.ej, a.sub, a.subPos = 1, 1, 0, 0
-	a.counters = make(map[setcover.SetID]int32)
-	a.tcounts = make(map[setcover.Element]int32)
-	a.qNext = make(map[setcover.SetID]struct{})
+	a.counters.Clear()
+	a.tcounts.Clear()
+	a.qNext.Clear()
 	a.sampleInitialQ()
 }
 
 func (a *Algorithm) sampleInitialQ() {
-	if a.qCur != nil {
-		a.StateMeter.Sub(int64(len(a.qCur)) * space.SetEntryWords)
-	}
-	a.qCur = make(map[setcover.SetID]struct{})
+	a.StateMeter.Sub(int64(a.qCur.Len()) * space.SetEntryWords)
+	a.qCur.Clear()
 	a.qCurProb = a.r.qj(0)
 	if a.r.DisableTracking {
 		return
 	}
 	k := a.rng.Binomial(a.r.m, a.qCurProb)
 	for _, s := range a.rng.SampleK(a.r.m, k) {
-		a.qCur[setcover.SetID(s)] = struct{}{}
+		a.qCur.Add(setcover.SetID(s))
 	}
-	a.StateMeter.Add(int64(len(a.qCur)) * space.SetEntryWords)
+	a.StateMeter.Add(int64(a.qCur.Len()) * space.SetEntryWords)
 }
 
 // Process implements stream.Algorithm.
-func (a *Algorithm) Process(e stream.Edge) {
+func (a *Algorithm) Process(e stream.Edge) { a.process(e) }
+
+// ProcessBatch implements stream.BatchProcessor: it consumes a contiguous
+// run of edges with one dynamic dispatch, delegating the remainder phase —
+// the long witness-collection suffix — to a dedicated tight loop.
+func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
+	i := 0
+	for i < len(edges) {
+		if a.phase == phaseRemainder {
+			a.processRemainder(edges[i:])
+			return
+		}
+		p := a.phase
+		for i < len(edges) && a.phase == p {
+			a.process(edges[i])
+			i++
+		}
+	}
+}
+
+func (a *Algorithm) process(e stream.Edge) {
 	a.pos++
 	u, s := e.Elem, e.Set
 	if a.first[u] == setcover.NoSet {
@@ -179,11 +253,11 @@ func (a *Algorithm) Process(e stream.Edge) {
 	}
 	// Lines 20–21 and 34–36: an edge from a chosen set supplies a covering
 	// witness, in every phase.
-	_, solHit := a.sol[s]
+	solHit := a.sol.Test(s)
 	if solHit && a.cert[u] == setcover.NoSet {
 		a.cert[u] = s
 		a.coveredCount++
-		a.marked[u] = true
+		a.marked.Set(u)
 	}
 
 	switch a.phase {
@@ -196,7 +270,7 @@ func (a *Algorithm) Process(e stream.Edge) {
 
 	case phaseAlgs:
 		a.trace.APhaseEdges++
-		if !solHit && !a.marked[u] {
+		if !solHit && !a.marked.Test(u) {
 			a.processAlgEdge(u, s)
 		}
 		a.advanceCursor()
@@ -206,27 +280,44 @@ func (a *Algorithm) Process(e stream.Edge) {
 	}
 }
 
+// processRemainder is the phaseRemainder body of process unrolled over a
+// whole batch: only first-set recording and witness collection remain
+// (lines 34–36), so the per-edge work is two array loads and a bit test.
+func (a *Algorithm) processRemainder(edges []stream.Edge) {
+	first, cert := a.first, a.cert
+	for _, e := range edges {
+		u, s := e.Elem, e.Set
+		if first[u] == setcover.NoSet {
+			first[u] = s
+		}
+		if cert[u] == setcover.NoSet && a.sol.Test(s) {
+			cert[u] = s
+			a.coveredCount++
+			a.marked.Set(u)
+		}
+	}
+	a.pos += len(edges)
+	a.trace.RemainderEdges += len(edges)
+}
+
 // processAlgEdge is the body of the subepoch loop (lines 24–30) for an edge
 // whose element is unmarked and whose set is outside Sol.
 func (a *Algorithm) processAlgEdge(u setcover.Element, s setcover.SetID) {
-	if _, tracked := a.qCur[s]; tracked {
-		if _, seen := a.tcounts[u]; !seen {
+	if a.qCur.Has(s) {
+		if _, firstTouch := a.tcounts.Inc(u); firstTouch {
 			a.StateMeter.Add(space.MapEntryWords)
 		}
-		a.tcounts[u]++
-		if len(a.tcounts) > a.trace.TrackedPeak {
-			a.trace.TrackedPeak = len(a.tcounts)
+		if a.tcounts.Len() > a.trace.TrackedPeak {
+			a.trace.TrackedPeak = a.tcounts.Len()
 		}
 	}
 	if a.batchOf(s) != a.sub {
 		return
 	}
-	c, seen := a.counters[s]
-	if !seen {
+	c, firstTouch := a.counters.Inc(s / setcover.SetID(a.r.B))
+	if firstTouch {
 		a.StateMeter.Add(space.MapEntryWords)
 	}
-	c++
-	a.counters[s] = c
 	if c != a.r.specialThreshold(a.ej) {
 		return
 	}
@@ -246,12 +337,11 @@ func (a *Algorithm) processAlgEdge(u setcover.Element, s setcover.SetID) {
 		if a.cert[u] == setcover.NoSet {
 			a.cert[u] = s
 			a.coveredCount++
-			a.marked[u] = true
+			a.marked.Set(u)
 		}
 	}
 	if !a.r.DisableTracking && a.rng.Coin(a.r.qj(a.ej)) {
-		if _, in := a.qNext[s]; !in {
-			a.qNext[s] = struct{}{}
+		if a.qNext.Add(s) {
 			a.StateMeter.Add(space.SetEntryWords)
 		}
 	}
@@ -265,10 +355,10 @@ func (a *Algorithm) advanceCursor() {
 		return
 	}
 	// Subepoch boundary: drop the batch counters (line 17 re-initialises
-	// them for the next batch).
+	// them for the next batch; a generation bump does it in O(1)).
 	a.subPos = 0
-	a.StateMeter.Sub(int64(len(a.counters)) * space.MapEntryWords)
-	a.counters = make(map[setcover.SetID]int32)
+	a.StateMeter.Sub(int64(a.counters.Len()) * space.MapEntryWords)
+	a.counters.Clear()
 	a.sub++
 	if a.sub < a.r.B {
 		return
@@ -304,20 +394,20 @@ func (a *Algorithm) endOfEpoch() {
 		thr = 2
 	}
 	if !a.r.DisableTracking {
-		for u, c := range a.tcounts {
-			if !a.marked[u] && float64(c) >= thr {
-				a.marked[u] = true
+		a.tcounts.ForEach(func(u, c int32) {
+			if !a.marked.Test(u) && float64(c) >= thr {
+				a.marked.Set(u)
 				a.trace.MarkedTracking++
 			}
-		}
+		})
 	}
 	// Rotate Q̃ ← Q̃' (line 32) and reset T.
-	a.StateMeter.Sub(int64(len(a.tcounts)) * space.MapEntryWords)
-	a.tcounts = make(map[setcover.Element]int32)
-	a.StateMeter.Sub(int64(len(a.qCur)) * space.SetEntryWords)
-	a.qCur = a.qNext
+	a.StateMeter.Sub(int64(a.tcounts.Len()) * space.MapEntryWords)
+	a.tcounts.Clear()
+	a.StateMeter.Sub(int64(a.qCur.Len()) * space.SetEntryWords)
+	a.qCur.Swap(&a.qNext)
 	a.qCurProb = a.r.qj(a.ej)
-	a.qNext = make(map[setcover.SetID]struct{})
+	a.qNext.Clear()
 }
 
 // enterRemainder releases all A-phase state; lines 33–36 only need Sol and
@@ -325,15 +415,18 @@ func (a *Algorithm) endOfEpoch() {
 // for the ablation harness (diagnostics, not charged to the meter).
 func (a *Algorithm) enterRemainder() {
 	a.phase = phaseRemainder
-	a.trace.MarkedAtAEnd = append([]bool(nil), a.marked...)
-	for s := range a.sol {
-		a.trace.SolAtAEnd = append(a.trace.SolAtAEnd, int32(s))
-	}
-	a.StateMeter.Sub(int64(len(a.counters)) * space.MapEntryWords)
-	a.StateMeter.Sub(int64(len(a.tcounts)) * space.MapEntryWords)
-	a.StateMeter.Sub(int64(len(a.qCur)) * space.SetEntryWords)
-	a.StateMeter.Sub(int64(len(a.qNext)) * space.SetEntryWords)
-	a.counters, a.tcounts, a.qCur, a.qNext = nil, nil, nil, nil
+	a.trace.MarkedAtAEnd = a.marked.AppendBools(nil)
+	a.sol.ForEach(func(s int32) {
+		a.trace.SolAtAEnd = append(a.trace.SolAtAEnd, s)
+	})
+	a.StateMeter.Sub(int64(a.counters.Len()) * space.MapEntryWords)
+	a.StateMeter.Sub(int64(a.tcounts.Len()) * space.MapEntryWords)
+	a.StateMeter.Sub(int64(a.qCur.Len()) * space.SetEntryWords)
+	a.StateMeter.Sub(int64(a.qNext.Len()) * space.SetEntryWords)
+	a.counters.Clear()
+	a.tcounts.Clear()
+	a.qCur.Clear()
+	a.qNext.Clear()
 }
 
 // finishEpoch0 marks elements whose prefix occurrence count certifies degree
@@ -345,12 +438,11 @@ func (a *Algorithm) finishEpoch0() {
 		thr = 3
 	}
 	for u, c := range a.e0counts {
-		if !a.marked[u] && float64(c) >= thr {
-			a.marked[u] = true
+		if !a.marked.Test(int32(u)) && float64(c) >= thr {
+			a.marked.Set(int32(u))
 			a.trace.MarkedEpoch0++
 		}
 	}
-	a.e0counts = nil
 	a.AuxMeter.Sub(int64(a.r.n))
 	a.startAPhase()
 }
@@ -365,6 +457,7 @@ func (a *Algorithm) Finish() *setcover.Cover {
 	if a.phase == phaseAlgs {
 		a.enterRemainder()
 	}
+	defer a.release()
 	if a.trace.Degenerate {
 		// |Sol| reached n: report the trivial one-set-per-element cover,
 		// which is never larger than n sets.
@@ -377,10 +470,8 @@ func (a *Algorithm) Finish() *setcover.Cover {
 		}
 		return setcover.NewCover(chosen, a.cert)
 	}
-	chosen := make([]setcover.SetID, 0, len(a.sol)+16)
-	for s := range a.sol {
-		chosen = append(chosen, s)
-	}
+	chosen := make([]setcover.SetID, 0, a.solCount+16)
+	a.sol.ForEach(func(s int32) { chosen = append(chosen, s) })
 	for u := range a.cert {
 		if a.cert[u] == setcover.NoSet && a.first[u] != setcover.NoSet {
 			a.cert[u] = a.first[u]
@@ -396,7 +487,7 @@ func (a *Algorithm) Finish() *setcover.Cover {
 func (a *Algorithm) Trace() *Trace { return &a.trace }
 
 // SampledSets returns |Sol| (sets chosen by sampling, before patching).
-func (a *Algorithm) SampledSets() int { return len(a.sol) }
+func (a *Algorithm) SampledSets() int { return a.solCount }
 
 // CoveredCount implements stream.CoverageReporter: the number of elements
 // currently holding a covering witness (marked-without-witness elements are
@@ -404,4 +495,5 @@ func (a *Algorithm) SampledSets() int { return len(a.sol) }
 func (a *Algorithm) CoveredCount() int { return a.coveredCount }
 
 var _ stream.Algorithm = (*Algorithm)(nil)
+var _ stream.BatchProcessor = (*Algorithm)(nil)
 var _ space.Reporter = (*Algorithm)(nil)

@@ -71,9 +71,9 @@ func TestAPhaseStateFullyRefunded(t *testing.T) {
 		t.Skip("stream too short to finish the A-phase at this shape")
 	}
 	cur := alg.StateMeter.Current()
-	if cur != int64(len(alg.sol)) {
+	if cur != int64(alg.solCount) {
 		t.Fatalf("post-A-phase state %d words, want |Sol| = %d (leak or double refund)",
-			cur, len(alg.sol))
+			cur, alg.solCount)
 	}
 	alg.Finish()
 }
@@ -129,18 +129,7 @@ func TestSpecialTriggerFiresOnceAtThreshold(t *testing.T) {
 	p.SpecialBase = 3 // threshold 3 in epoch 1
 	p.C = 0           // clamped back to default... keep sampling out of the way via seed
 	r := p.resolve(n, m, 10000)
-	alg := &Algorithm{
-		r:      r,
-		rng:    xrand.New(7),
-		first:  make([]setcover.SetID, n),
-		cert:   make([]setcover.SetID, n),
-		marked: make([]bool, n),
-		sol:    map[setcover.SetID]struct{}{},
-	}
-	for u := 0; u < n; u++ {
-		alg.first[u] = setcover.NoSet
-		alg.cert[u] = setcover.NoSet
-	}
+	alg := newState(r, xrand.New(7))
 	alg.trace.Specials = [][]int{make([]int, r.E)}
 	alg.trace.AddedPerAlg = make([]int, 1)
 	alg.startAPhase()
@@ -152,14 +141,15 @@ func TestSpecialTriggerFiresOnceAtThreshold(t *testing.T) {
 	if got := alg.trace.Specials[0][0]; got != 1 {
 		t.Fatalf("special trigger count %d, want exactly 1", got)
 	}
-	if alg.counters[set] != 5 {
-		t.Fatalf("counter %d want 5", alg.counters[set])
+	if got := alg.counters.Get(set / setcover.SetID(alg.r.B)); got != 5 {
+		t.Fatalf("counter %d want 5", got)
 	}
 
 	// A set outside the current batch must accumulate nothing.
 	other := setcover.SetID(alg.sub + 1)
+	before := alg.counters.Len()
 	alg.processAlgEdge(50, other)
-	if _, ok := alg.counters[other]; ok {
+	if alg.counters.Len() != before {
 		t.Fatal("off-batch set accumulated a counter")
 	}
 }
@@ -167,26 +157,15 @@ func TestSpecialTriggerFiresOnceAtThreshold(t *testing.T) {
 func TestMarkedElementsStopCounting(t *testing.T) {
 	n, m := 100, 1000
 	r := DefaultParams(n, m).resolve(n, m, 10000)
-	alg := &Algorithm{
-		r:      r,
-		rng:    xrand.New(8),
-		first:  make([]setcover.SetID, n),
-		cert:   make([]setcover.SetID, n),
-		marked: make([]bool, n),
-		sol:    map[setcover.SetID]struct{}{},
-	}
-	for u := 0; u < n; u++ {
-		alg.first[u] = setcover.NoSet
-		alg.cert[u] = setcover.NoSet
-	}
+	alg := newState(r, xrand.New(8))
 	alg.trace.Specials = [][]int{make([]int, r.E)}
 	alg.trace.AddedPerAlg = make([]int, 1)
 	alg.startAPhase()
 
 	set := setcover.SetID(alg.sub)
-	alg.marked[3] = true
+	alg.marked.Set(3)
 	alg.Process(stream.Edge{Set: set, Elem: 3})
-	if _, ok := alg.counters[set]; ok {
+	if alg.counters.Len() != 0 {
 		t.Fatal("edge to marked element incremented a counter (listing line 22)")
 	}
 }

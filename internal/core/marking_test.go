@@ -18,18 +18,7 @@ import (
 func newBareAlg(t *testing.T, n, m, N int, p Params) *Algorithm {
 	t.Helper()
 	r := p.resolve(n, m, N)
-	a := &Algorithm{
-		r:      r,
-		rng:    xrand.New(99),
-		first:  make([]setcover.SetID, n),
-		cert:   make([]setcover.SetID, n),
-		marked: make([]bool, n),
-		sol:    map[setcover.SetID]struct{}{},
-	}
-	for u := 0; u < n; u++ {
-		a.first[u] = setcover.NoSet
-		a.cert[u] = setcover.NoSet
-	}
+	a := newState(r, xrand.New(99))
 	a.trace.Specials = make([][]int, r.K)
 	for i := range a.trace.Specials {
 		a.trace.Specials[i] = make([]int, r.E)
@@ -43,20 +32,21 @@ func TestTrackedEdgesTallyPerElement(t *testing.T) {
 	a.startAPhase()
 	// Force a known tracked set.
 	trackedSet := setcover.SetID(777)
-	if _, in := a.qCur[trackedSet]; !in {
-		a.qCur[trackedSet] = struct{}{}
-	}
+	a.qCur.Add(trackedSet)
 	for i := 0; i < 4; i++ {
 		a.processAlgEdge(setcover.Element(42), trackedSet)
 	}
-	if got := a.tcounts[42]; got != 4 {
+	if got := a.tcounts.Get(42); got != 4 {
 		t.Fatalf("tcounts[42] = %d want 4", got)
 	}
-	// Untracked sets contribute nothing to T.
+	// Untracked sets contribute nothing to T. (778 is outside the sampled
+	// Q̃ with overwhelming probability at q_0; assert rather than assume.)
 	untracked := setcover.SetID(778)
-	delete(a.qCur, untracked)
+	if a.qCur.Has(untracked) {
+		t.Skip("untracked control set landed in the q_0 sample")
+	}
 	a.processAlgEdge(43, untracked)
-	if _, in := a.tcounts[43]; in && a.tcounts[43] > 0 && a.batchOf(untracked) != a.sub {
+	if a.tcounts.Get(43) > 0 && a.batchOf(untracked) != a.sub {
 		t.Fatal("untracked set tallied into T")
 	}
 }
@@ -67,22 +57,24 @@ func TestEndOfEpochMarksHeavyTrackedElements(t *testing.T) {
 	// Plant tallies straddling the threshold: the threshold here is
 	// max(2, ...) so an element with a huge tally must be marked and one
 	// with a single tracked edge must not.
-	a.tcounts[7] = 1000
-	a.tcounts[8] = 1
-	a.StateMeter.Add(2 * 2) // two planted map entries, as processAlgEdge would charge
+	for i := 0; i < 1000; i++ {
+		a.tcounts.Inc(7)
+	}
+	a.tcounts.Inc(8)
+	a.StateMeter.Add(2 * 2) // two planted entries, as processAlgEdge would charge
 	a.qCurProb = 1          // pretend a full tracking sample for the calibration
 	a.endOfEpoch()
-	if !a.marked[7] {
+	if !a.marked.Test(7) {
 		t.Fatal("heavily tracked element not marked")
 	}
-	if a.marked[8] {
+	if a.marked.Test(8) {
 		t.Fatal("barely tracked element marked")
 	}
 	if a.trace.MarkedTracking != 1 {
 		t.Fatalf("MarkedTracking = %d want 1", a.trace.MarkedTracking)
 	}
 	// T reset and Q̃ rotated.
-	if len(a.tcounts) != 0 {
+	if a.tcounts.Len() != 0 {
 		t.Fatal("T not reset at epoch boundary")
 	}
 }
@@ -90,13 +82,13 @@ func TestEndOfEpochMarksHeavyTrackedElements(t *testing.T) {
 func TestEndOfEpochRotatesTrackingSample(t *testing.T) {
 	a := newBareAlg(t, 100, 1000, 10000, DefaultParams(100, 1000))
 	a.startAPhase()
-	a.qNext[55] = struct{}{}
+	a.qNext.Add(55)
 	a.StateMeter.Add(1)
 	a.endOfEpoch()
-	if _, in := a.qCur[55]; !in {
+	if !a.qCur.Has(55) {
 		t.Fatal("Q̃' did not become Q̃")
 	}
-	if len(a.qNext) != 0 {
+	if a.qNext.Len() != 0 {
 		t.Fatal("Q̃' not reset")
 	}
 	if a.qCurProb != a.r.qj(a.ej) {

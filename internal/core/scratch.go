@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+
+	"streamcover/internal/dense"
+	"streamcover/internal/setcover"
+)
+
+// scratch bundles the physical backing arrays of one Algorithm 1 run. The
+// arrays are sized by the id spaces (n, m, ⌈m/B⌉) and recycled through a
+// sync.Pool, so repeated runs over the same instance shape — benchmark
+// iterations, experiment repetitions — allocate no per-run working state.
+// The generation counters inside the stamped tables travel with the scratch,
+// which is what makes reuse O(1): a recycled table is invalidated by one
+// generation bump, not a wipe. Only the certificate is excluded — it escapes
+// into the returned Cover.
+type scratch struct {
+	n, m, cm int
+
+	first    []setcover.SetID
+	e0counts []int32
+	marked   dense.Bits
+	sol      dense.Bits
+	counters dense.Counts
+	qCur     dense.StampedSet
+	qNext    dense.StampedSet
+	tcounts  dense.Counts
+}
+
+var scratchPool sync.Pool
+
+// getScratch returns a scratch for the given dimensions, recycling a pooled
+// one when the shape matches. All returned state reads as empty: bitsets and
+// plain counter arrays are zeroed, stamped tables are generation-bumped.
+func getScratch(n, m, cm int) *scratch {
+	if v := scratchPool.Get(); v != nil {
+		sc := v.(*scratch)
+		if sc.n == n && sc.m == m && sc.cm == cm {
+			sc.marked.Reset()
+			sc.sol.Reset()
+			clear(sc.e0counts)
+			sc.counters.Clear()
+			sc.qCur.Clear()
+			sc.qNext.Clear()
+			sc.tcounts.Clear()
+			return sc
+		}
+		// Shape mismatch: drop it and build fresh.
+	}
+	return &scratch{
+		n:        n,
+		m:        m,
+		cm:       cm,
+		first:    make([]setcover.SetID, n),
+		e0counts: make([]int32, n),
+		marked:   dense.NewBits(n),
+		sol:      dense.NewBits(m),
+		counters: dense.NewCounts(cm),
+		qCur:     dense.NewStampedSet(m),
+		qNext:    dense.NewStampedSet(m),
+		tcounts:  dense.NewCounts(n),
+	}
+}
+
+// putScratch returns a scratch to the pool.
+func putScratch(sc *scratch) { scratchPool.Put(sc) }

@@ -1,0 +1,180 @@
+// Package dense provides the allocation-free data structures behind the
+// streaming hot paths: a flat bitset and generation-stamped counter/set
+// tables.
+//
+// The streaming algorithms (internal/core, internal/kk,
+// internal/adversarial) are specified over abstract dictionaries — the paper
+// charges one word per live entry — but implementing those dictionaries with
+// Go maps costs a hashed lookup per edge and an allocation per epoch
+// boundary. The structures here replace them with dense arrays indexed by
+// set/element id. Clearing is O(1): each slot carries a generation stamp,
+// and bumping the table's generation invalidates every slot at once, so a
+// subepoch boundary that used to allocate a fresh map now increments one
+// integer. The physical backing arrays are sized by the id space (n or m);
+// the *logical* space the paper's bounds count is still charged explicitly
+// to space.Meter by the algorithms, entry by entry, exactly as the map
+// implementations did.
+package dense
+
+import "math/bits"
+
+// Bits is a fixed-capacity bitset over [0, n).
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// NewBits returns a bitset with capacity n, all bits clear.
+func NewBits(n int) Bits {
+	return Bits{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity n.
+func (b Bits) Len() int { return b.n }
+
+// Test reports whether bit i is set.
+func (b Bits) Test(i int32) bool {
+	return b.words[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (b Bits) Set(i int32) {
+	b.words[uint32(i)>>6] |= 1 << (uint32(i) & 63)
+}
+
+// Reset clears every bit.
+func (b Bits) Reset() {
+	clear(b.words)
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b Bits) ForEach(fn func(i int32)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			fn(int32(wi<<6 + bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendBools appends the bitset expanded to []bool, for snapshots that
+// existing diagnostics (core.Trace.MarkedAtAEnd) expose in boolean form.
+func (b Bits) AppendBools(dst []bool) []bool {
+	for i := 0; i < b.n; i++ {
+		dst = append(dst, b.Test(int32(i)))
+	}
+	return dst
+}
+
+// StampedSet is a membership set over [0, n) with O(1) Clear, backed by a
+// generation-stamp array.
+type StampedSet struct {
+	stamp []uint32
+	gen   uint32
+	count int
+}
+
+// NewStampedSet returns an empty set with capacity n.
+func NewStampedSet(n int) StampedSet {
+	return StampedSet{stamp: make([]uint32, n), gen: 1}
+}
+
+// Clear empties the set in O(1) by advancing the generation. On the (2³²-th)
+// generation wrap it falls back to zeroing the stamps so stale stamps can
+// never read as live.
+func (s *StampedSet) Clear() {
+	s.gen++
+	if s.gen == 0 {
+		clear(s.stamp)
+		s.gen = 1
+	}
+	s.count = 0
+}
+
+// Add inserts i, reporting whether it was absent.
+func (s *StampedSet) Add(i int32) bool {
+	if s.stamp[i] == s.gen {
+		return false
+	}
+	s.stamp[i] = s.gen
+	s.count++
+	return true
+}
+
+// Has reports membership of i.
+func (s *StampedSet) Has(i int32) bool { return s.stamp[i] == s.gen }
+
+// Len returns the number of members.
+func (s *StampedSet) Len() int { return s.count }
+
+// Swap exchanges the contents of s and t in O(1) — the Q̃ ← Q̃' rotation.
+func (s *StampedSet) Swap(t *StampedSet) { *s, *t = *t, *s }
+
+// Counts is a counter table over [0, n) with O(1) Clear and iteration over
+// the touched slots only.
+type Counts struct {
+	counts  []int32
+	stamp   []uint32
+	gen     uint32
+	touched []int32
+}
+
+// NewCounts returns a zeroed counter table with capacity n.
+func NewCounts(n int) Counts {
+	return Counts{
+		counts:  make([]int32, n),
+		stamp:   make([]uint32, n),
+		gen:     1,
+		touched: make([]int32, 0, 64),
+	}
+}
+
+// Clear zeroes every counter in O(1) by advancing the generation.
+func (c *Counts) Clear() {
+	c.gen++
+	if c.gen == 0 {
+		clear(c.stamp)
+		c.gen = 1
+	}
+	c.touched = c.touched[:0]
+}
+
+// Inc increments slot i, returning the new count and whether this was the
+// slot's first touch since Clear.
+func (c *Counts) Inc(i int32) (count int32, first bool) {
+	if c.stamp[i] != c.gen {
+		c.stamp[i] = c.gen
+		c.counts[i] = 1
+		c.touched = append(c.touched, i)
+		return 1, true
+	}
+	c.counts[i]++
+	return c.counts[i], false
+}
+
+// Get returns slot i's count (0 if untouched since Clear).
+func (c *Counts) Get(i int32) int32 {
+	if c.stamp[i] != c.gen {
+		return 0
+	}
+	return c.counts[i]
+}
+
+// Len returns the number of touched slots.
+func (c *Counts) Len() int { return len(c.touched) }
+
+// ForEach calls fn for every touched slot in touch order.
+func (c *Counts) ForEach(fn func(i, count int32)) {
+	for _, i := range c.touched {
+		fn(i, c.counts[i])
+	}
+}

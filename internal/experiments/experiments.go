@@ -18,6 +18,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 
 	"streamcover/internal/setcover"
@@ -74,18 +76,23 @@ func newReport(id, title string, table *texttable.Table) *Report {
 
 // String renders the report for terminal output.
 func (r *Report) String() string {
-	s := fmt.Sprintf("=== %s — %s ===\n%s", r.ID, r.Title, r.Table.String())
+	table := r.Table.String()
+	var b strings.Builder
+	b.Grow(len(table) + 64 + 32*(len(r.Findings)+len(r.Notes)))
+	fmt.Fprintf(&b, "=== %s — %s ===\n%s", r.ID, r.Title, table)
 	if len(r.Findings) > 0 {
-		s += "findings:"
+		b.WriteString("findings:")
 		for _, k := range sortedKeys(r.Findings) {
-			s += fmt.Sprintf(" %s=%.3g", k, r.Findings[k])
+			fmt.Fprintf(&b, " %s=%.3g", k, r.Findings[k])
 		}
-		s += "\n"
+		b.WriteByte('\n')
 	}
 	for _, n := range r.Notes {
-		s += "note: " + n + "\n"
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
 	}
-	return s
+	return b.String()
 }
 
 func sortedKeys(m map[string]float64) []string {
@@ -93,11 +100,7 @@ func sortedKeys(m map[string]float64) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return keys
 }
 

@@ -13,11 +13,20 @@
 // The paper proves this Õ(m) space bound optimal for α = Θ̃(√n) in
 // adversarial order (Theorem 2), which is what makes the algorithm the
 // baseline every other regime is measured against.
+//
+// Hot-path representation: the solution membership test — executed once per
+// edge — is a dense bitset instead of a map, and the per-run arrays are
+// recycled through a pool (released on Finish), so the steady-state edge
+// loop performs no hashing and no allocation. The space meter still charges
+// the logical words of the paper's accounting: m for the degree array plus
+// one word per chosen set.
 package kk
 
 import (
 	"math"
+	"sync"
 
+	"streamcover/internal/dense"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -33,14 +42,57 @@ type Algorithm struct {
 	sqrtN int
 	rng   *xrand.Rand
 
-	deg          []int32 // uncovered-degree d(S) for every set: the Θ(m) term
-	sol          map[setcover.SetID]struct{}
+	sc *kkScratch
+
+	// deg packs each set's uncovered-degree state as level<<16 | low, where
+	// the true degree is level·√n + low and 0 ≤ low < √n. The packing makes
+	// the per-edge threshold test "low reached √n" a mask-and-compare
+	// instead of an integer modulo, which profiling shows would otherwise
+	// dominate the edge loop. Both fields are bounded by ~√n ≤ 2^16 (the
+	// uncovered-degree never exceeds n).
+	deg          []int32
+	sol          dense.Bits // membership of the sampled solution
+	solCount     int
 	covered      []bool           // u covered by a set in sol (witness recorded)
 	coveredCount int              // running count of covered elements
 	first        []setcover.SetID // R(u): first set seen containing u
 	cert         []setcover.SetID // output certificate
 
-	patched int // sets added by the patching phase, for reporting
+	patched     int   // sets added by the patching phase, for reporting
+	levelCounts []int // cached at Finish, when deg is recycled
+	finished    bool
+}
+
+// kkScratch bundles the recyclable per-run arrays (everything but the
+// certificate, which escapes into the Cover).
+type kkScratch struct {
+	n, m    int
+	deg     []int32
+	sol     dense.Bits
+	covered []bool
+	first   []setcover.SetID
+}
+
+var kkPool sync.Pool
+
+func getKKScratch(n, m int) *kkScratch {
+	if v := kkPool.Get(); v != nil {
+		sc := v.(*kkScratch)
+		if sc.n == n && sc.m == m {
+			clear(sc.deg)
+			sc.sol.Reset()
+			clear(sc.covered)
+			return sc
+		}
+	}
+	return &kkScratch{
+		n:       n,
+		m:       m,
+		deg:     make([]int32, m),
+		sol:     dense.NewBits(m),
+		covered: make([]bool, n),
+		first:   make([]setcover.SetID, n),
+	}
 }
 
 // New returns a KK-algorithm run for an instance with n elements and m sets,
@@ -49,15 +101,17 @@ func New(n, m int, rng *xrand.Rand) *Algorithm {
 	if n <= 0 || m <= 0 {
 		panic("kk: need n > 0 and m > 0")
 	}
+	sc := getKKScratch(n, m)
 	a := &Algorithm{
 		n:       n,
 		m:       m,
 		sqrtN:   int(math.Max(1, math.Round(math.Sqrt(float64(n))))),
 		rng:     rng,
-		deg:     make([]int32, m),
-		sol:     make(map[setcover.SetID]struct{}),
-		covered: make([]bool, n),
-		first:   make([]setcover.SetID, n),
+		sc:      sc,
+		deg:     sc.deg,
+		sol:     sc.sol,
+		covered: sc.covered,
+		first:   sc.first,
 		cert:    make([]setcover.SetID, n),
 	}
 	for u := range a.first {
@@ -78,12 +132,56 @@ func (a *Algorithm) inclusionProb(level int) float64 {
 }
 
 // Process implements stream.Algorithm.
-func (a *Algorithm) Process(e stream.Edge) {
+func (a *Algorithm) Process(e stream.Edge) { a.process(e) }
+
+// ProcessBatch implements stream.BatchProcessor. The loop body duplicates
+// process with the arrays hoisted into locals (one bounds-checked slice
+// header load each instead of a pointer chase per edge); the equivalence
+// tests in the repository root hold the two paths byte-identical.
+func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
+	first, covered, cert, deg := a.first, a.covered, a.cert, a.deg
+	sol := a.sol
+	sqrtN := a.sqrtN
+	for _, e := range edges {
+		u, s := e.Elem, e.Set
+		if first[u] == setcover.NoSet {
+			first[u] = s
+		}
+		if sol.Test(s) {
+			if !covered[u] {
+				covered[u] = true
+				a.coveredCount++
+				cert[u] = s
+			}
+			continue
+		}
+		if covered[u] {
+			continue
+		}
+		d := deg[s] + 1
+		if int(d&degLowMask) != sqrtN {
+			deg[s] = d
+			continue
+		}
+		level := int(d>>degLevelShift) + 1
+		deg[s] = int32(level) << degLevelShift
+		if a.rng.Coin(a.inclusionProb(level)) {
+			sol.Set(s)
+			a.solCount++
+			a.StateMeter.Add(space.SetEntryWords)
+			covered[u] = true
+			a.coveredCount++
+			cert[u] = s
+		}
+	}
+}
+
+func (a *Algorithm) process(e stream.Edge) {
 	u, s := e.Elem, e.Set
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
 	}
-	if _, in := a.sol[s]; in {
+	if a.sol.Test(s) {
 		if !a.covered[u] {
 			a.covered[u] = true
 			a.coveredCount++
@@ -94,13 +192,17 @@ func (a *Algorithm) Process(e stream.Edge) {
 	if a.covered[u] {
 		return
 	}
-	a.deg[s]++
-	if int(a.deg[s])%a.sqrtN != 0 {
+	d := a.deg[s] + 1
+	if int(d&degLowMask) != a.sqrtN {
+		a.deg[s] = d
 		return
 	}
-	level := int(a.deg[s]) / a.sqrtN
+	// d(S) reached the next multiple of √n: bump the level, reset low.
+	level := int(d>>degLevelShift) + 1
+	a.deg[s] = int32(level) << degLevelShift
 	if a.rng.Coin(a.inclusionProb(level)) {
-		a.sol[s] = struct{}{}
+		a.sol.Set(s)
+		a.solCount++
 		a.StateMeter.Add(space.SetEntryWords)
 		a.covered[u] = true
 		a.coveredCount++
@@ -108,13 +210,23 @@ func (a *Algorithm) Process(e stream.Edge) {
 	}
 }
 
+// deg packing: low 16 bits count within the current level, high bits hold
+// the level d(S)/√n.
+const (
+	degLevelShift = 16
+	degLowMask    = 1<<degLevelShift - 1
+)
+
 // Finish implements stream.Algorithm: the patching phase covers every
-// element without a witness using its stored first set R(u).
+// element without a witness using its stored first set R(u). It must be
+// called exactly once; the recyclable working arrays are released here.
 func (a *Algorithm) Finish() *setcover.Cover {
-	chosen := make([]setcover.SetID, 0, len(a.sol)+16)
-	for s := range a.sol {
-		chosen = append(chosen, s)
+	if a.finished {
+		panic("kk: Finish called twice")
 	}
+	a.finished = true
+	chosen := make([]setcover.SetID, 0, a.solCount+16)
+	a.sol.ForEach(func(s int32) { chosen = append(chosen, s) })
 	for u := range a.cert {
 		if a.cert[u] == setcover.NoSet && a.first[u] != setcover.NoSet {
 			a.cert[u] = a.first[u]
@@ -122,7 +234,13 @@ func (a *Algorithm) Finish() *setcover.Cover {
 			a.patched++
 		}
 	}
-	return setcover.NewCover(chosen, a.cert)
+	a.levelCounts = a.computeLevelCounts()
+	cov := setcover.NewCover(chosen, a.cert)
+	sc := a.sc
+	a.sc, a.deg, a.covered, a.first = nil, nil, nil, nil
+	a.sol = dense.Bits{}
+	kkPool.Put(sc)
+	return cov
 }
 
 // Patched returns how many elements the patching phase covered, available
@@ -131,7 +249,7 @@ func (a *Algorithm) Patched() int { return a.patched }
 
 // SampledSets returns how many sets the probabilistic inclusion process
 // added (excluding patching), available at any time.
-func (a *Algorithm) SampledSets() int { return len(a.sol) }
+func (a *Algorithm) SampledSets() int { return a.solCount }
 
 // CoveredCount implements stream.CoverageReporter: the number of elements
 // currently holding a covering witness.
@@ -140,11 +258,19 @@ func (a *Algorithm) CoveredCount() int { return a.coveredCount }
 // LevelCounts returns |S_i| for i = 0..max: the number of sets whose final
 // uncovered-degree lies in [i·√n, (i+1)·√n). The analysis of [19] shows
 // E|S_i| ≤ ½·E|S_{i-1}|; the E-ABL-KK ablation verifies this decay
-// empirically.
+// empirically. Available both mid-stream and after Finish (the counts are
+// snapshotted when the degree array is released).
 func (a *Algorithm) LevelCounts() []int {
+	if a.finished {
+		return a.levelCounts
+	}
+	return a.computeLevelCounts()
+}
+
+func (a *Algorithm) computeLevelCounts() []int {
 	var counts []int
 	for _, d := range a.deg {
-		lvl := int(d) / a.sqrtN
+		lvl := int(d >> degLevelShift)
 		for len(counts) <= lvl {
 			counts = append(counts, 0)
 		}
@@ -154,4 +280,5 @@ func (a *Algorithm) LevelCounts() []int {
 }
 
 var _ stream.Algorithm = (*Algorithm)(nil)
+var _ stream.BatchProcessor = (*Algorithm)(nil)
 var _ space.Reporter = (*Algorithm)(nil)

@@ -37,6 +37,20 @@ func (e *Ensemble) Process(ed Edge) {
 	}
 }
 
+// ProcessBatch implements BatchProcessor by forwarding the chunk to every
+// copy, using each copy's own batched path when it has one.
+func (e *Ensemble) ProcessBatch(edges []Edge) {
+	for _, c := range e.copies {
+		if bp, ok := c.(BatchProcessor); ok {
+			bp.ProcessBatch(edges)
+		} else {
+			for _, ed := range edges {
+				c.Process(ed)
+			}
+		}
+	}
+}
+
 // Finish implements Algorithm: every copy is finished and the smallest
 // cover wins (ties broken toward the earliest copy).
 func (e *Ensemble) Finish() *setcover.Cover {
@@ -66,4 +80,5 @@ func (e *Ensemble) Space() space.Usage {
 }
 
 var _ Algorithm = (*Ensemble)(nil)
+var _ BatchProcessor = (*Ensemble)(nil)
 var _ space.Reporter = (*Ensemble)(nil)

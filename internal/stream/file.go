@@ -25,6 +25,7 @@ type File struct {
 	dataStart int64
 	br        *bufio.Reader
 	remaining int
+	batch     []Edge // reusable NextBatch buffer
 }
 
 // OpenFile opens and validates a stream file for lazy replay.
@@ -164,7 +165,35 @@ func (fs *File) Next() (Edge, bool) {
 	return Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}, true
 }
 
+// NextBatch implements Batcher: it decodes up to max edges into an internal
+// reusable buffer and returns a view of it, so a batched algorithm replays
+// an on-disk stream without a per-edge virtual call or per-batch allocation.
+// The view is only valid until the next NextBatch/Next/Reset call.
+func (fs *File) NextBatch(max int) []Edge {
+	if max <= 0 || fs.remaining <= 0 {
+		return nil
+	}
+	if max > fs.remaining {
+		max = fs.remaining
+	}
+	if cap(fs.batch) < max {
+		fs.batch = make([]Edge, max)
+	}
+	buf := fs.batch[:max]
+	k := 0
+	for k < max {
+		e, ok := fs.Next()
+		if !ok {
+			break
+		}
+		buf[k] = e
+		k++
+	}
+	return buf[:k]
+}
+
 // Close releases the underlying file.
 func (fs *File) Close() error { return fs.f.Close() }
 
 var _ Stream = (*File)(nil)
+var _ Batcher = (*File)(nil)

@@ -111,18 +111,31 @@ func Arrange(inst *setcover.Instance, o Order, rng *xrand.Rand) []Edge {
 		return edges
 
 	case RoundRobin:
+		// Deal one edge per still-unexhausted set per round, sets in id
+		// order. The worklist holds the active sets and is compacted in
+		// place as sets run dry, so total work is Θ(N + m) rather than
+		// rounds·m — the naive rescan is quadratic when one large set
+		// outlives many small ones.
 		m := inst.NumSets()
 		pos := make([]int, m)
+		active := make([]setcover.SetID, 0, m)
+		for s := 0; s < m; s++ {
+			if len(inst.Set(setcover.SetID(s))) > 0 {
+				active = append(active, setcover.SetID(s))
+			}
+		}
 		edges := make([]Edge, 0, inst.NumEdges())
-		for remaining := inst.NumEdges(); remaining > 0; {
-			for s := 0; s < m; s++ {
-				set := inst.Set(setcover.SetID(s))
+		for len(active) > 0 {
+			live := active[:0]
+			for _, s := range active {
+				set := inst.Set(s)
+				edges = append(edges, Edge{Set: s, Elem: set[pos[s]]})
+				pos[s]++
 				if pos[s] < len(set) {
-					edges = append(edges, Edge{Set: setcover.SetID(s), Elem: set[pos[s]]})
-					pos[s]++
-					remaining--
+					live = append(live, s)
 				}
 			}
+			active = live
 		}
 		return edges
 

@@ -18,6 +18,29 @@ type Algorithm interface {
 	Finish() *setcover.Cover
 }
 
+// BatchProcessor is optionally implemented by algorithms whose hot path can
+// consume a contiguous run of edges in one call. ProcessBatch(edges) must be
+// observably identical to calling Process on each edge in order — same
+// output, same coin flips, same space charges — it only amortizes the
+// per-edge interface dispatch. Run uses it automatically when present.
+type BatchProcessor interface {
+	ProcessBatch(edges []Edge)
+}
+
+// Batcher is optionally implemented by streams that can expose consecutive
+// edges as slices without a per-edge call. The returned slice aliases
+// internal storage and is only valid until the next NextBatch/Next/Reset
+// call; an empty result means end of stream. Run prefers this over Next when
+// the algorithm is a BatchProcessor.
+type Batcher interface {
+	NextBatch(max int) []Edge
+}
+
+// BatchSize is the chunk length Run uses when driving a BatchProcessor:
+// large enough to amortize dispatch, small enough that a batch of 8-byte
+// edges stays in L1.
+const BatchSize = 4096
+
 // Result is the outcome of driving an Algorithm over a Stream.
 type Result struct {
 	Cover *setcover.Cover
@@ -29,17 +52,50 @@ type Result struct {
 }
 
 // Run resets s, feeds every edge to alg in order, finishes the algorithm
-// and collects the result.
+// and collects the result. When alg implements BatchProcessor the edges are
+// delivered in chunks — directly as views of the stream's storage when s
+// implements Batcher, via a scratch buffer otherwise.
 func Run(alg Algorithm, s Stream) Result {
 	s.Reset()
 	n := 0
-	for {
-		e, ok := s.Next()
-		if !ok {
-			break
+	if bp, ok := alg.(BatchProcessor); ok {
+		if bs, ok := s.(Batcher); ok {
+			for {
+				batch := bs.NextBatch(BatchSize)
+				if len(batch) == 0 {
+					break
+				}
+				bp.ProcessBatch(batch)
+				n += len(batch)
+			}
+		} else {
+			buf := make([]Edge, BatchSize)
+			for {
+				k := 0
+				for k < len(buf) {
+					e, ok := s.Next()
+					if !ok {
+						break
+					}
+					buf[k] = e
+					k++
+				}
+				if k == 0 {
+					break
+				}
+				bp.ProcessBatch(buf[:k])
+				n += k
+			}
 		}
-		alg.Process(e)
-		n++
+	} else {
+		for {
+			e, ok := s.Next()
+			if !ok {
+				break
+			}
+			alg.Process(e)
+			n++
+		}
 	}
 	res := Result{Cover: alg.Finish(), Edges: n}
 	if rep, ok := alg.(space.Reporter); ok {

@@ -56,11 +56,29 @@ func (s *Slice) Next() (Edge, bool) {
 	return e, true
 }
 
+// NextBatch implements Batcher: the returned slice is a view of the
+// underlying storage (no copy) covering the next min(max, remaining) edges.
+func (s *Slice) NextBatch(max int) []Edge {
+	if s.pos >= len(s.edges) || max <= 0 {
+		return nil
+	}
+	hi := s.pos + max
+	if hi > len(s.edges) {
+		hi = len(s.edges)
+	}
+	batch := s.edges[s.pos:hi]
+	s.pos = hi
+	return batch
+}
+
 // Reset implements Stream.
 func (s *Slice) Reset() { s.pos = 0 }
 
 // Edges returns the underlying slice (shared, not copied).
 func (s *Slice) Edges() []Edge { return s.edges }
+
+var _ Stream = (*Slice)(nil)
+var _ Batcher = (*Slice)(nil)
 
 // EdgesOf materialises all edges of an instance in canonical order:
 // set-major (all edges of set 0, then set 1, ...), elements ascending within

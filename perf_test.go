@@ -1,0 +1,140 @@
+package streamcover
+
+// Guards for the performance architecture (DESIGN.md "Performance
+// architecture"): the batched driver must be observably identical to the
+// per-edge driver, and the steady-state edge loop of every algorithm must be
+// allocation-free. Together with golden_test.go these hold the hot-path
+// representation work to "faster, not different".
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+)
+
+// perEdgeOnly hides ProcessBatch from the driver, forcing stream.Run down
+// the per-edge Process path while still exposing the space report.
+type perEdgeOnly struct {
+	stream.Algorithm
+	space.Reporter
+}
+
+// perfCase builds one (algorithm, order) run. The concrete algorithm is
+// returned alongside so tests can reach Trace and coverage accessors.
+func perfCase(alg string, order Order) (Algorithm, []Edge) {
+	const n, m, opt = 300, 4000, 8
+	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
+	edges := Arrange(w.Inst, order, NewRand(23))
+	switch alg {
+	case "kk":
+		return NewKK(n, m, NewRand(42)), edges
+	case "alg1":
+		return NewRandomOrder(n, m, len(edges), NewRand(42)), edges
+	case "alg2":
+		return NewAdversarial(n, m, 40, NewRand(42)), edges
+	default:
+		panic("unknown algorithm " + alg)
+	}
+}
+
+// TestBatchedMatchesPerEdge drives every algorithm over every arrival order
+// twice — once through ProcessBatch, once edge at a time — with identical
+// seeds and asserts byte-identical observable output: chosen sets,
+// certificate, edge count, space report, and (for Algorithm 1) the full
+// execution trace.
+func TestBatchedMatchesPerEdge(t *testing.T) {
+	for _, algName := range []string{"kk", "alg1", "alg2"} {
+		for _, order := range Orders() {
+			t.Run(algName+"/"+order.String(), func(t *testing.T) {
+				batchedAlg, edges := perfCase(algName, order)
+				if _, ok := batchedAlg.(stream.BatchProcessor); !ok {
+					t.Fatalf("%s does not implement stream.BatchProcessor", algName)
+				}
+				batched := RunEdges(batchedAlg, edges)
+
+				perEdgeAlg, _ := perfCase(algName, order)
+				wrapped := perEdgeOnly{perEdgeAlg, perEdgeAlg.(space.Reporter)}
+				if _, ok := Algorithm(wrapped).(stream.BatchProcessor); ok {
+					t.Fatal("perEdgeOnly wrapper leaks ProcessBatch")
+				}
+				perEdge := RunEdges(wrapped, edges)
+
+				if !slices.Equal(batched.Cover.Sets, perEdge.Cover.Sets) {
+					t.Errorf("cover sets differ: batched %v, per-edge %v",
+						batched.Cover.Sets, perEdge.Cover.Sets)
+				}
+				if !slices.Equal(batched.Cover.Certificate, perEdge.Cover.Certificate) {
+					t.Error("certificates differ")
+				}
+				if batched.Edges != perEdge.Edges {
+					t.Errorf("edge counts differ: batched %d, per-edge %d", batched.Edges, perEdge.Edges)
+				}
+				if batched.Space != perEdge.Space {
+					t.Errorf("space reports differ: batched %+v, per-edge %+v", batched.Space, perEdge.Space)
+				}
+				if algName == "alg1" {
+					ta := batchedAlg.(*RandomOrderAlg).Trace()
+					tb := perEdgeAlg.(*RandomOrderAlg).Trace()
+					if !reflect.DeepEqual(ta, tb) {
+						t.Errorf("traces differ:\nbatched:  %+v\nper-edge: %+v", ta, tb)
+					}
+				}
+			})
+		}
+	}
+}
+
+// coverageReporter is the part of the algorithms the alloc guard uses to
+// detect the steady state (every element holds a witness).
+type coverageReporter interface{ CoveredCount() int }
+
+// TestSteadyStateProcessBatchAllocs asserts the per-edge hot loop of every
+// algorithm performs zero heap allocations once warm: after the stream has
+// been absorbed (and, where coverage converges, every element is covered),
+// replaying the whole edge sequence through ProcessBatch must not allocate.
+// This is the property the pooled scratch + dense-state representation
+// exists to provide — violating it is a performance regression even when
+// the output is still correct.
+func TestSteadyStateProcessBatchAllocs(t *testing.T) {
+	const n, m, opt = 100, 600, 6
+	w := PlantedWorkload(NewRand(5), n, m, opt, 0)
+	edges := Arrange(w.Inst, RandomOrder, NewRand(9))
+
+	for _, tc := range []struct {
+		name string
+		alg  Algorithm
+		// wantFullCoverage: the algorithm keeps sampling on replays, so it
+		// must reach CoveredCount == n (after which replays are pure reads).
+		wantFullCoverage bool
+	}{
+		{"kk", NewKK(n, m, NewRand(1)), true},
+		{"alg1", NewRandomOrder(n, m, len(edges), NewRand(2)), false},
+		{"alg2", NewAdversarial(n, m, 20, NewRand(3)), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bp := tc.alg.(stream.BatchProcessor)
+			for pass := 0; pass < 500; pass++ {
+				bp.ProcessBatch(edges)
+				if !tc.wantFullCoverage {
+					break
+				}
+				if cr := tc.alg.(coverageReporter); cr.CoveredCount() == n {
+					break
+				}
+			}
+			if tc.wantFullCoverage {
+				if got := tc.alg.(coverageReporter).CoveredCount(); got != n {
+					t.Fatalf("warm-up never converged: %d/%d elements covered", got, n)
+				}
+			}
+			if allocs := testing.AllocsPerRun(20, func() {
+				bp.ProcessBatch(edges)
+			}); allocs != 0 {
+				t.Errorf("steady-state ProcessBatch allocates %.2f times per replay, want 0", allocs)
+			}
+		})
+	}
+}
