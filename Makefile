@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ check:
 # Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
 paper-check:
 	$(GO) run ./cmd/scbench -config quick -check
+
+# End-to-end observability smoke: run scbench with -obs-listen on an
+# ephemeral port, scrape /metrics once, assert the core series, and read the
+# -trace-out dump back. Self-contained Go harness — no curl required.
+obs-smoke:
+	$(GO) run ./internal/tools/obssmoke
 
 fmt:
 	gofmt -w .

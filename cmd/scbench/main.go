@@ -7,6 +7,8 @@
 // Usage:
 //
 //	scbench [-config quick|full] [-id E-T1-R4] [-markdown] [-seed N]
+//	scbench -obs-listen :6060        # live /metrics, /debug/vars, /debug/pprof
+//	scbench -trace-out run.sctrace   # decision trace for sctrace -decisions
 package main
 
 import (
@@ -16,10 +18,13 @@ import (
 	"strings"
 	"time"
 
+	"streamcover/internal/cli"
 	"streamcover/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		config   = flag.String("config", "quick", "experiment scale: quick or full")
 		id       = flag.String("id", "", "run only the experiment with this id (e.g. E-T1-R2); empty = all")
@@ -28,7 +33,10 @@ func main() {
 		outFile  = flag.String("out", "", "additionally write a full markdown evaluation report to this file")
 		seed     = flag.Uint64("seed", 0, "override the base seed (0 keeps the config default)")
 		reps     = flag.Int("reps", 0, "override repetitions per cell (0 keeps the config default)")
+		obsOpt   = cli.RegisterObsFlags(flag.CommandLine)
 	)
+	flag.DurationVar(&obsOpt.Hold, "obs-hold", 0,
+		"keep the -obs-listen server alive this long after the experiments finish (for external scrapers)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -39,7 +47,7 @@ func main() {
 		cfg = experiments.Full()
 	default:
 		fmt.Fprintf(os.Stderr, "scbench: unknown -config %q (want quick or full)\n", *config)
-		os.Exit(2)
+		return 2
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
@@ -47,6 +55,17 @@ func main() {
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
+
+	session, err := cli.StartObs(*obsOpt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := session.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
+		}
+	}()
 
 	matched := false
 	anyFailed := false
@@ -83,26 +102,27 @@ func main() {
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "scbench: no experiment matches id %q\n", *id)
-		os.Exit(2)
+		return 2
 	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := experiments.WriteMarkdownReport(f, cfg, collected); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "scbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *outFile)
 	}
 	if anyFailed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

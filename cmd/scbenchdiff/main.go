@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -69,7 +70,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *diff:
-		ok, err := runDiff(*dir, *threshold)
+		ok, err := runDiff(*dir, *threshold, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scbenchdiff: %v\n", err)
 			os.Exit(1)
@@ -238,7 +239,9 @@ func loadSnapshot(path string) (Snapshot, error) {
 	return s, nil
 }
 
-func runDiff(dir string, threshold float64) (bool, error) {
+// runDiff compares the two most recent snapshots in dir, writes the
+// comparison table to w, and reports whether the diff passed the gate.
+func runDiff(dir string, threshold float64, w io.Writer) (bool, error) {
 	paths, _, err := snapshots(dir)
 	if err != nil {
 		return false, err
@@ -306,12 +309,12 @@ func runDiff(dir string, threshold float64) (bool, error) {
 			tbl.AddRow(name, "ns/op", fmtVal(oldSnap.Benchmarks[name].NsPerOp), "-", "n/a", "removed")
 		}
 	}
-	fmt.Print(tbl.String())
+	fmt.Fprint(w, tbl.String())
 	if regressed {
-		fmt.Printf("FAIL: at least one benchmark regressed beyond ×%.2f\n", threshold)
+		fmt.Fprintf(w, "FAIL: at least one benchmark regressed beyond ×%.2f\n", threshold)
 		return false, nil
 	}
-	fmt.Println("PASS: no regression beyond threshold")
+	fmt.Fprintln(w, "PASS: no regression beyond threshold")
 	return true, nil
 }
 

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnap writes BENCH_<idx>.json in dir with the given benchmarks.
+func writeSnap(t *testing.T, dir string, idx int, benches map[string]Benchmark) {
+	t.Helper()
+	data, err := json.Marshal(Snapshot{Created: "2026-01-01T00:00:00Z", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", idx))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bench(ns, allocs float64) Benchmark {
+	return Benchmark{Samples: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestDiffNeedsTwoSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+
+	// No snapshots at all.
+	if _, err := runDiff(dir, 1.20, &out); err == nil || !strings.Contains(err.Error(), "have 0") {
+		t.Fatalf("empty dir: err=%v", err)
+	}
+
+	// One snapshot is still not enough.
+	writeSnap(t, dir, 0, map[string]Benchmark{"BenchmarkX": bench(100, 2)})
+	if _, err := runDiff(dir, 1.20, &out); err == nil || !strings.Contains(err.Error(), "have 1") {
+		t.Fatalf("one snapshot: err=%v", err)
+	}
+}
+
+func TestDiffMissingSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 0, map[string]Benchmark{"BenchmarkX": bench(100, 2)})
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := runDiff(dir, 1.20, &out); err == nil || !strings.Contains(err.Error(), "BENCH_1.json") {
+		t.Fatalf("corrupt snapshot should fail with the path in the error, got %v", err)
+	}
+}
+
+func TestDiffBenchmarkInOnlyOneSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 0, map[string]Benchmark{
+		"BenchmarkShared":  bench(100, 2),
+		"BenchmarkRemoved": bench(50, 1),
+	})
+	writeSnap(t, dir, 1, map[string]Benchmark{
+		"BenchmarkShared": bench(100, 2),
+		"BenchmarkNew":    bench(75, 3),
+	})
+	var out strings.Builder
+	ok, err := runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New and removed benchmarks are reported but never gate the diff.
+	if !ok {
+		t.Fatalf("appearing/disappearing benchmarks must not fail the gate:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"BenchmarkNew", "new", "BenchmarkRemoved", "removed", "PASS"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffExactThresholdBoundary(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 0, map[string]Benchmark{"BenchmarkX": bench(100, 10)})
+	// 120/100 == 1.20 exactly: the gate is strict (> threshold), so this passes.
+	writeSnap(t, dir, 1, map[string]Benchmark{"BenchmarkX": bench(120, 10)})
+	var out strings.Builder
+	ok, err := runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("exactly ×1.20 must pass (gate is strict):\n%s", out.String())
+	}
+
+	// Just above the boundary fails.
+	writeSnap(t, dir, 2, map[string]Benchmark{"BenchmarkX": bench(145, 10)}) // 145/120 ≈ 1.208
+	out.Reset()
+	ok, err = runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("×1.208 must fail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("output missing REGRESSED:\n%s", out.String())
+	}
+}
+
+func TestDiffZeroAllocBaselineGrowthFails(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 0, map[string]Benchmark{"BenchmarkX": bench(100, 0)})
+	writeSnap(t, dir, 1, map[string]Benchmark{"BenchmarkX": bench(100, 1)})
+	var out strings.Builder
+	ok, err := runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("allocs 0 → 1 must regress regardless of ratio:\n%s", out.String())
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"streamcover/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var opt cli.ReplayOptions
 	flag.StringVar(&opt.In, "in", "stream.scs", "stream file from scgen")
 	flag.StringVar(&opt.Algo, "algo", "kk", "algorithm: kk|alg1|alg2|es|storeall|multipass|fractional")
@@ -30,10 +32,23 @@ func main() {
 	flag.Uint64Var(&opt.Seed, "seed", 1, "random seed")
 	flag.IntVar(&opt.Budget, "budget", 64, "per-round element sample budget for multipass")
 	flag.IntVar(&opt.Copies, "copies", 1, "parallel ensemble copies (kk/alg2/es)")
+	obsOpt := cli.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	session, err := cli.StartObs(*obsOpt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scrun: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := session.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scrun: %v\n", err)
+		}
+	}()
 
 	if err := cli.Replay(opt, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "scrun: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

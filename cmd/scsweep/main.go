@@ -19,7 +19,9 @@ import (
 	"streamcover/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		algos  = flag.String("algos", "kk,alg1", "comma-separated algorithms: kk|alg1|alg2|es|storeall")
 		ns     = flag.String("n", "400", "comma-separated universe sizes")
@@ -30,6 +32,7 @@ func main() {
 		reps   = flag.Int("reps", 3, "repetitions per cell")
 		seed   = flag.Uint64("seed", 1, "base random seed")
 		csvOut = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		obsOpt = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -41,6 +44,16 @@ func main() {
 	if err != nil {
 		fatalf("-m: %v", err)
 	}
+	session, err := cli.StartObs(*obsOpt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := session.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scsweep: %v\n", err)
+		}
+	}()
+
 	opt := cli.SweepOptions{
 		Algos:  splitList(*algos),
 		Ns:     nsList,
@@ -53,8 +66,10 @@ func main() {
 		CSV:    *csvOut,
 	}
 	if err := cli.Sweep(opt, os.Stdout); err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(os.Stderr, "scsweep: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
 func splitList(s string) []string {

@@ -1,11 +1,14 @@
 // Command sctrace replays a stream file through an algorithm with
 // checkpoint instrumentation and emits the coverage/state trajectory as CSV
 // (stream position, witnessed elements, state words) — the raw data behind
-// the E-CURVE experiment, ready for external plotting.
+// the E-CURVE experiment, ready for external plotting. With -decisions it
+// instead reads back a decision-trace file written by another tool's
+// -trace-out flag (SCTRACE1 format) and emits the events as CSV.
 //
 // Usage:
 //
 //	sctrace -in stream.scs -algo alg1 -points 50 > curve.csv
+//	sctrace -decisions run.sctrace > decisions.csv
 package main
 
 import (
@@ -19,19 +22,26 @@ import (
 	"streamcover/internal/adversarial"
 	"streamcover/internal/core"
 	"streamcover/internal/kk"
+	"streamcover/internal/obs"
 	"streamcover/internal/stream"
 	"streamcover/internal/xrand"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "stream.scs", "stream file from scgen")
-		algo   = flag.String("algo", "alg1", "algorithm: kk|alg1|alg2")
-		alpha  = flag.Float64("alpha", 0, "approximation target for alg2 (0 = 2√n)")
-		points = flag.Int("points", 50, "number of checkpoints")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		in        = flag.String("in", "stream.scs", "stream file from scgen")
+		algo      = flag.String("algo", "alg1", "algorithm: kk|alg1|alg2")
+		alpha     = flag.Float64("alpha", 0, "approximation target for alg2 (0 = 2√n)")
+		points    = flag.Int("points", 50, "number of checkpoints")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		decisions = flag.String("decisions", "", "read back a decision trace (SCTRACE1, from -trace-out) and emit it as CSV instead of replaying a stream")
 	)
 	flag.Parse()
+
+	if *decisions != "" {
+		dumpDecisions(*decisions)
+		return
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -87,6 +97,38 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sctrace: %s on n=%d m=%d N=%d -> cover %d sets, %d checkpoints\n",
 		*algo, hdr.N, hdr.M, hdr.E, res.Cover.Size(), len(traj))
+}
+
+// dumpDecisions reads an SCTRACE1 decision trace and writes it to stdout as
+// CSV with symbolic algorithm and event-kind names.
+func dumpDecisions(path string) {
+	events, err := obs.ReadTraceFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w := csv.NewWriter(os.Stdout)
+	if err := w.Write([]string{"seq", "pos", "algo", "kind", "a", "b", "c"}); err != nil {
+		fatalf("write: %v", err)
+	}
+	for _, e := range events {
+		rec := []string{
+			strconv.FormatUint(e.Seq, 10),
+			strconv.FormatInt(e.Pos, 10),
+			e.Algo.String(),
+			e.Kind.String(),
+			strconv.FormatInt(e.A, 10),
+			strconv.FormatInt(e.B, 10),
+			strconv.FormatInt(e.C, 10),
+		}
+		if err := w.Write(rec); err != nil {
+			fatalf("write: %v", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fatalf("flush: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "sctrace: read %d decision events from %s\n", len(events), path)
 }
 
 func fatalf(format string, args ...any) {

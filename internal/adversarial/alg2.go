@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"streamcover/internal/dense"
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -41,6 +42,9 @@ type Algorithm struct {
 	n, m  int
 	alpha float64
 	rng   *xrand.Rand
+
+	sink *obs.Sink // decision-event sink; nil (inert) unless a hub is installed
+	pos  int64     // edges processed, stamped on emitted events
 
 	sc *a2Scratch
 
@@ -114,6 +118,7 @@ func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
 		covered: sc.covered,
 		first:   sc.first,
 		cert:    make([]setcover.SetID, n),
+		sink:    obs.SinkFor(obs.AlgoAlg2),
 	}
 	for u := range a.first {
 		a.first[u] = setcover.NoSet
@@ -143,6 +148,7 @@ func (a *Algorithm) addToSol(s setcover.SetID, level int) {
 		a.dCounts = append(a.dCounts, 0)
 	}
 	a.dCounts[level]++
+	a.sink.Emit(obs.KindSetSelected, a.pos, int64(s), int64(a.solCount), int64(level))
 }
 
 // inclusionProb returns p_ℓ = (α²/n)^ℓ · α/m.
@@ -161,6 +167,7 @@ func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
 }
 
 func (a *Algorithm) process(e stream.Edge) {
+	a.pos++
 	s, u := e.Set, e.Elem
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
@@ -176,14 +183,18 @@ func (a *Algorithm) process(e stream.Edge) {
 		}
 		a.levels[s] = lvl
 		a.promotions++
+		a.sink.Emit(obs.KindLevelUp, a.pos, int64(s), int64(lvl), int64(lvl-1))
 		if a.rng.Coin(a.inclusionProb(lvl)) {
 			a.addToSol(s, int(lvl))
+		} else {
+			a.sink.Emit(obs.KindSampleDrop, a.pos, int64(s), int64(lvl), 0)
 		}
 	}
 	if a.sol.Test(s) {
 		a.covered[u] = true
 		a.coveredCount++
 		a.cert[u] = s
+		a.sink.Emit(obs.KindCertWrite, a.pos, int64(u), int64(s), -1)
 	}
 }
 
@@ -204,6 +215,7 @@ func (a *Algorithm) Finish() *setcover.Cover {
 			a.patched++
 		}
 	}
+	a.sink.Count(obs.KindPatch, int64(a.patched))
 	cov := setcover.NewCover(chosen, a.cert)
 	sc := a.sc
 	a.sc, a.levels, a.covered, a.first = nil, nil, nil, nil
@@ -232,6 +244,13 @@ func (a *Algorithm) Patched() int { return a.patched }
 // CoveredCount implements stream.CoverageReporter: |U|, the number of
 // elements currently holding a covering witness.
 func (a *Algorithm) CoveredCount() int { return a.coveredCount }
+
+// SetObs replaces the decision-event sink (tests attach private hubs here;
+// nil detaches).
+func (a *Algorithm) SetObs(s *obs.Sink) { a.sink = s }
+
+// ObsAlgo implements obs.Identified.
+func (a *Algorithm) ObsAlgo() obs.AlgoID { return obs.AlgoAlg2 }
 
 var _ stream.Algorithm = (*Algorithm)(nil)
 var _ stream.BatchProcessor = (*Algorithm)(nil)

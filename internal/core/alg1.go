@@ -42,6 +42,7 @@ package core
 
 import (
 	"streamcover/internal/dense"
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -63,6 +64,8 @@ type Algorithm struct {
 
 	r   resolved
 	rng *xrand.Rand
+
+	sink *obs.Sink // decision-event sink; nil (inert) unless a hub is installed
 
 	pos   int
 	phase phase
@@ -139,6 +142,7 @@ func newState(r resolved, rng *xrand.Rand) *Algorithm {
 	a := &Algorithm{
 		r:        r,
 		rng:      rng,
+		sink:     obs.SinkFor(obs.AlgoAlg1),
 		sc:       sc,
 		first:    sc.first,
 		cert:     make([]setcover.SetID, r.n),
@@ -192,6 +196,7 @@ func (a *Algorithm) addToSol(s setcover.SetID) {
 	a.sol.Set(s)
 	a.solCount++
 	a.StateMeter.Add(space.SetEntryWords)
+	a.sink.Emit(obs.KindSetSelected, int64(a.pos), int64(s), int64(a.solCount), int64(a.ej))
 	if a.solCount >= a.r.n {
 		a.trace.Degenerate = true
 	}
@@ -202,6 +207,7 @@ func (a *Algorithm) batchOf(s setcover.SetID) int { return int(s) % a.r.B }
 // startAPhase begins A(1): fresh counters and the initial tracking sample
 // Q̃ of all sets with probability q_0 (line 10).
 func (a *Algorithm) startAPhase() {
+	a.sink.Emit(obs.KindPhase, int64(a.pos), int64(phaseAlgs), int64(a.phase), 0)
 	a.phase = phaseAlgs
 	a.ai, a.ej, a.sub, a.subPos = 1, 1, 0, 0
 	a.counters.Clear()
@@ -258,6 +264,7 @@ func (a *Algorithm) process(e stream.Edge) {
 		a.cert[u] = s
 		a.coveredCount++
 		a.marked.Set(u)
+		a.sink.Emit(obs.KindCertWrite, int64(a.pos), int64(u), int64(s), -1)
 	}
 
 	switch a.phase {
@@ -285,7 +292,9 @@ func (a *Algorithm) process(e stream.Edge) {
 // (lines 34–36), so the per-edge work is two array loads and a bit test.
 func (a *Algorithm) processRemainder(edges []stream.Edge) {
 	first, cert := a.first, a.cert
+	pos := a.pos
 	for _, e := range edges {
+		pos++
 		u, s := e.Elem, e.Set
 		if first[u] == setcover.NoSet {
 			first[u] = s
@@ -294,9 +303,10 @@ func (a *Algorithm) processRemainder(edges []stream.Edge) {
 			cert[u] = s
 			a.coveredCount++
 			a.marked.Set(u)
+			a.sink.Emit(obs.KindCertWrite, int64(pos), int64(u), int64(s), -1)
 		}
 	}
-	a.pos += len(edges)
+	a.pos = pos
 	a.trace.RemainderEdges += len(edges)
 }
 
@@ -338,11 +348,15 @@ func (a *Algorithm) processAlgEdge(u setcover.Element, s setcover.SetID) {
 			a.cert[u] = s
 			a.coveredCount++
 			a.marked.Set(u)
+			a.sink.Emit(obs.KindCertWrite, int64(a.pos), int64(u), int64(s), -1)
 		}
+	} else {
+		a.sink.Emit(obs.KindSampleDrop, int64(a.pos), int64(s), int64(a.ej), 0)
 	}
 	if !a.r.DisableTracking && a.rng.Coin(a.r.qj(a.ej)) {
 		if a.qNext.Add(s) {
 			a.StateMeter.Add(space.SetEntryWords)
+			a.sink.Emit(obs.KindSampleKeep, int64(a.pos), int64(s), int64(a.ej), 0)
 		}
 	}
 }
@@ -408,12 +422,14 @@ func (a *Algorithm) endOfEpoch() {
 	a.qCur.Swap(&a.qNext)
 	a.qCurProb = a.r.qj(a.ej)
 	a.qNext.Clear()
+	a.sink.Emit(obs.KindEpoch, int64(a.pos), int64(a.ej), int64(a.solCount), int64(a.ai))
 }
 
 // enterRemainder releases all A-phase state; lines 33–36 only need Sol and
 // the per-element bookkeeping. It also snapshots the (I1)-relevant state
 // for the ablation harness (diagnostics, not charged to the meter).
 func (a *Algorithm) enterRemainder() {
+	a.sink.Emit(obs.KindPhase, int64(a.pos), int64(phaseRemainder), int64(a.phase), 0)
 	a.phase = phaseRemainder
 	a.trace.MarkedAtAEnd = a.marked.AppendBools(nil)
 	a.sol.ForEach(func(s int32) {
@@ -479,6 +495,7 @@ func (a *Algorithm) Finish() *setcover.Cover {
 			a.trace.Patched++
 		}
 	}
+	a.sink.Count(obs.KindPatch, int64(a.trace.Patched))
 	return setcover.NewCover(chosen, a.cert)
 }
 
@@ -493,6 +510,13 @@ func (a *Algorithm) SampledSets() int { return a.solCount }
 // currently holding a covering witness (marked-without-witness elements are
 // not counted).
 func (a *Algorithm) CoveredCount() int { return a.coveredCount }
+
+// SetObs replaces the decision-event sink (tests attach private hubs here;
+// nil detaches).
+func (a *Algorithm) SetObs(s *obs.Sink) { a.sink = s }
+
+// ObsAlgo implements obs.Identified.
+func (a *Algorithm) ObsAlgo() obs.AlgoID { return obs.AlgoAlg1 }
 
 var _ stream.Algorithm = (*Algorithm)(nil)
 var _ stream.BatchProcessor = (*Algorithm)(nil)

@@ -25,6 +25,7 @@ import (
 	"math"
 	"slices"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -47,6 +48,8 @@ type Algorithm struct {
 	first   []setcover.SetID                      // R(u)
 
 	patched int
+	pos     int64     // edges processed, stamped on emitted events
+	sink    *obs.Sink // decision-event sink; nil (inert) unless a hub is installed
 	rng     *xrand.Rand
 }
 
@@ -73,6 +76,7 @@ func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
 		inc:     make([][]setcover.SetID, n),
 		d0:      make(map[setcover.SetID]struct{}),
 		first:   make([]setcover.SetID, n),
+		sink:    obs.SinkFor(obs.AlgoES),
 		rng:     rng,
 	}
 	for u := range a.first {
@@ -80,12 +84,19 @@ func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
 	}
 	a.AuxMeter.Add(int64(n)) // R(u)
 
+	// The per-element U' coins are high-volume (n of them at construction),
+	// so they are aggregated into the keep/drop counters rather than ringing
+	// one trace event apiece.
 	rho := math.Min(1, logm/alpha)
+	kept := int64(0)
 	for u := 0; u < n; u++ {
 		if rng.Coin(rho) {
 			a.sampled[u] = true
+			kept++
 		}
 	}
+	a.sink.Count(obs.KindSampleKeep, kept)
+	a.sink.Count(obs.KindSampleDrop, int64(n)-kept)
 	a.AuxMeter.Add(int64(n)) // the U' bitmap
 
 	p0 := math.Min(1, alpha*logm/float64(m))
@@ -93,12 +104,14 @@ func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
 	for _, s := range rng.SampleK(m, cnt) {
 		a.d0[setcover.SetID(s)] = struct{}{}
 		a.StateMeter.Add(space.SetEntryWords)
+		a.sink.Emit(obs.KindSetSelected, 0, int64(s), int64(len(a.d0)), 0)
 	}
 	return a
 }
 
 // Process implements stream.Algorithm.
 func (a *Algorithm) Process(e stream.Edge) {
+	a.pos++
 	s, u := e.Set, e.Elem
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
@@ -125,6 +138,9 @@ func (a *Algorithm) Finish() *setcover.Cover {
 		chosenSet[s] = struct{}{}
 	}
 	for _, s := range a.coverSample() {
+		if _, in := chosenSet[s]; !in {
+			a.sink.Emit(obs.KindSetSelected, a.pos, int64(s), int64(len(chosenSet)+1), 1)
+		}
 		chosenSet[s] = struct{}{}
 	}
 
@@ -147,6 +163,7 @@ func (a *Algorithm) Finish() *setcover.Cover {
 			a.patched++
 		}
 	}
+	a.sink.Count(obs.KindPatch, int64(a.patched))
 	return setcover.NewCover(chosen, cert)
 }
 
@@ -206,6 +223,13 @@ func (a *Algorithm) D0Size() int { return len(a.d0) }
 
 // IncidenceCap returns the per-element incident-set cap k.
 func (a *Algorithm) IncidenceCap() int { return a.k }
+
+// SetObs replaces the decision-event sink (tests attach private hubs here;
+// nil detaches).
+func (a *Algorithm) SetObs(s *obs.Sink) { a.sink = s }
+
+// ObsAlgo implements obs.Identified.
+func (a *Algorithm) ObsAlgo() obs.AlgoID { return obs.AlgoES }
 
 var _ stream.Algorithm = (*Algorithm)(nil)
 var _ space.Reporter = (*Algorithm)(nil)

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"streamcover/internal/dense"
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -41,6 +42,9 @@ type Algorithm struct {
 	n, m  int
 	sqrtN int
 	rng   *xrand.Rand
+
+	sink *obs.Sink // decision-event sink; nil (inert) unless a hub is installed
+	pos  int64     // edges processed, stamped on emitted events
 
 	sc *kkScratch
 
@@ -113,6 +117,7 @@ func New(n, m int, rng *xrand.Rand) *Algorithm {
 		covered: sc.covered,
 		first:   sc.first,
 		cert:    make([]setcover.SetID, n),
+		sink:    obs.SinkFor(obs.AlgoKK),
 	}
 	for u := range a.first {
 		a.first[u] = setcover.NoSet
@@ -142,7 +147,9 @@ func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
 	first, covered, cert, deg := a.first, a.covered, a.cert, a.deg
 	sol := a.sol
 	sqrtN := a.sqrtN
+	pos := a.pos
 	for _, e := range edges {
+		pos++
 		u, s := e.Elem, e.Set
 		if first[u] == setcover.NoSet {
 			first[u] = s
@@ -152,6 +159,7 @@ func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
 				covered[u] = true
 				a.coveredCount++
 				cert[u] = s
+				a.sink.Emit(obs.KindCertWrite, pos, int64(u), int64(s), -1)
 			}
 			continue
 		}
@@ -165,6 +173,7 @@ func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
 		}
 		level := int(d>>degLevelShift) + 1
 		deg[s] = int32(level) << degLevelShift
+		a.sink.Emit(obs.KindLevelUp, pos, int64(s), int64(level), int64(level-1))
 		if a.rng.Coin(a.inclusionProb(level)) {
 			sol.Set(s)
 			a.solCount++
@@ -172,11 +181,17 @@ func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
 			covered[u] = true
 			a.coveredCount++
 			cert[u] = s
+			a.sink.Emit(obs.KindSetSelected, pos, int64(s), int64(a.solCount), int64(level))
+			a.sink.Emit(obs.KindCertWrite, pos, int64(u), int64(s), -1)
+		} else {
+			a.sink.Emit(obs.KindSampleDrop, pos, int64(s), int64(level), 0)
 		}
 	}
+	a.pos = pos
 }
 
 func (a *Algorithm) process(e stream.Edge) {
+	a.pos++
 	u, s := e.Elem, e.Set
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
@@ -186,6 +201,7 @@ func (a *Algorithm) process(e stream.Edge) {
 			a.covered[u] = true
 			a.coveredCount++
 			a.cert[u] = s
+			a.sink.Emit(obs.KindCertWrite, a.pos, int64(u), int64(s), -1)
 		}
 		return
 	}
@@ -200,6 +216,7 @@ func (a *Algorithm) process(e stream.Edge) {
 	// d(S) reached the next multiple of √n: bump the level, reset low.
 	level := int(d>>degLevelShift) + 1
 	a.deg[s] = int32(level) << degLevelShift
+	a.sink.Emit(obs.KindLevelUp, a.pos, int64(s), int64(level), int64(level-1))
 	if a.rng.Coin(a.inclusionProb(level)) {
 		a.sol.Set(s)
 		a.solCount++
@@ -207,6 +224,10 @@ func (a *Algorithm) process(e stream.Edge) {
 		a.covered[u] = true
 		a.coveredCount++
 		a.cert[u] = s
+		a.sink.Emit(obs.KindSetSelected, a.pos, int64(s), int64(a.solCount), int64(level))
+		a.sink.Emit(obs.KindCertWrite, a.pos, int64(u), int64(s), -1)
+	} else {
+		a.sink.Emit(obs.KindSampleDrop, a.pos, int64(s), int64(level), 0)
 	}
 }
 
@@ -234,6 +255,7 @@ func (a *Algorithm) Finish() *setcover.Cover {
 			a.patched++
 		}
 	}
+	a.sink.Count(obs.KindPatch, int64(a.patched))
 	a.levelCounts = a.computeLevelCounts()
 	cov := setcover.NewCover(chosen, a.cert)
 	sc := a.sc
@@ -254,6 +276,13 @@ func (a *Algorithm) SampledSets() int { return a.solCount }
 // CoveredCount implements stream.CoverageReporter: the number of elements
 // currently holding a covering witness.
 func (a *Algorithm) CoveredCount() int { return a.coveredCount }
+
+// SetObs replaces the decision-event sink (tests attach private hubs here;
+// nil detaches).
+func (a *Algorithm) SetObs(s *obs.Sink) { a.sink = s }
+
+// ObsAlgo implements obs.Identified.
+func (a *Algorithm) ObsAlgo() obs.AlgoID { return obs.AlgoKK }
 
 // LevelCounts returns |S_i| for i = 0..max: the number of sets whose final
 // uncovered-degree lies in [i·√n, (i+1)·√n). The analysis of [19] shows

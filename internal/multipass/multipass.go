@@ -18,6 +18,7 @@ package multipass
 import (
 	"fmt"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -67,6 +68,9 @@ func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error
 	var tracked space.Tracked
 	tracked.AuxMeter.Add(4 * int64(n)) // covered, backup, certificate, sample flags
 
+	sink := obs.SinkFor(obs.AlgoMultipass)
+	pos := int64(0) // cumulative edges observed across passes
+
 	covered := make([]bool, n)
 	backup := make([]setcover.SetID, n)
 	cert := make([]setcover.SetID, n)
@@ -91,13 +95,20 @@ func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error
 			p = float64(opt.SampleBudget) / float64(uncovered)
 		}
 		nSampled := 0
+		coins := int64(0)
 		for u := 0; u < n; u++ {
+			if !covered[u] {
+				coins++
+			}
 			sampled[u] = !covered[u] && rng.Coin(p)
 			if sampled[u] {
 				nSampled++
 			}
 		}
 		res.Sampled = append(res.Sampled, nSampled)
+		// Per-element sample coins are high-volume: aggregate, don't ring.
+		sink.Count(obs.KindSampleKeep, int64(nSampled))
+		sink.Count(obs.KindSampleDrop, coins-int64(nSampled))
 
 		proj := make(map[setcover.SetID][]setcover.Element)
 		projWords := int64(0)
@@ -109,6 +120,7 @@ func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error
 			if !ok {
 				break
 			}
+			pos++
 			u, set := e.Elem, e.Set
 			if u < 0 || int(u) >= n || set < 0 || int(set) >= m {
 				return Result{}, fmt.Errorf("multipass: edge %v out of range", e)
@@ -147,9 +159,10 @@ func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error
 			break
 		}
 
-		added := coverSample(proj, covered, cert, solSet, &sol, &uncovered)
+		added := coverSample(sink, pos, proj, covered, cert, solSet, &sol, &uncovered)
 		res.Added = append(res.Added, added)
 		tracked.StateMeter.Sub(projWords)
+		sink.Emit(obs.KindEpoch, pos, int64(res.Passes), int64(added), int64(nSampled))
 		if added == 0 && nSampled == 0 {
 			// Nothing uncovered was sampled (can happen when covered[] lags
 			// sol's true coverage); the next pass's sol-hits will prune.
@@ -167,6 +180,7 @@ func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error
 			res.Patched++
 		}
 	}
+	sink.Count(obs.KindPatch, int64(res.Patched))
 	res.Cover = setcover.NewCover(sol, cert)
 	res.Space = tracked.Space()
 	return res, nil
@@ -174,7 +188,7 @@ func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error
 
 // coverSample greedily covers every projected (sampled, uncovered) element
 // and commits the chosen sets. Returns how many new sets were added.
-func coverSample(proj map[setcover.SetID][]setcover.Element,
+func coverSample(sink *obs.Sink, pos int64, proj map[setcover.SetID][]setcover.Element,
 	covered []bool, cert []setcover.SetID,
 	solSet map[setcover.SetID]struct{}, sol *[]setcover.SetID, uncovered *int) int {
 
@@ -209,6 +223,7 @@ func coverSample(proj map[setcover.SetID][]setcover.Element,
 		solSet[best] = struct{}{}
 		*sol = append(*sol, best)
 		added++
+		sink.Emit(obs.KindSetSelected, pos, int64(best), int64(len(*sol)), int64(bestGain))
 		for _, u := range proj[best] {
 			if !covered[u] {
 				covered[u] = true

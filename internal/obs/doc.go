@@ -1,0 +1,50 @@
+// Package obs is the runtime observability core for the streaming harness:
+// metrics, decision tracing and run snapshots, engineered so that a fully
+// instrumented streaming hot path performs zero heap allocations per edge.
+//
+// The paper's claims are resource claims — Õ(m), Õ(mn/α²), Õ(m/√n) words of
+// state in one pass — so the system's primary observables are the same
+// quantities the analysis reasons about: edges processed, throughput, the
+// current/peak word balance of every space meter, and the discrete
+// *decisions* each algorithm takes (set selections, level promotions,
+// subsample keep/drop coins, phase transitions, certificate writes). This
+// package gives each of those a first-class runtime surface without
+// disturbing the zero-allocation hot path built in the performance pass
+// (DESIGN.md §4b):
+//
+//   - Metrics are fixed slots registered once, at algorithm construction
+//     time: Counter and Gauge are single atomic words, Histogram is a fixed
+//     power-of-two bucket array. Updating any of them is an atomic add —
+//     no maps, no interfaces, no allocation (see the AllocsPerRun guards in
+//     the package tests and in the repository root's perf_test.go).
+//   - The decision trace is a fixed-capacity Ring of value-type Events
+//     (48 bytes each). Recording overwrites the oldest entry when full and
+//     never allocates; the drop count is tracked so consumers know when the
+//     window is partial.
+//   - Snapshots (Hub.Snapshot) serialize the whole metric surface to JSON
+//     (also published through expvar at /debug/vars) and to the Prometheus
+//     text exposition format at /metrics; Hub.Handler additionally mounts
+//     net/http/pprof at /debug/pprof/ for live profiling.
+//   - The decision ring serializes to the SCTRACE1 binary format
+//     (WriteTraceFile/ReadTraceFile) which cmd/sctrace can read back.
+//
+// # Enabling
+//
+// Algorithms hold a *Sink and the stream driver holds a *RunObs; both are
+// nil by default, and every method on them is nil-safe, so the uninstrumented
+// cost is a single predictable branch at each decision site (never per edge).
+// CLIs opt in by installing a process-global Hub (SetGlobal), which
+// constructors consult via SinkFor/RunObsFor; tests attach explicit sinks
+// with the algorithms' SetObs methods instead. Building with the `obsoff`
+// tag compiles the whole layer out: Enabled becomes a false constant, every
+// emission body is dead code, and SinkFor/RunObsFor return nil.
+//
+// # Concurrency
+//
+// Streaming algorithms are single-threaded, but the experiment harness runs
+// repetitions concurrently and the HTTP endpoints scrape from their own
+// goroutines, so every mutable slot is an atomic and the ring is
+// mutex-guarded. Sinks and RunObs handles are shared per AlgoID across all
+// concurrent runs of the same algorithm: counters aggregate, gauges hold the
+// latest checkpoint.
+package obs

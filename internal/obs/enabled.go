@@ -1,0 +1,8 @@
+//go:build !obsoff
+
+package obs
+
+// Enabled reports whether the observability layer is compiled in. It is a
+// constant, so when the `obsoff` build tag sets it to false the compiler
+// eliminates every emission body behind it.
+const Enabled = true

@@ -1,0 +1,8 @@
+//go:build obsoff
+
+package obs
+
+// Enabled is false under the `obsoff` build tag: SinkFor/RunObsFor return
+// nil, SetGlobal is a no-op, and every metric/trace emission compiles to
+// dead code.
+const Enabled = false

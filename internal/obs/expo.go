@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MetricPoint is one series of a Snapshot, ready for JSON or Prometheus
+// rendering. Counters and gauges carry Value; histograms carry Count, Sum
+// and cumulative Buckets.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Help   string            `json:"help,omitempty"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	Value float64 `json:"value"`
+
+	Count   int64         `json:"count,omitempty"`
+	Sum     int64         `json:"sum,omitempty"`
+	Buckets []BucketPoint `json:"buckets,omitempty"`
+}
+
+// BucketPoint is one cumulative histogram bucket; LE is the upper bound
+// rendered as Prometheus renders it ("1", "2", ..., "+Inf").
+type BucketPoint struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// labelKey renders the label set in sorted order, for stable sorting and
+// for the Prometheus series suffix.
+func (p MetricPoint) labelKey() string {
+	if len(p.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(p.Labels))
+	for k := range p.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, p.Labels[k])
+	}
+	return b.String()
+}
+
+// promSeries renders name{labels} with an optional extra label appended
+// (used for the histogram "le" label).
+func promSeries(name, labelKey, extra string) string {
+	switch {
+	case labelKey == "" && extra == "":
+		return name
+	case labelKey == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labelKey + "}"
+	default:
+		return name + "{" + labelKey + "," + extra + "}"
+	}
+}
+
+// promValue formats a sample value the way Prometheus expects (integers
+// without exponent noise).
+func promValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the points in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE block per metric name, then every
+// series of that name. Points must be sorted by name (Registry.Snapshot
+// returns them sorted).
+func WritePrometheus(w io.Writer, points []MetricPoint) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, p := range points {
+		if p.Name != lastName {
+			if p.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", p.Name, p.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", p.Name, p.Type)
+			lastName = p.Name
+		}
+		lk := p.labelKey()
+		switch p.Type {
+		case "histogram":
+			for _, b := range p.Buckets {
+				fmt.Fprintf(bw, "%s %d\n", promSeries(p.Name+"_bucket", lk, fmt.Sprintf("le=%q", b.LE)), b.Count)
+			}
+			fmt.Fprintf(bw, "%s %d\n", promSeries(p.Name+"_sum", lk, ""), p.Sum)
+			fmt.Fprintf(bw, "%s %d\n", promSeries(p.Name+"_count", lk, ""), p.Count)
+		default:
+			fmt.Fprintf(bw, "%s %s\n", promSeries(p.Name, lk, ""), promValue(p.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// Snapshot is a run-scoped, point-in-time capture of the whole observability
+// surface: every metric series plus the decision-ring bookkeeping. It
+// marshals directly to JSON (and is what the expvar integration publishes at
+// /debug/vars); WritePrometheus renders the Metrics half as text exposition.
+type Snapshot struct {
+	TakenAt       time.Time     `json:"taken_at"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Metrics       []MetricPoint `json:"metrics"`
+	Trace         TraceInfo     `json:"trace"`
+}
+
+// TraceInfo summarizes the decision ring at snapshot time.
+type TraceInfo struct {
+	Capacity int    `json:"capacity"`
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishExpvar registers the "streamcover" expvar exactly once per process.
+// The published Func reads the global hub at call time, so /debug/vars always
+// reflects whichever hub is currently installed.
+var publishExpvar sync.Once
+
+// Handler returns the hub's HTTP surface:
+//
+//	/            index listing the endpoints
+//	/metrics     Prometheus text exposition of every registered series
+//	/snapshot    the full Snapshot as JSON
+//	/debug/vars  expvar JSON (includes the "streamcover" snapshot var)
+//	/debug/pprof net/http/pprof profiles
+//
+// The handlers are mounted on a private mux (not http.DefaultServeMux) so a
+// library user can place them under any server without inheriting globally
+// registered debug handlers.
+func (h *Hub) Handler() http.Handler {
+	publishExpvar.Do(func() {
+		expvar.Publish("streamcover", expvar.Func(func() any {
+			return Global().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "streamcover observability\n\n"+
+			"  /metrics      Prometheus text exposition\n"+
+			"  /snapshot     full snapshot (JSON)\n"+
+			"  /debug/vars   expvar JSON\n"+
+			"  /debug/pprof  live profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, h.reg.Snapshot())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

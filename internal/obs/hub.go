@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRingCap is the decision-ring capacity used by NewHub callers that
+// have no reason to pick another size (CLIs expose a flag to override it).
+const DefaultRingCap = 16384
+
+// Hub owns one observability surface: a metric registry, the shared decision
+// ring, and the per-algorithm Sink/RunObs caches. Constructors reach the
+// process-global hub through SinkFor/RunObsFor; tests build private hubs and
+// attach sinks explicitly.
+type Hub struct {
+	reg   *Registry
+	ring  *Ring
+	start time.Time
+
+	mu     sync.Mutex
+	sinks  [numAlgos]*Sink
+	runObs [numAlgos]*RunObs
+}
+
+// NewHub returns a hub with a decision ring of the given capacity
+// (ringCap < 1 uses DefaultRingCap).
+func NewHub(ringCap int) *Hub {
+	if ringCap < 1 {
+		ringCap = DefaultRingCap
+	}
+	return &Hub{
+		reg:   NewRegistry(),
+		ring:  NewRing(ringCap),
+		start: time.Now(),
+	}
+}
+
+// Registry exposes the hub's metric registry for callers that register
+// series beyond the built-in Sink/RunObs set.
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Ring exposes the hub's decision ring (for trace export).
+func (h *Hub) Ring() *Ring {
+	if h == nil {
+		return nil
+	}
+	return h.ring
+}
+
+// Sink returns the hub's shared sink for the given algorithm, creating it on
+// first use. Sinks are cached per AlgoID so the metric cardinality stays
+// fixed no matter how many algorithm instances are constructed.
+func (h *Hub) Sink(algo AlgoID) *Sink {
+	if h == nil || algo == AlgoUnknown || algo >= numAlgos {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sinks[algo] == nil {
+		h.sinks[algo] = newSink(algo, h.reg, h.ring)
+	}
+	return h.sinks[algo]
+}
+
+// RunObs returns the hub's shared run-level handle for the given algorithm,
+// creating it on first use.
+func (h *Hub) RunObs(algo AlgoID) *RunObs {
+	if h == nil || algo == AlgoUnknown || algo >= numAlgos {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.runObs[algo] == nil {
+		h.runObs[algo] = newRunObs(algo, h.reg)
+	}
+	return h.runObs[algo]
+}
+
+// Snapshot captures the full observability surface.
+func (h *Hub) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{TakenAt: time.Now()}
+	}
+	return Snapshot{
+		TakenAt:       time.Now(),
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Metrics:       h.reg.Snapshot(),
+		Trace: TraceInfo{
+			Capacity: h.ring.Capacity(),
+			Recorded: h.ring.Recorded(),
+			Dropped:  h.ring.Dropped(),
+		},
+	}
+}
+
+// global is the process-wide hub consulted by algorithm constructors.
+var global atomic.Pointer[Hub]
+
+// SetGlobal installs h as the process-global hub (nil uninstalls). Under the
+// obsoff build tag this is a no-op.
+func SetGlobal(h *Hub) {
+	if !Enabled {
+		return
+	}
+	global.Store(h)
+}
+
+// Global returns the process-global hub, or nil when none is installed.
+func Global() *Hub {
+	if !Enabled {
+		return nil
+	}
+	return global.Load()
+}
+
+// SinkFor returns the global hub's sink for algo, or nil when no hub is
+// installed. Algorithm constructors call this so instrumentation follows a
+// single CLI-level opt-in.
+func SinkFor(algo AlgoID) *Sink {
+	return Global().Sink(algo)
+}
+
+// RunObsFor returns the global hub's run-level handle for algo, or nil when
+// no hub is installed.
+func RunObsFor(algo AlgoID) *RunObs {
+	return Global().RunObs(algo)
+}
+
+// Identified is implemented by algorithms that know their AlgoID; the stream
+// driver uses it to label run metrics without import cycles.
+type Identified interface {
+	ObsAlgo() AlgoID
+}
+
+// AlgoOf returns the AlgoID of v if it implements Identified, else
+// AlgoUnknown.
+func AlgoOf(v any) AlgoID {
+	if id, ok := v.(Identified); ok {
+		return id.ObsAlgo()
+	}
+	return AlgoUnknown
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant key=value pair attached to a metric at registration
+// time. Labels are fixed for the lifetime of the metric — there is no
+// dynamic label lookup on the update path, which is what keeps updates
+// allocation-free.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing fixed-slot metric. The zero value is
+// usable but unregistered; obtain registered counters from a Registry. All
+// methods are safe for concurrent use and nil-safe (a nil Counter ignores
+// updates and reads as 0).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if !Enabled || c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if !Enabled || c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a fixed-slot instantaneous value. Same slot discipline and
+// nil-safety as Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if !Enabled || g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d int64) {
+	if !Enabled || g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every Histogram: upper bounds
+// 2^0 .. 2^(histBuckets-2) plus a final +Inf bucket. 48 buckets cover one
+// nanosecond to ~39 hours, which spans every duration the harness times.
+const histBuckets = 48
+
+// Histogram is a fixed-slot histogram with power-of-two bucket boundaries:
+// an observation v lands in the bucket with the smallest upper bound
+// 2^i ≥ v (v ≤ 1 lands in bucket 0, v > 2^46 in the +Inf bucket). Observing
+// is three atomic adds; no allocation, safe for concurrent use, nil-safe.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf returns the bucket index for v: the smallest i with v ≤ 2^i,
+// clamped to the +Inf bucket.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // ceil(log2 v)
+	if b > histBuckets-1 {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if !Enabled || h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// metricType discriminates the registry's metric records.
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// metric is one registered series: a name, constant labels, and exactly one
+// live slot.
+type metric struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry is the set of registered metrics. Registration (construction
+// time) takes a lock and allocates; updates go straight to the returned
+// fixed slots and never touch the Registry again. Registering the same
+// (name, labels) twice returns the same slot, so per-algorithm handles can
+// be re-derived freely.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+// seriesKey is the dedup key: name plus rendered label set.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register returns the existing metric for (name, labels) or records a new
+// one. It panics when the same series is re-registered as a different type —
+// always a programming error.
+func (r *Registry) register(name, help string, typ metricType, labels []Label) *metric {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("obs: series %s re-registered as %s, was %s", key, typ, m.typ))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, typ: typ, labels: append([]Label(nil), labels...)}
+	switch typ {
+	case typeCounter:
+		m.counter = &Counter{}
+	case typeGauge:
+		m.gauge = &Gauge{}
+	case typeHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics = append(r.metrics, m)
+	r.index[key] = m
+	return m
+}
+
+// Counter registers (or retrieves) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, typeCounter, labels).counter
+}
+
+// Gauge registers (or retrieves) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, typeGauge, labels).gauge
+}
+
+// Histogram registers (or retrieves) a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.register(name, help, typeHistogram, labels).hist
+}
+
+// Snapshot captures every registered series as a point-in-time MetricPoint,
+// sorted by name then label set so exposition output is stable.
+func (r *Registry) Snapshot() []MetricPoint {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	points := make([]MetricPoint, 0, len(metrics))
+	for _, m := range metrics {
+		p := MetricPoint{
+			Name: m.name,
+			Help: m.help,
+			Type: m.typ.String(),
+		}
+		if len(m.labels) > 0 {
+			p.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				p.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.typ {
+		case typeCounter:
+			p.Value = float64(m.counter.Value())
+		case typeGauge:
+			p.Value = float64(m.gauge.Value())
+		case typeHistogram:
+			p.Count = m.hist.Count()
+			p.Sum = m.hist.Sum()
+			cum := int64(0)
+			for i := 0; i < histBuckets; i++ {
+				c := m.hist.buckets[i].Load()
+				if c == 0 && i < histBuckets-1 {
+					continue
+				}
+				cum += c
+				le := "+Inf"
+				if i < histBuckets-1 {
+					le = fmt.Sprintf("%d", int64(1)<<uint(i))
+				}
+				p.Buckets = append(p.Buckets, BucketPoint{LE: le, Count: cum})
+			}
+		}
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Name != points[j].Name {
+			return points[i].Name < points[j].Name
+		}
+		return points[i].labelKey() < points[j].labelKey()
+	})
+	return points
+}

@@ -1,0 +1,447 @@
+// The functional tests require the layer to be live; under the obsoff tag
+// every emit is compiled out (see obsoff_test.go for that contract).
+//go:build !obsoff
+
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Same (name, labels) returns the same slot.
+	if c2 := r.Counter("c_total", "help"); c2 != c {
+		t.Fatal("re-registration returned a different slot")
+	}
+	// Nil receivers are inert.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("dup", "help")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1 << 10, 10}, {1<<10 + 1, 11}, {1 << 46, 46}, {1<<46 + 1, 47}, {1 << 62, 47},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // Observe clamps; bucketOf is only called with the clamp applied
+		}
+		if got := bucketOf(v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, c.want)
+		}
+	}
+
+	h := NewRegistry().Histogram("h_ns", "help")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(-9) // clamps to 0 → bucket 0
+	if h.Count() != 3 || h.Sum() != 4 {
+		t.Fatalf("count=%d sum=%d, want 3 and 4", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("edges_total", "Edges.", Label{Key: "algo", Value: "kk"}).Add(12)
+	r.Counter("edges_total", "Edges.", Label{Key: "algo", Value: "alg1"}).Add(7)
+	r.Gauge("words", "Words.").Set(42)
+	h := r.Histogram("dur_ns", "Durations.")
+	h.Observe(1)
+	h.Observe(5) // bucket 3 (le=8)
+	h.Observe(5)
+
+	points := r.Snapshot()
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	// Sorted by name then labels: dur_ns, edges{alg1}, edges{kk}, words.
+	if points[0].Name != "dur_ns" || points[1].Labels["algo"] != "alg1" ||
+		points[2].Labels["algo"] != "kk" || points[3].Name != "words" {
+		t.Fatalf("unexpected order: %+v", points)
+	}
+	hp := points[0]
+	if hp.Count != 3 || hp.Sum != 11 {
+		t.Fatalf("histogram point count=%d sum=%d", hp.Count, hp.Sum)
+	}
+	// Buckets are cumulative and end at +Inf.
+	last := hp.Buckets[len(hp.Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 3 {
+		t.Fatalf("last bucket = %+v, want +Inf/3", last)
+	}
+	var sawLE8 bool
+	for _, b := range hp.Buckets {
+		if b.LE == "8" {
+			sawLE8 = true
+			if b.Count != 3 {
+				t.Fatalf("le=8 cumulative count = %d, want 3", b.Count)
+			}
+		}
+	}
+	if !sawLE8 {
+		t.Fatal("no le=8 bucket in snapshot")
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE dur_ns histogram",
+		`dur_ns_bucket{le="+Inf"} 3`,
+		"dur_ns_sum 11",
+		"dur_ns_count 3",
+		"# HELP edges_total Edges.",
+		"# TYPE edges_total counter",
+		`edges_total{algo="alg1"} 7`,
+		`edges_total{algo="kk"} 12`,
+		"# TYPE words gauge",
+		"words 42",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE block per name, not per series.
+	if strings.Count(text, "# TYPE edges_total counter") != 1 {
+		t.Errorf("duplicate TYPE block:\n%s", text)
+	}
+}
+
+func TestRingOverwriteOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 6; i++ {
+		r.record(Event{Pos: int64(i), Kind: KindSetSelected})
+	}
+	if r.Recorded() != 6 || r.Dropped() != 2 || r.Capacity() != 4 {
+		t.Fatalf("recorded=%d dropped=%d cap=%d", r.Recorded(), r.Dropped(), r.Capacity())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantPos := int64(i + 3) // oldest retained is pos 3
+		wantSeq := uint64(i + 3)
+		if e.Pos != wantPos || e.Seq != wantSeq {
+			t.Fatalf("event %d = {Seq:%d Pos:%d}, want {%d %d}", i, e.Seq, e.Pos, wantSeq, wantPos)
+		}
+	}
+	r.Reset()
+	if r.Recorded() != 0 || len(r.Events()) != 0 || r.Capacity() != 4 {
+		t.Fatal("reset should clear contents but keep capacity")
+	}
+}
+
+func TestRingPartialOrder(t *testing.T) {
+	r := NewRing(8)
+	r.record(Event{Pos: 1})
+	r.record(Event{Pos: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Pos != 1 || evs[1].Pos != 2 {
+		t.Fatalf("partial ring order wrong: %+v", evs)
+	}
+}
+
+func TestSinkEmitAndCount(t *testing.T) {
+	h := NewHub(16)
+	s := h.Sink(AlgoKK)
+	if s == nil {
+		t.Fatal("nil sink from live hub")
+	}
+	if s2 := h.Sink(AlgoKK); s2 != s {
+		t.Fatal("sinks must be cached per algorithm")
+	}
+	s.Emit(KindSetSelected, 10, 3, 1, 0)
+	s.Emit(KindLevelUp, 11, 3, 2, 1)
+	s.Count(KindSampleDrop, 40)
+	if got := s.EventCount(KindSetSelected); got != 1 {
+		t.Fatalf("set_selected count = %d", got)
+	}
+	if got := s.EventCount(KindSampleDrop); got != 40 {
+		t.Fatalf("sample_drop count = %d", got)
+	}
+	evs := h.Ring().Events()
+	if len(evs) != 2 {
+		t.Fatalf("ring has %d events, want 2 (Count must not ring)", len(evs))
+	}
+	if evs[0].Algo != AlgoKK || evs[0].Kind != KindSetSelected || evs[0].Pos != 10 {
+		t.Fatalf("bad first event: %+v", evs[0])
+	}
+
+	// Nil sink and nil hub paths are inert.
+	var ns *Sink
+	ns.Emit(KindPatch, 0, 0, 0, 0)
+	ns.Count(KindPatch, 5)
+	var nh *Hub
+	if nh.Sink(AlgoKK) != nil || nh.RunObs(AlgoKK) != nil {
+		t.Fatal("nil hub should hand out nil handles")
+	}
+	if h.Sink(AlgoUnknown) != nil {
+		t.Fatal("AlgoUnknown must not get a sink")
+	}
+}
+
+func TestRunObsMetrics(t *testing.T) {
+	h := NewHub(16)
+	ro := h.RunObs(AlgoAlg1)
+	ro.Batch(4096, 1000)
+	ro.Batch(904, 500)
+	ro.StateWords(0, 100, 120)
+	ro.StateWords(1, 7, 9)
+	ro.Covered(250)
+	ro.RunDone(5000, 2_000_000) // 5000 edges in 2ms → 2.5M edges/s
+	if ro.EdgesProcessed() != 5000 {
+		t.Fatalf("edges = %d", ro.EdgesProcessed())
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, h.Registry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`streamcover_edges_processed_total{algo="alg1"} 5000`,
+		`streamcover_batches_processed_total{algo="alg1"} 2`,
+		`streamcover_runs_total{algo="alg1"} 1`,
+		`streamcover_edges_per_second{algo="alg1"} 2500000`,
+		`streamcover_state_words{algo="alg1",meter="state",stat="current"} 100`,
+		`streamcover_state_words{algo="alg1",meter="state",stat="peak"} 120`,
+		`streamcover_state_words{algo="alg1",meter="aux",stat="peak"} 9`,
+		`streamcover_covered_elements{algo="alg1"} 250`,
+		`streamcover_batch_duration_ns_count{algo="alg1"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGlobalHubLifecycle(t *testing.T) {
+	old := Global()
+	defer SetGlobal(old)
+
+	SetGlobal(nil)
+	if SinkFor(AlgoKK) != nil || RunObsFor(AlgoKK) != nil {
+		t.Fatal("no hub installed: handles must be nil")
+	}
+	h := NewHub(16)
+	SetGlobal(h)
+	if !Enabled {
+		t.Skip("obsoff build")
+	}
+	if SinkFor(AlgoKK) != h.Sink(AlgoKK) {
+		t.Fatal("SinkFor should consult the installed hub")
+	}
+	if RunObsFor(AlgoAlg2) != h.RunObs(AlgoAlg2) {
+		t.Fatal("RunObsFor should consult the installed hub")
+	}
+}
+
+type fakeIdentified struct{}
+
+func (fakeIdentified) ObsAlgo() AlgoID { return AlgoES }
+
+func TestAlgoOf(t *testing.T) {
+	if got := AlgoOf(fakeIdentified{}); got != AlgoES {
+		t.Fatalf("AlgoOf = %v", got)
+	}
+	if got := AlgoOf(42); got != AlgoUnknown {
+		t.Fatalf("AlgoOf(non-identified) = %v", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, a := range Algos() {
+		if a.String() == "unknown" {
+			t.Errorf("algo %d has no name", a)
+		}
+	}
+	for _, k := range Kinds() {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if AlgoID(200).String() != "unknown" || Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range ids should read unknown")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Pos: 10, A: 3, B: 1, C: 0, Algo: AlgoKK, Kind: KindSetSelected},
+		{Seq: 2, Pos: -1, A: -7, B: 2, C: 1, Algo: AlgoAlg1, Kind: KindLevelUp},
+		{Seq: 3, Pos: 1 << 40, A: 1<<50 + 3, B: 0, C: -1, Algo: AlgoAlg2, Kind: KindCertWrite},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+
+	// Corruption is detected.
+	raw := buf.Bytes()
+	raw[len(raw)-10] ^= 0xFF
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted trace should fail the checksum")
+	}
+	if _, err := ReadTrace(strings.NewReader("NOTATRACE-----")); err == nil {
+		t.Fatal("bad magic should be rejected")
+	}
+}
+
+func TestTraceFileFromRing(t *testing.T) {
+	h := NewHub(8)
+	s := h.Sink(AlgoMultipass)
+	s.Emit(KindEpoch, 100, 1, 4, 0)
+	s.Emit(KindSetSelected, 120, 9, 1, 1)
+
+	path := filepath.Join(t.TempDir(), "run.sctrace")
+	if err := WriteTraceFile(path, h.Ring()); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].A != 9 || events[1].Algo != AlgoMultipass {
+		t.Fatalf("round-tripped events wrong: %+v", events)
+	}
+	if _, err := ReadTraceFile(filepath.Join(t.TempDir(), "missing")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: err = %v", err)
+	}
+}
+
+func TestSnapshotJSONAndHTTP(t *testing.T) {
+	h := NewHub(8)
+	h.Sink(AlgoKK).Emit(KindSetSelected, 1, 2, 1, 0)
+	h.RunObs(AlgoKK).Batch(100, 50)
+
+	snap := h.Snapshot()
+	if snap.Trace.Capacity != 8 || snap.Trace.Recorded != 1 {
+		t.Fatalf("trace info = %+v", snap.Trace)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace.Recorded != 1 || len(back.Metrics) == 0 {
+		t.Fatalf("snapshot did not round-trip: %+v", back)
+	}
+
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, `streamcover_edges_processed_total{algo="kk"} 100`) {
+		t.Fatalf("/metrics: code=%d body=%s", code, body)
+	}
+	if code, body := get("/snapshot"); code != 200 || !strings.Contains(body, `"trace"`) {
+		t.Fatalf("/snapshot: code=%d body=%s", code, body)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code=%d body=%s", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("pprof index: code=%d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path: code=%d", code)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	h := NewHub(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := h.Sink(AlgoAlg1)
+			ro := h.RunObs(AlgoAlg1)
+			for i := 0; i < 500; i++ {
+				s.Emit(KindCertWrite, int64(i), 1, 2, 3)
+				s.Count(KindSampleKeep, 2)
+				ro.Batch(10, 5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Sink(AlgoAlg1).EventCount(KindCertWrite); got != 8*500 {
+		t.Fatalf("cert writes = %d, want %d", got, 8*500)
+	}
+	if got := h.RunObs(AlgoAlg1).EdgesProcessed(); got != 8*500*10 {
+		t.Fatalf("edges = %d", got)
+	}
+	if h.Ring().Recorded() != 8*500 {
+		t.Fatalf("ring recorded = %d", h.Ring().Recorded())
+	}
+}

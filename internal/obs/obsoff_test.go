@@ -1,0 +1,36 @@
+//go:build obsoff
+
+package obs
+
+import "testing"
+
+// TestCompiledOut pins the obsoff contract: every emit path is a no-op and
+// the global hub can never be installed, so instrumented code runs with the
+// layer fully compiled out.
+func TestCompiledOut(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false under the obsoff tag")
+	}
+	hub := NewHub(4)
+	SetGlobal(hub)
+	if Global() != nil {
+		t.Fatal("SetGlobal must be a no-op under obsoff")
+	}
+
+	sink := hub.Sink(AlgoKK)
+	sink.Emit(KindSetSelected, 1, 2, 3, 4)
+	sink.Count(KindPatch, 7)
+	if got := sink.EventCount(KindSetSelected); got != 0 {
+		t.Fatalf("Emit recorded %d events despite obsoff", got)
+	}
+	if got := hub.Ring().Recorded(); got != 0 {
+		t.Fatalf("ring recorded %d events despite obsoff", got)
+	}
+
+	ro := hub.RunObs(AlgoKK)
+	ro.Batch(100, 1000)
+	ro.RunDone(100, 1000)
+	if got := ro.EdgesProcessed(); got != 0 {
+		t.Fatalf("RunObs counted %d edges despite obsoff", got)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import "sync"
+
+// Event is one recorded decision. It is a 48-byte value type so the ring is
+// a flat array: recording copies the struct, no pointers, no allocation.
+// The meaning of A/B/C depends on Kind (see the Kind constants).
+type Event struct {
+	Seq  uint64 // global record sequence number, starting at 1
+	Pos  int64  // stream position (edges processed) when emitted; -1 if unknown
+	A    int64
+	B    int64
+	C    int64
+	Algo AlgoID
+	Kind Kind
+}
+
+// Ring is a fixed-capacity overwrite-oldest buffer of Events shared by every
+// sink of a Hub. Recording takes a mutex (the hot paths batch work between
+// decision points, so contention is low) and never allocates after
+// construction.
+type Ring struct {
+	mu       sync.Mutex
+	buf      []Event
+	next     int    // index of the slot the next record will use
+	recorded uint64 // total events ever recorded
+}
+
+// NewRing returns a ring holding up to cap events (cap < 1 is clamped to 1).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{buf: make([]Event, 0, cap)}
+}
+
+// record stamps the sequence number and stores the event, overwriting the
+// oldest entry when full.
+func (r *Ring) record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recorded++
+	e.Seq = r.recorded
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next++
+	if r.next == cap(r.buf) {
+		r.next = 0
+	}
+	r.mu.Unlock()
+}
+
+// Capacity returns the ring's fixed capacity.
+func (r *Ring) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.buf)
+}
+
+// Recorded returns the total number of events ever recorded.
+func (r *Ring) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded
+}
+
+// Dropped returns how many recorded events have been overwritten.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded - uint64(len(r.buf))
+}
+
+// Events returns the retained events in record order (oldest first). It
+// allocates the returned slice; call it from snapshot/export paths only.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		// Buffer not yet full: record order is insertion order.
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Reset clears the ring without shrinking its capacity.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.recorded = 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,122 @@
+package obs
+
+// AlgoID identifies an algorithm family for metric labelling and decision
+// tracing. IDs are stable across runs (they are serialized into trace files)
+// so new entries must be appended, never reordered.
+type AlgoID uint8
+
+const (
+	AlgoUnknown    AlgoID = iota
+	AlgoAlg1              // core.Alg1 (Algorithm 1, random-order edge arrival)
+	AlgoKK                // kk.KK (Korman-Kutten style baseline)
+	AlgoAlg2              // adversarial.Alg2 (adversarial-order edge arrival)
+	AlgoES                // elementsampling.ES (element-sampling lower-space regime)
+	AlgoMultipass         // multipass.Run (multi-pass sampling schedule)
+	AlgoSetArrival        // setarrival greedy baseline
+	AlgoEnsemble          // stream.Ensemble fan-out wrapper
+
+	numAlgos
+)
+
+var algoNames = [numAlgos]string{
+	AlgoUnknown:    "unknown",
+	AlgoAlg1:       "alg1",
+	AlgoKK:         "kk",
+	AlgoAlg2:       "alg2",
+	AlgoES:         "es",
+	AlgoMultipass:  "multipass",
+	AlgoSetArrival: "setarrival",
+	AlgoEnsemble:   "ensemble",
+}
+
+func (a AlgoID) String() string {
+	if int(a) < len(algoNames) {
+		return algoNames[a]
+	}
+	return "unknown"
+}
+
+// Kind classifies a decision event. The operand meaning of Event.A/B/C is
+// per-kind, documented below; unused operands are zero. Like AlgoID, values
+// are serialized into trace files and must stay append-only.
+type Kind uint8
+
+const (
+	KindUnknown Kind = iota
+
+	// KindSetSelected: a set entered the solution.
+	// A = set index, B = solution size after insertion, C = algorithm-specific
+	// context (Alg1: current epoch; KK/Alg2: level; ES/multipass: pass or 0).
+	KindSetSelected
+
+	// KindPhase: the algorithm moved between phases.
+	// A = new phase, B = old phase, C = epoch/pass index when meaningful.
+	KindPhase
+
+	// KindEpoch: an epoch (Alg1) or pass (multipass) boundary was crossed.
+	// A = new epoch/pass index, B = sets selected so far, C = elements still
+	// uncovered when known (else 0).
+	KindEpoch
+
+	// KindLevelUp: a set was promoted one level (KK degree-doubling, Alg2
+	// geometric promotion). A = set index, B = new level, C = old level.
+	KindLevelUp
+
+	// KindSampleKeep: a subsampling coin kept an item.
+	// A = item index (set or element), B = sampling context (epoch, level or
+	// pass), C = 0.
+	KindSampleKeep
+
+	// KindSampleDrop: a subsampling coin dropped an item; operands as for
+	// KindSampleKeep. High-volume per-element coins are aggregated through
+	// Sink.Count instead of ringing an event apiece.
+	KindSampleDrop
+
+	// KindCertWrite: a certificate slot was (re)written.
+	// A = element index, B = set index written, C = previous set (or -1).
+	KindCertWrite
+
+	// KindPatch: finish-time patching covered an element missed by the
+	// streaming phase. A = element index, B = patch set index, C = 0.
+	KindPatch
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindUnknown:     "unknown",
+	KindSetSelected: "set_selected",
+	KindPhase:       "phase",
+	KindEpoch:       "epoch",
+	KindLevelUp:     "level_up",
+	KindSampleKeep:  "sample_keep",
+	KindSampleDrop:  "sample_drop",
+	KindCertWrite:   "cert_write",
+	KindPatch:       "patch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Kinds returns every known event kind, for consumers that pre-register
+// per-kind counters or render legends.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, numKinds-1)
+	for k := Kind(1); k < numKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Algos returns every known algorithm ID except AlgoUnknown.
+func Algos() []AlgoID {
+	as := make([]AlgoID, 0, numAlgos-1)
+	for a := AlgoID(1); a < numAlgos; a++ {
+		as = append(as, a)
+	}
+	return as
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// SCTRACE1 binary layout (all integers little-endian):
+//
+//	magic   8 bytes  "SCTRACE1"
+//	count   u64      number of records
+//	records count × 48 bytes:
+//	          seq u64 | pos i64 | a i64 | b i64 | c i64 | algo u8 | kind u8 | pad[6]
+//	crc     u32      IEEE CRC-32 of everything before it (magic..records)
+//
+// cmd/sctrace -decisions reads this back into CSV.
+
+const traceMagic = "SCTRACE1"
+
+const traceRecordSize = 48
+
+// WriteTrace serializes events to w in the SCTRACE1 format.
+func WriteTrace(w io.Writer, events []Event) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var rec [traceRecordSize]byte
+	binary.LittleEndian.PutUint64(rec[:8], uint64(len(events)))
+	if _, err := bw.Write(rec[:8]); err != nil {
+		return err
+	}
+	for _, e := range events {
+		binary.LittleEndian.PutUint64(rec[0:], e.Seq)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(e.Pos))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(e.A))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(e.B))
+		binary.LittleEndian.PutUint64(rec[32:], uint64(e.C))
+		rec[40] = byte(e.Algo)
+		rec[41] = byte(e.Kind)
+		rec[42], rec[43], rec[44], rec[45], rec[46], rec[47] = 0, 0, 0, 0, 0, 0
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	// The CRC covers everything buffered so far; flush into the hasher before
+	// reading its sum, then append the trailer directly.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// ReadTrace parses an SCTRACE1 stream, verifying magic and checksum.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	crc := crc32.NewIEEE()
+	br := bufio.NewReader(r)
+	// Header and records are teed into the hasher; the trailer is read from
+	// br directly so it stays outside its own checksum.
+	tr := io.TeeReader(br, crc)
+
+	var head [8 + 8]byte
+	if _, err := io.ReadFull(tr, head[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:8]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", head[:8], traceMagic)
+	}
+	count := binary.LittleEndian.Uint64(head[8:])
+	const maxRecords = 1 << 28 // 12 GiB of records; anything past this is corrupt
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	events := make([]Event, 0, count)
+	var rec [traceRecordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(tr, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: short record %d/%d: %w", i, count, err)
+		}
+		events = append(events, Event{
+			Seq:  binary.LittleEndian.Uint64(rec[0:]),
+			Pos:  int64(binary.LittleEndian.Uint64(rec[8:])),
+			A:    int64(binary.LittleEndian.Uint64(rec[16:])),
+			B:    int64(binary.LittleEndian.Uint64(rec[24:])),
+			C:    int64(binary.LittleEndian.Uint64(rec[32:])),
+			Algo: AlgoID(rec[40]),
+			Kind: Kind(rec[41]),
+		})
+	}
+	sum := crc.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("trace: missing checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != sum {
+		return nil, fmt.Errorf("trace: checksum mismatch: file %08x, computed %08x", got, sum)
+	}
+	return events, nil
+}
+
+// WriteTraceFile dumps the ring's retained events to path.
+func WriteTraceFile(path string, ring *Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, ring.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile parses the SCTRACE1 file at path.
+func ReadTraceFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

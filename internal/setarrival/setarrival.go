@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -38,6 +39,8 @@ type Threshold struct {
 	cert      []setcover.SetID
 	sol       []setcover.SetID
 	patched   int
+	arrived   int64     // sets observed, stamped on emitted events as Pos
+	sink      *obs.Sink // decision-event sink; nil (inert) unless a hub is installed
 }
 
 // NewThreshold returns a threshold run for a universe of n elements. The
@@ -52,6 +55,7 @@ func NewThreshold(n int) *Threshold {
 		covered:   make([]bool, n),
 		backup:    make([]setcover.SetID, n),
 		cert:      make([]setcover.SetID, n),
+		sink:      obs.SinkFor(obs.AlgoSetArrival),
 	}
 	for u := range t.backup {
 		t.backup[u] = setcover.NoSet
@@ -63,6 +67,7 @@ func NewThreshold(n int) *Threshold {
 
 // ProcessSet observes the next arriving set with its full element list.
 func (t *Threshold) ProcessSet(id setcover.SetID, elems []setcover.Element) {
+	t.arrived++
 	newCount := 0
 	for _, u := range elems {
 		if t.backup[u] == setcover.NoSet {
@@ -77,6 +82,7 @@ func (t *Threshold) ProcessSet(id setcover.SetID, elems []setcover.Element) {
 	}
 	t.sol = append(t.sol, id)
 	t.StateMeter.Add(space.SliceElemWords)
+	t.sink.Emit(obs.KindSetSelected, t.arrived, int64(id), int64(len(t.sol)), int64(newCount))
 	for _, u := range elems {
 		if !t.covered[u] {
 			t.covered[u] = true
@@ -95,8 +101,16 @@ func (t *Threshold) Finish() *setcover.Cover {
 			t.patched++
 		}
 	}
+	t.sink.Count(obs.KindPatch, int64(t.patched))
 	return setcover.NewCover(chosen, t.cert)
 }
+
+// SetObs replaces the decision-event sink (tests attach private hubs here;
+// nil detaches).
+func (t *Threshold) SetObs(s *obs.Sink) { t.sink = s }
+
+// ObsAlgo implements obs.Identified.
+func (t *Threshold) ObsAlgo() obs.AlgoID { return obs.AlgoSetArrival }
 
 // Patched returns how many elements were patched, available after Finish.
 func (t *Threshold) Patched() int { return t.patched }

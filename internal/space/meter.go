@@ -26,6 +26,13 @@ type Meter struct {
 }
 
 // Add charges w words. Negative w is a refund (equivalent to Sub(-w)).
+//
+// Add is the single place the meter's invariant is enforced: if the balance
+// would go negative it panics with "space: meter went negative (<balance>)".
+// A negative balance always indicates an instrumentation bug — a refund for
+// state that was never charged — so failing loudly beats silently reporting
+// nonsense peaks. Every other mutating method (Sub in particular) funnels
+// through Add and inherits this contract.
 func (m *Meter) Add(w int64) {
 	m.cur += w
 	if m.cur > m.peak {
@@ -36,8 +43,7 @@ func (m *Meter) Add(w int64) {
 	}
 }
 
-// Sub refunds w words. It panics if the balance would go negative, which
-// always indicates an instrumentation bug.
+// Sub refunds w words; it is Add(-w) and shares Add's panic contract.
 func (m *Meter) Sub(w int64) { m.Add(-w) }
 
 // Current returns the words currently charged.
@@ -45,6 +51,11 @@ func (m *Meter) Current() int64 { return m.cur }
 
 // Peak returns the high-water mark.
 func (m *Meter) Peak() int64 { return m.peak }
+
+// Checkpoint returns the current balance and the peak in one call — the pair
+// every mid-stream observer (trajectory sampling, the observability layer)
+// wants atomically with respect to the algorithm's own mutations.
+func (m *Meter) Checkpoint() (cur, peak int64) { return m.cur, m.peak }
 
 // Reset zeroes both the current balance and the peak.
 func (m *Meter) Reset() { m.cur, m.peak = 0, 0 }
@@ -105,10 +116,23 @@ func (t *Tracked) Current() Usage {
 	return Usage{State: t.StateMeter.Current(), Aux: t.AuxMeter.Current()}
 }
 
+// Checkpoint returns the instantaneous and peak usage of both meters.
+func (t *Tracked) Checkpoint() (cur, peak Usage) {
+	sc, sp := t.StateMeter.Checkpoint()
+	ac, ap := t.AuxMeter.Checkpoint()
+	return Usage{State: sc, Aux: ac}, Usage{State: sp, Aux: ap}
+}
+
 // CurrentReporter is implemented by algorithms whose instantaneous state
 // size can be observed mid-stream.
 type CurrentReporter interface {
 	Current() Usage
+}
+
+// CheckpointReporter is implemented by algorithms that expose instantaneous
+// and peak usage together; embedding Tracked provides it.
+type CheckpointReporter interface {
+	Checkpoint() (cur, peak Usage)
 }
 
 // Words for common container mutations, so every algorithm charges the same

@@ -45,11 +45,46 @@ func TestMeterPanicsOnNegativeBalance(t *testing.T) {
 	var m Meter
 	m.Add(2)
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("Sub below zero did not panic")
 		}
+		// The message is part of the contract documented on Add: it names the
+		// package and reports the (negative) balance reached.
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		if msg != "space: meter went negative (-3)" {
+			t.Fatalf("panic message = %q, want %q", msg, "space: meter went negative (-3)")
+		}
 	}()
-	m.Sub(3)
+	m.Sub(5) // 2 - 5 = -3
+}
+
+func TestMeterCheckpoint(t *testing.T) {
+	var m Meter
+	m.Add(10)
+	m.Sub(4)
+	cur, peak := m.Checkpoint()
+	if cur != 6 || peak != 10 {
+		t.Fatalf("Checkpoint() = (%d, %d), want (6, 10)", cur, peak)
+	}
+}
+
+func TestTrackedCheckpoint(t *testing.T) {
+	var tr Tracked
+	tr.StateMeter.Add(40)
+	tr.StateMeter.Sub(10)
+	tr.AuxMeter.Add(8)
+	cur, peak := tr.Checkpoint()
+	if cur.State != 30 || peak.State != 40 {
+		t.Fatalf("state checkpoint = (%d, %d), want (30, 40)", cur.State, peak.State)
+	}
+	if cur.Aux != 8 || peak.Aux != 8 {
+		t.Fatalf("aux checkpoint = (%d, %d), want (8, 8)", cur.Aux, peak.Aux)
+	}
+	var _ CheckpointReporter = &tr
 }
 
 func TestMeterReset(t *testing.T) {

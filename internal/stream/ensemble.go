@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 )
@@ -79,6 +80,11 @@ func (e *Ensemble) Space() space.Usage {
 	return total
 }
 
+// ObsAlgo implements obs.Identified: the driver labels an ensemble's run
+// metrics under one series rather than attributing them to any single copy.
+func (e *Ensemble) ObsAlgo() obs.AlgoID { return obs.AlgoEnsemble }
+
 var _ Algorithm = (*Ensemble)(nil)
 var _ BatchProcessor = (*Ensemble)(nil)
 var _ space.Reporter = (*Ensemble)(nil)
+var _ obs.Identified = (*Ensemble)(nil)

@@ -1,6 +1,9 @@
 package stream
 
 import (
+	"time"
+
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 )
@@ -29,41 +32,51 @@ type TrajectoryPoint struct {
 // RunInstrumented drives alg over s like Run, additionally recording a
 // trajectory checkpoint every `every` edges (and one final checkpoint at
 // stream end). every < 1 is treated as 1.
+//
+// The drive is batched exactly like Run: the driver clips each batch at the
+// next checkpoint boundary, so every checkpoint observes the algorithm with
+// precisely Pos edges applied — identical to a per-edge drive, including for
+// BatchProcessor algorithms. Checkpoints are also stamped on the global
+// observability hub (space-meter words, covered count) when one is
+// installed.
 func RunInstrumented(alg Algorithm, s Stream, every int) (Result, []TrajectoryPoint) {
 	if every < 1 {
 		every = 1
 	}
-	s.Reset()
+	ro := obs.RunObsFor(obs.AlgoOf(alg))
+	var start time.Time
+	if ro != nil {
+		start = time.Now()
+	}
+
 	var traj []TrajectoryPoint
 	sample := func(pos int) {
 		p := TrajectoryPoint{Pos: pos, StateWords: -1, Covered: -1}
-		if cr, ok := alg.(space.CurrentReporter); ok {
+		if cp, ok := alg.(space.CheckpointReporter); ok {
+			cur, peak := cp.Checkpoint()
+			p.StateWords = cur.State
+			ro.StateWords(0, cur.State, peak.State)
+			ro.StateWords(1, cur.Aux, peak.Aux)
+		} else if cr, ok := alg.(space.CurrentReporter); ok {
 			p.StateWords = cr.Current().State
 		}
 		if cc, ok := alg.(CoverageReporter); ok {
 			p.Covered = cc.CoveredCount()
+			ro.Covered(p.Covered)
 		}
 		traj = append(traj, p)
 	}
 
-	n := 0
-	for {
-		e, ok := s.Next()
-		if !ok {
-			break
-		}
-		alg.Process(e)
-		n++
-		if n%every == 0 {
-			sample(n)
-		}
-	}
+	n := driveStream(alg, s, ro, every, sample)
 	if len(traj) == 0 || traj[len(traj)-1].Pos != n {
 		sample(n)
 	}
 	res := Result{Cover: alg.Finish(), Edges: n}
 	if rep, ok := alg.(space.Reporter); ok {
 		res.Space = rep.Space()
+	}
+	if ro != nil {
+		ro.RunDone(n, time.Since(start).Nanoseconds())
 	}
 	return res, traj
 }

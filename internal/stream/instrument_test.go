@@ -58,6 +58,58 @@ func TestRunInstrumentedCheckpoints(t *testing.T) {
 	}
 }
 
+// batchedCoverageAlg is coverageAlg with a batch hot path, recording every
+// batch length it is handed so tests can assert checkpoint clipping.
+type batchedCoverageAlg struct {
+	coverageAlg
+	batchLens []int
+}
+
+func (a *batchedCoverageAlg) ProcessBatch(edges []Edge) {
+	a.batchLens = append(a.batchLens, len(edges))
+	for _, e := range edges {
+		a.coverageAlg.Process(e)
+	}
+}
+
+func TestRunInstrumentedBatchedCheckpoints(t *testing.T) {
+	inst := fixture(t)
+	edges := EdgesOf(inst)
+	const every = 7 // deliberately not a divisor of BatchSize
+
+	// Reference: per-edge instrumented run.
+	perEdge := &coverageAlg{firstSetAlg: newFirstSetAlg(inst.UniverseSize())}
+	_, want := RunInstrumented(perEdge, NewSlice(edges), every)
+
+	// Batched run over a Batcher stream: the driver must clip batches at
+	// checkpoint boundaries so every checkpoint observes exactly Pos edges.
+	batched := &batchedCoverageAlg{coverageAlg: coverageAlg{firstSetAlg: newFirstSetAlg(inst.UniverseSize())}}
+	res, got := RunInstrumented(batched, NewSlice(edges), every)
+
+	if res.Edges != len(edges) {
+		t.Fatalf("Edges=%d, want %d", res.Edges, len(edges))
+	}
+	if len(batched.batchLens) == 0 {
+		t.Fatal("ProcessBatch was never used")
+	}
+	// Each batch ends on a checkpoint boundary or at stream end.
+	pos := 0
+	for i, k := range batched.batchLens {
+		pos += k
+		if pos%every != 0 && pos != len(edges) {
+			t.Fatalf("batch %d ends at pos %d: not a checkpoint multiple of %d nor stream end", i, pos, every)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d checkpoints batched vs %d per-edge", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoint %d differs: batched %+v, per-edge %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestRunInstrumentedWithoutReporters(t *testing.T) {
 	inst := fixture(t)
 	res, traj := RunInstrumented(&nonReportingAlg{n: inst.UniverseSize()}, NewSlice(EdgesOf(inst)), 0)

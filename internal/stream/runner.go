@@ -1,6 +1,9 @@
 package stream
 
 import (
+	"time"
+
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 )
@@ -55,8 +58,124 @@ type Result struct {
 // and collects the result. When alg implements BatchProcessor the edges are
 // delivered in chunks — directly as views of the stream's storage when s
 // implements Batcher, via a scratch buffer otherwise.
+//
+// When a process-global obs.Hub is installed and alg identifies itself
+// (obs.Identified), the run stamps per-batch timing, throughput and
+// space-meter checkpoints; without a hub the drive path is the same tight
+// loops as before, with zero added allocations.
 func Run(alg Algorithm, s Stream) Result {
+	return RunObserved(alg, s, obs.RunObsFor(obs.AlgoOf(alg)))
+}
+
+// RunObserved is Run with an explicit run-metrics handle (nil disables run
+// metrics; this is also the only behavior under the obsoff build tag).
+func RunObserved(alg Algorithm, s Stream, ro *obs.RunObs) Result {
+	var start time.Time
+	if ro != nil {
+		start = time.Now()
+	}
+	n := driveStream(alg, s, ro, 0, nil)
+	res := Result{Cover: alg.Finish(), Edges: n}
+	if rep, ok := alg.(space.Reporter); ok {
+		res.Space = rep.Space()
+	}
+	if ro != nil {
+		stampSpace(alg, ro)
+		ro.Covered(CoveredOf(res.Cover.Certificate))
+		ro.RunDone(n, time.Since(start).Nanoseconds())
+	}
+	return res
+}
+
+// driveStream resets s and feeds it to alg, returning the number of edges
+// processed. It has two regimes:
+//
+//   - ro == nil && every <= 0: the uninstrumented fast path — the exact
+//     closure-free loops of the original Run, preserving the zero-allocation
+//     steady state (see TestSteadyStateProcessBatchAllocs and the end-to-end
+//     benchmark alloc budgets in BENCH_*.json).
+//   - otherwise: the observed path. Batches are clipped so that checkpoint
+//     positions (multiples of every) always land exactly on a batch
+//     boundary, making sampled state identical to a per-edge drive; each
+//     dispatched batch is timed and stamped on ro.
+func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, every int, sample func(pos int)) int {
 	s.Reset()
+	if ro == nil && every <= 0 {
+		return driveFast(alg, s)
+	}
+
+	n := 0
+	bp, isBP := alg.(BatchProcessor)
+	var bs Batcher
+	var buf []Edge
+	if isBP {
+		if b, ok := s.(Batcher); ok {
+			bs = b
+		} else {
+			buf = make([]Edge, BatchSize)
+		}
+	}
+	for {
+		// Clip the batch at the next checkpoint boundary.
+		max := BatchSize
+		if every > 0 {
+			if r := every - n%every; r < max {
+				max = r
+			}
+		}
+		var t0 time.Time
+		if ro != nil {
+			t0 = time.Now()
+		}
+		k := 0
+		switch {
+		case isBP && bs != nil:
+			batch := bs.NextBatch(max)
+			if len(batch) > 0 {
+				bp.ProcessBatch(batch)
+			}
+			k = len(batch)
+		case isBP:
+			for k < max {
+				e, ok := s.Next()
+				if !ok {
+					break
+				}
+				buf[k] = e
+				k++
+			}
+			if k > 0 {
+				bp.ProcessBatch(buf[:k])
+			}
+		default:
+			// Per-edge algorithm: drive up to max edges and account for them
+			// as one dispatched batch.
+			for k < max {
+				e, ok := s.Next()
+				if !ok {
+					break
+				}
+				alg.Process(e)
+				k++
+			}
+		}
+		if k == 0 {
+			break
+		}
+		if ro != nil {
+			ro.Batch(k, time.Since(t0).Nanoseconds())
+		}
+		n += k
+		if every > 0 && n%every == 0 && sample != nil {
+			sample(n)
+		}
+	}
+	return n
+}
+
+// driveFast is the original uninstrumented drive: no timing, no closures, no
+// allocations beyond the scratch batch buffer for non-Batcher streams.
+func driveFast(alg Algorithm, s Stream) int {
 	n := 0
 	if bp, ok := alg.(BatchProcessor); ok {
 		if bs, ok := s.(Batcher); ok {
@@ -97,11 +216,16 @@ func Run(alg Algorithm, s Stream) Result {
 			n++
 		}
 	}
-	res := Result{Cover: alg.Finish(), Edges: n}
-	if rep, ok := alg.(space.Reporter); ok {
-		res.Space = rep.Space()
+	return n
+}
+
+// stampSpace publishes the algorithm's space-meter checkpoint on ro.
+func stampSpace(alg Algorithm, ro *obs.RunObs) {
+	if cp, ok := alg.(space.CheckpointReporter); ok {
+		cur, peak := cp.Checkpoint()
+		ro.StateWords(0, cur.State, peak.State)
+		ro.StateWords(1, cur.Aux, peak.Aux)
 	}
-	return res
 }
 
 // RunEdges is Run over an in-memory edge slice.

@@ -11,9 +11,22 @@ import (
 	"slices"
 	"testing"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
 )
+
+// attachSink points alg's decision-event emissions at a sink from hub (every
+// streaming algorithm implements SetObs; tests use private hubs, never the
+// process-global one).
+func attachSink(t *testing.T, hub *obs.Hub, alg Algorithm) {
+	t.Helper()
+	a, ok := alg.(interface{ SetObs(*obs.Sink) })
+	if !ok {
+		t.Fatalf("%T does not implement SetObs", alg)
+	}
+	a.SetObs(hub.Sink(obs.AlgoOf(alg)))
+}
 
 // perEdgeOnly hides ProcessBatch from the driver, forcing stream.Run down
 // the per-edge Process path while still exposing the space report.
@@ -49,13 +62,20 @@ func TestBatchedMatchesPerEdge(t *testing.T) {
 	for _, algName := range []string{"kk", "alg1", "alg2"} {
 		for _, order := range Orders() {
 			t.Run(algName+"/"+order.String(), func(t *testing.T) {
+				// Each run gets a private hub so the decision-event streams
+				// (which the batched contract also covers) can be compared.
+				const ringCap = 1 << 18
 				batchedAlg, edges := perfCase(algName, order)
 				if _, ok := batchedAlg.(stream.BatchProcessor); !ok {
 					t.Fatalf("%s does not implement stream.BatchProcessor", algName)
 				}
+				batchedHub := obs.NewHub(ringCap)
+				attachSink(t, batchedHub, batchedAlg)
 				batched := RunEdges(batchedAlg, edges)
 
 				perEdgeAlg, _ := perfCase(algName, order)
+				perEdgeHub := obs.NewHub(ringCap)
+				attachSink(t, perEdgeHub, perEdgeAlg)
 				wrapped := perEdgeOnly{perEdgeAlg, perEdgeAlg.(space.Reporter)}
 				if _, ok := Algorithm(wrapped).(stream.BatchProcessor); ok {
 					t.Fatal("perEdgeOnly wrapper leaks ProcessBatch")
@@ -82,6 +102,20 @@ func TestBatchedMatchesPerEdge(t *testing.T) {
 						t.Errorf("traces differ:\nbatched:  %+v\nper-edge: %+v", ta, tb)
 					}
 				}
+				// The decision-event streams must match event for event.
+				if a, b := batchedHub.Ring().Recorded(), perEdgeHub.Ring().Recorded(); a != b {
+					t.Errorf("decision-event counts differ: batched %d, per-edge %d", a, b)
+				}
+				evA, evB := batchedHub.Ring().Events(), perEdgeHub.Ring().Events()
+				if !reflect.DeepEqual(evA, evB) {
+					n := min(len(evA), len(evB))
+					for i := 0; i < n; i++ {
+						if evA[i] != evB[i] {
+							t.Fatalf("decision event %d differs:\nbatched:  %+v\nper-edge: %+v", i, evA[i], evB[i])
+						}
+					}
+					t.Fatalf("decision traces differ in length: batched %d, per-edge %d", len(evA), len(evB))
+				}
 			})
 		}
 	}
@@ -99,6 +133,22 @@ type coverageReporter interface{ CoveredCount() int }
 // exists to provide — violating it is a performance regression even when
 // the output is still correct.
 func TestSteadyStateProcessBatchAllocs(t *testing.T) {
+	// The guard runs twice: bare (no sink, the nil fast path) and with a
+	// live decision sink attached, which must be just as allocation-free —
+	// emissions are atomic adds plus writes into the preallocated ring, even
+	// when the ring wraps (DESIGN.md §4c).
+	for _, withObs := range []bool{false, true} {
+		name := "bare"
+		if withObs {
+			name = "obs"
+		}
+		t.Run(name, func(t *testing.T) {
+			testSteadyStateAllocs(t, withObs)
+		})
+	}
+}
+
+func testSteadyStateAllocs(t *testing.T, withObs bool) {
 	const n, m, opt = 100, 600, 6
 	w := PlantedWorkload(NewRand(5), n, m, opt, 0)
 	edges := Arrange(w.Inst, RandomOrder, NewRand(9))
@@ -115,6 +165,9 @@ func TestSteadyStateProcessBatchAllocs(t *testing.T) {
 		{"alg2", NewAdversarial(n, m, 20, NewRand(3)), true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			if withObs {
+				attachSink(t, obs.NewHub(0), tc.alg)
+			}
 			bp := tc.alg.(stream.BatchProcessor)
 			for pass := 0; pass < 500; pass++ {
 				bp.ProcessBatch(edges)
