@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ paper-check:
 # -trace-out dump back. Self-contained Go harness — no curl required.
 obs-smoke:
 	$(GO) run ./internal/tools/obssmoke
+
+# End-to-end kill-and-resume smoke over an on-disk stream file: periodic
+# checkpoints, a mid-stream kill, restore into a differently-seeded fresh
+# instance, and byte-identical covers — in the default build and with the
+# observability layer compiled out.
+resume-smoke:
+	$(GO) run ./internal/tools/resumesmoke
+	$(GO) run -tags obsoff ./internal/tools/resumesmoke
 
 fmt:
 	gofmt -w .

@@ -200,11 +200,57 @@ func NewStoreAll(n, m int) *StoreAll { return stream.NewStoreAll(n, m) }
 
 // Ensemble runs independent copies of a randomized algorithm in parallel
 // and keeps the smallest cover — the paper's high-probability boosting
-// device (remarks after Theorems 2 and 4).
+// device (remarks after Theorems 2 and 4). Copies are sharded over worker
+// goroutines (one per available core by default, see SetParallelism); with
+// one worker it degenerates to the sequential loop. Either way each copy's
+// execution is bit-identical to running it alone.
 type Ensemble = stream.Ensemble
 
 // NewEnsemble wraps independently-seeded copies.
 func NewEnsemble(copies ...Algorithm) *Ensemble { return stream.NewEnsemble(copies...) }
+
+// Checkpoint/resume (internal/stream + internal/snap).
+type (
+	// Snapshotter is implemented by algorithms whose complete mid-stream
+	// state can be serialized and restored (all of this package's streaming
+	// algorithms except StoreAll and the fractional solver).
+	Snapshotter = stream.Snapshotter
+	// CheckpointPolicy configures periodic checkpointing during Run.
+	CheckpointPolicy = stream.CheckpointPolicy
+	// CheckpointInfo describes a checkpoint file without restoring it.
+	CheckpointInfo = stream.CheckpointInfo
+)
+
+// ErrNotSnapshottable reports an algorithm without snapshot support.
+var ErrNotSnapshottable = stream.ErrNotSnapshottable
+
+// RunCheckpointed is Run with periodic checkpoints written per policy.
+func RunCheckpointed(alg Algorithm, s Stream, p CheckpointPolicy) (Result, error) {
+	return stream.RunCheckpointed(alg, s, p)
+}
+
+// RunCheckpointedFrom resumes a restored algorithm at absolute stream
+// position from (as recorded in its checkpoint) and finishes the run.
+func RunCheckpointedFrom(alg Algorithm, s Stream, p CheckpointPolicy, from int) (Result, error) {
+	return stream.RunCheckpointedFrom(alg, s, p, from)
+}
+
+// WriteCheckpointFile atomically writes alg's state at stream position pos.
+func WriteCheckpointFile(path string, pos int, alg Algorithm) error {
+	return stream.WriteCheckpointFile(path, pos, alg)
+}
+
+// ReadCheckpointFile restores alg from a checkpoint file and returns the
+// stream position to resume from.
+func ReadCheckpointFile(path string, alg Algorithm) (int, error) {
+	return stream.ReadCheckpointFile(path, alg)
+}
+
+// InspectCheckpoint reads a checkpoint's envelope (position, algorithm tag,
+// state version, payload size) without an algorithm instance.
+func InspectCheckpoint(r io.Reader) (CheckpointInfo, error) {
+	return stream.InspectCheckpoint(r)
+}
 
 // Multi-pass baseline ([6]-style sample-and-prune).
 type (

@@ -33,6 +33,8 @@ func run() int {
 		outFile  = flag.String("out", "", "additionally write a full markdown evaluation report to this file")
 		seed     = flag.Uint64("seed", 0, "override the base seed (0 keeps the config default)")
 		reps     = flag.Int("reps", 0, "override repetitions per cell (0 keeps the config default)")
+		ckEvery  = flag.Int("checkpoint-every", 0, "checkpoint snapshottable runs every N edges into an in-memory sink (0 = off)")
+		resume   = flag.Bool("resume-check", false, "additionally restore each run's last checkpoint into a fresh instance and fail if the resumed cover differs (needs -checkpoint-every)")
 		obsOpt   = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.DurationVar(&obsOpt.Hold, "obs-hold", 0,
@@ -55,6 +57,12 @@ func run() int {
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
+	if *resume && *ckEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "scbench: -resume-check needs -checkpoint-every")
+		return 2
+	}
+	cfg.CheckpointEvery = *ckEvery
+	cfg.ResumeCheck = *resume
 
 	session, err := cli.StartObs(*obsOpt)
 	if err != nil {

@@ -12,6 +12,12 @@
 //	scrun -in stream.scs -algo multipass -budget 100
 //	scrun -in stream.scs -algo fractional
 //	scrun -in stream.scs -algo storeall
+//
+// Checkpoint/resume (kk, alg1, alg2, es):
+//
+//	scrun -in stream.scs -algo kk -checkpoint-every 100000
+//	scrun -in stream.scs -algo kk -checkpoint-every 100000 -stop-after 250000
+//	scrun -in stream.scs -algo kk -resume
 package main
 
 import (
@@ -32,6 +38,10 @@ func run() int {
 	flag.Uint64Var(&opt.Seed, "seed", 1, "random seed")
 	flag.IntVar(&opt.Budget, "budget", 64, "per-round element sample budget for multipass")
 	flag.IntVar(&opt.Copies, "copies", 1, "parallel ensemble copies (kk/alg2/es)")
+	flag.IntVar(&opt.CheckpointEvery, "checkpoint-every", 0, "write a checkpoint every N edges (0 = off)")
+	flag.StringVar(&opt.CheckpointPath, "checkpoint", "", "checkpoint file (default <in>.ckpt)")
+	flag.BoolVar(&opt.Resume, "resume", false, "restore state from the checkpoint file and continue")
+	flag.IntVar(&opt.StopAfter, "stop-after", 0, "kill the run after N edges without finishing (needs -checkpoint-every)")
 	obsOpt := cli.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 

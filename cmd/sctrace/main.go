@@ -9,6 +9,11 @@
 //
 //	sctrace -in stream.scs -algo alg1 -points 50 > curve.csv
 //	sctrace -decisions run.sctrace > decisions.csv
+//	sctrace -state run.ckpt
+//
+// With -state it inspects a checkpoint file (SCCKPT1, from scrun's
+// -checkpoint-every flag): verifies its checksum and prints the stream
+// position, embedded algorithm tag, state version and payload size.
 package main
 
 import (
@@ -35,11 +40,16 @@ func main() {
 		points    = flag.Int("points", 50, "number of checkpoints")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		decisions = flag.String("decisions", "", "read back a decision trace (SCTRACE1, from -trace-out) and emit it as CSV instead of replaying a stream")
+		state     = flag.String("state", "", "inspect a checkpoint file (SCCKPT1, from scrun -checkpoint-every) instead of replaying a stream")
 	)
 	flag.Parse()
 
 	if *decisions != "" {
 		dumpDecisions(*decisions)
+		return
+	}
+	if *state != "" {
+		inspectState(*state)
 		return
 	}
 
@@ -97,6 +107,23 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sctrace: %s on n=%d m=%d N=%d -> cover %d sets, %d checkpoints\n",
 		*algo, hdr.N, hdr.M, hdr.E, res.Cover.Size(), len(traj))
+}
+
+// inspectState verifies a checkpoint file and prints its envelope.
+func inspectState(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	defer f.Close()
+	info, err := stream.InspectCheckpoint(f)
+	if err != nil {
+		fatalf("inspect %s: %v", path, err)
+	}
+	fmt.Printf("checkpoint %s\n", path)
+	fmt.Printf("  position  %d edges\n", info.Pos)
+	fmt.Printf("  algorithm %s (state v%d)\n", info.Algo, info.Version)
+	fmt.Printf("  snapshot  %d bytes\n", info.Bytes)
 }
 
 // dumpDecisions reads an SCTRACE1 decision trace and writes it to stdout as

@@ -1,0 +1,136 @@
+package streamcover
+
+// Guards for the concurrent ensemble engine: sharding the copies over worker
+// goroutines must actually buy wall-clock time (the whole point of the
+// rewrite), and the steady-state dispatch path must stay allocation-free per
+// edge — the per-worker buffers are reused, so the only steady-state traffic
+// is channel handoffs.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"streamcover/internal/stream"
+)
+
+// ensembleWorkload builds the edge stream and a fresh 8-copy KK ensemble
+// factory for the timing guard. KK is the ensemble's canonical payload (the
+// remark after Theorem 2 boosts it with O(log m) copies).
+func ensembleWorkload() (mk func(parallelism int) *Ensemble, edges []Edge) {
+	const n, m, opt, copies = 1500, 20000, 15, 8
+	w := PlantedWorkload(NewRand(77), n, m, opt, 0)
+	edges = Arrange(w.Inst, RandomOrder, NewRand(78))
+	mk = func(parallelism int) *Ensemble {
+		algs := make([]Algorithm, copies)
+		for i := range algs {
+			algs[i] = NewKK(n, m, NewRand(uint64(1000+i)))
+		}
+		e := NewEnsemble(algs...)
+		e.SetParallelism(parallelism)
+		return e
+	}
+	return mk, edges
+}
+
+// runEnsembleOnce drives one full pass (batched, like the real driver) and
+// finishes; returns the wall time.
+func runEnsembleOnce(e *Ensemble, edges []Edge) time.Duration {
+	start := time.Now()
+	for off := 0; off < len(edges); off += stream.BatchSize {
+		end := min(off+stream.BatchSize, len(edges))
+		e.ProcessBatch(edges[off:end])
+	}
+	e.Finish()
+	return time.Since(start)
+}
+
+// TestEnsembleParallelSpeedup asserts the acceptance bar of the concurrent
+// engine: an 8-copy KK ensemble on a machine with ≥ 4 cores runs at least 2×
+// faster parallel than with SetParallelism(1). Timing is best-of-N per mode
+// with up to three attempts, so a single scheduler hiccup doesn't flake the
+// suite; a *consistent* miss of 2× is a real regression.
+func TestEnsembleParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	if runtime.NumCPU() < 4 || runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs ≥4 cores (have NumCPU=%d, GOMAXPROCS=%d)", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	mk, edges := ensembleWorkload()
+
+	bestOf := func(parallelism, trials int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < trials; i++ {
+			if d := runEnsembleOnce(mk(parallelism), edges); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	const wantSpeedup = 2.0
+	var seq, par time.Duration
+	for attempt := 1; attempt <= 3; attempt++ {
+		seq = bestOf(1, 3)
+		par = bestOf(0, 3) // 0 = automatic: min(copies, GOMAXPROCS) workers
+		if float64(seq) >= wantSpeedup*float64(par) {
+			return
+		}
+	}
+	t.Errorf("parallel ensemble not %.1fx faster: sequential %v, parallel %v (%.2fx)",
+		wantSpeedup, seq, par, float64(seq)/float64(par))
+}
+
+// TestEnsembleSteadyStateDispatchAllocs asserts the parallel dispatch path is
+// allocation-free per edge once warm: the per-worker batch buffers have
+// grown to capacity and replays are pure reads for converged KK copies. The
+// budget is a handful of allocations per full replay (not per edge) — the
+// runtime may allocate a sudog when a channel handoff parks — which is
+// orders of magnitude below one per edge.
+func TestEnsembleSteadyStateDispatchAllocs(t *testing.T) {
+	const n, m, opt, copies = 100, 600, 6, 4
+	w := PlantedWorkload(NewRand(5), n, m, opt, 0)
+	edges := Arrange(w.Inst, RandomOrder, NewRand(9))
+
+	algs := make([]Algorithm, copies)
+	for i := range algs {
+		algs[i] = NewKK(n, m, NewRand(uint64(40+i)))
+	}
+	e := NewEnsemble(algs...)
+	e.SetParallelism(copies)
+
+	// Warm up: replay until every copy is fully covered (replays then become
+	// pure reads) and the worker buffers have reached their final capacity.
+	type covered interface{ CoveredCount() int }
+	for pass := 0; pass < 500; pass++ {
+		e.ProcessBatch(edges)
+		e.Space() // drains in-flight work: the copies are safe to read below
+		done := true
+		for _, a := range algs {
+			if a.(covered).CoveredCount() != n {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for _, a := range algs {
+		if got := a.(covered).CoveredCount(); got != n {
+			t.Fatalf("warm-up never converged: %d/%d covered", got, n)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		e.ProcessBatch(edges)
+	})
+	// Channel parks may allocate a few sudogs; anything near one-per-edge
+	// means a buffer is being reallocated every dispatch.
+	if budget := 8.0; allocs > budget {
+		t.Errorf("steady-state parallel ProcessBatch allocates %.1f times per %d-edge replay (budget %.0f)",
+			allocs, len(edges), budget)
+	}
+	e.Finish()
+}

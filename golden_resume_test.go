@@ -1,0 +1,101 @@
+package streamcover
+
+// Resume-equivalence extension of the golden fixtures: interrupting a run at
+// an arbitrary stream position, serializing the algorithm with Snapshot,
+// restoring it into a *differently seeded* fresh instance and finishing the
+// stream must reproduce the exact golden fingerprint of the uninterrupted
+// seed implementation — cover, certificate, edge count and space meters, all
+// byte-identical. This is the end-to-end contract behind checkpoint/resume:
+// a restored run is indistinguishable from one that never stopped.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+)
+
+// goldenAlg builds the fixture algorithm with an explicit seed so the resume
+// tests can prove the fresh instance's own coins are irrelevant after
+// Restore.
+func goldenAlg(alg string, n, m, streamLen int, seed uint64) Algorithm {
+	switch alg {
+	case "kk":
+		return NewKK(n, m, NewRand(seed))
+	case "alg1":
+		return NewRandomOrder(n, m, streamLen, NewRand(seed))
+	case "alg2":
+		return NewAdversarial(n, m, 40, NewRand(seed))
+	default:
+		panic("unknown algorithm " + alg)
+	}
+}
+
+// goldenResumeCase replays goldenCase's exact workload but interrupts at cut,
+// snapshots, restores into a fresh instance seeded differently, and finishes.
+func goldenResumeCase(t *testing.T, alg string, order Order, cut int) Result {
+	t.Helper()
+	const n, m, opt = 300, 4000, 8
+	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
+	edges := Arrange(w.Inst, order, NewRand(23))
+	if cut < 0 || cut > len(edges) {
+		t.Fatalf("cut %d outside stream of %d edges", cut, len(edges))
+	}
+
+	first := goldenAlg(alg, n, m, len(edges), 42)
+	first.(stream.BatchProcessor).ProcessBatch(edges[:cut])
+	var buf bytes.Buffer
+	if err := first.(Snapshotter).Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot at %d: %v", cut, err)
+	}
+
+	// Seed 987654321: Restore must overwrite every coin the constructor drew.
+	resumed := goldenAlg(alg, n, m, len(edges), 987654321)
+	if err := resumed.(Snapshotter).Restore(&buf); err != nil {
+		t.Fatalf("restore at %d: %v", cut, err)
+	}
+	resumed.(stream.BatchProcessor).ProcessBatch(edges[cut:])
+
+	res := Result{Cover: resumed.Finish(), Edges: len(edges)}
+	res.Space = resumed.(space.Reporter).Space()
+	return res
+}
+
+// TestGoldenResumeMatchesSeedImplementation asserts that snapshot/restore at
+// several stream positions reproduces the recorded golden fingerprints — the
+// same hashes TestGoldenOutputsMatchSeedImplementation holds the
+// uninterrupted runs to.
+func TestGoldenResumeMatchesSeedImplementation(t *testing.T) {
+	cuts := []struct {
+		name string
+		frac float64
+	}{
+		{"early", 0.05},
+		{"quarter", 0.25},
+		{"half", 0.5},
+		{"late", 0.9},
+	}
+	for _, alg := range []string{"kk", "alg1", "alg2"} {
+		for _, order := range []Order{SetMajor, RoundRobin, RandomOrder} {
+			key := fmt.Sprintf("%s/%s", alg, order)
+			want, ok := goldenExpected[key]
+			if !ok {
+				t.Fatalf("no golden recorded for %s", key)
+			}
+			// Stream length depends only on the instance, not the order.
+			edges := Arrange(PlantedWorkload(NewRand(11), 300, 4000, 8, 0).Inst, order, NewRand(23))
+			for _, c := range cuts {
+				t.Run(fmt.Sprintf("%s/%s", key, c.name), func(t *testing.T) {
+					cut := int(c.frac * float64(len(edges)))
+					got := goldenFingerprint(goldenResumeCase(t, alg, order, cut))
+					if got != want {
+						t.Fatalf("resumed fingerprint %#x at cut %d, want golden %#x — resume changed observable output",
+							got, cut, want)
+					}
+				})
+			}
+		}
+	}
+}

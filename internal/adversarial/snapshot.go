@@ -1,0 +1,80 @@
+package adversarial
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"streamcover/internal/snap"
+)
+
+// snapVersion is the SCSTATE1 layout version of this package's snapshots.
+const snapVersion = 1
+
+// Snapshot implements stream.Snapshotter: the complete mid-stream state of
+// Algorithm 2 — generator, level dictionary, partial covers, coverage
+// bookkeeping and space meters. Valid only before Finish.
+func (a *Algorithm) Snapshot(wr io.Writer) error {
+	if a.finished {
+		return errors.New("adversarial: Snapshot after Finish")
+	}
+	w := snap.NewWriter(wr, "alg2", snapVersion)
+	w.Int(a.n)
+	w.Int(a.m)
+	w.F64(a.alpha)
+	w.I64(a.pos)
+	a.rng.Save(w)
+	w.I32s(a.levels)
+	w.Int(a.promotedCount)
+	a.sol.Save(w)
+	w.Int(a.solCount)
+	w.Ints(a.dCounts)
+	w.Bools(a.covered)
+	w.Int(a.coveredCount)
+	snap.SaveSetIDs(w, a.first)
+	snap.SaveSetIDs(w, a.cert)
+	w.I64(a.promotions)
+	w.Int(a.patched)
+	snap.SaveTracked(w, &a.Tracked)
+	return w.Close()
+}
+
+// Restore implements stream.Snapshotter. The receiver must be a freshly
+// constructed instance with the same (n, m, alpha); a failed restore leaves
+// it in an unspecified state that must be discarded.
+func (a *Algorithm) Restore(rd io.Reader) error {
+	if a.finished {
+		return errors.New("adversarial: Restore after Finish")
+	}
+	r, err := snap.NewReader(rd, "alg2")
+	if err != nil {
+		return err
+	}
+	if v := r.Version(); v != snapVersion {
+		return fmt.Errorf("%w: alg2 snapshot v%d", snap.ErrVersion, v)
+	}
+	n, m := r.Int(), r.Int()
+	alpha := r.F64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != a.n || m != a.m || alpha != a.alpha {
+		return fmt.Errorf("%w: snapshot shape n=%d m=%d alpha=%g, receiver has n=%d m=%d alpha=%g",
+			snap.ErrMismatch, n, m, alpha, a.n, a.m, a.alpha)
+	}
+	a.pos = r.I64()
+	a.rng.Load(r)
+	r.I32sInto(a.levels)
+	a.promotedCount = r.Int()
+	a.sol.Load(r)
+	a.solCount = r.Int()
+	a.dCounts = r.Ints()
+	r.BoolsInto(a.covered)
+	a.coveredCount = r.Int()
+	snap.LoadSetIDsInto(r, a.first, a.m)
+	snap.LoadSetIDsInto(r, a.cert, a.m)
+	a.promotions = r.I64()
+	a.patched = r.Int()
+	snap.LoadTracked(r, &a.Tracked)
+	return r.Close()
+}

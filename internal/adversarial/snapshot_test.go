@@ -1,0 +1,66 @@
+package adversarial
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamcover/internal/snap"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// TestSnapshotResumeEquivalence: snapshot mid-stream, restore into a fresh
+// differently-seeded instance, finish, and the output must match the
+// uninterrupted run exactly. Restore must also overwrite the fresh
+// instance's D0 pre-sampling (drawn in New) with the snapshot's.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	w := workload.Planted(xrand.New(21), 150, 900, 10, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(6))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	const alpha = 30
+
+	ref := New(n, m, alpha, xrand.New(42))
+	refRes := stream.RunEdges(ref, edges)
+
+	for _, cut := range []int{0, len(edges) / 4, len(edges) / 2, len(edges)} {
+		a := New(n, m, alpha, xrand.New(42))
+		a.ProcessBatch(edges[:cut])
+		var buf bytes.Buffer
+		if err := a.Snapshot(&buf); err != nil {
+			t.Fatalf("cut=%d: Snapshot: %v", cut, err)
+		}
+		b := New(n, m, alpha, xrand.New(777))
+		if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("cut=%d: Restore: %v", cut, err)
+		}
+		b.ProcessBatch(edges[cut:])
+		got := b.Finish()
+		if !refRes.Cover.Equal(got) {
+			t.Fatalf("cut=%d: resumed cover differs from uninterrupted run", cut)
+		}
+		if gs := b.Space(); gs != refRes.Space {
+			t.Fatalf("cut=%d: space %+v, want %+v", cut, gs, refRes.Space)
+		}
+	}
+}
+
+func TestRestoreRejectsShapeAndAlphaMismatch(t *testing.T) {
+	a := New(40, 80, 10, xrand.New(1))
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []*Algorithm{
+		New(41, 80, 10, xrand.New(2)),
+		New(40, 81, 10, xrand.New(2)),
+		New(40, 80, 11, xrand.New(2)),
+	} {
+		if err := b.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snap.ErrMismatch) {
+			t.Fatalf("want ErrMismatch, got %v", err)
+		}
+	}
+}
+
+var _ stream.Snapshotter = (*Algorithm)(nil)

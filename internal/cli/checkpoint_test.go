@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// coverLine extracts the "cover ..." report line, the part of the output a
+// kill-and-resume run must reproduce exactly.
+func coverLine(t *testing.T, s string) string {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^cover.*$`).FindString(s)
+	if m == "" {
+		t.Fatalf("no cover line in output:\n%s", s)
+	}
+	return m
+}
+
+// TestReplayKillAndResume is the tool-level kill-and-resume exercise: run to
+// completion for reference, then run with -stop-after, then -resume from the
+// checkpoint, and the resumed run must report the identical cover.
+func TestReplayKillAndResume(t *testing.T) {
+	path := genFixture(t, defaultGen())
+	for _, algo := range []string{"kk", "alg1", "alg2", "es"} {
+		t.Run(algo, func(t *testing.T) {
+			ck := filepath.Join(t.TempDir(), "run.ckpt")
+			var ref bytes.Buffer
+			if err := Replay(ReplayOptions{In: path, Algo: algo, Seed: 7}, &ref); err != nil {
+				t.Fatal(err)
+			}
+
+			var killed bytes.Buffer
+			err := Replay(ReplayOptions{
+				In: path, Algo: algo, Seed: 7,
+				CheckpointEvery: 200, CheckpointPath: ck, StopAfter: 500,
+			}, &killed)
+			if err != nil {
+				t.Fatalf("killed run: %v", err)
+			}
+			if !strings.Contains(killed.String(), "stopped") {
+				t.Fatalf("killed run did not report stopping:\n%s", killed.String())
+			}
+			if _, err := os.Stat(ck); err != nil {
+				t.Fatalf("no checkpoint on disk: %v", err)
+			}
+
+			var resumed bytes.Buffer
+			err = Replay(ReplayOptions{
+				In: path, Algo: algo, Seed: 7777, // seed must not matter on resume
+				CheckpointPath: ck, Resume: true,
+			}, &resumed)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if !strings.Contains(resumed.String(), "resumed") {
+				t.Fatalf("resume did not report the restore:\n%s", resumed.String())
+			}
+			if got, want := coverLine(t, resumed.String()), coverLine(t, ref.String()); got != want {
+				t.Fatalf("resumed cover differs:\n got %q\nwant %q", got, want)
+			}
+		})
+	}
+}
+
+// TestReplayKillAndResumeEnsemble: same flow through the concurrent
+// ensemble (-copies), whose checkpoint nests one snapshot per copy.
+func TestReplayKillAndResumeEnsemble(t *testing.T) {
+	path := genFixture(t, defaultGen())
+	ck := filepath.Join(t.TempDir(), "ens.ckpt")
+	var ref bytes.Buffer
+	if err := Replay(ReplayOptions{In: path, Algo: "kk", Seed: 3, Copies: 4}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	err := Replay(ReplayOptions{
+		In: path, Algo: "kk", Seed: 3, Copies: 4,
+		CheckpointEvery: 150, CheckpointPath: ck, StopAfter: 400,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed bytes.Buffer
+	err = Replay(ReplayOptions{
+		In: path, Algo: "kk", Seed: 99, Copies: 4,
+		CheckpointPath: ck, Resume: true,
+	}, &resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := coverLine(t, resumed.String()), coverLine(t, ref.String()); got != want {
+		t.Fatalf("ensemble resume differs:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestReplayCheckpointFlagValidation(t *testing.T) {
+	path := genFixture(t, defaultGen())
+	// Non-snapshottable algorithms reject checkpoint flags up front.
+	for _, algo := range []string{"storeall", "multipass", "fractional"} {
+		err := Replay(ReplayOptions{In: path, Algo: algo, CheckpointEvery: 100, Budget: 30}, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("%s: checkpointing accepted", algo)
+		}
+	}
+	// StopAfter without an interval would lose all state at the kill.
+	if err := Replay(ReplayOptions{In: path, Algo: "kk", StopAfter: 100}, &bytes.Buffer{}); err == nil {
+		t.Error("-stop-after without -checkpoint-every accepted")
+	}
+	// Resume from a missing checkpoint fails loudly.
+	err := Replay(ReplayOptions{
+		In: path, Algo: "kk", Resume: true,
+		CheckpointPath: filepath.Join(t.TempDir(), "absent.ckpt"),
+	}, &bytes.Buffer{})
+	if err == nil {
+		t.Error("resume from missing checkpoint accepted")
+	}
+}

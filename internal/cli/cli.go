@@ -104,6 +104,28 @@ type ReplayOptions struct {
 	Seed   uint64
 	Budget int // multipass per-round element sample budget
 	Copies int // ensemble copies for kk/alg2/es
+
+	// CheckpointEvery > 0 writes a checkpoint of the algorithm state every
+	// that many edges (streaming algorithms only — not storeall, multipass
+	// or fractional).
+	CheckpointEvery int
+	// CheckpointPath overrides the checkpoint file (default In + ".ckpt").
+	CheckpointPath string
+	// Resume restores the algorithm from the checkpoint file and continues
+	// the stream from the recorded position.
+	Resume bool
+	// StopAfter > 0 kills the run after that many edges without finishing —
+	// the kill half of a kill-and-resume exercise. Requires CheckpointEvery.
+	StopAfter int
+}
+
+// checkpointable reports whether Replay can checkpoint/resume opt.Algo.
+func (opt ReplayOptions) checkpointable() bool {
+	switch opt.Algo {
+	case "kk", "alg1", "alg2", "es":
+		return true
+	}
+	return false
 }
 
 // Replay decodes a stream file, runs the chosen algorithm, verifies the
@@ -160,6 +182,13 @@ func Replay(opt ReplayOptions, stdout io.Writer) error {
 		return nil
 	}
 
+	if (opt.CheckpointEvery > 0 || opt.Resume || opt.StopAfter > 0) && !opt.checkpointable() {
+		return fmt.Errorf("algorithm %q does not support checkpoint/resume", opt.Algo)
+	}
+	if opt.StopAfter > 0 && opt.CheckpointEvery <= 0 {
+		return fmt.Errorf("-stop-after requires -checkpoint-every (nothing durable would survive the kill)")
+	}
+
 	switch opt.Algo {
 	case "kk", "alg1", "alg2", "es", "storeall":
 		var alg stream.Algorithm
@@ -175,9 +204,47 @@ func Replay(opt ReplayOptions, stdout io.Writer) error {
 		case "storeall":
 			alg = stream.NewStoreAll(hdr.N, hdr.M)
 		}
-		res := stream.RunEdges(alg, edges)
+
+		ckPath := opt.CheckpointPath
+		if ckPath == "" {
+			ckPath = opt.In + ".ckpt"
+		}
+		policy := stream.CheckpointPolicy{Every: opt.CheckpointEvery, Path: ckPath}
+
+		from := 0
+		if opt.Resume {
+			from, err = stream.ReadCheckpointFile(ckPath, alg)
+			if err != nil {
+				return fmt.Errorf("resume from %s: %w", ckPath, err)
+			}
+			fmt.Fprintf(stdout, "resumed   %s at edge %d\n", ckPath, from)
+		}
+
+		if opt.StopAfter > 0 {
+			pos, err := stream.DrivePartial(alg, stream.NewSlice(edges), policy, opt.StopAfter)
+			if err != nil {
+				return fmt.Errorf("partial run: %w", err)
+			}
+			header(fmt.Sprintf(" (alpha=%.0f where applicable, seed=%d)", alpha, opt.Seed))
+			fmt.Fprintf(stdout, "stopped   at edge %d of %d; last checkpoint %s at edge %d\n",
+				pos, hdr.E, ckPath, pos/opt.CheckpointEvery*opt.CheckpointEvery)
+			return nil
+		}
+
+		var res stream.Result
+		if policy.Every > 0 || from > 0 {
+			res, err = stream.RunCheckpointedFrom(alg, stream.NewSlice(edges), policy, from)
+			if err != nil {
+				return fmt.Errorf("run: %w", err)
+			}
+		} else {
+			res = stream.RunEdges(alg, edges)
+		}
 		if err := report(res.Cover, fmt.Sprintf(" (alpha=%.0f where applicable, seed=%d)", alpha, opt.Seed)); err != nil {
 			return err
+		}
+		if policy.Every > 0 {
+			fmt.Fprintf(stdout, "ckpt      every %d edges -> %s\n", policy.Every, ckPath)
 		}
 		fmt.Fprintf(stdout, "space     %v\n", res.Space)
 		return nil

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"streamcover/internal/snap"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// TestSnapshotResumeEquivalence for Algorithm 1. The cut points are chosen
+// to land inside epoch 0, inside the main epoch/subepoch ladder, and at the
+// stream boundary, so every phase of the state machine round-trips.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	w := workload.Planted(xrand.New(31), 300, 2000, 8, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(9))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	N := len(edges)
+	p := DefaultParams(n, m)
+
+	ref := New(n, m, N, p, xrand.New(42))
+	refRes := stream.RunEdges(ref, edges)
+
+	for _, cut := range []int{0, N / 20, N / 3, N / 2, 3 * N / 4, N - 1, N} {
+		a := New(n, m, N, p, xrand.New(42))
+		a.ProcessBatch(edges[:cut])
+		var buf bytes.Buffer
+		if err := a.Snapshot(&buf); err != nil {
+			t.Fatalf("cut=%d: Snapshot: %v", cut, err)
+		}
+		b := New(n, m, N, p, xrand.New(1234))
+		if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("cut=%d: Restore: %v", cut, err)
+		}
+		b.ProcessBatch(edges[cut:])
+		got := b.Finish()
+		if !refRes.Cover.Equal(got) {
+			t.Fatalf("cut=%d: resumed cover differs from uninterrupted run", cut)
+		}
+		if gs := b.Space(); gs != refRes.Space {
+			t.Fatalf("cut=%d: space %+v, want %+v", cut, gs, refRes.Space)
+		}
+	}
+}
+
+// TestRestorePreservesTrace: the diagnostic trace rides along in snapshots,
+// so a resumed run reports the same epoch history as an uninterrupted one.
+func TestRestorePreservesTrace(t *testing.T) {
+	w := workload.Planted(xrand.New(33), 200, 1200, 8, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(2))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	N := len(edges)
+	p := DefaultParams(n, m)
+
+	ref := New(n, m, N, p, xrand.New(7))
+	stream.RunEdges(ref, edges)
+
+	cut := N / 2
+	a := New(n, m, N, p, xrand.New(7))
+	a.ProcessBatch(edges[:cut])
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(n, m, N, p, xrand.New(8))
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	b.ProcessBatch(edges[cut:])
+	b.Finish()
+
+	want, err := json.Marshal(ref.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(b.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed trace differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRestoreRejectsScheduleMismatch: the resolved schedule string is the
+// shape fingerprint; an instance with different parameters must refuse.
+func TestRestoreRejectsScheduleMismatch(t *testing.T) {
+	n, m, N := 100, 500, 2000
+	a := New(n, m, N, DefaultParams(n, m), xrand.New(1))
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(n, m, N/2, DefaultParams(n, m), xrand.New(2))
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snap.ErrMismatch) {
+		t.Fatalf("want ErrMismatch, got %v", err)
+	}
+}
+
+var _ stream.Snapshotter = (*Algorithm)(nil)

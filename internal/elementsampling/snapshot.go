@@ -1,0 +1,161 @@
+package elementsampling
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/snap"
+)
+
+// snapVersion is the SCSTATE1 layout version of this package's snapshots.
+const snapVersion = 1
+
+// Snapshot implements stream.Snapshotter. The map-backed sketches (the set
+// projections and D0) are written with sorted keys, so the encoding is
+// deterministic even though map iteration order is not; projection element
+// lists keep their arrival order, which greedy tie-breaking depends on.
+func (a *Algorithm) Snapshot(wr io.Writer) error {
+	w := snap.NewWriter(wr, "es", snapVersion)
+	w.Int(a.n)
+	w.Int(a.m)
+	w.F64(a.alpha)
+	w.I64(a.pos)
+	a.rng.Save(w)
+	w.Bools(a.sampled)
+
+	projIDs := make([]setcover.SetID, 0, len(a.proj))
+	for s := range a.proj {
+		projIDs = append(projIDs, s)
+	}
+	slices.Sort(projIDs)
+	w.U64(uint64(len(projIDs)))
+	for _, s := range projIDs {
+		w.I64(int64(s))
+		elems := a.proj[s]
+		w.U64(uint64(len(elems)))
+		for _, u := range elems {
+			w.I64(int64(u))
+		}
+	}
+
+	w.U64(uint64(len(a.inc)))
+	for _, sets := range a.inc {
+		snap.SaveSetIDs(w, sets)
+	}
+
+	d0IDs := make([]setcover.SetID, 0, len(a.d0))
+	for s := range a.d0 {
+		d0IDs = append(d0IDs, s)
+	}
+	slices.Sort(d0IDs)
+	snap.SaveSetIDs(w, d0IDs)
+
+	snap.SaveSetIDs(w, a.first)
+	w.Int(a.patched)
+	snap.SaveTracked(w, &a.Tracked)
+	return w.Close()
+}
+
+// Restore implements stream.Snapshotter. The receiver must be a freshly
+// constructed instance with the same (n, m, alpha); a failed restore leaves
+// it in an unspecified state that must be discarded.
+func (a *Algorithm) Restore(rd io.Reader) error {
+	r, err := snap.NewReader(rd, "es")
+	if err != nil {
+		return err
+	}
+	if v := r.Version(); v != snapVersion {
+		return fmt.Errorf("%w: es snapshot v%d", snap.ErrVersion, v)
+	}
+	n, m := r.Int(), r.Int()
+	alpha := r.F64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != a.n || m != a.m || alpha != a.alpha {
+		return fmt.Errorf("%w: snapshot shape n=%d m=%d alpha=%g, receiver has n=%d m=%d alpha=%g",
+			snap.ErrMismatch, n, m, alpha, a.n, a.m, a.alpha)
+	}
+	a.pos = r.I64()
+	a.rng.Load(r)
+	r.BoolsInto(a.sampled)
+
+	nProj := r.Len()
+	proj := make(map[setcover.SetID][]setcover.Element, nProj)
+	for i := 0; i < nProj; i++ {
+		s := r.I32()
+		ne := r.Len()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if s < 0 || int(s) >= a.m {
+			return fmt.Errorf("%w: projection set %d out of range [0,%d)", snap.ErrCorrupt, s, a.m)
+		}
+		elems := make([]setcover.Element, ne)
+		for j := range elems {
+			u := r.I32()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if u < 0 || int(u) >= a.n {
+				return fmt.Errorf("%w: projection element %d out of range [0,%d)", snap.ErrCorrupt, u, a.n)
+			}
+			elems[j] = setcover.Element(u)
+		}
+		proj[setcover.SetID(s)] = elems
+	}
+
+	nInc := r.Len()
+	if r.Err() == nil && nInc != len(a.inc) {
+		return fmt.Errorf("%w: %d incidence lists, receiver holds %d", snap.ErrMismatch, nInc, len(a.inc))
+	}
+	inc := make([][]setcover.SetID, len(a.inc))
+	for u := range inc {
+		k := r.Len()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if k > a.k {
+			return fmt.Errorf("%w: incidence list of %d exceeds cap %d", snap.ErrCorrupt, k, a.k)
+		}
+		if k == 0 {
+			continue
+		}
+		sets := make([]setcover.SetID, k)
+		for j := range sets {
+			s := r.I32()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if s < 0 || int(s) >= a.m {
+				return fmt.Errorf("%w: incident set %d out of range [0,%d)", snap.ErrCorrupt, s, a.m)
+			}
+			sets[j] = setcover.SetID(s)
+		}
+		inc[u] = sets
+	}
+
+	nD0 := r.Len()
+	d0 := make(map[setcover.SetID]struct{}, nD0)
+	for i := 0; i < nD0; i++ {
+		s := r.I32()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if s < 0 || int(s) >= a.m {
+			return fmt.Errorf("%w: D0 set %d out of range [0,%d)", snap.ErrCorrupt, s, a.m)
+		}
+		d0[setcover.SetID(s)] = struct{}{}
+	}
+
+	snap.LoadSetIDsInto(r, a.first, a.m)
+	a.patched = r.Int()
+	snap.LoadTracked(r, &a.Tracked)
+	if err := r.Close(); err != nil {
+		return err
+	}
+	a.proj, a.inc, a.d0 = proj, inc, d0
+	return nil
+}

@@ -1,0 +1,93 @@
+package elementsampling
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamcover/internal/snap"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// TestSnapshotResumeEquivalence: the projection sketch, incidence-list cache
+// and D0 sample must all round-trip so that a resumed run finishes with the
+// same cover and space as an uninterrupted one.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	w := workload.Planted(xrand.New(41), 120, 600, 8, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(3))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	const alpha = 5
+
+	ref := New(n, m, alpha, xrand.New(42))
+	refRes := stream.RunEdges(ref, edges)
+
+	for _, cut := range []int{0, len(edges) / 4, len(edges) / 2, len(edges)} {
+		a := New(n, m, alpha, xrand.New(42))
+		for _, e := range edges[:cut] {
+			a.Process(e)
+		}
+		var buf bytes.Buffer
+		if err := a.Snapshot(&buf); err != nil {
+			t.Fatalf("cut=%d: Snapshot: %v", cut, err)
+		}
+		b := New(n, m, alpha, xrand.New(4242))
+		if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("cut=%d: Restore: %v", cut, err)
+		}
+		for _, e := range edges[cut:] {
+			b.Process(e)
+		}
+		got := b.Finish()
+		if !refRes.Cover.Equal(got) {
+			t.Fatalf("cut=%d: resumed cover differs from uninterrupted run", cut)
+		}
+		if gs := b.Space(); gs != refRes.Space {
+			t.Fatalf("cut=%d: space %+v, want %+v", cut, gs, refRes.Space)
+		}
+	}
+}
+
+func TestRestoreLeavesReceiverIntactOnCorruptInput(t *testing.T) {
+	// A failed restore must not have half-replaced the receiver's sketches:
+	// proj/inc/d0 are committed only after the checksum verifies.
+	w := workload.Planted(xrand.New(43), 80, 400, 6, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(5))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+
+	a := New(n, m, 4, xrand.New(9))
+	for _, e := range edges[:len(edges)/2] {
+		a.Process(e)
+	}
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	flipped := bytes.Clone(raw)
+	flipped[len(flipped)-2] ^= 0x01 // trailer corruption: fails at Close
+
+	b := New(n, m, 4, xrand.New(10))
+	before := len(b.proj)
+	if err := b.Restore(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("corrupt snapshot restored without error")
+	}
+	if len(b.proj) != before {
+		t.Fatal("failed restore replaced the receiver's projection sketch")
+	}
+}
+
+func TestRestoreRejectsWrongAlpha(t *testing.T) {
+	a := New(30, 60, 3, xrand.New(1))
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(30, 60, 4, xrand.New(2))
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snap.ErrMismatch) {
+		t.Fatalf("want ErrMismatch, got %v", err)
+	}
+}
+
+var _ stream.Snapshotter = (*Algorithm)(nil)

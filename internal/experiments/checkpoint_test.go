@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCellWithResumeCheck drives the Table-1 regime experiment with
+// in-memory checkpointing plus the resume check: every snapshottable rep is
+// checkpointed, restored into a fresh instance and replayed, and runCell
+// panics on any divergence — so a clean pass is the assertion.
+func TestRunCellWithResumeCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint+resume doubles every rep")
+	}
+	cfg := Quick()
+	cfg.Reps = 2
+	cfg.CheckpointEvery = 5000
+	cfg.ResumeCheck = true
+
+	e, ok := Find("E-T1-R1")
+	if !ok {
+		t.Fatal("E-T1-R1 not registered")
+	}
+	rep := e.Run(cfg)
+	if rep == nil || rep.Table == nil {
+		t.Fatal("no report")
+	}
+	if !strings.Contains(rep.Table.String(), "alpha") {
+		t.Fatalf("unexpected table:\n%s", rep.Table.String())
+	}
+}

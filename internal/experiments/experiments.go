@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -40,6 +41,14 @@ type Config struct {
 	// N is the universe size of the main planted workloads; M the base
 	// family size; OPT the planted optimum.
 	N, M, OPT int
+	// CheckpointEvery > 0 drives every snapshottable run through the
+	// checkpointing driver with an in-memory sink at that interval, so the
+	// experiments double as a checkpoint-overhead and correctness harness.
+	CheckpointEvery int
+	// ResumeCheck additionally restores the last checkpoint of each run into
+	// a fresh instance, replays the suffix, and panics if the resumed cover
+	// differs from the uninterrupted one. Requires CheckpointEvery > 0.
+	ResumeCheck bool
 }
 
 // Quick returns a configuration sized for unit tests and smoke runs
@@ -139,7 +148,13 @@ func runCell(cfg Config, w workload.Workload, order stream.Order, mk maker, salt
 			rng := xrand.New(cfg.Seed ^ salt ^ (uint64(rep) * 0x9e37_79b9_7f4a_7c15))
 			edges := stream.Arrange(w.Inst, order, rng.Split())
 			alg := mk(w, len(edges), rng.Split())
-			res := stream.RunEdges(alg, edges)
+			res, err := runMaybeCheckpointed(cfg, alg, edges, func() stream.Algorithm {
+				return mk(w, len(edges), rng.Split())
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("experiments: %s/%v: %v", w.Name, order, err)
+				return
+			}
 			if err := res.Cover.Verify(w.Inst); err != nil {
 				errCh <- fmt.Errorf("experiments: invalid cover from %s/%v: %v", w.Name, order, err)
 				return
@@ -161,6 +176,47 @@ func runCell(cfg Config, w workload.Workload, order stream.Order, mk maker, salt
 		Aux:       stats.Summarize(auxes),
 		Ratio:     stats.Summarize(ratios),
 	}
+}
+
+// runMaybeCheckpointed drives one rep. With cfg.CheckpointEvery set and a
+// snapshottable algorithm it checkpoints into an in-memory sink; with
+// cfg.ResumeCheck it then restores the last checkpoint into a fresh instance
+// (from mkFresh), replays the suffix, and fails unless the resumed cover is
+// identical. Non-snapshottable algorithms fall back to the plain driver.
+func runMaybeCheckpointed(cfg Config, alg stream.Algorithm, edges []stream.Edge, mkFresh func() stream.Algorithm) (stream.Result, error) {
+	if cfg.CheckpointEvery <= 0 {
+		return stream.RunEdges(alg, edges), nil
+	}
+	if _, ok := alg.(stream.Snapshotter); !ok {
+		return stream.RunEdges(alg, edges), nil
+	}
+	var last []byte
+	p := stream.CheckpointPolicy{Every: cfg.CheckpointEvery, Sink: func(pos int, ck []byte) error {
+		last = append(last[:0], ck...)
+		return nil
+	}}
+	res, err := stream.RunCheckpointed(alg, stream.NewSlice(edges), p)
+	if err != nil {
+		return res, fmt.Errorf("checkpointed run: %w", err)
+	}
+	if cfg.ResumeCheck && last != nil {
+		fresh := mkFresh()
+		from, err := stream.ReadCheckpoint(bytes.NewReader(last), fresh)
+		if err != nil {
+			return res, fmt.Errorf("resume check: restore: %w", err)
+		}
+		resumed, err := stream.RunCheckpointedFrom(fresh, stream.NewSlice(edges), stream.CheckpointPolicy{}, from)
+		if err != nil {
+			return res, fmt.Errorf("resume check: replay from %d: %w", from, err)
+		}
+		if !res.Cover.Equal(resumed.Cover) {
+			return res, fmt.Errorf("resume check: cover diverged after restore at edge %d", from)
+		}
+		if res.Space != resumed.Space {
+			return res, fmt.Errorf("resume check: space diverged after restore at edge %d: %v vs %v", from, res.Space, resumed.Space)
+		}
+	}
+	return res, nil
 }
 
 // greedyRef computes the greedy reference cover size for a workload.

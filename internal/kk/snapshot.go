@@ -1,0 +1,73 @@
+package kk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"streamcover/internal/snap"
+)
+
+// snapVersion is the SCSTATE1 layout version of this package's snapshots.
+const snapVersion = 1
+
+// Snapshot implements stream.Snapshotter: the complete mid-stream state —
+// generator, degree counters, sampled solution, coverage bookkeeping and
+// space meters — so a restored run finishes bit-identically. Valid only
+// before Finish (Finish releases the working arrays to the pool).
+func (a *Algorithm) Snapshot(wr io.Writer) error {
+	if a.finished {
+		return errors.New("kk: Snapshot after Finish")
+	}
+	w := snap.NewWriter(wr, "kk", snapVersion)
+	w.Int(a.n)
+	w.Int(a.m)
+	w.I64(a.pos)
+	a.rng.Save(w)
+	w.I32s(a.deg)
+	a.sol.Save(w)
+	w.Int(a.solCount)
+	w.Bools(a.covered)
+	w.Int(a.coveredCount)
+	snap.SaveSetIDs(w, a.first)
+	snap.SaveSetIDs(w, a.cert)
+	w.Int(a.patched)
+	snap.SaveTracked(w, &a.Tracked)
+	return w.Close()
+}
+
+// Restore implements stream.Snapshotter. The receiver must be a freshly
+// constructed instance with the same (n, m); a failed restore leaves it in
+// an unspecified state that must be discarded.
+func (a *Algorithm) Restore(rd io.Reader) error {
+	if a.finished {
+		return errors.New("kk: Restore after Finish")
+	}
+	r, err := snap.NewReader(rd, "kk")
+	if err != nil {
+		return err
+	}
+	if v := r.Version(); v != snapVersion {
+		return fmt.Errorf("%w: kk snapshot v%d", snap.ErrVersion, v)
+	}
+	n, m := r.Int(), r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != a.n || m != a.m {
+		return fmt.Errorf("%w: snapshot shape n=%d m=%d, receiver has n=%d m=%d",
+			snap.ErrMismatch, n, m, a.n, a.m)
+	}
+	a.pos = r.I64()
+	a.rng.Load(r)
+	r.I32sInto(a.deg)
+	a.sol.Load(r)
+	a.solCount = r.Int()
+	r.BoolsInto(a.covered)
+	a.coveredCount = r.Int()
+	snap.LoadSetIDsInto(r, a.first, a.m)
+	snap.LoadSetIDsInto(r, a.cert, a.m)
+	a.patched = r.Int()
+	snap.LoadTracked(r, &a.Tracked)
+	return r.Close()
+}

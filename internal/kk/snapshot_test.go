@@ -1,0 +1,88 @@
+package kk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamcover/internal/snap"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// TestSnapshotResumeEquivalence is the package's resume contract: snapshot
+// mid-stream, restore into a fresh (differently seeded) instance, finish the
+// stream, and the cover, certificate and space report must be byte-identical
+// to the uninterrupted run.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	w := workload.Planted(xrand.New(11), 200, 1500, 12, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(5))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+
+	ref := New(n, m, xrand.New(42))
+	refRes := stream.RunEdges(ref, edges)
+
+	for _, cut := range []int{0, 1, len(edges) / 3, len(edges) / 2, len(edges) - 1, len(edges)} {
+		a := New(n, m, xrand.New(42))
+		a.ProcessBatch(edges[:cut])
+		var buf bytes.Buffer
+		if err := a.Snapshot(&buf); err != nil {
+			t.Fatalf("cut=%d: Snapshot: %v", cut, err)
+		}
+		b := New(n, m, xrand.New(999)) // seed must not matter after Restore
+		if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("cut=%d: Restore: %v", cut, err)
+		}
+		b.ProcessBatch(edges[cut:])
+		got := b.Finish()
+		if !refRes.Cover.Equal(got) {
+			t.Fatalf("cut=%d: resumed cover differs from uninterrupted run", cut)
+		}
+		if gs := b.Space(); gs != refRes.Space {
+			t.Fatalf("cut=%d: space %+v, want %+v", cut, gs, refRes.Space)
+		}
+	}
+}
+
+func TestRestoreRejectsWrongShape(t *testing.T) {
+	a := New(50, 100, xrand.New(1))
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(50, 101, xrand.New(1))
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snap.ErrMismatch) {
+		t.Fatalf("want ErrMismatch, got %v", err)
+	}
+}
+
+func TestSnapshotAfterFinishFails(t *testing.T) {
+	a := New(10, 10, xrand.New(1))
+	a.Finish()
+	if err := a.Snapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("Snapshot after Finish must fail (scratch is back in the pool)")
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshot(t *testing.T) {
+	w := workload.Planted(xrand.New(3), 60, 300, 6, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(4))
+	a := New(60, 300, xrand.New(7))
+	a.ProcessBatch(edges[:len(edges)/2])
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	flipped := bytes.Clone(raw)
+	flipped[len(flipped)/2] ^= 0x10
+	b := New(60, 300, xrand.New(8))
+	if err := b.Restore(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("corrupt snapshot restored without error")
+	}
+}
+
+var _ stream.Snapshotter = (*Algorithm)(nil)
+var _ space.Reporter = (*Algorithm)(nil)

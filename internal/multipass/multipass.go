@@ -13,6 +13,13 @@
 // their edges arrive in later passes. Larger budgets mean denser samples,
 // fewer rounds and better covers at more space — exactly the passes/space
 // trade-off of the multi-pass literature ([6], [10], [1], [15]).
+//
+// The run is factored into an explicit state machine (Algorithm with
+// BeginPass/ProcessEdge/EndPass/Finish) so that a multi-pass run can be
+// snapshotted between — or in the middle of — passes and resumed later; Run
+// drives the state machine over a replayable stream and is behaviorally
+// identical to the original closed-loop implementation, coin flip for coin
+// flip.
 package multipass
 
 import (
@@ -51,139 +58,229 @@ type Options struct {
 	MaxPasses int
 }
 
+// maxPassCap is the hard safety cap on passes.
+const maxPassCap = 64
+
+// Algorithm is the multi-pass state machine. Create with New; for each pass
+// call BeginPass (false means the run is complete), feed every edge of the
+// stream to ProcessEdge, and call EndPass; Finish assembles the result.
+type Algorithm struct {
+	space.Tracked
+
+	n, m      int
+	opt       Options
+	maxPasses int
+	rng       *xrand.Rand
+	sink      *obs.Sink
+
+	pos int64 // cumulative edges observed across passes
+
+	covered   []bool
+	backup    []setcover.SetID
+	cert      []setcover.SetID
+	sampled   []bool
+	solSet    map[setcover.SetID]struct{}
+	sol       []setcover.SetID
+	uncovered int
+
+	// Per-pass sketch, live between BeginPass and EndPass.
+	inPass       bool
+	proj         map[setcover.SetID][]setcover.Element
+	projWords    int64
+	sawUncovered bool
+	nSampled     int
+
+	res      Result
+	done     bool // no further passes will run
+	finished bool
+}
+
+// New returns a multi-pass state machine for an instance with n elements
+// and m sets, drawing sampling coins from rng.
+func New(n, m int, opt Options, rng *xrand.Rand) (*Algorithm, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("multipass: need n > 0 and m > 0")
+	}
+	if opt.SampleBudget < 1 {
+		return nil, fmt.Errorf("multipass: SampleBudget must be ≥ 1, got %d", opt.SampleBudget)
+	}
+	maxPasses := opt.MaxPasses
+	if maxPasses <= 0 || maxPasses > maxPassCap {
+		maxPasses = maxPassCap
+	}
+	a := &Algorithm{
+		n:         n,
+		m:         m,
+		opt:       opt,
+		maxPasses: maxPasses,
+		rng:       rng,
+		sink:      obs.SinkFor(obs.AlgoMultipass),
+		covered:   make([]bool, n),
+		backup:    make([]setcover.SetID, n),
+		cert:      make([]setcover.SetID, n),
+		sampled:   make([]bool, n),
+		solSet:    make(map[setcover.SetID]struct{}),
+		uncovered: n,
+	}
+	for u := range a.backup {
+		a.backup[u] = setcover.NoSet
+		a.cert[u] = setcover.NoSet
+	}
+	a.AuxMeter.Add(4 * int64(n)) // covered, backup, certificate, sample flags
+	return a, nil
+}
+
+// BeginPass starts the next round: it draws the round's element sample and
+// opens a fresh projection sketch. It returns false — drawing no coins —
+// when the run is complete (everything covered, a pass saw no uncovered
+// edge, or the pass cap is exhausted).
+func (a *Algorithm) BeginPass() bool {
+	if a.done || a.finished || a.inPass || a.res.Passes >= a.maxPasses || a.uncovered <= 0 {
+		return false
+	}
+	a.res.Passes++
+
+	// Round sample: every uncovered element independently with probability
+	// B/|U|. (covered[] may lag behind the true coverage of sol — that only
+	// makes the sample denser than needed.)
+	p := 1.0
+	if a.uncovered > a.opt.SampleBudget {
+		p = float64(a.opt.SampleBudget) / float64(a.uncovered)
+	}
+	a.nSampled = 0
+	coins := int64(0)
+	for u := 0; u < a.n; u++ {
+		if !a.covered[u] {
+			coins++
+		}
+		a.sampled[u] = !a.covered[u] && a.rng.Coin(p)
+		if a.sampled[u] {
+			a.nSampled++
+		}
+	}
+	a.res.Sampled = append(a.res.Sampled, a.nSampled)
+	// Per-element sample coins are high-volume: aggregate, don't ring.
+	a.sink.Count(obs.KindSampleKeep, int64(a.nSampled))
+	a.sink.Count(obs.KindSampleDrop, coins-int64(a.nSampled))
+
+	a.proj = make(map[setcover.SetID][]setcover.Element)
+	a.projWords = 0
+	a.sawUncovered = false
+	a.inPass = true
+	return true
+}
+
+// ProcessEdge observes one edge of the current pass.
+func (a *Algorithm) ProcessEdge(e stream.Edge) error {
+	if !a.inPass {
+		return fmt.Errorf("multipass: ProcessEdge outside a pass")
+	}
+	a.pos++
+	u, set := e.Elem, e.Set
+	if u < 0 || int(u) >= a.n || set < 0 || int(set) >= a.m {
+		return fmt.Errorf("multipass: edge %v out of range", e)
+	}
+	if a.backup[u] == setcover.NoSet {
+		a.backup[u] = set
+	}
+	if _, in := a.solSet[set]; in {
+		if a.cert[u] == setcover.NoSet {
+			a.cert[u] = set
+			if !a.covered[u] {
+				a.covered[u] = true
+				a.uncovered--
+			}
+		}
+		return nil
+	}
+	if a.covered[u] {
+		return nil
+	}
+	a.sawUncovered = true
+	if !a.sampled[u] {
+		return nil
+	}
+	if _, seen := a.proj[set]; !seen {
+		a.projWords += space.MapEntryWords
+		a.StateMeter.Add(space.MapEntryWords)
+	}
+	a.proj[set] = append(a.proj[set], u)
+	a.projWords += space.SliceElemWords
+	a.StateMeter.Add(space.SliceElemWords)
+	return nil
+}
+
+// EndPass closes the current round: if the pass saw an uncovered edge, the
+// round's sampled elements are covered offline by greedy and the chosen
+// sets committed; otherwise the run is complete. Either way the round's
+// sketch is released.
+func (a *Algorithm) EndPass() {
+	if !a.inPass {
+		return
+	}
+	a.inPass = false
+	if !a.sawUncovered {
+		a.StateMeter.Sub(a.projWords)
+		a.proj, a.projWords = nil, 0
+		a.done = true
+		return
+	}
+	added := coverSample(a.sink, a.pos, a.proj, a.covered, a.cert, a.solSet, &a.sol, &a.uncovered)
+	a.res.Added = append(a.res.Added, added)
+	a.StateMeter.Sub(a.projWords)
+	a.sink.Emit(obs.KindEpoch, a.pos, int64(a.res.Passes), int64(added), int64(a.nSampled))
+	a.proj, a.projWords = nil, 0
+}
+
+// Finish patches every element that never got a certificate (possible when
+// MaxPasses ran out, or when a chosen set's remaining edges never
+// re-appeared after the final pass) and assembles the result. Call it once,
+// after BeginPass has returned false.
+func (a *Algorithm) Finish() Result {
+	if a.finished {
+		panic("multipass: Finish called twice")
+	}
+	a.finished = true
+	for u := 0; u < a.n; u++ {
+		if a.cert[u] == setcover.NoSet && a.backup[u] != setcover.NoSet {
+			a.cert[u] = a.backup[u]
+			a.sol = append(a.sol, a.backup[u])
+			a.res.Patched++
+		}
+	}
+	a.sink.Count(obs.KindPatch, int64(a.res.Patched))
+	a.res.Cover = setcover.NewCover(a.sol, a.cert)
+	a.res.Space = a.Space()
+	return a.res
+}
+
+// Passes returns how many passes have started so far.
+func (a *Algorithm) Passes() int { return a.res.Passes }
+
+// Uncovered returns the current uncovered-element count.
+func (a *Algorithm) Uncovered() int { return a.uncovered }
+
 // Run executes the multi-pass algorithm over a replayable stream of an
 // instance with n elements and m sets, drawing sampling coins from rng.
 func Run(n, m int, s stream.Stream, opt Options, rng *xrand.Rand) (Result, error) {
-	if n <= 0 || m <= 0 {
-		return Result{}, fmt.Errorf("multipass: need n > 0 and m > 0")
+	a, err := New(n, m, opt, rng)
+	if err != nil {
+		return Result{}, err
 	}
-	if opt.SampleBudget < 1 {
-		return Result{}, fmt.Errorf("multipass: SampleBudget must be ≥ 1, got %d", opt.SampleBudget)
-	}
-	maxPasses := opt.MaxPasses
-	if maxPasses <= 0 || maxPasses > 64 {
-		maxPasses = 64
-	}
-
-	var tracked space.Tracked
-	tracked.AuxMeter.Add(4 * int64(n)) // covered, backup, certificate, sample flags
-
-	sink := obs.SinkFor(obs.AlgoMultipass)
-	pos := int64(0) // cumulative edges observed across passes
-
-	covered := make([]bool, n)
-	backup := make([]setcover.SetID, n)
-	cert := make([]setcover.SetID, n)
-	sampled := make([]bool, n)
-	for u := range backup {
-		backup[u] = setcover.NoSet
-		cert[u] = setcover.NoSet
-	}
-	solSet := make(map[setcover.SetID]struct{})
-	var sol []setcover.SetID
-	res := Result{}
-	uncovered := n
-
-	for pass := 0; pass < maxPasses && uncovered > 0; pass++ {
-		res.Passes++
-
-		// Round sample: every uncovered element independently with
-		// probability B/|U|. (covered[] may lag behind the true coverage of
-		// sol — that only makes the sample denser than needed.)
-		p := 1.0
-		if uncovered > opt.SampleBudget {
-			p = float64(opt.SampleBudget) / float64(uncovered)
-		}
-		nSampled := 0
-		coins := int64(0)
-		for u := 0; u < n; u++ {
-			if !covered[u] {
-				coins++
-			}
-			sampled[u] = !covered[u] && rng.Coin(p)
-			if sampled[u] {
-				nSampled++
-			}
-		}
-		res.Sampled = append(res.Sampled, nSampled)
-		// Per-element sample coins are high-volume: aggregate, don't ring.
-		sink.Count(obs.KindSampleKeep, int64(nSampled))
-		sink.Count(obs.KindSampleDrop, coins-int64(nSampled))
-
-		proj := make(map[setcover.SetID][]setcover.Element)
-		projWords := int64(0)
-		sawUncovered := false
-
+	for a.BeginPass() {
 		s.Reset()
 		for {
 			e, ok := s.Next()
 			if !ok {
 				break
 			}
-			pos++
-			u, set := e.Elem, e.Set
-			if u < 0 || int(u) >= n || set < 0 || int(set) >= m {
-				return Result{}, fmt.Errorf("multipass: edge %v out of range", e)
+			if err := a.ProcessEdge(e); err != nil {
+				return Result{}, err
 			}
-			if backup[u] == setcover.NoSet {
-				backup[u] = set
-			}
-			if _, in := solSet[set]; in {
-				if cert[u] == setcover.NoSet {
-					cert[u] = set
-					if !covered[u] {
-						covered[u] = true
-						uncovered--
-					}
-				}
-				continue
-			}
-			if covered[u] {
-				continue
-			}
-			sawUncovered = true
-			if !sampled[u] {
-				continue
-			}
-			if _, seen := proj[set]; !seen {
-				projWords += space.MapEntryWords
-				tracked.StateMeter.Add(space.MapEntryWords)
-			}
-			proj[set] = append(proj[set], u)
-			projWords += space.SliceElemWords
-			tracked.StateMeter.Add(space.SliceElemWords)
 		}
-
-		if !sawUncovered {
-			tracked.StateMeter.Sub(projWords)
-			break
-		}
-
-		added := coverSample(sink, pos, proj, covered, cert, solSet, &sol, &uncovered)
-		res.Added = append(res.Added, added)
-		tracked.StateMeter.Sub(projWords)
-		sink.Emit(obs.KindEpoch, pos, int64(res.Passes), int64(added), int64(nSampled))
-		if added == 0 && nSampled == 0 {
-			// Nothing uncovered was sampled (can happen when covered[] lags
-			// sol's true coverage); the next pass's sol-hits will prune.
-			continue
-		}
+		a.EndPass()
 	}
-
-	// Patch whatever never got a certificate (possible when MaxPasses ran
-	// out, or when a chosen set's remaining edges never re-appeared after
-	// the final pass).
-	for u := 0; u < n; u++ {
-		if cert[u] == setcover.NoSet && backup[u] != setcover.NoSet {
-			cert[u] = backup[u]
-			sol = append(sol, backup[u])
-			res.Patched++
-		}
-	}
-	sink.Count(obs.KindPatch, int64(res.Patched))
-	res.Cover = setcover.NewCover(sol, cert)
-	res.Space = tracked.Space()
-	return res, nil
+	return a.Finish(), nil
 }
 
 // coverSample greedily covers every projected (sampled, uncovered) element

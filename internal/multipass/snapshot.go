@@ -1,0 +1,168 @@
+package multipass
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/snap"
+)
+
+// snapVersion is the SCSTATE1 layout version of this package's snapshots.
+const snapVersion = 1
+
+// Snapshot implements stream.Snapshotter for the multi-pass state machine.
+// It is valid between passes and in the middle of one (the live projection
+// sketch is included, with sorted keys for a deterministic encoding). Valid
+// only before Finish.
+func (a *Algorithm) Snapshot(wr io.Writer) error {
+	if a.finished {
+		return errors.New("multipass: Snapshot after Finish")
+	}
+	w := snap.NewWriter(wr, "multipass", snapVersion)
+	w.Int(a.n)
+	w.Int(a.m)
+	w.Int(a.opt.SampleBudget)
+	w.Int(a.opt.MaxPasses)
+	a.rng.Save(w)
+	w.I64(a.pos)
+	w.Bools(a.covered)
+	snap.SaveSetIDs(w, a.backup)
+	snap.SaveSetIDs(w, a.cert)
+	w.Bools(a.sampled)
+	snap.SaveSetIDs(w, a.sol)
+	w.Int(a.uncovered)
+	w.Bool(a.inPass)
+	w.Bool(a.sawUncovered)
+	w.Int(a.nSampled)
+	w.I64(a.projWords)
+
+	projIDs := make([]setcover.SetID, 0, len(a.proj))
+	for s := range a.proj {
+		projIDs = append(projIDs, s)
+	}
+	slices.Sort(projIDs)
+	w.U64(uint64(len(projIDs)))
+	for _, s := range projIDs {
+		w.I64(int64(s))
+		elems := a.proj[s]
+		w.U64(uint64(len(elems)))
+		for _, u := range elems {
+			w.I64(int64(u))
+		}
+	}
+
+	w.Int(a.res.Passes)
+	w.Ints(a.res.Added)
+	w.Ints(a.res.Sampled)
+	w.Int(a.res.Patched)
+	w.Bool(a.done)
+	snap.SaveTracked(w, &a.Tracked)
+	return w.Close()
+}
+
+// Restore implements stream.Snapshotter. The receiver must be a freshly
+// constructed instance with the same (n, m, Options); a failed restore
+// leaves it in an unspecified state that must be discarded.
+func (a *Algorithm) Restore(rd io.Reader) error {
+	if a.finished {
+		return errors.New("multipass: Restore after Finish")
+	}
+	r, err := snap.NewReader(rd, "multipass")
+	if err != nil {
+		return err
+	}
+	if v := r.Version(); v != snapVersion {
+		return fmt.Errorf("%w: multipass snapshot v%d", snap.ErrVersion, v)
+	}
+	n, m := r.Int(), r.Int()
+	budget, maxP := r.Int(), r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != a.n || m != a.m || budget != a.opt.SampleBudget || maxP != a.opt.MaxPasses {
+		return fmt.Errorf("%w: snapshot shape n=%d m=%d B=%d p=%d, receiver has n=%d m=%d B=%d p=%d",
+			snap.ErrMismatch, n, m, budget, maxP, a.n, a.m, a.opt.SampleBudget, a.opt.MaxPasses)
+	}
+	a.rng.Load(r)
+	a.pos = r.I64()
+	r.BoolsInto(a.covered)
+	snap.LoadSetIDsInto(r, a.backup, a.m)
+	snap.LoadSetIDsInto(r, a.cert, a.m)
+	r.BoolsInto(a.sampled)
+	a.sol = loadSol(r, a.m)
+	a.uncovered = r.Int()
+	a.inPass = r.Bool()
+	a.sawUncovered = r.Bool()
+	a.nSampled = r.Int()
+	a.projWords = r.I64()
+
+	nProj := r.Len()
+	proj := make(map[setcover.SetID][]setcover.Element, nProj)
+	for i := 0; i < nProj; i++ {
+		s := r.I32()
+		ne := r.Len()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if s < 0 || int(s) >= a.m {
+			return fmt.Errorf("%w: projection set %d out of range [0,%d)", snap.ErrCorrupt, s, a.m)
+		}
+		elems := make([]setcover.Element, ne)
+		for j := range elems {
+			u := r.I32()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if u < 0 || int(u) >= a.n {
+				return fmt.Errorf("%w: projection element %d out of range [0,%d)", snap.ErrCorrupt, u, a.n)
+			}
+			elems[j] = setcover.Element(u)
+		}
+		proj[setcover.SetID(s)] = elems
+	}
+
+	a.res.Passes = r.Int()
+	a.res.Added = r.Ints()
+	a.res.Sampled = r.Ints()
+	a.res.Patched = r.Int()
+	a.done = r.Bool()
+	snap.LoadTracked(r, &a.Tracked)
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if a.inPass {
+		a.proj = proj
+	} else {
+		a.proj = nil
+	}
+	solSet := make(map[setcover.SetID]struct{}, len(a.sol))
+	for _, s := range a.sol {
+		solSet[s] = struct{}{}
+	}
+	a.solSet = solSet
+	return nil
+}
+
+// loadSol reads the committed-solution list, range-checking each id.
+func loadSol(r *snap.Reader, m int) []setcover.SetID {
+	n := r.Len()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	sol := make([]setcover.SetID, n)
+	for i := range sol {
+		s := r.I32()
+		if r.Err() != nil {
+			return nil
+		}
+		if s < 0 || int(s) >= m {
+			r.Failf("%w: solution set id %d out of range [0,%d)", snap.ErrCorrupt, s, m)
+			return nil
+		}
+		sol[i] = setcover.SetID(s)
+	}
+	return sol
+}

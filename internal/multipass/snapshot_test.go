@@ -1,0 +1,179 @@
+package multipass
+
+import (
+	"bytes"
+	"errors"
+	"slices"
+	"testing"
+
+	"streamcover/internal/snap"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// driveFrom feeds the state machine from a mid-pass position: the remainder
+// of the interrupted pass (when inPass), then whole passes to completion.
+func driveFrom(t *testing.T, a *Algorithm, edges []stream.Edge, skip int) Result {
+	t.Helper()
+	if a.inPass {
+		for _, e := range edges[skip:] {
+			if err := a.ProcessEdge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.EndPass()
+	}
+	for a.BeginPass() {
+		for _, e := range edges {
+			if err := a.ProcessEdge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.EndPass()
+	}
+	return a.Finish()
+}
+
+// TestSnapshotResumeEquivalence interrupts the run in the middle of a pass
+// (sketch live) and between passes, restores into a fresh machine, and the
+// final result must match the uninterrupted Run in every field.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	w := workload.Planted(xrand.New(61), 150, 700, 10, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(8))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	opt := Options{SampleBudget: 25, MaxPasses: 6}
+
+	want, err := Run(n, m, stream.NewSlice(edges), opt, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cuts := []struct {
+		name    string
+		passes  int // full passes to run before the interrupted one
+		midPass int // edges of the next pass to feed before snapshotting (-1: between passes)
+	}{
+		{"mid-first-pass", 0, len(edges) / 2},
+		{"start-of-pass", 0, 0},
+		{"between-passes", 1, -1},
+		{"mid-second-pass", 1, len(edges) / 3},
+	}
+	for _, c := range cuts {
+		t.Run(c.name, func(t *testing.T) {
+			a, err := New(n, m, opt, xrand.New(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < c.passes; p++ {
+				if !a.BeginPass() {
+					t.Skip("run completed before reaching the cut")
+				}
+				for _, e := range edges {
+					if err := a.ProcessEdge(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+				a.EndPass()
+			}
+			skip := 0
+			if c.midPass >= 0 {
+				if !a.BeginPass() {
+					t.Skip("run completed before reaching the cut")
+				}
+				for _, e := range edges[:c.midPass] {
+					if err := a.ProcessEdge(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+				skip = c.midPass
+			}
+
+			var buf bytes.Buffer
+			if err := a.Snapshot(&buf); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			b, err := New(n, m, opt, xrand.New(7777))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			got := driveFrom(t, b, edges, skip)
+
+			if !want.Cover.Equal(got.Cover) {
+				t.Fatal("resumed cover differs from uninterrupted run")
+			}
+			if got.Passes != want.Passes || got.Patched != want.Patched {
+				t.Fatalf("passes/patched %d/%d, want %d/%d", got.Passes, got.Patched, want.Passes, want.Patched)
+			}
+			if !slices.Equal(got.Added, want.Added) || !slices.Equal(got.Sampled, want.Sampled) {
+				t.Fatalf("per-round stats differ: %v/%v vs %v/%v", got.Added, got.Sampled, want.Added, want.Sampled)
+			}
+			if got.Space != want.Space {
+				t.Fatalf("space %+v, want %+v", got.Space, want.Space)
+			}
+		})
+	}
+}
+
+// TestRunMatchesStateMachine: the Run wrapper and a hand-driven state
+// machine must produce identical results (Run is just a driver).
+func TestRunMatchesStateMachine(t *testing.T) {
+	w := workload.Planted(xrand.New(63), 90, 350, 7, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(2))
+	n, m := w.Inst.UniverseSize(), w.Inst.NumSets()
+	opt := Options{SampleBudget: 15}
+
+	want, err := Run(n, m, stream.NewSlice(edges), opt, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(n, m, opt, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a.BeginPass() {
+		for _, e := range edges {
+			if err := a.ProcessEdge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.EndPass()
+	}
+	got := a.Finish()
+	if !want.Cover.Equal(got.Cover) || got.Passes != want.Passes {
+		t.Fatal("hand-driven state machine diverged from Run")
+	}
+}
+
+func TestProcessEdgeOutsidePassFails(t *testing.T) {
+	a, err := New(10, 10, Options{SampleBudget: 5}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProcessEdge(stream.Edge{Set: 0, Elem: 0}); err == nil {
+		t.Fatal("ProcessEdge outside a pass must fail")
+	}
+}
+
+func TestRestoreRejectsOptionMismatch(t *testing.T) {
+	a, err := New(20, 30, Options{SampleBudget: 5}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(20, 30, Options{SampleBudget: 6}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snap.ErrMismatch) {
+		t.Fatalf("want ErrMismatch, got %v", err)
+	}
+}
+
+var _ stream.Snapshotter = (*Algorithm)(nil)

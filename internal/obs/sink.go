@@ -80,6 +80,10 @@ type RunObs struct {
 	batchNs     *Histogram // streamcover_batch_duration_ns
 	runNs       *Histogram // streamcover_run_duration_ns
 
+	checkpoints   *Counter   // streamcover_checkpoints_total
+	snapshotBytes *Histogram // streamcover_snapshot_bytes
+	checkpointNs  *Histogram // streamcover_checkpoint_duration_ns
+
 	// stateWords[meter][stat]: meter 0=state 1=aux, stat 0=current 1=peak.
 	stateWords [2][2]*Gauge
 }
@@ -102,6 +106,12 @@ func newRunObs(algo AlgoID, reg *Registry) *RunObs {
 			"Wall time per dispatched batch, in nanoseconds.", lAlgo),
 		runNs: reg.Histogram("streamcover_run_duration_ns",
 			"Wall time per completed run, in nanoseconds.", lAlgo),
+		checkpoints: reg.Counter("streamcover_checkpoints_total",
+			"Checkpoints written during streaming runs.", lAlgo),
+		snapshotBytes: reg.Histogram("streamcover_snapshot_bytes",
+			"Serialized size per checkpoint, in bytes.", lAlgo),
+		checkpointNs: reg.Histogram("streamcover_checkpoint_duration_ns",
+			"Wall time per checkpoint (snapshot + write), in nanoseconds.", lAlgo),
 	}
 	meters := [2]string{"state", "aux"}
 	stats := [2]string{"current", "peak"}
@@ -149,6 +159,17 @@ func (ro *RunObs) Covered(n int) {
 		return
 	}
 	ro.covered.Set(int64(n))
+}
+
+// Checkpoint records one written checkpoint: serialized size in bytes and
+// wall time (snapshot + durable write) in nanoseconds.
+func (ro *RunObs) Checkpoint(bytes, ns int64) {
+	if !Enabled || ro == nil {
+		return
+	}
+	ro.checkpoints.Inc()
+	ro.snapshotBytes.Observe(bytes)
+	ro.checkpointNs.Observe(ns)
 }
 
 // RunDone records a completed run of edges total edges taking ns

@@ -1,0 +1,137 @@
+package setarrival
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/snap"
+)
+
+// snapVersion is the SCSTATE1 layout version of this package's snapshots.
+const snapVersion = 1
+
+// The set-arrival baselines carry no generator and no pooled scratch, so
+// their snapshots are the plain bookkeeping arrays. Set ids in a set-arrival
+// stream are not bounded by a stored m, so loads only range-check against
+// the id type's own domain.
+const anySetBound = math.MaxInt32
+
+// Snapshot implements stream.Snapshotter for the one-pass threshold
+// baseline.
+func (t *Threshold) Snapshot(wr io.Writer) error {
+	w := snap.NewWriter(wr, "setarrival", snapVersion)
+	w.Int(t.n)
+	w.Int(t.threshold)
+	w.Bools(t.covered)
+	snap.SaveSetIDs(w, t.backup)
+	snap.SaveSetIDs(w, t.cert)
+	snap.SaveSetIDs(w, t.sol)
+	w.Int(t.patched)
+	w.I64(t.arrived)
+	snap.SaveTracked(w, &t.Tracked)
+	return w.Close()
+}
+
+// Restore implements stream.Snapshotter. The receiver must be a freshly
+// constructed instance with the same n.
+func (t *Threshold) Restore(rd io.Reader) error {
+	r, err := snap.NewReader(rd, "setarrival")
+	if err != nil {
+		return err
+	}
+	if v := r.Version(); v != snapVersion {
+		return fmt.Errorf("%w: setarrival snapshot v%d", snap.ErrVersion, v)
+	}
+	n, thr := r.Int(), r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != t.n || thr != t.threshold {
+		return fmt.Errorf("%w: snapshot shape n=%d threshold=%d, receiver has n=%d threshold=%d",
+			snap.ErrMismatch, n, thr, t.n, t.threshold)
+	}
+	r.BoolsInto(t.covered)
+	snap.LoadSetIDsInto(r, t.backup, anySetBound)
+	snap.LoadSetIDsInto(r, t.cert, anySetBound)
+	t.sol = loadSolution(r)
+	t.patched = r.Int()
+	t.arrived = r.I64()
+	snap.LoadTracked(r, &t.Tracked)
+	return r.Close()
+}
+
+// loadSolution reads a variable-length chosen-set list written with
+// snap.SaveSetIDs, range-checking each id.
+func loadSolution(r *snap.Reader) []setcover.SetID {
+	n := r.Len()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	sol := make([]setcover.SetID, n)
+	for i := range sol {
+		s := r.I32()
+		if r.Err() != nil {
+			return nil
+		}
+		if s < 0 {
+			r.Failf("%w: solution set id %d negative", snap.ErrCorrupt, s)
+			return nil
+		}
+		sol[i] = setcover.SetID(s)
+	}
+	return sol
+}
+
+// Snapshot implements stream.Snapshotter for the p-pass ladder, capturing
+// the pass cursor so a run interrupted between passes resumes in the right
+// rung.
+func (t *MultiPassThreshold) Snapshot(wr io.Writer) error {
+	w := snap.NewWriter(wr, "setarrival-multipass", snapVersion)
+	w.Int(t.n)
+	w.Int(t.passes)
+	w.Ints(t.thresholds)
+	w.Int(t.pass)
+	w.Bools(t.covered)
+	snap.SaveSetIDs(w, t.backup)
+	snap.SaveSetIDs(w, t.cert)
+	snap.SaveSetIDs(w, t.sol)
+	w.Int(t.patched)
+	snap.SaveTracked(w, &t.Tracked)
+	return w.Close()
+}
+
+// Restore implements stream.Snapshotter. The receiver must be a freshly
+// constructed instance with the same (n, p).
+func (t *MultiPassThreshold) Restore(rd io.Reader) error {
+	r, err := snap.NewReader(rd, "setarrival-multipass")
+	if err != nil {
+		return err
+	}
+	if v := r.Version(); v != snapVersion {
+		return fmt.Errorf("%w: setarrival-multipass snapshot v%d", snap.ErrVersion, v)
+	}
+	n, passes := r.Int(), r.Int()
+	thresholds := r.Ints()
+	pass := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != t.n || passes != t.passes || !slices.Equal(thresholds, t.thresholds) {
+		return fmt.Errorf("%w: snapshot shape n=%d p=%d θ=%v, receiver has n=%d p=%d θ=%v",
+			snap.ErrMismatch, n, passes, thresholds, t.n, t.passes, t.thresholds)
+	}
+	if pass < 0 || pass >= passes {
+		return fmt.Errorf("%w: pass %d out of range [0,%d)", snap.ErrCorrupt, pass, passes)
+	}
+	t.pass = pass
+	r.BoolsInto(t.covered)
+	snap.LoadSetIDsInto(r, t.backup, anySetBound)
+	snap.LoadSetIDsInto(r, t.cert, anySetBound)
+	t.sol = loadSolution(r)
+	t.patched = r.Int()
+	snap.LoadTracked(r, &t.Tracked)
+	return r.Close()
+}

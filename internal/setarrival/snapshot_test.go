@@ -1,0 +1,122 @@
+package setarrival
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/snap"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+// sets materialises the instance as (id, elems) pairs, the set-arrival feed.
+func setsOf(w workload.Workload) [][]setcover.Element {
+	m := w.Inst.NumSets()
+	out := make([][]setcover.Element, m)
+	for s := 0; s < m; s++ {
+		out[s] = w.Inst.Set(setcover.SetID(s))
+	}
+	return out
+}
+
+func TestThresholdSnapshotResumeEquivalence(t *testing.T) {
+	w := workload.Planted(xrand.New(51), 100, 400, 8, 0)
+	n := w.Inst.UniverseSize()
+	sets := setsOf(w)
+
+	ref := NewThreshold(n)
+	for id, elems := range sets {
+		ref.ProcessSet(setcover.SetID(id), elems)
+	}
+	want := ref.Finish()
+
+	for _, cut := range []int{0, 1, len(sets) / 2, len(sets)} {
+		a := NewThreshold(n)
+		for id := 0; id < cut; id++ {
+			a.ProcessSet(setcover.SetID(id), sets[id])
+		}
+		var buf bytes.Buffer
+		if err := a.Snapshot(&buf); err != nil {
+			t.Fatalf("cut=%d: Snapshot: %v", cut, err)
+		}
+		b := NewThreshold(n)
+		if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("cut=%d: Restore: %v", cut, err)
+		}
+		for id := cut; id < len(sets); id++ {
+			b.ProcessSet(setcover.SetID(id), sets[id])
+		}
+		if got := b.Finish(); !want.Equal(got) {
+			t.Fatalf("cut=%d: resumed cover differs from uninterrupted run", cut)
+		}
+	}
+}
+
+func TestMultiPassSnapshotResumeEquivalence(t *testing.T) {
+	w := workload.Planted(xrand.New(53), 120, 500, 8, 0)
+	n := w.Inst.UniverseSize()
+	sets := setsOf(w)
+	const p = 3
+
+	run := func(t0 *MultiPassThreshold, startPass, startSet int) *setcover.Cover {
+		for pass := startPass; pass < p; pass++ {
+			from := 0
+			if pass == startPass {
+				from = startSet
+			}
+			for id := from; id < len(sets); id++ {
+				t0.ProcessSet(setcover.SetID(id), sets[id])
+			}
+			if pass < p-1 {
+				if err := t0.NextPass(); err != nil {
+					t.Fatalf("NextPass: %v", err)
+				}
+			}
+		}
+		return t0.Finish()
+	}
+
+	want := run(NewMultiPassThreshold(n, p), 0, 0)
+
+	// Interrupt in the middle of pass 1 (the second rung of the ladder).
+	a := NewMultiPassThreshold(n, p)
+	for id := range sets {
+		a.ProcessSet(setcover.SetID(id), sets[id])
+	}
+	if err := a.NextPass(); err != nil {
+		t.Fatal(err)
+	}
+	mid := len(sets) / 3
+	for id := 0; id < mid; id++ {
+		a.ProcessSet(setcover.SetID(id), sets[id])
+	}
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewMultiPassThreshold(n, p)
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(b, 1, mid); !want.Equal(got) {
+		t.Fatal("resumed multi-pass cover differs from uninterrupted run")
+	}
+}
+
+func TestMultiPassRestoreRejectsPassCountMismatch(t *testing.T) {
+	a := NewMultiPassThreshold(50, 2)
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewMultiPassThreshold(50, 3)
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snap.ErrMismatch) {
+		t.Fatalf("want ErrMismatch, got %v", err)
+	}
+}
+
+var _ stream.Snapshotter = (*Threshold)(nil)
+var _ stream.Snapshotter = (*MultiPassThreshold)(nil)

@@ -31,6 +31,16 @@ func NewCover(sets []SetID, cert []SetID) *Cover {
 // Size returns |T|, the number of chosen sets.
 func (c *Cover) Size() int { return len(c.Sets) }
 
+// Equal reports whether two covers have identical chosen sets AND identical
+// certificates — the exact-output equivalence the resume and golden tests
+// assert, stricter than covering the same elements.
+func (c *Cover) Equal(other *Cover) bool {
+	if c == nil || other == nil {
+		return c == other
+	}
+	return slices.Equal(c.Sets, other.Sets) && slices.Equal(c.Certificate, other.Certificate)
+}
+
 // Has reports whether set s was chosen.
 func (c *Cover) Has(s SetID) bool {
 	_, ok := slices.BinarySearch(c.Sets, s)

@@ -1,0 +1,36 @@
+package snap
+
+import "streamcover/internal/space"
+
+// SaveTracked serializes both space meters of a tracked algorithm: the
+// (cur, peak) checkpoint of the state meter, then of the aux meter.
+func SaveTracked(w *Writer, t *space.Tracked) {
+	cur, peak := t.StateMeter.Checkpoint()
+	w.I64(cur)
+	w.I64(peak)
+	cur, peak = t.AuxMeter.Checkpoint()
+	w.I64(cur)
+	w.I64(peak)
+}
+
+// LoadTracked restores both space meters, validating the pairs before
+// touching the meters (Meter.Restore panics on impossible pairs; corrupt
+// input must surface as an error instead).
+func LoadTracked(r *Reader, t *space.Tracked) {
+	var pairs [2][2]int64
+	for i := range pairs {
+		pairs[i][0] = r.I64()
+		pairs[i][1] = r.I64()
+	}
+	if r.Err() != nil {
+		return
+	}
+	for _, p := range pairs {
+		if p[0] < 0 || p[1] < p[0] {
+			r.Failf("%w: meter checkpoint (cur=%d peak=%d)", ErrCorrupt, p[0], p[1])
+			return
+		}
+	}
+	t.StateMeter.Restore(pairs[0][0], pairs[0][1])
+	t.AuxMeter.Restore(pairs[1][0], pairs[1][1])
+}

@@ -1,0 +1,513 @@
+// Package snap implements the SCSTATE1 serialized-state codec: the versioned,
+// checksummed binary container every streaming algorithm's Snapshot/Restore
+// (stream.Snapshotter) is built on.
+//
+// The format mirrors the SCTRACE1 trace-file discipline (internal/obs): an
+// 8-byte magic, a self-describing header, a varint-encoded payload, and a
+// CRC-32 (IEEE) trailer over everything before it. The header names the
+// algorithm the state belongs to and a per-algorithm version number, so a
+// snapshot restored into the wrong algorithm — or a future incompatible
+// layout — fails loudly with a typed error instead of silently producing a
+// scrambled run.
+//
+// Containers are self-delimiting: Restore reads exactly the bytes Snapshot
+// wrote (the field sequences are mirror images) plus the 4-byte trailer, so
+// containers can be nested (an ensemble snapshot embeds one container per
+// copy) or embedded in an outer envelope (a checkpoint file) without length
+// prefixes.
+//
+// Both Writer and Reader use sticky errors: the first failure latches and
+// every later call is a no-op, so call sites serialize whole structs without
+// per-field error plumbing and check once at Close.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Magic identifies a serialized-state container.
+const Magic = "SCSTATE1"
+
+var (
+	// ErrCorrupt is returned when a snapshot fails its checksum or is
+	// structurally invalid (bad magic, out-of-range field).
+	ErrCorrupt = errors.New("snap: corrupt snapshot")
+	// ErrTruncated is returned when the underlying reader ends before the
+	// container does.
+	ErrTruncated = errors.New("snap: truncated snapshot")
+	// ErrMismatch is returned when a snapshot's algorithm tag or shape does
+	// not match the instance it is being restored into.
+	ErrMismatch = errors.New("snap: snapshot does not match receiver")
+	// ErrVersion is returned when a snapshot's version is not supported by
+	// the running code.
+	ErrVersion = errors.New("snap: unsupported snapshot version")
+)
+
+// maxLen bounds every length prefix read from a container, so corrupt data
+// cannot provoke a pathological allocation before the checksum is verified.
+const maxLen = 1 << 30
+
+// Writer serializes one SCSTATE1 container. Create with NewWriter, write the
+// payload with the typed field methods, and call Close exactly once to emit
+// the checksum trailer.
+type Writer struct {
+	w   io.Writer // the destination NewWriter was given
+	mw  io.Writer // payload writer: destination + CRC
+	crc hash.Hash32
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter starts a container for the given algorithm tag and layout
+// version, writing the magic and header immediately.
+func NewWriter(w io.Writer, algo string, version uint64) *Writer {
+	sw := &Writer{w: w, crc: crc32.NewIEEE()}
+	sw.mw = io.MultiWriter(w, sw.crc)
+	sw.write([]byte(Magic))
+	sw.String(algo)
+	sw.U64(version)
+	return sw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.mw.Write(p)
+}
+
+// Raw returns the checksummed payload writer, for embedding a nested
+// container (its bytes are covered by this container's CRC).
+func (w *Writer) Raw() io.Writer { return w.mw }
+
+// Fail latches err (if the writer has not already failed). Close returns it.
+func (w *Writer) Fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// U64 writes an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// I64 writes a signed (zigzag) varint.
+func (w *Writer) I64(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Int writes an int as a signed varint.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a single byte 0/1.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.write([]byte{b})
+}
+
+// F64 writes a float64 as its IEEE-754 bits, fixed 8 bytes little-endian
+// (bit-exact round trip, including NaN payloads).
+func (w *Writer) F64(v float64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], math.Float64bits(v))
+	w.write(w.buf[:8])
+}
+
+// U64Fixed writes v as fixed 8 bytes little-endian (used for dense bitset
+// words, where varint encoding would bloat high-entropy values).
+func (w *Writer) U64Fixed(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.U64(uint64(len(p)))
+	w.write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// I64s writes a length-prefixed slice of signed varints.
+func (w *Writer) I64s(v []int64) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.I64(x)
+	}
+}
+
+// I32s writes a length-prefixed slice of signed varints.
+func (w *Writer) I32s(v []int32) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.I64(int64(x))
+	}
+}
+
+// Ints writes a length-prefixed slice of signed varints.
+func (w *Writer) Ints(v []int) {
+	w.U64(uint64(len(v)))
+	for _, x := range v {
+		w.I64(int64(x))
+	}
+}
+
+// Bools writes a length-prefixed bit-packed bool slice (8 per byte).
+func (w *Writer) Bools(v []bool) {
+	w.U64(uint64(len(v)))
+	var acc byte
+	for i, b := range v {
+		if b {
+			acc |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			w.write([]byte{acc})
+			acc = 0
+		}
+	}
+	if len(v)&7 != 0 {
+		w.write([]byte{acc})
+	}
+}
+
+// Err returns the writer's sticky error.
+func (w *Writer) Err() error { return w.err }
+
+// Close emits the CRC-32 trailer and returns the first error encountered.
+// The trailer itself is not covered by the checksum (SCTRACE1 discipline).
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], w.crc.Sum32())
+	_, w.err = w.w.Write(trailer[:])
+	return w.err
+}
+
+// Reader deserializes one SCSTATE1 container. Create with NewReader (which
+// consumes and validates the header), read the payload with the typed field
+// methods — mirror images of the Writer's — and call Close exactly once to
+// consume and verify the checksum trailer.
+//
+// Reader never reads past the container's own trailer, so the underlying
+// reader is left positioned exactly after the container.
+type Reader struct {
+	raw  io.Reader // the source NewReader was given
+	tee  io.Reader // payload reader: source teed into the CRC
+	crc  hash.Hash32
+	err  error
+	algo string
+	ver  uint64
+	one  [1]byte
+	buf  [8]byte
+}
+
+// NewReader consumes the magic and header. If algo is non-empty, a container
+// tagged with a different algorithm fails with ErrMismatch; pass "" to accept
+// any tag (inspection tools) and read it back with Algo.
+func NewReader(r io.Reader, algo string) (*Reader, error) {
+	sr := &Reader{raw: r, crc: crc32.NewIEEE()}
+	sr.tee = io.TeeReader(r, sr.crc)
+	var gotMagic [len(Magic)]byte
+	if _, err := io.ReadFull(sr.tee, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrTruncated, err)
+	}
+	if string(gotMagic[:]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
+	}
+	sr.algo = sr.StringV()
+	sr.ver = sr.U64()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if algo != "" && sr.algo != algo {
+		return nil, fmt.Errorf("%w: snapshot is for algorithm %q, restoring into %q", ErrMismatch, sr.algo, algo)
+	}
+	return sr, nil
+}
+
+// Algo returns the container's algorithm tag.
+func (r *Reader) Algo() string { return r.algo }
+
+// Version returns the container's layout version.
+func (r *Reader) Version() uint64 { return r.ver }
+
+// Raw returns the checksummed payload reader, for extracting a nested
+// container (its bytes are covered by this container's CRC).
+func (r *Reader) Raw() io.Reader { return r.tee }
+
+// Fail latches err (if the reader has not already failed).
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Failf latches a formatted error.
+func (r *Reader) Failf(format string, args ...any) {
+	r.Fail(fmt.Errorf(format, args...))
+}
+
+// ReadByte implements io.ByteReader over the checksummed payload.
+func (r *Reader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(r.tee, r.one[:]); err != nil {
+		return 0, err
+	}
+	return r.one[0], nil
+}
+
+func (r *Reader) readErr(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		r.Fail(fmt.Errorf("%w: %v", ErrTruncated, err))
+	} else {
+		r.Fail(err)
+	}
+}
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		r.readErr(err)
+		return 0
+	}
+	return v
+}
+
+// I64 reads a signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r)
+	if err != nil {
+		r.readErr(err)
+		return 0
+	}
+	return v
+}
+
+// Int reads an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// I32 reads an int32, failing if the stored value overflows.
+func (r *Reader) I32() int32 {
+	v := r.I64()
+	if v < -1<<31 || v >= 1<<31 {
+		r.Failf("%w: value %d overflows int32", ErrCorrupt, v)
+		return 0
+	}
+	return int32(v)
+}
+
+// Bool reads a 0/1 byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	b, err := r.ReadByte()
+	if err != nil {
+		r.readErr(err)
+		return false
+	}
+	if b > 1 {
+		r.Failf("%w: bool byte %#x", ErrCorrupt, b)
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads a float64 written by Writer.F64.
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(r.tee, r.buf[:8]); err != nil {
+		r.readErr(err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.buf[:8]))
+}
+
+// U64Fixed reads a fixed 8-byte little-endian value.
+func (r *Reader) U64Fixed() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(r.tee, r.buf[:8]); err != nil {
+		r.readErr(err)
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// Len reads a length prefix, failing if it exceeds the allocation bound.
+func (r *Reader) Len() int {
+	v := r.U64()
+	if v > maxLen {
+		r.Failf("%w: length %d exceeds bound", ErrCorrupt, v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r.tee, p); err != nil {
+		r.readErr(err)
+		return nil
+	}
+	return p
+}
+
+// StringV reads a length-prefixed string.
+func (r *Reader) StringV() string { return string(r.Bytes()) }
+
+// I64s reads a length-prefixed slice of signed varints.
+func (r *Reader) I64s() []int64 {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = r.I64()
+	}
+	return v
+}
+
+// I32s reads a length-prefixed slice of signed varints.
+func (r *Reader) I32s() []int32 {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = r.I32()
+	}
+	return v
+}
+
+// Ints reads a length-prefixed slice of signed varints.
+func (r *Reader) Ints() []int {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = r.Int()
+	}
+	return v
+}
+
+// I32sInto reads a slice written by I32s into dst, failing unless the
+// stored length matches exactly.
+func (r *Reader) I32sInto(dst []int32) {
+	n := r.Len()
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("%w: int32 slice length %d, receiver holds %d", ErrMismatch, n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.I32()
+		if r.err != nil {
+			return
+		}
+	}
+}
+
+// Bools reads a length-prefixed bit-packed bool slice.
+func (r *Reader) Bools() []bool {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]bool, n)
+	var acc byte
+	for i := range v {
+		if i&7 == 0 {
+			b, err := r.ReadByte()
+			if err != nil {
+				r.readErr(err)
+				return nil
+			}
+			acc = b
+		}
+		v[i] = acc&(1<<(uint(i)&7)) != 0
+	}
+	return v
+}
+
+// BoolsInto reads a bit-packed bool slice into dst, failing unless the
+// stored length matches exactly.
+func (r *Reader) BoolsInto(dst []bool) {
+	n := r.Len()
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("%w: bool slice length %d, receiver holds %d", ErrMismatch, n, len(dst))
+		return
+	}
+	var acc byte
+	for i := range dst {
+		if i&7 == 0 {
+			b, err := r.ReadByte()
+			if err != nil {
+				r.readErr(err)
+				return
+			}
+			acc = b
+		}
+		dst[i] = acc&(1<<(uint(i)&7)) != 0
+	}
+}
+
+// Err returns the reader's sticky error.
+func (r *Reader) Err() error { return r.err }
+
+// Close consumes the 4-byte CRC trailer (read from the raw source — the
+// trailer is outside the checksum) and verifies it against the payload.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r.raw, trailer[:]); err != nil {
+		r.readErr(fmt.Errorf("trailer: %w", err))
+		return r.err
+	}
+	if got, want := r.crc.Sum32(), binary.LittleEndian.Uint32(trailer[:]); got != want {
+		r.err = fmt.Errorf("%w: checksum %#x, trailer says %#x", ErrCorrupt, got, want)
+	}
+	return r.err
+}

@@ -60,6 +60,18 @@ func (m *Meter) Checkpoint() (cur, peak int64) { return m.cur, m.peak }
 // Reset zeroes both the current balance and the peak.
 func (m *Meter) Reset() { m.cur, m.peak = 0, 0 }
 
+// Restore overwrites the meter with a previously checkpointed (cur, peak)
+// pair — the inverse of Checkpoint, used when deserializing algorithm state.
+// It panics on a pair that no sequence of Add calls could have produced
+// (cur < 0 or peak < cur), the same loud-failure contract as Add; snapshot
+// decoders validate before calling.
+func (m *Meter) Restore(cur, peak int64) {
+	if cur < 0 || peak < cur {
+		panic(fmt.Sprintf("space: invalid meter restore (cur=%d peak=%d)", cur, peak))
+	}
+	m.cur, m.peak = cur, peak
+}
+
 // String formats the meter as "cur/peak words".
 func (m *Meter) String() string {
 	return fmt.Sprintf("%d/%d words", m.cur, m.peak)

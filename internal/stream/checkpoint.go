@@ -1,0 +1,318 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streamcover/internal/obs"
+	"streamcover/internal/snap"
+)
+
+// A checkpoint wraps an algorithm snapshot together with the stream position
+// it was taken at:
+//
+//	"SCCKPT1\n" | uvarint pos | SCSTATE1 snapshot | CRC-32 (IEEE, LE)
+//
+// The trailing checksum covers everything before it, including the embedded
+// snapshot (whose own internal checksum is thus double-covered), following
+// the same end-to-end integrity discipline as the SCTRACE1 and SCSTATE1
+// formats: a checkpoint either loads completely or fails loudly.
+const ckptMagic = "SCCKPT1\n"
+
+// CheckpointPolicy configures periodic snapshots during a run.
+//
+// A zero policy disables checkpointing. With Every > 0, a snapshot is taken
+// each time the stream position reaches a multiple of Every. Positions are
+// absolute, so a run resumed from a checkpoint lays its subsequent
+// checkpoints at exactly the same stream offsets as an uninterrupted run.
+type CheckpointPolicy struct {
+	// Every is the checkpoint interval in edges; <= 0 disables checkpointing.
+	Every int
+	// Path, when non-empty, is the file each checkpoint is written to. The
+	// write is atomic (temp file + rename), so a run killed mid-checkpoint
+	// leaves the previous checkpoint intact.
+	Path string
+	// Sink, when non-nil, receives each checkpoint instead of Path. The byte
+	// slice is only valid for the duration of the call.
+	Sink func(pos int, checkpoint []byte) error
+}
+
+func (p CheckpointPolicy) enabled() bool { return p.Every > 0 }
+
+// RunCheckpointed is Run with periodic checkpointing per p. With a zero
+// policy it is exactly Run.
+func RunCheckpointed(alg Algorithm, s Stream, p CheckpointPolicy) (Result, error) {
+	return runCheckpointed(alg, s, p, 0)
+}
+
+// RunCheckpointedFrom resumes a run from stream position `from`: alg must
+// already hold the state of a checkpoint taken at `from` (see
+// ReadCheckpoint), and the first `from` edges of s are skipped rather than
+// dispatched. The result — cover, certificate, reported space — is identical
+// to an uninterrupted run over the same stream.
+func RunCheckpointedFrom(alg Algorithm, s Stream, p CheckpointPolicy, from int) (Result, error) {
+	if from < 0 {
+		return Result{}, fmt.Errorf("stream: negative resume position %d", from)
+	}
+	return runCheckpointed(alg, s, p, from)
+}
+
+func runCheckpointed(alg Algorithm, s Stream, p CheckpointPolicy, from int) (Result, error) {
+	ro := obs.RunObsFor(obs.AlgoOf(alg))
+	var start time.Time
+	if ro != nil {
+		start = time.Now()
+	}
+	sample, err := checkpointSampler(alg, p, ro)
+	if err != nil {
+		return Result{}, err
+	}
+	n, err := driveStream(alg, s, ro, from, p.Every, 0, sample)
+	if err != nil {
+		return Result{}, err
+	}
+	return finishRun(alg, ro, n, start), nil
+}
+
+// DrivePartial feeds at most limit edges of s to alg — checkpointing per p —
+// and returns the stream position reached, WITHOUT finishing the algorithm.
+// It simulates a run killed mid-stream: the last durable checkpoint (at the
+// largest multiple of p.Every not exceeding the returned position) is what a
+// resume starts from; no checkpoint is taken at the stopping point itself.
+func DrivePartial(alg Algorithm, s Stream, p CheckpointPolicy, limit int) (int, error) {
+	if limit <= 0 {
+		return 0, fmt.Errorf("stream: DrivePartial needs limit > 0, got %d", limit)
+	}
+	sample, err := checkpointSampler(alg, p, nil)
+	if err != nil {
+		return 0, err
+	}
+	return driveStream(alg, s, nil, 0, p.Every, limit, sample)
+}
+
+// checkpointSampler builds the driveStream sample callback for policy p, or
+// nil when checkpointing is disabled. The serialization buffer is reused
+// across checkpoints.
+func checkpointSampler(alg Algorithm, p CheckpointPolicy, ro *obs.RunObs) (func(pos int) error, error) {
+	if !p.enabled() {
+		return nil, nil
+	}
+	if p.Path == "" && p.Sink == nil {
+		return nil, errors.New("stream: checkpoint policy has an interval but no destination (Path or Sink)")
+	}
+	if _, err := snapshotterOf(alg); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	return func(pos int) error {
+		t0 := time.Now()
+		buf.Reset()
+		if err := WriteCheckpoint(&buf, pos, alg); err != nil {
+			return fmt.Errorf("stream: checkpoint at edge %d: %w", pos, err)
+		}
+		if p.Sink != nil {
+			if err := p.Sink(pos, buf.Bytes()); err != nil {
+				return fmt.Errorf("stream: checkpoint sink at edge %d: %w", pos, err)
+			}
+		} else if err := atomicWriteFile(p.Path, buf.Bytes()); err != nil {
+			return fmt.Errorf("stream: checkpoint write at edge %d: %w", pos, err)
+		}
+		ro.Checkpoint(int64(buf.Len()), time.Since(t0).Nanoseconds())
+		return nil
+	}, nil
+}
+
+// WriteCheckpoint writes a checkpoint of alg, taken at stream position pos,
+// to w in the SCCKPT1 format.
+func WriteCheckpoint(w io.Writer, pos int, alg Algorithm) error {
+	sn, err := snapshotterOf(alg)
+	if err != nil {
+		return err
+	}
+	if pos < 0 {
+		return fmt.Errorf("stream: negative checkpoint position %d", pos)
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := io.WriteString(mw, ckptMagic); err != nil {
+		return err
+	}
+	var vb [binary.MaxVarintLen64]byte
+	if _, err := mw.Write(vb[:binary.PutUvarint(vb[:], uint64(pos))]); err != nil {
+		return err
+	}
+	// The snapshot streams through mw so the outer checksum covers it.
+	if err := sn.Snapshot(mw); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	_, err = w.Write(trailer[:])
+	return err
+}
+
+// ReadCheckpoint restores a checkpoint from r into alg — which must be a
+// freshly constructed instance with the same shape parameters as the one
+// that was checkpointed — and returns the stream position to resume from.
+func ReadCheckpoint(r io.Reader, alg Algorithm) (int, error) {
+	sn, err := snapshotterOf(alg)
+	if err != nil {
+		return 0, err
+	}
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(r, crc)
+	var m [len(ckptMagic)]byte
+	if _, err := io.ReadFull(tee, m[:]); err != nil {
+		return 0, fmt.Errorf("%w: checkpoint magic: %v", snap.ErrTruncated, err)
+	}
+	if string(m[:]) != ckptMagic {
+		return 0, fmt.Errorf("%w: bad checkpoint magic %q", snap.ErrCorrupt, m[:])
+	}
+	pos64, err := binary.ReadUvarint(oneByteReader{tee})
+	if err != nil {
+		return 0, fmt.Errorf("%w: checkpoint position: %v", snap.ErrCorrupt, err)
+	}
+	if pos64 > 1<<62 {
+		return 0, fmt.Errorf("%w: checkpoint position %d overflows", snap.ErrCorrupt, pos64)
+	}
+	// Restore streams through tee, so the outer checksum covers the embedded
+	// snapshot (including its inner trailer).
+	if err := sn.Restore(tee); err != nil {
+		return 0, err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return 0, fmt.Errorf("%w: checkpoint trailer: %v", snap.ErrTruncated, err)
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[:]) {
+		return 0, fmt.Errorf("%w: checkpoint checksum mismatch", snap.ErrCorrupt)
+	}
+	return int(pos64), nil
+}
+
+// WriteCheckpointFile writes a checkpoint of alg at position pos to path
+// atomically (temp file in the same directory, fsync, rename).
+func WriteCheckpointFile(path string, pos int, alg Algorithm) error {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, pos, alg); err != nil {
+		return err
+	}
+	return atomicWriteFile(path, buf.Bytes())
+}
+
+// ReadCheckpointFile restores a checkpoint file into alg and returns the
+// resume position.
+func ReadCheckpointFile(path string, alg Algorithm) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f, alg)
+}
+
+// CheckpointInfo describes a checkpoint without restoring it.
+type CheckpointInfo struct {
+	// Pos is the stream position the checkpoint was taken at.
+	Pos int
+	// Algo is the embedded snapshot's algorithm tag (e.g. "kk", "ensemble").
+	Algo string
+	// Version is the embedded snapshot's format version.
+	Version uint64
+	// Bytes is the size of the embedded snapshot in bytes.
+	Bytes int
+}
+
+// InspectCheckpoint reads a checkpoint's envelope — verifying the outer
+// checksum — and reports what is inside without needing an algorithm
+// instance to restore into. Inspection tooling (sctrace) uses it.
+func InspectCheckpoint(r io.Reader) (CheckpointInfo, error) {
+	var info CheckpointInfo
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(r, crc)
+	var m [len(ckptMagic)]byte
+	if _, err := io.ReadFull(tee, m[:]); err != nil {
+		return info, fmt.Errorf("%w: checkpoint magic: %v", snap.ErrTruncated, err)
+	}
+	if string(m[:]) != ckptMagic {
+		return info, fmt.Errorf("%w: bad checkpoint magic %q", snap.ErrCorrupt, m[:])
+	}
+	pos64, err := binary.ReadUvarint(oneByteReader{tee})
+	if err != nil {
+		return info, fmt.Errorf("%w: checkpoint position: %v", snap.ErrCorrupt, err)
+	}
+	rest, err := io.ReadAll(tee)
+	if err != nil {
+		return info, fmt.Errorf("%w: checkpoint body: %v", snap.ErrTruncated, err)
+	}
+	if len(rest) < 4 {
+		return info, fmt.Errorf("%w: checkpoint body too short (%d bytes)", snap.ErrTruncated, len(rest))
+	}
+	payload, trailer := rest[:len(rest)-4], rest[len(rest)-4:]
+	// The tee hashed the trailer too; recompute over just magic+pos+payload.
+	crc = crc32.NewIEEE()
+	crc.Write(m[:])
+	var vb [binary.MaxVarintLen64]byte
+	crc.Write(vb[:binary.PutUvarint(vb[:], pos64)])
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(trailer) {
+		return info, fmt.Errorf("%w: checkpoint checksum mismatch", snap.ErrCorrupt)
+	}
+	sr, err := snap.NewReader(bytes.NewReader(payload), "")
+	if err != nil {
+		return info, fmt.Errorf("embedded snapshot: %w", err)
+	}
+	info.Pos = int(pos64)
+	info.Algo = sr.Algo()
+	info.Version = sr.Version()
+	info.Bytes = len(payload)
+	return info, nil
+}
+
+// oneByteReader adapts an io.Reader to io.ByteReader without buffering, so
+// varint decoding leaves the reader positioned exactly after the varint.
+type oneByteReader struct{ r io.Reader }
+
+func (b oneByteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	_, err := io.ReadFull(b.r, one[:])
+	return one[0], err
+}
+
+// atomicWriteFile writes data to path via a temp file in the same directory
+// plus rename, so readers never observe a partially written file and a crash
+// mid-write leaves any previous file intact.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

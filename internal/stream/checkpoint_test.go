@@ -1,0 +1,299 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/snap"
+)
+
+// hashAlg is a deterministic, order-sensitive fake: its "cover" encodes a
+// rolling hash of every edge seen, so any dropped, duplicated or reordered
+// edge during checkpoint/resume changes the output.
+type hashAlg struct {
+	n    int
+	seen int
+	hash uint64
+}
+
+func newHashAlg(n int) *hashAlg { return &hashAlg{n: n} }
+
+func (a *hashAlg) Process(e Edge) {
+	a.seen++
+	a.hash = a.hash*1099511628211 + uint64(e.Set)<<32 + uint64(e.Elem) + 1
+}
+
+func (a *hashAlg) Finish() *setcover.Cover {
+	cert := make([]setcover.SetID, a.n)
+	id := setcover.SetID(a.hash % 1000003)
+	for u := range cert {
+		cert[u] = id
+	}
+	return setcover.NewCover([]setcover.SetID{id, setcover.SetID(a.seen)}, cert)
+}
+
+func (a *hashAlg) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w, "hash", 1)
+	sw.Int(a.n)
+	sw.Int(a.seen)
+	sw.U64(a.hash)
+	return sw.Close()
+}
+
+func (a *hashAlg) Restore(r io.Reader) error {
+	sr, err := snap.NewReader(r, "hash")
+	if err != nil {
+		return err
+	}
+	n := sr.Int()
+	if sr.Err() == nil && n != a.n {
+		return fmt.Errorf("%w: n=%d, receiver has %d", snap.ErrMismatch, n, a.n)
+	}
+	a.seen = sr.Int()
+	a.hash = sr.U64()
+	return sr.Close()
+}
+
+func ckptEdges(n int) []Edge {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{Set: setcover.SetID(i % 17), Elem: setcover.Element(i % 5)}
+	}
+	return edges
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	a := newHashAlg(5)
+	for _, e := range ckptEdges(100) {
+		a.Process(e)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, 100, a); err != nil {
+		t.Fatal(err)
+	}
+	b := newHashAlg(5)
+	pos, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 100 || b.seen != a.seen || b.hash != a.hash {
+		t.Fatalf("restored pos=%d seen=%d hash=%#x, want 100/%d/%#x", pos, b.seen, b.hash, a.seen, a.hash)
+	}
+}
+
+func TestKillAndResumeMatchesUninterruptedRun(t *testing.T) {
+	edges := ckptEdges(1000)
+	want := RunEdges(newHashAlg(5), edges)
+
+	for _, kill := range []int{1, 249, 250, 777, 999} {
+		var last []byte
+		var lastPos int
+		p := CheckpointPolicy{Every: 250, Sink: func(pos int, ck []byte) error {
+			last = bytes.Clone(ck)
+			lastPos = pos
+			return nil
+		}}
+		a := newHashAlg(5)
+		n, err := DrivePartial(a, NewSlice(edges), p, kill)
+		if err != nil {
+			t.Fatalf("kill=%d: DrivePartial: %v", kill, err)
+		}
+		if n != kill {
+			t.Fatalf("kill=%d: stopped at %d", kill, n)
+		}
+
+		b := newHashAlg(5)
+		from := 0
+		if last != nil {
+			from, err = ReadCheckpoint(bytes.NewReader(last), b)
+			if err != nil {
+				t.Fatalf("kill=%d: ReadCheckpoint: %v", kill, err)
+			}
+			if from != lastPos {
+				t.Fatalf("kill=%d: checkpoint says pos %d, sink saw %d", kill, from, lastPos)
+			}
+			if want := kill / 250 * 250; from != want {
+				t.Fatalf("kill=%d: last durable checkpoint at %d, want %d", kill, from, want)
+			}
+		}
+		got, err := RunCheckpointedFrom(b, NewSlice(edges), CheckpointPolicy{}, from)
+		if err != nil {
+			t.Fatalf("kill=%d: resume: %v", kill, err)
+		}
+		if !want.Cover.Equal(got.Cover) || got.Edges != want.Edges {
+			t.Fatalf("kill=%d: resumed run diverged (edges %d vs %d)", kill, got.Edges, want.Edges)
+		}
+	}
+}
+
+func TestResumedRunLaysCheckpointsAtAbsolutePositions(t *testing.T) {
+	edges := ckptEdges(900)
+	var uninterrupted []int
+	p := CheckpointPolicy{Every: 200, Sink: func(pos int, ck []byte) error {
+		uninterrupted = append(uninterrupted, pos)
+		return nil
+	}}
+	if _, err := RunCheckpointed(newHashAlg(5), NewSlice(edges), p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from 400: subsequent checkpoints must land at 600, 800 — the
+	// same absolute offsets, not 200-multiples relative to the resume point.
+	a := newHashAlg(5)
+	for _, e := range edges[:400] {
+		a.Process(e)
+	}
+	var resumed []int
+	p.Sink = func(pos int, ck []byte) error {
+		resumed = append(resumed, pos)
+		return nil
+	}
+	if _, err := RunCheckpointedFrom(a, NewSlice(edges), p, 400); err != nil {
+		t.Fatal(err)
+	}
+	if len(uninterrupted) == 0 {
+		t.Fatal("no checkpoints in reference run")
+	}
+	want := uninterrupted[2:] // 600, 800
+	if len(resumed) != len(want) {
+		t.Fatalf("resumed checkpoints at %v, want %v", resumed, want)
+	}
+	for i := range want {
+		if resumed[i] != want[i] {
+			t.Fatalf("resumed checkpoints at %v, want %v", resumed, want)
+		}
+	}
+}
+
+func TestCheckpointFileAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	edges := ckptEdges(500)
+	p := CheckpointPolicy{Every: 100, Path: path}
+	want, err := RunCheckpointed(newHashAlg(5), NewSlice(edges), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newHashAlg(5)
+	from, err := ReadCheckpointFile(path, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 500 {
+		t.Fatalf("final checkpoint at %d, want 500", from)
+	}
+	got, err := RunCheckpointedFrom(b, NewSlice(edges), CheckpointPolicy{}, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Cover.Equal(got.Cover) {
+		t.Fatal("resume from final checkpoint diverged")
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		t.Fatalf("directory not clean: %v", entries)
+	}
+}
+
+func TestCheckpointPolicyNeedsDestination(t *testing.T) {
+	_, err := RunCheckpointed(newHashAlg(3), NewSlice(ckptEdges(10)), CheckpointPolicy{Every: 5})
+	if err == nil {
+		t.Fatal("policy with interval but no destination accepted")
+	}
+}
+
+func TestCheckpointRequiresSnapshotter(t *testing.T) {
+	p := CheckpointPolicy{Every: 5, Sink: func(int, []byte) error { return nil }}
+	_, err := RunCheckpointed(&constAlg{n: 1, sets: []setcover.SetID{0}}, NewSlice(ckptEdges(10)), p)
+	if !errors.Is(err, ErrNotSnapshottable) {
+		t.Fatalf("want ErrNotSnapshottable, got %v", err)
+	}
+	// Zero policy must not reject non-snapshottable algorithms.
+	if _, err := RunCheckpointed(&constAlg{n: 1, sets: []setcover.SetID{0}}, NewSlice(ckptEdges(10)), CheckpointPolicy{}); err != nil {
+		t.Fatalf("zero policy: %v", err)
+	}
+}
+
+func TestReadCheckpointRejectsCorruption(t *testing.T) {
+	a := newHashAlg(4)
+	for _, e := range ckptEdges(64) {
+		a.Process(e)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, 64, a); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bad-magic", func(t *testing.T) {
+		b := bytes.Clone(raw)
+		b[0] ^= 0xff
+		if _, err := ReadCheckpoint(bytes.NewReader(b), newHashAlg(4)); !errors.Is(err, snap.ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 3, len(raw) / 2, len(raw) - 1} {
+			_, err := ReadCheckpoint(bytes.NewReader(raw[:cut]), newHashAlg(4))
+			if !errors.Is(err, snap.ErrTruncated) && !errors.Is(err, snap.ErrCorrupt) {
+				t.Fatalf("cut=%d: error not typed: %v", cut, err)
+			}
+		}
+	})
+	t.Run("flipped-trailer", func(t *testing.T) {
+		b := bytes.Clone(raw)
+		b[len(b)-1] ^= 0x01
+		if _, err := ReadCheckpoint(bytes.NewReader(b), newHashAlg(4)); !errors.Is(err, snap.ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("wrong-shape", func(t *testing.T) {
+		if _, err := ReadCheckpoint(bytes.NewReader(raw), newHashAlg(7)); !errors.Is(err, snap.ErrMismatch) {
+			t.Fatalf("want ErrMismatch, got %v", err)
+		}
+	})
+}
+
+func TestInspectCheckpoint(t *testing.T) {
+	a := newHashAlg(4)
+	for _, e := range ckptEdges(32) {
+		a.Process(e)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, 32, a); err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pos != 32 || info.Algo != "hash" || info.Version != 1 || info.Bytes <= 0 {
+		t.Fatalf("info %+v", info)
+	}
+	// Inspection also verifies the outer checksum.
+	b := bytes.Clone(buf.Bytes())
+	b[len(b)/2] ^= 0x20
+	if _, err := InspectCheckpoint(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupt checkpoint inspected without error")
+	}
+}
+
+func TestResumeBeyondStreamEndFails(t *testing.T) {
+	_, err := RunCheckpointedFrom(newHashAlg(3), NewSlice(ckptEdges(10)), CheckpointPolicy{}, 11)
+	if !errors.Is(err, ErrShortStream) {
+		t.Fatalf("want ErrShortStream, got %v", err)
+	}
+	if _, err := RunCheckpointedFrom(newHashAlg(3), NewSlice(ckptEdges(10)), CheckpointPolicy{}, -1); err == nil {
+		t.Fatal("negative resume position accepted")
+	}
+}

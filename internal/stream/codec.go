@@ -35,6 +35,11 @@ type Header struct {
 // validation.
 var ErrCorrupt = errors.New("stream: corrupt stream file")
 
+// ErrTruncated is the ErrCorrupt subclass for damage that looks like a
+// short read — a header or payload that ends before its declared length.
+// It wraps ErrCorrupt, so errors.Is(err, ErrCorrupt) holds for both.
+var ErrTruncated = fmt.Errorf("%w (truncated)", ErrCorrupt)
+
 // Encode writes hdr and edges to w in the binary format.
 func Encode(w io.Writer, hdr Header, edges []Edge) error {
 	if hdr.E != len(edges) {

@@ -25,6 +25,8 @@ type File struct {
 	dataStart int64
 	br        *bufio.Reader
 	remaining int
+	pos       int   // edges decoded since Reset
+	err       error // sticky decode error; stream terminates when set
 	batch     []Edge // reusable NextBatch buffer
 }
 
@@ -51,7 +53,7 @@ func (fs *File) validate() error {
 	}
 	size := info.Size()
 	if size < int64(len(magic))+4 {
-		return fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, size)
+		return fmt.Errorf("%w: file too short (%d bytes)", ErrTruncated, size)
 	}
 
 	// Streaming CRC over everything except the 4-byte trailer.
@@ -60,11 +62,11 @@ func (fs *File) validate() error {
 	}
 	crc := crc32.NewIEEE()
 	if _, err := io.CopyN(crc, fs.f, size-4); err != nil {
-		return fmt.Errorf("%w: read: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: read: %v", ErrTruncated, err)
 	}
 	var trailer [4]byte
 	if _, err := io.ReadFull(fs.f, trailer[:]); err != nil {
-		return fmt.Errorf("%w: trailer: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: trailer: %v", ErrTruncated, err)
 	}
 	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[:]) {
 		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
@@ -77,7 +79,7 @@ func (fs *File) validate() error {
 	br := bufio.NewReader(io.LimitReader(fs.f, size-4))
 	var gotMagic [8]byte
 	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
-		return fmt.Errorf("%w: short magic: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: short magic: %v", ErrTruncated, err)
 	}
 	if gotMagic != magic {
 		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
@@ -86,6 +88,9 @@ func (fs *File) validate() error {
 	for i, dst := range []*int{&fs.hdr.N, &fs.hdr.M, &fs.hdr.E} {
 		v, n, err := readUvarintCounting(br)
 		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("%w: header field %d: %v", ErrTruncated, i, err)
+			}
 			return fmt.Errorf("%w: header field %d: %v", ErrCorrupt, i, err)
 		}
 		if v > 1<<31 {
@@ -128,12 +133,16 @@ func (fs *File) Header() Header { return fs.hdr }
 // Len implements Stream.
 func (fs *File) Len() int { return fs.hdr.E }
 
-// Reset implements Stream, seeking back to the first edge.
+// Reset implements Stream, seeking back to the first edge. It clears any
+// sticky decode error from the previous pass.
 func (fs *File) Reset() {
+	fs.pos = 0
+	fs.err = nil
 	if _, err := fs.f.Seek(fs.dataStart, io.SeekStart); err != nil {
 		// Seek on a regular file only fails if the file was closed; make
 		// the stream empty rather than panicking mid-experiment.
 		fs.remaining = 0
+		fs.err = fmt.Errorf("stream: seek: %w", err)
 		fs.br = bufio.NewReader(io.LimitReader(fs.f, 0))
 		return
 	}
@@ -142,27 +151,57 @@ func (fs *File) Reset() {
 }
 
 // Next implements Stream. A decoding error (impossible on a file OpenFile
-// validated, barring concurrent modification) terminates the stream early.
+// validated, barring concurrent modification) terminates the stream early;
+// Err reports it.
 func (fs *File) Next() (Edge, bool) {
 	if fs.remaining <= 0 {
 		return Edge{}, false
 	}
 	s, err := binary.ReadUvarint(fs.br)
 	if err != nil {
-		fs.remaining = 0
+		fs.fail(fmt.Errorf("%w: edge %d set: %v", ErrTruncated, fs.pos, err))
 		return Edge{}, false
 	}
 	u, err := binary.ReadUvarint(fs.br)
 	if err != nil {
-		fs.remaining = 0
+		fs.fail(fmt.Errorf("%w: edge %d elem: %v", ErrTruncated, fs.pos, err))
+		return Edge{}, false
+	}
+	if s >= uint64(fs.hdr.M) || u >= uint64(fs.hdr.N) {
+		fs.fail(fmt.Errorf("%w: edge %d (%d,%d) out of range", ErrCorrupt, fs.pos, s, u))
 		return Edge{}, false
 	}
 	fs.remaining--
-	if s >= uint64(fs.hdr.M) || u >= uint64(fs.hdr.N) {
-		fs.remaining = 0
-		return Edge{}, false
-	}
+	fs.pos++
 	return Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}, true
+}
+
+// fail records the first decode error and terminates the stream.
+func (fs *File) fail(err error) {
+	fs.remaining = 0
+	if fs.err == nil {
+		fs.err = err
+	}
+}
+
+// Err returns the sticky decode error that terminated the current pass, nil
+// if the pass ended cleanly (or is still in progress). Reset clears it.
+func (fs *File) Err() error { return fs.err }
+
+// SkipTo implements Skipper: it decodes (and discards) edges until the
+// stream is positioned at edge pos, so a resumed run fast-forwards an
+// on-disk stream without dispatching the prefix to the algorithm. Call it
+// only on a freshly Reset stream.
+func (fs *File) SkipTo(pos int) error {
+	for fs.pos < pos {
+		if _, ok := fs.Next(); !ok {
+			if fs.err != nil {
+				return fs.err
+			}
+			return fmt.Errorf("%w: stream ended at edge %d, resume needs %d", ErrShortStream, fs.pos, pos)
+		}
+	}
+	return nil
 }
 
 // NextBatch implements Batcher: it decodes up to max edges into an internal
@@ -197,3 +236,4 @@ func (fs *File) Close() error { return fs.f.Close() }
 
 var _ Stream = (*File)(nil)
 var _ Batcher = (*File)(nil)
+var _ Skipper = (*File)(nil)

@@ -50,7 +50,7 @@ func RunInstrumented(alg Algorithm, s Stream, every int) (Result, []TrajectoryPo
 	}
 
 	var traj []TrajectoryPoint
-	sample := func(pos int) {
+	sample := func(pos int) error {
 		p := TrajectoryPoint{Pos: pos, StateWords: -1, Covered: -1}
 		if cp, ok := alg.(space.CheckpointReporter); ok {
 			cur, peak := cp.Checkpoint()
@@ -65,9 +65,10 @@ func RunInstrumented(alg Algorithm, s Stream, every int) (Result, []TrajectoryPo
 			ro.Covered(p.Covered)
 		}
 		traj = append(traj, p)
+		return nil
 	}
 
-	n := driveStream(alg, s, ro, every, sample)
+	n, _ := driveStream(alg, s, ro, 0, every, 0, sample) // sample never errors
 	if len(traj) == 0 || traj[len(traj)-1].Pos != n {
 		sample(n)
 	}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"time"
 
 	"streamcover/internal/obs"
@@ -44,6 +45,24 @@ type Batcher interface {
 // edges stays in L1.
 const BatchSize = 4096
 
+// BatchSizer is optionally implemented by algorithms that prefer a specific
+// driver batch granularity. A positive BatchSize caps the chunk length the
+// driver dispatches (an Ensemble forwards the minimum over its copies);
+// non-positive means no preference and the driver uses its default.
+type BatchSizer interface {
+	BatchSize() int
+}
+
+// batchSizeFor resolves the dispatch granularity for alg.
+func batchSizeFor(alg Algorithm) int {
+	if bs, ok := alg.(BatchSizer); ok {
+		if n := bs.BatchSize(); n > 0 {
+			return n
+		}
+	}
+	return BatchSize
+}
+
 // Result is the outcome of driving an Algorithm over a Stream.
 type Result struct {
 	Cover *setcover.Cover
@@ -74,7 +93,12 @@ func RunObserved(alg Algorithm, s Stream, ro *obs.RunObs) Result {
 	if ro != nil {
 		start = time.Now()
 	}
-	n := driveStream(alg, s, ro, 0, nil)
+	n, _ := driveStream(alg, s, ro, 0, 0, 0, nil) // no skip/sample → no error
+	return finishRun(alg, ro, n, start)
+}
+
+// finishRun finalizes a driven algorithm and assembles the Result.
+func finishRun(alg Algorithm, ro *obs.RunObs, n int, start time.Time) Result {
 	res := Result{Cover: alg.Finish(), Edges: n}
 	if rep, ok := alg.(space.Reporter); ok {
 		res.Space = rep.Space()
@@ -87,24 +111,37 @@ func RunObserved(alg Algorithm, s Stream, ro *obs.RunObs) Result {
 	return res
 }
 
-// driveStream resets s and feeds it to alg, returning the number of edges
-// processed. It has two regimes:
+// driveStream resets s, skips the first skip edges (the resume path), and
+// feeds the rest to alg, returning the absolute number of edges consumed
+// (skip included). It has two regimes:
 //
-//   - ro == nil && every <= 0: the uninstrumented fast path — the exact
-//     closure-free loops of the original Run, preserving the zero-allocation
-//     steady state (see TestSteadyStateProcessBatchAllocs and the end-to-end
-//     benchmark alloc budgets in BENCH_*.json).
+//   - ro == nil && every <= 0 && skip == 0 && limit <= 0: the uninstrumented
+//     fast path — the exact closure-free loops of the original Run,
+//     preserving the zero-allocation steady state (see
+//     TestSteadyStateProcessBatchAllocs and the end-to-end benchmark alloc
+//     budgets in BENCH_*.json).
 //   - otherwise: the observed path. Batches are clipped so that checkpoint
-//     positions (multiples of every) always land exactly on a batch
-//     boundary, making sampled state identical to a per-edge drive; each
-//     dispatched batch is timed and stamped on ro.
-func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, every int, sample func(pos int)) int {
+//     positions (absolute multiples of every) always land exactly on a batch
+//     boundary, making sampled state identical to a per-edge drive — and
+//     identical across interrupted and uninterrupted runs; each dispatched
+//     batch is timed and stamped on ro.
+//
+// limit > 0 stops after limit edges beyond the skip point (DrivePartial's
+// kill simulation). A non-nil sample may return an error (a failed
+// checkpoint write), which aborts the drive.
+func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, skip, every, limit int, sample func(pos int) error) (int, error) {
 	s.Reset()
-	if ro == nil && every <= 0 {
-		return driveFast(alg, s)
+	if skip > 0 {
+		if err := skipEdges(s, skip); err != nil {
+			return 0, err
+		}
+	}
+	if ro == nil && every <= 0 && skip == 0 && limit <= 0 {
+		return driveFast(alg, s), nil
 	}
 
-	n := 0
+	n := skip
+	bsz := batchSizeFor(alg)
 	bp, isBP := alg.(BatchProcessor)
 	var bs Batcher
 	var buf []Edge
@@ -112,15 +149,23 @@ func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, every int, sample func
 		if b, ok := s.(Batcher); ok {
 			bs = b
 		} else {
-			buf = make([]Edge, BatchSize)
+			buf = make([]Edge, bsz)
 		}
 	}
 	for {
-		// Clip the batch at the next checkpoint boundary.
-		max := BatchSize
+		// Clip the batch at the next checkpoint boundary and the limit.
+		max := bsz
 		if every > 0 {
 			if r := every - n%every; r < max {
 				max = r
+			}
+		}
+		if limit > 0 {
+			if r := skip + limit - n; r < max {
+				max = r
+			}
+			if max <= 0 {
+				break
 			}
 		}
 		var t0 time.Time
@@ -167,20 +212,49 @@ func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, every int, sample func
 		}
 		n += k
 		if every > 0 && n%every == 0 && sample != nil {
-			sample(n)
+			if err := sample(n); err != nil {
+				return n, err
+			}
 		}
 	}
-	return n
+	return n, nil
+}
+
+// skipEdges discards the first skip edges of a freshly Reset stream, using
+// the stream's own fast-forward when it has one (File decodes and validates
+// without dispatching). It fails if the stream is shorter than skip.
+func skipEdges(s Stream, skip int) error {
+	if sk, ok := s.(Skipper); ok {
+		return sk.SkipTo(skip)
+	}
+	if bs, ok := s.(Batcher); ok {
+		for skipped := 0; skipped < skip; {
+			batch := bs.NextBatch(skip - skipped)
+			if len(batch) == 0 {
+				return fmt.Errorf("%w: stream ended at edge %d, resume needs %d", ErrShortStream, skipped, skip)
+			}
+			skipped += len(batch)
+		}
+		return nil
+	}
+	for i := 0; i < skip; i++ {
+		if _, ok := s.Next(); !ok {
+			return fmt.Errorf("%w: stream ended at edge %d, resume needs %d", ErrShortStream, i, skip)
+		}
+	}
+	return nil
 }
 
 // driveFast is the original uninstrumented drive: no timing, no closures, no
-// allocations beyond the scratch batch buffer for non-Batcher streams.
+// allocations beyond the scratch batch buffer for non-Batcher streams. It
+// honors the algorithm's BatchSizer preference, like the observed path.
 func driveFast(alg Algorithm, s Stream) int {
 	n := 0
+	bsz := batchSizeFor(alg)
 	if bp, ok := alg.(BatchProcessor); ok {
 		if bs, ok := s.(Batcher); ok {
 			for {
-				batch := bs.NextBatch(BatchSize)
+				batch := bs.NextBatch(bsz)
 				if len(batch) == 0 {
 					break
 				}
@@ -188,7 +262,7 @@ func driveFast(alg Algorithm, s Stream) int {
 				n += len(batch)
 			}
 		} else {
-			buf := make([]Edge, BatchSize)
+			buf := make([]Edge, bsz)
 			for {
 				k := 0
 				for k < len(buf) {

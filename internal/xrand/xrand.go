@@ -10,14 +10,20 @@
 package xrand
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"streamcover/internal/snap"
 )
 
 // Rand is a deterministic pseudo-random generator. It is NOT safe for
 // concurrent use; derive per-goroutine generators with Split.
 type Rand struct {
 	src *rand.Rand
+	// pcg is the concrete source behind src, retained so Save/Load can
+	// serialize the generator state (rand.Rand keeps no state of its own).
+	pcg *rand.PCG
 	// seed material retained so Split can derive independent children.
 	hi, lo uint64
 	splits uint64
@@ -30,7 +36,12 @@ func New(seed uint64) *Rand {
 	// (0, 1, 2, ...) that experiments commonly use.
 	hi := splitmix64(&seed)
 	lo := splitmix64(&seed)
-	return &Rand{src: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+	return newFrom(hi, lo)
+}
+
+func newFrom(hi, lo uint64) *Rand {
+	pcg := rand.NewPCG(hi, lo)
+	return &Rand{src: rand.New(pcg), pcg: pcg, hi: hi, lo: lo}
 }
 
 // splitmix64 advances *x and returns the next splitmix64 output. It is the
@@ -51,7 +62,38 @@ func (r *Rand) Split() *Rand {
 	s := r.hi ^ (r.lo * 0x9e3779b97f4a7c15) ^ r.splits
 	hi := splitmix64(&s)
 	lo := splitmix64(&s)
-	return &Rand{src: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+	return newFrom(hi, lo)
+}
+
+// Save serializes the complete generator state — the PCG position (via its
+// binary marshaling) plus the seed material and split counter — so a loaded
+// generator continues the exact coin-flip sequence, including future Splits.
+func (r *Rand) Save(w *snap.Writer) {
+	w.U64(r.hi)
+	w.U64(r.lo)
+	w.U64(r.splits)
+	state, err := r.pcg.MarshalBinary()
+	if err != nil {
+		w.Fail(fmt.Errorf("xrand: marshal pcg: %w", err))
+		return
+	}
+	w.Bytes(state)
+}
+
+// Load restores state written by Save into this generator.
+func (r *Rand) Load(sr *snap.Reader) {
+	hi := sr.U64()
+	lo := sr.U64()
+	splits := sr.U64()
+	state := sr.Bytes()
+	if sr.Err() != nil {
+		return
+	}
+	if err := r.pcg.UnmarshalBinary(state); err != nil {
+		sr.Failf("%w: pcg state: %v", snap.ErrCorrupt, err)
+		return
+	}
+	r.hi, r.lo, r.splits = hi, lo, splits
 }
 
 // Uint64 returns a uniform 64-bit value.
