@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke sweep-smoke fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,11 @@ obs-smoke:
 resume-smoke:
 	$(GO) run ./internal/tools/resumesmoke
 	$(GO) run -tags obsoff ./internal/tools/resumesmoke
+
+# Scheduler determinism smoke: a small sweep grid run with -workers=1 and
+# -workers=4 must produce byte-identical tables and CSV (DESIGN.md §4e).
+sweep-smoke:
+	$(GO) run ./internal/tools/sweepsmoke
 
 fmt:
 	gofmt -w .

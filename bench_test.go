@@ -18,13 +18,17 @@ import (
 	"streamcover/internal/experiments"
 )
 
-func benchReport(b *testing.B, run func(experiments.Config) *experiments.Report, metrics ...string) {
+func benchReport(b *testing.B, run func(experiments.Config) (*experiments.Report, error), metrics ...string) {
 	b.Helper()
 	cfg := experiments.Quick()
 	var rep *experiments.Report
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
-		rep = run(cfg)
+		var err error
+		rep, err = run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, m := range metrics {
 		if v, ok := rep.Findings[m]; ok {

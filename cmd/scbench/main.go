@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	scbench [-config quick|full] [-id E-T1-R4] [-markdown] [-seed N]
+//	scbench [-config quick|full] [-id E-T1-R4] [-markdown] [-seed N] [-workers N]
 //	scbench -obs-listen :6060        # live /metrics, /debug/vars, /debug/pprof
 //	scbench -trace-out run.sctrace   # decision trace for sctrace -decisions
 package main
@@ -20,6 +20,7 @@ import (
 
 	"streamcover/internal/cli"
 	"streamcover/internal/experiments"
+	"streamcover/internal/sched"
 )
 
 func main() { os.Exit(run()) }
@@ -35,6 +36,7 @@ func run() int {
 		reps     = flag.Int("reps", 0, "override repetitions per cell (0 keeps the config default)")
 		ckEvery  = flag.Int("checkpoint-every", 0, "checkpoint snapshottable runs every N edges into an in-memory sink (0 = off)")
 		resume   = flag.Bool("resume-check", false, "additionally restore each run's last checkpoint into a fresh instance and fail if the resumed cover differs (needs -checkpoint-every)")
+		workers  = flag.Int("workers", 0, "experiments run across this many goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical for every value)")
 		obsOpt   = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.DurationVar(&obsOpt.Hold, "obs-hold", 0,
@@ -63,6 +65,7 @@ func run() int {
 	}
 	cfg.CheckpointEvery = *ckEvery
 	cfg.ResumeCheck = *resume
+	cfg.Workers = *workers
 
 	session, err := cli.StartObs(*obsOpt)
 	if err != nil {
@@ -75,16 +78,39 @@ func run() int {
 		}
 	}()
 
-	matched := false
-	anyFailed := false
-	var collected []*experiments.Report
+	var selected []experiments.Entry
 	for _, e := range experiments.Registry() {
 		if *id != "" && !strings.EqualFold(e.ID, *id) {
 			continue
 		}
-		matched = true
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "scbench: no experiment matches id %q\n", *id)
+		return 2
+	}
+
+	// Run the selected experiments across the worker pool, then print in
+	// registry order — the reports are deterministic, so the output is
+	// byte-identical for every -workers value (only the timings vary).
+	type outcome struct {
+		rep     *experiments.Report
+		elapsed time.Duration
+	}
+	outcomes, runErr := sched.Map(cfg.Workers, len(selected), func(i int) (outcome, error) {
 		start := time.Now()
-		rep := e.Run(cfg)
+		rep, err := selected[i].Run(cfg)
+		return outcome{rep: rep, elapsed: time.Since(start)}, err
+	})
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "scbench: %v\n", runErr)
+		return 1
+	}
+
+	anyFailed := false
+	var collected []*experiments.Report
+	for i, e := range selected {
+		rep := outcomes[i].rep
 		collected = append(collected, rep)
 		if *markdown {
 			fmt.Printf("### %s — %s\n\n%s\n", rep.ID, rep.Title, rep.Table.Markdown())
@@ -94,7 +120,7 @@ func run() int {
 			fmt.Println()
 		} else {
 			fmt.Print(rep.String())
-			fmt.Printf("(%s)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s)\n\n", outcomes[i].elapsed.Round(time.Millisecond))
 		}
 		if *check {
 			if fails := e.Check(rep); len(fails) > 0 {
@@ -107,10 +133,6 @@ func run() int {
 			}
 			fmt.Println()
 		}
-	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "scbench: no experiment matches id %q\n", *id)
-		return 2
 	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)

@@ -47,6 +47,11 @@ func main() {
 			}
 			edges = append(edges, e)
 		}
+		// The CRC is folded into the replay pass we just finished; a corrupt
+		// or truncated file surfaces here, not at open.
+		if err := fs.Err(); err != nil {
+			fatalf("read stream: %v", err)
+		}
 		inst, err := stream.InstanceFromEdges(hdr, edges)
 		if err != nil {
 			fatalf("rebuild: %v", err)

@@ -7,6 +7,7 @@
 //
 //	scsweep -algos kk,alg1 -n 400 -m 4000,8000 -orders random,round-robin -reps 3
 //	scsweep -algos alg2 -alpha 80 -n 400 -m 8000 -orders round-robin -csv
+//	scsweep -algos kk,alg1,alg2 -n 400,800 -m 8000 -workers 8   # same bytes, more cores
 package main
 
 import (
@@ -23,27 +24,47 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		algos  = flag.String("algos", "kk,alg1", "comma-separated algorithms: kk|alg1|alg2|es|storeall")
-		ns     = flag.String("n", "400", "comma-separated universe sizes")
-		ms     = flag.String("m", "8000", "comma-separated set counts")
-		orders = flag.String("orders", "random", "comma-separated arrival orders")
-		optV   = flag.Int("opt", 10, "planted optimum")
-		alpha  = flag.Float64("alpha", 0, "approximation target for alg2/es (0 = 2√n)")
-		reps   = flag.Int("reps", 3, "repetitions per cell")
-		seed   = flag.Uint64("seed", 1, "base random seed")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		obsOpt = cli.RegisterObsFlags(flag.CommandLine)
+		algos   = flag.String("algos", "kk,alg1", "comma-separated algorithms: kk|alg1|alg2|es|storeall")
+		ns      = flag.String("n", "400", "comma-separated universe sizes")
+		ms      = flag.String("m", "8000", "comma-separated set counts")
+		orders  = flag.String("orders", "random", "comma-separated arrival orders")
+		optV    = flag.Int("opt", 10, "planted optimum")
+		alpha   = flag.Float64("alpha", 0, "approximation target for alg2/es (0 = 2√n)")
+		reps    = flag.Int("reps", 3, "repetitions per cell")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		workers = flag.Int("workers", 0, "grid cells run across this many goroutines (0 = GOMAXPROCS, 1 = sequential; output is byte-identical for every value)")
+		obsOpt  = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
 	nsList, err := parseInts(*ns)
 	if err != nil {
-		fatalf("-n: %v", err)
+		return usagef("-n: %v", err)
 	}
 	msList, err := parseInts(*ms)
 	if err != nil {
-		fatalf("-m: %v", err)
+		return usagef("-m: %v", err)
 	}
+
+	opt := cli.SweepOptions{
+		Algos:   splitList(*algos),
+		Ns:      nsList,
+		Ms:      msList,
+		Orders:  splitList(*orders),
+		Opt:     *optV,
+		Alpha:   *alpha,
+		Reps:    *reps,
+		Seed:    *seed,
+		CSV:     *csvOut,
+		Workers: *workers,
+	}
+	// Reject a bad grid before spinning up the observability session or any
+	// workers: a clear usage error beats a panic mid-sweep.
+	if err := opt.Validate(); err != nil {
+		return usagef("%v", err)
+	}
+
 	session, err := cli.StartObs(*obsOpt)
 	if err != nil {
 		fatalf("%v", err)
@@ -54,17 +75,6 @@ func run() int {
 		}
 	}()
 
-	opt := cli.SweepOptions{
-		Algos:  splitList(*algos),
-		Ns:     nsList,
-		Ms:     msList,
-		Orders: splitList(*orders),
-		Opt:    *optV,
-		Alpha:  *alpha,
-		Reps:   *reps,
-		Seed:   *seed,
-		CSV:    *csvOut,
-	}
 	if err := cli.Sweep(opt, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "scsweep: %v\n", err)
 		return 1
@@ -97,4 +107,12 @@ func parseInts(s string) ([]int, error) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "scsweep: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usagef reports invalid input as a usage error (exit code 2, with the flag
+// summary) rather than a runtime failure.
+func usagef(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "scsweep: "+format+"\n", args...)
+	flag.Usage()
+	return 2
 }

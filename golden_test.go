@@ -9,8 +9,11 @@ package streamcover
 // explicitly forbidden to do.
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -83,6 +86,48 @@ func TestGoldenOutputsMatchSeedImplementation(t *testing.T) {
 				}
 				if got != want {
 					t.Fatalf("fingerprint %#x, want seed implementation's %#x — the refactor changed observable output", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenOutputsThroughPrefetchedFile drives the identical golden cases
+// through the full pipelined ingestion path — encoded stream file, lazily
+// CRC-verified File, background Prefetcher — and demands the exact same
+// fingerprints. Prefetching reorders work across goroutines but must never
+// reorder edges, so any deviation from goldenExpected here is a pipelining
+// bug, not a tolerance question.
+func TestGoldenOutputsThroughPrefetchedFile(t *testing.T) {
+	const n, m, opt = 300, 4000, 8
+	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
+	dir := t.TempDir()
+	for _, order := range []Order{SetMajor, RoundRobin, RandomOrder} {
+		edges := Arrange(w.Inst, order, NewRand(23))
+		var buf bytes.Buffer
+		if err := EncodeStream(&buf, StreamHeader{N: n, M: m, E: len(edges)}, edges); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("golden-%s.scstrm", order))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []string{"kk", "alg1", "alg2"} {
+			key := fmt.Sprintf("%s/%s", alg, order)
+			t.Run(key, func(t *testing.T) {
+				fs, err := OpenStreamFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer fs.Close()
+				pf := NewStreamPrefetcher(fs)
+				defer pf.Close()
+				res := Run(goldenAlg(alg, n, m, len(edges), 42), pf)
+				if res.Err != nil {
+					t.Fatalf("prefetched run failed: %v", res.Err)
+				}
+				if got, want := goldenFingerprint(res), goldenExpected[key]; got != want {
+					t.Fatalf("prefetched-file fingerprint %#x, want %#x — pipelining changed observable output", got, want)
 				}
 			})
 		}

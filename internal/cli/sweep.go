@@ -6,18 +6,21 @@ import (
 	"io"
 	"math"
 	"strconv"
-	"sync"
 
 	"streamcover/internal/adversarial"
 	"streamcover/internal/core"
 	"streamcover/internal/elementsampling"
 	"streamcover/internal/kk"
+	"streamcover/internal/sched"
 	"streamcover/internal/stats"
 	"streamcover/internal/stream"
 	"streamcover/internal/texttable"
 	"streamcover/internal/workload"
 	"streamcover/internal/xrand"
 )
+
+// KnownAlgos are the algorithm names Sweep accepts.
+var KnownAlgos = []string{"kk", "alg1", "alg2", "es", "storeall"}
 
 // SweepOptions configure Sweep: the full (algorithm × n × m × order) grid
 // on planted workloads.
@@ -31,6 +34,50 @@ type SweepOptions struct {
 	Reps   int
 	Seed   uint64
 	CSV    bool // emit CSV instead of an aligned table
+	// Workers is the scheduler's goroutine count: grid cells are sharded
+	// across this many workers (0 = GOMAXPROCS). Cell seeds derive from
+	// grid coordinates alone, so the output is byte-identical for every
+	// worker count; 1 reproduces the sequential schedule exactly.
+	Workers int
+}
+
+// Validate checks the grid before any work is scheduled, so CLIs can turn
+// bad input into a usage error instead of an empty or panicking sweep.
+func (opt SweepOptions) Validate() error {
+	if len(opt.Algos) == 0 || len(opt.Ns) == 0 || len(opt.Ms) == 0 || len(opt.Orders) == 0 {
+		return fmt.Errorf("sweep: empty grid dimension")
+	}
+	for _, a := range opt.Algos {
+		known := false
+		for _, k := range KnownAlgos {
+			if a == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("sweep: unknown algorithm %q (want one of kk|alg1|alg2|es|storeall)", a)
+		}
+	}
+	for _, n := range opt.Ns {
+		if n <= 0 {
+			return fmt.Errorf("sweep: -n must be positive, got %d", n)
+		}
+	}
+	for _, m := range opt.Ms {
+		if m <= 0 {
+			return fmt.Errorf("sweep: -m must be positive, got %d", m)
+		}
+	}
+	if opt.Reps <= 0 {
+		return fmt.Errorf("sweep: -reps must be positive, got %d", opt.Reps)
+	}
+	for _, name := range opt.Orders {
+		if _, err := stream.ParseOrder(name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sweepCell is one aggregated grid cell.
@@ -43,24 +90,16 @@ type sweepCell struct {
 	state stats.Summary
 }
 
-// Sweep runs the grid and writes the results. Cells are computed in
-// parallel; the output order is deterministic.
+// Sweep runs the grid and writes the results. Cells are sharded across
+// opt.Workers goroutines (sched.Map); the output order — and, because every
+// cell's seed derives only from its grid coordinates, the output bytes —
+// are independent of the worker count.
 func Sweep(opt SweepOptions, stdout io.Writer) error {
-	if len(opt.Algos) == 0 || len(opt.Ns) == 0 || len(opt.Ms) == 0 || len(opt.Orders) == 0 {
-		return fmt.Errorf("sweep: empty grid dimension")
-	}
-	if opt.Reps < 1 {
-		opt.Reps = 1
+	if err := opt.Validate(); err != nil {
+		return err
 	}
 	if opt.Opt < 1 {
 		opt.Opt = 10
-	}
-	for _, a := range opt.Algos {
-		switch a {
-		case "kk", "alg1", "alg2", "es", "storeall":
-		default:
-			return fmt.Errorf("sweep: unknown algorithm %q", a)
-		}
 	}
 	orders := make([]stream.Order, len(opt.Orders))
 	for i, name := range opt.Orders {
@@ -72,7 +111,6 @@ func Sweep(opt SweepOptions, stdout io.Writer) error {
 	}
 
 	type job struct {
-		idx   int
 		algo  string
 		n, m  int
 		order stream.Order
@@ -82,33 +120,16 @@ func Sweep(opt SweepOptions, stdout io.Writer) error {
 		for _, m := range opt.Ms {
 			for _, order := range orders {
 				for _, algo := range opt.Algos {
-					jobs = append(jobs, job{len(jobs), algo, n, m, order})
+					jobs = append(jobs, job{algo, n, m, order})
 				}
 			}
 		}
 	}
-	cells := make([]sweepCell, len(jobs))
-
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(jobs))
-	sem := make(chan struct{}, 8)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cell, err := runSweepCell(opt, j.algo, j.n, j.m, j.order)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			cells[j.idx] = cell
-		}(j)
-	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+	cells, err := sched.Map(opt.Workers, len(jobs), func(i int) (sweepCell, error) {
+		j := jobs[i]
+		return runSweepCell(opt, j.algo, j.n, j.m, j.order)
+	})
+	if err != nil {
 		return err
 	}
 
@@ -140,22 +161,22 @@ func Sweep(opt SweepOptions, stdout io.Writer) error {
 			fmt.Sprintf("%.2f", c.ratio.Mean),
 			fmt.Sprintf("%.0f", c.state.Mean))
 	}
-	_, err := tb.WriteTo(stdout)
-	return err
+	_, werr := tb.WriteTo(stdout)
+	return werr
 }
 
 func runSweepCell(opt SweepOptions, algo string, n, m int, order stream.Order) (sweepCell, error) {
 	if opt.Opt > n {
 		return sweepCell{}, fmt.Errorf("sweep: opt=%d exceeds n=%d", opt.Opt, n)
 	}
-	w := workload.Planted(xrand.New(opt.Seed^uint64(n*31+m)), n, m, opt.Opt, 0)
+	w := workload.Planted(xrand.New(cellSeed(opt.Seed, "workload", n, m, 0, 0)), n, m, opt.Opt, 0)
 	alpha := opt.Alpha
 	if alpha <= 0 {
 		alpha = 2 * math.Sqrt(float64(n))
 	}
 	var covers, ratios, states []float64
 	for rep := 0; rep < opt.Reps; rep++ {
-		rng := xrand.New(opt.Seed ^ uint64(rep)*0x9e3779b97f4a7c15 ^ uint64(order) ^ hashStr(algo))
+		rng := xrand.New(cellSeed(opt.Seed, algo, n, m, int(order), rep))
 		edges := stream.Arrange(w.Inst, order, rng.Split())
 		var alg stream.Algorithm
 		switch algo {
@@ -184,6 +205,34 @@ func runSweepCell(opt SweepOptions, algo string, n, m int, order stream.Order) (
 		ratio: stats.Summarize(ratios),
 		state: stats.Summarize(states),
 	}, nil
+}
+
+// cellSeed derives the deterministic base seed for one (algo, n, m, order,
+// rep) repetition: a splitmix64-style mix of every grid coordinate, so the
+// coins a rep draws are a pure function of its position in the grid — never
+// of which worker ran it or in what order. This is the sweep scheduler's
+// determinism contract (DESIGN.md §4e): byte-identical output for every
+// -workers value. Mixing n and m in also gives every cell independent coins
+// (the previous derivation omitted them, so same-algo/order cells shared
+// coin sequences across instance sizes).
+func cellSeed(base uint64, algo string, n, m, order, rep int) uint64 {
+	h := base
+	h = mix64(h ^ hashStr(algo))
+	h = mix64(h ^ uint64(n))
+	h = mix64(h ^ uint64(m))
+	h = mix64(h ^ uint64(order))
+	h = mix64(h ^ uint64(rep))
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: an avalanching bijection on uint64.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 func hashStr(s string) uint64 {

@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"encoding/csv"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -90,17 +91,92 @@ func TestSweepErrors(t *testing.T) {
 	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
 		t.Error("opt > n accepted")
 	}
+	opt = smallSweep()
+	opt.Reps = 0
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("reps=0 accepted")
+	}
+	opt = smallSweep()
+	opt.Reps = -3
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("negative reps accepted")
+	}
+	opt = smallSweep()
+	opt.Ns = []int{100, 0}
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	opt = smallSweep()
+	opt.Ms = []int{-5}
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("negative m accepted")
+	}
 }
 
 func TestSweepDefaults(t *testing.T) {
 	opt := smallSweep()
-	opt.Reps = 0 // → 1
-	opt.Opt = 0  // → 10
+	opt.Opt = 0 // → 10
 	var out bytes.Buffer
 	if err := Sweep(opt, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "opt=10") {
 		t.Fatalf("defaults not applied:\n%s", out.String())
+	}
+}
+
+func TestSweepWorkersByteIdentical(t *testing.T) {
+	// The scheduler determinism contract: every -workers value produces the
+	// same bytes, in table and CSV form, because per-rep seeds derive from
+	// grid coordinates alone.
+	for _, csv := range []bool{false, true} {
+		base := smallSweep()
+		base.CSV = csv
+		base.Workers = 1
+		var want bytes.Buffer
+		if err := Sweep(base, &want); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 4, 9} {
+			opt := base
+			opt.Workers = workers
+			var got bytes.Buffer
+			if err := Sweep(opt, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != want.String() {
+				t.Fatalf("csv=%v workers=%d output differs from workers=1:\n%s\nvs\n%s",
+					csv, workers, got.String(), want.String())
+			}
+		}
+	}
+}
+
+// BenchmarkSweepWorkers measures one small sweep grid at increasing worker
+// counts. On multicore hardware the wall clock should shrink near-linearly
+// until the core count; the output bytes are identical at every setting
+// (TestSweepWorkersByteIdentical), so this benchmark is purely about
+// scheduling.
+func BenchmarkSweepWorkers(b *testing.B) {
+	opt := SweepOptions{
+		Algos:  []string{"kk", "alg1", "alg2"},
+		Ns:     []int{200},
+		Ms:     []int{2000, 4000},
+		Orders: []string{"random", "round-robin"},
+		Opt:    6,
+		Reps:   2,
+		Seed:   1,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := opt
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				var out bytes.Buffer
+				if err := Sweep(o, &out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -19,7 +19,7 @@ import (
 // with final uncovered-degree in [i√n, (i+1)√n) — decays geometrically,
 // E|S_i| ≤ ½·E|S_{i−1}|, which is why the probabilistic inclusion adds only
 // Õ(√n) sets per level.
-func AblationKKLevels(cfg Config) *Report {
+func AblationKKLevels(cfg Config) (*Report, error) {
 	n := cfg.N / 2
 	w := workload.DominatingSet(xrand.New(cfg.Seed+31), n, 0.2)
 
@@ -55,13 +55,13 @@ func AblationKKLevels(cfg Config) *Report {
 	rep := newReport("E-ABL-KK", "KK-algorithm level decay (E|S_i| ≤ ½·E|S_{i−1}|)", tb)
 	rep.Findings["worst_decay_ratio_from_level2"] = worstRatio
 	rep.Notes = append(rep.Notes, "paper predicts ratios ≤ ~0.5 from the first sampled level on")
-	return rep
+	return rep, nil
 }
 
 // AblationPromoted verifies Theorem 4's space mechanism: the number of sets
 // Algorithm 2 ever promotes to level ≥ 1 — the size of its level map L —
 // scales as mn/α², i.e. slope ≈ −2 in an α-sweep.
-func AblationPromoted(cfg Config) *Report {
+func AblationPromoted(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+41), cfg.N, cfg.M, cfg.OPT, 0)
 	sq := sqrtf(cfg.N)
 	tb := texttable.New(
@@ -89,14 +89,14 @@ func AblationPromoted(cfg Config) *Report {
 	rep.Findings["promoted_vs_alpha_slope"] = stats.GeometricFitSlope(alphas, promoted)
 	rep.Notes = append(rep.Notes,
 		"promoted count ≈ (#uncovered-edge arrivals)/α, itself shrinking with α ⇒ paper predicts slope ≈ −2 for α = Ω̃(√n)")
-	return rep
+	return rep, nil
 }
 
 // AblationAlg1 verifies the Algorithm 1 invariants on a random-order run:
 // (I3)/Lemma 9 — only Õ(√n) sets are added per A(i); Lemma 8 — per-epoch
 // special-set counts decay; and (I2) — each mid-stream inclusion has few
 // "pre-inclusion" edges (the budget from which missed edges come).
-func AblationAlg1(cfg Config) *Report {
+func AblationAlg1(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+61), cfg.N, cfg.M, cfg.OPT, 0)
 	n, m := cfg.N, cfg.M
 	rng := xrand.New(cfg.Seed + 61)
@@ -191,5 +191,5 @@ func AblationAlg1(cfg Config) *Report {
 		rep.Findings["specials_first_epoch"] = float64(specials[0])
 		rep.Findings["specials_last_epoch"] = float64(specials[len(specials)-1])
 	}
-	return rep
+	return rep, nil
 }

@@ -8,7 +8,7 @@ import (
 // TestRunCellWithResumeCheck drives the Table-1 regime experiment with
 // in-memory checkpointing plus the resume check: every snapshottable rep is
 // checkpointed, restored into a fresh instance and replayed, and runCell
-// panics on any divergence — so a clean pass is the assertion.
+// reports an error on any divergence — so a clean pass is the assertion.
 func TestRunCellWithResumeCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("checkpoint+resume doubles every rep")
@@ -22,7 +22,10 @@ func TestRunCellWithResumeCheck(t *testing.T) {
 	if !ok {
 		t.Fatal("E-T1-R1 not registered")
 	}
-	rep := e.Run(cfg)
+	rep, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep == nil || rep.Table == nil {
 		t.Fatal("no report")
 	}

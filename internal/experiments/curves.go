@@ -22,7 +22,7 @@ import (
 //   - Algorithm 1's state stays near m/√n throughout, with coverage jumps
 //     at the epoch-0 sample and as A(i) detections land;
 //   - Algorithm 2's state grows only as sets get promoted.
-func CoverageCurves(cfg Config) *Report {
+func CoverageCurves(cfg Config) (*Report, error) {
 	n := cfg.N
 	m := cfg.M / 2
 	w := workload.Planted(xrand.New(cfg.Seed+131), n, m, cfg.OPT, 0)
@@ -69,5 +69,5 @@ func CoverageCurves(cfg Config) *Report {
 		rep.Findings["final_state_kk"] / rep.Findings["final_state_alg1"]
 	rep.Notes = append(rep.Notes,
 		"KK holds m words from edge one; Algorithm 1 plateaus near m/√n; Algorithm 2 grows with promotions")
-	return rep
+	return rep, nil
 }

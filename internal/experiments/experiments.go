@@ -17,12 +17,14 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"sync"
 
+	"streamcover/internal/sched"
 	"streamcover/internal/setcover"
 	"streamcover/internal/stats"
 	"streamcover/internal/stream"
@@ -46,9 +48,16 @@ type Config struct {
 	// experiments double as a checkpoint-overhead and correctness harness.
 	CheckpointEvery int
 	// ResumeCheck additionally restores the last checkpoint of each run into
-	// a fresh instance, replays the suffix, and panics if the resumed cover
-	// differs from the uninterrupted one. Requires CheckpointEvery > 0.
+	// a fresh instance, replays the suffix, and fails the experiment if the
+	// resumed cover differs from the uninterrupted one. Requires
+	// CheckpointEvery > 0.
 	ResumeCheck bool
+	// Workers is the scheduler's goroutine count for All: registry
+	// experiments are sharded across this many workers (0 = GOMAXPROCS,
+	// 1 = the sequential registry order). Reports are independent of the
+	// worker count — every random choice derives from Seed and position,
+	// never from scheduling.
+	Workers int
 }
 
 // Quick returns a configuration sized for unit tests and smoke runs
@@ -128,19 +137,22 @@ type cell struct {
 // runCell performs cfg.Reps independent runs with fresh stream orders and
 // algorithm coins. Repetitions run in parallel — every rep derives its own
 // generator from (seed, salt, rep), so the aggregate is identical to a
-// sequential run regardless of scheduling.
-func runCell(cfg Config, w workload.Workload, order stream.Order, mk maker, salt uint64) cell {
+// sequential run regardless of scheduling. All rep failures are collected
+// (errors.Join), not just the first: a broken cell reports every broken
+// repetition up through All and the CLIs instead of panicking inside
+// library code.
+func runCell(cfg Config, w workload.Workload, order stream.Order, mk maker, salt uint64) (cell, error) {
 	opt, err := w.OptEstimate()
 	if err != nil {
-		panic(fmt.Sprintf("experiments: OPT estimate for %s: %v", w.Name, err))
+		return cell{}, fmt.Errorf("experiments: OPT estimate for %s: %v", w.Name, err)
 	}
 	sizes := make([]float64, cfg.Reps)
 	states := make([]float64, cfg.Reps)
 	auxes := make([]float64, cfg.Reps)
 	ratios := make([]float64, cfg.Reps)
+	errs := make([]error, cfg.Reps)
 
 	var wg sync.WaitGroup
-	errCh := make(chan error, cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {
 		wg.Add(1)
 		go func(rep int) {
@@ -152,11 +164,11 @@ func runCell(cfg Config, w workload.Workload, order stream.Order, mk maker, salt
 				return mk(w, len(edges), rng.Split())
 			})
 			if err != nil {
-				errCh <- fmt.Errorf("experiments: %s/%v: %v", w.Name, order, err)
+				errs[rep] = fmt.Errorf("experiments: %s/%v rep %d: %v", w.Name, order, rep, err)
 				return
 			}
 			if err := res.Cover.Verify(w.Inst); err != nil {
-				errCh <- fmt.Errorf("experiments: invalid cover from %s/%v: %v", w.Name, order, err)
+				errs[rep] = fmt.Errorf("experiments: invalid cover from %s/%v rep %d: %v", w.Name, order, rep, err)
 				return
 			}
 			sizes[rep] = float64(res.Cover.Size())
@@ -166,16 +178,15 @@ func runCell(cfg Config, w workload.Workload, order stream.Order, mk maker, salt
 		}(rep)
 	}
 	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
-		panic(err.Error())
+	if err := errors.Join(errs...); err != nil {
+		return cell{}, err
 	}
 	return cell{
 		CoverSize: stats.Summarize(sizes),
 		State:     stats.Summarize(states),
 		Aux:       stats.Summarize(auxes),
 		Ratio:     stats.Summarize(ratios),
-	}
+	}, nil
 }
 
 // runMaybeCheckpointed drives one rep. With cfg.CheckpointEvery set and a
@@ -228,15 +239,16 @@ func greedyRef(w workload.Workload) int {
 	return g
 }
 
-// All runs every registered experiment at the given configuration, in the
-// order of DESIGN.md's per-experiment index.
-func All(cfg Config) []*Report {
+// All runs every registered experiment at the given configuration and
+// returns the reports in the order of DESIGN.md's per-experiment index,
+// sharding the experiments across cfg.Workers goroutines. Failed
+// experiments leave a nil slot in the returned slice; their errors are
+// joined.
+func All(cfg Config) ([]*Report, error) {
 	entries := Registry()
-	out := make([]*Report, len(entries))
-	for i, e := range entries {
-		out[i] = e.Run(cfg)
-	}
-	return out
+	return sched.Map(cfg.Workers, len(entries), func(i int) (*Report, error) {
+		return entries[i].Run(cfg)
+	})
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

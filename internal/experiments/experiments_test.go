@@ -14,7 +14,10 @@ func TestEveryExperimentMatchesPaperShape(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep := e.Run(cfg)
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if rep.ID != e.ID {
 				t.Fatalf("report id %s, registry id %s", rep.ID, e.ID)
 			}
@@ -29,7 +32,10 @@ func TestEveryExperimentMatchesPaperShape(t *testing.T) {
 }
 
 func TestAllRunsEveryExperiment(t *testing.T) {
-	reports := All(Quick())
+	reports, err := All(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(reports) != len(Registry()) {
 		t.Fatalf("All returned %d reports for %d registry entries", len(reports), len(Registry()))
 	}
@@ -86,31 +92,71 @@ func TestCheckReportsMissingFindings(t *testing.T) {
 }
 
 func TestReportDeterministic(t *testing.T) {
-	a := Table1Row2(Quick()).String()
-	b := Table1Row2(Quick()).String()
-	if a != b {
+	ra, err := Table1Row2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Table1Row2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.String() != rb.String() {
 		t.Fatal("experiment not reproducible for a fixed config")
+	}
+}
+
+// TestAllWorkerCountsAgree pins the scheduler determinism contract for the
+// registry: the rendered reports are identical no matter how many workers
+// shard the experiments.
+func TestAllWorkerCountsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the registry twice")
+	}
+	cfg := Quick()
+	cfg.Workers = 1
+	want, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	got, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].String() != got[i].String() {
+			t.Errorf("%s differs between workers=1 and workers=4", want[i].ID)
+		}
 	}
 }
 
 // Deeper one-off assertions that go beyond the registry's shape checks.
 
 func TestLowerBoundDecisionDetails(t *testing.T) {
-	rep := LowerBound(Quick())
+	rep, err := LowerBound(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Findings["bounded_detects_intersecting"] == 1 {
 		t.Logf("note: starved algorithm detected the intersecting case at this seed\n%s", rep.Table)
 	}
 }
 
 func TestSeparationReportsEveryOrder(t *testing.T) {
-	rep := Separation(Quick())
+	rep, err := Separation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Table.NumRows() != 6 {
 		t.Fatalf("separation table has %d rows, want one per order", rep.Table.NumRows())
 	}
 }
 
 func TestAblationAlg1ReportsInvariantRows(t *testing.T) {
-	rep := AblationAlg1(Quick())
+	rep, err := AblationAlg1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := rep.Table.String()
 	for _, frag := range []string{"(I1)", "(I2)", "(I3)", "Lemma 5", "Lemma 8"} {
 		if !strings.Contains(s, frag) {

@@ -19,7 +19,7 @@ import (
 // forces the Theorem 2 lower bound to use t = Ω(α²/n) parties. Expected
 // shape: message size stays O(n) for every t while the realized cover
 // degrades no worse than the 2√(nt)·OPT budget.
-func Protocol(cfg Config) *Report {
+func Protocol(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+71), cfg.N, cfg.M, cfg.OPT, 0)
 	opt := w.PlantedOPT
 	tb := texttable.New(
@@ -48,14 +48,14 @@ func Protocol(cfg Config) *Report {
 	rep.Findings["max_message_over_n"] = maxMsg / float64(cfg.N)
 	rep.Notes = append(rep.Notes,
 		"paper: approximation ≤ 2√(nt)·OPT with Õ(n) messages — the reason Theorem 2 needs t = Ω(α²/n) parties")
-	return rep
+	return rep, nil
 }
 
 // MultiPassTradeoff reproduces the pass/space/quality trade-off of the
 // multi-pass sample-and-prune baseline ([6], §1): larger per-set sketches
 // buy fewer passes and better covers at more space — the regime the paper's
 // one-pass algorithms deliberately leave.
-func MultiPassTradeoff(cfg Config) *Report {
+func MultiPassTradeoff(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+81), cfg.N, cfg.M, cfg.OPT, 0)
 	opt := w.PlantedOPT
 	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(cfg.Seed+82))
@@ -80,14 +80,14 @@ func MultiPassTradeoff(cfg Config) *Report {
 	rep.Findings["passes_vs_budget_slope"] = stats.GeometricFitSlope(budgets, passes)
 	rep.Notes = append(rep.Notes,
 		"multi-pass literature ([6],[10],[1],[15]): more passes ⇒ less space/better covers; one-pass is the paper's regime")
-	return rep
+	return rep, nil
 }
 
 // EnsembleBoost reproduces the paper's boosting remarks (after Theorems 2
 // and 4): running O(log m) independent copies and keeping the smallest
 // cover turns Algorithm 2's expected guarantee into a high-probability one
 // at a proportional space cost.
-func EnsembleBoost(cfg Config) *Report {
+func EnsembleBoost(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+91), cfg.N, cfg.M, cfg.OPT, 0)
 	opt := w.PlantedOPT
 	alpha := 2 * sqrtf(cfg.N)
@@ -120,5 +120,5 @@ func EnsembleBoost(cfg Config) *Report {
 	rep.Findings["boost_improvement"] = single / boosted
 	rep.Notes = append(rep.Notes,
 		"min over O(log m) copies ⇒ high-probability guarantee at a log m space factor")
-	return rep
+	return rep, nil
 }

@@ -20,7 +20,7 @@ import (
 // the integral optimum's greedy neighbourhood, shrink as the increment δ
 // refines, and round back to a valid integral cover within an O(log n)
 // factor.
-func Fractional(cfg Config) *Report {
+func Fractional(cfg Config) (*Report, error) {
 	n := cfg.N / 4
 	m := cfg.M / 16
 	w := workload.Planted(xrand.New(cfg.Seed+111), n, m, cfg.OPT, 0)
@@ -62,7 +62,7 @@ func Fractional(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		"LP ≤ OPT ≤ (ln n)·LP; finer δ tightens the fractional value",
 		"dual LB is a certified lower bound on OPT extracted from the final weights (LP duality)")
-	return rep
+	return rep, nil
 }
 
 // CWPasses reproduces the Chakrabarti–Wirth pass/approximation trade-off
@@ -70,7 +70,7 @@ func Fractional(cfg Config) *Report {
 // threshold schedule give an O(p·n^{1/(p+1)})-approximation in O(n) words —
 // the set-arrival ladder the paper's one-pass edge-arrival results are
 // measured against.
-func CWPasses(cfg Config) *Report {
+func CWPasses(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+121), cfg.N, cfg.M/4, cfg.OPT, 0)
 	opt := w.PlantedOPT
 	g, err := setcover.GreedySize(w.Inst)
@@ -110,7 +110,7 @@ func CWPasses(cfg Config) *Report {
 	rep.Findings["worst_cover_over_budget"] = worstOverBudget
 	rep.Findings["max_space_over_n"] = maxSpaceOverN
 	rep.Notes = append(rep.Notes, "[10]: approximation O(p·n^{1/(p+1)}) with Õ(n) space, optimal for constant p")
-	return rep
+	return rep, nil
 }
 
 func boolToF(b bool) float64 {

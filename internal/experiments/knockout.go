@@ -28,7 +28,7 @@ import (
 // cover (heavy elements get covered late or patched); removing detection
 // and tracking inflates the special-set counts that the marking machinery
 // exists to suppress.
-func Knockout(cfg Config) *Report {
+func Knockout(cfg Config) (*Report, error) {
 	n := cfg.N
 	m := cfg.M
 	w := workload.HeavyElements(xrand.New(cfg.Seed+151), n, m, n/20, 4)
@@ -94,7 +94,7 @@ func Knockout(cfg Config) *Report {
 	rep.Findings["patch_only_to_full"] = covers["nothing (patch only)"] / covers["full algorithm"]
 	rep.Notes = append(rep.Notes,
 		"each mechanism's removal must not improve the cover; the bare variant degrades toward first-set patching")
-	return rep
+	return rep, nil
 }
 
 func hashName(s string) uint64 {

@@ -17,7 +17,7 @@ import (
 // streaming algorithm. The paper predicts (a) distinguishes the cases while
 // carrying Ω(input)-sized messages, and (b)'s small messages cannot: its
 // cover estimates no longer separate 2·α from OPT0.
-func LowerBound(cfg Config) *Report {
+func LowerBound(cfg Config) (*Report, error) {
 	const (
 		t       = 4
 		count   = 30 // disjointness universe (= family size)
@@ -91,13 +91,13 @@ func LowerBound(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		"paper: distinguishing requires Ω̃(m·n²/α⁴)-sized messages; the starved algorithm's messages are orders of magnitude smaller and its estimates cannot certify a size-2 cover",
 		"Lemma 1 predicts max part-vs-set intersection O(log n)")
-	return rep
+	return rep, nil
 }
 
 // Concentration reproduces the Lemma 2 sampling experiments (the
 // concentration result behind every random-order argument): each regime's
 // bound is checked over repeated hypergeometric draws.
-func Concentration(cfg Config) *Report {
+func Concentration(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed + 55)
 	trials := 100 * cfg.Reps
 
@@ -118,5 +118,5 @@ func Concentration(cfg Config) *Report {
 	rep.Findings["regime2_violation_rate"] = float64(r2.Violations) / float64(r2.Trials)
 	rep.Findings["regime3_violation_rate"] = float64(r3.Violations) / float64(r3.Trials)
 	rep.Notes = append(rep.Notes, "paper: each bound holds with probability ≥ 1 − 1/m²⁰")
-	return rep
+	return rep, nil
 }

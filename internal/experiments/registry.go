@@ -9,8 +9,9 @@ type Entry struct {
 	ID string
 	// Paper names the artifact being reproduced.
 	Paper string
-	// Run executes the experiment.
-	Run func(Config) *Report
+	// Run executes the experiment. It returns an error — not a panic — when
+	// a cell cannot be evaluated (all failed repetitions joined).
+	Run func(Config) (*Report, error)
 	// Check evaluates the report against the paper's predicted shape and
 	// returns one message per failed expectation (empty = everything
 	// holds). The same checks back the unit tests and scbench's -check

@@ -17,7 +17,7 @@ import (
 // from fully adversarial (window 1) to fully random (window ≥ N). The paper
 // proves the two endpoints (Theorems 2 and 3); the interpolation shows
 // where between them the statistical signal returns.
-func Robustness(cfg Config) *Report {
+func Robustness(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+141), cfg.N, cfg.M, cfg.OPT, 0)
 	opt, _ := w.OptEstimate()
 	n, m := cfg.N, cfg.M
@@ -55,5 +55,5 @@ func Robustness(cfg Config) *Report {
 	rep.Findings["adversarial_to_random"] = covers[0] / covers[len(covers)-1]
 	rep.Notes = append(rep.Notes,
 		"window 1 = pure adversarial base order (Theorem 2's regime), window N = Theorem 3's random order")
-	return rep
+	return rep, nil
 }

@@ -20,7 +20,7 @@ import (
 // order; on random order the sampling phases cover most elements (few
 // patches), while set-contiguous and degree-skewed orders starve the
 // counters and force the run toward the trivial patched cover.
-func Separation(cfg Config) *Report {
+func Separation(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed), cfg.N, cfg.M, cfg.OPT, 0)
 	n, m := cfg.N, cfg.M
 
@@ -54,7 +54,7 @@ func Separation(cfg Config) *Report {
 	rep.Findings["adversarial_to_random_cover_ratio"] = worstAdvCover / randomCover
 	rep.Notes = append(rep.Notes,
 		"paper predicts random order strictly easier at this budget (Theorem 3 vs the Ω̃(m) bound of Theorem 2)")
-	return rep
+	return rep, nil
 }
 
 // SetArrivalContrast reproduces the §1 contrast between arrival models at
@@ -62,7 +62,7 @@ func Separation(cfg Config) *Report {
 // approximation with O(n) words, while edge arrival needs the KK-algorithm's
 // Θ(m) words (Theorem 2 proves the Ω̃(m) necessity). Total space (state +
 // aux) is compared so the n-sized bookkeeping is visible on both sides.
-func SetArrivalContrast(cfg Config) *Report {
+func SetArrivalContrast(cfg Config) (*Report, error) {
 	tb := texttable.New(
 		fmt.Sprintf("Set-arrival vs edge-arrival at α = Θ(√n) (n=%d opt=%d)", cfg.N, cfg.OPT),
 		"m", "model", "cover", "total space(words)", "space/n", "space/m")
@@ -94,5 +94,5 @@ func SetArrivalContrast(cfg Config) *Report {
 	rep.Findings["edge_to_set_space_ratio"] = lastEdgeSpace / lastSetSpace
 	rep.Notes = append(rep.Notes,
 		"paper: set-arrival needs Θ̃(n) space here, edge-arrival provably Ω̃(m) (Theorem 2)")
-	return rep
+	return rep, nil
 }

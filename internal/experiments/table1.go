@@ -19,7 +19,7 @@ import (
 // element-sampling algorithm at Θ̃(mn/α) space, swept over α. Expected
 // shape: peak state shrinks ~1/α (fitted slope ≈ −1 once α ≫ log m) and
 // the approximation ratio stays O(α + log n).
-func Table1Row1(cfg Config) *Report {
+func Table1Row1(cfg Config) (*Report, error) {
 	// A dense instance so both sampling knobs (ρ = log m/α projections and
 	// the k = m·log n/α incidence cap) actually bite; see the package docs
 	// of internal/elementsampling.
@@ -32,9 +32,12 @@ func Table1Row1(cfg Config) *Report {
 		"alpha", "cover(mean)", "ratio", "state(words)", "mn/alpha")
 	var alphas, states []float64
 	for _, alpha := range []float64{16, 32, 64, 128} {
-		c := runCell(cfg, w, stream.RoundRobin, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
+		c, err := runCell(cfg, w, stream.RoundRobin, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
 			return elementsampling.New(w.Inst.UniverseSize(), w.Inst.NumSets(), alpha, rng)
 		}, uint64(alpha))
+		if err != nil {
+			return nil, err
+		}
 		tb.AddRow(f0(alpha), f0(c.CoverSize.Mean), f2(c.Ratio.Mean), f0(c.State.Mean),
 			f0(float64(m)*float64(n)/alpha))
 		alphas = append(alphas, alpha)
@@ -43,14 +46,14 @@ func Table1Row1(cfg Config) *Report {
 	rep := newReport("E-T1-R1", "α = o(√n): Õ(mn/α) space (element sampling)", tb)
 	rep.Findings["space_vs_alpha_slope"] = stats.GeometricFitSlope(alphas, states)
 	rep.Notes = append(rep.Notes, "paper predicts slope ≈ −1 (space ∝ mn/α)")
-	return rep
+	return rep, nil
 }
 
 // Table1Row2 reproduces row 2 — the KK-algorithm at α = Θ̃(√n) in
 // adversarial order with Õ(m) space. Expected shape: peak state ≈ m words
 // (slope ≈ 1 in an m-sweep) and cover ≤ Õ(√n)·OPT on every adversarial
 // order.
-func Table1Row2(cfg Config) *Report {
+func Table1Row2(cfg Config) (*Report, error) {
 	tb := texttable.New(
 		fmt.Sprintf("Table 1 row 2: KK-algorithm, adversarial order (n=%d opt=%d)", cfg.N, cfg.OPT),
 		"m", "order", "cover(mean)", "ratio", "state(words)", "state/m")
@@ -58,9 +61,12 @@ func Table1Row2(cfg Config) *Report {
 	for _, m := range []int{cfg.M / 4, cfg.M / 2, cfg.M} {
 		w := workload.Planted(xrand.New(cfg.Seed+uint64(m)), cfg.N, m, cfg.OPT, 0)
 		for _, order := range []stream.Order{stream.RoundRobin, stream.HighDegreeLast} {
-			c := runCell(cfg, w, order, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
+			c, err := runCell(cfg, w, order, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
 				return kk.New(w.Inst.UniverseSize(), w.Inst.NumSets(), rng)
 			}, uint64(m))
+			if err != nil {
+				return nil, err
+			}
 			tb.AddRow(fi(m), order.String(), f0(c.CoverSize.Mean), f2(c.Ratio.Mean),
 				f0(c.State.Mean), f2(c.State.Mean/float64(m)))
 			if order == stream.RoundRobin {
@@ -72,7 +78,7 @@ func Table1Row2(cfg Config) *Report {
 	rep := newReport("E-T1-R2", "α = Θ̃(√n): Õ(m) space, adversarial (KK-algorithm)", tb)
 	rep.Findings["space_vs_m_slope"] = stats.GeometricFitSlope(ms, states)
 	rep.Notes = append(rep.Notes, "paper predicts slope ≈ 1 (space ∝ m, the bound Theorem 2 proves optimal)")
-	return rep
+	return rep, nil
 }
 
 // Table1Row3 reproduces row 3 — Algorithm 2 in adversarial order, swept
@@ -81,7 +87,7 @@ func Table1Row2(cfg Config) *Report {
 // total state additionally carries the |D_0| ≈ α up-front sample and the
 // growing patch-free solution, which floors it once α³ ≳ mn; both columns
 // are reported.
-func Table1Row3(cfg Config) *Report {
+func Table1Row3(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed), cfg.N, cfg.M, cfg.OPT, 0)
 	opt, _ := w.OptEstimate()
 	sq := sqrtf(cfg.N)
@@ -110,14 +116,14 @@ func Table1Row3(cfg Config) *Report {
 	rep := newReport("E-T1-R3", "α = Ω̃(√n): Õ(mn/α²) space, adversarial (Algorithm 2)", tb)
 	rep.Findings["promoted_vs_alpha_slope"] = stats.GeometricFitSlope(alphas, promoted)
 	rep.Notes = append(rep.Notes, "paper predicts the level map to scale as mn/α² (slope ≈ −2, Theorem 4)")
-	return rep
+	return rep, nil
 }
 
 // Table1Row4 reproduces row 4 — Algorithm 1 in random order at Õ(m/√n)
 // space, the paper's main result. Expected shape: at fixed n, peak state
 // grows linearly in m but sits a ≈√n factor below the KK-algorithm's on the
 // identical instance, while the cover stays within Õ(√n)·OPT.
-func Table1Row4(cfg Config) *Report {
+func Table1Row4(cfg Config) (*Report, error) {
 	// Theorem 3 assumes m = Ω̃(n²); outside that regime the Õ(√n·polylog)
 	// and Õ(n) additive terms mask the m/√n scaling. Hold n modest and
 	// sweep m from n² up.
@@ -136,13 +142,19 @@ func Table1Row4(cfg Config) *Report {
 	var kkStates []float64
 	for _, m := range []int{n * n, 2 * n * n, 4 * n * n} {
 		w := workload.Planted(xrand.New(cfg.Seed+uint64(m)), n, m, opt, 0)
-		cAlg1 := runCell(cfg, w, stream.Random, func(w workload.Workload, streamLen int, rng *xrand.Rand) stream.Algorithm {
+		cAlg1, err := runCell(cfg, w, stream.Random, func(w workload.Workload, streamLen int, rng *xrand.Rand) stream.Algorithm {
 			n, mm := w.Inst.UniverseSize(), w.Inst.NumSets()
 			return core.New(n, mm, streamLen, core.DefaultParams(n, mm), rng)
 		}, uint64(m))
-		cKK := runCell(cfg, w, stream.Random, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
+		if err != nil {
+			return nil, err
+		}
+		cKK, err := runCell(cfg, w, stream.Random, func(w workload.Workload, _ int, rng *xrand.Rand) stream.Algorithm {
 			return kk.New(w.Inst.UniverseSize(), w.Inst.NumSets(), rng)
 		}, uint64(m)+1)
+		if err != nil {
+			return nil, err
+		}
 		norm := cAlg1.State.Mean * sqrtf(n) / float64(m)
 		tb.AddRow(fi(m), "alg1", f0(cAlg1.CoverSize.Mean), f2(cAlg1.Ratio.Mean), f0(cAlg1.State.Mean), f2(norm))
 		tb.AddRow(fi(m), "kk", f0(cKK.CoverSize.Mean), f2(cKK.Ratio.Mean), f0(cKK.State.Mean), f2(cKK.State.Mean*sqrtf(n)/float64(m)))
@@ -156,5 +168,5 @@ func Table1Row4(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		"paper predicts slope ≈ 1 with a ≈√n-factor gap below the KK-algorithm at the same m",
 		fmt.Sprintf("√n = %.0f", sqrtf(n)))
-	return rep
+	return rep, nil
 }

@@ -6,11 +6,21 @@ import (
 	"testing"
 )
 
+// mustRun fails the test if an experiment cannot be evaluated.
+func mustRun(t *testing.T, run func(Config) (*Report, error), cfg Config) *Report {
+	t.Helper()
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func TestWriteMarkdownReport(t *testing.T) {
 	cfg := Quick()
 	reports := []*Report{
-		Table1Row2(cfg),
-		Concentration(cfg),
+		mustRun(t, Table1Row2, cfg),
+		mustRun(t, Concentration, cfg),
 	}
 	var buf bytes.Buffer
 	if err := WriteMarkdownReport(&buf, cfg, reports); err != nil {
@@ -34,7 +44,7 @@ func TestWriteMarkdownReport(t *testing.T) {
 func TestWriteMarkdownReportFlagsFailures(t *testing.T) {
 	cfg := Quick()
 	// A doctored report that violates its own check.
-	rep := Table1Row2(cfg)
+	rep := mustRun(t, Table1Row2, cfg)
 	rep.Findings["space_vs_m_slope"] = 0 // far outside [0.8, 1.2]
 	var buf bytes.Buffer
 	if err := WriteMarkdownReport(&buf, cfg, []*Report{rep}); err != nil {
@@ -51,7 +61,7 @@ func TestWriteMarkdownReportFlagsFailures(t *testing.T) {
 
 func TestWriteMarkdownReportDeterministic(t *testing.T) {
 	cfg := Quick()
-	reports := []*Report{Concentration(cfg)}
+	reports := []*Report{mustRun(t, Concentration, cfg)}
 	var a, b bytes.Buffer
 	if err := WriteMarkdownReport(&a, cfg, reports); err != nil {
 		t.Fatal(err)
@@ -66,7 +76,7 @@ func TestWriteMarkdownReportDeterministic(t *testing.T) {
 
 func TestWriteMarkdownReportUnknownID(t *testing.T) {
 	// Reports without a registry entry render without a check block.
-	rep := newReport("E-CUSTOM", "custom", Concentration(Quick()).Table)
+	rep := newReport("E-CUSTOM", "custom", mustRun(t, Concentration, Quick()).Table)
 	var buf bytes.Buffer
 	if err := WriteMarkdownReport(&buf, Quick(), []*Report{rep}); err != nil {
 		t.Fatal(err)

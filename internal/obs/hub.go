@@ -19,9 +19,10 @@ type Hub struct {
 	ring  *Ring
 	start time.Time
 
-	mu     sync.Mutex
-	sinks  [numAlgos]*Sink
-	runObs [numAlgos]*RunObs
+	mu       sync.Mutex
+	sinks    [numAlgos]*Sink
+	runObs   [numAlgos]*RunObs
+	prefetch *PrefetchObs
 }
 
 // NewHub returns a hub with a decision ring of the given capacity
@@ -81,6 +82,27 @@ func (h *Hub) RunObs(algo AlgoID) *RunObs {
 		h.runObs[algo] = newRunObs(algo, h.reg)
 	}
 	return h.runObs[algo]
+}
+
+// Prefetch returns the hub's prefetch-pipeline handle, creating it on first
+// use. Like sinks it is a singleton per hub: every Prefetcher in the process
+// feeds the same series.
+func (h *Hub) Prefetch() *PrefetchObs {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.prefetch == nil {
+		h.prefetch = NewPrefetchObs(h.reg)
+	}
+	return h.prefetch
+}
+
+// PrefetchObsFor returns the global hub's prefetch handle, or nil when no
+// hub is installed.
+func PrefetchObsFor() *PrefetchObs {
+	return Global().Prefetch()
 }
 
 // Snapshot captures the full observability surface.

@@ -1,0 +1,79 @@
+package obs
+
+// PrefetchObs instruments the stream prefetcher: how many batches/edges the
+// decode goroutine produced, how long each batch took to decode, how full
+// the ring was when the consumer fetched, and how often either side stalled
+// waiting for the other. Like Sink/RunObs it is nil-safe — a nil receiver
+// ignores every update — so the prefetcher carries one pointer and no
+// branches beyond the nil check the calls inline.
+//
+// Reading the stalls: a consumer stall means the algorithm outran the
+// decoder (the pipeline is decode-bound); a producer stall means the ring
+// was full when the decoder finished a batch (compute-bound — the healthy
+// state, decode is free). Ring occupancy near the ring depth tells the same
+// story from the buffer's point of view.
+type PrefetchObs struct {
+	batches        *Counter
+	edges          *Counter
+	consumerStalls *Counter
+	producerStalls *Counter
+	occupancy      *Histogram
+	decodeNS       *Histogram
+}
+
+// NewPrefetchObs registers the prefetch series on reg.
+func NewPrefetchObs(reg *Registry) *PrefetchObs {
+	if reg == nil {
+		return nil
+	}
+	return &PrefetchObs{
+		batches: reg.Counter("streamcover_prefetch_batches_total",
+			"Batches decoded by the stream prefetcher's background goroutine."),
+		edges: reg.Counter("streamcover_prefetch_edges_total",
+			"Edges decoded by the stream prefetcher's background goroutine."),
+		consumerStalls: reg.Counter("streamcover_prefetch_stalls_total",
+			"Times one side of the prefetch pipeline blocked on the other.",
+			Label{"side", "consumer"}),
+		producerStalls: reg.Counter("streamcover_prefetch_stalls_total",
+			"Times one side of the prefetch pipeline blocked on the other.",
+			Label{"side", "producer"}),
+		occupancy: reg.Histogram("streamcover_prefetch_ring_occupancy",
+			"Filled ring slots observed at each consumer fetch."),
+		decodeNS: reg.Histogram("streamcover_prefetch_decode_ns",
+			"Wall time to decode one prefetch batch, in nanoseconds."),
+	}
+}
+
+// Decode records one produced batch.
+func (p *PrefetchObs) Decode(edges int, ns int64) {
+	if !Enabled || p == nil {
+		return
+	}
+	p.batches.Inc()
+	p.edges.Add(int64(edges))
+	p.decodeNS.Observe(ns)
+}
+
+// ConsumerStall records the consumer blocking on an empty ring.
+func (p *PrefetchObs) ConsumerStall() {
+	if !Enabled || p == nil {
+		return
+	}
+	p.consumerStalls.Inc()
+}
+
+// ProducerStall records the decoder blocking on a full ring.
+func (p *PrefetchObs) ProducerStall() {
+	if !Enabled || p == nil {
+		return
+	}
+	p.producerStalls.Inc()
+}
+
+// Occupancy records how many filled slots were queued at a consumer fetch.
+func (p *PrefetchObs) Occupancy(n int64) {
+	if !Enabled || p == nil {
+		return
+	}
+	p.occupancy.Observe(n)
+}

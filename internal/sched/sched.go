@@ -1,0 +1,77 @@
+// Package sched is the worker-pool scheduler shared by the evaluation
+// harnesses (the scsweep grid, the scbench experiment registry, the
+// per-cell repetition loops): it shards independent, seed-deterministic
+// work items across a fixed number of goroutines and collects the results
+// in item order.
+//
+// The determinism contract: callers derive every random seed from the item
+// index (never from scheduling order), so the results — and therefore any
+// table rendered from them — are byte-identical for every worker count.
+// workers = 1 degenerates to a plain sequential loop in item order, which
+// is exactly the schedule the harnesses ran before parallelization.
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a -workers flag value: n > 0 is used as-is, anything
+// else (the flag default 0) means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) on Workers(workers) goroutines and returns the
+// results in index order. Items are claimed in ascending index order.
+// Every item runs regardless of other items' failures (an evaluation grid
+// should report all broken cells, not just the first); the per-item errors
+// are joined with errors.Join, so errors.Is still matches each one. A
+// panicking fn crashes the process, exactly as it would in a plain loop.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+		return out, errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// ForEach is Map for item-processing without a result value.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

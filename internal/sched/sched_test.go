@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 5, 64} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapJoinsAllErrors(t *testing.T) {
+	wantErrs := map[int]bool{3: true, 17: true, 41: true}
+	_, err := Map(4, 50, func(i int) (int, error) {
+		if wantErrs[i] {
+			return 0, fmt.Errorf("item %d broke", i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("errors dropped")
+	}
+	for i := range wantErrs {
+		if !contains(err, fmt.Sprintf("item %d broke", i)) {
+			t.Errorf("joined error missing item %d: %v", i, err)
+		}
+	}
+}
+
+func TestMapSequentialWhenSingleWorker(t *testing.T) {
+	// workers=1 must visit the items strictly in index order.
+	var last atomic.Int64
+	last.Store(-1)
+	_, err := Map(1, 200, func(i int) (int, error) {
+		if prev := last.Swap(int64(i)); prev != int64(i)-1 {
+			return 0, fmt.Errorf("item %d ran after %d", i, prev)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapEmptyAndErrorIdentity(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(3, 10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if err := ForEach(3, 10, func(i int) error {
+		if i == 7 {
+			return errors.New("seven")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("error dropped")
+	}
+}
+
+func contains(err error, substr string) bool {
+	return err != nil && strings.Contains(err.Error(), substr)
+}

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -11,42 +10,103 @@ import (
 	"streamcover/internal/setcover"
 )
 
+// fileBufSize is the default read-window size for on-disk replay: large
+// enough that the kernel read path is amortized over tens of thousands of
+// edges, small enough to stay resident in L2.
+const fileBufSize = 256 << 10
+
+// minFileWindow is the smallest usable read window: two maximum-length
+// varints, so one edge can always be decoded without an intervening refill.
+const minFileWindow = 2 * binary.MaxVarintLen64
+
+// FileOptions configures OpenFileWith.
+type FileOptions struct {
+	// EagerVerify restores the pre-pipelined behavior: scan the whole file at
+	// open time and verify the CRC-32 trailer before the first edge is
+	// returned, so corruption fails at open rather than mid-stream. The
+	// default (false) validates the magic and header eagerly but folds the
+	// checksum into the first replay pass: a corrupt payload surfaces as a
+	// sticky ErrCorrupt from Err at the end of that pass.
+	EagerVerify bool
+	// BufferSize is the read-window size in bytes; 0 selects the default
+	// (256 KiB). Values below the minimum decodable window are raised to it.
+	BufferSize int
+}
+
 // File is a Stream backed by an on-disk stream file (the Encode format),
-// decoded lazily: edges are read from disk as Next is called, so a stream
-// much larger than memory can be replayed — which is the point of the
-// streaming model. Reset seeks back to the first edge.
+// decoded lazily: edges are materialised from disk as they are consumed, so
+// a stream much larger than memory can be replayed — which is the point of
+// the streaming model. Reset seeks back to the first edge.
 //
-// OpenFile verifies the magic, header and CRC-32 up front with a single
-// sequential scan (without retaining the edges), so a corrupt file fails at
-// open time rather than mid-stream.
+// OpenFile validates the magic and header eagerly but checks the CRC-32
+// trailer as a side effect of the first full replay pass (single-scan open):
+// the bytes are hashed as they stream through the decode window, and a
+// mismatch surfaces as a sticky ErrCorrupt from Err when the pass reaches
+// the end of the file. Once any pass has verified the checksum, later passes
+// skip the hashing. OpenFileWith(path, FileOptions{EagerVerify: true})
+// restores the old fail-at-open behavior at the cost of an extra full scan.
 type File struct {
 	f         *os.File
 	hdr       Header
-	dataStart int64
-	br        *bufio.Reader
+	dataStart int64  // offset of the first edge byte
+	bodyLen   int64  // bytes between the header and the CRC trailer
+	headerCRC uint32 // CRC-32 state after magic + header
+	wantCRC   uint32 // the file's trailer
+	verified  bool   // some pass ran the full body through the CRC
+
+	// Per-pass decode state. The window rbuf[rpos:rlen] holds body bytes
+	// read ahead of the decoder; refill compacts and tops it up, hashing the
+	// incoming bytes while checkCRC is set.
+	rbuf      []byte
+	rpos      int
+	rlen      int
+	unread    int64 // body bytes not yet read from the file this pass
+	crc       uint32
+	checkCRC  bool
 	remaining int
+	finished  bool  // end-of-pass bookkeeping (CRC compare) has run
 	pos       int   // edges decoded since Reset
 	err       error // sticky decode error; stream terminates when set
-	batch     []Edge // reusable NextBatch buffer
+	batch     []Edge
 }
 
-// OpenFile opens and validates a stream file for lazy replay.
+// OpenFile opens a stream file for lazy single-scan replay (see File).
 func OpenFile(path string) (*File, error) {
+	return OpenFileWith(path, FileOptions{})
+}
+
+// OpenFileWith is OpenFile with explicit options.
+func OpenFileWith(path string, opts FileOptions) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	fs := &File{f: f}
-	if err := fs.validate(); err != nil {
+	bufSize := opts.BufferSize
+	if bufSize <= 0 {
+		bufSize = fileBufSize
+	}
+	if bufSize < minFileWindow {
+		bufSize = minFileWindow
+	}
+	if err := fs.open(bufSize); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if opts.EagerVerify {
+		if err := fs.verifyEager(); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	fs.Reset()
 	return fs, nil
 }
 
-// validate scans the whole file once: checksum, magic, header.
-func (fs *File) validate() error {
+// open parses and validates the magic + header, records the trailer CRC and
+// body extent, and allocates the read window — one bounded header read and
+// one 4-byte trailer read, never a full scan.
+func (fs *File) open(bufSize int) error {
 	info, err := fs.f.Stat()
 	if err != nil {
 		return err
@@ -56,75 +116,75 @@ func (fs *File) validate() error {
 		return fmt.Errorf("%w: file too short (%d bytes)", ErrTruncated, size)
 	}
 
-	// Streaming CRC over everything except the 4-byte trailer.
-	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
-		return err
+	// The header region is the magic plus at most three maximal uvarints,
+	// clipped to the bytes actually before the trailer.
+	hlen := int64(len(magic) + 3*binary.MaxVarintLen64)
+	if hlen > size-4 {
+		hlen = size - 4
 	}
-	crc := crc32.NewIEEE()
-	if _, err := io.CopyN(crc, fs.f, size-4); err != nil {
-		return fmt.Errorf("%w: read: %v", ErrTruncated, err)
+	hb := make([]byte, hlen)
+	if _, err := io.ReadFull(fs.f, hb); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrTruncated, err)
 	}
-	var trailer [4]byte
-	if _, err := io.ReadFull(fs.f, trailer[:]); err != nil {
-		return fmt.Errorf("%w: trailer: %v", ErrTruncated, err)
+	if len(hb) < len(magic) || [8]byte(hb[:len(magic)]) != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, hb[:min(len(hb), len(magic))])
 	}
-	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[:]) {
-		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-	}
-
-	// Magic and header.
-	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	br := bufio.NewReader(io.LimitReader(fs.f, size-4))
-	var gotMagic [8]byte
-	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
-		return fmt.Errorf("%w: short magic: %v", ErrTruncated, err)
-	}
-	if gotMagic != magic {
-		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
-	}
-	consumed := int64(len(magic))
+	off := len(magic)
 	for i, dst := range []*int{&fs.hdr.N, &fs.hdr.M, &fs.hdr.E} {
-		v, n, err := readUvarintCounting(br)
-		if err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return fmt.Errorf("%w: header field %d: %v", ErrTruncated, i, err)
-			}
-			return fmt.Errorf("%w: header field %d: %v", ErrCorrupt, i, err)
+		v, n := binary.Uvarint(hb[off:])
+		if n == 0 {
+			return fmt.Errorf("%w: header field %d: unexpected EOF", ErrTruncated, i)
+		}
+		if n < 0 {
+			return fmt.Errorf("%w: header field %d: uvarint overflow", ErrCorrupt, i)
 		}
 		if v > 1<<31 {
 			return fmt.Errorf("%w: header field %d overflows", ErrCorrupt, i)
 		}
 		*dst = int(v)
-		consumed += int64(n)
+		off += n
 	}
 	if fs.hdr.N <= 0 || fs.hdr.M <= 0 || fs.hdr.E < 0 {
 		return fmt.Errorf("%w: invalid header %+v", ErrCorrupt, fs.hdr)
 	}
-	fs.dataStart = consumed
+	fs.dataStart = int64(off)
+	fs.bodyLen = size - 4 - fs.dataStart
+	fs.headerCRC = crc32.Update(0, crc32.IEEETable, hb[:off])
+
+	var trailer [4]byte
+	if _, err := fs.f.ReadAt(trailer[:], size-4); err != nil {
+		return fmt.Errorf("%w: trailer: %v", ErrTruncated, err)
+	}
+	fs.wantCRC = binary.LittleEndian.Uint32(trailer[:])
+	fs.rbuf = make([]byte, bufSize)
 	return nil
 }
 
-// readUvarintCounting reads one uvarint and reports how many bytes it used.
-func readUvarintCounting(br *bufio.Reader) (uint64, int, error) {
-	var v uint64
-	var shift, n int
-	for {
-		b, err := br.ReadByte()
-		if err != nil {
-			return 0, n, err
-		}
-		n++
-		if shift >= 64 {
-			return 0, n, fmt.Errorf("uvarint overflow")
-		}
-		v |= uint64(b&0x7f) << shift
-		if b < 0x80 {
-			return v, n, nil
-		}
-		shift += 7
+// verifyEager runs the whole body through the CRC before the first edge is
+// served (the EagerVerify option).
+func (fs *File) verifyEager() error {
+	if _, err := fs.f.Seek(fs.dataStart, io.SeekStart); err != nil {
+		return err
 	}
+	crc := fs.headerCRC
+	remaining := fs.bodyLen
+	for remaining > 0 {
+		chunk := int64(len(fs.rbuf))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		n, err := io.ReadFull(fs.f, fs.rbuf[:chunk])
+		crc = crc32.Update(crc, crc32.IEEETable, fs.rbuf[:n])
+		remaining -= int64(n)
+		if err != nil {
+			return fmt.Errorf("%w: read: %v", ErrTruncated, err)
+		}
+	}
+	if crc != fs.wantCRC {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	fs.verified = true
+	return nil
 }
 
 // Header returns the stream's header.
@@ -134,51 +194,153 @@ func (fs *File) Header() Header { return fs.hdr }
 func (fs *File) Len() int { return fs.hdr.E }
 
 // Reset implements Stream, seeking back to the first edge. It clears any
-// sticky decode error from the previous pass.
+// sticky decode error from the previous pass. The first pass after open (and
+// every pass until one completes cleanly) re-arms the CRC check.
 func (fs *File) Reset() {
 	fs.pos = 0
 	fs.err = nil
+	fs.rpos, fs.rlen = 0, 0
+	fs.remaining = fs.hdr.E
+	fs.unread = fs.bodyLen
+	fs.crc = fs.headerCRC
+	fs.checkCRC = !fs.verified
+	fs.finished = false
 	if _, err := fs.f.Seek(fs.dataStart, io.SeekStart); err != nil {
 		// Seek on a regular file only fails if the file was closed; make
 		// the stream empty rather than panicking mid-experiment.
 		fs.remaining = 0
+		fs.unread = 0
 		fs.err = fmt.Errorf("stream: seek: %w", err)
-		fs.br = bufio.NewReader(io.LimitReader(fs.f, 0))
-		return
+		fs.finished = true
 	}
-	fs.br = bufio.NewReader(fs.f)
-	fs.remaining = fs.hdr.E
 }
 
-// Next implements Stream. A decoding error (impossible on a file OpenFile
-// validated, barring concurrent modification) terminates the stream early;
-// Err reports it.
-func (fs *File) Next() (Edge, bool) {
+// refill compacts the window and tops it up from the file body, folding the
+// incoming bytes into the pass CRC while the pass is a verifying one.
+func (fs *File) refill() error {
+	if fs.rpos > 0 {
+		copy(fs.rbuf, fs.rbuf[fs.rpos:fs.rlen])
+		fs.rlen -= fs.rpos
+		fs.rpos = 0
+	}
+	for fs.rlen < len(fs.rbuf) && fs.unread > 0 {
+		want := int64(len(fs.rbuf) - fs.rlen)
+		if want > fs.unread {
+			want = fs.unread
+		}
+		n, err := fs.f.Read(fs.rbuf[fs.rlen : fs.rlen+int(want)])
+		if n > 0 {
+			if fs.checkCRC {
+				fs.crc = crc32.Update(fs.crc, crc32.IEEETable, fs.rbuf[fs.rlen:fs.rlen+n])
+			}
+			fs.rlen += n
+			fs.unread -= int64(n)
+		}
+		if err != nil {
+			// unread was computed from the file size at open, so running out
+			// early means the file shrank underneath us.
+			return fmt.Errorf("%w: body ends %d bytes early: %v", ErrTruncated, fs.unread, err)
+		}
+	}
+	return nil
+}
+
+// FillBatch implements BatchFiller: it decodes up to len(dst) edges directly
+// into dst and returns how many were produced. A short count means end of
+// stream or a sticky decode error (Err distinguishes them). This is the
+// single decode loop behind Next, NextBatch and SkipTo: uvarints are read
+// straight out of the read window, two bounds checks and no io.Reader
+// dispatch per edge.
+func (fs *File) FillBatch(dst []Edge) int {
+	if fs.err != nil {
+		return 0
+	}
 	if fs.remaining <= 0 {
+		fs.finishPass()
+		return 0
+	}
+	k := 0
+	for k < len(dst) && fs.remaining > 0 {
+		if fs.rlen-fs.rpos < minFileWindow && fs.unread > 0 {
+			if err := fs.refill(); err != nil {
+				fs.fail(err)
+				break
+			}
+		}
+		s, n1 := binary.Uvarint(fs.rbuf[fs.rpos:fs.rlen])
+		if n1 <= 0 {
+			fs.fail(fs.varintErr(n1, "set"))
+			break
+		}
+		u, n2 := binary.Uvarint(fs.rbuf[fs.rpos+n1 : fs.rlen])
+		if n2 <= 0 {
+			fs.fail(fs.varintErr(n2, "elem"))
+			break
+		}
+		if s >= uint64(fs.hdr.M) || u >= uint64(fs.hdr.N) {
+			fs.fail(fmt.Errorf("%w: edge %d (%d,%d) out of range", ErrCorrupt, fs.pos, s, u))
+			break
+		}
+		fs.rpos += n1 + n2
+		dst[k] = Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}
+		k++
+		fs.pos++
+		fs.remaining--
+	}
+	if fs.remaining == 0 && fs.err == nil {
+		fs.finishPass()
+	}
+	return k
+}
+
+// varintErr classifies a failed in-window uvarint decode: the window only
+// runs out when the body itself has ended (truncation); a malformed 10-byte
+// varint is corruption.
+func (fs *File) varintErr(n int, field string) error {
+	if n == 0 {
+		return fmt.Errorf("%w: edge %d %s: unexpected EOF", ErrTruncated, fs.pos, field)
+	}
+	return fmt.Errorf("%w: edge %d %s: uvarint overflow", ErrCorrupt, fs.pos, field)
+}
+
+// finishPass runs once when a pass has decoded all E edges: any body bytes
+// beyond the last edge are corruption, and on a verifying pass the folded
+// CRC must match the trailer. A clean verifying pass marks the file verified
+// so later passes skip the hashing.
+func (fs *File) finishPass() {
+	if fs.finished {
+		return
+	}
+	fs.finished = true
+	if extra := int64(fs.rlen-fs.rpos) + fs.unread; extra > 0 {
+		fs.fail(fmt.Errorf("%w: %d trailing bytes after edge %d", ErrCorrupt, extra, fs.pos))
+		return
+	}
+	if fs.checkCRC {
+		if fs.crc != fs.wantCRC {
+			fs.fail(fmt.Errorf("%w: checksum mismatch", ErrCorrupt))
+			return
+		}
+		fs.verified = true
+	}
+}
+
+// Next implements Stream. A decoding error terminates the stream early; Err
+// reports it. Note that on a lazily-opened file a CRC mismatch is only
+// detectable once the pass reaches the end of the body, so a corrupt file
+// yields its (corrupt) edges first and fails on the final call.
+func (fs *File) Next() (Edge, bool) {
+	var one [1]Edge
+	if fs.FillBatch(one[:]) == 0 {
 		return Edge{}, false
 	}
-	s, err := binary.ReadUvarint(fs.br)
-	if err != nil {
-		fs.fail(fmt.Errorf("%w: edge %d set: %v", ErrTruncated, fs.pos, err))
-		return Edge{}, false
-	}
-	u, err := binary.ReadUvarint(fs.br)
-	if err != nil {
-		fs.fail(fmt.Errorf("%w: edge %d elem: %v", ErrTruncated, fs.pos, err))
-		return Edge{}, false
-	}
-	if s >= uint64(fs.hdr.M) || u >= uint64(fs.hdr.N) {
-		fs.fail(fmt.Errorf("%w: edge %d (%d,%d) out of range", ErrCorrupt, fs.pos, s, u))
-		return Edge{}, false
-	}
-	fs.remaining--
-	fs.pos++
-	return Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}, true
+	return one[0], true
 }
 
 // fail records the first decode error and terminates the stream.
 func (fs *File) fail(err error) {
 	fs.remaining = 0
+	fs.finished = true
 	if fs.err == nil {
 		fs.err = err
 	}
@@ -188,13 +350,17 @@ func (fs *File) fail(err error) {
 // if the pass ended cleanly (or is still in progress). Reset clears it.
 func (fs *File) Err() error { return fs.err }
 
-// SkipTo implements Skipper: it decodes (and discards) edges until the
-// stream is positioned at edge pos, so a resumed run fast-forwards an
-// on-disk stream without dispatching the prefix to the algorithm. Call it
-// only on a freshly Reset stream.
+// SkipTo implements Skipper: it decodes (and discards) edges batch-at-a-time
+// until the stream is positioned at edge pos, so a resumed run fast-forwards
+// an on-disk stream — validating as it goes — without dispatching the prefix
+// to the algorithm. Call it only on a freshly Reset stream.
 func (fs *File) SkipTo(pos int) error {
 	for fs.pos < pos {
-		if _, ok := fs.Next(); !ok {
+		max := pos - fs.pos
+		if max > BatchSize {
+			max = BatchSize
+		}
+		if len(fs.NextBatch(max)) == 0 {
 			if fs.err != nil {
 				return fs.err
 			}
@@ -209,7 +375,11 @@ func (fs *File) SkipTo(pos int) error {
 // an on-disk stream without a per-edge virtual call or per-batch allocation.
 // The view is only valid until the next NextBatch/Next/Reset call.
 func (fs *File) NextBatch(max int) []Edge {
+	if fs.err != nil {
+		return nil
+	}
 	if max <= 0 || fs.remaining <= 0 {
+		fs.finishPass()
 		return nil
 	}
 	if max > fs.remaining {
@@ -218,17 +388,7 @@ func (fs *File) NextBatch(max int) []Edge {
 	if cap(fs.batch) < max {
 		fs.batch = make([]Edge, max)
 	}
-	buf := fs.batch[:max]
-	k := 0
-	for k < max {
-		e, ok := fs.Next()
-		if !ok {
-			break
-		}
-		buf[k] = e
-		k++
-	}
-	return buf[:k]
+	return fs.batch[:fs.FillBatch(fs.batch[:max])]
 }
 
 // Close releases the underlying file.
@@ -236,4 +396,6 @@ func (fs *File) Close() error { return fs.f.Close() }
 
 var _ Stream = (*File)(nil)
 var _ Batcher = (*File)(nil)
+var _ BatchFiller = (*File)(nil)
 var _ Skipper = (*File)(nil)
+var _ ErrReporter = (*File)(nil)

@@ -97,22 +97,63 @@ func TestFileStreamDrivesAlgorithm(t *testing.T) {
 	}
 }
 
+// drainFile consumes the whole stream and returns its sticky error.
+func drainFile(fs *File) error {
+	for {
+		if len(fs.NextBatch(BatchSize)) == 0 {
+			return fs.Err()
+		}
+	}
+}
+
 func TestOpenFileRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 
+	// The default open folds the CRC check into the first replay pass, so
+	// payload corruption surfaces as a sticky ErrCorrupt by the end of that
+	// pass; EagerVerify restores rejection at open time.
 	t.Run("bit flip", func(t *testing.T) {
 		path, _, _ := writeStreamFile(t, dir, func(b []byte) []byte {
 			b[len(b)/2] ^= 0x10
 			return b
 		})
-		if _, err := OpenFile(path); !errors.Is(err, ErrCorrupt) {
-			t.Fatalf("err=%v", err)
+		fs, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("lazy open rejected payload corruption at open: %v", err)
+		}
+		defer fs.Close()
+		if err := drainFile(fs); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("after full pass, Err=%v want ErrCorrupt", err)
+		}
+		// The error is sticky until Reset, which re-arms the check.
+		if err := fs.Err(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("sticky Err=%v", err)
+		}
+		fs.Reset()
+		if err := fs.Err(); err != nil {
+			t.Fatalf("Err after Reset = %v", err)
+		}
+		if err := drainFile(fs); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("second pass Err=%v want ErrCorrupt", err)
+		}
+
+		if _, err := OpenFileWith(path, FileOptions{EagerVerify: true}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("eager open err=%v want ErrCorrupt", err)
 		}
 	})
 	t.Run("truncated", func(t *testing.T) {
 		path, _, _ := writeStreamFile(t, dir, func(b []byte) []byte { return b[:len(b)-6] })
-		if _, err := OpenFile(path); !errors.Is(err, ErrCorrupt) {
-			t.Fatalf("err=%v", err)
+		fs, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("lazy open rejected truncated body at open: %v", err)
+		}
+		defer fs.Close()
+		if err := drainFile(fs); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("after full pass, Err=%v want ErrCorrupt", err)
+		}
+
+		if _, err := OpenFileWith(path, FileOptions{EagerVerify: true}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("eager open err=%v want ErrCorrupt", err)
 		}
 	})
 	t.Run("bad magic", func(t *testing.T) {
@@ -129,6 +170,38 @@ func TestOpenFileRejectsCorruption(t *testing.T) {
 			t.Fatal("missing file accepted")
 		}
 	})
+	t.Run("clean pass skips later re-verification", func(t *testing.T) {
+		path, _, _ := writeStreamFile(t, dir, nil)
+		fs, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		for pass := 0; pass < 2; pass++ {
+			if err := drainFile(fs); err != nil {
+				t.Fatalf("pass %d: %v", pass, err)
+			}
+			fs.Reset()
+		}
+	})
+}
+
+func TestRunSurfacesLazyCorruption(t *testing.T) {
+	// A Run over a lazily-opened corrupt file must report the failure on
+	// Result.Err — the silent-truncation hazard the driver guards against.
+	path, hdr, _ := writeStreamFile(t, t.TempDir(), func(b []byte) []byte {
+		b[len(b)/2] ^= 0x10
+		return b
+	})
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	res := Run(newFirstSetAlg(hdr.N), fs)
+	if !errors.Is(res.Err, ErrCorrupt) {
+		t.Fatalf("Result.Err=%v want ErrCorrupt", res.Err)
+	}
 }
 
 func TestFileStreamResetAfterClose(t *testing.T) {

@@ -2,6 +2,9 @@ package stream
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"streamcover/internal/setcover"
@@ -50,6 +53,84 @@ func FuzzDecode(f *testing.F) {
 		hdr2, decoded2, err := Decode(&out)
 		if err != nil || hdr2 != hdr || len(decoded2) != len(decoded) {
 			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzPrefetchedFile pushes arbitrary bytes through the full on-disk
+// pipeline — lazily-verified File, background Prefetcher — and checks it
+// against a direct in-memory Decode of the same bytes: when Decode accepts,
+// the prefetched replay must yield the identical edge sequence with no
+// error; when Decode rejects, the pipeline must either fail at open or
+// surface a sticky error (never panic, hang, or silently truncate a pass it
+// claims completed).
+func FuzzPrefetchedFile(f *testing.F) {
+	inst := setcover.MustNewInstance(5, [][]setcover.Element{{0, 1, 2}, {3, 4}})
+	edges := EdgesOf(inst)
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{N: 5, M: 2, E: len(edges)}, edges); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("SCSTRM1\n"))
+	mutated := append([]byte(nil), valid...)
+	mutated[10] ^= 0xff
+	f.Add(mutated)
+	trailing := append(append([]byte(nil), valid...), 0)
+	f.Add(trailing)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, want, decodeErr := Decode(bytes.NewReader(data))
+
+		path := filepath.Join(t.TempDir(), "fuzz.scstrm")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := OpenFile(path)
+		if err != nil {
+			if decodeErr == nil {
+				t.Fatalf("open rejected a Decode-accepted file: %v", err)
+			}
+			return
+		}
+		defer fs.Close()
+		pf := NewPrefetcherSized(fs, 2, 7) // tiny batches exercise ring wrap
+		defer pf.Close()
+
+		var got []Edge
+		for {
+			b := pf.NextBatch(5)
+			if len(b) == 0 {
+				break
+			}
+			got = append(got, b...)
+		}
+		passErr := pf.Err()
+
+		if decodeErr == nil {
+			if passErr != nil {
+				t.Fatalf("prefetched pass failed on a Decode-accepted file: %v", passErr)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("prefetched %d edges, Decode saw %d (header %+v)", len(got), len(want), hdr)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("edge %d: prefetched %v, Decode %v", i, got[i], want[i])
+				}
+			}
+			return
+		}
+		// Decode rejected the bytes but the file opened: the lazy pass must
+		// report a sticky corruption-family error by its end.
+		if passErr == nil {
+			t.Fatalf("Decode rejected (%v) but the prefetched pass completed cleanly with %d edges", decodeErr, len(got))
+		}
+		if !errors.Is(passErr, ErrCorrupt) && !errors.Is(passErr, ErrShortStream) {
+			t.Fatalf("pass error %v is outside the corruption family", passErr)
 		}
 	})
 }

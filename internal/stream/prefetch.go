@@ -1,0 +1,366 @@
+package stream
+
+import (
+	"time"
+
+	"streamcover/internal/obs"
+)
+
+// Prefetch pipeline defaults: a ring of three reusable batch buffers is
+// enough to triple-buffer (the decoder fills batch i+1 and i+2 while the
+// algorithm consumes batch i) and bounds resident prefetch memory at
+// depth × batch edges.
+const (
+	DefaultPrefetchDepth = 3
+	DefaultPrefetchBatch = BatchSize
+)
+
+// pfSlot is one filled ring buffer handed from the decode goroutine to the
+// consumer: which buffer, how many edges it holds, and — on the pass's final
+// slot — the source stream's sticky decode error.
+type pfSlot struct {
+	idx  int
+	n    int
+	last bool
+	err  error
+}
+
+// Prefetcher wraps a Stream and decodes it on a background goroutine,
+// overlapping I/O + varint decode with the algorithm's compute. Edges flow
+// through a small ring of reusable batch buffers (bounded memory, zero
+// allocations in steady state) and are handed to the consumer as zero-copy
+// views in exact stream order, so a prefetched run is observably identical
+// to a direct one: same covers, certificates, decision traces and coin
+// flips.
+//
+// Prefetcher implements Stream, Batcher, Skipper and ErrReporter, so it
+// drops into Run/RunCheckpointed/DrivePartial transparently — including
+// checkpoint batch clipping (NextBatch serves clipped sub-views of the
+// current buffer) and Skipper fast-forward. The source's sticky decode
+// error (File's CRC-on-replay failure, see OpenFile) is re-raised at the
+// exact edge position the consumer reaches it.
+//
+// Ownership rules: the source stream belongs to the decode goroutine from
+// construction until Close — the caller must not touch it except via the
+// Prefetcher (Len on the source must be safe to call concurrently, which
+// holds for Slice and File whose lengths are fixed at construction). Views
+// returned by NextBatch alias ring buffers and are only valid until the
+// next NextBatch/Next/Reset call. Like every Stream, a Prefetcher is not
+// safe for concurrent use by multiple consumers.
+type Prefetcher struct {
+	src      Stream
+	bufs     [][]Edge
+	batchLen int
+
+	// Worker protocol. Buffer indices circulate free → (decode) → full →
+	// (consume) → free; cap(full) = depth means the worker never blocks on
+	// the send. A pass is started by a start token and torn down either by
+	// the worker sending the pass's last slot or by an abort token; either
+	// way the worker answers with a done token and parks.
+	start  chan struct{}
+	abort  chan struct{}
+	done   chan struct{}
+	free   chan int
+	full   chan pfSlot
+	exited chan struct{}
+
+	po *obs.PrefetchObs
+
+	// Consumer state.
+	running    bool // a pass is active on the worker
+	sawLast    bool // the pass's final slot has been received
+	pendingErr error
+	cur        []Edge
+	curIdx     int
+	off        int
+	pos        int
+	err        error // sticky: the source's decode error, surfaced in order
+	closed     bool
+}
+
+// NewPrefetcher wraps src in a Prefetcher with the default ring depth and
+// batch length. The caller must Close it to stop the decode goroutine.
+func NewPrefetcher(src Stream) *Prefetcher {
+	return NewPrefetcherSized(src, DefaultPrefetchDepth, DefaultPrefetchBatch)
+}
+
+// NewPrefetcherSized is NewPrefetcher with an explicit ring depth (minimum
+// 2, so decode and compute can overlap at all) and batch buffer length.
+func NewPrefetcherSized(src Stream, depth, batchLen int) *Prefetcher {
+	if depth < 2 {
+		depth = 2
+	}
+	if batchLen < 1 {
+		batchLen = DefaultPrefetchBatch
+	}
+	p := &Prefetcher{
+		src:      src,
+		bufs:     make([][]Edge, depth),
+		batchLen: batchLen,
+		start:    make(chan struct{}),
+		abort:    make(chan struct{}, 1),
+		done:     make(chan struct{}, 1),
+		free:     make(chan int, depth),
+		full:     make(chan pfSlot, depth),
+		exited:   make(chan struct{}),
+		po:       obs.PrefetchObsFor(),
+		curIdx:   -1,
+	}
+	for i := range p.bufs {
+		p.bufs[i] = make([]Edge, batchLen)
+	}
+	go p.worker()
+	p.Reset()
+	return p
+}
+
+// worker is the decode goroutine: one iteration per pass, parked between
+// passes (and before the first).
+func (p *Prefetcher) worker() {
+	defer close(p.exited)
+	for range p.start {
+		p.src.Reset()
+		p.runPass()
+		p.done <- struct{}{}
+	}
+}
+
+// runPass decodes the source into ring buffers until the stream ends or an
+// abort token arrives. The pass's final slot (short or empty fill) carries
+// the source's sticky error.
+func (p *Prefetcher) runPass() {
+	for {
+		var idx int
+		select {
+		case <-p.abort:
+			return
+		case idx = <-p.free:
+		default:
+			p.po.ProducerStall()
+			select {
+			case <-p.abort:
+				return
+			case idx = <-p.free:
+			}
+		}
+		var t0 time.Time
+		if p.po != nil {
+			t0 = time.Now()
+		}
+		n := p.fillBuf(p.bufs[idx])
+		if p.po != nil {
+			p.po.Decode(n, time.Since(t0).Nanoseconds())
+		}
+		slot := pfSlot{idx: idx, n: n, last: n < p.batchLen}
+		if slot.last {
+			slot.err = StreamErr(p.src)
+		}
+		select {
+		case <-p.abort:
+			return
+		case p.full <- slot:
+		}
+		if slot.last {
+			return
+		}
+	}
+}
+
+// fillBuf decodes the next run of edges into dst, preferring the source's
+// direct-into-buffer decode (File, Slice) over the per-edge fallback.
+func (p *Prefetcher) fillBuf(dst []Edge) int {
+	if bf, ok := p.src.(BatchFiller); ok {
+		return bf.FillBatch(dst)
+	}
+	k := 0
+	for k < len(dst) {
+		e, ok := p.src.Next()
+		if !ok {
+			break
+		}
+		dst[k] = e
+		k++
+	}
+	return k
+}
+
+// Len implements Stream.
+func (p *Prefetcher) Len() int { return p.src.Len() }
+
+// Reset implements Stream: it tears down any in-flight pass, reclaims every
+// ring buffer, clears the sticky error and starts the worker on a fresh pass
+// of the source. No allocation — steady-state replay loops stay at zero
+// allocs per pass.
+func (p *Prefetcher) Reset() {
+	p.stopPass()
+	// Reclaim every buffer: the consumer may hold one, completed passes
+	// leave slots queued, and an aborted worker drops its index on the
+	// floor. The worker is parked, so draining both channels and re-priming
+	// free with all indices is race-free.
+drain:
+	for {
+		select {
+		case <-p.full:
+		case <-p.free:
+		default:
+			break drain
+		}
+	}
+	for i := range p.bufs {
+		p.free <- i
+	}
+	p.cur, p.curIdx, p.off, p.pos = nil, -1, 0, 0
+	p.err, p.pendingErr, p.sawLast = nil, nil, false
+	p.start <- struct{}{}
+	p.running = true
+}
+
+// stopPass brings the worker back to its parked state. On return the worker
+// holds no ring buffer and is blocked on the start channel.
+func (p *Prefetcher) stopPass() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	if p.sawLast {
+		// The worker finished the pass on its own; it has already sent (or
+		// is about to send) the done token.
+		<-p.done
+		return
+	}
+	p.abort <- struct{}{}
+	for {
+		select {
+		case <-p.full:
+		case <-p.done:
+			// The worker may have completed the pass naturally before seeing
+			// the abort; reclaim the unconsumed token so the next pass does
+			// not abort spuriously.
+			select {
+			case <-p.abort:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// advance recycles the consumed buffer and pulls the next filled slot,
+// returning false at end of pass (p.err then holds the source's sticky
+// error, if any).
+func (p *Prefetcher) advance() bool {
+	if p.err != nil {
+		return false
+	}
+	if p.curIdx >= 0 {
+		p.free <- p.curIdx
+		p.curIdx = -1
+		p.cur = nil
+		p.off = 0
+	}
+	if p.sawLast {
+		p.err = p.pendingErr
+		return false
+	}
+	var slot pfSlot
+	select {
+	case slot = <-p.full:
+	default:
+		p.po.ConsumerStall()
+		slot = <-p.full
+	}
+	p.po.Occupancy(int64(len(p.full)))
+	if slot.last {
+		p.sawLast = true
+		p.pendingErr = slot.err
+	}
+	if slot.n == 0 {
+		p.err = p.pendingErr
+		return false
+	}
+	p.cur = p.bufs[slot.idx][:slot.n]
+	p.curIdx = slot.idx
+	p.off = 0
+	return true
+}
+
+// Next implements Stream.
+func (p *Prefetcher) Next() (Edge, bool) {
+	if p.off >= len(p.cur) {
+		if !p.advance() {
+			return Edge{}, false
+		}
+	}
+	e := p.cur[p.off]
+	p.off++
+	p.pos++
+	return e, true
+}
+
+// NextBatch implements Batcher: it returns a zero-copy view of the current
+// ring buffer, clipped to max edges — so checkpoint boundary clipping by the
+// driver composes exactly as with any other Batcher. The view is only valid
+// until the next NextBatch/Next/Reset call.
+func (p *Prefetcher) NextBatch(max int) []Edge {
+	if max <= 0 {
+		return nil
+	}
+	if p.off >= len(p.cur) {
+		if !p.advance() {
+			return nil
+		}
+	}
+	hi := p.off + max
+	if hi > len(p.cur) {
+		hi = len(p.cur)
+	}
+	batch := p.cur[p.off:hi]
+	p.off = hi
+	p.pos += len(batch)
+	return batch
+}
+
+// SkipTo implements Skipper: it consumes (and discards) prefetched batches
+// until the stream is positioned at edge pos. The skipped prefix is still
+// decoded and validated by the background goroutine — exactly like File's
+// own fast-forward — it just never reaches the algorithm. Call it only on a
+// freshly Reset stream.
+func (p *Prefetcher) SkipTo(pos int) error {
+	for p.pos < pos {
+		max := pos - p.pos
+		if max > p.batchLen {
+			max = p.batchLen
+		}
+		if len(p.NextBatch(max)) == 0 {
+			if p.err != nil {
+				return p.err
+			}
+			return errShortStream(p.pos, pos)
+		}
+	}
+	return nil
+}
+
+// Err implements ErrReporter: the source's sticky decode error once the
+// consumer has reached the failure point, nil while the pass is clean or
+// still in progress. Reset clears it.
+func (p *Prefetcher) Err() error { return p.err }
+
+// Close stops the decode goroutine and waits for it to exit. It does not
+// close the source stream (callers own File lifecycles). The Prefetcher
+// must not be used after Close.
+func (p *Prefetcher) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.stopPass()
+	close(p.start)
+	<-p.exited
+	return nil
+}
+
+var _ Stream = (*Prefetcher)(nil)
+var _ Batcher = (*Prefetcher)(nil)
+var _ Skipper = (*Prefetcher)(nil)
+var _ ErrReporter = (*Prefetcher)(nil)

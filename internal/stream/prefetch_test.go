@@ -1,0 +1,373 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/xrand"
+)
+
+// randomEdges builds a deterministic pseudo-random edge list over n elements
+// and m sets. It is NOT a valid set-cover stream (duplicates allowed) — fine
+// for transport-equivalence tests, which only care about byte ordering.
+func randomEdges(rng *xrand.Rand, n, m, count int) []Edge {
+	edges := make([]Edge, count)
+	for i := range edges {
+		edges[i] = Edge{
+			Set:  setcover.SetID(rng.IntN(m)),
+			Elem: setcover.Element(rng.IntN(n)),
+		}
+	}
+	return edges
+}
+
+// prefetchBackends yields each stream backend under test for the given edge
+// list: an in-memory Slice and an on-disk File (lazily verified, so the
+// prefetch path also exercises CRC-on-replay).
+func prefetchBackends(t *testing.T, edges []Edge, n, m int) map[string]func() Stream {
+	t.Helper()
+	file := writeEdgesFile(t, edges, n, m)
+	return map[string]func() Stream{
+		"slice": func() Stream { return NewSlice(edges) },
+		"file": func() Stream {
+			fs, err := OpenFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { fs.Close() })
+			return fs
+		},
+	}
+}
+
+func writeEdgesFile(t *testing.T, edges []Edge, n, m int) string {
+	t.Helper()
+	maxSet, maxElem := 0, 0
+	for _, e := range edges {
+		if int(e.Set) > maxSet {
+			maxSet = int(e.Set)
+		}
+		if int(e.Elem) > maxElem {
+			maxElem = int(e.Elem)
+		}
+	}
+	if n <= maxElem {
+		n = maxElem + 1
+	}
+	if m <= maxSet {
+		m = maxSet + 1
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{N: n, M: m, E: len(edges)}, edges); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pf.scs")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPrefetcherMatchesDirectRandomized(t *testing.T) {
+	rng := xrand.New(0x5eed)
+	for trial := 0; trial < 12; trial++ {
+		n, m := 1+rng.IntN(40), 1+rng.IntN(30)
+		count := rng.IntN(3000)
+		edges := randomEdges(rng, n, m, count)
+		depth := 2 + rng.IntN(3)
+		batchLen := 1 + rng.IntN(700)
+		for name, mk := range prefetchBackends(t, edges, n, m) {
+			src := mk()
+			p := NewPrefetcherSized(src, depth, batchLen)
+
+			// Pass 1: mixed Next/NextBatch consumption with random request
+			// sizes must reproduce the edge sequence exactly.
+			var got []Edge
+			for {
+				if rng.Coin(0.3) {
+					e, ok := p.Next()
+					if !ok {
+						break
+					}
+					got = append(got, e)
+				} else {
+					b := p.NextBatch(1 + rng.IntN(2*batchLen))
+					if len(b) == 0 {
+						break
+					}
+					got = append(got, b...)
+				}
+			}
+			if len(got) != len(edges) {
+				t.Fatalf("trial %d %s: got %d edges want %d", trial, name, len(got), len(edges))
+			}
+			for i := range got {
+				if got[i] != edges[i] {
+					t.Fatalf("trial %d %s: edge %d = %v want %v", trial, name, i, got[i], edges[i])
+				}
+			}
+			if err := p.Err(); err != nil {
+				t.Fatalf("trial %d %s: Err=%v", trial, name, err)
+			}
+
+			// Pass 2 (after Reset): drive an order-sensitive algorithm and
+			// compare its rolling-hash cover against a direct run.
+			p.Reset()
+			want := RunEdges(newHashAlg(n), edges)
+			gotRes := Run(newHashAlg(n), p)
+			if gotRes.Err != nil {
+				t.Fatalf("trial %d %s: run err %v", trial, name, gotRes.Err)
+			}
+			if gotRes.Cover.Certificate[0] != want.Cover.Certificate[0] || gotRes.Edges != want.Edges {
+				t.Fatalf("trial %d %s: prefetched run diverged", trial, name)
+			}
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestPrefetcherResetMidStream(t *testing.T) {
+	rng := xrand.New(7)
+	edges := randomEdges(rng, 20, 20, 5000)
+	for name, mk := range prefetchBackends(t, edges, 20, 20) {
+		p := NewPrefetcherSized(mk(), 3, 256)
+		// Abandon passes at assorted depths — including 0 (immediate Reset),
+		// mid-buffer, and exactly the full length — then verify a clean pass.
+		for _, stop := range []int{0, 1, 100, 256, 257, 2048, len(edges)} {
+			for i := 0; i < stop; i++ {
+				if _, ok := p.Next(); !ok {
+					t.Fatalf("%s: stream ended at %d mid-prefix", name, i)
+				}
+			}
+			p.Reset()
+		}
+		got := 0
+		for {
+			b := p.NextBatch(BatchSize)
+			if len(b) == 0 {
+				break
+			}
+			for _, e := range b {
+				if e != edges[got] {
+					t.Fatalf("%s: edge %d mismatch after resets", name, got)
+				}
+				got++
+			}
+		}
+		if got != len(edges) || p.Err() != nil {
+			t.Fatalf("%s: replay after resets got %d edges, err=%v", name, got, p.Err())
+		}
+		p.Close()
+	}
+}
+
+func TestPrefetcherEarlyClose(t *testing.T) {
+	edges := randomEdges(xrand.New(3), 10, 10, 4000)
+	for name, mk := range prefetchBackends(t, edges, 10, 10) {
+		p := NewPrefetcher(mk())
+		p.Next() // consume a little, leaving the worker mid-pass
+		if err := p.Close(); err != nil {
+			t.Fatalf("%s: close mid-pass: %v", name, err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("%s: double close: %v", name, err)
+		}
+	}
+}
+
+func TestPrefetcherPropagatesCorruptFile(t *testing.T) {
+	path, hdr, _ := writeStreamFile(t, t.TempDir(), func(b []byte) []byte {
+		b[len(b)/2] ^= 0x10
+		return b
+	})
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	p := NewPrefetcher(fs)
+	defer p.Close()
+
+	res := Run(newHashAlg(hdr.N), p)
+	if !errors.Is(res.Err, ErrCorrupt) {
+		t.Fatalf("Result.Err=%v want ErrCorrupt", res.Err)
+	}
+	if !errors.Is(p.Err(), ErrCorrupt) {
+		t.Fatalf("sticky Err=%v want ErrCorrupt", p.Err())
+	}
+	// Reset clears the sticky error and the next pass re-detects it.
+	p.Reset()
+	if p.Err() != nil {
+		t.Fatalf("Err after Reset = %v", p.Err())
+	}
+	for {
+		if len(p.NextBatch(BatchSize)) == 0 {
+			break
+		}
+	}
+	if !errors.Is(p.Err(), ErrCorrupt) {
+		t.Fatalf("second pass Err=%v want ErrCorrupt", p.Err())
+	}
+}
+
+func TestPrefetcherSkipTo(t *testing.T) {
+	rng := xrand.New(11)
+	edges := randomEdges(rng, 15, 15, 3000)
+	for name, mk := range prefetchBackends(t, edges, 15, 15) {
+		p := NewPrefetcherSized(mk(), 2, 128)
+		for _, skip := range []int{0, 1, 127, 128, 1000, len(edges)} {
+			p.Reset()
+			if err := p.SkipTo(skip); err != nil {
+				t.Fatalf("%s: SkipTo(%d): %v", name, skip, err)
+			}
+			if skip < len(edges) {
+				e, ok := p.Next()
+				if !ok || e != edges[skip] {
+					t.Fatalf("%s: after SkipTo(%d) got %v ok=%v want %v", name, skip, e, ok, edges[skip])
+				}
+			}
+		}
+		p.Reset()
+		if err := p.SkipTo(len(edges) + 1); !errors.Is(err, ErrShortStream) {
+			t.Fatalf("%s: SkipTo past end err=%v want ErrShortStream", name, err)
+		}
+		p.Close()
+	}
+}
+
+func TestPrefetcherComposesWithCheckpointResume(t *testing.T) {
+	// Kill-and-resume through the prefetcher must match an uninterrupted
+	// direct run edge-for-edge: DrivePartial's batch clipping and the
+	// Skipper fast-forward both cross the prefetch boundary.
+	const n, m = 25, 25
+	edges := randomEdges(xrand.New(99), n, m, 2500)
+	path := writeEdgesFile(t, edges, n, m)
+	want := RunEdges(newHashAlg(n), edges)
+
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	p := NewPrefetcherSized(fs, 3, 64)
+	defer p.Close()
+
+	var lastPos int
+	var lastCkpt []byte
+	pol := CheckpointPolicy{
+		Every: 37,
+		Sink: func(pos int, ck []byte) error {
+			lastPos = pos
+			lastCkpt = append(lastCkpt[:0], ck...)
+			return nil
+		},
+	}
+	limit := len(edges)/2 + 5
+	if _, err := DrivePartial(newHashAlg(n), p, pol, limit); err != nil {
+		t.Fatal(err)
+	}
+	if lastCkpt == nil {
+		t.Fatal("no checkpoint taken")
+	}
+
+	resumed := newHashAlg(n)
+	pos, err := ReadCheckpoint(bytes.NewReader(lastCkpt), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != lastPos {
+		t.Fatalf("checkpoint pos %d want %d", pos, lastPos)
+	}
+	res, err := RunCheckpointedFrom(resumed, p, pol, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cover.Certificate[0] != want.Cover.Certificate[0] {
+		t.Fatal("resumed prefetched run diverged from direct run")
+	}
+}
+
+// benchEdgesFile writes count pseudo-random edges to a stream file under the
+// benchmark's temp dir.
+func benchEdgesFile(b *testing.B, n, m, count int) string {
+	b.Helper()
+	edges := randomEdges(xrand.New(3), n, m, count)
+	var buf bytes.Buffer
+	if err := Encode(&buf, Header{N: n, M: m, E: len(edges)}, edges); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.scstrm")
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// drainBatches replays the stream once through NextBatch, simulating a
+// consumer that spends work ns-ish per edge (a small arithmetic loop), and
+// returns a checksum so the work is not optimized away.
+func drainBatches(b *testing.B, s Stream, work int) uint64 {
+	var sum uint64
+	batcher := s.(Batcher)
+	s.Reset()
+	for {
+		batch := batcher.NextBatch(BatchSize)
+		if len(batch) == 0 {
+			break
+		}
+		for _, e := range batch {
+			sum += uint64(e.Set)
+			for k := 0; k < work; k++ {
+				sum = sum*0x9e3779b97f4a7c15 + uint64(e.Elem)
+			}
+		}
+	}
+	if err := StreamErr(s); err != nil {
+		b.Fatal(err)
+	}
+	return sum
+}
+
+// BenchmarkPrefetch compares one full file-replay pass consumed directly
+// against the same pass through the background Prefetcher, at two consumer
+// costs: work=0 (decode-bound; prefetch can only add hand-off overhead) and
+// work=8 (compute-bound; decode should hide behind the consumer).
+func BenchmarkPrefetch(b *testing.B) {
+	const n, m, count = 1000, 20000, 500000
+	path := benchEdgesFile(b, n, m, count)
+	for _, work := range []int{0, 8} {
+		b.Run(fmt.Sprintf("direct/work=%d", work), func(b *testing.B) {
+			fs, err := OpenFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fs.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainBatches(b, fs, work)
+			}
+			b.ReportMetric(float64(count), "edges/op")
+		})
+		b.Run(fmt.Sprintf("prefetched/work=%d", work), func(b *testing.B) {
+			fs, err := OpenFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fs.Close()
+			pf := NewPrefetcher(fs)
+			defer pf.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainBatches(b, pf, work)
+			}
+			b.ReportMetric(float64(count), "edges/op")
+		})
+	}
+}

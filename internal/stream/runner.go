@@ -40,6 +40,33 @@ type Batcher interface {
 	NextBatch(max int) []Edge
 }
 
+// BatchFiller is optionally implemented by streams that can decode the next
+// run of edges directly into a caller-owned buffer, returning how many were
+// produced (short only at end of stream or on a sticky error). The
+// Prefetcher uses it to fill its ring buffers without an intermediate copy.
+type BatchFiller interface {
+	FillBatch(dst []Edge) int
+}
+
+// ErrReporter is implemented by streams whose pass can fail mid-replay —
+// File and Prefetcher, where decode and checksum validation are folded into
+// the replay itself. Err returns the sticky error that terminated the
+// current pass, or nil while the pass is clean; Reset clears it.
+type ErrReporter interface {
+	Err() error
+}
+
+// StreamErr returns s's sticky decode error, or nil when s cannot fail
+// mid-pass. The driver consults it after every drive so a silently truncated
+// pass (a stream that ended early because its backing file is corrupt) is
+// reported rather than mistaken for a short stream.
+func StreamErr(s Stream) error {
+	if er, ok := s.(ErrReporter); ok {
+		return er.Err()
+	}
+	return nil
+}
+
 // BatchSize is the chunk length Run uses when driving a BatchProcessor:
 // large enough to amortize dispatch, small enough that a batch of 8-byte
 // edges stays in L1.
@@ -71,6 +98,11 @@ type Result struct {
 	// Space is the algorithm's peak usage if it implements space.Reporter,
 	// zero otherwise.
 	Space space.Usage
+	// Err is the stream's sticky decode error when the pass failed mid-replay
+	// (e.g. a corrupt stream file whose CRC check is folded into the replay);
+	// the cover only reflects the edges decoded before the failure and must
+	// be discarded when Err is non-nil.
+	Err error
 }
 
 // Run resets s, feeds every edge to alg in order, finishes the algorithm
@@ -93,8 +125,10 @@ func RunObserved(alg Algorithm, s Stream, ro *obs.RunObs) Result {
 	if ro != nil {
 		start = time.Now()
 	}
-	n, _ := driveStream(alg, s, ro, 0, 0, 0, nil) // no skip/sample → no error
-	return finishRun(alg, ro, n, start)
+	n, err := driveStream(alg, s, ro, 0, 0, 0, nil)
+	res := finishRun(alg, ro, n, start)
+	res.Err = err
+	return res
 }
 
 // finishRun finalizes a driven algorithm and assembles the Result.
@@ -128,7 +162,10 @@ func finishRun(alg Algorithm, ro *obs.RunObs, n int, start time.Time) Result {
 //
 // limit > 0 stops after limit edges beyond the skip point (DrivePartial's
 // kill simulation). A non-nil sample may return an error (a failed
-// checkpoint write), which aborts the drive.
+// checkpoint write), which aborts the drive. After the drive, the stream's
+// sticky error (StreamErr) is returned, so a pass terminated early by a
+// decode failure — including a CRC mismatch detected at the end of a lazily
+// verified File pass — is never mistaken for a clean short stream.
 func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, skip, every, limit int, sample func(pos int) error) (int, error) {
 	s.Reset()
 	if skip > 0 {
@@ -137,7 +174,8 @@ func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, skip, every, limit int
 		}
 	}
 	if ro == nil && every <= 0 && skip == 0 && limit <= 0 {
-		return driveFast(alg, s), nil
+		n := driveFast(alg, s)
+		return n, StreamErr(s)
 	}
 
 	n := skip
@@ -217,7 +255,13 @@ func driveStream(alg Algorithm, s Stream, ro *obs.RunObs, skip, every, limit int
 			}
 		}
 	}
-	return n, nil
+	return n, StreamErr(s)
+}
+
+// errShortStream reports a stream that ended at edge got when a resume
+// needed to reach edge want.
+func errShortStream(got, want int) error {
+	return fmt.Errorf("%w: stream ended at edge %d, resume needs %d", ErrShortStream, got, want)
 }
 
 // skipEdges discards the first skip edges of a freshly Reset stream, using
@@ -231,7 +275,10 @@ func skipEdges(s Stream, skip int) error {
 		for skipped := 0; skipped < skip; {
 			batch := bs.NextBatch(skip - skipped)
 			if len(batch) == 0 {
-				return fmt.Errorf("%w: stream ended at edge %d, resume needs %d", ErrShortStream, skipped, skip)
+				if err := StreamErr(s); err != nil {
+					return err
+				}
+				return errShortStream(skipped, skip)
 			}
 			skipped += len(batch)
 		}
@@ -239,7 +286,10 @@ func skipEdges(s Stream, skip int) error {
 	}
 	for i := 0; i < skip; i++ {
 		if _, ok := s.Next(); !ok {
-			return fmt.Errorf("%w: stream ended at edge %d, resume needs %d", ErrShortStream, i, skip)
+			if err := StreamErr(s); err != nil {
+				return err
+			}
+			return errShortStream(i, skip)
 		}
 	}
 	return nil

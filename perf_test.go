@@ -7,6 +7,9 @@ package streamcover
 // representation work to "faster, not different".
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"slices"
 	"testing"
@@ -189,5 +192,116 @@ func testSteadyStateAllocs(t *testing.T, withObs bool) {
 				t.Errorf("steady-state ProcessBatch allocates %.2f times per replay, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestPrefetchedDecisionTraceMatchesDirect runs every algorithm over the
+// same stream twice — directly from the edge slice and through a prefetched
+// File — with private obs hubs, and asserts the decision-event streams are
+// identical event for event. Pipelined ingestion must not change what the
+// algorithm observes, only when the bytes were decoded.
+func TestPrefetchedDecisionTraceMatchesDirect(t *testing.T) {
+	const ringCap = 1 << 18
+	dir := t.TempDir()
+	for _, algName := range []string{"kk", "alg1", "alg2"} {
+		t.Run(algName, func(t *testing.T) {
+			directAlg, edges := perfCase(algName, RandomOrder)
+			directHub := obs.NewHub(ringCap)
+			attachSink(t, directHub, directAlg)
+			direct := RunEdges(directAlg, edges)
+
+			var buf bytes.Buffer
+			if err := EncodeStream(&buf, StreamHeader{N: 300, M: 4000, E: len(edges)}, edges); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, algName+".scstrm")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs, err := OpenStreamFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fs.Close()
+			pf := NewStreamPrefetcher(fs)
+			defer pf.Close()
+
+			prefAlg, _ := perfCase(algName, RandomOrder)
+			prefHub := obs.NewHub(ringCap)
+			attachSink(t, prefHub, prefAlg)
+			pref := Run(prefAlg, pf)
+			if pref.Err != nil {
+				t.Fatal(pref.Err)
+			}
+
+			if !slices.Equal(direct.Cover.Sets, pref.Cover.Sets) || direct.Space != pref.Space {
+				t.Fatalf("prefetched result differs: %v/%+v vs %v/%+v",
+					direct.Cover.Sets, direct.Space, pref.Cover.Sets, pref.Space)
+			}
+			evA, evB := directHub.Ring().Events(), prefHub.Ring().Events()
+			if !reflect.DeepEqual(evA, evB) {
+				t.Fatalf("decision traces differ: direct %d events, prefetched %d", len(evA), len(evB))
+			}
+		})
+	}
+}
+
+// TestSteadyStateFileReplayAllocs extends the allocation guard to the full
+// on-disk ingestion pipeline: a lazily-verified stream File wrapped in a
+// background Prefetcher, drained batch-by-batch into ProcessBatch. After the
+// first pass (which pays the CRC fold and warms every ring buffer), a whole
+// replay — Reset, background decode, NextBatch hand-off, algorithm — must
+// perform zero heap allocations. This is the property the reusable decode
+// window and the fixed buffer ring exist to provide.
+func TestSteadyStateFileReplayAllocs(t *testing.T) {
+	const n, m, opt = 100, 600, 6
+	w := PlantedWorkload(NewRand(5), n, m, opt, 0)
+	edges := Arrange(w.Inst, RandomOrder, NewRand(9))
+
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, StreamHeader{N: n, M: m, E: len(edges)}, edges); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "replay.scstrm")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := OpenStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	pf := NewStreamPrefetcher(fs)
+	defer pf.Close()
+
+	alg := NewKK(n, m, NewRand(1))
+	var bp stream.BatchProcessor = alg
+	replay := func() {
+		pf.Reset()
+		for {
+			b := pf.NextBatch(1 << 20)
+			if len(b) == 0 {
+				break
+			}
+			bp.ProcessBatch(b)
+		}
+	}
+	// Warm up: converge coverage (replays become pure reads) and let the
+	// File finish its verifying pass and the ring settle.
+	for pass := 0; pass < 500; pass++ {
+		replay()
+		if alg.CoveredCount() == n {
+			break
+		}
+	}
+	if got := alg.CoveredCount(); got != n {
+		t.Fatalf("warm-up never converged: %d/%d elements covered", got, n)
+	}
+	if err := StreamErr(pf); err != nil {
+		t.Fatalf("replay error: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(20, replay); allocs != 0 {
+		t.Errorf("steady-state on-disk replay allocates %.2f times per pass, want 0", allocs)
 	}
 }
