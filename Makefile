@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke sweep-smoke fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke serve-smoke sweep-smoke fuzz-smoke fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ experiments-full:
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run '^$$' -bench EndToEnd -benchtime 1x .
 
 # Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
@@ -58,10 +58,28 @@ resume-smoke:
 	$(GO) run ./internal/tools/resumesmoke
 	$(GO) run -tags obsoff ./internal/tools/resumesmoke
 
+# End-to-end serving smoke: an in-process scserve session manager fed by the
+# scfeed client library across every algorithm — abrupt kill-and-reconnect
+# resume, and a full server drain-and-restart — byte-compared against
+# uninterrupted local runs (DESIGN.md §4f).
+serve-smoke:
+	$(GO) run ./internal/tools/servesmoke
+
 # Scheduler determinism smoke: a small sweep grid run with -workers=1 and
 # -workers=4 must produce byte-identical tables and CSV (DESIGN.md §4e).
 sweep-smoke:
 	$(GO) run ./internal/tools/sweepsmoke
+
+# Run every fuzz target for a ~10s budget each: the stream codec, the
+# prefetch pipeline, the OR-library parser, and the SCSTATE1/SCCKPT1
+# snapshot decoders (go test allows one -fuzz target per invocation).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDecode -fuzztime 10s ./internal/stream/
+	$(GO) test -fuzz FuzzPrefetchedFile -fuzztime 10s ./internal/stream/
+	$(GO) test -fuzz FuzzValidate -fuzztime 10s ./internal/stream/
+	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/orlib/
+	$(GO) test -fuzz FuzzRestore -fuzztime 10s ./internal/snap/
+	$(GO) test -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/snap/
 
 fmt:
 	gofmt -w .

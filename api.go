@@ -12,6 +12,7 @@ import (
 	"streamcover/internal/lowerbound"
 	"streamcover/internal/multipass"
 	"streamcover/internal/orlib"
+	"streamcover/internal/serve"
 	"streamcover/internal/setarrival"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
@@ -419,3 +420,55 @@ func NewLBFamily(rng *Rand, n, count, t int) *LBFamily {
 func NewLBReduction(f *LBFamily, d *LBDisjointness) (*LBReduction, error) {
 	return lowerbound.NewReduction(f, d)
 }
+
+// Network serving (internal/serve): the SCWIRE1 edge-stream ingestion
+// service behind scserve/scfeed — one-pass sessions over TCP with
+// disconnect-tolerant checkpoint/resume.
+type (
+	// ServeConfig is one session's algorithm shape, carried in hello and
+	// resume frames.
+	ServeConfig = serve.Config
+	// ServeServerConfig shapes a ServeServer (address, checkpoint dir,
+	// timeouts).
+	ServeServerConfig = serve.ServerConfig
+	// ServeServer accepts SCWIRE1 connections and runs one registered
+	// streaming algorithm per session.
+	ServeServer = serve.Server
+	// ServeClient speaks SCWIRE1 from the feeding side.
+	ServeClient = serve.Client
+	// ServeResult is a finished session's cover, certificate and space
+	// report.
+	ServeResult = serve.Result
+	// ServeFeeder deterministically replays an edge slice into a session,
+	// including across kill-and-resume cycles.
+	ServeFeeder = serve.Feeder
+	// ServeFactory builds one algorithm copy for a session configuration.
+	ServeFactory = serve.Factory
+)
+
+// NewServeServer builds a serving instance (and its session manager).
+func NewServeServer(cfg ServeServerConfig) (*ServeServer, error) { return serve.NewServer(cfg) }
+
+// DialServe connects a client to a running server.
+func DialServe(addr string) (*ServeClient, error) { return serve.Dial(addr) }
+
+// RegisterServeAlgorithm adds a factory so embedders can serve their own
+// streaming algorithms through the session manager.
+func RegisterServeAlgorithm(name string, f ServeFactory) { serve.Register(name, f) }
+
+// ServeAlgorithms lists the registered serveable algorithm names.
+func ServeAlgorithms() []string { return serve.Algorithms() }
+
+// Typed serve-layer failures, surfaced by ServeClient methods.
+var (
+	// ErrServeWire reports malformed SCWIRE1 traffic.
+	ErrServeWire = serve.ErrWire
+	// ErrServeRemote wraps any failure the server reported in an error frame.
+	ErrServeRemote = serve.ErrRemote
+	// ErrServeRemoteMismatch reports a resume against a checkpoint written
+	// by a different algorithm or instance shape.
+	ErrServeRemoteMismatch = serve.ErrRemoteMismatch
+	// ErrServeDraining reports a session refused because the server is
+	// shutting down.
+	ErrServeDraining = serve.ErrDraining
+)

@@ -1,0 +1,123 @@
+// Command scfeed is the deterministic SCWIRE1 load generator: it replays a
+// stream file (from scgen) into a running scserve session and prints the
+// result with a fingerprint suitable for byte-comparing runs.
+//
+// Usage:
+//
+//	scfeed -addr 127.0.0.1:7600 -in stream.scs -algo kk -seed 42
+//	scfeed -addr ... -in stream.scs -algo kk -token t1 -kill-after 60000
+//	scfeed -addr ... -in stream.scs -algo kk -token t1 -resume
+//
+// The second and third invocations together exercise disconnect tolerance:
+// -kill-after drops the connection mid-stream without so much as a detach
+// frame, and -resume reconnects, learns the server's checkpoint position
+// and resends only the remaining suffix. The final line of a resumed run
+// must match the uninterrupted run byte for byte.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamcover/internal/serve"
+	"streamcover/internal/stream"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7600", "scserve address")
+		in        = flag.String("in", "stream.scs", "stream file from scgen")
+		algo      = flag.String("algo", "kk", "algorithm: one of the server's registered names")
+		alpha     = flag.Float64("alpha", 0, "approximation target for alg2/es (0 = 2√n)")
+		seed      = flag.Uint64("seed", 1, "random seed for the server-side algorithm")
+		copies    = flag.Int("copies", 1, "parallel ensemble copies")
+		batch     = flag.Int("batch", 1024, "edges per wire frame")
+		token     = flag.String("token", "", "session token (empty lets the server assign one)")
+		resume    = flag.Bool("resume", false, "resume a detached session instead of opening a new one")
+		detach    = flag.Bool("detach", false, "detach with a checkpoint after feeding instead of finishing")
+		killAfter = flag.Int("kill-after", 0, "drop the connection after sending N edges, without detaching (0 = off)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-operation network deadline")
+	)
+	flag.Parse()
+
+	if err := feed(*addr, *in, serveConfig(*algo, *alpha, *seed, *copies), *batch, *token, *resume, *detach, *killAfter, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "scfeed: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// serveConfig builds the session config shell; N/M/StreamLen are filled in
+// from the stream file header.
+func serveConfig(algo string, alpha float64, seed uint64, copies int) serve.Config {
+	return serve.Config{Algo: algo, Alpha: alpha, Seed: seed, Copies: copies}
+}
+
+func feed(addr, in string, cfg serve.Config, batch int, token string, resume, detach bool, killAfter int, timeout time.Duration) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	hdr, edges, err := stream.Decode(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cfg.N, cfg.M, cfg.StreamLen = hdr.N, hdr.M, hdr.E
+
+	c, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.Timeout = timeout
+
+	if resume {
+		if token == "" {
+			return fmt.Errorf("-resume needs -token")
+		}
+		pos, err := c.Resume(token, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scfeed: resumed session %s at edge %d of %d\n", token, pos, len(edges))
+	} else {
+		tok, err := c.Hello(token, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scfeed: opened session %s (%s n=%d m=%d stream=%d)\n", tok, cfg.Algo, cfg.N, cfg.M, cfg.StreamLen)
+	}
+
+	fd := serve.Feeder{Edges: edges, Batch: batch}
+	if killAfter > 0 {
+		if err := fd.RunUntil(c, killAfter); err != nil {
+			return err
+		}
+		fmt.Printf("scfeed: session %s: dropped connection after sending %d edges (no detach)\n", c.Token(), c.Pos())
+		return nil
+	}
+	if detach {
+		if err := fd.RunUntil(c, len(edges)); err != nil {
+			return err
+		}
+		pos, err := c.Detach()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scfeed: session %s: detached at edge %d (checkpoint persisted)\n", c.Token(), pos)
+		return nil
+	}
+	res, err := fd.Run(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scfeed: session %s: edges=%d cover=%d certificate=%d space={state=%d aux=%d} fingerprint=%#016x\n",
+		c.Token(), res.Edges, len(res.Cover.Sets), len(res.Cover.Certificate),
+		res.Space.State, res.Space.Aux, res.Fingerprint())
+	return nil
+}

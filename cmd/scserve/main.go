@@ -1,0 +1,100 @@
+// Command scserve runs the SCWIRE1 edge-stream ingestion service: it
+// accepts TCP connections from scfeed (or any SCWIRE1 client), runs one
+// registered streaming algorithm per session on the batched hot path, and
+// rides out disconnects by checkpointing detached sessions to disk so a
+// reconnecting client can resume exactly where it left off.
+//
+// Usage:
+//
+//	scserve -listen 127.0.0.1:7600 -dir /var/tmp/scserve
+//	scserve -listen :0 -dir ckpt -idle-timeout 30s
+//
+// SIGINT/SIGTERM drains gracefully: new sessions are refused, open
+// connections are woken, and every attached session is checkpointed before
+// the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamcover/internal/cli"
+	"streamcover/internal/obs"
+	"streamcover/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:7600", "TCP listen address (\":0\" picks a free port)")
+		dir          = flag.String("dir", "scserve-ckpt", "directory for detach checkpoints")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "detach a session after this long without a frame (0 = never)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to checkpoint")
+	)
+	obsOpt := cli.RegisterObsFlags(flag.CommandLine)
+	flag.Parse()
+
+	session, err := cli.StartObs(*obsOpt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := session.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
+		}
+	}()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Addr:         *listen,
+		Dir:          *dir,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
+		Obs:          obs.ServeObsFor(),
+		Log:          logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
+		return 1
+	}
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
+		return 1
+	}
+	fmt.Printf("scserve: listening on %s (algorithms: %v, checkpoints in %s)\n",
+		srv.Addr(), serve.Algorithms(), *dir)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	select {
+	case sig := <-sigs:
+		logger.Printf("scserve: %v: draining (checkpointing attached sessions)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "scserve: shutdown: %v\n", err)
+			return 1
+		}
+		<-done
+		logger.Printf("scserve: drained cleanly")
+		return 0
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

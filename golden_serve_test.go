@@ -1,0 +1,153 @@
+package streamcover
+
+// Network extension of the golden fixtures: the same workload, seeds and
+// algorithms as golden_test.go, but fed over TCP through the SCWIRE1
+// serving stack. The served fingerprints must equal the recorded seed
+// implementation's — the wire framing, session ring and batched dispatch
+// must not perturb a single byte of observable output. A second sweep
+// kills the connection mid-stream (no detach frame), resumes from the
+// server's checkpoint, and demands the same fingerprints again.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// goldenServeHarness starts one server and prepares the fixture edges for
+// each order once.
+type goldenServeHarness struct {
+	srv   *ServeServer
+	edges map[Order][]Edge
+}
+
+func newGoldenServeHarness(t *testing.T) *goldenServeHarness {
+	t.Helper()
+	const n, m, opt = 300, 4000, 8
+	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
+	h := &goldenServeHarness{edges: make(map[Order][]Edge)}
+	for _, order := range []Order{SetMajor, RoundRobin, RandomOrder} {
+		h.edges[order] = Arrange(w.Inst, order, NewRand(23))
+	}
+	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	h.srv = srv
+	return h
+}
+
+// config mirrors goldenCase's constructor seeds exactly: algorithm seed 42,
+// alg2 at alpha 40.
+func (h *goldenServeHarness) config(alg string, order Order) ServeConfig {
+	cfg := ServeConfig{Algo: alg, N: 300, M: 4000, StreamLen: len(h.edges[order]), Seed: 42}
+	if alg == "alg2" {
+		cfg.Alpha = 40
+	}
+	return cfg
+}
+
+func (h *goldenServeHarness) dial(t *testing.T) *ServeClient {
+	t.Helper()
+	c, err := DialServe(h.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.Timeout = 60 * time.Second
+	return c
+}
+
+func (h *goldenServeHarness) waitDetached(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for h.srv.Manager().Active() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session still attached after dropped connection")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestGoldenOutputsThroughServer(t *testing.T) {
+	h := newGoldenServeHarness(t)
+	for _, alg := range []string{"kk", "alg1", "alg2"} {
+		for _, order := range []Order{SetMajor, RoundRobin, RandomOrder} {
+			key := fmt.Sprintf("%s/%s", alg, order)
+			t.Run(key, func(t *testing.T) {
+				c := h.dial(t)
+				if _, err := c.Hello("", h.config(alg, order)); err != nil {
+					t.Fatal(err)
+				}
+				fd := ServeFeeder{Edges: h.edges[order], Batch: 1024}
+				res, err := fd.Run(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := res.Fingerprint(), goldenExpected[key]; got != want {
+					t.Fatalf("served fingerprint %#x, want golden %#x — the wire path changed observable output", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenOutputsThroughServerResume kills the connection mid-stream
+// with no warning and resumes; the final output must still match the
+// golden fingerprints of an uninterrupted local run.
+func TestGoldenOutputsThroughServerResume(t *testing.T) {
+	h := newGoldenServeHarness(t)
+	for _, alg := range []string{"kk", "alg1", "alg2"} {
+		order := RandomOrder
+		key := fmt.Sprintf("%s/%s", alg, order)
+		t.Run(key, func(t *testing.T) {
+			edges := h.edges[order]
+			cfg := h.config(alg, order)
+			token := "golden-" + alg
+			kill := len(edges) * 3 / 5
+
+			c := h.dial(t)
+			if _, err := c.Hello(token, cfg); err != nil {
+				t.Fatal(err)
+			}
+			fd := ServeFeeder{Edges: edges, Batch: 1024}
+			if err := fd.RunUntil(c, kill); err != nil {
+				t.Fatal(err)
+			}
+			c.Close() // crash the client: no flush, no detach
+			h.waitDetached(t)
+
+			c2 := h.dial(t)
+			pos, err := c2.Resume(token, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pos <= 0 || pos > kill {
+				t.Fatalf("resume position %d outside (0, %d]", pos, kill)
+			}
+			res, err := fd.Run(c2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.Fingerprint(), goldenExpected[key]; got != want {
+				t.Fatalf("resumed fingerprint %#x, want golden %#x — kill-and-reconnect changed observable output", got, want)
+			}
+		})
+	}
+}

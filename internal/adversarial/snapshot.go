@@ -76,5 +76,28 @@ func (a *Algorithm) Restore(rd io.Reader) error {
 	a.promotions = r.I64()
 	a.patched = r.Int()
 	snap.LoadTracked(r, &a.Tracked)
-	return r.Close()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	// Cross-field invariants (checked after the checksum, so they catch
+	// semantic corruption a CRC-valid but hand-crafted container could
+	// smuggle in): every solution set is counted in exactly one level
+	// bucket, and a level bucket can only exist if enough promotions
+	// happened to reach it.
+	total := 0
+	for _, c := range a.dCounts {
+		if c < 0 {
+			return fmt.Errorf("%w: negative level count", snap.ErrCorrupt)
+		}
+		total += c
+	}
+	if a.solCount < 0 || a.solCount > a.m || total != a.solCount {
+		return fmt.Errorf("%w: level counts sum to %d, solution claims %d of %d sets",
+			snap.ErrCorrupt, total, a.solCount, a.m)
+	}
+	if len(a.dCounts) > 1 && int64(len(a.dCounts)-1) > a.promotions {
+		return fmt.Errorf("%w: %d level buckets but only %d promotions",
+			snap.ErrCorrupt, len(a.dCounts), a.promotions)
+	}
+	return nil
 }

@@ -2,11 +2,14 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"streamcover/internal/snap"
 )
 
 // coverLine extracts the "cover ..." report line, the part of the output a
@@ -115,5 +118,111 @@ func TestReplayCheckpointFlagValidation(t *testing.T) {
 	}, &bytes.Buffer{})
 	if err == nil {
 		t.Error("resume from missing checkpoint accepted")
+	}
+}
+
+// TestReplayResumeMismatchIsTyped: resuming from a checkpoint written by a
+// different algorithm, copy count or instance shape — or from a corrupted
+// file — must fail with snap's typed sentinels surfaced through Replay's
+// error (so scrun exits non-zero with a clear message), never panic and
+// never silently run.
+func TestReplayResumeMismatchIsTyped(t *testing.T) {
+	path := genFixture(t, defaultGen())
+	ck := filepath.Join(t.TempDir(), "kk.ckpt")
+	err := Replay(ReplayOptions{
+		In: path, Algo: "kk", Seed: 7,
+		CheckpointEvery: 200, CheckpointPath: ck, StopAfter: 500,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherShape := func() string {
+		g := defaultGen()
+		g.N, g.M = 60, 300
+		g.Out = filepath.Join(t.TempDir(), "small.scs")
+		return genFixture(t, g)
+	}()
+	otherLen := func() string {
+		g := defaultGen()
+		g.Workload = "uniform"
+		g.Out = filepath.Join(t.TempDir(), "uniform.scs")
+		return genFixture(t, g)
+	}()
+
+	cases := []struct {
+		name    string
+		opt     ReplayOptions
+		wantErr error
+	}{
+		{
+			name:    "different-algorithm",
+			opt:     ReplayOptions{In: path, Algo: "alg2", Seed: 7, CheckpointPath: ck, Resume: true},
+			wantErr: snap.ErrMismatch,
+		},
+		{
+			name:    "different-copy-count",
+			opt:     ReplayOptions{In: path, Algo: "kk", Seed: 7, Copies: 3, CheckpointPath: ck, Resume: true},
+			wantErr: snap.ErrMismatch,
+		},
+		{
+			name:    "different-instance-shape",
+			opt:     ReplayOptions{In: otherShape, Algo: "kk", Seed: 7, CheckpointPath: ck, Resume: true},
+			wantErr: snap.ErrMismatch,
+		},
+		{
+			name:    "different-stream-length-alg1",
+			opt:     ReplayOptions{In: otherLen, Algo: "alg1", Seed: 7, CheckpointPath: ck, Resume: true},
+			wantErr: snap.ErrMismatch,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Replay(tc.opt, &bytes.Buffer{})
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err=%v, want %v", err, tc.wantErr)
+			}
+			if tc.wantErr == snap.ErrMismatch && !strings.Contains(err.Error(), "rerun with the original") {
+				t.Fatalf("mismatch error lacks the actionable hint: %v", err)
+			}
+		})
+	}
+
+	// alg1 checkpoint resumed with alg1 against the length-mismatched
+	// stream must also refuse: the phase schedule resolves differently.
+	ck1 := filepath.Join(t.TempDir(), "alg1.ckpt")
+	err = Replay(ReplayOptions{
+		In: path, Algo: "alg1", Seed: 7,
+		CheckpointEvery: 200, CheckpointPath: ck1, StopAfter: 500,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(ReplayOptions{In: otherLen, Algo: "alg1", Seed: 7, CheckpointPath: ck1, Resume: true}, &bytes.Buffer{})
+	if !errors.Is(err, snap.ErrMismatch) {
+		t.Fatalf("alg1 schedule mismatch err=%v, want ErrMismatch", err)
+	}
+
+	// Corrupt and truncated checkpoint files fail typed, not with a panic.
+	raw, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.ckpt")
+	if err := os.WriteFile(trunc, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(ReplayOptions{In: path, Algo: "kk", Seed: 7, CheckpointPath: trunc, Resume: true}, &bytes.Buffer{})
+	if !errors.Is(err, snap.ErrTruncated) {
+		t.Fatalf("truncated checkpoint err=%v, want ErrTruncated", err)
+	}
+
+	garbage := filepath.Join(t.TempDir(), "garbage.ckpt")
+	if err := os.WriteFile(garbage, []byte("SCCKPT1\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\xffgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(ReplayOptions{In: path, Algo: "kk", Seed: 7, CheckpointPath: garbage, Resume: true}, &bytes.Buffer{})
+	if !errors.Is(err, snap.ErrCorrupt) {
+		t.Fatalf("garbage checkpoint err=%v, want ErrCorrupt", err)
 	}
 }

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"streamcover/internal/kk"
 	"streamcover/internal/multipass"
 	"streamcover/internal/setcover"
+	"streamcover/internal/snap"
 	"streamcover/internal/stream"
 	"streamcover/internal/workload"
 	"streamcover/internal/xrand"
@@ -215,6 +217,13 @@ func Replay(opt ReplayOptions, stdout io.Writer) error {
 		if opt.Resume {
 			from, err = stream.ReadCheckpointFile(ckPath, alg)
 			if err != nil {
+				// Keep the typed chain intact (callers match snap's
+				// sentinels) while making the mismatch case actionable:
+				// the usual cause is resuming with different -algo,
+				// -copies, -alpha or input than the checkpointing run.
+				if errors.Is(err, snap.ErrMismatch) {
+					return fmt.Errorf("resume from %s: %w (the checkpoint was written by a different algorithm, copy count or instance shape; rerun with the original -algo/-copies/-alpha and input, or remove the checkpoint to start over)", ckPath, err)
+				}
 				return fmt.Errorf("resume from %s: %w", ckPath, err)
 			}
 			fmt.Fprintf(stdout, "resumed   %s at edge %d\n", ckPath, from)

@@ -23,6 +23,7 @@ type Hub struct {
 	sinks    [numAlgos]*Sink
 	runObs   [numAlgos]*RunObs
 	prefetch *PrefetchObs
+	serve    *ServeObs
 }
 
 // NewHub returns a hub with a decision ring of the given capacity
@@ -103,6 +104,27 @@ func (h *Hub) Prefetch() *PrefetchObs {
 // hub is installed.
 func PrefetchObsFor() *PrefetchObs {
 	return Global().Prefetch()
+}
+
+// Serve returns the hub's serving-layer handle, creating it on first use.
+// Like sinks it is a singleton per hub: every session feeds the same
+// series.
+func (h *Hub) Serve() *ServeObs {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.serve == nil {
+		h.serve = NewServeObs(h.reg)
+	}
+	return h.serve
+}
+
+// ServeObsFor returns the global hub's serving handle, or nil when no hub
+// is installed.
+func ServeObsFor() *ServeObs {
+	return Global().Serve()
 }
 
 // Snapshot captures the full observability surface.

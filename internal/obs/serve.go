@@ -1,0 +1,99 @@
+package obs
+
+// ServeObs instruments the network serving layer (internal/serve): session
+// lifecycle counts, ingested traffic, ring backpressure stalls, and the
+// checkpoint/resume cycle behind disconnect tolerance. Like Sink/RunObs it
+// is nil-safe — a nil receiver ignores every update — so sessions carry one
+// pointer and the hot ingest path pays only an inlined nil check.
+//
+// Reading the stalls: an ingest stall means a connection reader blocked
+// because its session ring was full — the algorithm is the bottleneck and
+// backpressure is propagating to the client through TCP, which is the
+// intended behavior, not an error.
+type ServeObs struct {
+	sessionsActive  *Gauge
+	sessionsTotal   *Counter
+	resumesTotal    *Counter
+	batches         *Counter
+	edges           *Counter
+	ingestStalls    *Counter
+	checkpoints     *Counter
+	checkpointBytes *Histogram
+	batchEdges      *Histogram
+}
+
+// NewServeObs registers the serving series on reg.
+func NewServeObs(reg *Registry) *ServeObs {
+	if reg == nil {
+		return nil
+	}
+	return &ServeObs{
+		sessionsActive: reg.Gauge("streamcover_serve_sessions_active",
+			"Sessions currently attached to a connection."),
+		sessionsTotal: reg.Counter("streamcover_serve_sessions_total",
+			"Sessions ever opened (hello frames accepted)."),
+		resumesTotal: reg.Counter("streamcover_serve_resumes_total",
+			"Sessions resumed from a checkpoint after a disconnect."),
+		batches: reg.Counter("streamcover_serve_batches_total",
+			"Edge batches ingested over the wire."),
+		edges: reg.Counter("streamcover_serve_edges_total",
+			"Edges ingested over the wire."),
+		ingestStalls: reg.Counter("streamcover_serve_ingest_stalls_total",
+			"Times a connection reader blocked on a full session ring (backpressure)."),
+		checkpoints: reg.Counter("streamcover_serve_checkpoints_total",
+			"Detach checkpoints persisted for disconnected sessions."),
+		checkpointBytes: reg.Histogram("streamcover_serve_checkpoint_bytes",
+			"Size of each persisted detach checkpoint, in bytes."),
+		batchEdges: reg.Histogram("streamcover_serve_batch_edges",
+			"Edges per ingested wire batch."),
+	}
+}
+
+// SessionOpened records a new session (resumed reports whether it was
+// restored from a checkpoint rather than started fresh).
+func (s *ServeObs) SessionOpened(resumed bool) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.sessionsActive.Add(1)
+	s.sessionsTotal.Inc()
+	if resumed {
+		s.resumesTotal.Inc()
+	}
+}
+
+// SessionClosed records a session leaving the attached state (finish or
+// detach).
+func (s *ServeObs) SessionClosed() {
+	if !Enabled || s == nil {
+		return
+	}
+	s.sessionsActive.Add(-1)
+}
+
+// Batch records one ingested edge batch.
+func (s *ServeObs) Batch(edges int) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.batches.Inc()
+	s.edges.Add(int64(edges))
+	s.batchEdges.Observe(int64(edges))
+}
+
+// IngestStall records a connection reader blocking on a full ring.
+func (s *ServeObs) IngestStall() {
+	if !Enabled || s == nil {
+		return
+	}
+	s.ingestStalls.Inc()
+}
+
+// Checkpoint records one persisted detach checkpoint.
+func (s *ServeObs) Checkpoint(bytes int) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.checkpoints.Inc()
+	s.checkpointBytes.Observe(int64(bytes))
+}

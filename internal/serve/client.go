@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"streamcover/internal/stream"
+)
+
+// Client speaks SCWIRE1 over one connection. It is not safe for concurrent
+// use; drive one client per goroutine. Methods that await a server reply
+// surface error frames as typed errors (ErrRemote, ErrRemoteMismatch,
+// ErrDraining).
+type Client struct {
+	conn net.Conn
+	f    *frameIO
+	// Timeout bounds each blocking read or write; zero means no limit.
+	Timeout time.Duration
+
+	token string
+	sent  int // edges sent since (re)attach, offset by the resume position
+}
+
+// Dial connects to a server and sends the protocol magic. No session is
+// open yet — follow with Hello or Resume.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, f: newFrameIO(conn)}
+	if _, err := io.WriteString(conn, Magic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close drops the connection without detaching. The server notices the
+// disconnect and checkpoints the session, so a Close mid-stream is
+// recoverable via Resume — it is exactly the "killed client" case.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Token reports the session token assigned at Hello/Resume.
+func (c *Client) Token() string { return c.token }
+
+// Pos reports the next stream position the server expects from this
+// client (edges acked as received plus the resume offset).
+func (c *Client) Pos() int { return c.sent }
+
+func (c *Client) deadlines() {
+	if c.Timeout > 0 {
+		t := time.Now().Add(c.Timeout)
+		c.conn.SetReadDeadline(t)
+		c.conn.SetWriteDeadline(t)
+	}
+}
+
+// expect reads one frame, decoding error frames into typed errors and
+// rejecting any type other than want.
+func (c *Client) expect(want byte) ([]byte, error) {
+	c.deadlines()
+	payload, err := c.f.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch payload[0] {
+	case want:
+		return payload[1:], nil
+	case frameError:
+		return nil, parseError(payload[1:])
+	default:
+		return nil, fmt.Errorf("%w: expected frame 0x%02x, got 0x%02x", ErrWire, want, payload[0])
+	}
+}
+
+// Hello opens a fresh session for cfg. An empty token lets the server
+// assign one; the assigned token is returned (and kept for Resume).
+func (c *Client) Hello(token string, cfg Config) (string, error) {
+	c.deadlines()
+	if err := c.f.writeHello(frameHello, token, cfg); err != nil {
+		return "", err
+	}
+	body, err := c.expect(frameHelloAck)
+	if err != nil {
+		return "", err
+	}
+	tok, pos, err := parseHelloAck(body)
+	if err != nil {
+		return "", err
+	}
+	c.token, c.sent = tok, pos
+	return tok, nil
+}
+
+// Resume reattaches to a detached session. The returned position is where
+// the server's checkpoint left off: the client must resend the stream
+// from that edge onward (earlier edges are already inside the restored
+// state).
+func (c *Client) Resume(token string, cfg Config) (int, error) {
+	c.deadlines()
+	if err := c.f.writeHello(frameResume, token, cfg); err != nil {
+		return 0, err
+	}
+	body, err := c.expect(frameHelloAck)
+	if err != nil {
+		return 0, err
+	}
+	tok, pos, err := parseHelloAck(body)
+	if err != nil {
+		return 0, err
+	}
+	c.token, c.sent = tok, pos
+	return pos, nil
+}
+
+// SendBatch ships one edge batch (at most MaxBatch edges). It does not
+// wait for acknowledgement — backpressure arrives through TCP when the
+// server's session ring is full.
+func (c *Client) SendBatch(edges []stream.Edge) error {
+	c.deadlines()
+	if err := c.f.writeEdges(edges); err != nil {
+		return err
+	}
+	c.sent += len(edges)
+	return nil
+}
+
+// Flush blocks until the server has processed everything sent so far and
+// returns the server's consumed position.
+func (c *Client) Flush() (int, error) {
+	c.deadlines()
+	if err := c.f.writeFlush(); err != nil {
+		return 0, err
+	}
+	body, err := c.expect(framePosAck)
+	if err != nil {
+		return 0, err
+	}
+	return parsePosAck(body)
+}
+
+// Detach asks the server to checkpoint and park the session, returning
+// the checkpointed position. The connection is done afterwards.
+func (c *Client) Detach() (int, error) {
+	c.deadlines()
+	if err := c.f.writeDetach(); err != nil {
+		return 0, err
+	}
+	body, err := c.expect(framePosAck)
+	if err != nil {
+		return 0, err
+	}
+	return parsePosAck(body)
+}
+
+// Finish completes the session: the server finishes the algorithm and
+// returns the cover, certificate and space report.
+func (c *Client) Finish() (Result, error) {
+	c.deadlines()
+	if err := c.f.writeFinish(); err != nil {
+		return Result{}, err
+	}
+	body, err := c.expect(frameResult)
+	if err != nil {
+		return Result{}, err
+	}
+	return parseResult(body)
+}
+
+// Feeder drives a fixed edge stream through a session deterministically:
+// same edges, same batch size, same frames — whether the run is
+// uninterrupted or resumed mid-stream. It is the reference load generator
+// used by scfeed and the serve tests.
+type Feeder struct {
+	// Edges is the full stream, in arrival order.
+	Edges []stream.Edge
+	// Batch is the edges-per-frame granularity (clamped to [1, MaxBatch];
+	// 0 picks MaxBatch).
+	Batch int
+}
+
+func (fd *Feeder) batch() int {
+	b := fd.Batch
+	if b <= 0 || b > MaxBatch {
+		b = MaxBatch
+	}
+	return b
+}
+
+// Run feeds every edge from the client's current position and finishes,
+// returning the session result. After a Resume, the already-consumed
+// prefix is skipped automatically.
+func (fd *Feeder) Run(c *Client) (Result, error) {
+	if err := fd.sendRange(c, len(fd.Edges)); err != nil {
+		return Result{}, err
+	}
+	return c.Finish()
+}
+
+// RunUntil feeds edges from the client's current position up to (not
+// including) stream position stop, then returns without finishing. Tests
+// and scfeed use it to simulate a client killed mid-stream.
+func (fd *Feeder) RunUntil(c *Client, stop int) error {
+	if stop > len(fd.Edges) {
+		stop = len(fd.Edges)
+	}
+	return fd.sendRange(c, stop)
+}
+
+func (fd *Feeder) sendRange(c *Client, stop int) error {
+	b := fd.batch()
+	for pos := c.Pos(); pos < stop; pos = c.Pos() {
+		end := pos + b
+		if end > stop {
+			end = stop
+		}
+		if err := c.SendBatch(fd.Edges[pos:end]); err != nil {
+			return fmt.Errorf("serve: feeding edges [%d,%d): %w", pos, end, err)
+		}
+	}
+	return nil
+}

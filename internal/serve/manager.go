@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"streamcover/internal/obs"
+	"streamcover/internal/stream"
+)
+
+// ErrSessionActive reports a hello or resume naming a token that is
+// currently attached to another connection.
+var ErrSessionActive = errors.New("serve: session already attached")
+
+// ErrUnknownSession reports a resume naming a token with no checkpoint on
+// disk.
+var ErrUnknownSession = errors.New("serve: unknown session")
+
+// Manager owns the server's multi-tenant session state: which tokens are
+// attached, and the checkpoint directory that carries detached sessions
+// across disconnects (and across server restarts — resume is driven purely
+// by the on-disk SCCKPT1 file, not by in-memory state).
+type Manager struct {
+	dir string
+	so  *obs.ServeObs
+
+	mu       sync.Mutex
+	active   map[string]*session
+	draining bool
+	nextID   uint64
+}
+
+// NewManager creates a manager persisting detach checkpoints under dir
+// (created if absent). so may be nil to disable instrumentation.
+func NewManager(dir string, so *obs.ServeObs) (*Manager, error) {
+	if dir == "" {
+		return nil, errors.New("serve: manager needs a checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	return &Manager{dir: dir, so: so, active: make(map[string]*session)}, nil
+}
+
+// ckptPath is where the given session's detach checkpoint lives. Tokens
+// are validated against a filename-safe alphabet before they get here.
+func (m *Manager) ckptPath(token string) string {
+	return filepath.Join(m.dir, token+".ckpt")
+}
+
+// validToken accepts filename-safe tokens only, so a token can never
+// escape the checkpoint directory or collide with temp files.
+func validToken(t string) bool {
+	if t == "" || len(t) > 64 || t[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Open starts a fresh session for cfg. An empty token asks the manager to
+// assign one; a client-chosen token must be filename-safe and not
+// currently attached.
+func (m *Manager) Open(token string, cfg Config) (*session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	if token == "" {
+		m.nextID++
+		token = fmt.Sprintf("s%06d", m.nextID)
+	} else if !validToken(token) {
+		return nil, fmt.Errorf("%w: bad session token %q", ErrWire, token)
+	}
+	if _, ok := m.active[token]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrSessionActive, token)
+	}
+	alg, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(token, cfg, alg, 0, m.so)
+	m.active[token] = s
+	m.so.SessionOpened(false)
+	return s, nil
+}
+
+// Resume reattaches a detached session: it rebuilds the algorithm from cfg
+// and restores the token's checkpoint into it, returning the session and
+// the stream position the client must resend from. A checkpoint written by
+// a different algorithm or instance shape surfaces the snap layer's typed
+// mismatch error (snap.ErrMismatch), which the server maps to a
+// codeMismatch error frame.
+func (m *Manager) Resume(token string, cfg Config) (*session, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, 0, ErrDraining
+	}
+	if !validToken(token) {
+		return nil, 0, fmt.Errorf("%w: bad session token %q", ErrWire, token)
+	}
+	if _, ok := m.active[token]; ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrSessionActive, token)
+	}
+	alg, err := Build(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos, err := stream.ReadCheckpointFile(m.ckptPath(token), alg)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, fmt.Errorf("%w: %q has no checkpoint", ErrUnknownSession, token)
+		}
+		return nil, 0, fmt.Errorf("serve: resume %q: %w", token, err)
+	}
+	s := newSession(token, cfg, alg, pos, m.so)
+	m.active[token] = s
+	m.so.SessionOpened(true)
+	return s, pos, nil
+}
+
+// Detach drains s, persists its checkpoint and releases the token. It
+// serves both the graceful detach frame and abrupt disconnects — the two
+// paths must behave identically for disconnect tolerance to hold.
+func (m *Manager) Detach(s *session) (int, error) {
+	pos, err := s.stop()
+	if err != nil {
+		m.release(s.token)
+		return 0, err
+	}
+	path := m.ckptPath(s.token)
+	if err := stream.WriteCheckpointFile(path, pos, s.alg); err != nil {
+		m.release(s.token)
+		return pos, fmt.Errorf("serve: checkpoint %q: %w", s.token, err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		m.so.Checkpoint(int(fi.Size()))
+	}
+	m.release(s.token)
+	return pos, nil
+}
+
+// Finish drains s, finishes the algorithm and retires the session for
+// good, removing any detach checkpoint left by an earlier disconnect.
+func (m *Manager) Finish(s *session) (Result, error) {
+	res, err := s.finish()
+	m.release(s.token)
+	if err == nil {
+		os.Remove(m.ckptPath(s.token)) // best-effort: may never have existed
+	}
+	return res, err
+}
+
+// release forgets an attached token. The caller has already retired the
+// session worker.
+func (m *Manager) release(token string) {
+	m.mu.Lock()
+	delete(m.active, token)
+	m.mu.Unlock()
+	m.so.SessionClosed()
+}
+
+// Drain rejects all future hellos and resumes (codeShutdown on the wire).
+// Attached sessions keep running until their connections close; the
+// server's shutdown path then detaches each with a checkpoint.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// Active reports the number of attached sessions.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}

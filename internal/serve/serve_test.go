@@ -1,0 +1,546 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamcover/internal/kk"
+	"streamcover/internal/obs"
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+const (
+	testN, testM, testOpt = 120, 900, 6
+	testSeed              = 42
+)
+
+// testEdges builds the shared deterministic workload stream.
+func testEdges(t testing.TB) []stream.Edge {
+	t.Helper()
+	w := workload.Planted(xrand.New(11), testN, testM, testOpt, 0)
+	return stream.Arrange(w.Inst, stream.Random, xrand.New(23))
+}
+
+func testConfig(edges []stream.Edge) Config {
+	return Config{Algo: "kk", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed}
+}
+
+// startServer runs a server on a loopback port, shut down at test end.
+func startServer(t testing.TB, cfg ServerConfig) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv
+}
+
+func dialT(t testing.TB, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.Timeout = 30 * time.Second
+	return c
+}
+
+// waitIdle polls until the server has released every session.
+func waitIdle(t testing.TB, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Manager().Active() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d sessions still attached", srv.Manager().Active())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServeMatchesLocalRun pins the fundamental equivalence: a session fed
+// over TCP produces byte-identical output to driving the same algorithm
+// locally.
+func TestServeMatchesLocalRun(t *testing.T) {
+	edges := testEdges(t)
+	for _, cfg := range []Config{
+		{Algo: "kk", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed},
+		{Algo: "alg1", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed},
+		{Algo: "alg2", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed, Alpha: 22},
+		{Algo: "es", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed, Alpha: 6},
+		{Algo: "kk", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed, Copies: 3},
+	} {
+		name := cfg.Algo
+		if cfg.Copies > 1 {
+			name += "-ensemble"
+		}
+		t.Run(name, func(t *testing.T) {
+			alg, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			local := stream.RunEdges(alg, edges)
+
+			srv := startServer(t, ServerConfig{})
+			c := dialT(t, srv)
+			if _, err := c.Hello("", cfg); err != nil {
+				t.Fatal(err)
+			}
+			fd := Feeder{Edges: edges, Batch: 700}
+			res, err := fd.Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Cover.Equal(local.Cover) {
+				t.Fatalf("served cover (%d sets) differs from local (%d sets)",
+					len(res.Cover.Sets), len(local.Cover.Sets))
+			}
+			if res.Edges != local.Edges || res.Space != local.Space {
+				t.Fatalf("served edges/space %d/%+v, local %d/%+v",
+					res.Edges, res.Space, local.Edges, local.Space)
+			}
+		})
+	}
+}
+
+func TestServeFlushReportsProgress(t *testing.T) {
+	edges := testEdges(t)
+	srv := startServer(t, ServerConfig{})
+	c := dialT(t, srv)
+	if _, err := c.Hello("", testConfig(edges)); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 512}
+	const stop = 2048
+	if err := fd.RunUntil(c, stop); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != stop {
+		t.Fatalf("flushed position %d, want %d", pos, stop)
+	}
+}
+
+func TestServeDetachAndResume(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	srv := startServer(t, ServerConfig{})
+
+	ref := localReference(t, cfg, edges)
+
+	c := dialT(t, srv)
+	if _, err := c.Hello("par", cfg); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 512}
+	const stop = 3000
+	if err := fd.RunUntil(c, stop); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := c.Detach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != stop {
+		t.Fatalf("detached at %d, want %d", pos, stop)
+	}
+	c.Close()
+	waitIdle(t, srv)
+
+	c2 := dialT(t, srv)
+	got, err := c2.Resume("par", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != stop {
+		t.Fatalf("resumed at %d, want %d", got, stop)
+	}
+	res, err := fd.Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("resumed fingerprint %#x, want uninterrupted %#x", res.Fingerprint(), ref.Fingerprint())
+	}
+}
+
+// localReference runs cfg's algorithm locally over edges.
+func localReference(t testing.TB, cfg Config, edges []stream.Edge) Result {
+	t.Helper()
+	alg, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stream.RunEdges(alg, edges)
+	return Result{Edges: r.Edges, Cover: r.Cover, Space: r.Space}
+}
+
+// detachWithCheckpoint opens a session under token, feeds stop edges and
+// detaches gracefully, leaving a checkpoint behind.
+func detachWithCheckpoint(t *testing.T, srv *Server, token string, cfg Config, edges []stream.Edge, stop int) {
+	t.Helper()
+	c := dialT(t, srv)
+	if _, err := c.Hello(token, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 512}
+	if err := fd.RunUntil(c, stop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	waitIdle(t, srv)
+}
+
+// TestServeResumeMismatchIsTyped pins the satellite fix: resuming a
+// checkpoint with a different algorithm (or instance shape) must fail with
+// the typed mismatch error, not a decode panic or a generic failure.
+func TestServeResumeMismatchIsTyped(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	srv := startServer(t, ServerConfig{})
+	detachWithCheckpoint(t, srv, "mm", cfg, edges, 3000)
+
+	t.Run("different-algorithm", func(t *testing.T) {
+		other := cfg
+		other.Algo, other.Alpha = "alg2", 22
+		c := dialT(t, srv)
+		_, err := c.Resume("mm", other)
+		if !errors.Is(err, ErrRemoteMismatch) {
+			t.Fatalf("got %v, want ErrRemoteMismatch", err)
+		}
+	})
+
+	t.Run("different-shape", func(t *testing.T) {
+		other := cfg
+		other.N, other.M = cfg.N*2, cfg.M*2
+		c := dialT(t, srv)
+		_, err := c.Resume("mm", other)
+		if err == nil {
+			t.Fatal("shape-mismatched resume succeeded")
+		}
+		if !errors.Is(err, ErrRemote) {
+			t.Fatalf("got untyped error %v", err)
+		}
+	})
+
+	// The checkpoint must survive the failed attempts: a correct resume
+	// still works.
+	t.Run("correct-config-still-resumes", func(t *testing.T) {
+		c := dialT(t, srv)
+		pos, err := c.Resume("mm", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos != 3000 {
+			t.Fatalf("resumed at %d, want 3000", pos)
+		}
+	})
+}
+
+func TestServeResumeUnknownTokenFails(t *testing.T) {
+	edges := testEdges(t)
+	srv := startServer(t, ServerConfig{})
+	c := dialT(t, srv)
+	_, err := c.Resume("never-existed", testConfig(edges))
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("got %v, want ErrRemote", err)
+	}
+	if !strings.Contains(err.Error(), "no checkpoint") {
+		t.Fatalf("error %q does not explain the missing checkpoint", err)
+	}
+}
+
+func TestServeDuplicateTokenRejected(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	srv := startServer(t, ServerConfig{})
+	c1 := dialT(t, srv)
+	if _, err := c1.Hello("dup", cfg); err != nil {
+		t.Fatal(err)
+	}
+	c2 := dialT(t, srv)
+	if _, err := c2.Hello("dup", cfg); !errors.Is(err, ErrRemote) {
+		t.Fatalf("second hello for an attached token: got %v, want ErrRemote", err)
+	}
+}
+
+func TestServeDrainingRejectsNewSessions(t *testing.T) {
+	edges := testEdges(t)
+	srv := startServer(t, ServerConfig{})
+	srv.Manager().Drain()
+	c := dialT(t, srv)
+	if _, err := c.Hello("", testConfig(edges)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("hello on draining server: got %v, want ErrDraining", err)
+	}
+	c2 := dialT(t, srv)
+	if _, err := c2.Resume("any", testConfig(edges)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("resume on draining server: got %v, want ErrDraining", err)
+	}
+}
+
+// TestServeIdleTimeoutDetaches leaves a session silent past the idle
+// timeout; the server must detach it with a checkpoint covering every edge
+// it had received, so a resume continues seamlessly.
+func TestServeIdleTimeoutDetaches(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	srv := startServer(t, ServerConfig{IdleTimeout: 50 * time.Millisecond})
+	ref := localReference(t, cfg, edges)
+
+	c := dialT(t, srv)
+	if _, err := c.Hello("idle", cfg); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 512}
+	const stop = 4096
+	if err := fd.RunUntil(c, stop); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, srv) // the idle timeout fires and the server detaches
+
+	c2 := dialT(t, srv)
+	pos, err := c2.Resume("idle", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != stop {
+		t.Fatalf("idle-detach checkpointed at %d, want %d", pos, stop)
+	}
+	res, err := fd.Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("post-idle-timeout fingerprint %#x, want %#x", res.Fingerprint(), ref.Fingerprint())
+	}
+}
+
+// TestServeBadEdgeDetachesWithCheckpoint sends an edge outside the session
+// shape: the server must answer with a typed error frame, and the edges
+// accepted before the bad frame must survive in a checkpoint.
+func TestServeBadEdgeDetachesWithCheckpoint(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	srv := startServer(t, ServerConfig{})
+	c := dialT(t, srv)
+	if _, err := c.Hello("bad", cfg); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 512}
+	const stop = 1024
+	if err := fd.RunUntil(c, stop); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch([]stream.Edge{{Set: testM + 7, Elem: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Flush(); !errors.Is(err, ErrRemote) {
+		t.Fatalf("flush after bad edge: got %v, want ErrRemote", err)
+	}
+	c.Close()
+	waitIdle(t, srv)
+
+	c2 := dialT(t, srv)
+	pos, err := c2.Resume("bad", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != stop {
+		t.Fatalf("checkpoint after bad frame at %d, want %d", pos, stop)
+	}
+}
+
+// slowAlg is a deliberately slow drop-in used to force ring backpressure.
+type slowAlg struct {
+	inner stream.Algorithm
+	delay time.Duration
+}
+
+func (a *slowAlg) Process(e stream.Edge) {
+	time.Sleep(a.delay)
+	a.inner.Process(e)
+}
+func (a *slowAlg) Finish() *setcover.Cover { return a.inner.Finish() }
+
+// TestServeBackpressureCountsStalls drives a slow algorithm faster than it
+// can consume: the connection reader must block on the full ring (the
+// stall counter ticks) and TCP pushes back on the client — yet nothing is
+// lost and the session finishes.
+func TestServeBackpressureCountsStalls(t *testing.T) {
+	edges := testEdges(t)[:4096]
+	Register("slowtest", func(cfg Config, rng *xrand.Rand) stream.Algorithm {
+		return &slowAlg{inner: kk.New(cfg.N, cfg.M, rng), delay: 30 * time.Microsecond}
+	})
+	hub := obs.NewHub(1)
+	so := hub.Serve()
+	srv := startServer(t, ServerConfig{Obs: so})
+	c := dialT(t, srv)
+	cfg := Config{Algo: "slowtest", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed}
+	if _, err := c.Hello("", cfg); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 64}
+	res, err := fd.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != len(edges) {
+		t.Fatalf("processed %d edges, want %d", res.Edges, len(edges))
+	}
+	stalls := metricValue(t, hub, "streamcover_serve_ingest_stalls_total")
+	if stalls == 0 {
+		t.Fatalf("no ingest stalls recorded while overrunning a slow consumer")
+	}
+	t.Logf("backpressure: %v stalls over %d batches", stalls, (len(edges)+63)/64)
+}
+
+// metricValue reads one counter/gauge from a private hub snapshot.
+func metricValue(t testing.TB, hub *obs.Hub, name string) float64 {
+	t.Helper()
+	for _, p := range hub.Snapshot().Metrics {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	t.Fatalf("metric %s not registered", name)
+	return 0
+}
+
+// TestServeManagerRejectsBadConfigs covers the validation edges directly.
+func TestServeManagerRejectsBadConfigs(t *testing.T) {
+	mgr, err := NewManager(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},                                     // no algorithm
+		{Algo: "kk"},                           // no shape
+		{Algo: "nope", N: 10, M: 10},           // unregistered
+		{Algo: "kk", N: -1, M: 10},             // negative n
+		{Algo: "kk", N: 10, M: 10, Copies: -1}, // negative copies
+	}
+	for _, cfg := range bad {
+		if _, err := mgr.Open("", cfg); err == nil {
+			t.Errorf("Open accepted invalid config %+v", cfg)
+		}
+	}
+	if _, err := mgr.Open("../escape", Config{Algo: "kk", N: 10, M: 10}); !errors.Is(err, ErrWire) {
+		t.Errorf("path-escaping token: got %v, want ErrWire", err)
+	}
+}
+
+// TestServeSteadyStateAllocs pins the zero-allocation contract of the
+// serving hot path: once a session is warm, an edge-batch round trip —
+// client encode, server frame read, decode into the ring, ProcessBatch,
+// flush ack — allocates nothing on either side. AllocsPerRun counts
+// mallocs process-wide, so the bound covers the server goroutines too.
+func TestServeSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short races")
+	}
+	edges := testEdges(t)
+	srv := startServer(t, ServerConfig{})
+	c := dialT(t, srv)
+	c.Timeout = 0 // deadline bookkeeping may allocate; steady state sets none
+	cfg := Config{Algo: "kk", N: testN, M: testM, StreamLen: 1 << 30, Seed: testSeed}
+	if _, err := c.Hello("", cfg); err != nil {
+		t.Fatal(err)
+	}
+	batch := edges[:1024]
+	send := func() {
+		if err := c.SendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		send() // warm every reusable buffer on both sides
+	}
+	allocs := testing.AllocsPerRun(100, send)
+	if allocs > 0.5 {
+		t.Fatalf("steady-state edge batch allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestServeConcurrentSessionsRace runs many simultaneous sessions — plain
+// and ensemble — through one server under the race detector. Every session
+// with the same seed must produce the same bytes.
+func TestServeConcurrentSessionsRace(t *testing.T) {
+	edges := testEdges(t)
+	srv := startServer(t, ServerConfig{})
+	const sessions = 16
+	cfg := Config{Algo: "kk", N: testN, M: testM, StreamLen: len(edges), Seed: testSeed, Copies: 4}
+	want := localReference(t, cfg, edges).Fingerprint()
+
+	var wg sync.WaitGroup
+	fps := make([]uint64, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			c.Timeout = 60 * time.Second
+			if _, err := c.Hello(fmt.Sprintf("race-%d", i), cfg); err != nil {
+				errs[i] = err
+				return
+			}
+			fd := Feeder{Edges: edges, Batch: 256 + 64*i} // varied batching must not matter
+			res, err := fd.Run(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fps[i] = res.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if fps[i] != want {
+			t.Fatalf("session %d fingerprint %#x, want %#x", i, fps[i], want)
+		}
+	}
+}

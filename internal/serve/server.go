@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"streamcover/internal/obs"
+	"streamcover/internal/snap"
+)
+
+// ServerConfig shapes one Server.
+type ServerConfig struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:7600"; ":0" picks a
+	// free port, readable from Addr() after Listen).
+	Addr string
+	// Dir is the checkpoint directory for detached sessions.
+	Dir string
+	// IdleTimeout bounds how long a connection may sit between frames
+	// before the server detaches it with a checkpoint; <= 0 means no limit.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write; <= 0 means no limit.
+	WriteTimeout time.Duration
+	// Obs instruments the serving layer; nil disables instrumentation.
+	Obs *obs.ServeObs
+	// Log receives connection-level diagnostics; nil discards them.
+	Log *log.Logger
+}
+
+// Server accepts SCWIRE1 connections and feeds each session's edges
+// through the registered streaming algorithms. One goroutine per
+// connection reads frames; one per session drains the ring — see the
+// package documentation for the full lifecycle.
+type Server struct {
+	cfg ServerConfig
+	mgr *Manager
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server (and its session manager) from cfg.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	mgr, err := NewManager(cfg.Dir, cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, mgr: mgr, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Manager exposes the session manager (tests and tooling inspect it).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Listen binds the configured address. It is separate from Serve so
+// callers can learn the bound address (":0" listeners) before accepting.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr reports the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Shutdown closes the listener. It
+// returns nil on graceful shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: new sessions are rejected, the listener
+// closes, and every open connection is woken (its pending read fails) so
+// its handler detaches the session with a checkpoint. It waits for all
+// handlers — bounded by ctx — so callers know every session is either
+// finished or durably checkpointed when it returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mgr.Drain()
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now()) // wake blocked readers
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// readDeadline arms the idle timeout before a frame read.
+func (s *Server) readDeadline(conn net.Conn) {
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+}
+
+// writeDeadline arms the write timeout before a response write.
+func (s *Server) writeDeadline(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// errCode classifies a session-layer error into a wire error code.
+func errCode(err error) byte {
+	switch {
+	case errors.Is(err, snap.ErrMismatch):
+		return codeMismatch
+	case errors.Is(err, ErrDraining):
+		return codeShutdown
+	case errors.Is(err, ErrWire):
+		return codeBadFrame
+	default:
+		return codeGeneric
+	}
+}
+
+// handle runs one connection: magic, hello/resume, then the frame loop.
+// On any read failure — disconnect, idle timeout, shutdown wake-up — the
+// attached session is detached with a checkpoint so the client can
+// resume.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	s.readDeadline(conn)
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
+		s.logf("serve: %s: reading magic: %v", conn.RemoteAddr(), err)
+		return
+	}
+	f := newFrameIO(conn)
+	if string(magic[:]) != Magic {
+		s.writeDeadline(conn)
+		f.writeError(codeBadFrame, fmt.Sprintf("bad magic %q", magic[:]))
+		return
+	}
+
+	// The first frame must open a session: hello (fresh) or resume.
+	s.readDeadline(conn)
+	payload, err := f.readFrame()
+	if err != nil {
+		s.logf("serve: %s: reading opening frame: %v", conn.RemoteAddr(), err)
+		return
+	}
+	var sess *session
+	var pos int
+	switch payload[0] {
+	case frameHello:
+		token, cfg, perr := parseHello(payload[1:])
+		if perr == nil {
+			sess, err = s.mgr.Open(token, cfg)
+		} else {
+			err = perr
+		}
+	case frameResume:
+		token, cfg, perr := parseHello(payload[1:])
+		if perr == nil {
+			sess, pos, err = s.mgr.Resume(token, cfg)
+		} else {
+			err = perr
+		}
+	default:
+		err = fmt.Errorf("%w: connection must open with hello or resume, got frame 0x%02x", ErrWire, payload[0])
+	}
+	if err != nil {
+		s.logf("serve: %s: open: %v", conn.RemoteAddr(), err)
+		s.writeDeadline(conn)
+		f.writeError(errCode(err), err.Error())
+		return
+	}
+	s.writeDeadline(conn)
+	if err := f.writeHelloAck(sess.token, pos); err != nil {
+		s.logf("serve: %s: hello ack: %v", conn.RemoteAddr(), err)
+		s.detach(sess)
+		return
+	}
+
+	for {
+		s.readDeadline(conn)
+		payload, err := f.readFrame()
+		if err != nil {
+			// Disconnect, idle timeout or shutdown: checkpoint and park.
+			s.logf("serve: session %s: connection lost (%v), detaching with checkpoint", sess.token, err)
+			s.detach(sess)
+			return
+		}
+		switch payload[0] {
+		case frameEdges:
+			if err := sess.ingest(payload[1:]); err != nil {
+				s.logf("serve: session %s: %v", sess.token, err)
+				s.writeDeadline(conn)
+				f.writeError(errCode(err), err.Error())
+				s.detach(sess)
+				return
+			}
+		case frameFlush:
+			p, err := sess.flush()
+			if err != nil {
+				s.fail(conn, f, sess, err)
+				return
+			}
+			s.writeDeadline(conn)
+			if err := f.writePosAck(p); err != nil {
+				s.detach(sess)
+				return
+			}
+		case frameDetach:
+			p, err := s.mgr.Detach(sess)
+			if err != nil {
+				s.logf("serve: session %s: detach: %v", sess.token, err)
+				s.writeDeadline(conn)
+				f.writeError(errCode(err), err.Error())
+				return
+			}
+			s.writeDeadline(conn)
+			f.writePosAck(p)
+			return
+		case frameFinish:
+			res, err := s.mgr.Finish(sess)
+			if err != nil {
+				s.logf("serve: session %s: finish: %v", sess.token, err)
+				s.writeDeadline(conn)
+				f.writeError(errCode(err), err.Error())
+				return
+			}
+			s.writeDeadline(conn)
+			if err := f.writeResult(res); err != nil {
+				s.logf("serve: session %s: result write: %v", sess.token, err)
+			}
+			return
+		default:
+			err := fmt.Errorf("%w: unexpected frame 0x%02x", ErrWire, payload[0])
+			s.fail(conn, f, sess, err)
+			return
+		}
+	}
+}
+
+// fail reports err to the client and detaches the session.
+func (s *Server) fail(conn net.Conn, f *frameIO, sess *session, err error) {
+	s.logf("serve: session %s: %v", sess.token, err)
+	s.writeDeadline(conn)
+	f.writeError(errCode(err), err.Error())
+	s.detach(sess)
+}
+
+// detach checkpoints and releases sess, logging (not propagating) errors:
+// the connection is already gone.
+func (s *Server) detach(sess *session) {
+	if _, err := s.mgr.Detach(sess); err != nil {
+		s.logf("serve: session %s: detach checkpoint failed: %v", sess.token, err)
+	}
+}

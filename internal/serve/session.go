@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+
+	"streamcover/internal/obs"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+)
+
+// ringDepth is the number of reusable edge buffers in a session's inbound
+// ring. Depth 4 lets the connection reader decode ahead of the algorithm
+// (the same triple-buffering argument as the stream Prefetcher) while
+// bounding resident per-session ingest memory at ringDepth × MaxBatch
+// edges.
+const ringDepth = 4
+
+// ctlKind selects a control action delivered through the session ring, so
+// control observes strict FIFO order with respect to edge batches.
+type ctlKind uint8
+
+const (
+	ctlNone ctlKind = iota
+	ctlFlush
+	ctlFinish
+	ctlStop // park the worker without finishing (detach path)
+)
+
+// slot is one unit handed from the connection reader to the session
+// worker: an edge buffer index, or a control request.
+type slot struct {
+	idx int // ring buffer index; -1 for control slots
+	n   int
+	ctl ctlKind
+}
+
+// reply answers a control slot.
+type reply struct {
+	pos int
+	res Result
+	err error
+}
+
+// session runs one algorithm instance fed over the wire. The connection
+// reader decodes edges frames directly into the ring's reusable buffers
+// (zero allocations per batch in steady state) and the worker goroutine
+// drains them through ProcessBatch — the library's batched hot path. All
+// session methods are called from the single connection reader goroutine;
+// the worker is the only other goroutine touching the algorithm.
+type session struct {
+	token string
+	cfg   Config
+	alg   stream.Algorithm
+
+	bufs  [][]stream.Edge
+	free  chan int
+	full  chan slot
+	resCh chan reply
+
+	stopped bool // worker has exited (finish or stop delivered)
+	so      *obs.ServeObs
+}
+
+// newSession wraps alg (built for cfg) in a fresh ring and starts the
+// worker. pos is the stream position the algorithm state corresponds to
+// (0 for new sessions, the checkpoint position for resumed ones).
+func newSession(token string, cfg Config, alg stream.Algorithm, pos int, so *obs.ServeObs) *session {
+	s := &session{
+		token: token,
+		cfg:   cfg,
+		alg:   alg,
+		bufs:  make([][]stream.Edge, ringDepth),
+		free:  make(chan int, ringDepth),
+		full:  make(chan slot, ringDepth),
+		resCh: make(chan reply, 1),
+		so:    so,
+	}
+	for i := range s.bufs {
+		s.bufs[i] = make([]stream.Edge, MaxBatch)
+		s.free <- i
+	}
+	go s.worker(pos)
+	return s
+}
+
+// worker drains the ring into the algorithm. It owns the algorithm and the
+// position counter until a finish or stop control slot retires it; the
+// reply channel's happens-before edge publishes the state back to the
+// reader goroutine.
+func (s *session) worker(pos int) {
+	bp, isBP := s.alg.(stream.BatchProcessor)
+	for sl := range s.full {
+		switch sl.ctl {
+		case ctlNone:
+			batch := s.bufs[sl.idx][:sl.n]
+			if isBP {
+				bp.ProcessBatch(batch)
+			} else {
+				for _, e := range batch {
+					s.alg.Process(e)
+				}
+			}
+			pos += sl.n
+			s.free <- sl.idx
+		case ctlFlush:
+			s.resCh <- reply{pos: pos}
+		case ctlFinish:
+			res := Result{Edges: pos, Cover: s.alg.Finish()}
+			if rep, ok := s.alg.(space.Reporter); ok {
+				res.Space = rep.Space()
+			}
+			s.resCh <- reply{pos: pos, res: res}
+			return
+		case ctlStop:
+			s.resCh <- reply{pos: pos}
+			return
+		}
+	}
+}
+
+// ingest decodes one edges frame body into a free ring buffer and queues
+// it for the worker. When the ring is full the calling reader blocks —
+// that is the backpressure path, counted as an ingest stall.
+func (s *session) ingest(body []byte) error {
+	var idx int
+	select {
+	case idx = <-s.free:
+	default:
+		s.so.IngestStall()
+		idx = <-s.free
+	}
+	n, err := parseEdgesInto(body, s.bufs[idx], s.cfg.N, s.cfg.M)
+	if err != nil {
+		s.free <- idx
+		return err
+	}
+	s.full <- slot{idx: idx, n: n}
+	s.so.Batch(n)
+	return nil
+}
+
+// control queues a control slot and waits for the worker's reply.
+func (s *session) control(k ctlKind) reply {
+	if s.stopped {
+		return reply{err: fmt.Errorf("serve: session %s already stopped", s.token)}
+	}
+	s.full <- slot{idx: -1, ctl: k}
+	r := <-s.resCh
+	if k == ctlFinish || k == ctlStop {
+		s.stopped = true
+		close(s.full)
+	}
+	return r
+}
+
+// flush waits until everything queued so far has been processed and
+// returns the consumed position.
+func (s *session) flush() (int, error) {
+	r := s.control(ctlFlush)
+	return r.pos, r.err
+}
+
+// finish drains the ring, finishes the algorithm and returns the result.
+// The session is dead afterwards.
+func (s *session) finish() (Result, error) {
+	r := s.control(ctlFinish)
+	return r.res, r.err
+}
+
+// stop drains the ring and parks the worker without finishing, returning
+// the consumed position. The algorithm may be snapshotted afterwards (the
+// reply established the happens-before edge).
+func (s *session) stop() (int, error) {
+	r := s.control(ctlStop)
+	return r.pos, r.err
+}

@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+)
+
+// Magic opens every SCWIRE1 connection (client→server, once, before the
+// first frame).
+const Magic = "SCWIRE1\n"
+
+// Frame types. Client→server types are low, server→client types have the
+// high bit set; values are part of the wire format and must stay stable.
+const (
+	frameHello  = 0x01 // open a new session
+	frameEdges  = 0x02 // one edge batch
+	frameFlush  = 0x03 // request a pos-ack once the queue has drained
+	frameFinish = 0x04 // finish the algorithm, expect a result frame
+	frameResume = 0x05 // reattach to a detached session
+	frameDetach = 0x06 // graceful disconnect: checkpoint and ack first
+
+	frameHelloAck = 0x81 // session token + starting position
+	framePosAck   = 0x82 // flush/detach acknowledgement
+	frameResult   = 0x83 // edges, cover, certificate, space meters
+	frameError    = 0x84 // code byte + message
+)
+
+// Wire error codes carried by error frames, so clients can map remote
+// failures back to typed errors.
+const (
+	codeGeneric  = 1 // anything without a more specific classification
+	codeMismatch = 2 // checkpoint/algorithm/shape mismatch on resume
+	codeBadFrame = 3 // malformed or out-of-protocol frame
+	codeShutdown = 4 // server is draining and rejects new work
+)
+
+// Wire limits: a frame payload is bounded so a corrupt length prefix cannot
+// provoke a pathological allocation, and an edges frame is bounded so ring
+// buffers can be sized once at session creation.
+const (
+	// MaxBatch is the largest number of edges one edges frame may carry. It
+	// matches stream.BatchSize so a served batch drains through ProcessBatch
+	// in one call, and keeps a session's ring (ringDepth × MaxBatch edges)
+	// modest enough to hold hundreds of concurrent sessions.
+	MaxBatch = 4096
+	// maxFramePayload bounds every frame payload. Generous enough for a
+	// MaxBatch edge frame of worst-case varints and for result frames of
+	// laptop-scale universes.
+	maxFramePayload = 1 << 22
+)
+
+// ErrWire is the family error for malformed SCWIRE1 traffic: bad magic, bad
+// CRC, truncated or oversized frames, unknown frame types.
+var ErrWire = errors.New("serve: wire protocol error")
+
+// ErrRemote wraps a failure the server reported in an error frame.
+var ErrRemote = errors.New("serve: remote error")
+
+// ErrRemoteMismatch is the typed form of a code-mismatch error frame: the
+// resume named a checkpoint written by a different algorithm or instance
+// shape. It wraps ErrRemote.
+var ErrRemoteMismatch = fmt.Errorf("%w: checkpoint mismatch", ErrRemote)
+
+// ErrDraining is the typed form of a code-shutdown error frame: the server
+// is shutting down and refused the session. It wraps ErrRemote.
+var ErrDraining = fmt.Errorf("%w: server draining", ErrRemote)
+
+// frameIO reads and writes SCWIRE1 frames over one connection, reusing its
+// buffers so steady-state frame traffic allocates nothing. Not safe for
+// concurrent use; each endpoint owns one per connection side.
+type frameIO struct {
+	rw  io.ReadWriter
+	hdr [4]byte
+	in  []byte // reusable read buffer (payload + trailer)
+	out []byte // reusable write buffer (header + payload + trailer)
+}
+
+func newFrameIO(rw io.ReadWriter) *frameIO {
+	return &frameIO{rw: rw, in: make([]byte, 0, 4096), out: make([]byte, 0, 4096)}
+}
+
+// readFrame reads one frame and returns its payload (type byte included).
+// The returned slice aliases the reusable buffer and is only valid until
+// the next readFrame call.
+func (f *frameIO) readFrame() ([]byte, error) {
+	if _, err := io.ReadFull(f.rw, f.hdr[:]); err != nil {
+		return nil, err // raw EOF/timeout: the caller classifies disconnects
+	}
+	n := binary.LittleEndian.Uint32(f.hdr[:])
+	if n == 0 || n > maxFramePayload {
+		return nil, fmt.Errorf("%w: frame payload length %d", ErrWire, n)
+	}
+	need := int(n) + 4 // payload + CRC trailer
+	if cap(f.in) < need {
+		f.in = make([]byte, need)
+	}
+	f.in = f.in[:need]
+	if _, err := io.ReadFull(f.rw, f.in); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame: %v", ErrWire, err)
+	}
+	payload, trailer := f.in[:n], f.in[n:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: frame checksum mismatch", ErrWire)
+	}
+	return payload, nil
+}
+
+// beginFrame starts a frame of the given type in the reusable write buffer.
+// Body bytes are appended by the append* helpers; endFrame seals and sends.
+func (f *frameIO) beginFrame(typ byte) {
+	f.out = append(f.out[:0], 0, 0, 0, 0, typ)
+}
+
+// endFrame back-fills the length prefix, appends the CRC trailer and writes
+// the frame in one call.
+func (f *frameIO) endFrame() error {
+	payload := f.out[4:]
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("%w: frame payload %d exceeds limit", ErrWire, len(payload))
+	}
+	binary.LittleEndian.PutUint32(f.out[:4], uint32(len(payload)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(payload))
+	f.out = append(f.out, trailer[:]...)
+	_, err := f.rw.Write(f.out)
+	return err
+}
+
+func (f *frameIO) appendU64(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	f.out = append(f.out, b[:binary.PutUvarint(b[:], v)]...)
+}
+
+func (f *frameIO) appendI64(v int64) {
+	var b [binary.MaxVarintLen64]byte
+	f.out = append(f.out, b[:binary.PutVarint(b[:], v)]...)
+}
+
+func (f *frameIO) appendString(s string) {
+	f.appendU64(uint64(len(s)))
+	f.out = append(f.out, s...)
+}
+
+func (f *frameIO) appendF64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	f.out = append(f.out, b[:]...)
+}
+
+// cursor decodes a frame payload in place. Like snap.Reader it latches the
+// first error so call sites decode whole frames without per-field plumbing.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail("%w: truncated varint", ErrWire)
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) i64() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		c.fail("%w: truncated varint", ErrWire)
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) str() string {
+	n := c.u64()
+	if c.err != nil {
+		return ""
+	}
+	if n > uint64(len(c.b)) {
+		c.fail("%w: string length %d exceeds frame", ErrWire, n)
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}
+
+func (c *cursor) f64() float64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 8 {
+		c.fail("%w: truncated float", ErrWire)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b))
+	c.b = c.b[8:]
+	return v
+}
+
+// done fails unless the payload was consumed exactly.
+func (c *cursor) done() error {
+	if c.err == nil && len(c.b) != 0 {
+		c.fail("%w: %d trailing bytes in frame", ErrWire, len(c.b))
+	}
+	return c.err
+}
+
+// writeHello sends a hello (or resume, per typ) frame carrying the session
+// token and the full session configuration.
+func (f *frameIO) writeHello(typ byte, token string, cfg Config) error {
+	f.beginFrame(typ)
+	f.appendU64(1) // protocol version
+	f.appendString(token)
+	f.appendString(cfg.Algo)
+	f.appendU64(uint64(cfg.N))
+	f.appendU64(uint64(cfg.M))
+	f.appendU64(uint64(cfg.StreamLen))
+	f.appendU64(cfg.Seed)
+	f.appendU64(uint64(cfg.Copies))
+	f.appendF64(cfg.Alpha)
+	return f.endFrame()
+}
+
+// parseHello decodes a hello/resume body (the type byte already stripped).
+func parseHello(body []byte) (token string, cfg Config, err error) {
+	c := cursor{b: body}
+	if v := c.u64(); c.err == nil && v != 1 {
+		return "", Config{}, fmt.Errorf("%w: protocol version %d", ErrWire, v)
+	}
+	token = c.str()
+	cfg.Algo = c.str()
+	cfg.N = int(c.u64())
+	cfg.M = int(c.u64())
+	cfg.StreamLen = int(c.u64())
+	cfg.Seed = c.u64()
+	cfg.Copies = int(c.u64())
+	cfg.Alpha = c.f64()
+	return token, cfg, c.done()
+}
+
+// writeEdges sends one edge batch using the SCSTRM1 varint edge encoding
+// (uvarint set, uvarint elem per edge).
+func (f *frameIO) writeEdges(edges []stream.Edge) error {
+	if len(edges) == 0 || len(edges) > MaxBatch {
+		return fmt.Errorf("%w: edge batch of %d (limit %d)", ErrWire, len(edges), MaxBatch)
+	}
+	f.beginFrame(frameEdges)
+	f.appendU64(uint64(len(edges)))
+	for _, e := range edges {
+		f.appendU64(uint64(e.Set))
+		f.appendU64(uint64(e.Elem))
+	}
+	return f.endFrame()
+}
+
+// parseEdgesInto decodes an edges body into dst, validating the count
+// against the ring buffer capacity and every edge against the session
+// shape. It returns the number of edges decoded.
+func parseEdgesInto(body []byte, dst []stream.Edge, n, m int) (int, error) {
+	c := cursor{b: body}
+	k := c.u64()
+	if c.err != nil {
+		return 0, c.err
+	}
+	if k == 0 || k > uint64(len(dst)) {
+		return 0, fmt.Errorf("%w: edge batch of %d (limit %d)", ErrWire, k, len(dst))
+	}
+	for i := 0; i < int(k); i++ {
+		s, u := c.u64(), c.u64()
+		if c.err != nil {
+			return 0, c.err
+		}
+		if s >= uint64(m) || u >= uint64(n) {
+			return 0, fmt.Errorf("%w: edge (%d,%d) out of range for n=%d m=%d", ErrWire, s, u, n, m)
+		}
+		dst[i] = stream.Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}
+	}
+	return int(k), c.done()
+}
+
+// writeFlush, writeDetach and writeFinish send the body-less control
+// frames.
+func (f *frameIO) writeFlush() error  { f.beginFrame(frameFlush); return f.endFrame() }
+func (f *frameIO) writeDetach() error { f.beginFrame(frameDetach); return f.endFrame() }
+func (f *frameIO) writeFinish() error { f.beginFrame(frameFinish); return f.endFrame() }
+
+// writeHelloAck acknowledges a hello/resume with the session token and the
+// stream position the client must (re)start from.
+func (f *frameIO) writeHelloAck(token string, pos int) error {
+	f.beginFrame(frameHelloAck)
+	f.appendString(token)
+	f.appendU64(uint64(pos))
+	return f.endFrame()
+}
+
+func parseHelloAck(body []byte) (token string, pos int, err error) {
+	c := cursor{b: body}
+	token = c.str()
+	pos = int(c.u64())
+	return token, pos, c.done()
+}
+
+// writePosAck acknowledges a flush/detach at the given consumed position.
+func (f *frameIO) writePosAck(pos int) error {
+	f.beginFrame(framePosAck)
+	f.appendU64(uint64(pos))
+	return f.endFrame()
+}
+
+func parsePosAck(body []byte) (int, error) {
+	c := cursor{b: body}
+	pos := int(c.u64())
+	return pos, c.done()
+}
+
+// Result is a finished session's complete observable output: everything the
+// library's Result carries that crosses the wire.
+type Result struct {
+	// Edges is the number of edges the session processed.
+	Edges int
+	// Cover is the output cover with its certificate.
+	Cover *setcover.Cover
+	// Space is the algorithm's peak space report.
+	Space space.Usage
+}
+
+// writeResult sends a result frame. Certificate entries use signed varints
+// so NoSet (-1) round-trips.
+func (f *frameIO) writeResult(res Result) error {
+	f.beginFrame(frameResult)
+	f.appendU64(uint64(res.Edges))
+	f.appendU64(uint64(len(res.Cover.Sets)))
+	for _, s := range res.Cover.Sets {
+		f.appendI64(int64(s))
+	}
+	f.appendU64(uint64(len(res.Cover.Certificate)))
+	for _, s := range res.Cover.Certificate {
+		f.appendI64(int64(s))
+	}
+	f.appendI64(res.Space.State)
+	f.appendI64(res.Space.Aux)
+	return f.endFrame()
+}
+
+func parseResult(body []byte) (Result, error) {
+	c := cursor{b: body}
+	var res Result
+	res.Edges = int(c.u64())
+	ns := c.u64()
+	if c.err != nil {
+		return res, c.err
+	}
+	if ns > uint64(len(c.b)) { // every entry takes ≥ 1 byte
+		return res, fmt.Errorf("%w: %d cover sets exceed frame", ErrWire, ns)
+	}
+	sets := make([]setcover.SetID, ns)
+	for i := range sets {
+		sets[i] = setcover.SetID(c.i64())
+	}
+	nc := c.u64()
+	if c.err != nil {
+		return res, c.err
+	}
+	if nc > uint64(len(c.b)) {
+		return res, fmt.Errorf("%w: certificate of %d exceeds frame", ErrWire, nc)
+	}
+	cert := make([]setcover.SetID, nc)
+	for i := range cert {
+		cert[i] = setcover.SetID(c.i64())
+	}
+	res.Cover = &setcover.Cover{Sets: sets, Certificate: cert}
+	res.Space.State = c.i64()
+	res.Space.Aux = c.i64()
+	return res, c.done()
+}
+
+// writeError reports a failure to the peer.
+func (f *frameIO) writeError(code byte, msg string) error {
+	f.beginFrame(frameError)
+	f.out = append(f.out, code)
+	f.appendString(msg)
+	return f.endFrame()
+}
+
+// parseError turns an error body into a typed Go error.
+func parseError(body []byte) error {
+	if len(body) < 1 {
+		return fmt.Errorf("%w: empty error frame", ErrWire)
+	}
+	c := cursor{b: body[1:]}
+	msg := c.str()
+	if err := c.done(); err != nil {
+		return err
+	}
+	switch body[0] {
+	case codeMismatch:
+		return fmt.Errorf("%w: %s", ErrRemoteMismatch, msg)
+	case codeShutdown:
+		return fmt.Errorf("%w: %s", ErrDraining, msg)
+	default:
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+}

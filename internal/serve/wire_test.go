@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+)
+
+// roundTrip writes one frame through a frameIO and reads it back, checking
+// the declared type.
+func roundTrip(t *testing.T, write func(f *frameIO) error, wantType byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	f := newFrameIO(&buf)
+	if err := write(f); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	payload, err := f.readFrame()
+	if err != nil {
+		t.Fatalf("read frame back: %v", err)
+	}
+	if payload[0] != wantType {
+		t.Fatalf("frame type %#02x, want %#02x", payload[0], wantType)
+	}
+	return payload[1:]
+}
+
+func TestWireHelloRoundTrip(t *testing.T) {
+	want := Config{Algo: "alg2", N: 300, M: 4000, StreamLen: 60150, Seed: 42, Copies: 8, Alpha: 37.5}
+	body := roundTrip(t, func(f *frameIO) error {
+		return f.writeHello(frameHello, "sess-1", want)
+	}, frameHello)
+	token, got, err := parseHello(body)
+	if err != nil {
+		t.Fatalf("parseHello: %v", err)
+	}
+	if token != "sess-1" || got != want {
+		t.Fatalf("got token %q cfg %+v, want %q %+v", token, got, "sess-1", want)
+	}
+}
+
+func TestWireEdgesRoundTrip(t *testing.T) {
+	edges := []stream.Edge{{Set: 0, Elem: 0}, {Set: 3999, Elem: 299}, {Set: 17, Elem: 80}}
+	body := roundTrip(t, func(f *frameIO) error { return f.writeEdges(edges) }, frameEdges)
+	dst := make([]stream.Edge, MaxBatch)
+	n, err := parseEdgesInto(body, dst, 300, 4000)
+	if err != nil {
+		t.Fatalf("parseEdgesInto: %v", err)
+	}
+	if n != len(edges) {
+		t.Fatalf("decoded %d edges, want %d", n, len(edges))
+	}
+	for i := range edges {
+		if dst[i] != edges[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, dst[i], edges[i])
+		}
+	}
+}
+
+func TestWireEdgesRejectsOutOfShape(t *testing.T) {
+	body := roundTrip(t, func(f *frameIO) error {
+		return f.writeEdges([]stream.Edge{{Set: 40, Elem: 5}})
+	}, frameEdges)
+	dst := make([]stream.Edge, MaxBatch)
+	// The edge is legal for the sender's shape but not the session's.
+	if _, err := parseEdgesInto(body, dst, 300, 40); !errors.Is(err, ErrWire) {
+		t.Fatalf("out-of-shape edge: got %v, want ErrWire", err)
+	}
+	if _, err := parseEdgesInto(body, dst, 5, 4000); !errors.Is(err, ErrWire) {
+		t.Fatalf("out-of-universe edge: got %v, want ErrWire", err)
+	}
+}
+
+func TestWireEdgesRejectsOversizedBatch(t *testing.T) {
+	var f frameIO
+	if err := f.writeEdges(make([]stream.Edge, MaxBatch+1)); !errors.Is(err, ErrWire) {
+		t.Fatalf("oversized batch: got %v, want ErrWire", err)
+	}
+	if err := f.writeEdges(nil); !errors.Is(err, ErrWire) {
+		t.Fatalf("empty batch: got %v, want ErrWire", err)
+	}
+}
+
+func TestWireResultRoundTrip(t *testing.T) {
+	want := Result{
+		Edges: 60150,
+		Cover: &setcover.Cover{
+			Sets: []setcover.SetID{4, 17, 255},
+			// NoSet must survive the trip: certificates carry -1 for
+			// elements without a witness.
+			Certificate: []setcover.SetID{4, setcover.NoSet, 17, 255},
+		},
+		Space: space.Usage{State: 4000, Aux: 900},
+	}
+	body := roundTrip(t, func(f *frameIO) error { return f.writeResult(want) }, frameResult)
+	got, err := parseResult(body)
+	if err != nil {
+		t.Fatalf("parseResult: %v", err)
+	}
+	if got.Edges != want.Edges || got.Space != want.Space || !got.Cover.Equal(want.Cover) {
+		t.Fatalf("result round trip: got %+v, want %+v", got, want)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fingerprint changed across the wire")
+	}
+}
+
+func TestWireErrorFramesAreTyped(t *testing.T) {
+	cases := []struct {
+		code byte
+		want error
+	}{
+		{codeGeneric, ErrRemote},
+		{codeMismatch, ErrRemoteMismatch},
+		{codeShutdown, ErrDraining},
+		{codeBadFrame, ErrRemote},
+	}
+	for _, tc := range cases {
+		body := roundTrip(t, func(f *frameIO) error {
+			return f.writeError(tc.code, "boom")
+		}, frameError)
+		err := parseError(body)
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("code %d: got %v, want %v", tc.code, err, tc.want)
+		}
+		// Every typed error is still an ErrRemote.
+		if !errors.Is(err, ErrRemote) {
+			t.Fatalf("code %d: %v does not wrap ErrRemote", tc.code, err)
+		}
+	}
+}
+
+// TestWireFrameCorruption flips, truncates and oversizes raw frames; every
+// damage mode must surface ErrWire, never a panic or a silent success.
+func TestWireFrameCorruption(t *testing.T) {
+	encode := func() []byte {
+		var buf bytes.Buffer
+		f := newFrameIO(&buf)
+		if err := f.writeHello(frameHello, "tok", Config{Algo: "kk", N: 3, M: 5, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := encode()
+
+	t.Run("bit-flips", func(t *testing.T) {
+		// CRC-32 catches every single-bit flip, and a flipped length prefix
+		// turns into a short read or a checksum over the wrong span — so
+		// every position must fail, without panicking.
+		for i := range base {
+			raw := append([]byte(nil), base...)
+			raw[i] ^= 0x40
+			f := newFrameIO(bytes.NewBuffer(raw))
+			if _, err := f.readFrame(); err == nil {
+				t.Fatalf("flip at byte %d accepted silently", i)
+			}
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		for cut := 1; cut < len(base); cut++ {
+			f := newFrameIO(bytes.NewBuffer(base[:cut]))
+			if _, err := f.readFrame(); err == nil {
+				t.Fatalf("truncation to %d bytes accepted", cut)
+			}
+		}
+	})
+
+	t.Run("oversized-length", func(t *testing.T) {
+		raw := append([]byte(nil), base...)
+		raw[0], raw[1], raw[2], raw[3] = 0xff, 0xff, 0xff, 0xff
+		f := newFrameIO(bytes.NewBuffer(raw))
+		if _, err := f.readFrame(); !errors.Is(err, ErrWire) {
+			t.Fatalf("oversized length: got %v, want ErrWire", err)
+		}
+	})
+
+	t.Run("zero-length", func(t *testing.T) {
+		f := newFrameIO(bytes.NewBuffer([]byte{0, 0, 0, 0}))
+		if _, err := f.readFrame(); !errors.Is(err, ErrWire) {
+			t.Fatalf("zero length: got %v, want ErrWire", err)
+		}
+	})
+}
+
+func TestWireTrailingBytesRejected(t *testing.T) {
+	var buf bytes.Buffer
+	f := newFrameIO(&buf)
+	f.beginFrame(frameFlush)
+	f.out = append(f.out, 0xAA) // stray byte after a body-less frame
+	if err := f.endFrame(); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := f.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cursor{b: payload[1:]}
+	if err := c.done(); !errors.Is(err, ErrWire) {
+		t.Fatalf("trailing bytes: got %v, want ErrWire", err)
+	}
+}
+
+func TestValidToken(t *testing.T) {
+	good := []string{"a", "s000001", "T-1_x.9", "restart"}
+	bad := []string{"", ".hidden", "../escape", "a/b", "a b", "tok\x00", string(make([]byte, 65))}
+	for _, tok := range good {
+		if !validToken(tok) {
+			t.Errorf("validToken(%q) = false, want true", tok)
+		}
+	}
+	for _, tok := range bad {
+		if validToken(tok) {
+			t.Errorf("validToken(%q) = true, want false", tok)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package snap_test
+
+// Fuzz targets for the SCSTATE1 container and the SCCKPT1 checkpoint
+// envelope, driven through the real consumers: every algorithm's
+// Restore and stream.ReadCheckpoint. The contract under test is the one
+// resume correctness depends on — arbitrary bytes must either be
+// rejected with a typed error (snap.ErrCorrupt / ErrTruncated /
+// ErrMismatch / ErrVersion) or produce a state that is coherent: it
+// re-snapshots cleanly, the re-snapshot restores into another fresh
+// instance, and the bytes are stable across that round trip. Panics,
+// untyped errors and unbounded allocations are all failures.
+//
+// This file lives in the external test package so it can exercise the
+// algorithm packages, which themselves import snap.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamcover/internal/adversarial"
+	"streamcover/internal/core"
+	"streamcover/internal/elementsampling"
+	"streamcover/internal/kk"
+	"streamcover/internal/setcover"
+	"streamcover/internal/snap"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+const (
+	fuzzN    = 12
+	fuzzM    = 6
+	fuzzSeed = 42
+)
+
+// fuzzEdges is a small fixed instance: enough edges to move every
+// algorithm off its initial state, small enough to keep fuzz iterations
+// cheap.
+func fuzzEdges() []stream.Edge {
+	sets := [][]setcover.Element{
+		{0, 1, 2, 3},
+		{2, 3, 4, 5},
+		{5, 6, 7},
+		{7, 8, 9, 10},
+		{0, 4, 8, 11},
+		{1, 6, 10, 11},
+	}
+	return stream.EdgesOf(setcover.MustNewInstance(fuzzN, sets))
+}
+
+var fuzzKinds = []string{"kk", "alg1", "alg2", "es", "ensemble"}
+
+// fuzzBuild returns a deterministic fresh instance of one of the five
+// snapshotters, mirroring the serve registry's constructor arguments.
+func fuzzBuild(kind byte) (string, stream.Algorithm) {
+	name := fuzzKinds[int(kind)%len(fuzzKinds)]
+	streamLen := len(fuzzEdges())
+	rng := xrand.New(fuzzSeed)
+	switch name {
+	case "kk":
+		return name, kk.New(fuzzN, fuzzM, rng)
+	case "alg1":
+		return name, core.New(fuzzN, fuzzM, streamLen, core.DefaultParams(fuzzN, fuzzM), rng)
+	case "alg2":
+		return name, adversarial.New(fuzzN, fuzzM, 4, rng)
+	case "es":
+		return name, elementsampling.New(fuzzN, fuzzM, 4, rng)
+	default: // ensemble of two kk copies, split like the serve registry
+		return name, stream.NewEnsemble(
+			kk.New(fuzzN, fuzzM, rng.Split()),
+			kk.New(fuzzN, fuzzM, rng.Split()),
+		)
+	}
+}
+
+// typedSnapErr reports whether err belongs to one of snap's sentinel
+// families — the only errors a decoder is allowed to return for bad bytes.
+func typedSnapErr(err error) bool {
+	return errors.Is(err, snap.ErrCorrupt) || errors.Is(err, snap.ErrTruncated) ||
+		errors.Is(err, snap.ErrMismatch) || errors.Is(err, snap.ErrVersion)
+}
+
+// seedSnapshots produces real mid-stream snapshots of every kind, at the
+// start of the stream and partway through.
+func seedSnapshots(f *testing.F) map[byte][]byte {
+	f.Helper()
+	edges := fuzzEdges()
+	out := make(map[byte][]byte)
+	for kind := byte(0); int(kind) < len(fuzzKinds); kind++ {
+		name, alg := fuzzBuild(kind)
+		for i := 0; i < len(edges)/2; i++ {
+			alg.Process(edges[i])
+		}
+		var buf bytes.Buffer
+		if err := alg.(stream.Snapshotter).Snapshot(&buf); err != nil {
+			f.Fatalf("%s: seed snapshot: %v", name, err)
+		}
+		out[kind] = buf.Bytes()
+	}
+	return out
+}
+
+// FuzzRestore feeds arbitrary bytes to every algorithm's Restore.
+func FuzzRestore(f *testing.F) {
+	for kind, valid := range seedSnapshots(f) {
+		f.Add(valid, kind)
+		f.Add(valid[:len(valid)/2], kind)           // truncation
+		f.Add(valid, (kind+1)%byte(len(fuzzKinds))) // wrong algorithm
+		mutated := append([]byte(nil), valid...)
+		mutated[len(mutated)/3] ^= 0x40
+		f.Add(mutated, kind) // bit flip
+	}
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte("SCSTATE1"), byte(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, kind byte) {
+		name, alg := fuzzBuild(kind)
+		sn := alg.(stream.Snapshotter)
+		if err := sn.Restore(bytes.NewReader(data)); err != nil {
+			if !typedSnapErr(err) {
+				t.Fatalf("%s: untyped restore error: %v", name, err)
+			}
+			return
+		}
+		// Accepted input: the restored state must re-snapshot, restore
+		// into a second fresh instance, and be byte-stable.
+		var first bytes.Buffer
+		if err := sn.Snapshot(&first); err != nil {
+			t.Fatalf("%s: snapshot of accepted state failed: %v", name, err)
+		}
+		_, alg2 := fuzzBuild(kind)
+		sn2 := alg2.(stream.Snapshotter)
+		if err := sn2.Restore(bytes.NewReader(first.Bytes())); err != nil {
+			t.Fatalf("%s: re-restore of accepted state failed: %v", name, err)
+		}
+		var second bytes.Buffer
+		if err := sn2.Snapshot(&second); err != nil {
+			t.Fatalf("%s: second snapshot failed: %v", name, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("%s: accepted state is not byte-stable across a snapshot round trip", name)
+		}
+	})
+}
+
+// FuzzReadCheckpoint feeds arbitrary bytes through the SCCKPT1 envelope
+// decoder and, when accepted, demands a faithful re-encode.
+func FuzzReadCheckpoint(f *testing.F) {
+	edges := fuzzEdges()
+	for kind := byte(0); int(kind) < len(fuzzKinds); kind++ {
+		name, alg := fuzzBuild(kind)
+		pos := len(edges) / 2
+		for i := 0; i < pos; i++ {
+			alg.Process(edges[i])
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteCheckpoint(&buf, pos, alg); err != nil {
+			f.Fatalf("%s: seed checkpoint: %v", name, err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid, kind)
+		f.Add(valid[:len(valid)-1], kind)           // lost trailer byte
+		f.Add(valid, (kind+2)%byte(len(fuzzKinds))) // wrong algorithm
+		mutated := append([]byte(nil), valid...)
+		mutated[len(mutated)/2] ^= 0x01
+		f.Add(mutated, kind)
+	}
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte("SCCKPT1\n"), byte(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, kind byte) {
+		name, alg := fuzzBuild(kind)
+		pos, err := stream.ReadCheckpoint(bytes.NewReader(data), alg)
+		if err != nil {
+			if !typedSnapErr(err) {
+				t.Fatalf("%s: untyped checkpoint error: %v", name, err)
+			}
+			return
+		}
+		if pos < 0 {
+			t.Fatalf("%s: accepted negative position %d", name, pos)
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteCheckpoint(&buf, pos, alg); err != nil {
+			t.Fatalf("%s: re-checkpoint of accepted state failed: %v", name, err)
+		}
+		_, alg2 := fuzzBuild(kind)
+		pos2, err := stream.ReadCheckpoint(bytes.NewReader(buf.Bytes()), alg2)
+		if err != nil {
+			t.Fatalf("%s: re-read of re-checkpoint failed: %v", name, err)
+		}
+		if pos2 != pos {
+			t.Fatalf("%s: position drifted %d -> %d across round trip", name, pos, pos2)
+		}
+	})
+}

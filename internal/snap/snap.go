@@ -53,6 +53,12 @@ var (
 // cannot provoke a pathological allocation before the checksum is verified.
 const maxLen = 1 << 30
 
+// sliceChunk caps how many elements a slice reader allocates ahead of the
+// data actually decoding. A corrupt length prefix near maxLen then costs at
+// most one chunk before the stream runs out and fails typed, instead of a
+// multi-gigabyte up-front make.
+const sliceChunk = 1 << 16
+
 // Writer serializes one SCSTATE1 container. Create with NewWriter, write the
 // payload with the typed field methods, and call Close exactly once to emit
 // the checksum trailer.
@@ -280,6 +286,17 @@ func (r *Reader) readErr(err error) {
 	}
 }
 
+// varintErr classifies a binary.ReadVarint/ReadUvarint failure: EOF means
+// the container ended early; anything else (e.g. a varint overflowing 64
+// bits) is a malformed encoding, not an I/O condition.
+func (r *Reader) varintErr(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		r.Fail(fmt.Errorf("%w: %v", ErrTruncated, err))
+	} else {
+		r.Fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+	}
+}
+
 // U64 reads an unsigned varint.
 func (r *Reader) U64() uint64 {
 	if r.err != nil {
@@ -287,7 +304,7 @@ func (r *Reader) U64() uint64 {
 	}
 	v, err := binary.ReadUvarint(r)
 	if err != nil {
-		r.readErr(err)
+		r.varintErr(err)
 		return 0
 	}
 	return v
@@ -300,7 +317,7 @@ func (r *Reader) I64() int64 {
 	}
 	v, err := binary.ReadVarint(r)
 	if err != nil {
-		r.readErr(err)
+		r.varintErr(err)
 		return 0
 	}
 	return v
@@ -370,16 +387,22 @@ func (r *Reader) Len() int {
 	return int(v)
 }
 
-// Bytes reads a length-prefixed byte slice.
+// Bytes reads a length-prefixed byte slice, growing the result as bytes
+// actually arrive so a corrupt length cannot allocate far beyond the data.
 func (r *Reader) Bytes() []byte {
 	n := r.Len()
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	p := make([]byte, n)
-	if _, err := io.ReadFull(r.tee, p); err != nil {
-		r.readErr(err)
-		return nil
+	p := make([]byte, 0, min(n, sliceChunk))
+	for len(p) < n {
+		k := min(n-len(p), sliceChunk)
+		start := len(p)
+		p = append(p, make([]byte, k)...)
+		if _, err := io.ReadFull(r.tee, p[start:]); err != nil {
+			r.readErr(err)
+			return nil
+		}
 	}
 	return p
 }
@@ -387,15 +410,21 @@ func (r *Reader) Bytes() []byte {
 // StringV reads a length-prefixed string.
 func (r *Reader) StringV() string { return string(r.Bytes()) }
 
-// I64s reads a length-prefixed slice of signed varints.
+// I64s reads a length-prefixed slice of signed varints. Like Bytes it
+// grows the slice chunkwise as elements decode, bounding what a corrupt
+// length can allocate.
 func (r *Reader) I64s() []int64 {
 	n := r.Len()
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	v := make([]int64, n)
-	for i := range v {
-		v[i] = r.I64()
+	v := make([]int64, 0, min(n, sliceChunk))
+	for i := 0; i < n; i++ {
+		x := r.I64()
+		if r.err != nil {
+			return nil
+		}
+		v = append(v, x)
 	}
 	return v
 }
@@ -406,9 +435,13 @@ func (r *Reader) I32s() []int32 {
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	v := make([]int32, n)
-	for i := range v {
-		v[i] = r.I32()
+	v := make([]int32, 0, min(n, sliceChunk))
+	for i := 0; i < n; i++ {
+		x := r.I32()
+		if r.err != nil {
+			return nil
+		}
+		v = append(v, x)
 	}
 	return v
 }
@@ -419,9 +452,13 @@ func (r *Reader) Ints() []int {
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	v := make([]int, n)
-	for i := range v {
-		v[i] = r.Int()
+	v := make([]int, 0, min(n, sliceChunk))
+	for i := 0; i < n; i++ {
+		x := r.Int()
+		if r.err != nil {
+			return nil
+		}
+		v = append(v, x)
 	}
 	return v
 }
@@ -451,9 +488,9 @@ func (r *Reader) Bools() []bool {
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	v := make([]bool, n)
+	v := make([]bool, 0, min(n, sliceChunk))
 	var acc byte
-	for i := range v {
+	for i := 0; i < n; i++ {
 		if i&7 == 0 {
 			b, err := r.ReadByte()
 			if err != nil {
@@ -462,7 +499,7 @@ func (r *Reader) Bools() []bool {
 			}
 			acc = b
 		}
-		v[i] = acc&(1<<(uint(i)&7)) != 0
+		v = append(v, acc&(1<<(uint(i)&7)) != 0)
 	}
 	return v
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"streamcover/internal/setcover"
@@ -209,6 +211,151 @@ func TestEnsembleSnapshotRequiresSnapshottableCopies(t *testing.T) {
 	if err := e.Snapshot(io.Discard); !errors.Is(err, ErrNotSnapshottable) {
 		t.Fatalf("want ErrNotSnapshottable, got %v", err)
 	}
+}
+
+// TestEnsembleSharedSessionRingStress mirrors the serve session's ingest
+// architecture around a single shared parallel Ensemble: a bounded ring of
+// reusable batch buffers, several producer goroutines claiming stream
+// batches and copying them into ring slots, and one dispatcher (the session
+// worker's role) applying the slots to the ensemble in exact stream order.
+// Under -race this exercises every cross-goroutine handoff edge — producers
+// reusing buffers the ensemble's own workers just drained — while the
+// in-order dispatch keeps the run deterministic: every copy's final state
+// must be bit-identical to a sequential single-goroutine reference.
+func TestEnsembleSharedSessionRingStress(t *testing.T) {
+	const (
+		producers = 8
+		copies    = 6
+		batchLen  = 113 // deliberately off any power-of-two boundary
+		total     = 20000
+	)
+	edges := ckptEdges(total)
+	numBatches := (total + batchLen - 1) / batchLen
+
+	mk := func() (*Ensemble, []*hashAlg) {
+		hs := make([]*hashAlg, copies)
+		algs := make([]Algorithm, copies)
+		for i := range hs {
+			hs[i] = saltedHashAlg(4, uint64(3*i+7))
+			algs[i] = hs[i]
+		}
+		e := NewEnsemble(algs...)
+		e.SetParallelism(copies)
+		return e, hs
+	}
+
+	refCover, refHashes := func() (*setcover.Cover, []uint64) {
+		ref := make([]*hashAlg, copies)
+		for i := range ref {
+			ref[i] = saltedHashAlg(4, uint64(3*i+7))
+			for _, ed := range edges {
+				ref[i].Process(ed)
+			}
+		}
+		e, hs := mk()
+		res := RunEdges(e, edges)
+		out := make([]uint64, copies)
+		for i := range hs {
+			if hs[i].hash != ref[i].hash {
+				t.Fatalf("reference ensemble copy %d diverged from direct drive", i)
+			}
+			out[i] = hs[i].hash
+		}
+		return res.Cover, out
+	}()
+
+	e, hs := mk()
+	// The ring: free circulates buffer indices back to producers; slots[i]
+	// receives batch i's filled buffer, so the dispatcher can consume in
+	// stream order no matter which producer got there first.
+	const depth = 4
+	bufs := make([][]Edge, depth)
+	free := make(chan int, depth)
+	for i := range bufs {
+		bufs[i] = make([]Edge, batchLen)
+		free <- i
+	}
+	type filled struct {
+		idx int
+		n   int
+	}
+	slots := make([]chan filled, numBatches)
+	for i := range slots {
+		slots[i] = make(chan filled, 1)
+	}
+
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&next, 1))
+				if b >= numBatches {
+					return
+				}
+				lo, hi := b*batchLen, (b+1)*batchLen
+				if hi > total {
+					hi = total
+				}
+				idx := <-free
+				n := copy(bufs[idx], edges[lo:hi])
+				slots[b] <- filled{idx: idx, n: n}
+			}
+		}()
+	}
+
+	for b := 0; b < numBatches; b++ {
+		s := <-slots[b]
+		e.ProcessBatch(bufs[s.idx][:s.n])
+		// ProcessBatch has copied the batch into its workers' private
+		// buffers before returning, so the slot can recirculate.
+		free <- s.idx
+	}
+	wg.Wait()
+	cover := e.Finish()
+
+	if !refCover.Equal(cover) {
+		t.Fatal("ring-fed shared ensemble produced a different cover than the sequential reference")
+	}
+	for i := range hs {
+		if hs[i].hash != refHashes[i] {
+			t.Fatalf("copy %d saw a different edge sequence through the ring (hash %#x, want %#x)",
+				i, hs[i].hash, refHashes[i])
+		}
+	}
+}
+
+// TestEnsembleSessionRingSteadyStateAllocs drives the same ring handoff in
+// steady state and requires it to allocate nothing: the ring buffers, the
+// ensemble's worker buffers and the hash copies are all reused, so after
+// warm-up the only possible allocations would be leaks in the dispatch
+// path. Sequential dispatch (parallelism 1) must be exactly zero; the
+// parallel path is covered by the end-to-end budget in ensemble_perf_test.go
+// (channel parks may allocate sudogs, which are noise, not leaks).
+func TestEnsembleSessionRingSteadyStateAllocs(t *testing.T) {
+	const copies, batchLen = 4, 256
+	algs := make([]Algorithm, copies)
+	for i := range algs {
+		algs[i] = saltedHashAlg(4, uint64(i+1))
+	}
+	e := NewEnsemble(algs...)
+	e.SetParallelism(1)
+
+	batch := ckptEdges(batchLen)
+	buf := make([]Edge, batchLen)
+	cycle := func() {
+		n := copy(buf, batch)
+		e.ProcessBatch(buf[:n])
+	}
+	for i := 0; i < 16; i++ {
+		cycle() // warm-up: first dispatches size any internal buffers
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state ring dispatch allocates %.1f times per batch, want 0", allocs)
+	}
+	e.Finish()
 }
 
 // TestEnsembleCheckpointResumeEndToEnd: the full kill-and-resume flow with a

@@ -139,8 +139,10 @@ func FuzzPrefetchedFile(f *testing.F) {
 func FuzzValidate(f *testing.F) {
 	f.Add(int16(3), int16(2), []byte{0, 0, 1, 1})
 	f.Fuzz(func(t *testing.T, nRaw, mRaw int16, raw []byte) {
-		n := int(nRaw%64) + 1
-		m := int(mRaw%64) + 1
+		// Mask rather than mod: % keeps the sign on negative int16 inputs,
+		// which would make the slice length below negative.
+		n := int(nRaw&63) + 1
+		m := int(mRaw&63) + 1
 		sets := make([][]setcover.Element, m)
 		inst, err := setcover.NewInstance(n, sets)
 		if err != nil {
@@ -148,9 +150,11 @@ func FuzzValidate(f *testing.F) {
 		}
 		edges := make([]Edge, 0, len(raw)/2)
 		for i := 0; i+1 < len(raw); i += 2 {
+			// The -1 shift puts negative IDs in the fuzzed domain alongside
+			// in-range and past-the-end ones.
 			edges = append(edges, Edge{
-				Set:  setcover.SetID(int(raw[i]) % (m + 2)),
-				Elem: setcover.Element(int(raw[i+1]) % (n + 2)),
+				Set:  setcover.SetID(int(raw[i])%(m+2) - 1),
+				Elem: setcover.Element(int(raw[i+1])%(n+2) - 1),
 			})
 		}
 		_ = Validate(inst, edges) // must not panic

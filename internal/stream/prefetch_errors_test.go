@@ -1,0 +1,274 @@
+package stream
+
+// Table-driven error-path coverage for the prefetch pipeline composed with
+// the checkpointed drivers: sticky source errors landing on every ring-slot
+// geometry (first slot, mid-batch, exactly on a ring-buffer edge, last
+// slot), checkpoint boundaries coinciding with ring edges, and
+// ErrShortStream propagation — through the driver's error return on resume
+// and through Result.Err when the sticky pass error itself is a truncation.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"streamcover/internal/xrand"
+)
+
+// faultStream is a scripted Stream + ErrReporter: it replays its edges in
+// order and fails with a sticky error once position failAt is reached
+// (failAt < 0 disables the fault). Len is fixed at construction, so it is
+// safe for the Prefetcher's concurrent Len calls.
+type faultStream struct {
+	edges  []Edge
+	failAt int
+	ferr   error
+	pos    int
+	err    error
+}
+
+func (s *faultStream) Len() int   { return len(s.edges) }
+func (s *faultStream) Reset()     { s.pos, s.err = 0, nil }
+func (s *faultStream) Err() error { return s.err }
+
+func (s *faultStream) Next() (Edge, bool) {
+	if s.err != nil {
+		return Edge{}, false
+	}
+	if s.failAt >= 0 && s.pos >= s.failAt {
+		s.err = s.ferr
+		return Edge{}, false
+	}
+	if s.pos >= len(s.edges) {
+		return Edge{}, false
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true
+}
+
+var errBoom = errors.New("scripted decode fault")
+
+// TestPrefetcherStickyErrorRingGeometries walks the fault position across
+// every interesting ring-slot geometry and demands that the consumer sees
+// exactly the clean prefix, then the sticky error — on the per-edge path,
+// the batch path, and through Run's Result.Err — and that Reset re-arms the
+// pass.
+func TestPrefetcherStickyErrorRingGeometries(t *testing.T) {
+	const n, m = 10, 10
+	edges := randomEdges(xrand.New(7), n, m, 1000)
+	cases := []struct {
+		name   string
+		depth  int
+		batch  int
+		failAt int
+	}{
+		{"first-slot-empty", 2, 64, 0},
+		{"first-slot-mid", 2, 64, 1},
+		{"ring-edge-minus-one", 2, 64, 63},
+		// Fault exactly on a ring-buffer edge: the batch fills completely,
+		// so the error travels in a separate empty last slot.
+		{"ring-edge", 2, 64, 64},
+		{"ring-edge-plus-one", 2, 64, 65},
+		// Fault on the edge of the LAST ring slot of a full ring: every
+		// buffer is in flight when the error is produced.
+		{"full-ring-edge", 3, 64, 3 * 64},
+		{"deep-ring-mid", 4, 32, 4*32 + 17},
+		{"near-end", 2, 64, 999},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := &faultStream{edges: edges, failAt: tc.failAt, ferr: errBoom}
+			p := NewPrefetcherSized(src, tc.depth, tc.batch)
+			defer p.Close()
+
+			count := 0
+			for {
+				if _, ok := p.Next(); !ok {
+					break
+				}
+				count++
+			}
+			if count != tc.failAt {
+				t.Fatalf("per-edge pass consumed %d edges, want %d", count, tc.failAt)
+			}
+			if !errors.Is(p.Err(), errBoom) {
+				t.Fatalf("per-edge sticky Err=%v, want errBoom", p.Err())
+			}
+
+			// Reset clears the error; the batch path re-detects it at the
+			// same position.
+			p.Reset()
+			if p.Err() != nil {
+				t.Fatalf("Err after Reset = %v", p.Err())
+			}
+			count = 0
+			for {
+				b := p.NextBatch(tc.batch)
+				if len(b) == 0 {
+					break
+				}
+				count += len(b)
+			}
+			if count != tc.failAt || !errors.Is(p.Err(), errBoom) {
+				t.Fatalf("batch pass consumed %d (want %d), Err=%v", count, tc.failAt, p.Err())
+			}
+
+			// Run over a fresh pass: the sticky error must surface in
+			// Result.Err with the edge count of the clean prefix.
+			p.Reset()
+			res := Run(newHashAlg(n), p)
+			if !errors.Is(res.Err, errBoom) || res.Edges != tc.failAt {
+				t.Fatalf("Run: Edges=%d Err=%v, want %d edges and errBoom", res.Edges, res.Err, tc.failAt)
+			}
+		})
+	}
+}
+
+// TestPrefetcherShortStreamThroughResultErr covers a source whose sticky
+// pass error is itself a truncation: Run must report it through Result.Err
+// as an ErrShortStream, not mistake the pass for a clean short stream.
+func TestPrefetcherShortStreamThroughResultErr(t *testing.T) {
+	const n, m = 10, 10
+	edges := randomEdges(xrand.New(8), n, m, 200)
+	truncated := fmt.Errorf("%w: backing file ended at edge 150", ErrShortStream)
+	src := &faultStream{edges: edges, failAt: 150, ferr: truncated}
+	p := NewPrefetcherSized(src, 2, 64)
+	defer p.Close()
+
+	res := Run(newHashAlg(n), p)
+	if !errors.Is(res.Err, ErrShortStream) {
+		t.Fatalf("Result.Err=%v, want ErrShortStream", res.Err)
+	}
+	if res.Edges != 150 {
+		t.Fatalf("Edges=%d, want the clean prefix 150", res.Edges)
+	}
+}
+
+// TestRunCheckpointedFromErrorPaths drives resume through the prefetcher
+// against short streams, faulted skips and bad positions.
+func TestRunCheckpointedFromErrorPaths(t *testing.T) {
+	const n, m = 10, 10
+	edges := randomEdges(xrand.New(9), n, m, 500)
+	cases := []struct {
+		name    string
+		stream  func() Stream
+		from    int
+		wantErr error
+	}{
+		{
+			name:    "resume-past-end-slice",
+			stream:  func() Stream { return NewSlice(edges) },
+			from:    len(edges) + 1,
+			wantErr: ErrShortStream,
+		},
+		{
+			name: "resume-past-end-prefetched",
+			stream: func() Stream {
+				return NewPrefetcherSized(&faultStream{edges: edges, failAt: -1}, 2, 64)
+			},
+			from:    len(edges) + 1,
+			wantErr: ErrShortStream,
+		},
+		{
+			name: "fault-inside-skipped-prefix",
+			stream: func() Stream {
+				return NewPrefetcherSized(&faultStream{edges: edges, failAt: 100, ferr: errBoom}, 2, 64)
+			},
+			from:    200,
+			wantErr: errBoom,
+		},
+		{
+			name: "truncation-inside-skipped-prefix",
+			stream: func() Stream {
+				ferr := fmt.Errorf("%w: ended early", ErrShortStream)
+				return NewPrefetcherSized(&faultStream{edges: edges, failAt: 100, ferr: ferr}, 2, 64)
+			},
+			from:    200,
+			wantErr: ErrShortStream,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.stream()
+			if p, ok := s.(*Prefetcher); ok {
+				defer p.Close()
+			}
+			_, err := RunCheckpointedFrom(newHashAlg(n), s, CheckpointPolicy{}, tc.from)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err=%v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("negative-resume-position", func(t *testing.T) {
+		if _, err := RunCheckpointedFrom(newHashAlg(n), NewSlice(edges), CheckpointPolicy{}, -1); err == nil {
+			t.Fatal("negative resume position accepted")
+		}
+	})
+}
+
+// TestCheckpointBoundaryAtRingEdge takes checkpoints whose interval is
+// exactly the prefetch ring's batch length (and a divisor and a multiple of
+// it), so every checkpoint boundary lands on a ring-buffer edge. Each
+// sampled checkpoint must restore and resume to the same final state as the
+// uninterrupted run.
+func TestCheckpointBoundaryAtRingEdge(t *testing.T) {
+	const n, m, batch = 12, 12, 64
+	edges := randomEdges(xrand.New(10), n, m, 10*batch)
+	want := RunEdges(newHashAlg(n), edges)
+
+	for _, every := range []int{batch, batch / 2, 2 * batch} {
+		t.Run(fmt.Sprintf("every-%d", every), func(t *testing.T) {
+			var positions []int
+			var ckpts [][]byte
+			pol := CheckpointPolicy{
+				Every: every,
+				Sink: func(pos int, ck []byte) error {
+					positions = append(positions, pos)
+					ckpts = append(ckpts, append([]byte(nil), ck...))
+					return nil
+				},
+			}
+			src := &faultStream{edges: edges, failAt: -1}
+			p := NewPrefetcherSized(src, 3, batch)
+			defer p.Close()
+			res, err := RunCheckpointed(newHashAlg(n), p, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cover.Certificate[0] != want.Cover.Certificate[0] {
+				t.Fatal("checkpointed prefetched run diverged from direct run")
+			}
+			if len(positions) == 0 {
+				t.Fatal("no checkpoints taken")
+			}
+			for i, pos := range positions {
+				if pos%every != 0 {
+					t.Fatalf("checkpoint %d at position %d, not a multiple of %d", i, pos, every)
+				}
+			}
+			// Resume from every sampled checkpoint; all must converge on
+			// the uninterrupted result.
+			for i, ck := range ckpts {
+				resumed := newHashAlg(n)
+				pos, err := ReadCheckpoint(bytes.NewReader(ck), resumed)
+				if err != nil {
+					t.Fatalf("checkpoint %d: %v", i, err)
+				}
+				if pos != positions[i] {
+					t.Fatalf("checkpoint %d: pos %d want %d", i, pos, positions[i])
+				}
+				p.Reset()
+				got, err := RunCheckpointedFrom(resumed, p, CheckpointPolicy{}, pos)
+				if err != nil {
+					t.Fatalf("resume from %d: %v", pos, err)
+				}
+				if got.Cover.Certificate[0] != want.Cover.Certificate[0] {
+					t.Fatalf("resume from %d diverged from direct run", pos)
+				}
+			}
+		})
+	}
+}

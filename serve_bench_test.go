@@ -1,0 +1,83 @@
+package streamcover
+
+// End-to-end benchmark of the SCWIRE1 serving stack: 64 concurrent
+// sessions per op, each feeding the full fixture stream over loopback TCP
+// and finishing. This exercises the whole pipeline — client framing,
+// server frame reads, ring handoff, batched dispatch, result framing —
+// under the multi-tenant load the session manager is built for, and is
+// tracked by scbenchdiff alongside the local EndToEnd benchmarks.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func BenchmarkServeEndToEnd(b *testing.B) {
+	const n, m, opt, sessions = 300, 4000, 8, 64
+	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
+	edges := Arrange(w.Inst, RandomOrder, NewRand(23))
+	cfg := ServeConfig{Algo: "kk", N: n, M: m, StreamLen: len(edges), Seed: 42}
+
+	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+		if err := <-done; err != nil {
+			b.Error(err)
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				c, err := DialServe(srv.Addr())
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				defer c.Close()
+				c.Timeout = 5 * time.Minute
+				if _, err := c.Hello(fmt.Sprintf("bench-%d-%d", i, s), cfg); err != nil {
+					errs[s] = err
+					return
+				}
+				fd := ServeFeeder{Edges: edges, Batch: 1024}
+				res, err := fd.Run(c)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				if len(res.Cover.Sets) == 0 {
+					errs[s] = fmt.Errorf("empty cover")
+				}
+			}(s)
+		}
+		wg.Wait()
+		for s, err := range errs {
+			if err != nil {
+				b.Fatalf("session %d: %v", s, err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(edges)*sessions), "edges/op")
+	b.ReportMetric(sessions, "sessions/op")
+}
