@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke serve-smoke sweep-smoke fuzz-smoke fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke serve-smoke sweep-smoke kernel-smoke fuzz-smoke fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Snapshot the perf-tracked benchmarks (EndToEnd*, Scaling) into the next
-# BENCH_<n>.json; bench-diff compares the two most recent snapshots and
-# fails on ns/op or allocs/op regression beyond the threshold.
+# BENCH_<n>.json; three -count samples are folded to the per-benchmark noise
+# floor (min ns/op, max throughput) by scbenchdiff. bench-diff compares the
+# two most recent snapshots and fails on ns/op, allocs/op or throughput
+# regression beyond the threshold.
 bench-save:
-	$(GO) test -run '^$$' -bench 'EndToEnd|Scaling' -benchmem . | $(GO) run ./cmd/scbenchdiff -save
+	$(GO) test -run '^$$' -bench 'EndToEnd|Scaling' -benchmem -count 3 . | $(GO) run ./cmd/scbenchdiff -save
 
 bench-diff:
 	$(GO) run ./cmd/scbenchdiff -diff
@@ -32,13 +34,15 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/scbench -config full
 
-# Tier-1 gate (ROADMAP.md): static checks, full race-enabled test suite and
-# a one-iteration smoke of the perf-tracked benchmarks.
+# Tier-1 gate (ROADMAP.md): static checks, full race-enabled test suite, a
+# one-iteration smoke of the perf-tracked benchmarks, and the compute-layer
+# equivalence smoke.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run '^$$' -bench EndToEnd -benchtime 1x .
+	$(MAKE) kernel-smoke
 
 # Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
 paper-check:
@@ -69,6 +73,16 @@ serve-smoke:
 # -workers=4 must produce byte-identical tables and CSV (DESIGN.md §4e).
 sweep-smoke:
 	$(GO) run ./internal/tools/sweepsmoke
+
+# Compute-layer equivalence smoke (DESIGN.md §4g): one iteration of
+# parallel-vs-sequential offline solvers (byte-identical covers at every
+# worker count) and batched-vs-per-edge streaming kernels, plus the
+# steady-state zero-alloc guards rerun with the observability layer
+# compiled out (the default build runs them in `make race`).
+kernel-smoke:
+	$(GO) run ./internal/tools/kernelsmoke
+	$(GO) test -tags obsoff -run 'TestBatchedMatchesPerEdge|TestSteadyStateProcessBatchAllocs' .
+	$(GO) test -tags obsoff -run TestKernelsAllocFree ./internal/dense/
 
 # Run every fuzz target for a ~10s budget each: the stream codec, the
 # prefetch pipeline, the OR-library parser, and the SCSTATE1/SCCKPT1

@@ -12,11 +12,26 @@ package streamcover
 
 import (
 	"fmt"
+	"runtime"
 
 	"testing"
 
 	"streamcover/internal/experiments"
 )
+
+// reportThroughput publishes the edge-throughput metrics every streaming
+// benchmark shares: edges consumed per op, absolute edges/sec over the
+// measured wall time, and the headline edges/sec/core (normalized by
+// GOMAXPROCS, so numbers are comparable across machines; see DESIGN.md §4g
+// for the roofline this is measured against).
+func reportThroughput(b *testing.B, edgesPerOp int) {
+	b.ReportMetric(float64(edgesPerOp), "edges/op")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		eps := float64(edgesPerOp) * float64(b.N) / sec
+		b.ReportMetric(eps, "edges/sec")
+		b.ReportMetric(eps/float64(runtime.GOMAXPROCS(0)), "edges/sec/core")
+	}
+}
 
 func benchReport(b *testing.B, run func(experiments.Config) (*experiments.Report, error), metrics ...string) {
 	b.Helper()
@@ -177,7 +192,10 @@ func BenchmarkScaling(b *testing.B) {
 					res := RunEdges(tc.mk(i), edges)
 					state = res.Space.State
 				}
-				b.ReportMetric(float64(len(edges)), "edges/op")
+				// Every algorithm row reports the same metric set —
+				// edges/op, edges/sec, edges/sec/core, state_words — so
+				// scbenchdiff can line rows up across snapshots.
+				reportThroughput(b, len(edges))
 				b.ReportMetric(float64(state), "state_words")
 			})
 		}
@@ -195,7 +213,7 @@ func BenchmarkEndToEndAlg1(b *testing.B) {
 		alg := NewRandomOrder(900, 18000, len(edges), NewRand(uint64(i)))
 		RunEdges(alg, edges)
 	}
-	b.ReportMetric(float64(len(edges)), "edges/op")
+	reportThroughput(b, len(edges))
 }
 
 // BenchmarkEndToEndKK measures raw streaming throughput of the
@@ -208,5 +226,5 @@ func BenchmarkEndToEndKK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		RunEdges(NewKK(900, 18000, NewRand(uint64(i))), edges)
 	}
-	b.ReportMetric(float64(len(edges)), "edges/op")
+	reportThroughput(b, len(edges))
 }

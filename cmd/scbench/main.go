@@ -37,6 +37,8 @@ func run() int {
 		ckEvery  = flag.Int("checkpoint-every", 0, "checkpoint snapshottable runs every N edges into an in-memory sink (0 = off)")
 		resume   = flag.Bool("resume-check", false, "additionally restore each run's last checkpoint into a fresh instance and fail if the resumed cover differs (needs -checkpoint-every)")
 		workers  = flag.Int("workers", 0, "experiments run across this many goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical for every value)")
+		parSolve = flag.Bool("parallel-solver", true, "shard the offline greedy reference solvers across goroutines (false = force sequential; output is identical either way)")
+		solverW  = flag.Int("solver-workers", 0, "goroutine count for the offline greedy reference solvers (0 = GOMAXPROCS, 1 = sequential; output is identical for every value)")
 		obsOpt   = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.DurationVar(&obsOpt.Hold, "obs-hold", 0,
@@ -63,9 +65,27 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "scbench: -resume-check needs -checkpoint-every")
 		return 2
 	}
+	if *solverW < 0 {
+		fmt.Fprintf(os.Stderr, "scbench: -solver-workers must be >= 0, got %d\n", *solverW)
+		return 2
+	}
+	solverSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "solver-workers" {
+			solverSet = true
+		}
+	})
+	if !*parSolve && solverSet && *solverW != 1 {
+		fmt.Fprintf(os.Stderr, "scbench: -solver-workers=%d conflicts with -parallel-solver=false\n", *solverW)
+		return 2
+	}
 	cfg.CheckpointEvery = *ckEvery
 	cfg.ResumeCheck = *resume
 	cfg.Workers = *workers
+	cfg.SolverWorkers = *solverW
+	if !*parSolve {
+		cfg.SolverWorkers = 1
+	}
 
 	session, err := cli.StartObs(*obsOpt)
 	if err != nil {

@@ -9,11 +9,20 @@
 //
 // -save parses `go test -bench` output from stdin and writes the next
 // numbered snapshot BENCH_<n>.json (ns/op, allocs/op, B/op and every custom
-// metric such as edges/op and state_words; repeated -count samples are
-// averaged). -diff loads the two most recent snapshots, prints a readable
-// comparison table, and exits non-zero when any benchmark's ns/op or
-// allocs/op regressed by more than the threshold factor — which is what
-// makes `make bench-diff` usable as a CI gate.
+// metric such as edges/op and state_words). Repeated -count samples are
+// folded to the noise floor, not averaged: ns/op, allocs/op and B/op keep
+// the minimum and throughput (/sec, /sec/core) the maximum — on a shared
+// machine, contention only ever adds time, so min-of-N is the estimator
+// closest to the code's true cost; remaining metrics are averaged.
+// -diff loads the two most recent snapshots, prints a readable
+// comparison table — including custom metrics that appear in only one of
+// the snapshots — and exits non-zero when a gated metric regressed by more
+// than the threshold factor, which is what makes `make bench-diff` usable
+// as a CI gate. Gated metrics: ns/op and allocs/op (lower is better), plus
+// every throughput metric whose unit ends in "/sec" or "/sec/core" (higher
+// is better — edges/sec falling below 1/threshold of the previous snapshot
+// fails the diff). Other custom metrics (edges/op, state_words, experiment
+// findings) are informational.
 package main
 
 import (
@@ -85,7 +94,9 @@ func main() {
 // names; stripping it keeps snapshot keys stable across machines.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseBench folds `go test -bench` output into per-benchmark averages.
+// parseBench folds `go test -bench` output into one measurement per
+// benchmark: minimum for the lower-is-better columns, maximum for
+// throughput, average for the rest (see the package comment).
 // A result line is: Benchmark<Name>[-P] <iterations> {<value> <unit>}...
 func parseBench(r *bufio.Scanner) (map[string]Benchmark, string, error) {
 	type acc struct {
@@ -118,6 +129,7 @@ func parseBench(r *bufio.Scanner) (map[string]Benchmark, string, error) {
 			accs[name] = a
 		}
 		a.samples++
+		first := a.samples == 1
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -125,15 +137,28 @@ func parseBench(r *bufio.Scanner) (map[string]Benchmark, string, error) {
 			}
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
-				a.ns += v
+				if first || v < a.ns {
+					a.ns = v
+				}
 			case "allocs/op":
-				a.allocs += v
+				if !a.hasAllocs || v < a.allocs {
+					a.allocs = v
+				}
 				a.hasAllocs = true
 			case "B/op":
-				a.bytes += v
+				if !a.hasBytes || v < a.bytes {
+					a.bytes = v
+				}
 				a.hasBytes = true
 			default:
-				a.metrics[unit] += v
+				switch metricGate(unit) {
+				case gateHigher:
+					if v > a.metrics[unit] {
+						a.metrics[unit] = v
+					}
+				default:
+					a.metrics[unit] += v
+				}
 			}
 		}
 	}
@@ -142,17 +167,21 @@ func parseBench(r *bufio.Scanner) (map[string]Benchmark, string, error) {
 	}
 	out := make(map[string]Benchmark, len(accs))
 	for name, a := range accs {
-		b := Benchmark{Samples: a.samples, NsPerOp: a.ns / float64(a.samples)}
+		b := Benchmark{Samples: a.samples, NsPerOp: a.ns}
 		if a.hasAllocs {
-			b.AllocsPerOp = a.allocs / float64(a.samples)
+			b.AllocsPerOp = a.allocs
 		}
 		if a.hasBytes {
-			b.BytesPerOp = a.bytes / float64(a.samples)
+			b.BytesPerOp = a.bytes
 		}
 		if len(a.metrics) > 0 {
 			b.Metrics = make(map[string]float64, len(a.metrics))
-			for unit, sum := range a.metrics {
-				b.Metrics[unit] = sum / float64(a.samples)
+			for unit, v := range a.metrics {
+				if metricGate(unit) == gateHigher {
+					b.Metrics[unit] = v
+				} else {
+					b.Metrics[unit] = v / float64(a.samples)
+				}
 			}
 		}
 		out[name] = b
@@ -269,20 +298,25 @@ func runDiff(dir string, threshold float64, w io.Writer) (bool, error) {
 		fmt.Sprintf("%s → %s (regression threshold ×%.2f)", filepath.Base(oldPath), filepath.Base(newPath), threshold),
 		"benchmark", "metric", "old", "new", "ratio", "status")
 	regressed := false
-	addRow := func(name, metric string, oldV, newV float64, gate bool) {
+	addRow := func(name, metric string, oldV, newV float64, gate gateKind) {
 		ratio := "n/a"
 		status := "ok"
 		if oldV > 0 {
 			r := newV / oldV
 			ratio = fmt.Sprintf("%.2f", r)
 			switch {
-			case gate && r > threshold:
+			case gate == gateLower && r > threshold:
 				status = "REGRESSED"
 				regressed = true
-			case r < 1/threshold:
+			case gate == gateHigher && r < 1/threshold:
+				status = "REGRESSED"
+				regressed = true
+			case gate == gateHigher && r > threshold:
+				status = "improved"
+			case gate != gateHigher && r < 1/threshold:
 				status = "improved"
 			}
-		} else if gate && newV > oldV {
+		} else if gate == gateLower && newV > oldV {
 			// A zero baseline regresses on any growth (e.g. allocs 0 → 3).
 			status = "REGRESSED"
 			regressed = true
@@ -296,11 +330,20 @@ func runDiff(dir string, threshold float64, w io.Writer) (bool, error) {
 			tbl.AddRow(name, "ns/op", "-", fmtVal(nb.NsPerOp), "n/a", "new")
 			continue
 		}
-		addRow(name, "ns/op", ob.NsPerOp, nb.NsPerOp, true)
-		addRow(name, "allocs/op", ob.AllocsPerOp, nb.AllocsPerOp, true)
+		addRow(name, "ns/op", ob.NsPerOp, nb.NsPerOp, gateLower)
+		addRow(name, "allocs/op", ob.AllocsPerOp, nb.AllocsPerOp, gateLower)
 		for _, unit := range sortedMetricKeys(nb.Metrics) {
 			if ov, ok := ob.Metrics[unit]; ok {
-				addRow(name, unit, ov, nb.Metrics[unit], false)
+				addRow(name, unit, ov, nb.Metrics[unit], metricGate(unit))
+			} else {
+				// A metric only the new snapshot reports is shown but never
+				// gated — there is no baseline to regress from.
+				tbl.AddRow(name, unit, "-", fmtVal(nb.Metrics[unit]), "n/a", "new")
+			}
+		}
+		for _, unit := range sortedMetricKeys(ob.Metrics) {
+			if _, ok := nb.Metrics[unit]; !ok {
+				tbl.AddRow(name, unit, fmtVal(ob.Metrics[unit]), "-", "n/a", "removed")
 			}
 		}
 	}
@@ -316,6 +359,25 @@ func runDiff(dir string, threshold float64, w io.Writer) (bool, error) {
 	}
 	fmt.Fprintln(w, "PASS: no regression beyond threshold")
 	return true, nil
+}
+
+// gateKind classifies how a metric participates in the regression gate.
+type gateKind int
+
+const (
+	gateNone   gateKind = iota // informational: shown, never gates
+	gateLower                  // lower is better (ns/op, allocs/op)
+	gateHigher                 // higher is better (throughput)
+)
+
+// metricGate classifies a custom metric by its unit: throughput units
+// ("edges/sec", "edges/sec/core", anything ending in /sec or /sec/core) are
+// gated higher-is-better; everything else is informational.
+func metricGate(unit string) gateKind {
+	if strings.HasSuffix(unit, "/sec") || strings.HasSuffix(unit, "/sec/core") {
+		return gateHigher
+	}
+	return gateNone
 }
 
 func sortedMetricKeys(m map[string]float64) []string {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -110,6 +111,91 @@ func TestDiffExactThresholdBoundary(t *testing.T) {
 	}
 }
 
+func benchM(ns float64, metrics map[string]float64) Benchmark {
+	return Benchmark{Samples: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+func TestDiffCustomMetricsShownWhenNewOrRemoved(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 0, map[string]Benchmark{
+		"BenchmarkX": benchM(100, map[string]float64{"edges/op": 18000, "old_only": 7}),
+	})
+	writeSnap(t, dir, 1, map[string]Benchmark{
+		"BenchmarkX": benchM(100, map[string]float64{"edges/op": 18000, "edges/sec": 5e6, "edges/sec/core": 5e6}),
+	})
+	var out strings.Builder
+	ok, err := runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metrics appearing or disappearing never gate the diff.
+	if !ok {
+		t.Fatalf("new/removed metrics must not fail the gate:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"edges/sec", "edges/sec/core", "old_only", "removed", "new"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffThroughputMetricGatedHigherIsBetter(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 0, map[string]Benchmark{
+		"BenchmarkX": benchM(100, map[string]float64{"edges/sec": 6e6}),
+	})
+	// Throughput collapsed to half: ratio 0.5 < 1/1.20, must fail.
+	writeSnap(t, dir, 1, map[string]Benchmark{
+		"BenchmarkX": benchM(100, map[string]float64{"edges/sec": 3e6}),
+	})
+	var out strings.Builder
+	ok, err := runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("edges/sec halving must regress:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("output missing REGRESSED:\n%s", out.String())
+	}
+
+	// Throughput doubling is an improvement, not a regression.
+	writeSnap(t, dir, 2, map[string]Benchmark{
+		"BenchmarkX": benchM(100, map[string]float64{"edges/sec": 6e6}),
+	})
+	out.Reset()
+	ok, err = runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("edges/sec doubling must pass:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "improved") {
+		t.Fatalf("output missing improved:\n%s", out.String())
+	}
+}
+
+func TestDiffInformationalMetricNeverGates(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 0, map[string]Benchmark{
+		"BenchmarkX": benchM(100, map[string]float64{"state_words": 100}),
+	})
+	writeSnap(t, dir, 1, map[string]Benchmark{
+		"BenchmarkX": benchM(100, map[string]float64{"state_words": 100000}),
+	})
+	var out strings.Builder
+	ok, err := runDiff(dir, 1.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("state_words is informational and must not gate:\n%s", out.String())
+	}
+}
+
 func TestDiffZeroAllocBaselineGrowthFails(t *testing.T) {
 	dir := t.TempDir()
 	writeSnap(t, dir, 0, map[string]Benchmark{"BenchmarkX": bench(100, 0)})
@@ -121,5 +207,38 @@ func TestDiffZeroAllocBaselineGrowthFails(t *testing.T) {
 	}
 	if ok {
 		t.Fatalf("allocs 0 → 1 must regress regardless of ratio:\n%s", out.String())
+	}
+}
+
+// TestParseBenchFoldsToNoiseFloor pins the -count folding policy: repeated
+// samples keep the minimum ns/op and the maximum throughput (the noise
+// floor on a contended machine), while plain custom metrics are averaged.
+func TestParseBenchFoldsToNoiseFloor(t *testing.T) {
+	out := strings.Join([]string{
+		"BenchmarkEndToEndKK-8 	 500	 2100000 ns/op	 16 allocs/op	 540450 edges/op	 250000000 edges/sec	 18050 state_words",
+		"BenchmarkEndToEndKK-8 	 400	 2600000 ns/op	 16 allocs/op	 540450 edges/op	 200000000 edges/sec	 18060 state_words",
+	}, "\n")
+	benches, _, err := parseBench(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := benches["BenchmarkEndToEndKK"]
+	if !ok {
+		t.Fatalf("benchmark not parsed: %v", benches)
+	}
+	if b.Samples != 2 {
+		t.Errorf("samples = %d, want 2", b.Samples)
+	}
+	if b.NsPerOp != 2100000 {
+		t.Errorf("ns/op = %v, want min 2100000", b.NsPerOp)
+	}
+	if got := b.Metrics["edges/sec"]; got != 250000000 {
+		t.Errorf("edges/sec = %v, want max 250000000", got)
+	}
+	if got := b.Metrics["state_words"]; got != 18055 {
+		t.Errorf("state_words = %v, want mean 18055", got)
+	}
+	if got := b.Metrics["edges/op"]; got != 540450 {
+		t.Errorf("edges/op = %v, want 540450", got)
 	}
 }

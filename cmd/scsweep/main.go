@@ -24,19 +24,38 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		algos   = flag.String("algos", "kk,alg1", "comma-separated algorithms: kk|alg1|alg2|es|storeall")
-		ns      = flag.String("n", "400", "comma-separated universe sizes")
-		ms      = flag.String("m", "8000", "comma-separated set counts")
-		orders  = flag.String("orders", "random", "comma-separated arrival orders")
-		optV    = flag.Int("opt", 10, "planted optimum")
-		alpha   = flag.Float64("alpha", 0, "approximation target for alg2/es (0 = 2√n)")
-		reps    = flag.Int("reps", 3, "repetitions per cell")
-		seed    = flag.Uint64("seed", 1, "base random seed")
-		csvOut  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		workers = flag.Int("workers", 0, "grid cells run across this many goroutines (0 = GOMAXPROCS, 1 = sequential; output is byte-identical for every value)")
-		obsOpt  = cli.RegisterObsFlags(flag.CommandLine)
+		algos    = flag.String("algos", "kk,alg1", "comma-separated algorithms: kk|alg1|alg2|es|storeall")
+		ns       = flag.String("n", "400", "comma-separated universe sizes")
+		ms       = flag.String("m", "8000", "comma-separated set counts")
+		orders   = flag.String("orders", "random", "comma-separated arrival orders")
+		optV     = flag.Int("opt", 10, "planted optimum")
+		alpha    = flag.Float64("alpha", 0, "approximation target for alg2/es (0 = 2√n)")
+		reps     = flag.Int("reps", 3, "repetitions per cell")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		workers  = flag.Int("workers", 0, "grid cells run across this many goroutines (0 = GOMAXPROCS, 1 = sequential; output is byte-identical for every value)")
+		parSolve = flag.Bool("parallel-solver", true, "shard the offline greedy reference solver across goroutines (false = force sequential; output is byte-identical either way)")
+		solverW  = flag.Int("solver-workers", 0, "goroutine count for the offline greedy reference solver (0 = GOMAXPROCS, 1 = sequential; output is byte-identical for every value)")
+		obsOpt   = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	if *solverW < 0 {
+		return usagef("-solver-workers must be >= 0, got %d", *solverW)
+	}
+	solverSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "solver-workers" {
+			solverSet = true
+		}
+	})
+	if !*parSolve && solverSet && *solverW != 1 {
+		return usagef("-solver-workers=%d conflicts with -parallel-solver=false", *solverW)
+	}
+	solverWorkers := *solverW
+	if !*parSolve {
+		solverWorkers = 1
+	}
 
 	nsList, err := parseInts(*ns)
 	if err != nil {
@@ -48,16 +67,17 @@ func run() int {
 	}
 
 	opt := cli.SweepOptions{
-		Algos:   splitList(*algos),
-		Ns:      nsList,
-		Ms:      msList,
-		Orders:  splitList(*orders),
-		Opt:     *optV,
-		Alpha:   *alpha,
-		Reps:    *reps,
-		Seed:    *seed,
-		CSV:     *csvOut,
-		Workers: *workers,
+		Algos:         splitList(*algos),
+		Ns:            nsList,
+		Ms:            msList,
+		Orders:        splitList(*orders),
+		Opt:           *optV,
+		Alpha:         *alpha,
+		Reps:          *reps,
+		Seed:          *seed,
+		CSV:           *csvOut,
+		Workers:       *workers,
+		SolverWorkers: solverWorkers,
 	}
 	// Reject a bad grid before spinning up the observability session or any
 	// workers: a clear usage error beats a panic mid-sweep.

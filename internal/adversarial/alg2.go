@@ -24,6 +24,7 @@ package adversarial
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 
 	"streamcover/internal/dense"
@@ -56,6 +57,7 @@ type Algorithm struct {
 	covered       []bool           // U: covered elements
 	coveredCount  int              // running |U|
 	first         []setcover.SetID // R(u)
+	firstFree     int              // elements with no first-set record yet
 	cert          []setcover.SetID // C(u)
 
 	promotions int64 // total level increments, for the E-ABL-A2 ablation
@@ -64,13 +66,19 @@ type Algorithm struct {
 }
 
 // a2Scratch bundles the recyclable per-run arrays (everything but the
-// certificate, which escapes into the Cover).
+// certificate, which escapes into the Cover) plus the batch-kernel staging
+// blocks (fixed capacity, fully overwritten each pass — no clearing on
+// reuse).
 type a2Scratch struct {
 	n, m    int
 	levels  []int32
 	sol     dense.Bits
 	covered []bool
 	first   []setcover.SetID
+
+	stageElems []int32
+	maskC      []uint64 // covered-element gather
+	maskF      []uint64 // first-set-needed gather
 }
 
 var a2Pool sync.Pool
@@ -86,12 +94,15 @@ func getA2Scratch(n, m int) *a2Scratch {
 		}
 	}
 	return &a2Scratch{
-		n:       n,
-		m:       m,
-		levels:  make([]int32, m),
-		sol:     dense.NewBits(m),
-		covered: make([]bool, n),
-		first:   make([]setcover.SetID, n),
+		n:          n,
+		m:          m,
+		levels:     make([]int32, m),
+		sol:        dense.NewBits(m),
+		covered:    make([]bool, n),
+		first:      make([]setcover.SetID, n),
+		stageElems: make([]int32, dense.KernelBlockEdges),
+		maskC:      make([]uint64, dense.MaskWords(dense.KernelBlockEdges)),
+		maskF:      make([]uint64, dense.MaskWords(dense.KernelBlockEdges)),
 	}
 }
 
@@ -124,6 +135,7 @@ func New(n, m int, alpha float64, rng *xrand.Rand) *Algorithm {
 		a.first[u] = setcover.NoSet
 		a.cert[u] = setcover.NoSet
 	}
+	a.firstFree = n
 	a.AuxMeter.Add(3 * int64(n))
 
 	// Line 6: D_0 ⊆ S with inclusion probability p_0 = α/m. Sampling the
@@ -159,11 +171,91 @@ func (a *Algorithm) inclusionProb(level int32) float64 {
 // Process implements stream.Algorithm, mirroring lines 8–24 of the listing.
 func (a *Algorithm) Process(e stream.Edge) { a.process(e) }
 
-// ProcessBatch implements stream.BatchProcessor.
+// ProcessBatch implements stream.BatchProcessor via the word-parallel batch
+// kernels (internal/dense). An edge is a guaranteed no-op exactly when its
+// element is covered and already has a first-set record — crucially, the
+// covered check precedes the 1/α promotion coin in process, so skipping such
+// edges draws no coins. Coverage and first records only grow, so stage-time
+// masks over-approximate activity; the body re-checks exactly, keeping the
+// batched path byte-identical to per-edge Process (same coin flips, same
+// event stream). A saturated block is skipped with one compare.
 func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
-	for _, e := range edges {
-		a.process(e)
+	for len(edges) > 0 {
+		k := len(edges)
+		if k > dense.KernelBlockEdges {
+			k = dense.KernelBlockEdges
+		}
+		a.processBlock(edges[:k])
+		edges = edges[k:]
 	}
+}
+
+func (a *Algorithm) processBlock(edges []stream.Edge) {
+	k := len(edges)
+	if a.coveredCount == a.n && a.firstFree == 0 {
+		a.pos += int64(k)
+		return
+	}
+	sc := a.sc
+	elems := sc.stageElems[:k]
+	for i, e := range edges {
+		elems[i] = e.Elem
+	}
+	words := dense.MaskWords(k)
+	act := sc.maskC[:words]
+	dense.BoolMask(a.covered, elems, act)
+	for w := range act {
+		act[w] = ^act[w]
+	}
+	act[words-1] &= dense.TailMask(k)
+	if a.firstFree > 0 {
+		fneed := sc.maskF[:words]
+		dense.EqMask32(a.first, elems, setcover.NoSet, fneed)
+		for w := range act {
+			act[w] |= fneed[w]
+		}
+	}
+
+	first, covered, levels := a.first, a.covered, a.levels
+	base := a.pos
+	for w := 0; w < words; w++ {
+		m := act[w]
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			a.pos = base + int64(i) + 1
+			u, s := elems[i], edges[i].Set
+			if first[u] == setcover.NoSet {
+				first[u] = s
+				a.firstFree--
+			}
+			if covered[u] {
+				continue
+			}
+			if a.rng.Coin(1 / a.alpha) {
+				lvl := levels[s] + 1
+				if lvl == 1 {
+					a.promotedCount++
+					a.StateMeter.Add(space.MapEntryWords)
+				}
+				levels[s] = lvl
+				a.promotions++
+				a.sink.Emit(obs.KindLevelUp, a.pos, int64(s), int64(lvl), int64(lvl-1))
+				if a.rng.Coin(a.inclusionProb(lvl)) {
+					a.addToSol(s, int(lvl))
+				} else {
+					a.sink.Emit(obs.KindSampleDrop, a.pos, int64(s), int64(lvl), 0)
+				}
+			}
+			if a.sol.Test(s) {
+				covered[u] = true
+				a.coveredCount++
+				a.cert[u] = s
+				a.sink.Emit(obs.KindCertWrite, a.pos, int64(u), int64(s), -1)
+			}
+		}
+	}
+	a.pos = base + int64(k)
 }
 
 func (a *Algorithm) process(e stream.Edge) {
@@ -171,6 +263,7 @@ func (a *Algorithm) process(e stream.Edge) {
 	s, u := e.Set, e.Elem
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
+		a.firstFree--
 	}
 	if a.covered[u] {
 		return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"streamcover/internal/setcover"
 	"streamcover/internal/snap"
 )
 
@@ -76,6 +77,14 @@ func (a *Algorithm) Restore(rd io.Reader) error {
 	a.promotions = r.I64()
 	a.patched = r.Int()
 	snap.LoadTracked(r, &a.Tracked)
+	// firstFree is derived state (the batch kernels' fast-path counter), not
+	// part of the SCSTATE1 layout: recompute it from the restored records.
+	a.firstFree = 0
+	for _, s := range a.first {
+		if s == setcover.NoSet {
+			a.firstFree++
+		}
+	}
 	if err := r.Close(); err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"streamcover/internal/elementsampling"
 	"streamcover/internal/kk"
 	"streamcover/internal/sched"
+	"streamcover/internal/setcover"
 	"streamcover/internal/stats"
 	"streamcover/internal/stream"
 	"streamcover/internal/texttable"
@@ -39,6 +40,12 @@ type SweepOptions struct {
 	// grid coordinates alone, so the output is byte-identical for every
 	// worker count; 1 reproduces the sequential schedule exactly.
 	Workers int
+	// SolverWorkers is the goroutine count for the offline greedy reference
+	// solver each cell runs for its greedy column (0 = GOMAXPROCS,
+	// 1 = sequential). The solver's max-gain scan reduces in a fixed order,
+	// so the column — and the whole sweep — is byte-identical for every
+	// value.
+	SolverWorkers int
 }
 
 // Validate checks the grid before any work is scheduled, so CLIs can turn
@@ -72,6 +79,9 @@ func (opt SweepOptions) Validate() error {
 	if opt.Reps <= 0 {
 		return fmt.Errorf("sweep: -reps must be positive, got %d", opt.Reps)
 	}
+	if opt.SolverWorkers < 0 {
+		return fmt.Errorf("sweep: -solver-workers must be >= 0, got %d", opt.SolverWorkers)
+	}
 	for _, name := range opt.Orders {
 		if _, err := stream.ParseOrder(name); err != nil {
 			return err
@@ -82,12 +92,13 @@ func (opt SweepOptions) Validate() error {
 
 // sweepCell is one aggregated grid cell.
 type sweepCell struct {
-	algo  string
-	n, m  int
-	order stream.Order
-	cover stats.Summary
-	ratio stats.Summary
-	state stats.Summary
+	algo   string
+	n, m   int
+	order  stream.Order
+	greedy int // offline greedy reference cover size for the cell's instance
+	cover  stats.Summary
+	ratio  stats.Summary
+	state  stats.Summary
 }
 
 // Sweep runs the grid and writes the results. Cells are sharded across
@@ -135,14 +146,15 @@ func Sweep(opt SweepOptions, stdout io.Writer) error {
 
 	if opt.CSV {
 		w := csv.NewWriter(stdout)
-		if err := w.Write([]string{"algo", "n", "m", "order", "cover_mean", "cover_std", "ratio_mean", "state_mean"}); err != nil {
+		if err := w.Write([]string{"algo", "n", "m", "order", "cover_mean", "cover_std", "ratio_mean", "greedy", "state_mean"}); err != nil {
 			return err
 		}
 		for _, c := range cells {
 			rec := []string{
 				c.algo, strconv.Itoa(c.n), strconv.Itoa(c.m), c.order.String(),
 				fmt.Sprintf("%.2f", c.cover.Mean), fmt.Sprintf("%.2f", c.cover.Stddev),
-				fmt.Sprintf("%.3f", c.ratio.Mean), fmt.Sprintf("%.1f", c.state.Mean),
+				fmt.Sprintf("%.3f", c.ratio.Mean), strconv.Itoa(c.greedy),
+				fmt.Sprintf("%.1f", c.state.Mean),
 			}
 			if err := w.Write(rec); err != nil {
 				return err
@@ -154,11 +166,12 @@ func Sweep(opt SweepOptions, stdout io.Writer) error {
 
 	tb := texttable.New(
 		fmt.Sprintf("Sweep: planted opt=%d, %d reps per cell, seed %d", opt.Opt, opt.Reps, opt.Seed),
-		"algo", "n", "m", "order", "cover(mean±std)", "ratio", "state(words)")
+		"algo", "n", "m", "order", "cover(mean±std)", "ratio", "greedy", "state(words)")
 	for _, c := range cells {
 		tb.AddRow(c.algo, strconv.Itoa(c.n), strconv.Itoa(c.m), c.order.String(),
 			fmt.Sprintf("%.0f±%.0f", c.cover.Mean, c.cover.Stddev),
 			fmt.Sprintf("%.2f", c.ratio.Mean),
+			strconv.Itoa(c.greedy),
 			fmt.Sprintf("%.0f", c.state.Mean))
 	}
 	_, werr := tb.WriteTo(stdout)
@@ -170,6 +183,14 @@ func runSweepCell(opt SweepOptions, algo string, n, m int, order stream.Order) (
 		return sweepCell{}, fmt.Errorf("sweep: opt=%d exceeds n=%d", opt.Opt, n)
 	}
 	w := workload.Planted(xrand.New(cellSeed(opt.Seed, "workload", n, m, 0, 0)), n, m, opt.Opt, 0)
+	// Offline greedy ground truth for the cell's instance: the column every
+	// streaming cover is read against. The max-gain scan shards across
+	// opt.SolverWorkers goroutines with a deterministic lowest-index
+	// tie-break, so the reference is identical for every worker count.
+	greedy, err := setcover.GreedySizeWorkers(w.Inst, opt.SolverWorkers)
+	if err != nil {
+		return sweepCell{}, fmt.Errorf("sweep: greedy reference n=%d m=%d: %w", n, m, err)
+	}
 	alpha := opt.Alpha
 	if alpha <= 0 {
 		alpha = 2 * math.Sqrt(float64(n))
@@ -200,7 +221,7 @@ func runSweepCell(opt SweepOptions, algo string, n, m int, order stream.Order) (
 		states = append(states, float64(res.Space.State))
 	}
 	return sweepCell{
-		algo: algo, n: n, m: m, order: order,
+		algo: algo, n: n, m: m, order: order, greedy: greedy,
 		cover: stats.Summarize(covers),
 		ratio: stats.Summarize(ratios),
 		state: stats.Summarize(states),

@@ -52,8 +52,11 @@ func TestSweepCSVOutput(t *testing.T) {
 	if len(recs) != 1+8 {
 		t.Fatalf("%d CSV records, want 9", len(recs))
 	}
-	if recs[0][0] != "algo" || len(recs[1]) != 8 {
+	if recs[0][0] != "algo" || len(recs[1]) != 9 {
 		t.Fatalf("header/arity wrong: %v", recs[:2])
+	}
+	if recs[0][7] != "greedy" {
+		t.Fatalf("greedy reference column missing from header: %v", recs[0])
 	}
 }
 
@@ -111,6 +114,11 @@ func TestSweepErrors(t *testing.T) {
 	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
 		t.Error("negative m accepted")
 	}
+	opt = smallSweep()
+	opt.SolverWorkers = -1
+	if err := Sweep(opt, &bytes.Buffer{}); err == nil {
+		t.Error("negative solver workers accepted")
+	}
 }
 
 func TestSweepDefaults(t *testing.T) {
@@ -140,6 +148,7 @@ func TestSweepWorkersByteIdentical(t *testing.T) {
 		for _, workers := range []int{0, 2, 4, 9} {
 			opt := base
 			opt.Workers = workers
+			opt.SolverWorkers = workers // greedy column must be invariant too
 			var got bytes.Buffer
 			if err := Sweep(opt, &got); err != nil {
 				t.Fatal(err)

@@ -73,6 +73,7 @@ type Algorithm struct {
 	sc *scratch // pooled dense state; released on Finish
 
 	first        []setcover.SetID // R(u): first set seen containing u (line 4)
+	firstFree    int              // elements with no first-set record yet
 	cert         []setcover.SetID // covering witness
 	coveredCount int              // running count of witnessed elements
 	marked       dense.Bits       // marked-as-covered (line 3); may lack a witness
@@ -158,6 +159,7 @@ func newState(r resolved, rng *xrand.Rand) *Algorithm {
 		a.first[u] = setcover.NoSet
 		a.cert[u] = setcover.NoSet
 	}
+	a.firstFree = r.n
 	return a
 }
 
@@ -256,6 +258,7 @@ func (a *Algorithm) process(e stream.Edge) {
 	u, s := e.Elem, e.Set
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
+		a.firstFree--
 	}
 	// Lines 20–21 and 34–36: an edge from a chosen set supplies a covering
 	// witness, in every phase.
@@ -287,10 +290,37 @@ func (a *Algorithm) process(e stream.Edge) {
 	}
 }
 
-// processRemainder is the phaseRemainder body of process unrolled over a
-// whole batch: only first-set recording and witness collection remain
-// (lines 34–36), so the per-edge work is two array loads and a bit test.
+// processRemainder is the phaseRemainder body of process run in blocks of
+// up to dense.KernelBlockEdges edges: only first-set recording and witness
+// collection remain (lines 34–36), and in the steady state almost every
+// edge does neither. Once every element has a first-set record and a
+// certificate, an entire block is skipped with one compare. The inner loop
+// stays scalar by measurement, not oversight: a mask formulation (stage set
+// ids, gather "set ∈ Sol" into activity words via Bits.TestMask, scan set
+// bits) is byte-identical but ~7% slower end to end on the benchmark
+// family, because Sol's hit density is a coverage-independent |Sol|/m —
+// activity words stay sparse but never empty — while the scalar loop's two
+// L1 gathers ride perfectly predicted branches. DESIGN.md §4g records the
+// crossover; kk (density-gated) and alg2 (expensive per-edge body) are the
+// profitable kernel hosts.
 func (a *Algorithm) processRemainder(edges []stream.Edge) {
+	for len(edges) > 0 {
+		k := len(edges)
+		if k > dense.KernelBlockEdges {
+			k = dense.KernelBlockEdges
+		}
+		a.remainderBlock(edges[:k])
+		edges = edges[k:]
+	}
+}
+
+func (a *Algorithm) remainderBlock(edges []stream.Edge) {
+	k := len(edges)
+	a.trace.RemainderEdges += k
+	if a.firstFree == 0 && a.coveredCount == a.r.n {
+		a.pos += k
+		return
+	}
 	first, cert := a.first, a.cert
 	pos := a.pos
 	for _, e := range edges {
@@ -298,6 +328,7 @@ func (a *Algorithm) processRemainder(edges []stream.Edge) {
 		u, s := e.Elem, e.Set
 		if first[u] == setcover.NoSet {
 			first[u] = s
+			a.firstFree--
 		}
 		if cert[u] == setcover.NoSet && a.sol.Test(s) {
 			cert[u] = s
@@ -307,7 +338,6 @@ func (a *Algorithm) processRemainder(edges []stream.Edge) {
 		}
 	}
 	a.pos = pos
-	a.trace.RemainderEdges += len(edges)
 }
 
 // processAlgEdge is the body of the subepoch loop (lines 24–30) for an edge

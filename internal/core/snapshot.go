@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"streamcover/internal/setcover"
 	"streamcover/internal/snap"
 )
 
@@ -108,5 +109,13 @@ func (a *Algorithm) Restore(rd io.Reader) error {
 		a.trace = decoded
 	}
 	snap.LoadTracked(r, &a.Tracked)
+	// firstFree is derived state (the batch kernels' fast-path counter), not
+	// part of the SCSTATE1 layout: recompute it from the restored records.
+	a.firstFree = 0
+	for _, s := range a.first {
+		if s == setcover.NoSet {
+			a.firstFree++
+		}
+	}
 	return r.Close()
 }

@@ -58,6 +58,11 @@ type Config struct {
 	// worker count — every random choice derives from Seed and position,
 	// never from scheduling.
 	Workers int
+	// SolverWorkers is the goroutine count for the offline greedy/exact
+	// ground-truth solvers (0 = GOMAXPROCS, 1 = sequential). The solvers
+	// reduce in a fixed order, so the reference covers — and therefore the
+	// reports — are byte-identical for every value.
+	SolverWorkers int
 }
 
 // Quick returns a configuration sized for unit tests and smoke runs
@@ -230,9 +235,11 @@ func runMaybeCheckpointed(cfg Config, alg stream.Algorithm, edges []stream.Edge,
 	return res, nil
 }
 
-// greedyRef computes the greedy reference cover size for a workload.
-func greedyRef(w workload.Workload) int {
-	g, err := setcover.GreedySize(w.Inst)
+// greedyRef computes the greedy reference cover size for a workload,
+// sharding the max-gain scan across cfg.SolverWorkers goroutines (the
+// result is byte-identical for every worker count).
+func greedyRef(cfg Config, w workload.Workload) int {
+	g, err := setcover.GreedySizeWorkers(w.Inst, cfg.SolverWorkers)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: greedy on %s: %v", w.Name, err))
 	}

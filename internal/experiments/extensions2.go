@@ -73,7 +73,7 @@ func Fractional(cfg Config) (*Report, error) {
 func CWPasses(cfg Config) (*Report, error) {
 	w := workload.Planted(xrand.New(cfg.Seed+121), cfg.N, cfg.M/4, cfg.OPT, 0)
 	opt := w.PlantedOPT
-	g, err := setcover.GreedySize(w.Inst)
+	g, err := setcover.GreedySizeWorkers(w.Inst, cfg.SolverWorkers)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}

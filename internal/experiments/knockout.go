@@ -32,7 +32,7 @@ func Knockout(cfg Config) (*Report, error) {
 	n := cfg.N
 	m := cfg.M
 	w := workload.HeavyElements(xrand.New(cfg.Seed+151), n, m, n/20, 4)
-	g := greedyRef(w)
+	g := greedyRef(cfg, w)
 
 	variants := []struct {
 		name   string

@@ -28,7 +28,7 @@ func Table1Row1(cfg Config) (*Report, error) {
 	w := workload.UniformRandom(xrand.New(cfg.Seed), n, m, n/4, n/2)
 
 	tb := texttable.New(
-		fmt.Sprintf("Table 1 row 1: element sampling, adversarial order (n=%d m=%d greedy=%d)", n, m, greedyRef(w)),
+		fmt.Sprintf("Table 1 row 1: element sampling, adversarial order (n=%d m=%d greedy=%d)", n, m, greedyRef(cfg, w)),
 		"alpha", "cover(mean)", "ratio", "state(words)", "mn/alpha")
 	var alphas, states []float64
 	for _, alpha := range []float64{16, 32, 64, 128} {

@@ -24,6 +24,7 @@ package kk
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 
 	"streamcover/internal/dense"
@@ -60,6 +61,7 @@ type Algorithm struct {
 	covered      []bool           // u covered by a set in sol (witness recorded)
 	coveredCount int              // running count of covered elements
 	first        []setcover.SetID // R(u): first set seen containing u
+	firstFree    int              // elements with no first-set record yet
 	cert         []setcover.SetID // output certificate
 
 	patched     int   // sets added by the patching phase, for reporting
@@ -68,13 +70,21 @@ type Algorithm struct {
 }
 
 // kkScratch bundles the recyclable per-run arrays (everything but the
-// certificate, which escapes into the Cover).
+// certificate, which escapes into the Cover) plus the batch-kernel staging
+// blocks: the per-element id block and the activity mask words (see
+// internal/dense batch kernels). The staging blocks have fixed capacity, so
+// reuse never needs to clear them — every kernel pass overwrites exactly the
+// prefix it reads.
 type kkScratch struct {
 	n, m    int
 	deg     []int32
 	sol     dense.Bits
 	covered []bool
 	first   []setcover.SetID
+
+	stageElems []int32
+	maskC      []uint64 // covered-element gather
+	maskF      []uint64 // first-set-needed gather
 }
 
 var kkPool sync.Pool
@@ -90,12 +100,15 @@ func getKKScratch(n, m int) *kkScratch {
 		}
 	}
 	return &kkScratch{
-		n:       n,
-		m:       m,
-		deg:     make([]int32, m),
-		sol:     dense.NewBits(m),
-		covered: make([]bool, n),
-		first:   make([]setcover.SetID, n),
+		n:          n,
+		m:          m,
+		deg:        make([]int32, m),
+		sol:        dense.NewBits(m),
+		covered:    make([]bool, n),
+		first:      make([]setcover.SetID, n),
+		stageElems: make([]int32, dense.KernelBlockEdges),
+		maskC:      make([]uint64, dense.MaskWords(dense.KernelBlockEdges)),
+		maskF:      make([]uint64, dense.MaskWords(dense.KernelBlockEdges)),
 	}
 }
 
@@ -123,6 +136,7 @@ func New(n, m int, rng *xrand.Rand) *Algorithm {
 		a.first[u] = setcover.NoSet
 		a.cert[u] = setcover.NoSet
 	}
+	a.firstFree = n
 	// The degree array is the algorithm's defining Θ(m) state; the three
 	// per-element structures are the Õ(n) bookkeeping every regime carries.
 	a.StateMeter.Add(int64(m))
@@ -139,11 +153,128 @@ func (a *Algorithm) inclusionProb(level int) float64 {
 // Process implements stream.Algorithm.
 func (a *Algorithm) Process(e stream.Edge) { a.process(e) }
 
-// ProcessBatch implements stream.BatchProcessor. The loop body duplicates
-// process with the arrays hoisted into locals (one bounds-checked slice
-// header load each instead of a pointer chase per edge); the equivalence
-// tests in the repository root hold the two paths byte-identical.
+// ProcessBatch implements stream.BatchProcessor via the word-parallel batch
+// kernels (internal/dense): edges are staged into a per-element id block,
+// two gather passes pack "still uncovered" and "first set unrecorded" into
+// mask words — 64 edges per word — and only the set bits run the per-edge
+// body. An edge is a guaranteed no-op exactly when its element is covered
+// AND has a first-set record; both predicates are monotone, so stage-time
+// masks over-approximate activity and the body's exact re-checks keep the
+// batched path byte-identical to per-edge Process (same writes, coin flips,
+// events — the equivalence tests in the repository root hold the two paths
+// together). A fully saturated block (coveredCount == n, no missing first
+// records) is skipped with one compare.
+//
+// The kernel only pays off once the activity masks are mostly zero: while
+// coverage is still sparse, nearly every edge carries work and the staging
+// and gather passes are pure overhead on top of the body. processBlock
+// therefore runs the plain hoisted loop below kkDenseCoverage and switches
+// to the word-parallel path above it — a schedule choice between two
+// byte-identical computations, driven only by the algorithm's own state.
 func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
+	for len(edges) > 0 {
+		k := len(edges)
+		if k > dense.KernelBlockEdges {
+			k = dense.KernelBlockEdges
+		}
+		a.processBlock(edges[:k])
+		edges = edges[k:]
+	}
+}
+
+// kkDenseCoverage is the covered fraction (in 1/64ths of n) above which the
+// word-parallel mask path beats the plain loop: below it an activity word is
+// rarely zero, so the 64-edges-per-compare skip cannot recoup the gathers.
+const kkDenseCoverage = 63 // ≈ 98%
+
+func (a *Algorithm) processBlock(edges []stream.Edge) {
+	k := len(edges)
+	if a.coveredCount == a.n && a.firstFree == 0 {
+		a.pos += int64(k)
+		return
+	}
+	if a.coveredCount*64 < a.n*kkDenseCoverage {
+		a.plainBlock(edges)
+		return
+	}
+	sc := a.sc
+	elems := sc.stageElems[:k]
+	for i, e := range edges {
+		elems[i] = e.Elem
+	}
+	words := dense.MaskWords(k)
+	act := sc.maskC[:words]
+	dense.BoolMask(a.covered, elems, act)
+	tail := dense.TailMask(k)
+	for w := range act {
+		act[w] = ^act[w] // uncovered elements still have work
+	}
+	act[words-1] &= tail
+	if a.firstFree > 0 {
+		fneed := sc.maskF[:words]
+		dense.EqMask32(a.first, elems, setcover.NoSet, fneed)
+		for w := range act {
+			act[w] |= fneed[w]
+		}
+	}
+
+	first, covered, cert, deg := a.first, a.covered, a.cert, a.deg
+	sol := a.sol
+	sqrtN := a.sqrtN
+	base := a.pos
+	for w := 0; w < words; w++ {
+		m := act[w]
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			pos := base + int64(i) + 1
+			u, s := elems[i], edges[i].Set
+			if first[u] == setcover.NoSet {
+				first[u] = s
+				a.firstFree--
+			}
+			if sol.Test(s) {
+				if !covered[u] {
+					covered[u] = true
+					a.coveredCount++
+					cert[u] = s
+					a.sink.Emit(obs.KindCertWrite, pos, int64(u), int64(s), -1)
+				}
+				continue
+			}
+			if covered[u] {
+				continue
+			}
+			d := deg[s] + 1
+			if int(d&degLowMask) != sqrtN {
+				deg[s] = d
+				continue
+			}
+			level := int(d>>degLevelShift) + 1
+			deg[s] = int32(level) << degLevelShift
+			a.sink.Emit(obs.KindLevelUp, pos, int64(s), int64(level), int64(level-1))
+			if a.rng.Coin(a.inclusionProb(level)) {
+				sol.Set(s)
+				a.solCount++
+				a.StateMeter.Add(space.SetEntryWords)
+				covered[u] = true
+				a.coveredCount++
+				cert[u] = s
+				a.sink.Emit(obs.KindSetSelected, pos, int64(s), int64(a.solCount), int64(level))
+				a.sink.Emit(obs.KindCertWrite, pos, int64(u), int64(s), -1)
+			} else {
+				a.sink.Emit(obs.KindSampleDrop, pos, int64(s), int64(level), 0)
+			}
+		}
+	}
+	a.pos = base + int64(k)
+}
+
+// plainBlock is the sparse-coverage schedule: the per-edge body with the
+// arrays hoisted into locals (one bounds-checked slice header load each
+// instead of a pointer chase per edge), identical write-for-write and
+// coin-for-coin to the mask path above.
+func (a *Algorithm) plainBlock(edges []stream.Edge) {
 	first, covered, cert, deg := a.first, a.covered, a.cert, a.deg
 	sol := a.sol
 	sqrtN := a.sqrtN
@@ -153,6 +284,7 @@ func (a *Algorithm) ProcessBatch(edges []stream.Edge) {
 		u, s := e.Elem, e.Set
 		if first[u] == setcover.NoSet {
 			first[u] = s
+			a.firstFree--
 		}
 		if sol.Test(s) {
 			if !covered[u] {
@@ -195,6 +327,7 @@ func (a *Algorithm) process(e stream.Edge) {
 	u, s := e.Elem, e.Set
 	if a.first[u] == setcover.NoSet {
 		a.first[u] = s
+		a.firstFree--
 	}
 	if a.sol.Test(s) {
 		if !a.covered[u] {

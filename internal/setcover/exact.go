@@ -3,6 +3,9 @@ package setcover
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
+
+	"streamcover/internal/sched"
 )
 
 // MaxExactUniverse is the largest universe Exact accepts. The exact solver
@@ -16,7 +19,24 @@ const MaxExactUniverse = 64
 // solver and the streaming algorithms' approximation ratios on small inputs.
 //
 // It returns an error for infeasible or oversized instances.
-func Exact(inst *Instance) (*Cover, error) {
+func Exact(inst *Instance) (*Cover, error) { return ExactWorkers(inst, 1) }
+
+// ExactWorkers is Exact with the branch exploration parallelized across
+// Workers(workers) goroutines (workers <= 0 means GOMAXPROCS, matching the
+// -workers flag convention).
+//
+// The root branches on element 0 (the lowest-index uncovered element of the
+// empty prefix): one independent subtree per set containing it, fanned out
+// via sched.Map. Workers share an atomic incumbent bound, updated by
+// CAS-min whenever any subtree records a cover, and prune a node when
+// len(cur)+lb exceeds it STRICTLY — any prefix of an optimal cover satisfies
+// len+lb <= OPT <= bound at all times, so optimal paths are never a casualty
+// of bound-update timing. Each subtree additionally keeps a local best with
+// the sequential >=-prune. The reduction walks subtree results in root-branch
+// (ascending set id) order keeping strict improvements only, which selects
+// the same DFS-first minimum cover the sequential solver finds, byte for
+// byte, for every worker count.
+func ExactWorkers(inst *Instance, workers int) (*Cover, error) {
 	n := inst.UniverseSize()
 	if n > MaxExactUniverse {
 		return nil, fmt.Errorf("setcover: Exact supports n <= %d, got %d", MaxExactUniverse, n)
@@ -66,29 +86,55 @@ func Exact(inst *Instance) (*Cover, error) {
 		return nil, fmt.Errorf("setcover: all sets empty")
 	}
 
-	var cur []SetID
-	var rec func(covered uint64)
-	rec = func(covered uint64) {
-		if covered == full {
-			if len(cur) < len(best) {
-				best = append(best[:0], cur...)
+	// Shared incumbent bound: the length of the best cover known so far
+	// across all workers, seeded by greedy.
+	var bound atomic.Int64
+	bound.Store(int64(len(best)))
+
+	roots := elemSets[0]
+	type subBest struct{ sets []SetID }
+	results, _ := sched.Map(workers, len(roots), func(i int) (subBest, error) {
+		localLen := m + 1
+		var localBest []SetID
+		cur := make([]SetID, 1, len(best)+1)
+		cur[0] = roots[i]
+		var rec func(covered uint64)
+		rec = func(covered uint64) {
+			if covered == full {
+				if len(cur) < localLen {
+					localLen = len(cur)
+					localBest = append(localBest[:0], cur...)
+					for {
+						b := bound.Load()
+						if int64(localLen) >= b || bound.CompareAndSwap(b, int64(localLen)) {
+							break
+						}
+					}
+				}
+				return
 			}
-			return
+			// Lower bound: every set covers at most maxSize new elements.
+			uncovered := bits.OnesCount64(full &^ covered)
+			lb := (uncovered + maxSize - 1) / maxSize
+			t := len(cur) + lb
+			if t >= localLen || int64(t) > bound.Load() {
+				return
+			}
+			u := bits.TrailingZeros64(full &^ covered)
+			for _, s := range elemSets[u] {
+				cur = append(cur, s)
+				rec(covered | masks[s])
+				cur = cur[:len(cur)-1]
+			}
 		}
-		// Lower bound: every set covers at most maxSize new elements.
-		uncovered := bits.OnesCount64(full &^ covered)
-		lb := (uncovered + maxSize - 1) / maxSize
-		if len(cur)+lb >= len(best) {
-			return
-		}
-		u := bits.TrailingZeros64(full &^ covered)
-		for _, s := range elemSets[u] {
-			cur = append(cur, s)
-			rec(covered | masks[s])
-			cur = cur[:len(cur)-1]
+		rec(masks[roots[i]])
+		return subBest{sets: localBest}, nil
+	})
+	for _, r := range results {
+		if r.sets != nil && len(r.sets) < len(best) {
+			best = r.sets
 		}
 	}
-	rec(0)
 
 	// Rebuild a certificate from the optimal choice.
 	cert := make([]SetID, n)

@@ -1,22 +1,53 @@
 package setcover
 
-import "fmt"
+import (
+	"fmt"
+
+	"streamcover/internal/sched"
+)
 
 // Greedy computes the classic greedy set cover: repeatedly choose the set
-// covering the most yet-uncovered elements. It achieves an (ln n + 1)
-// approximation and is the practical baseline the paper cites ([11, 21, 23]);
-// experiments use it both as a comparison point and, on planted instances,
-// as a sanity check against the known OPT.
+// covering the most yet-uncovered elements, breaking ties toward the lowest
+// set id. It achieves an (ln n + 1) approximation and is the practical
+// baseline the paper cites ([11, 21, 23]); experiments use it both as a
+// comparison point and, on planted instances, as a sanity check against the
+// known OPT.
 //
-// The implementation is the lazy bucket-queue greedy: sets sit in buckets
-// indexed by their last-known gain, and a set's gain is recomputed only when
-// it surfaces at the current maximum. Total work is O(N + n + m) where N is
-// the number of edges, matching the efficient implementations in [11].
+// The selection rule (max gain, then lowest id) is canonical: the chosen set
+// each round is a pure function of the covered state, so Greedy and
+// GreedyWorkers return byte-identical covers for every worker count.
+func Greedy(inst *Instance) (*Cover, error) { return GreedyWorkers(inst, 1) }
+
+// parallelGreedyMinSets is the family size below which GreedyWorkers runs
+// sequentially regardless of the requested worker count: under it the
+// per-round goroutine fan-out costs more than the scan it shards. Safe
+// because the selection rule makes the output worker-count independent.
+const parallelGreedyMinSets = 512
+
+// GreedyWorkers is Greedy with the per-round max-gain scan sharded across
+// Workers(workers) goroutines (see internal/sched for the flag convention:
+// workers <= 0 means GOMAXPROCS).
 //
-// Greedy returns an error on infeasible instances.
-func Greedy(inst *Instance) (*Cover, error) {
+// Each worker scans a fixed contiguous shard of set ids, carrying a lazily
+// maintained upper bound on every set's gain: true gains only ever decrease,
+// so a set whose cached bound cannot strictly beat the shard's current best
+// is skipped without recomputation, and on recomputation the cached bound
+// becomes exact. A shard scan therefore yields exactly (max true gain in
+// shard, lowest id achieving it), and the per-round reduction over shards in
+// worker-index order — strictly-greater wins, so the first (lowest-id) shard
+// keeps ties — selects the global (max gain, lowest id) set. The schedule is
+// deterministic: shard boundaries depend only on (m, workers) and the chosen
+// set per round is independent of both.
+func GreedyWorkers(inst *Instance, workers int) (*Cover, error) {
 	n := inst.UniverseSize()
 	m := inst.NumSets()
+	workers = sched.Workers(workers)
+	if workers > m {
+		workers = m
+	}
+	if m < parallelGreedyMinSets {
+		workers = 1
+	}
 
 	covered := make([]bool, n)
 	cert := make([]SetID, n)
@@ -24,68 +55,93 @@ func Greedy(inst *Instance) (*Cover, error) {
 		cert[u] = NoSet
 	}
 
-	// gain[s] is the last-known number of uncovered elements in set s; the
-	// true gain only ever decreases, which makes lazy re-bucketing sound.
-	gain := make([]int, m)
-	maxGain := 0
+	// ub[s] is an upper bound on set s's gain: initially |S_s|, refreshed to
+	// the exact gain whenever the scan recomputes it, and never below the
+	// true gain because coverage only grows.
+	ub := make([]int32, m)
 	for s := 0; s < m; s++ {
-		gain[s] = inst.SetSize(SetID(s))
-		if gain[s] > maxGain {
-			maxGain = gain[s]
-		}
+		ub[s] = int32(inst.SetSize(SetID(s)))
 	}
-	buckets := make([][]SetID, maxGain+1)
-	for s := 0; s < m; s++ {
-		g := gain[s]
-		buckets[g] = append(buckets[g], SetID(s))
+
+	// Fixed contiguous shards: worker w owns set ids [bounds[w], bounds[w+1]).
+	bounds := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = w * m / workers
+	}
+	type shardBest struct {
+		gain int32
+		set  SetID
+	}
+	bests := make([]shardBest, workers)
+	scan := func(w int) {
+		bg, bs := int32(0), NoSet
+		for s := bounds[w]; s < bounds[w+1]; s++ {
+			// ub[s] <= bg cannot strictly beat the running best, and ties
+			// lose to the lower id already held.
+			if ub[s] <= bg {
+				continue
+			}
+			g := int32(0)
+			for _, u := range inst.sets[s] {
+				if !covered[u] {
+					g++
+				}
+			}
+			ub[s] = g
+			if g > bg {
+				bg, bs = g, SetID(s)
+			}
+		}
+		bests[w] = shardBest{gain: bg, set: bs}
 	}
 
 	var chosen []SetID
 	remaining := n
-	for g := maxGain; g > 0 && remaining > 0; {
-		if len(buckets[g]) == 0 {
-			g--
-			continue
+	for remaining > 0 {
+		if workers == 1 {
+			scan(0)
+		} else {
+			sched.ForEach(workers, workers, func(w int) error {
+				scan(w)
+				return nil
+			})
 		}
-		s := buckets[g][len(buckets[g])-1]
-		buckets[g] = buckets[g][:len(buckets[g])-1]
-
-		// Recompute the true gain lazily.
-		true_ := 0
-		for _, u := range inst.Set(s) {
-			if !covered[u] {
-				true_++
+		// Reduce in worker-index order; shards hold ascending id ranges, so
+		// strictly-greater keeps the lowest id on ties.
+		bg, bs := int32(0), NoSet
+		for w := 0; w < workers; w++ {
+			if bests[w].gain > bg {
+				bg, bs = bests[w].gain, bests[w].set
 			}
 		}
-		if true_ < g {
-			if true_ > 0 {
-				buckets[true_] = append(buckets[true_], s)
+		if bs == NoSet {
+			for u := range covered {
+				if !covered[u] {
+					return nil, fmt.Errorf("setcover: greedy: infeasible instance, element %d uncovered", u)
+				}
 			}
-			continue
 		}
-		// true_ == g: s is a max-gain set; take it.
-		chosen = append(chosen, s)
-		for _, u := range inst.Set(s) {
+		chosen = append(chosen, bs)
+		for _, u := range inst.Set(bs) {
 			if !covered[u] {
 				covered[u] = true
-				cert[u] = s
+				cert[u] = bs
 				remaining--
 			}
 		}
-	}
-	if remaining > 0 {
-		for u := range covered {
-			if !covered[u] {
-				return nil, fmt.Errorf("setcover: greedy: infeasible instance, element %d uncovered", u)
-			}
-		}
+		ub[bs] = 0
 	}
 	return NewCover(chosen, cert), nil
 }
 
 // GreedySize is a convenience wrapper returning only |Greedy(inst)|.
 func GreedySize(inst *Instance) (int, error) {
-	c, err := Greedy(inst)
+	return GreedySizeWorkers(inst, 1)
+}
+
+// GreedySizeWorkers is GreedyWorkers returning only the cover size.
+func GreedySizeWorkers(inst *Instance, workers int) (int, error) {
+	c, err := GreedyWorkers(inst, workers)
 	if err != nil {
 		return 0, err
 	}

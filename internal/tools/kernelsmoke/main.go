@@ -1,0 +1,147 @@
+// Command kernelsmoke is the `make kernel-smoke` harness: a one-iteration
+// equivalence proof for the intra-instance compute layer (DESIGN.md §4g).
+//
+// It checks the two properties the layer must never trade for speed:
+//
+//  1. Offline solvers — the sharded greedy max-gain scan and the parallel
+//     branch-and-bound exploration return byte-identical covers at every
+//     worker count. Greedy runs on a sweep-sized planted instance, exact on
+//     a small instance, both at workers=1 (the reference schedule) and
+//     workers=8, with Sets and Certificate compared element for element.
+//  2. Batch kernels — driving kk/alg1/alg2 through the word-parallel
+//     ProcessBatch path is observably identical to the per-edge Process
+//     path: covers, certificates, edge counts and space reports match.
+//
+// Wall-clock for the solver runs is printed for the record, but never
+// asserted: on a single-core machine the parallel schedule legitimately
+// costs what the sequential one does. Exit status is non-zero on any
+// divergence.
+package main
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"time"
+
+	"streamcover/internal/adversarial"
+	"streamcover/internal/core"
+	"streamcover/internal/kk"
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+	"streamcover/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "kernel-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("kernel-smoke: PASS")
+}
+
+func run() error {
+	if err := solverEquivalence(); err != nil {
+		return err
+	}
+	return batchEquivalence()
+}
+
+// coversEqual compares the full observable output of a solver run.
+func coversEqual(a, b *setcover.Cover) bool {
+	return slices.Equal(a.Sets, b.Sets) && slices.Equal(a.Certificate, b.Certificate)
+}
+
+func solverEquivalence() error {
+	// Sweep-sized greedy: the instance shape BenchmarkScaling and the
+	// experiment ground truth run at.
+	w := workload.Planted(xrand.New(31), 900, 18000, 15, 0)
+	start := time.Now()
+	seq, err := setcover.GreedyWorkers(w.Inst, 1)
+	if err != nil {
+		return fmt.Errorf("greedy workers=1: %w", err)
+	}
+	seqT := time.Since(start)
+	start = time.Now()
+	par, err := setcover.GreedyWorkers(w.Inst, 8)
+	if err != nil {
+		return fmt.Errorf("greedy workers=8: %w", err)
+	}
+	parT := time.Since(start)
+	if !coversEqual(seq, par) {
+		return fmt.Errorf("greedy covers diverge: workers=1 %v, workers=8 %v", seq.Sets, par.Sets)
+	}
+	if err := par.Verify(w.Inst); err != nil {
+		return fmt.Errorf("greedy cover invalid: %w", err)
+	}
+	fmt.Printf("kernel-smoke: greedy n=900 m=18000 identical at workers=1 (%v) and workers=8 (%v), %d sets\n",
+		seqT.Round(time.Millisecond), parT.Round(time.Millisecond), len(par.Sets))
+
+	// Exact on a branch-and-bound-sized instance (universe ≤ 64).
+	we := workload.Planted(xrand.New(33), 22, 40, 5, 0)
+	start = time.Now()
+	seqE, err := setcover.ExactWorkers(we.Inst, 1)
+	if err != nil {
+		return fmt.Errorf("exact workers=1: %w", err)
+	}
+	seqET := time.Since(start)
+	start = time.Now()
+	parE, err := setcover.ExactWorkers(we.Inst, 8)
+	if err != nil {
+		return fmt.Errorf("exact workers=8: %w", err)
+	}
+	parET := time.Since(start)
+	if !coversEqual(seqE, parE) {
+		return fmt.Errorf("exact covers diverge: workers=1 %v, workers=8 %v", seqE.Sets, parE.Sets)
+	}
+	fmt.Printf("kernel-smoke: exact n=22 m=40 identical at workers=1 (%v) and workers=8 (%v), optimum %d\n",
+		seqET.Round(time.Millisecond), parET.Round(time.Millisecond), len(parE.Sets))
+	return nil
+}
+
+// perEdgeOnly hides ProcessBatch from the driver, forcing the run down the
+// per-edge Process path while keeping the space report visible.
+type perEdgeOnly struct {
+	stream.Algorithm
+	space.Reporter
+}
+
+func batchEquivalence() error {
+	const n, m, opt = 300, 4000, 8
+	w := workload.Planted(xrand.New(11), n, m, opt, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(23))
+	mk := func(name string) stream.Algorithm {
+		switch name {
+		case "kk":
+			return kk.New(n, m, xrand.New(42))
+		case "alg1":
+			return core.New(n, m, len(edges), core.DefaultParams(n, m), xrand.New(42))
+		default:
+			return adversarial.New(n, m, 40, xrand.New(42))
+		}
+	}
+	for _, name := range []string{"kk", "alg1", "alg2"} {
+		batchedAlg := mk(name)
+		if _, ok := batchedAlg.(stream.BatchProcessor); !ok {
+			return fmt.Errorf("%s does not implement stream.BatchProcessor", name)
+		}
+		batched := stream.RunEdges(batchedAlg, edges)
+
+		perEdgeAlg := mk(name)
+		perEdge := stream.RunEdges(perEdgeOnly{perEdgeAlg, perEdgeAlg.(space.Reporter)}, edges)
+
+		if !slices.Equal(batched.Cover.Sets, perEdge.Cover.Sets) ||
+			!slices.Equal(batched.Cover.Certificate, perEdge.Cover.Certificate) {
+			return fmt.Errorf("%s: batched cover differs from per-edge", name)
+		}
+		if batched.Edges != perEdge.Edges || batched.Space != perEdge.Space {
+			return fmt.Errorf("%s: batched run shape differs: edges %d vs %d, space %+v vs %+v",
+				name, batched.Edges, perEdge.Edges, batched.Space, perEdge.Space)
+		}
+		fmt.Printf("kernel-smoke: %s batched == per-edge over %d edges (%d sets)\n",
+			name, batched.Edges, batched.Cover.Size())
+	}
+	return nil
+}
