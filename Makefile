@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke serve-smoke sweep-smoke kernel-smoke fuzz-smoke fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke serve-smoke stat-smoke sweep-smoke kernel-smoke fuzz-smoke fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,7 @@ check:
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run '^$$' -bench EndToEnd -benchtime 1x .
 	$(MAKE) kernel-smoke
+	$(MAKE) stat-smoke
 
 # Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
 paper-check:
@@ -69,6 +70,15 @@ resume-smoke:
 serve-smoke:
 	$(GO) run ./internal/tools/servesmoke
 
+# Live-monitoring smoke (DESIGN.md §4h): real scserve/scfeed/scstat
+# processes over TCP — trace-ID survival across a mid-stream kill and
+# resume (printed by scfeed, asserted byte-equal), /sessions rows and the
+# wide-event log via scstat -json, and the /readyz flip during SIGTERM
+# drain — in the default build and with the telemetry compiled out
+# (obsoff), where trace identity and readiness must still hold.
+stat-smoke:
+	$(GO) run ./internal/tools/statsmoke
+
 # Scheduler determinism smoke: a small sweep grid run with -workers=1 and
 # -workers=4 must produce byte-identical tables and CSV (DESIGN.md §4e).
 sweep-smoke:
@@ -94,6 +104,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/orlib/
 	$(GO) test -fuzz FuzzRestore -fuzztime 10s ./internal/snap/
 	$(GO) test -fuzz FuzzReadCheckpoint -fuzztime 10s ./internal/snap/
+	$(GO) test -fuzz FuzzWireFrame -fuzztime 10s ./internal/serve/
 
 fmt:
 	gofmt -w .

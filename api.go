@@ -11,6 +11,7 @@ import (
 	"streamcover/internal/kk"
 	"streamcover/internal/lowerbound"
 	"streamcover/internal/multipass"
+	"streamcover/internal/obs"
 	"streamcover/internal/orlib"
 	"streamcover/internal/serve"
 	"streamcover/internal/setarrival"
@@ -458,6 +459,19 @@ func RegisterServeAlgorithm(name string, f ServeFactory) { serve.Register(name, 
 
 // ServeAlgorithms lists the registered serveable algorithm names.
 func ServeAlgorithms() []string { return serve.Algorithms() }
+
+// TraceID is a session's 128-bit end-to-end identity: minted at open,
+// carried in SCWIRE1 v2 hello/resume/ack frames, stamped into SCCKPT1
+// checkpoint envelopes, and surfaced by /sessions and the wide-event log —
+// one ID follows a session across disconnect, checkpoint and resume.
+type TraceID = obs.TraceID
+
+// NewTraceID mints a random trace ID (never zero).
+func NewTraceID() TraceID { return obs.NewTraceID() }
+
+// ParseTraceID parses the canonical 32-hex-digit form produced by
+// TraceID.String.
+func ParseTraceID(s string) (TraceID, error) { return obs.ParseTraceID(s) }
 
 // Typed serve-layer failures, surfaced by ServeClient methods.
 var (

@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/serve"
 	"streamcover/internal/stream"
 )
@@ -41,10 +42,19 @@ func run() int {
 		detach    = flag.Bool("detach", false, "detach with a checkpoint after feeding instead of finishing")
 		killAfter = flag.Int("kill-after", 0, "drop the connection after sending N edges, without detaching (0 = off)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-operation network deadline")
+		traceHex  = flag.String("trace", "", "session trace ID as 32 hex digits (empty mints one for new sessions; resumed sessions keep the checkpoint's)")
 	)
 	flag.Parse()
 
-	if err := feed(*addr, *in, serveConfig(*algo, *alpha, *seed, *copies), *batch, *token, *resume, *detach, *killAfter, *timeout); err != nil {
+	var trace obs.TraceID
+	if *traceHex != "" {
+		var err error
+		if trace, err = obs.ParseTraceID(*traceHex); err != nil {
+			fmt.Fprintf(os.Stderr, "scfeed: -trace: %v\n", err)
+			return 1
+		}
+	}
+	if err := feed(*addr, *in, serveConfig(*algo, *alpha, *seed, *copies), *batch, *token, trace, *resume, *detach, *killAfter, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "scfeed: %v\n", err)
 		return 1
 	}
@@ -57,7 +67,7 @@ func serveConfig(algo string, alpha float64, seed uint64, copies int) serve.Conf
 	return serve.Config{Algo: algo, Alpha: alpha, Seed: seed, Copies: copies}
 }
 
-func feed(addr, in string, cfg serve.Config, batch int, token string, resume, detach bool, killAfter int, timeout time.Duration) error {
+func feed(addr, in string, cfg serve.Config, batch int, token string, trace obs.TraceID, resume, detach bool, killAfter int, timeout time.Duration) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -80,17 +90,26 @@ func feed(addr, in string, cfg serve.Config, batch int, token string, resume, de
 		if token == "" {
 			return fmt.Errorf("-resume needs -token")
 		}
+		// A resume proposes whatever -trace gave (usually nothing): the
+		// trace stamped into the server's checkpoint wins, and the ack
+		// tells us which identity the session has carried all along.
+		c.Trace = trace
 		pos, err := c.Resume(token, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scfeed: resumed session %s at edge %d of %d\n", token, pos, len(edges))
+		fmt.Printf("scfeed: resumed session %s at edge %d of %d trace=%s\n", token, pos, len(edges), c.Trace)
 	} else {
+		if trace.IsZero() {
+			trace = obs.NewTraceID()
+		}
+		c.Trace = trace
 		tok, err := c.Hello(token, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scfeed: opened session %s (%s n=%d m=%d stream=%d)\n", tok, cfg.Algo, cfg.N, cfg.M, cfg.StreamLen)
+		fmt.Printf("scfeed: opened session %s (%s n=%d m=%d stream=%d) trace=%s\n",
+			tok, cfg.Algo, cfg.N, cfg.M, cfg.StreamLen, c.Trace)
 	}
 
 	fd := serve.Feeder{Edges: edges, Batch: batch}
@@ -98,7 +117,8 @@ func feed(addr, in string, cfg serve.Config, batch int, token string, resume, de
 		if err := fd.RunUntil(c, killAfter); err != nil {
 			return err
 		}
-		fmt.Printf("scfeed: session %s: dropped connection after sending %d edges (no detach)\n", c.Token(), c.Pos())
+		fmt.Printf("scfeed: session %s: dropped connection after sending %d edges (no detach) trace=%s\n",
+			c.Token(), c.Pos(), c.Trace)
 		return nil
 	}
 	if detach {
@@ -109,15 +129,15 @@ func feed(addr, in string, cfg serve.Config, batch int, token string, resume, de
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scfeed: session %s: detached at edge %d (checkpoint persisted)\n", c.Token(), pos)
+		fmt.Printf("scfeed: session %s: detached at edge %d (checkpoint persisted) trace=%s\n", c.Token(), pos, c.Trace)
 		return nil
 	}
 	res, err := fd.Run(c)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scfeed: session %s: edges=%d cover=%d certificate=%d space={state=%d aux=%d} fingerprint=%#016x\n",
+	fmt.Printf("scfeed: session %s: edges=%d cover=%d certificate=%d space={state=%d aux=%d} fingerprint=%#016x trace=%s\n",
 		c.Token(), res.Edges, len(res.Cover.Sets), len(res.Cover.Certificate),
-		res.Space.State, res.Space.Aux, res.Fingerprint())
+		res.Space.State, res.Space.Aux, res.Fingerprint(), c.Trace)
 	return nil
 }

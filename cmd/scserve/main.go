@@ -38,8 +38,11 @@ func run() int {
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "detach a session after this long without a frame (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to checkpoint")
+		events       = flag.String("events", "", "write session lifecycle wide events (one JSON line each) to this file (\"-\" = stderr)")
 	)
 	obsOpt := cli.RegisterObsFlags(flag.CommandLine)
+	flag.DurationVar(&obsOpt.Hold, "obs-hold", 0,
+		"keep the observability server up this long after drain, so probes can observe the not-ready state")
 	flag.Parse()
 
 	session, err := cli.StartObs(*obsOpt)
@@ -53,13 +56,28 @@ func run() int {
 		}
 	}()
 
+	so := obs.ServeObsFor()
+	if *events != "" {
+		if *events == "-" {
+			so.SetEventWriter(os.Stderr)
+		} else {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scserve: events log: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			so.SetEventWriter(f)
+		}
+	}
+
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	srv, err := serve.NewServer(serve.ServerConfig{
 		Addr:         *listen,
 		Dir:          *dir,
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
-		Obs:          obs.ServeObsFor(),
+		Obs:          so,
 		Log:          logger,
 	})
 	if err != nil {
@@ -81,6 +99,7 @@ func run() int {
 	select {
 	case sig := <-sigs:
 		logger.Printf("scserve: %v: draining (checkpointing attached sessions)", sig)
+		session.Hub().SetReady(false) // /readyz answers 503 for the rest of the drain
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
 )
@@ -97,5 +98,64 @@ func TestGoldenResumeMatchesSeedImplementation(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// goldenTracedResumeCase mirrors goldenResumeCase but routes the snapshot
+// through a full trace-stamped SCCKPT1 envelope — the exact bytes a detach
+// writes to disk — instead of a bare Snapshot/Restore pair, and proves the
+// trace comes back intact alongside the position.
+func goldenTracedResumeCase(t *testing.T, alg string, order Order, cut int, trace TraceID) Result {
+	t.Helper()
+	const n, m, opt = 300, 4000, 8
+	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
+	edges := Arrange(w.Inst, order, NewRand(23))
+
+	first := goldenAlg(alg, n, m, len(edges), 42)
+	first.(stream.BatchProcessor).ProcessBatch(edges[:cut])
+	var buf bytes.Buffer
+	if err := stream.WriteCheckpointTraced(&buf, cut, trace, first); err != nil {
+		t.Fatalf("traced checkpoint at %d: %v", cut, err)
+	}
+
+	resumed := goldenAlg(alg, n, m, len(edges), 987654321)
+	pos, gotTrace, err := stream.ReadCheckpointTraced(&buf, resumed)
+	if err != nil {
+		t.Fatalf("traced restore at %d: %v", cut, err)
+	}
+	if pos != cut {
+		t.Fatalf("envelope position %d, wrote %d", pos, cut)
+	}
+	if gotTrace != trace {
+		t.Fatalf("envelope trace %s, stamped %s", gotTrace, trace)
+	}
+	resumed.(stream.BatchProcessor).ProcessBatch(edges[cut:])
+
+	res := Result{Cover: resumed.Finish(), Edges: len(edges)}
+	res.Space = resumed.(space.Reporter).Space()
+	return res
+}
+
+// TestGoldenResumeThroughTracedCheckpoint asserts that stamping a trace ID
+// into the checkpoint envelope perturbs nothing: the golden fingerprints
+// still come out byte-identical, and the trace round-trips.
+func TestGoldenResumeThroughTracedCheckpoint(t *testing.T) {
+	trace := obs.TraceID{0xa1, 0xb2, 0xc3, 0xd4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	for _, alg := range []string{"kk", "alg1", "alg2"} {
+		order := RandomOrder
+		key := fmt.Sprintf("%s/%s", alg, order)
+		want, ok := goldenExpected[key]
+		if !ok {
+			t.Fatalf("no golden recorded for %s", key)
+		}
+		edges := Arrange(PlantedWorkload(NewRand(11), 300, 4000, 8, 0).Inst, order, NewRand(23))
+		t.Run(key, func(t *testing.T) {
+			cut := len(edges) / 2
+			got := goldenFingerprint(goldenTracedResumeCase(t, alg, order, cut, trace))
+			if got != want {
+				t.Fatalf("traced-resume fingerprint %#x at cut %d, want golden %#x — the trace section changed observable output",
+					got, cut, want)
+			}
+		})
 	}
 }

@@ -110,7 +110,9 @@ func TestGoldenOutputsThroughServer(t *testing.T) {
 
 // TestGoldenOutputsThroughServerResume kills the connection mid-stream
 // with no warning and resumes; the final output must still match the
-// golden fingerprints of an uninterrupted local run.
+// golden fingerprints of an uninterrupted local run, and the session's
+// trace ID — minted at the original hello, recovered from the checkpoint —
+// must survive the kill unchanged.
 func TestGoldenOutputsThroughServerResume(t *testing.T) {
 	h := newGoldenServeHarness(t)
 	for _, alg := range []string{"kk", "alg1", "alg2"} {
@@ -123,8 +125,13 @@ func TestGoldenOutputsThroughServerResume(t *testing.T) {
 			kill := len(edges) * 3 / 5
 
 			c := h.dial(t)
+			c.Trace = NewTraceID()
+			minted := c.Trace
 			if _, err := c.Hello(token, cfg); err != nil {
 				t.Fatal(err)
+			}
+			if c.Trace != minted {
+				t.Fatalf("hello ack rewrote the client-minted trace: %s -> %s", minted, c.Trace)
 			}
 			fd := ServeFeeder{Edges: edges, Batch: 1024}
 			if err := fd.RunUntil(c, kill); err != nil {
@@ -134,12 +141,16 @@ func TestGoldenOutputsThroughServerResume(t *testing.T) {
 			h.waitDetached(t)
 
 			c2 := h.dial(t)
+			c2.Trace = NewTraceID() // a fresh proposal must lose to the checkpoint's stamp
 			pos, err := c2.Resume(token, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if pos <= 0 || pos > kill {
 				t.Fatalf("resume position %d outside (0, %d]", pos, kill)
+			}
+			if c2.Trace != minted {
+				t.Fatalf("trace did not survive kill-and-resume: opened as %s, resumed as %s", minted, c2.Trace)
 			}
 			res, err := fd.Run(c2)
 			if err != nil {

@@ -7,18 +7,29 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
-// publishExpvar registers the "streamcover" expvar exactly once per process.
-// The published Func reads the global hub at call time, so /debug/vars always
-// reflects whichever hub is currently installed.
-var publishExpvar sync.Once
+// publishExpvar registers the "streamcover" expvar exactly once per process
+// (the expvar package forbids re-publishing a name). The published Func
+// reads expvarHub — the hub that most recently built a Handler — at call
+// time, falling back to the global hub, so /debug/vars reflects the hub
+// actually serving the surface rather than unconditionally reading
+// Global(). Last Handler wins when several hubs build handlers in one
+// process; tests that build private hubs see their own snapshot.
+var (
+	publishExpvar sync.Once
+	expvarHub     atomic.Pointer[Hub]
+)
 
 // Handler returns the hub's HTTP surface:
 //
 //	/            index listing the endpoints
 //	/metrics     Prometheus text exposition of every registered series
 //	/snapshot    the full Snapshot as JSON
+//	/sessions    live per-session telemetry table (JSON)
+//	/healthz     process liveness (always 200 while serving)
+//	/readyz      readiness: 200, or 503 after SetReady(false) (drain)
 //	/debug/vars  expvar JSON (includes the "streamcover" snapshot var)
 //	/debug/pprof net/http/pprof profiles
 //
@@ -26,9 +37,14 @@ var publishExpvar sync.Once
 // library user can place them under any server without inheriting globally
 // registered debug handlers.
 func (h *Hub) Handler() http.Handler {
+	expvarHub.Store(h)
 	publishExpvar.Do(func() {
 		expvar.Publish("streamcover", expvar.Func(func() any {
-			return Global().Snapshot()
+			hub := expvarHub.Load()
+			if hub == nil {
+				hub = Global()
+			}
+			return hub.Snapshot()
 		}))
 	})
 
@@ -42,6 +58,9 @@ func (h *Hub) Handler() http.Handler {
 		fmt.Fprint(w, "streamcover observability\n\n"+
 			"  /metrics      Prometheus text exposition\n"+
 			"  /snapshot     full snapshot (JSON)\n"+
+			"  /sessions     live per-session telemetry (JSON)\n"+
+			"  /healthz      liveness probe\n"+
+			"  /readyz       readiness probe (503 while draining)\n"+
 			"  /debug/vars   expvar JSON\n"+
 			"  /debug/pprof  live profiling\n")
 	})
@@ -54,6 +73,25 @@ func (h *Hub) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(h.Snapshot())
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.Sessions().Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !h.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

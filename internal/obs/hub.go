@@ -19,11 +19,19 @@ type Hub struct {
 	ring  *Ring
 	start time.Time
 
+	// notReady is the inverted readiness flag served by /readyz, so the
+	// zero value means "ready" and every existing NewHub caller starts
+	// ready. SetReady(false) flips it during drain — the probe the shard
+	// router watches. Readiness is operational state, not telemetry: it is
+	// NOT gated by obsoff.
+	notReady atomic.Bool
+
 	mu       sync.Mutex
 	sinks    [numAlgos]*Sink
 	runObs   [numAlgos]*RunObs
 	prefetch *PrefetchObs
 	serve    *ServeObs
+	sessions *SessionTable
 }
 
 // NewHub returns a hub with a decision ring of the given capacity
@@ -37,6 +45,36 @@ func NewHub(ringCap int) *Hub {
 		ring:  NewRing(ringCap),
 		start: time.Now(),
 	}
+}
+
+// SetReady flips the hub's readiness, served by /readyz. Nil-safe.
+func (h *Hub) SetReady(ready bool) {
+	if h == nil {
+		return
+	}
+	h.notReady.Store(!ready)
+}
+
+// Ready reports the hub's readiness (a nil hub is not ready).
+func (h *Hub) Ready() bool {
+	if h == nil {
+		return false
+	}
+	return !h.notReady.Load()
+}
+
+// Sessions returns the hub's per-session telemetry table, creating it at
+// DefaultSessionCap on first use.
+func (h *Hub) Sessions() *SessionTable {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sessions == nil {
+		h.sessions = NewSessionTable(DefaultSessionCap)
+	}
+	return h.sessions
 }
 
 // Registry exposes the hub's metric registry for callers that register
@@ -113,10 +151,11 @@ func (h *Hub) Serve() *ServeObs {
 	if h == nil {
 		return nil
 	}
+	sessions := h.Sessions()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.serve == nil {
-		h.serve = NewServeObs(h.reg)
+		h.serve = NewServeObs(h.reg, sessions)
 	}
 	return h.serve
 }

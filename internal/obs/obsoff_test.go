@@ -33,4 +33,37 @@ func TestCompiledOut(t *testing.T) {
 	if got := ro.EdgesProcessed(); got != 0 {
 		t.Fatalf("RunObs counted %d edges despite obsoff", got)
 	}
+
+	// The session telemetry surface is compiled out too: no slot is ever
+	// bound, updates land nowhere, wide events are swallowed.
+	so := hub.Serve()
+	if slot := so.AcquireSession("t", "kk", NewTraceID(), false, 0); slot != nil {
+		t.Fatal("AcquireSession bound a slot despite obsoff")
+	}
+	so.HelloLatency(10)
+	so.Event(SessionEvent{Event: EventSessionOpen, Token: "t"})
+	if got := hub.Sessions().Snapshot(); len(got.Sessions) != 0 || got.SessionsTotal != 0 {
+		t.Fatalf("session table recorded %+v despite obsoff", got)
+	}
+
+	// Trace IDs are identity, not telemetry: minting and parsing must keep
+	// working with the layer compiled out (the wire and checkpoint formats
+	// cannot depend on the build configuration).
+	tr := NewTraceID()
+	if tr.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID under obsoff")
+	}
+	if back, err := ParseTraceID(tr.String()); err != nil || back != tr {
+		t.Fatalf("trace round trip broke under obsoff: %v %v", back, err)
+	}
+
+	// Readiness is operational state, not telemetry: /readyz semantics hold
+	// under obsoff too.
+	if !hub.Ready() {
+		t.Fatal("fresh hub not ready")
+	}
+	hub.SetReady(false)
+	if hub.Ready() {
+		t.Fatal("SetReady(false) ignored under obsoff")
+	}
 }

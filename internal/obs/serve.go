@@ -1,5 +1,10 @@
 package obs
 
+import (
+	"io"
+	"sync/atomic"
+)
+
 // ServeObs instruments the network serving layer (internal/serve): session
 // lifecycle counts, ingested traffic, ring backpressure stalls, and the
 // checkpoint/resume cycle behind disconnect tolerance. Like Sink/RunObs it
@@ -20,14 +25,26 @@ type ServeObs struct {
 	checkpoints     *Counter
 	checkpointBytes *Histogram
 	batchEdges      *Histogram
+
+	// Frame-level latency for the three request/reply pairs of SCWIRE1.
+	helloNs  *Histogram
+	ackNs    *Histogram
+	resultNs *Histogram
+
+	// sessions is the hub's per-session telemetry table; events is the
+	// wide-event lifecycle log (off until SetEventWriter installs one).
+	sessions *SessionTable
+	events   atomic.Pointer[WideEventLog]
 }
 
-// NewServeObs registers the serving series on reg.
-func NewServeObs(reg *Registry) *ServeObs {
+// NewServeObs registers the serving series on reg. sessions may be nil
+// (per-session telemetry off; the aggregate series still work).
+func NewServeObs(reg *Registry, sessions *SessionTable) *ServeObs {
 	if reg == nil {
 		return nil
 	}
 	return &ServeObs{
+		sessions: sessions,
 		sessionsActive: reg.Gauge("streamcover_serve_sessions_active",
 			"Sessions currently attached to a connection."),
 		sessionsTotal: reg.Counter("streamcover_serve_sessions_total",
@@ -46,7 +63,73 @@ func NewServeObs(reg *Registry) *ServeObs {
 			"Size of each persisted detach checkpoint, in bytes."),
 		batchEdges: reg.Histogram("streamcover_serve_batch_edges",
 			"Edges per ingested wire batch."),
+		helloNs: reg.Histogram("streamcover_serve_hello_ns",
+			"hello|resume -> helloAck latency, nanoseconds (session open/rebuild cost)."),
+		ackNs: reg.Histogram("streamcover_serve_ack_ns",
+			"flush|detach -> posAck latency, nanoseconds (queue-drain cost when edges are acked)."),
+		resultNs: reg.Histogram("streamcover_serve_result_ns",
+			"finish -> result latency, nanoseconds (drain + Finish + result framing)."),
 	}
+}
+
+// Sessions exposes the per-session telemetry table (nil when disabled).
+func (s *ServeObs) Sessions() *SessionTable {
+	if s == nil {
+		return nil
+	}
+	return s.sessions
+}
+
+// SetEventWriter installs w as the wide-event destination (nil turns the
+// log off). Safe to call at any time; emission picks the writer up
+// atomically.
+func (s *ServeObs) SetEventWriter(w io.Writer) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.events.Store(NewWideEventLog(w))
+}
+
+// Event emits one session lifecycle wide event (no-op until SetEventWriter
+// installs a destination).
+func (s *ServeObs) Event(ev SessionEvent) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.events.Load().Emit(ev)
+}
+
+// AcquireSession binds a session-table slot (nil-safe at every layer; the
+// returned handle is nil when per-session telemetry is off).
+func (s *ServeObs) AcquireSession(token, algo string, trace TraceID, resumed bool, startEdges int64) *SessionSlot {
+	if !Enabled || s == nil {
+		return nil
+	}
+	return s.sessions.Acquire(token, algo, trace, resumed, startEdges)
+}
+
+// HelloLatency records one hello|resume -> helloAck round trip.
+func (s *ServeObs) HelloLatency(ns int64) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.helloNs.Observe(ns)
+}
+
+// AckLatency records one flush|detach -> posAck round trip.
+func (s *ServeObs) AckLatency(ns int64) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.ackNs.Observe(ns)
+}
+
+// ResultLatency records one finish -> result round trip.
+func (s *ServeObs) ResultLatency(ns int64) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.resultNs.Observe(ns)
 }
 
 // SessionOpened records a new session (resumed reports whether it was

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 128-bit session identity. It is minted once by the client
+// that opens a session (scfeed), propagated in SCWIRE1 hello/resume frames,
+// stamped into SCCKPT1 checkpoint envelopes, and echoed in every telemetry
+// surface — so one session keeps one identity across disconnects, resumes,
+// and (eventually) cross-shard adoption.
+//
+// TraceID is identity, not telemetry: it is NOT gated by the obsoff build
+// tag. A server compiled with observability off still propagates and
+// persists trace IDs, because the wire and checkpoint formats cannot depend
+// on the build configuration of either endpoint.
+type TraceID [16]byte
+
+// TraceIDLen is the wire length of a trace ID in SCWIRE1 and SCCKPT1.
+const TraceIDLen = 16
+
+// mintFallback de-duplicates time-derived trace IDs when the system's
+// entropy source is unavailable (it never is in practice).
+var mintFallback atomic.Uint64
+
+// NewTraceID mints a random 128-bit trace ID. It never returns the zero
+// ID, which protocol layers reserve for "no trace assigned yet".
+func NewTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		// Entropy failure: fall back to wall clock + process counter. Still
+		// unique within the process, still non-zero.
+		binary.LittleEndian.PutUint64(t[:8], uint64(time.Now().UnixNano()))
+		binary.LittleEndian.PutUint64(t[8:], mintFallback.Add(1))
+	}
+	if t.IsZero() {
+		t[0] = 1
+	}
+	return t
+}
+
+// IsZero reports whether t is the reserved all-zero "no trace" ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders t as 32 lowercase hex digits (the zero ID renders as an
+// empty string so log lines and tables stay clean).
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// ParseTraceID decodes the 32-hex-digit form produced by String. An empty
+// string parses to the zero ID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if s == "" {
+		return t, nil
+	}
+	if len(s) != 2*TraceIDLen {
+		return t, fmt.Errorf("obs: trace ID %q: want %d hex digits, have %d", s, 2*TraceIDLen, len(s))
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return t, fmt.Errorf("obs: trace ID %q: %v", s, err)
+	}
+	return t, nil
+}

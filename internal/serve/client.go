@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/stream"
 )
 
@@ -18,6 +19,13 @@ type Client struct {
 	f    *frameIO
 	// Timeout bounds each blocking read or write; zero means no limit.
 	Timeout time.Duration
+	// Trace proposes a session trace ID at Hello (zero asks the server to
+	// mint one). After Hello/Resume it holds the session's authoritative
+	// identity: the server echoes the adopted trace in its ack — on resume,
+	// the one stamped into the checkpoint at the original open — and the
+	// field is updated in place. Old servers ack without a trace; the field
+	// then keeps whatever the caller set.
+	Trace obs.TraceID
 
 	token string
 	sent  int // edges sent since (re)attach, offset by the resume position
@@ -80,18 +88,21 @@ func (c *Client) expect(want byte) ([]byte, error) {
 // assign one; the assigned token is returned (and kept for Resume).
 func (c *Client) Hello(token string, cfg Config) (string, error) {
 	c.deadlines()
-	if err := c.f.writeHello(frameHello, token, cfg); err != nil {
+	if err := c.f.writeHello(frameHello, protoV2, token, c.Trace, cfg); err != nil {
 		return "", err
 	}
 	body, err := c.expect(frameHelloAck)
 	if err != nil {
 		return "", err
 	}
-	tok, pos, err := parseHelloAck(body)
+	tok, pos, trace, err := parseHelloAck(body)
 	if err != nil {
 		return "", err
 	}
 	c.token, c.sent = tok, pos
+	if !trace.IsZero() {
+		c.Trace = trace
+	}
 	return tok, nil
 }
 
@@ -101,18 +112,21 @@ func (c *Client) Hello(token string, cfg Config) (string, error) {
 // state).
 func (c *Client) Resume(token string, cfg Config) (int, error) {
 	c.deadlines()
-	if err := c.f.writeHello(frameResume, token, cfg); err != nil {
+	if err := c.f.writeHello(frameResume, protoV2, token, c.Trace, cfg); err != nil {
 		return 0, err
 	}
 	body, err := c.expect(frameHelloAck)
 	if err != nil {
 		return 0, err
 	}
-	tok, pos, err := parseHelloAck(body)
+	tok, pos, trace, err := parseHelloAck(body)
 	if err != nil {
 		return 0, err
 	}
 	c.token, c.sent = tok, pos
+	if !trace.IsZero() {
+		c.Trace = trace
+	}
 	return pos, nil
 }
 

@@ -1,0 +1,150 @@
+package serve
+
+// FuzzWireFrame feeds arbitrary bytes through the SCWIRE1 frame reader and
+// every body parser. The contract is the one connection handling depends
+// on: malformed traffic surfaces a typed error (ErrWire, or the ErrRemote
+// family for error frames) — never a panic, never an untyped failure — and
+// anything a parser accepts survives a re-encode/re-parse round trip with
+// the same meaning. Seeds cover both handshake versions, so the fuzzer
+// starts from the v2 trace-carrying frames as well as the classic v1 forms.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"streamcover/internal/obs"
+	"streamcover/internal/stream"
+)
+
+// fuzzFrame encodes one frame to raw bytes via the production writer.
+func fuzzFrame(f *testing.F, write func(fio *frameIO) error) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	fio := newFrameIO(&buf)
+	if err := write(fio); err != nil {
+		f.Fatalf("seed frame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// wireTyped reports whether err is one a wire consumer is allowed to see
+// for bad bytes: the ErrWire family, the remote-error family, or a plain
+// short read from the framing layer.
+func wireTyped(err error) bool {
+	return errors.Is(err, ErrWire) || errors.Is(err, ErrRemote) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func FuzzWireFrame(f *testing.F) {
+	cfg := Config{Algo: "kk", N: 30, M: 40, StreamLen: 120, Seed: 7, Copies: 2, Alpha: 1.5}
+	trace := obs.TraceID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+	seeds := [][]byte{
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writeHello(frameHello, protoV1, "old", trace, cfg) }),
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writeHello(frameHello, protoV2, "new", trace, cfg) }),
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writeHello(frameResume, protoV2, "res", trace, cfg) }),
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writeHelloAck("tok", 99, obs.TraceID{}) }),
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writeHelloAck("tok", 99, trace) }),
+		fuzzFrame(f, func(fio *frameIO) error {
+			return fio.writeEdges([]stream.Edge{{Set: 39, Elem: 29}, {Set: 0, Elem: 0}})
+		}),
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writePosAck(4096) }),
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writeFlush() }),
+		fuzzFrame(f, func(fio *frameIO) error { return fio.writeError(codeMismatch, "boom") }),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		mutated := append([]byte(nil), s...)
+		mutated[len(mutated)/2] ^= 0x10
+		f.Add(mutated)
+		f.Add(s[:len(s)-3]) // truncated trailer
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, frameHello, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fio := newFrameIO(bytes.NewBuffer(data))
+		payload, err := fio.readFrame()
+		if err != nil {
+			if !wireTyped(err) {
+				t.Fatalf("untyped framing error: %v", err)
+			}
+			return
+		}
+		switch payload[0] {
+		case frameHello, frameResume:
+			token, tr, ver, got, err := parseHello(payload[1:])
+			if err != nil {
+				if !wireTyped(err) {
+					t.Fatalf("untyped hello error: %v", err)
+				}
+				return
+			}
+			var buf bytes.Buffer
+			re := newFrameIO(&buf)
+			if err := re.writeHello(payload[0], ver, token, tr, got); err != nil {
+				t.Fatalf("re-encode of accepted hello failed: %v", err)
+			}
+			rp, err := re.readFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			token2, tr2, ver2, got2, err := parseHello(rp[1:])
+			if err != nil || token2 != token || tr2 != tr || ver2 != ver || got2 != got {
+				t.Fatalf("hello round trip drifted: %q/%v/%d/%+v -> %q/%v/%d/%+v (%v)",
+					token, tr, ver, got, token2, tr2, ver2, got2, err)
+			}
+		case frameHelloAck:
+			token, pos, tr, err := parseHelloAck(payload[1:])
+			if err != nil {
+				if !wireTyped(err) {
+					t.Fatalf("untyped helloAck error: %v", err)
+				}
+				return
+			}
+			if pos < 0 {
+				t.Fatalf("accepted negative ack position %d", pos)
+			}
+			var buf bytes.Buffer
+			re := newFrameIO(&buf)
+			if err := re.writeHelloAck(token, pos, tr); err != nil {
+				t.Fatal(err)
+			}
+			rp, err := re.readFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			token2, pos2, tr2, err := parseHelloAck(rp[1:])
+			if err != nil || token2 != token || pos2 != pos || tr2 != tr {
+				t.Fatalf("helloAck round trip drifted: %q/%d/%v -> %q/%d/%v (%v)",
+					token, pos, tr, token2, pos2, tr2, err)
+			}
+		case frameEdges:
+			dst := make([]stream.Edge, MaxBatch)
+			if _, err := parseEdgesInto(payload[1:], dst, 30, 40); err != nil && !wireTyped(err) {
+				t.Fatalf("untyped edges error: %v", err)
+			}
+		case framePosAck:
+			if _, err := parsePosAck(payload[1:]); err != nil && !wireTyped(err) {
+				t.Fatalf("untyped posAck error: %v", err)
+			}
+		case frameResult:
+			if _, err := parseResult(payload[1:]); err != nil && !wireTyped(err) {
+				t.Fatalf("untyped result error: %v", err)
+			}
+		case frameError:
+			// parseError always returns an error — the remote family for
+			// well-formed frames, ErrWire for mangled ones.
+			if err := parseError(payload[1:]); !wireTyped(err) {
+				t.Fatalf("untyped error-frame result: %v", err)
+			}
+		case frameFlush, frameFinish, frameDetach:
+			c := cursor{b: payload[1:]}
+			if err := c.done(); err != nil && !wireTyped(err) {
+				t.Fatalf("untyped control-frame error: %v", err)
+			}
+		}
+	})
+}

@@ -71,8 +71,10 @@ func validToken(t string) bool {
 
 // Open starts a fresh session for cfg. An empty token asks the manager to
 // assign one; a client-chosen token must be filename-safe and not
-// currently attached.
-func (m *Manager) Open(token string, cfg Config) (*session, error) {
+// currently attached. A zero trace asks the manager to mint the session's
+// identity (v1 clients never send one); a non-zero trace — minted by the
+// client — is adopted as-is.
+func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -91,9 +93,16 @@ func (m *Manager) Open(token string, cfg Config) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := newSession(token, cfg, alg, 0, m.so)
+	if trace.IsZero() {
+		trace = obs.NewTraceID()
+	}
+	tslot := m.so.AcquireSession(token, cfg.Algo, trace, false, 0)
+	s := newSession(token, trace, cfg, alg, 0, m.so, tslot)
 	m.active[token] = s
 	m.so.SessionOpened(false)
+	m.so.Event(obs.SessionEvent{
+		Event: obs.EventSessionOpen, Token: token, Trace: trace.String(), Algo: cfg.Algo,
+	})
 	return s, nil
 }
 
@@ -103,7 +112,12 @@ func (m *Manager) Open(token string, cfg Config) (*session, error) {
 // a different algorithm or instance shape surfaces the snap layer's typed
 // mismatch error (snap.ErrMismatch), which the server maps to a
 // codeMismatch error frame.
-func (m *Manager) Resume(token string, cfg Config) (*session, int, error) {
+// The session's identity comes from the checkpoint when it carries one:
+// the trace stamped at the original open wins over whatever the resuming
+// client proposes, so one identity follows the session across every
+// disconnect. Pre-trace checkpoints fall back to the client's trace, then
+// to a fresh mint.
+func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*session, int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -119,37 +133,58 @@ func (m *Manager) Resume(token string, cfg Config) (*session, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	pos, err := stream.ReadCheckpointFile(m.ckptPath(token), alg)
+	pos, ckptTrace, err := stream.ReadCheckpointFileTraced(m.ckptPath(token), alg)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, 0, fmt.Errorf("%w: %q has no checkpoint", ErrUnknownSession, token)
 		}
 		return nil, 0, fmt.Errorf("serve: resume %q: %w", token, err)
 	}
-	s := newSession(token, cfg, alg, pos, m.so)
+	if !ckptTrace.IsZero() {
+		trace = ckptTrace
+	} else if trace.IsZero() {
+		trace = obs.NewTraceID()
+	}
+	tslot := m.so.AcquireSession(token, cfg.Algo, trace, true, int64(pos))
+	s := newSession(token, trace, cfg, alg, pos, m.so, tslot)
 	m.active[token] = s
 	m.so.SessionOpened(true)
+	m.so.Event(obs.SessionEvent{
+		Event: obs.EventSessionResume, Token: token, Trace: trace.String(), Algo: cfg.Algo,
+		Edges: int64(pos),
+	})
 	return s, pos, nil
 }
 
-// Detach drains s, persists its checkpoint and releases the token. It
-// serves both the graceful detach frame and abrupt disconnects — the two
-// paths must behave identically for disconnect tolerance to hold.
-func (m *Manager) Detach(s *session) (int, error) {
+// Detach drains s, persists its checkpoint — stamped with the session's
+// trace ID — and releases the token. It serves both the graceful detach
+// frame and abrupt disconnects, with cause recording which ("detach-frame",
+// "disconnect", an error string); the two paths must behave identically for
+// disconnect tolerance to hold.
+func (m *Manager) Detach(s *session, cause string) (int, error) {
 	pos, err := s.stop()
 	if err != nil {
-		m.release(s.token)
+		m.fail(s, cause, err)
 		return 0, err
 	}
 	path := m.ckptPath(s.token)
-	if err := stream.WriteCheckpointFile(path, pos, s.alg); err != nil {
-		m.release(s.token)
-		return pos, fmt.Errorf("serve: checkpoint %q: %w", s.token, err)
+	if err := stream.WriteCheckpointFileTraced(path, pos, s.trace, s.alg); err != nil {
+		err = fmt.Errorf("serve: checkpoint %q: %w", s.token, err)
+		m.fail(s, cause, err)
+		return pos, err
 	}
+	var ckptBytes int64
 	if fi, err := os.Stat(path); err == nil {
-		m.so.Checkpoint(int(fi.Size()))
+		ckptBytes = fi.Size()
+		m.so.Checkpoint(int(ckptBytes))
 	}
+	s.tslot.Checkpoint(ckptBytes)
+	s.tslot.SetState(obs.StateDetached)
 	m.release(s.token)
+	m.so.Event(obs.SessionEvent{
+		Event: obs.EventSessionDetach, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
+		Edges: int64(pos), IngestStalls: s.tslot.Stalls(), CheckpointBytes: ckptBytes, Cause: cause,
+	})
 	return pos, nil
 }
 
@@ -157,11 +192,28 @@ func (m *Manager) Detach(s *session) (int, error) {
 // good, removing any detach checkpoint left by an earlier disconnect.
 func (m *Manager) Finish(s *session) (Result, error) {
 	res, err := s.finish()
-	m.release(s.token)
-	if err == nil {
-		os.Remove(m.ckptPath(s.token)) // best-effort: may never have existed
+	if err != nil {
+		m.fail(s, "finish", err)
+		return res, err
 	}
+	s.tslot.SetState(obs.StateFinished)
+	m.release(s.token)
+	os.Remove(m.ckptPath(s.token)) // best-effort: may never have existed
+	m.so.Event(obs.SessionEvent{
+		Event: obs.EventSessionFinish, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
+		Edges: int64(res.Edges), IngestStalls: s.tslot.Stalls(),
+	})
 	return res, err
+}
+
+// fail retires a session whose drain, checkpoint or finish went wrong.
+func (m *Manager) fail(s *session, cause string, err error) {
+	s.tslot.SetState(obs.StateFailed)
+	m.release(s.token)
+	m.so.Event(obs.SessionEvent{
+		Event: obs.EventSessionFail, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
+		IngestStalls: s.tslot.Stalls(), Cause: cause + ": " + err.Error(),
+	})
 }
 
 // release forgets an attached token. The caller has already retired the
@@ -178,8 +230,13 @@ func (m *Manager) release(token string) {
 // server's shutdown path then detaches each with a checkpoint.
 func (m *Manager) Drain() {
 	m.mu.Lock()
+	already := m.draining
 	m.draining = true
+	active := len(m.active)
 	m.mu.Unlock()
+	if !already {
+		m.so.Event(obs.SessionEvent{Event: obs.EventServerDrain, Active: int64(active)})
+	}
 }
 
 // Active reports the number of attached sessions.

@@ -194,6 +194,94 @@ func TestServeDetachAndResume(t *testing.T) {
 	}
 }
 
+// TestServeTraceIdentity pins the session-identity contract of the v2
+// handshake: a client-minted trace is adopted and echoed; the trace is
+// stamped into the detach checkpoint and wins on resume, even when the
+// resuming client proposes a different one; and a zero client trace makes
+// the server mint a non-zero identity.
+func TestServeTraceIdentity(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	hub := obs.NewHub(64)
+	var events strings.Builder
+	so := hub.Serve()
+	so.SetEventWriter(&events)
+	srv := startServer(t, ServerConfig{Obs: so})
+
+	minted := obs.NewTraceID()
+	c := dialT(t, srv)
+	c.Trace = minted
+	if _, err := c.Hello("traced", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace != minted {
+		t.Fatalf("server replaced the client-minted trace: %v -> %v", minted, c.Trace)
+	}
+	fd := Feeder{Edges: edges, Batch: 512}
+	if err := fd.RunUntil(c, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	waitIdle(t, srv)
+
+	// Resume under a DIFFERENT proposed trace: the checkpoint's stamp wins.
+	c2 := dialT(t, srv)
+	c2.Trace = obs.NewTraceID()
+	if _, err := c2.Resume("traced", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Trace != minted {
+		t.Fatalf("resume reports trace %v, want the original %v", c2.Trace, minted)
+	}
+	if _, err := fd.Run(c2); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, srv)
+
+	// Zero client trace: the server mints one.
+	c3 := dialT(t, srv)
+	if _, err := c3.Hello("minted-remotely", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled && c3.Trace.IsZero() {
+		t.Fatal("server did not mint a trace for a zero-trace hello")
+	}
+	if _, err := fd.Run(c3); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, srv)
+
+	if obs.Enabled {
+		// The telemetry table kept ONE row for the detach/resume pair (same
+		// trace rebinds the slot) and the wide-event log tells the story.
+		snap := so.Sessions().Snapshot()
+		byToken := map[string]obs.SessionInfo{}
+		for _, r := range snap.Sessions {
+			byToken[r.Token] = r
+		}
+		tr, ok := byToken["traced"]
+		if !ok || tr.Trace != minted.String() || !tr.Resumed || tr.State != "finished" {
+			t.Fatalf("traced session row %+v (present=%v)", tr, ok)
+		}
+		if tr.Edges != int64(len(edges)) {
+			t.Fatalf("traced session row counts %d edges, want %d", tr.Edges, len(edges))
+		}
+		log := events.String()
+		for _, want := range []string{
+			`"event":"session_open"`, `"event":"session_detach"`, `"cause":"detach-frame"`,
+			`"event":"session_resume"`, `"event":"session_finish"`,
+			`"trace":"` + minted.String() + `"`,
+		} {
+			if !strings.Contains(log, want) {
+				t.Errorf("wide-event log missing %s:\n%s", want, log)
+			}
+		}
+	}
+}
+
 // localReference runs cfg's algorithm locally over edges.
 func localReference(t testing.TB, cfg Config, edges []stream.Edge) Result {
 	t.Helper()
@@ -453,11 +541,11 @@ func TestServeManagerRejectsBadConfigs(t *testing.T) {
 		{Algo: "kk", N: 10, M: 10, Copies: -1}, // negative copies
 	}
 	for _, cfg := range bad {
-		if _, err := mgr.Open("", cfg); err == nil {
+		if _, err := mgr.Open("", obs.TraceID{}, cfg); err == nil {
 			t.Errorf("Open accepted invalid config %+v", cfg)
 		}
 	}
-	if _, err := mgr.Open("../escape", Config{Algo: "kk", N: 10, M: 10}); !errors.Is(err, ErrWire) {
+	if _, err := mgr.Open("../escape", obs.TraceID{}, Config{Algo: "kk", N: 10, M: 10}); !errors.Is(err, ErrWire) {
 		t.Errorf("path-escaping token: got %v, want ErrWire", err)
 	}
 }

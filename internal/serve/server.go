@@ -218,20 +218,24 @@ func (s *Server) handle(conn net.Conn) {
 		s.logf("serve: %s: reading opening frame: %v", conn.RemoteAddr(), err)
 		return
 	}
+	helloT0 := time.Now()
 	var sess *session
 	var pos int
+	ver := protoV1 // negotiated handshake version for this connection
 	switch payload[0] {
 	case frameHello:
-		token, cfg, perr := parseHello(payload[1:])
+		token, trace, v, cfg, perr := parseHello(payload[1:])
 		if perr == nil {
-			sess, err = s.mgr.Open(token, cfg)
+			ver = v
+			sess, err = s.mgr.Open(token, trace, cfg)
 		} else {
 			err = perr
 		}
 	case frameResume:
-		token, cfg, perr := parseHello(payload[1:])
+		token, trace, v, cfg, perr := parseHello(payload[1:])
 		if perr == nil {
-			sess, pos, err = s.mgr.Resume(token, cfg)
+			ver = v
+			sess, pos, err = s.mgr.Resume(token, trace, cfg)
 		} else {
 			err = perr
 		}
@@ -244,12 +248,19 @@ func (s *Server) handle(conn net.Conn) {
 		f.writeError(errCode(err), err.Error())
 		return
 	}
+	// Only v2 clients get the trace echoed: a v1 cursor rejects the extra
+	// ack bytes.
+	ackTrace := sess.trace
+	if ver < protoV2 {
+		ackTrace = obs.TraceID{}
+	}
 	s.writeDeadline(conn)
-	if err := f.writeHelloAck(sess.token, pos); err != nil {
+	if err := f.writeHelloAck(sess.token, pos, ackTrace); err != nil {
 		s.logf("serve: %s: hello ack: %v", conn.RemoteAddr(), err)
-		s.detach(sess)
+		s.detach(sess, "hello-ack-write: "+err.Error())
 		return
 	}
+	s.cfg.Obs.HelloLatency(time.Since(helloT0).Nanoseconds())
 
 	for {
 		s.readDeadline(conn)
@@ -257,7 +268,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			// Disconnect, idle timeout or shutdown: checkpoint and park.
 			s.logf("serve: session %s: connection lost (%v), detaching with checkpoint", sess.token, err)
-			s.detach(sess)
+			s.detach(sess, "disconnect")
 			return
 		}
 		switch payload[0] {
@@ -266,10 +277,11 @@ func (s *Server) handle(conn net.Conn) {
 				s.logf("serve: session %s: %v", sess.token, err)
 				s.writeDeadline(conn)
 				f.writeError(errCode(err), err.Error())
-				s.detach(sess)
+				s.detach(sess, "bad-edges: "+err.Error())
 				return
 			}
 		case frameFlush:
+			t0 := time.Now()
 			p, err := sess.flush()
 			if err != nil {
 				s.fail(conn, f, sess, err)
@@ -277,11 +289,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			s.writeDeadline(conn)
 			if err := f.writePosAck(p); err != nil {
-				s.detach(sess)
+				s.detach(sess, "pos-ack-write: "+err.Error())
 				return
 			}
+			s.cfg.Obs.AckLatency(time.Since(t0).Nanoseconds())
 		case frameDetach:
-			p, err := s.mgr.Detach(sess)
+			t0 := time.Now()
+			p, err := s.mgr.Detach(sess, "detach-frame")
 			if err != nil {
 				s.logf("serve: session %s: detach: %v", sess.token, err)
 				s.writeDeadline(conn)
@@ -289,9 +303,12 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.writeDeadline(conn)
-			f.writePosAck(p)
+			if f.writePosAck(p) == nil {
+				s.cfg.Obs.AckLatency(time.Since(t0).Nanoseconds())
+			}
 			return
 		case frameFinish:
+			t0 := time.Now()
 			res, err := s.mgr.Finish(sess)
 			if err != nil {
 				s.logf("serve: session %s: finish: %v", sess.token, err)
@@ -302,6 +319,8 @@ func (s *Server) handle(conn net.Conn) {
 			s.writeDeadline(conn)
 			if err := f.writeResult(res); err != nil {
 				s.logf("serve: session %s: result write: %v", sess.token, err)
+			} else {
+				s.cfg.Obs.ResultLatency(time.Since(t0).Nanoseconds())
 			}
 			return
 		default:
@@ -317,13 +336,13 @@ func (s *Server) fail(conn net.Conn, f *frameIO, sess *session, err error) {
 	s.logf("serve: session %s: %v", sess.token, err)
 	s.writeDeadline(conn)
 	f.writeError(errCode(err), err.Error())
-	s.detach(sess)
+	s.detach(sess, "protocol-error: "+err.Error())
 }
 
 // detach checkpoints and releases sess, logging (not propagating) errors:
 // the connection is already gone.
-func (s *Server) detach(sess *session) {
-	if _, err := s.mgr.Detach(sess); err != nil {
+func (s *Server) detach(sess *session, cause string) {
+	if _, err := s.mgr.Detach(sess, cause); err != nil {
 		s.logf("serve: session %s: detach checkpoint failed: %v", sess.token, err)
 	}
 }

@@ -49,6 +49,7 @@ type reply struct {
 // the worker is the only other goroutine touching the algorithm.
 type session struct {
 	token string
+	trace obs.TraceID // session identity: minted at open, survives resume
 	cfg   Config
 	alg   stream.Algorithm
 
@@ -59,14 +60,16 @@ type session struct {
 
 	stopped bool // worker has exited (finish or stop delivered)
 	so      *obs.ServeObs
+	tslot   *obs.SessionSlot // per-session telemetry row (nil when off)
 }
 
 // newSession wraps alg (built for cfg) in a fresh ring and starts the
 // worker. pos is the stream position the algorithm state corresponds to
 // (0 for new sessions, the checkpoint position for resumed ones).
-func newSession(token string, cfg Config, alg stream.Algorithm, pos int, so *obs.ServeObs) *session {
+func newSession(token string, trace obs.TraceID, cfg Config, alg stream.Algorithm, pos int, so *obs.ServeObs, tslot *obs.SessionSlot) *session {
 	s := &session{
 		token: token,
+		trace: trace,
 		cfg:   cfg,
 		alg:   alg,
 		bufs:  make([][]stream.Edge, ringDepth),
@@ -74,6 +77,7 @@ func newSession(token string, cfg Config, alg stream.Algorithm, pos int, so *obs
 		full:  make(chan slot, ringDepth),
 		resCh: make(chan reply, 1),
 		so:    so,
+		tslot: tslot,
 	}
 	for i := range s.bufs {
 		s.bufs[i] = make([]stream.Edge, MaxBatch)
@@ -127,6 +131,7 @@ func (s *session) ingest(body []byte) error {
 	case idx = <-s.free:
 	default:
 		s.so.IngestStall()
+		s.tslot.Stall()
 		idx = <-s.free
 	}
 	n, err := parseEdgesInto(body, s.bufs[idx], s.cfg.N, s.cfg.M)
@@ -136,6 +141,7 @@ func (s *session) ingest(body []byte) error {
 	}
 	s.full <- slot{idx: idx, n: n}
 	s.so.Batch(n)
+	s.tslot.Batch(n, len(s.full))
 	return nil
 }
 

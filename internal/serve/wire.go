@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -16,6 +17,17 @@ import (
 // Magic opens every SCWIRE1 connection (client→server, once, before the
 // first frame).
 const Magic = "SCWIRE1\n"
+
+// Protocol versions carried in hello/resume frames. Version 1 is the
+// original handshake; version 2 adds a 16-byte session trace ID after the
+// token (hello/resume) and after the position (helloAck), so one identity
+// follows a session across disconnect, resume and checkpoint files. Servers
+// accept both and reply in the version the client spoke — a v1 client never
+// sees trace bytes it cannot parse.
+const (
+	protoV1 = 1
+	protoV2 = 2
+)
 
 // Frame types. Client→server types are low, server→client types have the
 // high bit set; values are part of the wire format and must stay stable.
@@ -221,6 +233,20 @@ func (c *cursor) f64() float64 {
 	return v
 }
 
+// raw consumes exactly n bytes of the payload.
+func (c *cursor) raw(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.b) < n {
+		c.fail("%w: %d raw bytes exceed frame", ErrWire, n)
+		return nil
+	}
+	b := c.b[:n]
+	c.b = c.b[n:]
+	return b
+}
+
 // done fails unless the payload was consumed exactly.
 func (c *cursor) done() error {
 	if c.err == nil && len(c.b) != 0 {
@@ -230,11 +256,19 @@ func (c *cursor) done() error {
 }
 
 // writeHello sends a hello (or resume, per typ) frame carrying the session
-// token and the full session configuration.
-func (f *frameIO) writeHello(typ byte, token string, cfg Config) error {
+// token, the client's trace ID (version 2 only) and the full session
+// configuration. ver selects the handshake version; the current client
+// always speaks protoV2, protoV1 exists for compatibility tests.
+func (f *frameIO) writeHello(typ byte, ver int, token string, trace obs.TraceID, cfg Config) error {
+	if ver < protoV1 || ver > protoV2 {
+		return fmt.Errorf("%w: protocol version %d", ErrWire, ver)
+	}
 	f.beginFrame(typ)
-	f.appendU64(1) // protocol version
+	f.appendU64(uint64(ver))
 	f.appendString(token)
+	if ver >= protoV2 {
+		f.out = append(f.out, trace[:]...)
+	}
 	f.appendString(cfg.Algo)
 	f.appendU64(uint64(cfg.N))
 	f.appendU64(uint64(cfg.M))
@@ -245,13 +279,21 @@ func (f *frameIO) writeHello(typ byte, token string, cfg Config) error {
 	return f.endFrame()
 }
 
-// parseHello decodes a hello/resume body (the type byte already stripped).
-func parseHello(body []byte) (token string, cfg Config, err error) {
+// parseHello decodes a hello/resume body (the type byte already stripped),
+// accepting both handshake versions. A v1 body has no trace field and
+// reports the zero trace; the returned version tells the server which reply
+// format the client understands.
+func parseHello(body []byte) (token string, trace obs.TraceID, ver int, cfg Config, err error) {
 	c := cursor{b: body}
-	if v := c.u64(); c.err == nil && v != 1 {
-		return "", Config{}, fmt.Errorf("%w: protocol version %d", ErrWire, v)
+	v := c.u64()
+	if c.err == nil && (v < protoV1 || v > protoV2) {
+		return "", trace, 0, Config{}, fmt.Errorf("%w: protocol version %d", ErrWire, v)
 	}
+	ver = int(v)
 	token = c.str()
+	if ver >= protoV2 {
+		copy(trace[:], c.raw(obs.TraceIDLen))
+	}
 	cfg.Algo = c.str()
 	cfg.N = int(c.u64())
 	cfg.M = int(c.u64())
@@ -259,7 +301,7 @@ func parseHello(body []byte) (token string, cfg Config, err error) {
 	cfg.Seed = c.u64()
 	cfg.Copies = int(c.u64())
 	cfg.Alpha = c.f64()
-	return token, cfg, c.done()
+	return token, trace, ver, cfg, c.done()
 }
 
 // writeEdges sends one edge batch using the SCSTRM1 varint edge encoding
@@ -308,20 +350,32 @@ func (f *frameIO) writeFlush() error  { f.beginFrame(frameFlush); return f.endFr
 func (f *frameIO) writeDetach() error { f.beginFrame(frameDetach); return f.endFrame() }
 func (f *frameIO) writeFinish() error { f.beginFrame(frameFinish); return f.endFrame() }
 
-// writeHelloAck acknowledges a hello/resume with the session token and the
-// stream position the client must (re)start from.
-func (f *frameIO) writeHelloAck(token string, pos int) error {
+// writeHelloAck acknowledges a hello/resume with the session token, the
+// stream position the client must (re)start from and — when trace is
+// non-zero, i.e. the client spoke protoV2 — the session's authoritative
+// trace ID. v1 clients get the classic two-field ack; their cursor rejects
+// trailing bytes, so the trace must never be sent to them.
+func (f *frameIO) writeHelloAck(token string, pos int, trace obs.TraceID) error {
 	f.beginFrame(frameHelloAck)
 	f.appendString(token)
 	f.appendU64(uint64(pos))
+	if !trace.IsZero() {
+		f.out = append(f.out, trace[:]...)
+	}
 	return f.endFrame()
 }
 
-func parseHelloAck(body []byte) (token string, pos int, err error) {
+// parseHelloAck accepts both ack formats: the v1 two-field body and the v2
+// body with 16 trailing trace bytes, so a new client interoperates with an
+// old server's ack.
+func parseHelloAck(body []byte) (token string, pos int, trace obs.TraceID, err error) {
 	c := cursor{b: body}
 	token = c.str()
 	pos = int(c.u64())
-	return token, pos, c.done()
+	if c.err == nil && len(c.b) == obs.TraceIDLen {
+		copy(trace[:], c.raw(obs.TraceIDLen))
+	}
+	return token, pos, trace, c.done()
 }
 
 // writePosAck acknowledges a flush/detach at the given consumed position.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -31,15 +32,105 @@ func roundTrip(t *testing.T, write func(f *frameIO) error, wantType byte) []byte
 
 func TestWireHelloRoundTrip(t *testing.T) {
 	want := Config{Algo: "alg2", N: 300, M: 4000, StreamLen: 60150, Seed: 42, Copies: 8, Alpha: 37.5}
+	wantTrace := obs.NewTraceID()
 	body := roundTrip(t, func(f *frameIO) error {
-		return f.writeHello(frameHello, "sess-1", want)
+		return f.writeHello(frameHello, protoV2, "sess-1", wantTrace, want)
 	}, frameHello)
-	token, got, err := parseHello(body)
+	token, trace, ver, got, err := parseHello(body)
 	if err != nil {
 		t.Fatalf("parseHello: %v", err)
 	}
-	if token != "sess-1" || got != want {
-		t.Fatalf("got token %q cfg %+v, want %q %+v", token, got, "sess-1", want)
+	if token != "sess-1" || got != want || trace != wantTrace || ver != protoV2 {
+		t.Fatalf("got token %q ver %d trace %v cfg %+v, want %q %d %v %+v",
+			token, ver, trace, got, "sess-1", protoV2, wantTrace, want)
+	}
+}
+
+// TestWireHelloVersionNegotiation pins both compatibility directions of the
+// v2 handshake: an old client's v1 hello (no trace field) parses on a new
+// server, and frames claiming unknown versions are rejected.
+func TestWireHelloVersionNegotiation(t *testing.T) {
+	want := Config{Algo: "kk", N: 30, M: 40, StreamLen: 100, Seed: 9}
+
+	// Old client: version 1, no trace bytes — exactly what pre-trace
+	// binaries put on the wire.
+	body := roundTrip(t, func(f *frameIO) error {
+		return f.writeHello(frameHello, protoV1, "old-sess", obs.NewTraceID(), want)
+	}, frameHello)
+	token, trace, ver, got, err := parseHello(body)
+	if err != nil {
+		t.Fatalf("v1 hello rejected by new server: %v", err)
+	}
+	if token != "old-sess" || got != want || ver != protoV1 || !trace.IsZero() {
+		t.Fatalf("v1 hello parsed as token %q ver %d trace %v cfg %+v", token, ver, trace, got)
+	}
+
+	// Unknown versions fail typed, on both ends.
+	var f frameIO
+	if err := f.writeHello(frameHello, protoV2+1, "x", obs.TraceID{}, want); !errors.Is(err, ErrWire) {
+		t.Fatalf("writeHello accepted version %d: %v", protoV2+1, err)
+	}
+	bad := roundTrip(t, func(f *frameIO) error {
+		f.beginFrame(frameHello)
+		f.appendU64(uint64(protoV2 + 1))
+		f.appendString("x")
+		return f.endFrame()
+	}, frameHello)
+	if _, _, _, _, err := parseHello(bad); !errors.Is(err, ErrWire) {
+		t.Fatalf("parseHello accepted version %d: %v", protoV2+1, err)
+	}
+
+	// A v2 hello truncated inside the trace field fails typed.
+	short := roundTrip(t, func(f *frameIO) error {
+		f.beginFrame(frameHello)
+		f.appendU64(protoV2)
+		f.appendString("x")
+		f.out = append(f.out, 0xAB, 0xCD) // 2 of the 16 trace bytes
+		return f.endFrame()
+	}, frameHello)
+	if _, _, _, _, err := parseHello(short); !errors.Is(err, ErrWire) {
+		t.Fatalf("truncated trace field accepted: %v", err)
+	}
+}
+
+// TestWireHelloAckCompat pins the ack formats: a new client parses both the
+// old two-field ack and the v2 ack with the trailing trace.
+func TestWireHelloAckCompat(t *testing.T) {
+	// Old server's ack: token + pos only.
+	body := roundTrip(t, func(f *frameIO) error {
+		return f.writeHelloAck("tok", 500, obs.TraceID{})
+	}, frameHelloAck)
+	token, pos, trace, err := parseHelloAck(body)
+	if err != nil {
+		t.Fatalf("old-format ack rejected: %v", err)
+	}
+	if token != "tok" || pos != 500 || !trace.IsZero() {
+		t.Fatalf("old ack parsed as %q/%d/%v", token, pos, trace)
+	}
+
+	// New server's ack to a v2 client: trace rides at the end.
+	want := obs.NewTraceID()
+	body = roundTrip(t, func(f *frameIO) error {
+		return f.writeHelloAck("tok", 500, want)
+	}, frameHelloAck)
+	token, pos, trace, err = parseHelloAck(body)
+	if err != nil {
+		t.Fatalf("v2 ack rejected: %v", err)
+	}
+	if token != "tok" || pos != 500 || trace != want {
+		t.Fatalf("v2 ack parsed as %q/%d/%v, want trace %v", token, pos, trace, want)
+	}
+
+	// An ack with a mangled tail (neither 0 nor 16 trailing bytes) fails.
+	bad := roundTrip(t, func(f *frameIO) error {
+		f.beginFrame(frameHelloAck)
+		f.appendString("tok")
+		f.appendU64(500)
+		f.out = append(f.out, 1, 2, 3)
+		return f.endFrame()
+	}, frameHelloAck)
+	if _, _, _, err := parseHelloAck(bad); !errors.Is(err, ErrWire) {
+		t.Fatalf("mangled ack tail accepted: %v", err)
 	}
 }
 
@@ -140,7 +231,7 @@ func TestWireFrameCorruption(t *testing.T) {
 	encode := func() []byte {
 		var buf bytes.Buffer
 		f := newFrameIO(&buf)
-		if err := f.writeHello(frameHello, "tok", Config{Algo: "kk", N: 3, M: 5, Seed: 1}); err != nil {
+		if err := f.writeHello(frameHello, protoV2, "tok", obs.NewTraceID(), Config{Algo: "kk", N: 3, M: 5, Seed: 1}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()

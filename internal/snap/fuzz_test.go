@@ -22,6 +22,7 @@ import (
 	"streamcover/internal/core"
 	"streamcover/internal/elementsampling"
 	"streamcover/internal/kk"
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/snap"
 	"streamcover/internal/stream"
@@ -165,13 +166,27 @@ func FuzzReadCheckpoint(f *testing.F) {
 		mutated := append([]byte(nil), valid...)
 		mutated[len(mutated)/2] ^= 0x01
 		f.Add(mutated, kind)
+
+		// Trace-stamped envelope seeds: a valid traced checkpoint, one with a
+		// corrupted trace section mark, and one truncated mid-trace.
+		var tb bytes.Buffer
+		trace := obs.TraceID{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+		if err := stream.WriteCheckpointTraced(&tb, pos, trace, alg); err != nil {
+			f.Fatalf("%s: traced seed checkpoint: %v", name, err)
+		}
+		traced := tb.Bytes()
+		f.Add(traced, kind)
+		f.Add(traced[:len(traced)-10], kind) // truncated inside the trace section
+		badMark := append([]byte(nil), traced...)
+		badMark[len(badMark)-22] ^= 0xff // corrupt the "TI" mark
+		f.Add(badMark, kind)
 	}
 	f.Add([]byte{}, byte(0))
 	f.Add([]byte("SCCKPT1\n"), byte(1))
 
 	f.Fuzz(func(t *testing.T, data []byte, kind byte) {
 		name, alg := fuzzBuild(kind)
-		pos, err := stream.ReadCheckpoint(bytes.NewReader(data), alg)
+		pos, trace, err := stream.ReadCheckpointTraced(bytes.NewReader(data), alg)
 		if err != nil {
 			if !typedSnapErr(err) {
 				t.Fatalf("%s: untyped checkpoint error: %v", name, err)
@@ -182,16 +197,16 @@ func FuzzReadCheckpoint(f *testing.F) {
 			t.Fatalf("%s: accepted negative position %d", name, pos)
 		}
 		var buf bytes.Buffer
-		if err := stream.WriteCheckpoint(&buf, pos, alg); err != nil {
+		if err := stream.WriteCheckpointTraced(&buf, pos, trace, alg); err != nil {
 			t.Fatalf("%s: re-checkpoint of accepted state failed: %v", name, err)
 		}
 		_, alg2 := fuzzBuild(kind)
-		pos2, err := stream.ReadCheckpoint(bytes.NewReader(buf.Bytes()), alg2)
+		pos2, trace2, err := stream.ReadCheckpointTraced(bytes.NewReader(buf.Bytes()), alg2)
 		if err != nil {
 			t.Fatalf("%s: re-read of re-checkpoint failed: %v", name, err)
 		}
-		if pos2 != pos {
-			t.Fatalf("%s: position drifted %d -> %d across round trip", name, pos, pos2)
+		if pos2 != pos || trace2 != trace {
+			t.Fatalf("%s: identity drifted (%d,%v) -> (%d,%v) across round trip", name, pos, trace, pos2, trace2)
 		}
 	})
 }

@@ -18,13 +18,26 @@ import (
 // A checkpoint wraps an algorithm snapshot together with the stream position
 // it was taken at:
 //
-//	"SCCKPT1\n" | uvarint pos | SCSTATE1 snapshot | CRC-32 (IEEE, LE)
+//	"SCCKPT1\n" | uvarint pos | SCSTATE1 snapshot | [trace section] | CRC-32 (IEEE, LE)
 //
 // The trailing checksum covers everything before it, including the embedded
 // snapshot (whose own internal checksum is thus double-covered), following
 // the same end-to-end integrity discipline as the SCTRACE1 and SCSTATE1
 // formats: a checkpoint either loads completely or fails loudly.
-const ckptMagic = "SCCKPT1\n"
+//
+// The trace section is optional: "TI" followed by the 16 raw bytes of the
+// session's obs.TraceID. It stamps a session identity into the envelope so
+// a resumed session — on this server or, after cross-shard adoption, any
+// other — reports the trace ID minted when the session first opened.
+// Readers accept envelopes with or without the section (SCSTATE1 snapshots
+// are self-delimiting, so the presence of the 18 extra bytes before the
+// trailer is unambiguous); writers only add it when the trace is non-zero,
+// which keeps every pre-trace checkpoint byte-identical.
+const (
+	ckptMagic      = "SCCKPT1\n"
+	ckptTraceMark  = "TI"
+	ckptTraceExtra = len(ckptTraceMark) + obs.TraceIDLen // trace section length
+)
 
 // CheckpointPolicy configures periodic snapshots during a run.
 //
@@ -42,6 +55,10 @@ type CheckpointPolicy struct {
 	// Sink, when non-nil, receives each checkpoint instead of Path. The byte
 	// slice is only valid for the duration of the call.
 	Sink func(pos int, checkpoint []byte) error
+	// Trace, when non-zero, stamps the session's trace ID into every
+	// envelope this policy writes, so a resume reports the original
+	// identity.
+	Trace obs.TraceID
 }
 
 func (p CheckpointPolicy) enabled() bool { return p.Every > 0 }
@@ -114,7 +131,7 @@ func checkpointSampler(alg Algorithm, p CheckpointPolicy, ro *obs.RunObs) (func(
 	return func(pos int) error {
 		t0 := time.Now()
 		buf.Reset()
-		if err := WriteCheckpoint(&buf, pos, alg); err != nil {
+		if err := WriteCheckpointTraced(&buf, pos, p.Trace, alg); err != nil {
 			return fmt.Errorf("stream: checkpoint at edge %d: %w", pos, err)
 		}
 		if p.Sink != nil {
@@ -130,8 +147,15 @@ func checkpointSampler(alg Algorithm, p CheckpointPolicy, ro *obs.RunObs) (func(
 }
 
 // WriteCheckpoint writes a checkpoint of alg, taken at stream position pos,
-// to w in the SCCKPT1 format.
+// to w in the SCCKPT1 format, with no trace section.
 func WriteCheckpoint(w io.Writer, pos int, alg Algorithm) error {
+	return WriteCheckpointTraced(w, pos, obs.TraceID{}, alg)
+}
+
+// WriteCheckpointTraced is WriteCheckpoint with the session's trace ID
+// stamped into the envelope (a zero trace writes the classic untraced
+// envelope, byte-identical to pre-trace checkpoints).
+func WriteCheckpointTraced(w io.Writer, pos int, trace obs.TraceID, alg Algorithm) error {
 	sn, err := snapshotterOf(alg)
 	if err != nil {
 		return err
@@ -152,6 +176,14 @@ func WriteCheckpoint(w io.Writer, pos int, alg Algorithm) error {
 	if err := sn.Snapshot(mw); err != nil {
 		return err
 	}
+	if !trace.IsZero() {
+		if _, err := io.WriteString(mw, ckptTraceMark); err != nil {
+			return err
+		}
+		if _, err := mw.Write(trace[:]); err != nil {
+			return err
+		}
+	}
 	var trailer [4]byte
 	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
 	_, err = w.Write(trailer[:])
@@ -161,47 +193,80 @@ func WriteCheckpoint(w io.Writer, pos int, alg Algorithm) error {
 // ReadCheckpoint restores a checkpoint from r into alg — which must be a
 // freshly constructed instance with the same shape parameters as the one
 // that was checkpointed — and returns the stream position to resume from.
+// Any trace section is verified and discarded; use ReadCheckpointTraced to
+// recover it.
 func ReadCheckpoint(r io.Reader, alg Algorithm) (int, error) {
+	pos, _, err := ReadCheckpointTraced(r, alg)
+	return pos, err
+}
+
+// ReadCheckpointTraced is ReadCheckpoint returning the envelope's stamped
+// trace ID as well (the zero ID for untraced envelopes). It consumes r to
+// EOF: the trace section is optional, so the envelope's end is needed to
+// tell the section from the checksum trailer.
+func ReadCheckpointTraced(r io.Reader, alg Algorithm) (int, obs.TraceID, error) {
+	var trace obs.TraceID
 	sn, err := snapshotterOf(alg)
 	if err != nil {
-		return 0, err
+		return 0, trace, err
 	}
 	crc := crc32.NewIEEE()
 	tee := io.TeeReader(r, crc)
 	var m [len(ckptMagic)]byte
 	if _, err := io.ReadFull(tee, m[:]); err != nil {
-		return 0, fmt.Errorf("%w: checkpoint magic: %v", snap.ErrTruncated, err)
+		return 0, trace, fmt.Errorf("%w: checkpoint magic: %v", snap.ErrTruncated, err)
 	}
 	if string(m[:]) != ckptMagic {
-		return 0, fmt.Errorf("%w: bad checkpoint magic %q", snap.ErrCorrupt, m[:])
+		return 0, trace, fmt.Errorf("%w: bad checkpoint magic %q", snap.ErrCorrupt, m[:])
 	}
 	pos64, err := binary.ReadUvarint(oneByteReader{tee})
 	if err != nil {
-		return 0, fmt.Errorf("%w: checkpoint position: %v", snap.ErrCorrupt, err)
+		return 0, trace, fmt.Errorf("%w: checkpoint position: %v", snap.ErrCorrupt, err)
 	}
 	if pos64 > 1<<62 {
-		return 0, fmt.Errorf("%w: checkpoint position %d overflows", snap.ErrCorrupt, pos64)
+		return 0, trace, fmt.Errorf("%w: checkpoint position %d overflows", snap.ErrCorrupt, pos64)
 	}
 	// Restore streams through tee, so the outer checksum covers the embedded
 	// snapshot (including its inner trailer).
 	if err := sn.Restore(tee); err != nil {
-		return 0, err
+		return 0, trace, err
 	}
-	var trailer [4]byte
-	if _, err := io.ReadFull(r, trailer[:]); err != nil {
-		return 0, fmt.Errorf("%w: checkpoint trailer: %v", snap.ErrTruncated, err)
+	// Everything after the snapshot is the optional trace section plus the
+	// 4-byte trailer; read it raw (not through tee) and fold the non-trailer
+	// prefix into the checksum by hand. An envelope tail can only be 4
+	// (untraced) or 4+ckptTraceExtra (traced) bytes.
+	tail, err := io.ReadAll(io.LimitReader(r, int64(ckptTraceExtra)+4+1))
+	if err != nil {
+		return 0, trace, fmt.Errorf("%w: checkpoint tail: %v", snap.ErrTruncated, err)
 	}
-	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[:]) {
-		return 0, fmt.Errorf("%w: checkpoint checksum mismatch", snap.ErrCorrupt)
+	switch len(tail) {
+	case 4:
+	case ckptTraceExtra + 4:
+		if string(tail[:len(ckptTraceMark)]) != ckptTraceMark {
+			return 0, trace, fmt.Errorf("%w: bad trace section mark %q", snap.ErrCorrupt, tail[:len(ckptTraceMark)])
+		}
+		copy(trace[:], tail[len(ckptTraceMark):ckptTraceExtra])
+	default:
+		return 0, trace, fmt.Errorf("%w: checkpoint tail of %d bytes (want 4 or %d)", snap.ErrCorrupt, len(tail), ckptTraceExtra+4)
 	}
-	return int(pos64), nil
+	body, trailer := tail[:len(tail)-4], tail[len(tail)-4:]
+	crc.Write(body)
+	if crc.Sum32() != binary.LittleEndian.Uint32(trailer) {
+		return 0, obs.TraceID{}, fmt.Errorf("%w: checkpoint checksum mismatch", snap.ErrCorrupt)
+	}
+	return int(pos64), trace, nil
 }
 
 // WriteCheckpointFile writes a checkpoint of alg at position pos to path
 // atomically (temp file in the same directory, fsync, rename).
 func WriteCheckpointFile(path string, pos int, alg Algorithm) error {
+	return WriteCheckpointFileTraced(path, pos, obs.TraceID{}, alg)
+}
+
+// WriteCheckpointFileTraced is WriteCheckpointFile with a trace section.
+func WriteCheckpointFileTraced(path string, pos int, trace obs.TraceID, alg Algorithm) error {
 	var buf bytes.Buffer
-	if err := WriteCheckpoint(&buf, pos, alg); err != nil {
+	if err := WriteCheckpointTraced(&buf, pos, trace, alg); err != nil {
 		return err
 	}
 	return atomicWriteFile(path, buf.Bytes())
@@ -210,12 +275,19 @@ func WriteCheckpointFile(path string, pos int, alg Algorithm) error {
 // ReadCheckpointFile restores a checkpoint file into alg and returns the
 // resume position.
 func ReadCheckpointFile(path string, alg Algorithm) (int, error) {
+	pos, _, err := ReadCheckpointFileTraced(path, alg)
+	return pos, err
+}
+
+// ReadCheckpointFileTraced is ReadCheckpointFile returning the stamped trace
+// ID as well.
+func ReadCheckpointFileTraced(path string, alg Algorithm) (int, obs.TraceID, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, obs.TraceID{}, err
 	}
 	defer f.Close()
-	return ReadCheckpoint(f, alg)
+	return ReadCheckpointTraced(f, alg)
 }
 
 // CheckpointInfo describes a checkpoint without restoring it.
@@ -228,6 +300,9 @@ type CheckpointInfo struct {
 	Version uint64
 	// Bytes is the size of the embedded snapshot in bytes.
 	Bytes int
+	// Trace is the stamped session trace ID, or the zero ID for untraced
+	// envelopes.
+	Trace obs.TraceID
 }
 
 // InspectCheckpoint reads a checkpoint's envelope — verifying the outer
@@ -265,15 +340,40 @@ func InspectCheckpoint(r io.Reader) (CheckpointInfo, error) {
 	if crc.Sum32() != binary.LittleEndian.Uint32(trailer) {
 		return info, fmt.Errorf("%w: checkpoint checksum mismatch", snap.ErrCorrupt)
 	}
-	sr, err := snap.NewReader(bytes.NewReader(payload), "")
+	snapshot, trace, err := splitTraceSection(payload)
+	if err != nil {
+		return info, err
+	}
+	sr, err := snap.NewReader(bytes.NewReader(snapshot), "")
 	if err != nil {
 		return info, fmt.Errorf("embedded snapshot: %w", err)
 	}
 	info.Pos = int(pos64)
 	info.Algo = sr.Algo()
 	info.Version = sr.Version()
-	info.Bytes = len(payload)
+	info.Bytes = len(snapshot)
+	info.Trace = trace
 	return info, nil
+}
+
+// splitTraceSection splits a checkpoint payload (embedded snapshot plus
+// optional trace section) without an algorithm instance to parse the
+// snapshot with. The snapshot's own CRC-32 trailer locates its end: an
+// untraced payload IS a whole container, so its last 4 bytes checksum
+// everything before them; a traced payload has the trace section's 18 bytes
+// after that trailer instead.
+func splitTraceSection(payload []byte) (snapshot []byte, trace obs.TraceID, err error) {
+	if len(payload) >= 4 &&
+		crc32.ChecksumIEEE(payload[:len(payload)-4]) == binary.LittleEndian.Uint32(payload[len(payload)-4:]) {
+		return payload, trace, nil
+	}
+	if n := len(payload) - ckptTraceExtra; n >= 4 &&
+		string(payload[n:n+len(ckptTraceMark)]) == ckptTraceMark &&
+		crc32.ChecksumIEEE(payload[:n-4]) == binary.LittleEndian.Uint32(payload[n-4:n]) {
+		copy(trace[:], payload[n+len(ckptTraceMark):])
+		return payload[:n], trace, nil
+	}
+	return nil, trace, fmt.Errorf("%w: embedded snapshot trailer not found", snap.ErrCorrupt)
 }
 
 // oneByteReader adapts an io.Reader to io.ByteReader without buffering, so

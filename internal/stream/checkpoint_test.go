@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"streamcover/internal/obs"
 	"streamcover/internal/setcover"
 	"streamcover/internal/snap"
 )
@@ -84,6 +85,96 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if pos != 100 || b.seen != a.seen || b.hash != a.hash {
 		t.Fatalf("restored pos=%d seen=%d hash=%#x, want 100/%d/%#x", pos, b.seen, b.hash, a.seen, a.hash)
+	}
+}
+
+func TestCheckpointTraceRoundTrip(t *testing.T) {
+	a := newHashAlg(5)
+	for _, e := range ckptEdges(100) {
+		a.Process(e)
+	}
+	tr := obs.NewTraceID()
+	var traced, untraced bytes.Buffer
+	if err := WriteCheckpointTraced(&traced, 100, tr, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(&untraced, 100, a); err != nil {
+		t.Fatal(err)
+	}
+
+	// A zero trace writes the classic envelope byte-for-byte: pre-trace
+	// checkpoints stay reproducible.
+	var zero bytes.Buffer
+	if err := WriteCheckpointTraced(&zero, 100, obs.TraceID{}, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zero.Bytes(), untraced.Bytes()) {
+		t.Fatal("zero-trace envelope differs from the untraced one")
+	}
+	if traced.Len() != untraced.Len()+ckptTraceExtra {
+		t.Fatalf("traced envelope is %d bytes, untraced %d, want +%d", traced.Len(), untraced.Len(), ckptTraceExtra)
+	}
+
+	// Traced envelope: trace comes back, state restores identically.
+	b := newHashAlg(5)
+	pos, got, err := ReadCheckpointTraced(bytes.NewReader(traced.Bytes()), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 100 || got != tr || b.hash != a.hash {
+		t.Fatalf("traced round trip: pos=%d trace=%v", pos, got)
+	}
+	// Old reader path still restores a traced envelope (discarding the trace);
+	// trace-aware reader reports the zero ID for an untraced envelope.
+	if pos, err := ReadCheckpoint(bytes.NewReader(traced.Bytes()), newHashAlg(5)); err != nil || pos != 100 {
+		t.Fatalf("ReadCheckpoint on traced envelope: pos=%d err=%v", pos, err)
+	}
+	if _, got, err := ReadCheckpointTraced(bytes.NewReader(untraced.Bytes()), newHashAlg(5)); err != nil || !got.IsZero() {
+		t.Fatalf("untraced envelope: trace=%v err=%v", got, err)
+	}
+
+	// Corruption inside the trace section fails typed, not silently.
+	for _, tc := range []struct {
+		name string
+		flip int // byte offset from the end
+	}{
+		{"trace-mark", 4 + ckptTraceExtra},
+		{"trace-bytes", 4 + 8},
+		{"trailer", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := bytes.Clone(traced.Bytes())
+			bad[len(bad)-tc.flip] ^= 0x01
+			_, _, err := ReadCheckpointTraced(bytes.NewReader(bad), newHashAlg(5))
+			if !errors.Is(err, snap.ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+		})
+	}
+	// Trailing junk after a valid envelope is corruption too, now that the
+	// reader consumes to EOF to find the optional trace section.
+	junk := append(bytes.Clone(untraced.Bytes()), 0xEE)
+	if _, _, err := ReadCheckpointTraced(bytes.NewReader(junk), newHashAlg(5)); !errors.Is(err, snap.ErrCorrupt) {
+		t.Fatalf("trailing junk: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestCheckpointPolicyStampsTrace(t *testing.T) {
+	tr := obs.NewTraceID()
+	var last []byte
+	p := CheckpointPolicy{Every: 50, Trace: tr, Sink: func(pos int, ck []byte) error {
+		last = bytes.Clone(ck)
+		return nil
+	}}
+	if _, err := RunCheckpointed(newHashAlg(5), NewSlice(ckptEdges(100)), p); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadCheckpointTraced(bytes.NewReader(last), newHashAlg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tr {
+		t.Fatalf("policy-written checkpoint carries trace %v, want %v", got, tr)
 	}
 }
 
@@ -175,18 +266,22 @@ func TestCheckpointFileAtomicWrite(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run.ckpt")
 	edges := ckptEdges(500)
-	p := CheckpointPolicy{Every: 100, Path: path}
+	tr := obs.NewTraceID()
+	p := CheckpointPolicy{Every: 100, Path: path, Trace: tr}
 	want, err := RunCheckpointed(newHashAlg(5), NewSlice(edges), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b := newHashAlg(5)
-	from, err := ReadCheckpointFile(path, b)
+	from, gotTrace, err := ReadCheckpointFileTraced(path, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if from != 500 {
 		t.Fatalf("final checkpoint at %d, want 500", from)
+	}
+	if gotTrace != tr {
+		t.Fatalf("checkpoint file carries trace %v, want %v", gotTrace, tr)
 	}
 	got, err := RunCheckpointedFrom(b, NewSlice(edges), CheckpointPolicy{}, from)
 	if err != nil {
@@ -279,6 +374,24 @@ func TestInspectCheckpoint(t *testing.T) {
 	}
 	if info.Pos != 32 || info.Algo != "hash" || info.Version != 1 || info.Bytes <= 0 {
 		t.Fatalf("info %+v", info)
+	}
+	if !info.Trace.IsZero() {
+		t.Fatalf("untraced envelope inspected with trace %v", info.Trace)
+	}
+
+	// A traced envelope reports the stamped ID and the same snapshot size —
+	// the trace section is not part of the embedded snapshot.
+	tr := obs.NewTraceID()
+	var tbuf bytes.Buffer
+	if err := WriteCheckpointTraced(&tbuf, 32, tr, a); err != nil {
+		t.Fatal(err)
+	}
+	tinfo, err := InspectCheckpoint(bytes.NewReader(tbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tinfo.Trace != tr || tinfo.Bytes != info.Bytes || tinfo.Pos != 32 {
+		t.Fatalf("traced info %+v, want trace %v and %d snapshot bytes", tinfo, tr, info.Bytes)
 	}
 	// Inspection also verifies the outer checksum.
 	b := bytes.Clone(buf.Bytes())

@@ -1,0 +1,363 @@
+// Command statsmoke is the `make stat-smoke` harness: an end-to-end
+// exercise of the live fleet-inspection surface over real processes and
+// real TCP. It builds scgen, scserve, scfeed and scstat, then for the
+// default build and again for an obsoff build of the serving pair:
+//
+//  1. starts scserve with -obs-listen, -events and -obs-hold, parsing the
+//     resolved data and observability addresses from its banners;
+//  2. runs an uninterrupted scfeed session for a reference fingerprint;
+//  3. opens a second session, kills the connection mid-stream (-kill-after),
+//     resumes it, and asserts the printed trace ID survives the kill
+//     unchanged while the final fingerprint matches the reference;
+//  4. runs `scstat -json` and asserts the health/readiness probes and (in
+//     the default build) the per-session rows: the resumed session is
+//     finished, carries the original trace, and counted every edge;
+//  5. SIGTERMs the server and, during the -obs-hold window, asserts
+//     /readyz flips to 503 (scstat reports ready=false) — the drain signal
+//     the shard router will probe — then (default build) checks the
+//     wide-event log recorded open/detach/resume/finish/drain with the
+//     trace.
+//
+// Trace identity is not telemetry: the obsoff leg still demands trace
+// survival and the readiness flip; only the session-table and wide-event
+// assertions are waived there.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "stat-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("stat-smoke: PASS")
+}
+
+const opTimeout = 60 * time.Second
+
+func run() error {
+	dir, err := os.MkdirTemp("", "statsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bins := map[string]string{}
+	for _, b := range []struct{ name, pkg, tags string }{
+		{"scgen", "./cmd/scgen", ""},
+		{"scstat", "./cmd/scstat", ""},
+		{"scserve", "./cmd/scserve", ""},
+		{"scfeed", "./cmd/scfeed", ""},
+		{"scserve-obsoff", "./cmd/scserve", "obsoff"},
+		{"scfeed-obsoff", "./cmd/scfeed", "obsoff"},
+	} {
+		out := filepath.Join(dir, b.name)
+		args := []string{"build", "-o", out}
+		if b.tags != "" {
+			args = append(args, "-tags", b.tags)
+		}
+		cmd := exec.Command("go", append(args, b.pkg)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", b.name, err)
+		}
+		bins[b.name] = out
+	}
+
+	streamFile := filepath.Join(dir, "stream.scs")
+	gen := exec.Command(bins["scgen"], "-workload", "planted", "-n", "300", "-m", "4000",
+		"-opt", "8", "-order", "random", "-seed", "1", "-out", streamFile)
+	gen.Stdout, gen.Stderr = os.Stdout, os.Stderr
+	if err := gen.Run(); err != nil {
+		return fmt.Errorf("scgen: %w", err)
+	}
+
+	if err := leg(dir, bins, streamFile, bins["scserve"], bins["scfeed"], true); err != nil {
+		return fmt.Errorf("default build: %w", err)
+	}
+	fmt.Println("stat-smoke: default build ok (sessions table, wide events, trace survival, readiness flip)")
+	if err := leg(dir, bins, streamFile, bins["scserve-obsoff"], bins["scfeed-obsoff"], false); err != nil {
+		return fmt.Errorf("obsoff build: %w", err)
+	}
+	fmt.Println("stat-smoke: obsoff build ok (trace survival and readiness flip with telemetry compiled out)")
+	return nil
+}
+
+var (
+	listenRe = regexp.MustCompile(`scserve: listening on (\S+)`)
+	traceRe  = regexp.MustCompile(`trace=([0-9a-f]{32})`)
+	fpRe     = regexp.MustCompile(`fingerprint=(0x[0-9a-f]+)`)
+	resumeRe = regexp.MustCompile(`resumed session \S+ at edge (\d+) of (\d+)`)
+)
+
+// leg drives one full scenario against one build of the serving pair. full
+// marks the default build, where the telemetry surface must be populated.
+func leg(dir string, bins map[string]string, streamFile, serveBin, feedBin string, full bool) error {
+	ckpt, err := os.MkdirTemp(dir, "ckpt")
+	if err != nil {
+		return err
+	}
+	events := filepath.Join(ckpt, "events.jsonl")
+
+	srv := exec.Command(serveBin,
+		"-listen", "127.0.0.1:0", "-dir", ckpt,
+		"-obs-listen", "127.0.0.1:0", "-obs-hold", "45s",
+		"-events", events)
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("start scserve: %w", err)
+	}
+	defer func() {
+		_ = srv.Process.Kill()
+		_ = srv.Wait()
+	}()
+
+	dataAddr, err := awaitBanner(stdout, listenRe)
+	if err != nil {
+		return fmt.Errorf("data address: %w", err)
+	}
+	obsAddr, err := awaitObsAddr(stderr)
+	if err != nil {
+		return fmt.Errorf("obs address: %w", err)
+	}
+	go func() { _, _ = io.Copy(io.Discard, stdout) }()
+	go func() { _, _ = io.Copy(io.Discard, stderr) }()
+
+	feed := func(args ...string) (string, error) {
+		base := []string{"-addr", dataAddr, "-in", streamFile, "-algo", "kk", "-seed", "7"}
+		out, err := exec.Command(feedBin, append(base, args...)...).CombinedOutput()
+		return string(out), err
+	}
+
+	// Reference: an uninterrupted session.
+	refOut, err := feed("-token", "ref")
+	if err != nil {
+		return fmt.Errorf("reference run: %v\n%s", err, refOut)
+	}
+	refFP := fpRe.FindStringSubmatch(refOut)
+	if refFP == nil {
+		return fmt.Errorf("no fingerprint in reference output:\n%s", refOut)
+	}
+
+	// Kill mid-stream: the connection drops with no detach frame, the trace
+	// the client minted is on the opened-session line.
+	killOut, err := feed("-token", "smoke", "-kill-after", "2500")
+	if err != nil {
+		return fmt.Errorf("kill run: %v\n%s", err, killOut)
+	}
+	tr := traceRe.FindStringSubmatch(killOut)
+	if tr == nil {
+		return fmt.Errorf("no trace ID in kill-run output:\n%s", killOut)
+	}
+	trace := tr[1]
+
+	// Resume (retrying while the server notices the drop): the resumed-at
+	// line and the result line must both carry the original trace.
+	var resOut string
+	deadline := time.Now().Add(opTimeout)
+	for {
+		resOut, err = feed("-token", "smoke", "-resume")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("resume never succeeded: %v\n%s", err, resOut)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	rm := resumeRe.FindStringSubmatch(resOut)
+	if rm == nil {
+		return fmt.Errorf("no resume position in output:\n%s", resOut)
+	}
+	if pos, _ := strconv.Atoi(rm[1]); pos <= 0 || pos > 2500 {
+		return fmt.Errorf("resume position %s outside (0, 2500]", rm[1])
+	}
+	for i, m := range traceRe.FindAllStringSubmatch(resOut, -1) {
+		if m[1] != trace {
+			return fmt.Errorf("trace changed across kill-and-resume (line %d): opened %s, got %s\n%s",
+				i, trace, m[1], resOut)
+		}
+	}
+	resFP := fpRe.FindStringSubmatch(resOut)
+	if resFP == nil {
+		return fmt.Errorf("no fingerprint in resumed output:\n%s", resOut)
+	}
+	if resFP[1] != refFP[1] {
+		return fmt.Errorf("resumed fingerprint %s, reference %s — kill-and-resume changed observable output",
+			resFP[1], refFP[1])
+	}
+
+	// scstat -json while healthy: probes up, and (default build) the resumed
+	// session visible with its original trace, finished, every edge counted.
+	st, err := scstatJSON(bins["scstat"], obsAddr)
+	if err != nil {
+		return err
+	}
+	if !st.Healthy || !st.Ready {
+		return fmt.Errorf("scstat before drain: healthy=%v ready=%v, want both true", st.Healthy, st.Ready)
+	}
+	if full {
+		row := st.findTrace(trace)
+		if row == nil {
+			return fmt.Errorf("/sessions has no row with trace %s: %+v", trace, st.Sessions.Sessions)
+		}
+		if row.State != "finished" || !row.Resumed {
+			return fmt.Errorf("resumed session row state=%s resumed=%v, want finished/true", row.State, row.Resumed)
+		}
+		if total, _ := strconv.Atoi(rm[2]); int(row.Edges) != total {
+			return fmt.Errorf("session row counted %d edges, stream has %s", row.Edges, rm[2])
+		}
+	} else if len(st.Sessions.Sessions) != 0 {
+		return fmt.Errorf("obsoff build still populates /sessions: %+v", st.Sessions.Sessions)
+	}
+
+	// Drain: SIGTERM, then the obs server (held open by -obs-hold) must
+	// report not-ready while the process checkpoints and exits.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	deadline = time.Now().Add(opTimeout)
+	for {
+		st, err = scstatJSON(bins["scstat"], obsAddr)
+		if err == nil && !st.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/readyz never flipped after SIGTERM (last: healthy=%v ready=%v err=%v)",
+				st.Healthy, st.Ready, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !st.Healthy {
+		return fmt.Errorf("draining server should stay live (healthy), got healthy=false")
+	}
+
+	if full {
+		if err := checkEvents(events, trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statJSON mirrors scstat's -json payload shape.
+type statJSON struct {
+	Healthy  bool `json:"healthy"`
+	Ready    bool `json:"ready"`
+	Sessions struct {
+		Sessions []sessionRow `json:"sessions"`
+	} `json:"sessions"`
+}
+
+type sessionRow struct {
+	Token   string `json:"token"`
+	Trace   string `json:"trace"`
+	State   string `json:"state"`
+	Resumed bool   `json:"resumed"`
+	Edges   int64  `json:"edges"`
+}
+
+func (s *statJSON) findTrace(trace string) *sessionRow {
+	for i := range s.Sessions.Sessions {
+		if s.Sessions.Sessions[i].Trace == trace {
+			return &s.Sessions.Sessions[i]
+		}
+	}
+	return nil
+}
+
+// scstatJSON runs `scstat -json` against addr and decodes the combined
+// snapshot.
+func scstatJSON(bin, addr string) (*statJSON, error) {
+	out, err := exec.Command(bin, "-addr", addr, "-json").Output()
+	if err != nil {
+		return nil, fmt.Errorf("scstat -json: %w", err)
+	}
+	st := &statJSON{}
+	if err := json.Unmarshal(out, st); err != nil {
+		return nil, fmt.Errorf("scstat -json output: %w\n%s", err, out)
+	}
+	return st, nil
+}
+
+// checkEvents asserts the wide-event log recorded the whole lifecycle of
+// the killed-and-resumed session, every line carrying its trace.
+func checkEvents(path, trace string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wide-event log: %w", err)
+	}
+	log := string(b)
+	for _, want := range []string{
+		`"event":"session_open"`,
+		`"event":"session_detach"`,
+		`"cause":"disconnect"`,
+		`"event":"session_resume"`,
+		`"event":"session_finish"`,
+		`"event":"server_drain"`,
+		`"trace":"` + trace + `"`,
+	} {
+		if !strings.Contains(log, want) {
+			return fmt.Errorf("wide-event log is missing %s\n--- log ---\n%s", want, clip(log))
+		}
+	}
+	// Every line must be standalone-parseable JSON (the self-describing
+	// wide-event contract).
+	for i, line := range strings.Split(strings.TrimSpace(log), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			return fmt.Errorf("wide-event line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+	}
+	return nil
+}
+
+// awaitBanner reads r until re matches, returning the first capture group.
+func awaitBanner(r io.Reader, re *regexp.Regexp) (string, error) {
+	buf := make([]byte, 0, 4096)
+	tmp := make([]byte, 512)
+	deadline := time.Now().Add(opTimeout)
+	for time.Now().Before(deadline) {
+		n, err := r.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if m := re.FindSubmatch(buf); m != nil {
+			return string(m[1]), nil
+		}
+		if err != nil {
+			return "", fmt.Errorf("scserve exited before its banner: %q", buf)
+		}
+	}
+	return "", fmt.Errorf("timed out waiting for banner %v; output so far: %q", re, buf)
+}
+
+// awaitObsAddr extracts ADDR from the "obs: serving metrics on
+// http://ADDR/metrics" stderr banner.
+func awaitObsAddr(r io.Reader) (string, error) {
+	return awaitBanner(r, regexp.MustCompile(`obs: serving metrics on http://(\S+)/metrics`))
+}
+
+func clip(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "\n... (clipped)"
+	}
+	return s
+}

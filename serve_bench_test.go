@@ -6,6 +6,12 @@ package streamcover
 // server frame reads, ring handoff, batched dispatch, result framing —
 // under the multi-tenant load the session manager is built for, and is
 // tracked by scbenchdiff alongside the local EndToEnd benchmarks.
+//
+// The ObsOff/Obs pair isolates the telemetry tax: the same workload with
+// no observability wired versus the full surface (session table, latency
+// histograms, serve metrics) attached. Their delta is the per-session
+// instrumentation overhead the zero-steady-state-allocation discipline is
+// supposed to keep negligible.
 
 import (
 	"context"
@@ -13,15 +19,19 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"streamcover/internal/obs"
 )
 
-func BenchmarkServeEndToEnd(b *testing.B) {
+// benchServeEndToEnd runs the 64-session loopback workload against a server
+// carrying the given observability handle (nil = uninstrumented).
+func benchServeEndToEnd(b *testing.B, so *obs.ServeObs) {
 	const n, m, opt, sessions = 300, 4000, 8, 64
 	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
 	edges := Arrange(w.Inst, RandomOrder, NewRand(23))
 	cfg := ServeConfig{Algo: "kk", N: n, M: m, StreamLen: len(edges), Seed: 42}
 
-	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Dir: b.TempDir()})
+	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Dir: b.TempDir(), Obs: so})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -80,4 +90,19 @@ func BenchmarkServeEndToEnd(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(edges)*sessions), "edges/op")
 	b.ReportMetric(sessions, "sessions/op")
+}
+
+func BenchmarkServeEndToEnd(b *testing.B) { benchServeEndToEnd(b, nil) }
+
+// BenchmarkServeEndToEndObsOff is the uninstrumented baseline of the pair
+// (same as BenchmarkServeEndToEnd, named so scbenchdiff lines it up against
+// the instrumented run below).
+func BenchmarkServeEndToEndObsOff(b *testing.B) { benchServeEndToEnd(b, nil) }
+
+// BenchmarkServeEndToEndObs attaches the full serving telemetry surface:
+// per-session table slots, frame-latency histograms, wide events disabled
+// (no writer), serve metrics registered on a private hub.
+func BenchmarkServeEndToEndObs(b *testing.B) {
+	hub := obs.NewHub(1024)
+	benchServeEndToEnd(b, hub.Serve())
 }
