@@ -34,13 +34,15 @@ experiments:
 experiments-full:
 	$(GO) run ./cmd/scbench -config full
 
-# Tier-1 gate (ROADMAP.md): static checks, full race-enabled test suite, a
-# one-iteration smoke of the perf-tracked benchmarks, and the compute-layer
-# equivalence smoke.
+# Tier-1 gate (ROADMAP.md): static checks, full race-enabled test suite, the
+# checkpoint-store conformance suite (both backends through the shared
+# contract tests), a one-iteration smoke of the perf-tracked benchmarks, and
+# the compute-layer equivalence smoke.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
+	$(GO) test -race -run TestStoreConformance ./internal/serve/store/
 	$(GO) test -run '^$$' -bench EndToEnd -benchtime 1x .
 	$(MAKE) kernel-smoke
 	$(MAKE) stat-smoke
@@ -66,9 +68,11 @@ resume-smoke:
 # End-to-end serving smoke: an in-process scserve session manager fed by the
 # scfeed client library across every algorithm — abrupt kill-and-reconnect
 # resume, and a full server drain-and-restart — byte-compared against
-# uninterrupted local runs (DESIGN.md §4f).
+# uninterrupted local runs (DESIGN.md §4f). Runs once per checkpoint-store
+# backend (DESIGN.md §4i): durable files, then in-process memory.
 serve-smoke:
-	$(GO) run ./internal/tools/servesmoke
+	$(GO) run ./internal/tools/servesmoke -store dir
+	$(GO) run ./internal/tools/servesmoke -store mem
 
 # Live-monitoring smoke (DESIGN.md §4h): real scserve/scfeed/scstat
 # processes over TCP — trace-ID survival across a mid-stream kill and

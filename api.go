@@ -429,9 +429,13 @@ type (
 	// ServeConfig is one session's algorithm shape, carried in hello and
 	// resume frames.
 	ServeConfig = serve.Config
-	// ServeServerConfig shapes a ServeServer (address, checkpoint dir,
+	// ServeServerConfig shapes a ServeServer (address, checkpoint store,
 	// timeouts).
 	ServeServerConfig = serve.ServerConfig
+	// ServeCheckpointStore persists detach checkpoints behind a pluggable
+	// Put/Get/Delete/List interface (FileStore, MemStore, or an embedder's
+	// own backend).
+	ServeCheckpointStore = serve.CheckpointStore
 	// ServeServer accepts SCWIRE1 connections and runs one registered
 	// streaming algorithm per session.
 	ServeServer = serve.Server
@@ -449,6 +453,14 @@ type (
 
 // NewServeServer builds a serving instance (and its session manager).
 func NewServeServer(cfg ServeServerConfig) (*ServeServer, error) { return serve.NewServer(cfg) }
+
+// NewServeFileStore opens (creating if absent) the durable atomic-file
+// checkpoint store: one `<token>.ckpt` per detached session.
+func NewServeFileStore(dir string) (ServeCheckpointStore, error) { return serve.NewFileStore(dir) }
+
+// NewServeMemStore returns the in-process checkpoint store — dirless and
+// fast, but checkpoints do not survive the process.
+func NewServeMemStore() ServeCheckpointStore { return serve.NewMemStore() }
 
 // DialServe connects a client to a running server.
 func DialServe(addr string) (*ServeClient, error) { return serve.Dial(addr) }
@@ -485,4 +497,7 @@ var (
 	// ErrServeDraining reports a session refused because the server is
 	// shutting down.
 	ErrServeDraining = serve.ErrDraining
+	// ErrServeCheckpointNotFound is the checkpoint stores' typed not-found
+	// error: Get/Delete on a token with no checkpoint wraps it.
+	ErrServeCheckpointNotFound = serve.ErrCheckpointNotFound
 )

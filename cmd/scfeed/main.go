@@ -12,7 +12,9 @@
 // -kill-after drops the connection mid-stream without so much as a detach
 // frame, and -resume reconnects, learns the server's checkpoint position
 // and resends only the remaining suffix. The final line of a resumed run
-// must match the uninterrupted run byte for byte.
+// must match the uninterrupted run byte for byte. Which checkpoint store
+// backs the resume (scserve -store dir|mem) is invisible on this side of
+// the wire — the client only ever sees positions.
 package main
 
 import (

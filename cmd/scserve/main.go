@@ -1,13 +1,20 @@
 // Command scserve runs the SCWIRE1 edge-stream ingestion service: it
 // accepts TCP connections from scfeed (or any SCWIRE1 client), runs one
 // registered streaming algorithm per session on the batched hot path, and
-// rides out disconnects by checkpointing detached sessions to disk so a
-// reconnecting client can resume exactly where it left off.
+// rides out disconnects by checkpointing detached sessions to a pluggable
+// checkpoint store so a reconnecting client can resume exactly where it
+// left off.
 //
 // Usage:
 //
 //	scserve -listen 127.0.0.1:7600 -dir /var/tmp/scserve
 //	scserve -listen :0 -dir ckpt -idle-timeout 30s
+//	scserve -listen :0 -store mem
+//
+// -store selects the checkpoint backend: "dir" (default) persists each
+// detached session as <token>.ckpt under -dir and survives restarts;
+// "mem" keeps checkpoints in process memory — resumes work across
+// disconnects but not across a process restart.
 //
 // SIGINT/SIGTERM drains gracefully: new sessions are refused, open
 // connections are woken, and every attached session is checkpointed before
@@ -34,7 +41,8 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		listen       = flag.String("listen", "127.0.0.1:7600", "TCP listen address (\":0\" picks a free port)")
-		dir          = flag.String("dir", "scserve-ckpt", "directory for detach checkpoints")
+		dir          = flag.String("dir", "scserve-ckpt", "directory for detach checkpoints (-store dir)")
+		storeKind    = flag.String("store", "dir", "checkpoint store backend: dir (durable files under -dir) or mem (in-process)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "detach a session after this long without a frame (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to checkpoint")
@@ -71,10 +79,27 @@ func run() int {
 		}
 	}
 
+	var ckpt serve.CheckpointStore
+	var where string
+	switch *storeKind {
+	case "dir":
+		fs, err := serve.NewFileStore(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
+			return 1
+		}
+		ckpt, where = fs, "dir "+*dir
+	case "mem":
+		ckpt, where = serve.NewMemStore(), "mem (lost on restart)"
+	default:
+		fmt.Fprintf(os.Stderr, "scserve: unknown -store %q (want dir or mem)\n", *storeKind)
+		return 2
+	}
+
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	srv, err := serve.NewServer(serve.ServerConfig{
 		Addr:         *listen,
-		Dir:          *dir,
+		Store:        ckpt,
 		IdleTimeout:  *idleTimeout,
 		WriteTimeout: *writeTimeout,
 		Obs:          so,
@@ -89,7 +114,7 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("scserve: listening on %s (algorithms: %v, checkpoints in %s)\n",
-		srv.Addr(), serve.Algorithms(), *dir)
+		srv.Addr(), serve.Algorithms(), where)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

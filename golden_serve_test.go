@@ -6,7 +6,10 @@ package streamcover
 // implementation's — the wire framing, session ring and batched dispatch
 // must not perturb a single byte of observable output. A second sweep
 // kills the connection mid-stream (no detach frame), resumes from the
-// server's checkpoint, and demands the same fingerprints again.
+// server's checkpoint, and demands the same fingerprints again — once per
+// checkpoint-store backend, pinning that detach/resume stays byte-exact
+// whether the checkpoint round-trips through the durable FileStore or the
+// in-process MemStore.
 
 import (
 	"context"
@@ -22,7 +25,7 @@ type goldenServeHarness struct {
 	edges map[Order][]Edge
 }
 
-func newGoldenServeHarness(t *testing.T) *goldenServeHarness {
+func newGoldenServeHarness(t *testing.T, st ServeCheckpointStore) *goldenServeHarness {
 	t.Helper()
 	const n, m, opt = 300, 4000, 8
 	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
@@ -30,7 +33,7 @@ func newGoldenServeHarness(t *testing.T) *goldenServeHarness {
 	for _, order := range []Order{SetMajor, RoundRobin, RandomOrder} {
 		h.edges[order] = Arrange(w.Inst, order, NewRand(23))
 	}
-	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Dir: t.TempDir()})
+	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,8 +88,32 @@ func (h *goldenServeHarness) waitDetached(t *testing.T) {
 	}
 }
 
+// goldenStoreBackends enumerates the checkpoint stores the resume sweep
+// runs against.
+func goldenStoreBackends(t *testing.T) []struct {
+	name string
+	open func(t *testing.T) ServeCheckpointStore
+} {
+	t.Helper()
+	return []struct {
+		name string
+		open func(t *testing.T) ServeCheckpointStore
+	}{
+		{"dir", func(t *testing.T) ServeCheckpointStore {
+			st, err := NewServeFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+		{"mem", func(t *testing.T) ServeCheckpointStore { return NewServeMemStore() }},
+	}
+}
+
 func TestGoldenOutputsThroughServer(t *testing.T) {
-	h := newGoldenServeHarness(t)
+	// No session detaches here, so the store never sees traffic; run on the
+	// dirless backend.
+	h := newGoldenServeHarness(t, NewServeMemStore())
 	for _, alg := range []string{"kk", "alg1", "alg2"} {
 		for _, order := range []Order{SetMajor, RoundRobin, RandomOrder} {
 			key := fmt.Sprintf("%s/%s", alg, order)
@@ -112,52 +139,60 @@ func TestGoldenOutputsThroughServer(t *testing.T) {
 // with no warning and resumes; the final output must still match the
 // golden fingerprints of an uninterrupted local run, and the session's
 // trace ID — minted at the original hello, recovered from the checkpoint —
-// must survive the kill unchanged.
+// must survive the kill unchanged. The sweep runs once per checkpoint
+// store backend: the checkpoint bytes round-trip through each store and
+// must reproduce the goldens either way.
 func TestGoldenOutputsThroughServerResume(t *testing.T) {
-	h := newGoldenServeHarness(t)
-	for _, alg := range []string{"kk", "alg1", "alg2"} {
-		order := RandomOrder
-		key := fmt.Sprintf("%s/%s", alg, order)
-		t.Run(key, func(t *testing.T) {
-			edges := h.edges[order]
-			cfg := h.config(alg, order)
-			token := "golden-" + alg
-			kill := len(edges) * 3 / 5
+	for _, backend := range goldenStoreBackends(t) {
+		backend := backend
+		t.Run(backend.name, func(t *testing.T) {
+			h := newGoldenServeHarness(t, backend.open(t))
+			for _, alg := range []string{"kk", "alg1", "alg2"} {
+				alg := alg
+				order := RandomOrder
+				key := fmt.Sprintf("%s/%s", alg, order)
+				t.Run(key, func(t *testing.T) {
+					edges := h.edges[order]
+					cfg := h.config(alg, order)
+					token := "golden-" + alg
+					kill := len(edges) * 3 / 5
 
-			c := h.dial(t)
-			c.Trace = NewTraceID()
-			minted := c.Trace
-			if _, err := c.Hello(token, cfg); err != nil {
-				t.Fatal(err)
-			}
-			if c.Trace != minted {
-				t.Fatalf("hello ack rewrote the client-minted trace: %s -> %s", minted, c.Trace)
-			}
-			fd := ServeFeeder{Edges: edges, Batch: 1024}
-			if err := fd.RunUntil(c, kill); err != nil {
-				t.Fatal(err)
-			}
-			c.Close() // crash the client: no flush, no detach
-			h.waitDetached(t)
+					c := h.dial(t)
+					c.Trace = NewTraceID()
+					minted := c.Trace
+					if _, err := c.Hello(token, cfg); err != nil {
+						t.Fatal(err)
+					}
+					if c.Trace != minted {
+						t.Fatalf("hello ack rewrote the client-minted trace: %s -> %s", minted, c.Trace)
+					}
+					fd := ServeFeeder{Edges: edges, Batch: 1024}
+					if err := fd.RunUntil(c, kill); err != nil {
+						t.Fatal(err)
+					}
+					c.Close() // crash the client: no flush, no detach
+					h.waitDetached(t)
 
-			c2 := h.dial(t)
-			c2.Trace = NewTraceID() // a fresh proposal must lose to the checkpoint's stamp
-			pos, err := c2.Resume(token, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if pos <= 0 || pos > kill {
-				t.Fatalf("resume position %d outside (0, %d]", pos, kill)
-			}
-			if c2.Trace != minted {
-				t.Fatalf("trace did not survive kill-and-resume: opened as %s, resumed as %s", minted, c2.Trace)
-			}
-			res, err := fd.Run(c2)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got, want := res.Fingerprint(), goldenExpected[key]; got != want {
-				t.Fatalf("resumed fingerprint %#x, want golden %#x — kill-and-reconnect changed observable output", got, want)
+					c2 := h.dial(t)
+					c2.Trace = NewTraceID() // a fresh proposal must lose to the checkpoint's stamp
+					pos, err := c2.Resume(token, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pos <= 0 || pos > kill {
+						t.Fatalf("resume position %d outside (0, %d]", pos, kill)
+					}
+					if c2.Trace != minted {
+						t.Fatalf("trace did not survive kill-and-resume: opened as %s, resumed as %s", minted, c2.Trace)
+					}
+					res, err := fd.Run(c2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := res.Fingerprint(), goldenExpected[key]; got != want {
+						t.Fatalf("resumed fingerprint %#x, want golden %#x — kill-and-reconnect changed observable output", got, want)
+					}
+				})
 			}
 		})
 	}

@@ -31,6 +31,15 @@ type ServeObs struct {
 	ackNs    *Histogram
 	resultNs *Histogram
 
+	// Checkpoint-store traffic: one put per detach, one get per resume,
+	// whatever the backend. Latency histograms catch a slow store (the
+	// durable backend fsyncs on the detach path); byte counters size the
+	// checkpoint traffic a cluster store would replicate.
+	storePutNs    *Histogram
+	storeGetNs    *Histogram
+	storePutBytes *Counter
+	storeGetBytes *Counter
+
 	// sessions is the hub's per-session telemetry table; events is the
 	// wide-event lifecycle log (off until SetEventWriter installs one).
 	sessions *SessionTable
@@ -69,6 +78,14 @@ func NewServeObs(reg *Registry, sessions *SessionTable) *ServeObs {
 			"flush|detach -> posAck latency, nanoseconds (queue-drain cost when edges are acked)."),
 		resultNs: reg.Histogram("streamcover_serve_result_ns",
 			"finish -> result latency, nanoseconds (drain + Finish + result framing)."),
+		storePutNs: reg.Histogram("streamcover_serve_store_put_ns",
+			"Checkpoint-store Put latency, nanoseconds (one per detach)."),
+		storeGetNs: reg.Histogram("streamcover_serve_store_get_ns",
+			"Checkpoint-store Get latency, nanoseconds (one per resume)."),
+		storePutBytes: reg.Counter("streamcover_serve_store_put_bytes_total",
+			"Checkpoint bytes written to the store."),
+		storeGetBytes: reg.Counter("streamcover_serve_store_get_bytes_total",
+			"Checkpoint bytes read from the store."),
 	}
 }
 
@@ -170,6 +187,26 @@ func (s *ServeObs) IngestStall() {
 		return
 	}
 	s.ingestStalls.Inc()
+}
+
+// StorePut records one checkpoint-store Put of the given size and
+// duration.
+func (s *ServeObs) StorePut(bytes int, ns int64) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.storePutNs.Observe(ns)
+	s.storePutBytes.Add(int64(bytes))
+}
+
+// StoreGet records one checkpoint-store Get of the given size and
+// duration.
+func (s *ServeObs) StoreGet(bytes int, ns int64) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.storeGetNs.Observe(ns)
+	s.storeGetBytes.Add(int64(bytes))
 }
 
 // Checkpoint records one persisted detach checkpoint.

@@ -31,6 +31,10 @@ type SessionEvent struct {
 	// Cause says why a detach or failure happened ("detach-frame",
 	// "disconnect", "drain", or an error string).
 	Cause string `json:"cause,omitempty"`
+
+	// Store names the checkpoint-store backend ("dir", "mem") on
+	// detach/resume events — the events whose durability depends on it.
+	Store string `json:"store,omitempty"`
 }
 
 // Lifecycle event names, so emitters and tests share one spelling.

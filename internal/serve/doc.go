@@ -5,6 +5,21 @@
 // path, and a deterministic client used both by the scfeed CLI and as the
 // test/load harness.
 //
+// # Layering
+//
+// The serving stack is three packages; this one is the transport:
+//
+//   - internal/serve/store persists opaque checkpoint blobs keyed by
+//     session token behind the CheckpointStore interface (FileStore for
+//     the durable `<token>.ckpt` directory, MemStore for dirless runs).
+//   - internal/serve/lifecycle owns the session state machine — open,
+//     resume, detach, finish, drain — plus the algorithm registry and the
+//     ingest ring. It imports neither net nor os.
+//   - this package speaks SCWIRE1 over TCP, decoding edge frames straight
+//     into ring buffers leased from Session.Reserve and mapping lifecycle
+//     errors onto wire error codes. Type aliases in serve.go re-export the
+//     lifecycle/store surface so consumers import one package.
+//
 // The edge-arrival model the paper studies is exactly what a network
 // ingestion path looks like — (S, u) tuples arriving one at a time with no
 // control over order — and the tight per-session space bounds are what make
@@ -46,7 +61,8 @@
 // On any disconnect — abrupt drop, read timeout, explicit detach, or
 // server drain on SIGTERM — the worker drains what was already queued and
 // the session persists an SCCKPT1 checkpoint (internal/snap discipline,
-// via stream.WriteCheckpoint) at the exact position it consumed. A
+// via stream.WriteCheckpointTraced, serialized to bytes and handed to the
+// configured CheckpointStore) at the exact position it consumed. A
 // reconnecting client sends a resume frame naming the session; the server
 // rebuilds a fresh algorithm from the session's configuration, restores
 // the checkpoint, and answers with the position the client must continue

@@ -1,0 +1,29 @@
+// Package lifecycle is the session layer of the serving stack: the
+// open/resume/detach/finish/drain state machine, entirely independent of
+// how edges arrive or where checkpoints live. A Manager owns the
+// multi-tenant session table; each Session wraps one streaming-algorithm
+// instance behind a reusable ring of edge buffers that keeps the
+// steady-state ingest path allocation-free.
+//
+// The layering contract, bottom to top:
+//
+//   - store (internal/serve/store) persists opaque checkpoint blobs keyed
+//     by session token. The lifecycle layer serializes SCCKPT1 envelopes
+//     to bytes and hands them to a CheckpointStore; it never touches a
+//     filesystem itself — this package imports neither net nor os, pinned
+//     by a test, so a cluster tier can run Managers against any store.
+//   - lifecycle (this package) decides what sessions exist, builds their
+//     algorithms from Configs, drains their rings, and turns detach into
+//     a trace-stamped checkpoint Put and resume into a Get plus restore.
+//   - transport (internal/serve) speaks SCWIRE1: it decodes edge frames
+//     directly into buffers leased from Session.Reserve, commits them
+//     with Enqueue, and maps lifecycle's typed errors onto wire error
+//     codes. It is the only layer that knows about connections.
+//
+// The ingest handshake replaces a monolithic "parse this frame" call so
+// the lifecycle never sees wire bytes: the transport calls Reserve to
+// lease the next free ring buffer (blocking — with an ingest-stall count
+// — when the algorithm is behind, which is the backpressure path),
+// decodes into it, then either Enqueue(n) to queue n edges for the
+// worker or Release to return the buffer untouched on a decode error.
+package lifecycle

@@ -1,0 +1,48 @@
+package lifecycle
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLifecycleImportsStayNarrow enforces the layering contract from the
+// package doc: the lifecycle layer must run anywhere — in a shard with no
+// listener, against a store with no filesystem — so its non-test sources
+// may import neither the network nor the OS. (The test itself may: test
+// files are not part of the package's import graph.)
+func TestLifecycleImportsStayNarrow(t *testing.T) {
+	banned := map[string]string{
+		"net":           "transport owns connections",
+		"os":            "store owns persistence",
+		"path/filepath": "store owns on-disk layout",
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if why, bad := banned[path]; bad {
+				t.Errorf("%s imports %q — forbidden in the lifecycle layer (%s)", name, path, why)
+			}
+		}
+	}
+}

@@ -1,13 +1,14 @@
-package serve
+package lifecycle
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
+	"time"
 
 	"streamcover/internal/obs"
+	"streamcover/internal/serve/store"
 	"streamcover/internal/stream"
 )
 
@@ -15,58 +16,84 @@ import (
 // currently attached to another connection.
 var ErrSessionActive = errors.New("serve: session already attached")
 
-// ErrUnknownSession reports a resume naming a token with no checkpoint on
-// disk.
+// ErrUnknownSession reports a resume naming a token with no checkpoint in
+// the store.
 var ErrUnknownSession = errors.New("serve: unknown session")
 
+// ErrDraining reports an open or resume rejected because the manager is
+// draining for shutdown. The transport maps it to a shutdown error frame;
+// the client package wraps it into its remote-error family.
+var ErrDraining = errors.New("server draining")
+
+// ErrToken reports a client-chosen session token outside the
+// filename-safe alphabet (store.ValidToken). The transport maps it to a
+// bad-frame error code.
+var ErrToken = errors.New("serve: invalid session token")
+
 // Manager owns the server's multi-tenant session state: which tokens are
-// attached, and the checkpoint directory that carries detached sessions
-// across disconnects (and across server restarts — resume is driven purely
-// by the on-disk SCCKPT1 file, not by in-memory state).
+// attached, and the checkpoint store that carries detached sessions across
+// disconnects (and across server restarts — resume is driven purely by the
+// stored SCCKPT1 blob, not by in-memory state). The manager serializes
+// checkpoints itself and moves only opaque bytes through the store, so the
+// same Manager runs against a directory, process memory, or the planned
+// cluster store.
 type Manager struct {
-	dir string
-	so  *obs.ServeObs
+	store     store.CheckpointStore
+	storeName string
+	so        *obs.ServeObs
 
 	mu       sync.Mutex
-	active   map[string]*session
+	active   map[string]*Session
 	draining bool
 	nextID   uint64
 }
 
-// NewManager creates a manager persisting detach checkpoints under dir
-// (created if absent). so may be nil to disable instrumentation.
-func NewManager(dir string, so *obs.ServeObs) (*Manager, error) {
-	if dir == "" {
-		return nil, errors.New("serve: manager needs a checkpoint directory")
+// NewManager creates a manager persisting detach checkpoints in st. so may
+// be nil to disable instrumentation.
+func NewManager(st store.CheckpointStore, so *obs.ServeObs) (*Manager, error) {
+	if st == nil {
+		return nil, errors.New("serve: manager needs a checkpoint store")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+	name := "custom"
+	if named, ok := st.(fmt.Stringer); ok {
+		name = named.String()
 	}
-	return &Manager{dir: dir, so: so, active: make(map[string]*session)}, nil
+	return &Manager{store: st, storeName: name, so: so, active: make(map[string]*Session)}, nil
 }
 
-// ckptPath is where the given session's detach checkpoint lives. Tokens
-// are validated against a filename-safe alphabet before they get here.
-func (m *Manager) ckptPath(token string) string {
-	return filepath.Join(m.dir, token+".ckpt")
-}
+// Store exposes the manager's checkpoint store (tests and tooling inspect
+// it).
+func (m *Manager) Store() store.CheckpointStore { return m.store }
 
-// validToken accepts filename-safe tokens only, so a token can never
-// escape the checkpoint directory or collide with temp files.
-func validToken(t string) bool {
-	if t == "" || len(t) > 64 || t[0] == '.' {
-		return false
+// StoreName reports the store backend's name ("dir", "mem", or "custom"),
+// as stamped on detach/resume wide events.
+func (m *Manager) StoreName() string { return m.storeName }
+
+// mintToken assigns the next server-chosen token, skipping tokens that are
+// currently attached or already hold a checkpoint in the store — the
+// in-memory counter resets on restart, and colliding with a detached
+// checkpoint left by the previous process would let Finish delete state a
+// client still intends to resume. Called with m.mu held.
+func (m *Manager) mintToken() (string, error) {
+	held, err := m.store.List()
+	if err != nil {
+		return "", fmt.Errorf("serve: minting token: %w", err)
 	}
-	for i := 0; i < len(t); i++ {
-		c := t[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
-		case c == '-' || c == '_' || c == '.':
-		default:
-			return false
+	taken := make(map[string]struct{}, len(held))
+	for _, t := range held {
+		taken[t] = struct{}{}
+	}
+	for {
+		m.nextID++
+		tok := fmt.Sprintf("s%06d", m.nextID)
+		if _, holds := taken[tok]; holds {
+			continue
 		}
+		if _, attached := m.active[tok]; attached {
+			continue
+		}
+		return tok, nil
 	}
-	return true
 }
 
 // Open starts a fresh session for cfg. An empty token asks the manager to
@@ -74,17 +101,19 @@ func validToken(t string) bool {
 // currently attached. A zero trace asks the manager to mint the session's
 // identity (v1 clients never send one); a non-zero trace — minted by the
 // client — is adopted as-is.
-func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*session, error) {
+func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*Session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		return nil, ErrDraining
 	}
 	if token == "" {
-		m.nextID++
-		token = fmt.Sprintf("s%06d", m.nextID)
-	} else if !validToken(token) {
-		return nil, fmt.Errorf("%w: bad session token %q", ErrWire, token)
+		var err error
+		if token, err = m.mintToken(); err != nil {
+			return nil, err
+		}
+	} else if !store.ValidToken(token) {
+		return nil, fmt.Errorf("%w: %q", ErrToken, token)
 	}
 	if _, ok := m.active[token]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrSessionActive, token)
@@ -110,21 +139,21 @@ func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*session, e
 // and restores the token's checkpoint into it, returning the session and
 // the stream position the client must resend from. A checkpoint written by
 // a different algorithm or instance shape surfaces the snap layer's typed
-// mismatch error (snap.ErrMismatch), which the server maps to a
-// codeMismatch error frame.
+// mismatch error (snap.ErrMismatch), which the transport maps to a
+// mismatch error frame.
 // The session's identity comes from the checkpoint when it carries one:
 // the trace stamped at the original open wins over whatever the resuming
 // client proposes, so one identity follows the session across every
 // disconnect. Pre-trace checkpoints fall back to the client's trace, then
 // to a fresh mint.
-func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*session, int, error) {
+func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*Session, int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		return nil, 0, ErrDraining
 	}
-	if !validToken(token) {
-		return nil, 0, fmt.Errorf("%w: bad session token %q", ErrWire, token)
+	if !store.ValidToken(token) {
+		return nil, 0, fmt.Errorf("%w: %q", ErrToken, token)
 	}
 	if _, ok := m.active[token]; ok {
 		return nil, 0, fmt.Errorf("%w: %q", ErrSessionActive, token)
@@ -133,11 +162,17 @@ func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*session,
 	if err != nil {
 		return nil, 0, err
 	}
-	pos, ckptTrace, err := stream.ReadCheckpointFileTraced(m.ckptPath(token), alg)
+	t0 := time.Now()
+	blob, err := m.store.Get(token)
 	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
+		if errors.Is(err, store.ErrNotFound) {
 			return nil, 0, fmt.Errorf("%w: %q has no checkpoint", ErrUnknownSession, token)
 		}
+		return nil, 0, fmt.Errorf("serve: resume %q: %w", token, err)
+	}
+	m.so.StoreGet(len(blob), time.Since(t0).Nanoseconds())
+	pos, ckptTrace, err := stream.ReadCheckpointTraced(bytes.NewReader(blob), alg)
+	if err != nil {
 		return nil, 0, fmt.Errorf("serve: resume %q: %w", token, err)
 	}
 	if !ckptTrace.IsZero() {
@@ -151,9 +186,26 @@ func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*session,
 	m.so.SessionOpened(true)
 	m.so.Event(obs.SessionEvent{
 		Event: obs.EventSessionResume, Token: token, Trace: trace.String(), Algo: cfg.Algo,
-		Edges: int64(pos),
+		Edges: int64(pos), Store: m.storeName,
 	})
 	return s, pos, nil
+}
+
+// putCheckpoint serializes s's state at pos into a trace-stamped SCCKPT1
+// envelope and stores it, returning the authoritative byte size straight
+// from the store's Put — no re-stat, and no filesystem assumed.
+func (m *Manager) putCheckpoint(s *Session, pos int) (int, error) {
+	var buf bytes.Buffer
+	if err := stream.WriteCheckpointTraced(&buf, pos, s.trace, s.alg); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	n, err := m.store.Put(s.token, buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	m.so.StorePut(n, time.Since(t0).Nanoseconds())
+	return n, nil
 }
 
 // Detach drains s, persists its checkpoint — stamped with the session's
@@ -161,36 +213,33 @@ func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*session,
 // frame and abrupt disconnects, with cause recording which ("detach-frame",
 // "disconnect", an error string); the two paths must behave identically for
 // disconnect tolerance to hold.
-func (m *Manager) Detach(s *session, cause string) (int, error) {
+func (m *Manager) Detach(s *Session, cause string) (int, error) {
 	pos, err := s.stop()
 	if err != nil {
 		m.fail(s, cause, err)
 		return 0, err
 	}
-	path := m.ckptPath(s.token)
-	if err := stream.WriteCheckpointFileTraced(path, pos, s.trace, s.alg); err != nil {
+	n, err := m.putCheckpoint(s, pos)
+	if err != nil {
 		err = fmt.Errorf("serve: checkpoint %q: %w", s.token, err)
 		m.fail(s, cause, err)
 		return pos, err
 	}
-	var ckptBytes int64
-	if fi, err := os.Stat(path); err == nil {
-		ckptBytes = fi.Size()
-		m.so.Checkpoint(int(ckptBytes))
-	}
-	s.tslot.Checkpoint(ckptBytes)
+	m.so.Checkpoint(n)
+	s.tslot.Checkpoint(int64(n))
 	s.tslot.SetState(obs.StateDetached)
 	m.release(s.token)
 	m.so.Event(obs.SessionEvent{
 		Event: obs.EventSessionDetach, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
-		Edges: int64(pos), IngestStalls: s.tslot.Stalls(), CheckpointBytes: ckptBytes, Cause: cause,
+		Edges: int64(pos), IngestStalls: s.tslot.Stalls(), CheckpointBytes: int64(n), Cause: cause,
+		Store: m.storeName,
 	})
 	return pos, nil
 }
 
 // Finish drains s, finishes the algorithm and retires the session for
 // good, removing any detach checkpoint left by an earlier disconnect.
-func (m *Manager) Finish(s *session) (Result, error) {
+func (m *Manager) Finish(s *Session) (Result, error) {
 	res, err := s.finish()
 	if err != nil {
 		m.fail(s, "finish", err)
@@ -198,7 +247,7 @@ func (m *Manager) Finish(s *session) (Result, error) {
 	}
 	s.tslot.SetState(obs.StateFinished)
 	m.release(s.token)
-	os.Remove(m.ckptPath(s.token)) // best-effort: may never have existed
+	m.store.Delete(s.token) // best-effort: may never have existed
 	m.so.Event(obs.SessionEvent{
 		Event: obs.EventSessionFinish, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
 		Edges: int64(res.Edges), IngestStalls: s.tslot.Stalls(),
@@ -207,7 +256,7 @@ func (m *Manager) Finish(s *session) (Result, error) {
 }
 
 // fail retires a session whose drain, checkpoint or finish went wrong.
-func (m *Manager) fail(s *session, cause string, err error) {
+func (m *Manager) fail(s *Session, cause string, err error) {
 	s.tslot.SetState(obs.StateFailed)
 	m.release(s.token)
 	m.so.Event(obs.SessionEvent{
@@ -225,9 +274,9 @@ func (m *Manager) release(token string) {
 	m.so.SessionClosed()
 }
 
-// Drain rejects all future hellos and resumes (codeShutdown on the wire).
-// Attached sessions keep running until their connections close; the
-// server's shutdown path then detaches each with a checkpoint.
+// Drain rejects all future hellos and resumes (a shutdown error frame on
+// the wire). Attached sessions keep running until their connections close;
+// the server's shutdown path then detaches each with a checkpoint.
 func (m *Manager) Drain() {
 	m.mu.Lock()
 	already := m.draining

@@ -1,6 +1,22 @@
-package serve
+package lifecycle
 
-import "hash/fnv"
+import (
+	"hash/fnv"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/space"
+)
+
+// Result is a finished session's complete observable output: everything the
+// library's Result carries that crosses the wire.
+type Result struct {
+	// Edges is the number of edges the session processed.
+	Edges int
+	// Cover is the output cover with its certificate.
+	Cover *setcover.Cover
+	// Space is the algorithm's peak space report.
+	Space space.Usage
+}
 
 // Fingerprint folds the session's complete observable output into one
 // FNV-64a hash — chosen sets, full certificate, edge count and both space

@@ -1,4 +1,4 @@
-package serve
+package lifecycle
 
 import (
 	"fmt"
@@ -7,6 +7,13 @@ import (
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
 )
+
+// MaxBatch is the largest number of edges one ingest batch may carry. It
+// matches stream.BatchSize so a served batch drains through ProcessBatch
+// in one call, and keeps a session's ring (ringDepth × MaxBatch edges)
+// modest enough to hold hundreds of concurrent sessions. The transport
+// enforces the same bound on edges frames.
+const MaxBatch = 4096
 
 // ringDepth is the number of reusable edge buffers in a session's inbound
 // ring. Depth 4 lets the connection reader decode ahead of the algorithm
@@ -26,8 +33,8 @@ const (
 	ctlStop // park the worker without finishing (detach path)
 )
 
-// slot is one unit handed from the connection reader to the session
-// worker: an edge buffer index, or a control request.
+// slot is one unit handed from the ingest side to the session worker: an
+// edge buffer index, or a control request.
 type slot struct {
 	idx int // ring buffer index; -1 for control slots
 	n   int
@@ -41,22 +48,24 @@ type reply struct {
 	err error
 }
 
-// session runs one algorithm instance fed over the wire. The connection
-// reader decodes edges frames directly into the ring's reusable buffers
-// (zero allocations per batch in steady state) and the worker goroutine
-// drains them through ProcessBatch — the library's batched hot path. All
-// session methods are called from the single connection reader goroutine;
-// the worker is the only other goroutine touching the algorithm.
-type session struct {
+// Session runs one algorithm instance fed from outside the package. The
+// transport leases ring buffers with Reserve, decodes edges into them
+// (zero allocations per batch in steady state — the lifecycle never sees
+// wire bytes) and commits them with Enqueue; the worker goroutine drains
+// them through ProcessBatch — the library's batched hot path. All Session
+// methods are called from a single feeding goroutine (the connection
+// reader); the worker is the only other goroutine touching the algorithm.
+type Session struct {
 	token string
 	trace obs.TraceID // session identity: minted at open, survives resume
 	cfg   Config
 	alg   stream.Algorithm
 
-	bufs  [][]stream.Edge
-	free  chan int
-	full  chan slot
-	resCh chan reply
+	bufs     [][]stream.Edge
+	free     chan int
+	full     chan slot
+	resCh    chan reply
+	reserved int // buffer index leased by Reserve, pending Enqueue/Release
 
 	stopped bool // worker has exited (finish or stop delivered)
 	so      *obs.ServeObs
@@ -66,18 +75,19 @@ type session struct {
 // newSession wraps alg (built for cfg) in a fresh ring and starts the
 // worker. pos is the stream position the algorithm state corresponds to
 // (0 for new sessions, the checkpoint position for resumed ones).
-func newSession(token string, trace obs.TraceID, cfg Config, alg stream.Algorithm, pos int, so *obs.ServeObs, tslot *obs.SessionSlot) *session {
-	s := &session{
-		token: token,
-		trace: trace,
-		cfg:   cfg,
-		alg:   alg,
-		bufs:  make([][]stream.Edge, ringDepth),
-		free:  make(chan int, ringDepth),
-		full:  make(chan slot, ringDepth),
-		resCh: make(chan reply, 1),
-		so:    so,
-		tslot: tslot,
+func newSession(token string, trace obs.TraceID, cfg Config, alg stream.Algorithm, pos int, so *obs.ServeObs, tslot *obs.SessionSlot) *Session {
+	s := &Session{
+		token:    token,
+		trace:    trace,
+		cfg:      cfg,
+		alg:      alg,
+		bufs:     make([][]stream.Edge, ringDepth),
+		free:     make(chan int, ringDepth),
+		full:     make(chan slot, ringDepth),
+		resCh:    make(chan reply, 1),
+		reserved: -1,
+		so:       so,
+		tslot:    tslot,
 	}
 	for i := range s.bufs {
 		s.bufs[i] = make([]stream.Edge, MaxBatch)
@@ -87,11 +97,21 @@ func newSession(token string, trace obs.TraceID, cfg Config, alg stream.Algorith
 	return s
 }
 
+// Token reports the session's token.
+func (s *Session) Token() string { return s.token }
+
+// Trace reports the session's identity: minted at open, carried by every
+// checkpoint, surviving resume.
+func (s *Session) Trace() obs.TraceID { return s.trace }
+
+// Config reports the configuration the session's algorithm was built from.
+func (s *Session) Config() Config { return s.cfg }
+
 // worker drains the ring into the algorithm. It owns the algorithm and the
 // position counter until a finish or stop control slot retires it; the
 // reply channel's happens-before edge publishes the state back to the
-// reader goroutine.
-func (s *session) worker(pos int) {
+// feeding goroutine.
+func (s *Session) worker(pos int) {
 	bp, isBP := s.alg.(stream.BatchProcessor)
 	for sl := range s.full {
 		switch sl.ctl {
@@ -122,10 +142,12 @@ func (s *session) worker(pos int) {
 	}
 }
 
-// ingest decodes one edges frame body into a free ring buffer and queues
-// it for the worker. When the ring is full the calling reader blocks —
-// that is the backpressure path, counted as an ingest stall.
-func (s *session) ingest(body []byte) error {
+// Reserve leases the next free ring buffer (capacity MaxBatch) for the
+// caller to decode an edge batch into. When the ring is full the caller
+// blocks until the worker frees a buffer — that is the backpressure path,
+// counted as an ingest stall. Every Reserve must be paired with exactly
+// one Enqueue (to commit) or Release (to abandon).
+func (s *Session) Reserve() []stream.Edge {
 	var idx int
 	select {
 	case idx = <-s.free:
@@ -134,19 +156,28 @@ func (s *session) ingest(body []byte) error {
 		s.tslot.Stall()
 		idx = <-s.free
 	}
-	n, err := parseEdgesInto(body, s.bufs[idx], s.cfg.N, s.cfg.M)
-	if err != nil {
-		s.free <- idx
-		return err
-	}
-	s.full <- slot{idx: idx, n: n}
+	s.reserved = idx
+	return s.bufs[idx]
+}
+
+// Enqueue commits the first n edges of the buffer leased by Reserve,
+// queueing them for the worker.
+func (s *Session) Enqueue(n int) {
+	s.full <- slot{idx: s.reserved, n: n}
+	s.reserved = -1
 	s.so.Batch(n)
 	s.tslot.Batch(n, len(s.full))
-	return nil
+}
+
+// Release returns the buffer leased by Reserve untouched (the caller's
+// decode failed; nothing reaches the algorithm).
+func (s *Session) Release() {
+	s.free <- s.reserved
+	s.reserved = -1
 }
 
 // control queues a control slot and waits for the worker's reply.
-func (s *session) control(k ctlKind) reply {
+func (s *Session) control(k ctlKind) reply {
 	if s.stopped {
 		return reply{err: fmt.Errorf("serve: session %s already stopped", s.token)}
 	}
@@ -159,16 +190,16 @@ func (s *session) control(k ctlKind) reply {
 	return r
 }
 
-// flush waits until everything queued so far has been processed and
+// Flush waits until everything queued so far has been processed and
 // returns the consumed position.
-func (s *session) flush() (int, error) {
+func (s *Session) Flush() (int, error) {
 	r := s.control(ctlFlush)
 	return r.pos, r.err
 }
 
 // finish drains the ring, finishes the algorithm and returns the result.
 // The session is dead afterwards.
-func (s *session) finish() (Result, error) {
+func (s *Session) finish() (Result, error) {
 	r := s.control(ctlFinish)
 	return r.res, r.err
 }
@@ -176,7 +207,7 @@ func (s *session) finish() (Result, error) {
 // stop drains the ring and parks the worker without finishing, returning
 // the consumed position. The algorithm may be snapshotted afterwards (the
 // reply established the happens-before edge).
-func (s *session) stop() (int, error) {
+func (s *Session) stop() (int, error) {
 	r := s.control(ctlStop)
 	return r.pos, r.err
 }

@@ -34,11 +34,12 @@ func testConfig(edges []stream.Edge) Config {
 }
 
 // startServer runs a server on a loopback port, shut down at test end.
+// Tests run dirless on a MemStore unless they ask for a specific backend.
 func startServer(t testing.TB, cfg ServerConfig) *Server {
 	t.Helper()
 	cfg.Addr = "127.0.0.1:0"
-	if cfg.Dir == "" {
-		cfg.Dir = t.TempDir()
+	if cfg.Store == nil && cfg.Dir == "" {
+		cfg.Store = NewMemStore()
 	}
 	srv, err := NewServer(cfg)
 	if err != nil {
@@ -529,7 +530,7 @@ func metricValue(t testing.TB, hub *obs.Hub, name string) float64 {
 
 // TestServeManagerRejectsBadConfigs covers the validation edges directly.
 func TestServeManagerRejectsBadConfigs(t *testing.T) {
-	mgr, err := NewManager(t.TempDir(), nil)
+	mgr, err := NewManager(NewMemStore(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -545,8 +546,113 @@ func TestServeManagerRejectsBadConfigs(t *testing.T) {
 			t.Errorf("Open accepted invalid config %+v", cfg)
 		}
 	}
-	if _, err := mgr.Open("../escape", obs.TraceID{}, Config{Algo: "kk", N: 10, M: 10}); !errors.Is(err, ErrWire) {
-		t.Errorf("path-escaping token: got %v, want ErrWire", err)
+	if _, err := mgr.Open("../escape", obs.TraceID{}, Config{Algo: "kk", N: 10, M: 10}); !errors.Is(err, ErrToken) {
+		t.Errorf("path-escaping token: got %v, want ErrToken", err)
+	}
+}
+
+// slowStore delays Put so tests can catch a server mid-detach.
+type slowStore struct {
+	CheckpointStore
+	putDelay time.Duration
+}
+
+func (s *slowStore) Put(token string, data []byte) (int, error) {
+	time.Sleep(s.putDelay)
+	return s.CheckpointStore.Put(token, data)
+}
+
+// TestServeShutdownContextCanceled expires the shutdown context while a
+// handler is mid-detach: Shutdown must return ctx.Err() promptly, and the
+// session must STILL land durably in the store — an abandoned shutdown may
+// give up waiting, never give up checkpointing.
+func TestServeShutdownContextCanceled(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	mem := NewMemStore()
+	slow := &slowStore{CheckpointStore: mem, putDelay: 250 * time.Millisecond}
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Store: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	c := dialT(t, srv)
+	if _, err := c.Hello("slowckpt", cfg); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 512}
+	const stop = 2048
+	if err := fd.RunUntil(c, stop); err != nil {
+		t.Fatal(err)
+	}
+	// Flush so the server has provably consumed through stop before the
+	// shutdown wake-up discards any unread bytes on the connection.
+	if pos, err := c.Flush(); err != nil || pos != stop {
+		t.Fatalf("flush: pos=%d err=%v", pos, err)
+	}
+
+	// Shutdown wakes the blocked reader, whose handler detaches into the
+	// slow store; the context expires long before the Put completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after shutdown", err)
+	}
+
+	// The handler keeps going in the background: the checkpoint must land.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if blob, err := mem.Get("slowckpt"); err == nil && len(blob) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never landed in the store after abandoned shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And it must be a complete, resumable checkpoint at the acked position.
+	srv2, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Store: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv2.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done2; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	c2 := dialT(t, srv2)
+	pos, err := c2.Resume("slowckpt", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != stop {
+		t.Fatalf("resumed at %d, want %d", pos, stop)
+	}
+}
+
+// TestServeNewServerNeedsStore: a server must be given a store or a
+// directory to open one on.
+func TestServeNewServerNeedsStore(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("NewServer without Store or Dir succeeded")
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"streamcover/internal/obs"
+	"streamcover/internal/serve/lifecycle"
+	"streamcover/internal/serve/store"
 	"streamcover/internal/snap"
 )
 
@@ -19,7 +21,11 @@ type ServerConfig struct {
 	// Addr is the TCP listen address (e.g. "127.0.0.1:7600"; ":0" picks a
 	// free port, readable from Addr() after Listen).
 	Addr string
-	// Dir is the checkpoint directory for detached sessions.
+	// Store persists detach checkpoints. Tests share a MemStore across
+	// server restarts; scserve builds it from its -store flag.
+	Store store.CheckpointStore
+	// Dir is a convenience: when Store is nil and Dir is set, the server
+	// opens a FileStore on it — the classic `<token>.ckpt` directory.
 	Dir string
 	// IdleTimeout bounds how long a connection may sit between frames
 	// before the server detaches it with a checkpoint; <= 0 means no limit.
@@ -35,7 +41,9 @@ type ServerConfig struct {
 // Server accepts SCWIRE1 connections and feeds each session's edges
 // through the registered streaming algorithms. One goroutine per
 // connection reads frames; one per session drains the ring — see the
-// package documentation for the full lifecycle.
+// package documentation for the full lifecycle. The server is pure
+// transport: session state lives in the lifecycle manager, checkpoints in
+// its store.
 type Server struct {
 	cfg ServerConfig
 	mgr *Manager
@@ -47,9 +55,22 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer builds a server (and its session manager) from cfg.
+// NewServer builds a server (and its session manager) from cfg, resolving
+// the checkpoint store from cfg.Store, falling back to a FileStore on
+// cfg.Dir.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	mgr, err := NewManager(cfg.Dir, cfg.Obs)
+	st := cfg.Store
+	if st == nil {
+		if cfg.Dir == "" {
+			return nil, errors.New("serve: server needs a checkpoint store (Store or Dir)")
+		}
+		fs, err := store.NewFileStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		st = fs
+	}
+	mgr, err := lifecycle.NewManager(st, cfg.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +132,9 @@ func (s *Server) Serve() error {
 // closes, and every open connection is woken (its pending read fails) so
 // its handler detaches the session with a checkpoint. It waits for all
 // handlers — bounded by ctx — so callers know every session is either
-// finished or durably checkpointed when it returns.
+// finished or durably checkpointed when it returns. On ctx expiry it
+// returns ctx.Err(); handlers already mid-detach still complete their
+// checkpoint Put in the background.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mgr.Drain()
 	s.mu.Lock()
@@ -178,13 +201,16 @@ func (s *Server) writeDeadline(conn net.Conn) {
 	}
 }
 
-// errCode classifies a session-layer error into a wire error code.
+// errCode classifies a lifecycle- or wire-layer error into a wire error
+// code.
 func errCode(err error) byte {
 	switch {
 	case errors.Is(err, snap.ErrMismatch):
 		return codeMismatch
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, lifecycle.ErrDraining):
 		return codeShutdown
+	case errors.Is(err, lifecycle.ErrToken):
+		return codeBadFrame
 	case errors.Is(err, ErrWire):
 		return codeBadFrame
 	default:
@@ -211,7 +237,9 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	// The first frame must open a session: hello (fresh) or resume.
+	// The first frame must open a session: hello (fresh) or resume. The
+	// session's Config is kept here — the shape validates every edge frame
+	// the transport decodes.
 	s.readDeadline(conn)
 	payload, err := f.readFrame()
 	if err != nil {
@@ -219,22 +247,23 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	helloT0 := time.Now()
-	var sess *session
+	var sess *Session
 	var pos int
+	var cfg Config
 	ver := protoV1 // negotiated handshake version for this connection
 	switch payload[0] {
 	case frameHello:
-		token, trace, v, cfg, perr := parseHello(payload[1:])
+		token, trace, v, c, perr := parseHello(payload[1:])
 		if perr == nil {
-			ver = v
+			ver, cfg = v, c
 			sess, err = s.mgr.Open(token, trace, cfg)
 		} else {
 			err = perr
 		}
 	case frameResume:
-		token, trace, v, cfg, perr := parseHello(payload[1:])
+		token, trace, v, c, perr := parseHello(payload[1:])
 		if perr == nil {
-			ver = v
+			ver, cfg = v, c
 			sess, pos, err = s.mgr.Resume(token, trace, cfg)
 		} else {
 			err = perr
@@ -250,12 +279,12 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	// Only v2 clients get the trace echoed: a v1 cursor rejects the extra
 	// ack bytes.
-	ackTrace := sess.trace
+	ackTrace := sess.Trace()
 	if ver < protoV2 {
 		ackTrace = obs.TraceID{}
 	}
 	s.writeDeadline(conn)
-	if err := f.writeHelloAck(sess.token, pos, ackTrace); err != nil {
+	if err := f.writeHelloAck(sess.Token(), pos, ackTrace); err != nil {
 		s.logf("serve: %s: hello ack: %v", conn.RemoteAddr(), err)
 		s.detach(sess, "hello-ack-write: "+err.Error())
 		return
@@ -267,22 +296,29 @@ func (s *Server) handle(conn net.Conn) {
 		payload, err := f.readFrame()
 		if err != nil {
 			// Disconnect, idle timeout or shutdown: checkpoint and park.
-			s.logf("serve: session %s: connection lost (%v), detaching with checkpoint", sess.token, err)
+			s.logf("serve: session %s: connection lost (%v), detaching with checkpoint", sess.Token(), err)
 			s.detach(sess, "disconnect")
 			return
 		}
 		switch payload[0] {
 		case frameEdges:
-			if err := sess.ingest(payload[1:]); err != nil {
-				s.logf("serve: session %s: %v", sess.token, err)
+			// Lease a ring buffer from the session, decode the frame
+			// straight into it (no copies, no allocations), and commit.
+			// Reserve blocking on a full ring is the backpressure path.
+			buf := sess.Reserve()
+			n, err := parseEdgesInto(payload[1:], buf, cfg.N, cfg.M)
+			if err != nil {
+				sess.Release()
+				s.logf("serve: session %s: %v", sess.Token(), err)
 				s.writeDeadline(conn)
 				f.writeError(errCode(err), err.Error())
 				s.detach(sess, "bad-edges: "+err.Error())
 				return
 			}
+			sess.Enqueue(n)
 		case frameFlush:
 			t0 := time.Now()
-			p, err := sess.flush()
+			p, err := sess.Flush()
 			if err != nil {
 				s.fail(conn, f, sess, err)
 				return
@@ -297,7 +333,7 @@ func (s *Server) handle(conn net.Conn) {
 			t0 := time.Now()
 			p, err := s.mgr.Detach(sess, "detach-frame")
 			if err != nil {
-				s.logf("serve: session %s: detach: %v", sess.token, err)
+				s.logf("serve: session %s: detach: %v", sess.Token(), err)
 				s.writeDeadline(conn)
 				f.writeError(errCode(err), err.Error())
 				return
@@ -311,14 +347,14 @@ func (s *Server) handle(conn net.Conn) {
 			t0 := time.Now()
 			res, err := s.mgr.Finish(sess)
 			if err != nil {
-				s.logf("serve: session %s: finish: %v", sess.token, err)
+				s.logf("serve: session %s: finish: %v", sess.Token(), err)
 				s.writeDeadline(conn)
 				f.writeError(errCode(err), err.Error())
 				return
 			}
 			s.writeDeadline(conn)
 			if err := f.writeResult(res); err != nil {
-				s.logf("serve: session %s: result write: %v", sess.token, err)
+				s.logf("serve: session %s: result write: %v", sess.Token(), err)
 			} else {
 				s.cfg.Obs.ResultLatency(time.Since(t0).Nanoseconds())
 			}
@@ -332,8 +368,8 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // fail reports err to the client and detaches the session.
-func (s *Server) fail(conn net.Conn, f *frameIO, sess *session, err error) {
-	s.logf("serve: session %s: %v", sess.token, err)
+func (s *Server) fail(conn net.Conn, f *frameIO, sess *Session, err error) {
+	s.logf("serve: session %s: %v", sess.Token(), err)
 	s.writeDeadline(conn)
 	f.writeError(errCode(err), err.Error())
 	s.detach(sess, "protocol-error: "+err.Error())
@@ -341,8 +377,8 @@ func (s *Server) fail(conn net.Conn, f *frameIO, sess *session, err error) {
 
 // detach checkpoints and releases sess, logging (not propagating) errors:
 // the connection is already gone.
-func (s *Server) detach(sess *session, cause string) {
+func (s *Server) detach(sess *Session, cause string) {
 	if _, err := s.mgr.Detach(sess, cause); err != nil {
-		s.logf("serve: session %s: detach checkpoint failed: %v", sess.token, err)
+		s.logf("serve: session %s: detach checkpoint failed: %v", sess.Token(), err)
 	}
 }

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStoreConformance runs every backend through the shared contract
+// suite: both implementations must be indistinguishable through the
+// CheckpointStore interface, because the lifecycle manager (and later the
+// cluster tier) treats them interchangeably.
+func TestStoreConformance(t *testing.T) {
+	backends := []struct {
+		name string
+		open func(t *testing.T) CheckpointStore
+	}{
+		{"file", func(t *testing.T) CheckpointStore {
+			fs, err := NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		}},
+		{"mem", func(t *testing.T) CheckpointStore { return NewMemStore() }},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			t.Run("put-get-roundtrip", func(t *testing.T) { testPutGetRoundTrip(t, b.open(t)) })
+			t.Run("put-reports-bytes", func(t *testing.T) { testPutReportsBytes(t, b.open(t)) })
+			t.Run("overwrite", func(t *testing.T) { testOverwrite(t, b.open(t)) })
+			t.Run("not-found-typed", func(t *testing.T) { testNotFoundTyped(t, b.open(t)) })
+			t.Run("delete", func(t *testing.T) { testDelete(t, b.open(t)) })
+			t.Run("list-sorted", func(t *testing.T) { testListSorted(t, b.open(t)) })
+			t.Run("no-aliasing", func(t *testing.T) { testNoAliasing(t, b.open(t)) })
+			t.Run("rejects-bad-tokens", func(t *testing.T) { testRejectsBadTokens(t, b.open(t)) })
+			t.Run("concurrent", func(t *testing.T) { testConcurrent(t, b.open(t)) })
+		})
+	}
+}
+
+func testPutGetRoundTrip(t *testing.T, st CheckpointStore) {
+	blob := []byte("SCCKPT1\npayload bytes")
+	if _, err := st.Put("tok", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Get returned %q, want %q", got, blob)
+	}
+}
+
+func testPutReportsBytes(t *testing.T, st CheckpointStore) {
+	for _, n := range []int{0, 1, 1024, 70_000} {
+		blob := bytes.Repeat([]byte{0xAB}, n)
+		written, err := st.Put("sized", blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != n {
+			t.Fatalf("Put(%d bytes) reported %d written", n, written)
+		}
+	}
+}
+
+func testOverwrite(t *testing.T, st CheckpointStore) {
+	if _, err := st.Put("tok", []byte("first, rather longer, checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("tok", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("after overwrite Get = %q, want %q", got, "second")
+	}
+	tokens, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 1 {
+		t.Fatalf("overwrite left %d tokens listed: %v", len(tokens), tokens)
+	}
+}
+
+func testNotFoundTyped(t *testing.T, st CheckpointStore) {
+	if _, err := st.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if err := st.Delete("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+func testDelete(t *testing.T, st CheckpointStore) {
+	if _, err := st.Put("tok", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("tok"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("tok"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+	if tokens, _ := st.List(); len(tokens) != 0 {
+		t.Fatalf("List after Delete = %v, want empty", tokens)
+	}
+}
+
+func testListSorted(t *testing.T, st CheckpointStore) {
+	for _, tok := range []string{"zeta", "alpha", "s000002", "s000001", "Mid"} {
+		if _, err := st.Put(tok, []byte(tok)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tokens, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Mid", "alpha", "s000001", "s000002", "zeta"}
+	if !reflect.DeepEqual(tokens, want) {
+		t.Fatalf("List = %v, want %v (sorted)", tokens, want)
+	}
+}
+
+// testNoAliasing pins the copy semantics the lifecycle layer depends on:
+// it reuses its serialization buffer after Put, and restores from the Get
+// slice while the store may be written concurrently.
+func testNoAliasing(t *testing.T, st CheckpointStore) {
+	buf := []byte("original")
+	if _, err := st.Put("tok", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBER!") // caller reuses its buffer
+	got, err := st.Get("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("Put aliased the caller's buffer: stored %q", got)
+	}
+	got[0] = '!' // caller mutates what Get handed out
+	again, err := st.Get("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != "original" {
+		t.Fatalf("Get aliased the stored blob: now %q", again)
+	}
+}
+
+func testRejectsBadTokens(t *testing.T, st CheckpointStore) {
+	for _, tok := range []string{"", ".hidden", "../escape", "a/b", "a b", "tok\x00", strings.Repeat("x", 65)} {
+		if _, err := st.Put(tok, []byte("x")); err == nil {
+			t.Errorf("Put accepted invalid token %q", tok)
+		}
+		if _, err := st.Get(tok); err == nil {
+			t.Errorf("Get accepted invalid token %q", tok)
+		}
+		if err := st.Delete(tok); err == nil {
+			t.Errorf("Delete accepted invalid token %q", tok)
+		}
+	}
+}
+
+// testConcurrent hammers disjoint tokens from several goroutines; run
+// under -race this pins that implementations are safe for the concurrent
+// connection handlers that call into them.
+func testConcurrent(t *testing.T, st CheckpointStore) {
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tok := fmt.Sprintf("w%03d", w)
+			blob := bytes.Repeat([]byte{byte(w)}, 64+w)
+			for r := 0; r < rounds; r++ {
+				if _, err := st.Put(tok, blob); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				got, err := st.Get(tok)
+				if err != nil || !bytes.Equal(got, blob) {
+					t.Errorf("worker %d round %d: got %d bytes, err %v", w, r, len(got), err)
+					return
+				}
+				if _, err := st.List(); err != nil {
+					t.Errorf("worker %d: list: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestFileStoreLayoutCompat pins the on-disk contract: a FileStore writes
+// exactly `<token>.ckpt` holding exactly the Put bytes — the layout every
+// pre-store scserve wrote — and reads checkpoints left by such a server.
+func TestFileStoreLayoutCompat(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("envelope bytes, verbatim")
+	if _, err := st.Put("legacy", blob); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "legacy.ckpt"))
+	if err != nil {
+		t.Fatalf("expected legacy.ckpt in the store directory: %v", err)
+	}
+	if !bytes.Equal(onDisk, blob) {
+		t.Fatalf("on-disk bytes %q differ from Put bytes %q", onDisk, blob)
+	}
+	// A file dropped in by an older server (plain write, no store) is
+	// visible through the interface.
+	if err := os.WriteFile(filepath.Join(dir, "older.ckpt"), []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("older")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("Get(older) = %q, %v", got, err)
+	}
+	tokens, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tokens, []string{"legacy", "older"}) {
+		t.Fatalf("List = %v", tokens)
+	}
+	// No temp-file droppings after successful Puts.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestFileStoreListIgnoresStrays: junk in the directory must not surface
+// as tokens or break List.
+func TestFileStoreListIgnoresStrays(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("real", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"notes.txt", "x.ckpt.tmp123", ".hidden.ckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.ckpt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tokens, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tokens, []string{"real"}) {
+		t.Fatalf("List = %v, want [real]", tokens)
+	}
+}
+
+func TestNewFileStoreValidation(t *testing.T) {
+	if _, err := NewFileStore(""); err == nil {
+		t.Fatal("NewFileStore(\"\") succeeded")
+	}
+	// Creating over an existing path that is a file must fail loudly.
+	f := filepath.Join(t.TempDir(), "flat")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(filepath.Join(f, "nested")); err == nil {
+		t.Fatal("NewFileStore under a regular file succeeded")
+	}
+}
+
+// TestStoreStringNames pins the backend names the wide-event `store` field
+// and the scserve banner print.
+func TestStoreStringNames(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.String() != "dir" {
+		t.Fatalf("FileStore.String() = %q, want dir", fs.String())
+	}
+	if NewMemStore().String() != "mem" {
+		t.Fatalf("MemStore.String() = %q, want mem", NewMemStore().String())
+	}
+}

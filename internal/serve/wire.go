@@ -9,8 +9,8 @@ import (
 	"math"
 
 	"streamcover/internal/obs"
+	"streamcover/internal/serve/lifecycle"
 	"streamcover/internal/setcover"
-	"streamcover/internal/space"
 	"streamcover/internal/stream"
 )
 
@@ -55,19 +55,14 @@ const (
 )
 
 // Wire limits: a frame payload is bounded so a corrupt length prefix cannot
-// provoke a pathological allocation, and an edges frame is bounded so ring
-// buffers can be sized once at session creation.
-const (
-	// MaxBatch is the largest number of edges one edges frame may carry. It
-	// matches stream.BatchSize so a served batch drains through ProcessBatch
-	// in one call, and keeps a session's ring (ringDepth × MaxBatch edges)
-	// modest enough to hold hundreds of concurrent sessions.
-	MaxBatch = 4096
-	// maxFramePayload bounds every frame payload. Generous enough for a
-	// MaxBatch edge frame of worst-case varints and for result frames of
-	// laptop-scale universes.
-	maxFramePayload = 1 << 22
-)
+// provoke a pathological allocation. An edges frame is additionally bounded
+// by MaxBatch (defined by the lifecycle layer, whose ring buffers are sized
+// to it once at session creation and re-exported in serve.go).
+//
+// maxFramePayload bounds every frame payload. Generous enough for a
+// MaxBatch edge frame of worst-case varints and for result frames of
+// laptop-scale universes.
+const maxFramePayload = 1 << 22
 
 // ErrWire is the family error for malformed SCWIRE1 traffic: bad magic, bad
 // CRC, truncated or oversized frames, unknown frame types.
@@ -82,8 +77,11 @@ var ErrRemote = errors.New("serve: remote error")
 var ErrRemoteMismatch = fmt.Errorf("%w: checkpoint mismatch", ErrRemote)
 
 // ErrDraining is the typed form of a code-shutdown error frame: the server
-// is shutting down and refused the session. It wraps ErrRemote.
-var ErrDraining = fmt.Errorf("%w: server draining", ErrRemote)
+// is shutting down and refused the session. It wraps both ErrRemote (for
+// clients matching the remote-error family) and lifecycle.ErrDraining (the
+// sentinel the session layer returns server-side), so errors.Is works on
+// either side of the wire.
+var ErrDraining = fmt.Errorf("%w: %w", ErrRemote, lifecycle.ErrDraining)
 
 // frameIO reads and writes SCWIRE1 frames over one connection, reusing its
 // buffers so steady-state frame traffic allocates nothing. Not safe for
@@ -391,18 +389,7 @@ func parsePosAck(body []byte) (int, error) {
 	return pos, c.done()
 }
 
-// Result is a finished session's complete observable output: everything the
-// library's Result carries that crosses the wire.
-type Result struct {
-	// Edges is the number of edges the session processed.
-	Edges int
-	// Cover is the output cover with its certificate.
-	Cover *setcover.Cover
-	// Space is the algorithm's peak space report.
-	Space space.Usage
-}
-
-// writeResult sends a result frame. Certificate entries use signed varints
+// writeResult sends a result frame carrying a lifecycle.Result. Certificate entries use signed varints
 // so NoSet (-1) round-trips.
 func (f *frameIO) writeResult(res Result) error {
 	f.beginFrame(frameResult)

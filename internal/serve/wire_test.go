@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"streamcover/internal/obs"
+	"streamcover/internal/serve/store"
 	"streamcover/internal/setcover"
 	"streamcover/internal/space"
 	"streamcover/internal/stream"
@@ -296,17 +297,20 @@ func TestWireTrailingBytesRejected(t *testing.T) {
 	}
 }
 
+// TestValidToken pins the token alphabet at the transport boundary; the
+// rule itself lives in the store layer (store.ValidToken), where it guards
+// every Put/Get/Delete.
 func TestValidToken(t *testing.T) {
 	good := []string{"a", "s000001", "T-1_x.9", "restart"}
 	bad := []string{"", ".hidden", "../escape", "a/b", "a b", "tok\x00", string(make([]byte, 65))}
 	for _, tok := range good {
-		if !validToken(tok) {
-			t.Errorf("validToken(%q) = false, want true", tok)
+		if !store.ValidToken(tok) {
+			t.Errorf("ValidToken(%q) = false, want true", tok)
 		}
 	}
 	for _, tok := range bad {
-		if validToken(tok) {
-			t.Errorf("validToken(%q) = true, want false", tok)
+		if store.ValidToken(tok) {
+			t.Errorf("ValidToken(%q) = true, want false", tok)
 		}
 	}
 }

@@ -14,12 +14,19 @@
 // certificate, edge count, space meters — compared via the golden
 // fingerprint scheme). A final leg drains the server mid-session
 // (Shutdown, as scserve does on SIGTERM), restarts it on the same
-// checkpoint directory, and resumes across the restart. Exit status is
+// checkpoint store, and resumes across the restart. Exit status is
 // non-zero on any divergence.
+//
+// -store selects the checkpoint backend under test: "dir" exercises the
+// durable FileStore (checkpoints in a temp directory), "mem" the
+// in-process MemStore (the restart leg hands the same store instance to
+// the new server, as a cluster shard adopting a peer's store would).
+// `make serve-smoke` runs both.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -31,27 +38,42 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
+	storeKind := flag.String("store", "dir", "checkpoint store backend to exercise: dir or mem")
+	flag.Parse()
+	if err := run(*storeKind); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-smoke[%s]: FAIL: %v\n", *storeKind, err)
 		os.Exit(1)
 	}
-	fmt.Println("serve-smoke: PASS")
+	fmt.Printf("serve-smoke[%s]: PASS\n", *storeKind)
 }
 
 const dialTimeout = 30 * time.Second
 
-func run() error {
-	dir, err := os.MkdirTemp("", "servesmoke")
-	if err != nil {
-		return err
+func run(storeKind string) error {
+	var st serve.CheckpointStore
+	switch storeKind {
+	case "dir":
+		dir, err := os.MkdirTemp("", "servesmoke")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fs, err := serve.NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		st = fs
+	case "mem":
+		st = serve.NewMemStore()
+	default:
+		return fmt.Errorf("unknown -store %q (want dir or mem)", storeKind)
 	}
-	defer os.RemoveAll(dir)
 
 	const n, m, opt = 400, 6000, 10
 	w := workload.Planted(xrand.New(101), n, m, opt, 0)
 	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(102))
 
-	srv, err := serve.NewServer(serve.ServerConfig{Addr: "127.0.0.1:0", Dir: dir})
+	srv, err := serve.NewServer(serve.ServerConfig{Addr: "127.0.0.1:0", Store: st})
 	if err != nil {
 		return err
 	}
@@ -84,7 +106,7 @@ func run() error {
 			name, kill, len(edges))
 	}
 
-	if err := drainAndRestart(srv, done, dir, base, edges, kill); err != nil {
+	if err := drainAndRestart(srv, done, st, base, edges, kill); err != nil {
 		return fmt.Errorf("drain-restart: %w", err)
 	}
 	fmt.Printf("serve-smoke: drain-restart ok (resumed across a server restart)\n")
@@ -162,8 +184,10 @@ func killAndReconnect(srv *serve.Server, cfg serve.Config, edges []stream.Edge, 
 
 // drainAndRestart kills the server (graceful Shutdown, as SIGTERM does)
 // while a session is attached mid-stream, restarts it on the same
-// checkpoint directory, and resumes there.
-func drainAndRestart(srv *serve.Server, done chan error, dir string, base serve.Config, edges []stream.Edge, kill int) error {
+// checkpoint store, and resumes there. With the dir backend this is a true
+// process-style restart (state only on disk); with mem it models a cluster
+// shard handing its store to a successor.
+func drainAndRestart(srv *serve.Server, done chan error, st serve.CheckpointStore, base serve.Config, edges []stream.Edge, kill int) error {
 	cfg := base
 	cfg.Algo, cfg.Seed = "kk", 7
 	ref, err := reference(srv.Addr(), cfg, edges)
@@ -203,7 +227,7 @@ func drainAndRestart(srv *serve.Server, done chan error, dir string, base serve.
 		return fmt.Errorf("server exit: %w", err)
 	}
 
-	srv2, err := serve.NewServer(serve.ServerConfig{Addr: "127.0.0.1:0", Dir: dir})
+	srv2, err := serve.NewServer(serve.ServerConfig{Addr: "127.0.0.1:0", Store: st})
 	if err != nil {
 		return err
 	}

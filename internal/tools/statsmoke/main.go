@@ -112,7 +112,7 @@ func leg(dir string, bins map[string]string, streamFile, serveBin, feedBin strin
 	events := filepath.Join(ckpt, "events.jsonl")
 
 	srv := exec.Command(serveBin,
-		"-listen", "127.0.0.1:0", "-dir", ckpt,
+		"-listen", "127.0.0.1:0", "-store", "dir", "-dir", ckpt,
 		"-obs-listen", "127.0.0.1:0", "-obs-hold", "45s",
 		"-events", events)
 	stdout, err := srv.StdoutPipe()

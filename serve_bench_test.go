@@ -31,7 +31,15 @@ func benchServeEndToEnd(b *testing.B, so *obs.ServeObs) {
 	edges := Arrange(w.Inst, RandomOrder, NewRand(23))
 	cfg := ServeConfig{Algo: "kk", N: n, M: m, StreamLen: len(edges), Seed: 42}
 
-	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Dir: b.TempDir(), Obs: so})
+	// Explicit FileStore: the benchmark keeps the same durable checkpoint
+	// backend it always had, so numbers stay comparable across the store
+	// refactor. (Sessions finish rather than detach, so the store stays off
+	// the measured path either way.)
+	st, err := NewServeFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServeServer(ServeServerConfig{Addr: "127.0.0.1:0", Store: st, Obs: so})
 	if err != nil {
 		b.Fatal(err)
 	}
