@@ -73,6 +73,7 @@ resume-smoke:
 serve-smoke:
 	$(GO) run ./internal/tools/servesmoke -store dir
 	$(GO) run ./internal/tools/servesmoke -store mem
+	$(GO) run -race ./internal/tools/servesmoke -store mem -contend 128
 
 # Live-monitoring smoke (DESIGN.md §4h): real scserve/scfeed/scstat
 # processes over TCP — trace-ID survival across a mid-stream kill and

@@ -28,6 +28,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -47,11 +48,23 @@ func run() int {
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to checkpoint")
 		events       = flag.String("events", "", "write session lifecycle wide events (one JSON line each) to this file (\"-\" = stderr)")
+		mutexFrac    = flag.Int("mutexprofile", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex on the -obs-addr mux (0 = off)")
+		blockRate    = flag.Int("blockprofile", 0, "sample blocking events >= n ns for /debug/pprof/block on the -obs-addr mux (0 = off)")
 	)
 	obsOpt := cli.RegisterObsFlags(flag.CommandLine)
 	flag.DurationVar(&obsOpt.Hold, "obs-hold", 0,
 		"keep the observability server up this long after drain, so probes can observe the not-ready state")
 	flag.Parse()
+
+	// Contention profiling is opt-in: the samplers cost a little on every
+	// lock handoff, and the profiles are only reachable through the obs
+	// mux, so they default off and are enabled for stripe-tuning runs.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	session, err := cli.StartObs(*obsOpt)
 	if err != nil {

@@ -379,7 +379,13 @@ func (a *Algorithm) Finish() *setcover.Cover {
 		panic("kk: Finish called twice")
 	}
 	a.finished = true
-	chosen := make([]setcover.SetID, 0, a.solCount+16)
+	patch := 0
+	for u := range a.cert {
+		if a.cert[u] == setcover.NoSet && a.first[u] != setcover.NoSet {
+			patch++
+		}
+	}
+	chosen := make([]setcover.SetID, 0, a.solCount+patch)
 	a.sol.ForEach(func(s int32) { chosen = append(chosen, s) })
 	for u := range a.cert {
 		if a.cert[u] == setcover.NoSet && a.first[u] != setcover.NoSet {
@@ -430,13 +436,15 @@ func (a *Algorithm) LevelCounts() []int {
 }
 
 func (a *Algorithm) computeLevelCounts() []int {
-	var counts []int
+	maxLvl := -1
 	for _, d := range a.deg {
-		lvl := int(d >> degLevelShift)
-		for len(counts) <= lvl {
-			counts = append(counts, 0)
+		if lvl := int(d >> degLevelShift); lvl > maxLvl {
+			maxLvl = lvl
 		}
-		counts[lvl]++
+	}
+	counts := make([]int, maxLvl+1)
+	for _, d := range a.deg {
+		counts[int(d>>degLevelShift)]++
 	}
 	return counts
 }

@@ -107,6 +107,13 @@ func (s *ServeObs) SetEventWriter(w io.Writer) {
 	s.events.Store(NewWideEventLog(w))
 }
 
+// Eventing reports whether Event would do anything at all, so callers can
+// skip building the event — and the trace-ID hex rendering inside it — on
+// the nil/compiled-out fast path.
+func (s *ServeObs) Eventing() bool {
+	return Enabled && s != nil
+}
+
 // Event emits one session lifecycle wide event (no-op until SetEventWriter
 // installs a destination).
 func (s *ServeObs) Event(ev SessionEvent) {

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"time"
 
@@ -28,28 +27,48 @@ type Client struct {
 	Trace obs.TraceID
 
 	token string
-	sent  int // edges sent since (re)attach, offset by the resume position
+	sent  int // edges handed to the transport, offset by the resume position
+
+	armed time.Time // deadline last armed at (coarse re-arming)
 }
 
-// Dial connects to a server and sends the protocol magic. No session is
-// open yet — follow with Hello or Resume.
+var magicBytes = []byte(Magic)
+
+// errRW is the connection stand-in a closed Client's frameIO points at, so
+// a stale handle errors like a closed connection instead of touching pooled
+// buffers.
+type errRW struct{}
+
+func (errRW) Read([]byte) (int, error)  { return 0, net.ErrClosed }
+func (errRW) Write([]byte) (int, error) { return 0, net.ErrClosed }
+
+// Dial connects to a server and queues the protocol magic; it rides ahead
+// of the first frame in one write. No session is open yet — follow with
+// Hello or Resume. Writes coalesce: edge batches seal into a local buffer
+// and ship as one write when it fills or a reply is awaited (readFrame
+// flushes).
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, f: newFrameIO(conn)}
-	if _, err := io.WriteString(conn, Magic); err != nil {
-		conn.Close()
-		return nil, err
-	}
+	c := &Client{conn: conn, f: clientFrameIOs.get(conn)}
+	c.f.queueRaw(magicBytes)
 	return c, nil
 }
 
 // Close drops the connection without detaching. The server notices the
 // disconnect and checkpoints the session, so a Close mid-stream is
-// recoverable via Resume — it is exactly the "killed client" case.
-func (c *Client) Close() error { return c.conn.Close() }
+// recoverable via Resume — it is exactly the "killed client" case. Queued
+// unflushed frames are dropped, not delivered: a kill is a kill.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	if f := c.f; f != nil && f.rw != nil {
+		c.f = newFrameIO(errRW{})
+		clientFrameIOs.put(f)
+	}
+	return err
+}
 
 // Token reports the session token assigned at Hello/Resume.
 func (c *Client) Token() string { return c.token }
@@ -58,12 +77,27 @@ func (c *Client) Token() string { return c.token }
 // client (edges acked as received plus the resume offset).
 func (c *Client) Pos() int { return c.sent }
 
+// deadlines arms both connection deadlines, coarsely: once armed, it only
+// re-arms after a quarter of the budget (at most a second of wall clock)
+// has elapsed, so the saturated send path stops paying two timer updates
+// per frame. Every blocking op therefore still has at least 3/4 of Timeout
+// in hand.
 func (c *Client) deadlines() {
-	if c.Timeout > 0 {
-		t := time.Now().Add(c.Timeout)
-		c.conn.SetReadDeadline(t)
-		c.conn.SetWriteDeadline(t)
+	if c.Timeout <= 0 {
+		return
 	}
+	now := time.Now()
+	rearm := c.Timeout / 4
+	if rearm > time.Second {
+		rearm = time.Second
+	}
+	if !c.armed.IsZero() && now.Sub(c.armed) < rearm {
+		return
+	}
+	c.armed = now
+	t := now.Add(c.Timeout)
+	c.conn.SetReadDeadline(t)
+	c.conn.SetWriteDeadline(t)
 }
 
 // expect reads one frame, decoding error frames into typed errors and
@@ -95,7 +129,7 @@ func (c *Client) Hello(token string, cfg Config) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	tok, pos, trace, err := parseHelloAck(body)
+	tok, pos, trace, err := parseHelloAck(body, token)
 	if err != nil {
 		return "", err
 	}
@@ -119,7 +153,7 @@ func (c *Client) Resume(token string, cfg Config) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	tok, pos, trace, err := parseHelloAck(body)
+	tok, pos, trace, err := parseHelloAck(body, token)
 	if err != nil {
 		return 0, err
 	}
@@ -130,9 +164,11 @@ func (c *Client) Resume(token string, cfg Config) (int, error) {
 	return pos, nil
 }
 
-// SendBatch ships one edge batch (at most MaxBatch edges). It does not
-// wait for acknowledgement — backpressure arrives through TCP when the
-// server's session ring is full.
+// SendBatch queues one edge batch (at most MaxBatch edges). Batches
+// coalesce locally and ship as one write once the buffer crosses its
+// threshold or the next reply is awaited — call Sync to force delivery
+// without waiting for an ack. It never waits for acknowledgement —
+// backpressure arrives through TCP when the server's session ring is full.
 func (c *Client) SendBatch(edges []stream.Edge) error {
 	c.deadlines()
 	if err := c.f.writeEdges(edges); err != nil {
@@ -140,6 +176,14 @@ func (c *Client) SendBatch(edges []stream.Edge) error {
 	}
 	c.sent += len(edges)
 	return nil
+}
+
+// Sync forces every queued batch onto the wire without awaiting an ack.
+// Methods that read a reply (Flush, Finish, Detach, Hello, Resume) sync
+// implicitly.
+func (c *Client) Sync() error {
+	c.deadlines()
+	return c.f.flushWrites()
 }
 
 // Flush blocks until the server has processed everything sent so far and
@@ -235,5 +279,8 @@ func (fd *Feeder) sendRange(c *Client, stop int) error {
 			return fmt.Errorf("serve: feeding edges [%d,%d): %w", pos, end, err)
 		}
 	}
-	return nil
+	// Everything handed to the feeder is on the wire when it returns: a
+	// caller that goes idle (or is killed) afterwards has still delivered
+	// every batch, exactly as the uncoalesced client did.
+	return c.Sync()
 }

@@ -64,87 +64,125 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0, frameHello, 0, 0, 0, 0})
 
+	// Coalesced-read seeds: several frames back to back in one input, the
+	// shape the windowed reader drains from one buffered refill. The big
+	// one crosses the initial read window so refill's compact-and-grow
+	// path starts seeded too.
+	f.Add(bytes.Join([][]byte{seeds[0], seeds[5], seeds[6], seeds[7]}, nil))
+	wide := fuzzFrame(f, func(fio *frameIO) error {
+		batch := make([]stream.Edge, 600)
+		for i := range batch {
+			batch[i] = stream.Edge{Set: 39, Elem: 29} // 1-byte varints
+		}
+		return fio.writeEdges(batch)
+	})
+	f.Add(bytes.Join([][]byte{wide, wide, wide, wide, wide, wide, wide, wide}, nil))
+	// Batch-decoder seeds: two-byte varints (the unrolled fast path's
+	// second case) and a hand-built body with maximal-width varints that
+	// exercise the binary.Uvarint fallback and the guarded tail loop.
+	f.Add(fuzzFrame(f, func(fio *frameIO) error {
+		return fio.writeEdges([]stream.Edge{{Set: 200, Elem: 150}, {Set: 12345, Elem: 4000}})
+	}))
+	maxVarints := []byte{4, 0, 0, 0, frameEdges, 2} // len, type, k=2
+	for i := 0; i < 4; i++ {
+		maxVarints = append(maxVarints, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	}
+	f.Add(maxVarints)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Drain every frame in the input through one frameIO: multi-frame
+		// inputs walk the read window across refills exactly like a
+		// coalesced connection drain.
 		fio := newFrameIO(bytes.NewBuffer(data))
-		payload, err := fio.readFrame()
+		for {
+			payload, err := fio.readFrame()
+			if err != nil {
+				if !wireTyped(err) {
+					t.Fatalf("untyped framing error: %v", err)
+				}
+				return
+			}
+			checkFramePayload(t, payload)
+		}
+	})
+}
+
+// checkFramePayload validates one accepted frame the way the fuzz target
+// always has: parsers may reject with typed errors only, and anything
+// accepted must survive a re-encode round trip unchanged.
+func checkFramePayload(t *testing.T, payload []byte) {
+	t.Helper()
+	switch payload[0] {
+	case frameHello, frameResume:
+		token, tr, ver, got, err := parseHello(payload[1:])
 		if err != nil {
 			if !wireTyped(err) {
-				t.Fatalf("untyped framing error: %v", err)
+				t.Fatalf("untyped hello error: %v", err)
 			}
 			return
 		}
-		switch payload[0] {
-		case frameHello, frameResume:
-			token, tr, ver, got, err := parseHello(payload[1:])
-			if err != nil {
-				if !wireTyped(err) {
-					t.Fatalf("untyped hello error: %v", err)
-				}
-				return
-			}
-			var buf bytes.Buffer
-			re := newFrameIO(&buf)
-			if err := re.writeHello(payload[0], ver, token, tr, got); err != nil {
-				t.Fatalf("re-encode of accepted hello failed: %v", err)
-			}
-			rp, err := re.readFrame()
-			if err != nil {
-				t.Fatal(err)
-			}
-			token2, tr2, ver2, got2, err := parseHello(rp[1:])
-			if err != nil || token2 != token || tr2 != tr || ver2 != ver || got2 != got {
-				t.Fatalf("hello round trip drifted: %q/%v/%d/%+v -> %q/%v/%d/%+v (%v)",
-					token, tr, ver, got, token2, tr2, ver2, got2, err)
-			}
-		case frameHelloAck:
-			token, pos, tr, err := parseHelloAck(payload[1:])
-			if err != nil {
-				if !wireTyped(err) {
-					t.Fatalf("untyped helloAck error: %v", err)
-				}
-				return
-			}
-			if pos < 0 {
-				t.Fatalf("accepted negative ack position %d", pos)
-			}
-			var buf bytes.Buffer
-			re := newFrameIO(&buf)
-			if err := re.writeHelloAck(token, pos, tr); err != nil {
-				t.Fatal(err)
-			}
-			rp, err := re.readFrame()
-			if err != nil {
-				t.Fatal(err)
-			}
-			token2, pos2, tr2, err := parseHelloAck(rp[1:])
-			if err != nil || token2 != token || pos2 != pos || tr2 != tr {
-				t.Fatalf("helloAck round trip drifted: %q/%d/%v -> %q/%d/%v (%v)",
-					token, pos, tr, token2, pos2, tr2, err)
-			}
-		case frameEdges:
-			dst := make([]stream.Edge, MaxBatch)
-			if _, err := parseEdgesInto(payload[1:], dst, 30, 40); err != nil && !wireTyped(err) {
-				t.Fatalf("untyped edges error: %v", err)
-			}
-		case framePosAck:
-			if _, err := parsePosAck(payload[1:]); err != nil && !wireTyped(err) {
-				t.Fatalf("untyped posAck error: %v", err)
-			}
-		case frameResult:
-			if _, err := parseResult(payload[1:]); err != nil && !wireTyped(err) {
-				t.Fatalf("untyped result error: %v", err)
-			}
-		case frameError:
-			// parseError always returns an error — the remote family for
-			// well-formed frames, ErrWire for mangled ones.
-			if err := parseError(payload[1:]); !wireTyped(err) {
-				t.Fatalf("untyped error-frame result: %v", err)
-			}
-		case frameFlush, frameFinish, frameDetach:
-			c := cursor{b: payload[1:]}
-			if err := c.done(); err != nil && !wireTyped(err) {
-				t.Fatalf("untyped control-frame error: %v", err)
-			}
+		var buf bytes.Buffer
+		re := newFrameIO(&buf)
+		if err := re.writeHello(payload[0], ver, token, tr, got); err != nil {
+			t.Fatalf("re-encode of accepted hello failed: %v", err)
 		}
-	})
+		rp, err := re.readFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		token2, tr2, ver2, got2, err := parseHello(rp[1:])
+		if err != nil || token2 != token || tr2 != tr || ver2 != ver || got2 != got {
+			t.Fatalf("hello round trip drifted: %q/%v/%d/%+v -> %q/%v/%d/%+v (%v)",
+				token, tr, ver, got, token2, tr2, ver2, got2, err)
+		}
+	case frameHelloAck:
+		token, pos, tr, err := parseHelloAck(payload[1:], "")
+		if err != nil {
+			if !wireTyped(err) {
+				t.Fatalf("untyped helloAck error: %v", err)
+			}
+			return
+		}
+		if pos < 0 {
+			t.Fatalf("accepted negative ack position %d", pos)
+		}
+		var buf bytes.Buffer
+		re := newFrameIO(&buf)
+		if err := re.writeHelloAck(token, pos, tr); err != nil {
+			t.Fatal(err)
+		}
+		rp, err := re.readFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		token2, pos2, tr2, err := parseHelloAck(rp[1:], "")
+		if err != nil || token2 != token || pos2 != pos || tr2 != tr {
+			t.Fatalf("helloAck round trip drifted: %q/%d/%v -> %q/%d/%v (%v)",
+				token, pos, tr, token2, pos2, tr2, err)
+		}
+	case frameEdges:
+		dst := make([]stream.Edge, MaxBatch)
+		if _, err := parseEdgesInto(payload[1:], dst, 30, 40); err != nil && !wireTyped(err) {
+			t.Fatalf("untyped edges error: %v", err)
+		}
+	case framePosAck:
+		if _, err := parsePosAck(payload[1:]); err != nil && !wireTyped(err) {
+			t.Fatalf("untyped posAck error: %v", err)
+		}
+	case frameResult:
+		if _, err := parseResult(payload[1:]); err != nil && !wireTyped(err) {
+			t.Fatalf("untyped result error: %v", err)
+		}
+	case frameError:
+		// parseError always returns an error — the remote family for
+		// well-formed frames, ErrWire for mangled ones.
+		if err := parseError(payload[1:]); !wireTyped(err) {
+			t.Fatalf("untyped error-frame result: %v", err)
+		}
+	case frameFlush, frameFinish, frameDetach:
+		c := cursor{b: payload[1:]}
+		if err := c.done(); err != nil && !wireTyped(err) {
+			t.Fatalf("untyped control-frame error: %v", err)
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamcover/internal/obs"
@@ -30,6 +31,21 @@ var ErrDraining = errors.New("server draining")
 // bad-frame error code.
 var ErrToken = errors.New("serve: invalid session token")
 
+// lockStripes shards the attached-session table so opens, flushes and
+// detaches of independent sessions stop serializing on one mutex. Tokens
+// hash to stripes; operations on one token only ever touch its stripe.
+// Power of two; sized with headroom over the contention knee measured by
+// BenchmarkServeSessionsScaling (DESIGN.md §4j).
+const lockStripes = 32
+
+// managerStripe is one shard of the attached-session table, padded out to
+// a cache line so stripes don't false-share under concurrent opens.
+type managerStripe struct {
+	mu     sync.Mutex
+	active map[string]*Session
+	_      [48]byte
+}
+
 // Manager owns the server's multi-tenant session state: which tokens are
 // attached, and the checkpoint store that carries detached sessions across
 // disconnects (and across server restarts — resume is driven purely by the
@@ -37,15 +53,23 @@ var ErrToken = errors.New("serve: invalid session token")
 // checkpoints itself and moves only opaque bytes through the store, so the
 // same Manager runs against a directory, process memory, or the planned
 // cluster store.
+//
+// The attached-token table is striped by token hash: sessions on different
+// tokens attach, flush and detach without sharing a lock. Server-chosen
+// token minting stays globally consistent — one mint lock serializes the
+// counter and its store consultation — but minting is off the per-frame
+// path entirely.
 type Manager struct {
 	store     store.CheckpointStore
 	storeName string
 	so        *obs.ServeObs
 
-	mu       sync.Mutex
-	active   map[string]*Session
-	draining bool
-	nextID   uint64
+	draining atomic.Bool
+
+	mintMu sync.Mutex // serializes server-chosen token assignment
+	nextID uint64     // guarded by mintMu
+
+	stripes [lockStripes]managerStripe
 }
 
 // NewManager creates a manager persisting detach checkpoints in st. so may
@@ -58,7 +82,11 @@ func NewManager(st store.CheckpointStore, so *obs.ServeObs) (*Manager, error) {
 	if named, ok := st.(fmt.Stringer); ok {
 		name = named.String()
 	}
-	return &Manager{store: st, storeName: name, so: so, active: make(map[string]*Session)}, nil
+	m := &Manager{store: st, storeName: name, so: so}
+	for i := range m.stripes {
+		m.stripes[i].active = make(map[string]*Session)
+	}
+	return m, nil
 }
 
 // Store exposes the manager's checkpoint store (tests and tooling inspect
@@ -69,12 +97,62 @@ func (m *Manager) Store() store.CheckpointStore { return m.store }
 // as stamped on detach/resume wide events.
 func (m *Manager) StoreName() string { return m.storeName }
 
+// stripeFor hashes a token (FNV-1a) to its lock stripe.
+func (m *Manager) stripeFor(token string) *managerStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(token); i++ {
+		h = (h ^ uint32(token[i])) * 16777619
+	}
+	return &m.stripes[h&(lockStripes-1)]
+}
+
+// claim reserves token in its stripe, failing if it is already attached.
+// The session pointer may be nil while the session is still being built;
+// adopt fills it in.
+func (m *Manager) claim(token string, s *Session) error {
+	st := m.stripeFor(token)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.active[token]; ok {
+		return fmt.Errorf("%w: %q", ErrSessionActive, token)
+	}
+	st.active[token] = s
+	return nil
+}
+
+// adopt records the built session under its already-claimed token.
+func (m *Manager) adopt(token string, s *Session) {
+	st := m.stripeFor(token)
+	st.mu.Lock()
+	st.active[token] = s
+	st.mu.Unlock()
+}
+
+// unclaim forgets a claimed token (failed open/resume, or release).
+func (m *Manager) unclaim(token string) {
+	st := m.stripeFor(token)
+	st.mu.Lock()
+	delete(st.active, token)
+	st.mu.Unlock()
+}
+
+// attached reports whether token is currently claimed.
+func (m *Manager) attached(token string) bool {
+	st := m.stripeFor(token)
+	st.mu.Lock()
+	_, ok := st.active[token]
+	st.mu.Unlock()
+	return ok
+}
+
 // mintToken assigns the next server-chosen token, skipping tokens that are
 // currently attached or already hold a checkpoint in the store — the
 // in-memory counter resets on restart, and colliding with a detached
 // checkpoint left by the previous process would let Finish delete state a
-// client still intends to resume. Called with m.mu held.
+// client still intends to resume.
 func (m *Manager) mintToken() (string, error) {
+	m.mintMu.Lock()
+	defer m.mintMu.Unlock()
 	held, err := m.store.List()
 	if err != nil {
 		return "", fmt.Errorf("serve: minting token: %w", err)
@@ -89,7 +167,7 @@ func (m *Manager) mintToken() (string, error) {
 		if _, holds := taken[tok]; holds {
 			continue
 		}
-		if _, attached := m.active[tok]; attached {
+		if m.attached(tok) {
 			continue
 		}
 		return tok, nil
@@ -101,25 +179,38 @@ func (m *Manager) mintToken() (string, error) {
 // currently attached. A zero trace asks the manager to mint the session's
 // identity (v1 clients never send one); a non-zero trace — minted by the
 // client — is adopted as-is.
+//
+// The token is claimed in its stripe before the algorithm is built, so
+// concurrent opens of independent tokens proceed in parallel and a
+// duplicate open fails fast; the claim is dropped if the build fails.
 func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.draining {
+	if m.draining.Load() {
 		return nil, ErrDraining
 	}
 	if token == "" {
-		var err error
-		if token, err = m.mintToken(); err != nil {
+		for {
+			t, err := m.mintToken()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.claim(t, nil); err == nil {
+				token = t
+				break
+			}
+			// An explicit hello raced us to the minted token between mint
+			// and claim; mint the next one.
+		}
+	} else {
+		if !store.ValidToken(token) {
+			return nil, fmt.Errorf("%w: %q", ErrToken, token)
+		}
+		if err := m.claim(token, nil); err != nil {
 			return nil, err
 		}
-	} else if !store.ValidToken(token) {
-		return nil, fmt.Errorf("%w: %q", ErrToken, token)
-	}
-	if _, ok := m.active[token]; ok {
-		return nil, fmt.Errorf("%w: %q", ErrSessionActive, token)
 	}
 	alg, err := Build(cfg)
 	if err != nil {
+		m.unclaim(token)
 		return nil, err
 	}
 	if trace.IsZero() {
@@ -127,11 +218,13 @@ func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*Session, e
 	}
 	tslot := m.so.AcquireSession(token, cfg.Algo, trace, false, 0)
 	s := newSession(token, trace, cfg, alg, 0, m.so, tslot)
-	m.active[token] = s
+	m.adopt(token, s)
 	m.so.SessionOpened(false)
-	m.so.Event(obs.SessionEvent{
-		Event: obs.EventSessionOpen, Token: token, Trace: trace.String(), Algo: cfg.Algo,
-	})
+	if m.so.Eventing() {
+		m.so.Event(obs.SessionEvent{
+			Event: obs.EventSessionOpen, Token: token, Trace: trace.String(), Algo: cfg.Algo,
+		})
+	}
 	return s, nil
 }
 
@@ -146,25 +239,29 @@ func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*Session, e
 // client proposes, so one identity follows the session across every
 // disconnect. Pre-trace checkpoints fall back to the client's trace, then
 // to a fresh mint.
+//
+// The token is claimed before the store read, so concurrent resumes of the
+// same token can't both restore the checkpoint, and resumes of independent
+// tokens don't serialize on each other's store I/O.
 func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*Session, int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.draining {
+	if m.draining.Load() {
 		return nil, 0, ErrDraining
 	}
 	if !store.ValidToken(token) {
 		return nil, 0, fmt.Errorf("%w: %q", ErrToken, token)
 	}
-	if _, ok := m.active[token]; ok {
-		return nil, 0, fmt.Errorf("%w: %q", ErrSessionActive, token)
+	if err := m.claim(token, nil); err != nil {
+		return nil, 0, err
 	}
 	alg, err := Build(cfg)
 	if err != nil {
+		m.unclaim(token)
 		return nil, 0, err
 	}
 	t0 := time.Now()
 	blob, err := m.store.Get(token)
 	if err != nil {
+		m.unclaim(token)
 		if errors.Is(err, store.ErrNotFound) {
 			return nil, 0, fmt.Errorf("%w: %q has no checkpoint", ErrUnknownSession, token)
 		}
@@ -173,6 +270,7 @@ func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*Session,
 	m.so.StoreGet(len(blob), time.Since(t0).Nanoseconds())
 	pos, ckptTrace, err := stream.ReadCheckpointTraced(bytes.NewReader(blob), alg)
 	if err != nil {
+		m.unclaim(token)
 		return nil, 0, fmt.Errorf("serve: resume %q: %w", token, err)
 	}
 	if !ckptTrace.IsZero() {
@@ -182,12 +280,15 @@ func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*Session,
 	}
 	tslot := m.so.AcquireSession(token, cfg.Algo, trace, true, int64(pos))
 	s := newSession(token, trace, cfg, alg, pos, m.so, tslot)
-	m.active[token] = s
+	s.persisted = true
+	m.adopt(token, s)
 	m.so.SessionOpened(true)
-	m.so.Event(obs.SessionEvent{
-		Event: obs.EventSessionResume, Token: token, Trace: trace.String(), Algo: cfg.Algo,
-		Edges: int64(pos), Store: m.storeName,
-	})
+	if m.so.Eventing() {
+		m.so.Event(obs.SessionEvent{
+			Event: obs.EventSessionResume, Token: token, Trace: trace.String(), Algo: cfg.Algo,
+			Edges: int64(pos), Store: m.storeName,
+		})
+	}
 	return s, pos, nil
 }
 
@@ -205,6 +306,7 @@ func (m *Manager) putCheckpoint(s *Session, pos int) (int, error) {
 		return 0, err
 	}
 	m.so.StorePut(n, time.Since(t0).Nanoseconds())
+	s.persisted = true
 	return n, nil
 }
 
@@ -229,11 +331,14 @@ func (m *Manager) Detach(s *Session, cause string) (int, error) {
 	s.tslot.Checkpoint(int64(n))
 	s.tslot.SetState(obs.StateDetached)
 	m.release(s.token)
-	m.so.Event(obs.SessionEvent{
-		Event: obs.EventSessionDetach, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
-		Edges: int64(pos), IngestStalls: s.tslot.Stalls(), CheckpointBytes: int64(n), Cause: cause,
-		Store: m.storeName,
-	})
+	if m.so.Eventing() {
+		m.so.Event(obs.SessionEvent{
+			Event: obs.EventSessionDetach, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
+			Edges: int64(pos), IngestStalls: s.tslot.Stalls(), CheckpointBytes: int64(n), Cause: cause,
+			Store: m.storeName,
+		})
+	}
+	s.retire()
 	return pos, nil
 }
 
@@ -247,30 +352,37 @@ func (m *Manager) Finish(s *Session) (Result, error) {
 	}
 	s.tslot.SetState(obs.StateFinished)
 	m.release(s.token)
-	m.store.Delete(s.token) // best-effort: may never have existed
-	m.so.Event(obs.SessionEvent{
-		Event: obs.EventSessionFinish, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
-		Edges: int64(res.Edges), IngestStalls: s.tslot.Stalls(),
-	})
+	if s.persisted {
+		m.store.Delete(s.token) // best-effort: the file may be gone already
+	}
+	if m.so.Eventing() {
+		m.so.Event(obs.SessionEvent{
+			Event: obs.EventSessionFinish, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
+			Edges: int64(res.Edges), IngestStalls: s.tslot.Stalls(),
+		})
+	}
+	s.retire()
 	return res, err
 }
 
-// fail retires a session whose drain, checkpoint or finish went wrong.
+// fail retires a session whose drain, checkpoint or finish went wrong. The
+// ring is not recycled — a session that failed mid-control may not be
+// quiescent.
 func (m *Manager) fail(s *Session, cause string, err error) {
 	s.tslot.SetState(obs.StateFailed)
 	m.release(s.token)
-	m.so.Event(obs.SessionEvent{
-		Event: obs.EventSessionFail, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
-		IngestStalls: s.tslot.Stalls(), Cause: cause + ": " + err.Error(),
-	})
+	if m.so.Eventing() {
+		m.so.Event(obs.SessionEvent{
+			Event: obs.EventSessionFail, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
+			IngestStalls: s.tslot.Stalls(), Cause: cause + ": " + err.Error(),
+		})
+	}
 }
 
 // release forgets an attached token. The caller has already retired the
 // session worker.
 func (m *Manager) release(token string) {
-	m.mu.Lock()
-	delete(m.active, token)
-	m.mu.Unlock()
+	m.unclaim(token)
 	m.so.SessionClosed()
 }
 
@@ -278,19 +390,21 @@ func (m *Manager) release(token string) {
 // the wire). Attached sessions keep running until their connections close;
 // the server's shutdown path then detaches each with a checkpoint.
 func (m *Manager) Drain() {
-	m.mu.Lock()
-	already := m.draining
-	m.draining = true
-	active := len(m.active)
-	m.mu.Unlock()
-	if !already {
-		m.so.Event(obs.SessionEvent{Event: obs.EventServerDrain, Active: int64(active)})
+	if !m.draining.Swap(true) {
+		if m.so.Eventing() {
+			m.so.Event(obs.SessionEvent{Event: obs.EventServerDrain, Active: int64(m.Active())})
+		}
 	}
 }
 
 // Active reports the number of attached sessions.
 func (m *Manager) Active() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.active)
+	n := 0
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		n += len(st.active)
+		st.mu.Unlock()
+	}
+	return n
 }

@@ -2,6 +2,7 @@ package lifecycle
 
 import (
 	"fmt"
+	"sync"
 
 	"streamcover/internal/obs"
 	"streamcover/internal/space"
@@ -48,6 +49,61 @@ type reply struct {
 	err error
 }
 
+// ring is a session's reusable ingest machinery: the edge buffers and the
+// channels that hand them between the connection reader and the worker.
+// It is by far the heaviest per-session allocation (ringDepth × MaxBatch
+// edges), so retired sessions return their quiescent rings to a pool and
+// fresh opens start with warm buffers.
+type ring struct {
+	bufs  [][]stream.Edge
+	free  chan int
+	full  chan slot
+	resCh chan reply
+}
+
+// ringFree recycles quiescent rings. A plain free-list rather than a
+// sync.Pool: rings are the heaviest per-session allocation and a GC cycle
+// between sessions would otherwise throw the warm buffers away, turning
+// session churn into steady-state allocation. Bounded at maxPooledRings so
+// a session spike does not pin its peak working set forever.
+var ringFree struct {
+	mu sync.Mutex
+	xs []*ring
+}
+
+const maxPooledRings = 256
+
+func newRing() *ring {
+	ringFree.mu.Lock()
+	if n := len(ringFree.xs); n > 0 {
+		r := ringFree.xs[n-1]
+		ringFree.xs[n-1] = nil
+		ringFree.xs = ringFree.xs[:n-1]
+		ringFree.mu.Unlock()
+		return r
+	}
+	ringFree.mu.Unlock()
+	r := &ring{
+		bufs:  make([][]stream.Edge, ringDepth),
+		free:  make(chan int, ringDepth),
+		full:  make(chan slot, ringDepth),
+		resCh: make(chan reply, 1),
+	}
+	for i := range r.bufs {
+		r.bufs[i] = make([]stream.Edge, MaxBatch)
+		r.free <- i
+	}
+	return r
+}
+
+// quiescent reports whether the ring is back in its pristine state: every
+// buffer in free, nothing queued, no unread reply. A cleanly stopped or
+// finished worker always leaves the ring this way — the stop/finish reply
+// happens strictly after every edge slot was processed and returned.
+func (r *ring) quiescent() bool {
+	return len(r.free) == ringDepth && len(r.full) == 0 && len(r.resCh) == 0
+}
+
 // Session runs one algorithm instance fed from outside the package. The
 // transport leases ring buffers with Reserve, decodes edges into them
 // (zero allocations per batch in steady state — the lifecycle never sees
@@ -61,18 +117,16 @@ type Session struct {
 	cfg   Config
 	alg   stream.Algorithm
 
-	bufs     [][]stream.Edge
-	free     chan int
-	full     chan slot
-	resCh    chan reply
+	*ring
 	reserved int // buffer index leased by Reserve, pending Enqueue/Release
 
-	stopped bool // worker has exited (finish or stop delivered)
+	stopped   bool // worker has exited (finish or stop delivered)
+	persisted bool // this session's lifetime wrote or read a store checkpoint
 	so      *obs.ServeObs
 	tslot   *obs.SessionSlot // per-session telemetry row (nil when off)
 }
 
-// newSession wraps alg (built for cfg) in a fresh ring and starts the
+// newSession wraps alg (built for cfg) in a pooled ring and starts the
 // worker. pos is the stream position the algorithm state corresponds to
 // (0 for new sessions, the checkpoint position for resumed ones).
 func newSession(token string, trace obs.TraceID, cfg Config, alg stream.Algorithm, pos int, so *obs.ServeObs, tslot *obs.SessionSlot) *Session {
@@ -81,20 +135,30 @@ func newSession(token string, trace obs.TraceID, cfg Config, alg stream.Algorith
 		trace:    trace,
 		cfg:      cfg,
 		alg:      alg,
-		bufs:     make([][]stream.Edge, ringDepth),
-		free:     make(chan int, ringDepth),
-		full:     make(chan slot, ringDepth),
-		resCh:    make(chan reply, 1),
+		ring:     newRing(),
 		reserved: -1,
 		so:       so,
 		tslot:    tslot,
 	}
-	for i := range s.bufs {
-		s.bufs[i] = make([]stream.Edge, MaxBatch)
-		s.free <- i
-	}
 	go s.worker(pos)
 	return s
+}
+
+// retire recycles a cleanly stopped session's ring. The session keeps its
+// stopped flag and loses the ring pointer, so a stale handle held past
+// Detach/Finish fails on the stopped guard and can never reach a ring that
+// now belongs to another session.
+func (s *Session) retire() {
+	r := s.ring
+	s.ring = nil
+	s.alg = nil
+	if r != nil && r.quiescent() {
+		ringFree.mu.Lock()
+		if len(ringFree.xs) < maxPooledRings {
+			ringFree.xs = append(ringFree.xs, r)
+		}
+		ringFree.mu.Unlock()
+	}
 }
 
 // Token reports the session's token.
@@ -176,7 +240,10 @@ func (s *Session) Release() {
 	s.reserved = -1
 }
 
-// control queues a control slot and waits for the worker's reply.
+// control queues a control slot and waits for the worker's reply. After a
+// finish or stop the stopped flag latches: the worker has exited, the ring
+// is quiescent and may be recycled, and any later call fails here without
+// touching it.
 func (s *Session) control(k ctlKind) reply {
 	if s.stopped {
 		return reply{err: fmt.Errorf("serve: session %s already stopped", s.token)}
@@ -185,7 +252,6 @@ func (s *Session) control(k ctlKind) reply {
 	r := <-s.resCh
 	if k == ctlFinish || k == ctlStop {
 		s.stopped = true
-		close(s.full)
 	}
 	return r
 }

@@ -689,6 +689,30 @@ func TestServeSteadyStateAllocs(t *testing.T) {
 	if allocs > 0.5 {
 		t.Fatalf("steady-state edge batch allocates %.1f objects, want 0", allocs)
 	}
+
+	// The coalesced path holds too: a burst of batches queues locally (the
+	// 8×~4KiB frames stay under the write threshold), ships as one write at
+	// Sync, and the flush round trip drains it — still zero allocations.
+	burst := func() {
+		for i := 0; i < 8; i++ {
+			if err := c.SendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		burst()
+	}
+	allocs = testing.AllocsPerRun(50, burst)
+	if allocs > 0.5 {
+		t.Fatalf("steady-state coalesced burst allocates %.1f objects, want 0", allocs)
+	}
 }
 
 // TestServeConcurrentSessionsRace runs many simultaneous sessions — plain

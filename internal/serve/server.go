@@ -187,17 +187,38 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// readDeadline arms the idle timeout before a frame read.
+// readDeadline arms the idle timeout before the opening magic read; inside
+// the frame loop the frameIO's armRead hook re-arms it coarsely.
 func (s *Server) readDeadline(conn net.Conn) {
 	if s.cfg.IdleTimeout > 0 {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	}
 }
 
-// writeDeadline arms the write timeout before a response write.
-func (s *Server) writeDeadline(conn net.Conn) {
+// armHooks wires the connection's deadline management into f. The idle
+// deadline is re-armed coarsely — once per quarter of the timeout (at most
+// once per second) rather than per frame — so the saturated ingest path
+// stops paying a timer update per frame; the worst case stretches an idle
+// detach by a quarter of the configured timeout. The write deadline is
+// armed per flush, which is already coalesced.
+func (s *Server) armHooks(f *frameIO, conn net.Conn) {
+	if s.cfg.IdleTimeout > 0 {
+		armEvery := s.cfg.IdleTimeout / 4
+		if armEvery > time.Second {
+			armEvery = time.Second
+		}
+		var lastArm time.Time
+		f.armRead = func() {
+			if now := time.Now(); now.Sub(lastArm) >= armEvery {
+				lastArm = now
+				conn.SetReadDeadline(now.Add(s.cfg.IdleTimeout))
+			}
+		}
+	}
 	if s.cfg.WriteTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		f.armWrite = func() {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 	}
 }
 
@@ -230,9 +251,14 @@ func (s *Server) handle(conn net.Conn) {
 		s.logf("serve: %s: reading magic: %v", conn.RemoteAddr(), err)
 		return
 	}
-	f := newFrameIO(conn)
+	// The frameIO is pooled across connections (read window and sealed
+	// write buffers survive) and coalesces: replies queue until the next
+	// frame read flushes them — or this deferred flush does, on every
+	// return path before the connection closes.
+	f := getFrameIO(conn)
+	defer putFrameIO(f)
+	s.armHooks(f, conn)
 	if string(magic[:]) != Magic {
-		s.writeDeadline(conn)
 		f.writeError(codeBadFrame, fmt.Sprintf("bad magic %q", magic[:]))
 		return
 	}
@@ -240,7 +266,6 @@ func (s *Server) handle(conn net.Conn) {
 	// The first frame must open a session: hello (fresh) or resume. The
 	// session's Config is kept here — the shape validates every edge frame
 	// the transport decodes.
-	s.readDeadline(conn)
 	payload, err := f.readFrame()
 	if err != nil {
 		s.logf("serve: %s: reading opening frame: %v", conn.RemoteAddr(), err)
@@ -273,7 +298,6 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	if err != nil {
 		s.logf("serve: %s: open: %v", conn.RemoteAddr(), err)
-		s.writeDeadline(conn)
 		f.writeError(errCode(err), err.Error())
 		return
 	}
@@ -283,7 +307,6 @@ func (s *Server) handle(conn net.Conn) {
 	if ver < protoV2 {
 		ackTrace = obs.TraceID{}
 	}
-	s.writeDeadline(conn)
 	if err := f.writeHelloAck(sess.Token(), pos, ackTrace); err != nil {
 		s.logf("serve: %s: hello ack: %v", conn.RemoteAddr(), err)
 		s.detach(sess, "hello-ack-write: "+err.Error())
@@ -292,7 +315,6 @@ func (s *Server) handle(conn net.Conn) {
 	s.cfg.Obs.HelloLatency(time.Since(helloT0).Nanoseconds())
 
 	for {
-		s.readDeadline(conn)
 		payload, err := f.readFrame()
 		if err != nil {
 			// Disconnect, idle timeout or shutdown: checkpoint and park.
@@ -310,7 +332,6 @@ func (s *Server) handle(conn net.Conn) {
 			if err != nil {
 				sess.Release()
 				s.logf("serve: session %s: %v", sess.Token(), err)
-				s.writeDeadline(conn)
 				f.writeError(errCode(err), err.Error())
 				s.detach(sess, "bad-edges: "+err.Error())
 				return
@@ -320,10 +341,9 @@ func (s *Server) handle(conn net.Conn) {
 			t0 := time.Now()
 			p, err := sess.Flush()
 			if err != nil {
-				s.fail(conn, f, sess, err)
+				s.fail(f, sess, err)
 				return
 			}
-			s.writeDeadline(conn)
 			if err := f.writePosAck(p); err != nil {
 				s.detach(sess, "pos-ack-write: "+err.Error())
 				return
@@ -334,11 +354,9 @@ func (s *Server) handle(conn net.Conn) {
 			p, err := s.mgr.Detach(sess, "detach-frame")
 			if err != nil {
 				s.logf("serve: session %s: detach: %v", sess.Token(), err)
-				s.writeDeadline(conn)
 				f.writeError(errCode(err), err.Error())
 				return
 			}
-			s.writeDeadline(conn)
 			if f.writePosAck(p) == nil {
 				s.cfg.Obs.AckLatency(time.Since(t0).Nanoseconds())
 			}
@@ -348,11 +366,9 @@ func (s *Server) handle(conn net.Conn) {
 			res, err := s.mgr.Finish(sess)
 			if err != nil {
 				s.logf("serve: session %s: finish: %v", sess.Token(), err)
-				s.writeDeadline(conn)
 				f.writeError(errCode(err), err.Error())
 				return
 			}
-			s.writeDeadline(conn)
 			if err := f.writeResult(res); err != nil {
 				s.logf("serve: session %s: result write: %v", sess.Token(), err)
 			} else {
@@ -361,16 +377,15 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		default:
 			err := fmt.Errorf("%w: unexpected frame 0x%02x", ErrWire, payload[0])
-			s.fail(conn, f, sess, err)
+			s.fail(f, sess, err)
 			return
 		}
 	}
 }
 
 // fail reports err to the client and detaches the session.
-func (s *Server) fail(conn net.Conn, f *frameIO, sess *Session, err error) {
+func (s *Server) fail(f *frameIO, sess *Session, err error) {
 	s.logf("serve: session %s: %v", sess.Token(), err)
-	s.writeDeadline(conn)
 	f.writeError(errCode(err), err.Error())
 	s.detach(sess, "protocol-error: "+err.Error())
 }

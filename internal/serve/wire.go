@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 
 	"streamcover/internal/obs"
 	"streamcover/internal/serve/lifecycle"
@@ -64,6 +65,20 @@ const (
 // laptop-scale universes.
 const maxFramePayload = 1 << 22
 
+// Coalescing parameters. The read window lets one syscall surface several
+// queued frames (a MaxBatch edge frame of planted-workload varints is a few
+// KiB, so the server window drains ~a dozen frames per read); the write
+// buffer seals frames back-to-back and ships them with one write. Sizes
+// are validated by BenchmarkServeSessionsScaling — see DESIGN.md §4j.
+const (
+	clientReadWindow = 4 << 10  // acks are tiny; results are read once
+	serverReadWindow = 64 << 10 // the ingest path: many edge frames per drain
+
+	maxWriteQueueBytes = 64 << 10 // flush the write buffer past this size
+
+	maxPooledBuf = 1 << 20 // pooled frameIOs drop buffers grown past this
+)
+
 // ErrWire is the family error for malformed SCWIRE1 traffic: bad magic, bad
 // CRC, truncated or oversized frames, unknown frame types.
 var ErrWire = errors.New("serve: wire protocol error")
@@ -86,73 +101,243 @@ var ErrDraining = fmt.Errorf("%w: %w", ErrRemote, lifecycle.ErrDraining)
 // frameIO reads and writes SCWIRE1 frames over one connection, reusing its
 // buffers so steady-state frame traffic allocates nothing. Not safe for
 // concurrent use; each endpoint owns one per connection side.
+//
+// Reads go through a sliding window so one syscall can surface several
+// queued frames; writes seal frames back-to-back into one reusable buffer
+// and, when coalescing is enabled, accumulate until a size threshold or
+// the next read ships them as one write. readFrame always flushes the
+// buffer first, so a request and its reply can never deadlock on unsent
+// bytes.
 type frameIO struct {
-	rw  io.ReadWriter
-	hdr [4]byte
-	in  []byte // reusable read buffer (payload + trailer)
-	out []byte // reusable write buffer (header + payload + trailer)
+	rw io.ReadWriter
+
+	// Read side: rbuf[rpos:rlen] holds bytes received but not yet consumed.
+	rbuf    []byte
+	rpos    int
+	rlen    int
+	rsize   int    // initial window size (0 picks clientReadWindow)
+	armRead func() // called before each network read (deadline re-arming)
+
+	// Write side: sealed frames accumulate back-to-back in wbuf and ship
+	// as one plain write; out aliases wbuf's tail while a frame is under
+	// construction (fstart marks where its length prefix begins).
+	out      []byte
+	wbuf     []byte
+	fstart   int
+	coalesce bool
+	armWrite func() // called before each network write (deadline re-arming)
 }
 
 func newFrameIO(rw io.ReadWriter) *frameIO {
-	return &frameIO{rw: rw, in: make([]byte, 0, 4096), out: make([]byte, 0, 4096)}
+	return &frameIO{rw: rw, rsize: clientReadWindow}
+}
+
+// frameIOFree recycles frameIOs across connections so the read window and
+// sealed-frame buffers survive and a fresh connection's frame traffic
+// allocates nothing. It is a plain free-list rather than a sync.Pool: the
+// warm buffers are the point, and sync.Pool drops its contents at every GC
+// cycle — with session churn that showed up as steady-state allocation in
+// the serving benchmarks. Retention is bounded by maxPooledIOs entries.
+type frameIOFree struct {
+	mu    sync.Mutex
+	rsize int
+	xs    []*frameIO
+}
+
+// maxPooledIOs bounds each free-list, so a connection spike does not pin
+// its peak working set forever.
+const maxPooledIOs = 256
+
+var (
+	serverFrameIOs = frameIOFree{rsize: serverReadWindow}
+	clientFrameIOs = frameIOFree{rsize: clientReadWindow}
+)
+
+func (l *frameIOFree) get(rw io.ReadWriter) *frameIO {
+	l.mu.Lock()
+	var f *frameIO
+	if n := len(l.xs); n > 0 {
+		f = l.xs[n-1]
+		l.xs[n-1] = nil
+		l.xs = l.xs[:n-1]
+	}
+	l.mu.Unlock()
+	if f == nil {
+		f = &frameIO{rsize: l.rsize}
+	}
+	f.rw = rw
+	f.coalesce = true
+	return f
+}
+
+// put detaches the connection and recycles the buffers. The caller settles
+// queued writes first: the server flushes (a pending reply must go out),
+// the client drops (Close is the kill path and must not deliver more).
+func (l *frameIOFree) put(f *frameIO) {
+	f.rw = nil
+	f.armRead, f.armWrite = nil, nil
+	f.rpos, f.rlen = 0, 0
+	f.out = nil
+	f.wbuf = f.wbuf[:0]
+	f.fstart = 0
+	f.coalesce = false
+	if cap(f.rbuf) > maxPooledBuf {
+		f.rbuf = nil
+	}
+	if cap(f.wbuf) > maxPooledBuf {
+		f.wbuf = nil
+	}
+	l.mu.Lock()
+	if len(l.xs) < maxPooledIOs {
+		l.xs = append(l.xs, f)
+	}
+	l.mu.Unlock()
+}
+
+func getFrameIO(rw io.ReadWriter) *frameIO { return serverFrameIOs.get(rw) }
+
+// putFrameIO flushes anything still queued (best-effort: the connection may
+// already be gone) and recycles the frameIO.
+func putFrameIO(f *frameIO) {
+	f.flushWrites()
+	serverFrameIOs.put(f)
+}
+
+// refill compacts the window and reads more bytes from the connection. One
+// refill typically surfaces several queued frames. When the window is full
+// but the caller still needs more (a frame larger than the window), it
+// grows toward the frame bound.
+func (f *frameIO) refill() error {
+	if f.rbuf == nil {
+		size := f.rsize
+		if size <= 0 {
+			size = clientReadWindow
+		}
+		f.rbuf = make([]byte, size)
+	}
+	if f.rpos > 0 {
+		f.rlen = copy(f.rbuf, f.rbuf[f.rpos:f.rlen])
+		f.rpos = 0
+	}
+	if f.rlen == len(f.rbuf) {
+		grown := make([]byte, min(2*len(f.rbuf), maxFramePayload+8))
+		f.rlen = copy(grown, f.rbuf[:f.rlen])
+		f.rbuf = grown
+	}
+	if f.armRead != nil {
+		f.armRead()
+	}
+	n, err := f.rw.Read(f.rbuf[f.rlen:])
+	f.rlen += n
+	if n > 0 {
+		return nil // surface err, if any, on the next refill
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return err
 }
 
 // readFrame reads one frame and returns its payload (type byte included).
-// The returned slice aliases the reusable buffer and is only valid until
-// the next readFrame call.
+// The returned slice aliases the read window and is only valid until the
+// next readFrame call.
 func (f *frameIO) readFrame() ([]byte, error) {
-	if _, err := io.ReadFull(f.rw, f.hdr[:]); err != nil {
-		return nil, err // raw EOF/timeout: the caller classifies disconnects
+	// A reply queued behind coalesced writes must hit the wire before we
+	// block on the peer: the read is the flush barrier.
+	if err := f.flushWrites(); err != nil {
+		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(f.hdr[:])
+	for f.rlen-f.rpos < 4 {
+		if err := f.refill(); err != nil {
+			if f.rlen == f.rpos {
+				return nil, err // clean frame boundary: caller classifies disconnects
+			}
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	n := binary.LittleEndian.Uint32(f.rbuf[f.rpos:])
 	if n == 0 || n > maxFramePayload {
 		return nil, fmt.Errorf("%w: frame payload length %d", ErrWire, n)
 	}
-	need := int(n) + 4 // payload + CRC trailer
-	if cap(f.in) < need {
-		f.in = make([]byte, need)
+	need := 4 + int(n) + 4 // header + payload + CRC trailer
+	for f.rlen-f.rpos < need {
+		if err := f.refill(); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame: %v", ErrWire, err)
+		}
 	}
-	f.in = f.in[:need]
-	if _, err := io.ReadFull(f.rw, f.in); err != nil {
-		return nil, fmt.Errorf("%w: truncated frame: %v", ErrWire, err)
-	}
-	payload, trailer := f.in[:n], f.in[n:]
+	body := f.rbuf[f.rpos+4 : f.rpos+need]
+	f.rpos += need
+	payload, trailer := body[:n], body[n:]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
 		return nil, fmt.Errorf("%w: frame checksum mismatch", ErrWire)
 	}
 	return payload, nil
 }
 
-// beginFrame starts a frame of the given type in the reusable write buffer.
-// Body bytes are appended by the append* helpers; endFrame seals and sends.
+// beginFrame starts a frame of the given type in the next reusable write
+// buffer. Body bytes are appended by the append* helpers; endFrame seals
+// (and, unless coalescing, sends) it.
 func (f *frameIO) beginFrame(typ byte) {
-	f.out = append(f.out[:0], 0, 0, 0, 0, typ)
+	f.fstart = len(f.wbuf)
+	f.out = append(f.wbuf, 0, 0, 0, 0, typ)
 }
 
-// endFrame back-fills the length prefix, appends the CRC trailer and writes
-// the frame in one call.
+// endFrame back-fills the length prefix, appends the CRC trailer and queues
+// the sealed frame. Without coalescing — or once the queue crosses its
+// size/count thresholds — the queue is flushed immediately.
 func (f *frameIO) endFrame() error {
-	payload := f.out[4:]
+	payload := f.out[f.fstart+4:]
 	if len(payload) > maxFramePayload {
+		f.out = nil // abandon the frame; wbuf still ends at fstart
 		return fmt.Errorf("%w: frame payload %d exceeds limit", ErrWire, len(payload))
 	}
-	binary.LittleEndian.PutUint32(f.out[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f.out[f.fstart:], uint32(len(payload)))
 	var trailer [4]byte
 	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(payload))
-	f.out = append(f.out, trailer[:]...)
-	_, err := f.rw.Write(f.out)
+	f.wbuf = append(f.out, trailer[:]...)
+	f.out = nil
+	if !f.coalesce || len(f.wbuf) >= maxWriteQueueBytes {
+		return f.flushWrites()
+	}
+	return nil
+}
+
+// queueRaw queues pre-encoded bytes (the connection magic) ahead of the
+// next flush, so the magic and the first frame share one write.
+func (f *frameIO) queueRaw(b []byte) {
+	f.wbuf = append(f.wbuf, b...)
+}
+
+// flushWrites ships every sealed frame accumulated in the write buffer as
+// one write.
+func (f *frameIO) flushWrites() error {
+	if len(f.wbuf) == 0 {
+		return nil
+	}
+	if f.armWrite != nil {
+		f.armWrite()
+	}
+	_, err := f.rw.Write(f.wbuf)
+	f.wbuf = f.wbuf[:0]
 	return err
 }
 
-func (f *frameIO) appendU64(v uint64) {
-	var b [binary.MaxVarintLen64]byte
-	f.out = append(f.out, b[:binary.PutUvarint(b[:], v)]...)
+// appendUvarint is binary.AppendUvarint without the per-value stack
+// spill: the bulk encoders below call it once per field.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
 }
 
-func (f *frameIO) appendI64(v int64) {
-	var b [binary.MaxVarintLen64]byte
-	f.out = append(f.out, b[:binary.PutVarint(b[:], v)]...)
-}
+func (f *frameIO) appendU64(v uint64) { f.out = appendUvarint(f.out, v) }
+
+func (f *frameIO) appendI64(v int64) { f.out = binary.AppendVarint(f.out, v) }
 
 func (f *frameIO) appendString(s string) {
 	f.appendU64(uint64(len(s)))
@@ -204,7 +389,12 @@ func (c *cursor) i64() int64 {
 	return v
 }
 
-func (c *cursor) str() string {
+func (c *cursor) str() string { return c.strEcho("") }
+
+// strEcho decodes a length-prefixed string, returning prev — without
+// allocating — when the bytes match it. Acks echo a token the peer already
+// holds, so the steady-state reattach path decodes it for free.
+func (c *cursor) strEcho(prev string) string {
 	n := c.u64()
 	if c.err != nil {
 		return ""
@@ -213,9 +403,12 @@ func (c *cursor) str() string {
 		c.fail("%w: string length %d exceeds frame", ErrWire, n)
 		return ""
 	}
-	s := string(c.b[:n])
+	b := c.b[:n]
 	c.b = c.b[n:]
-	return s
+	if prev != "" && string(b) == prev { // compiles to an alloc-free compare
+		return prev
+	}
+	return string(b)
 }
 
 func (c *cursor) f64() float64 {
@@ -303,43 +496,91 @@ func parseHello(body []byte) (token string, trace obs.TraceID, ver int, cfg Conf
 }
 
 // writeEdges sends one edge batch using the SCSTRM1 varint edge encoding
-// (uvarint set, uvarint elem per edge).
+// (uvarint set, uvarint elem per edge), encoded in one bulk append pass.
 func (f *frameIO) writeEdges(edges []stream.Edge) error {
 	if len(edges) == 0 || len(edges) > MaxBatch {
 		return fmt.Errorf("%w: edge batch of %d (limit %d)", ErrWire, len(edges), MaxBatch)
 	}
 	f.beginFrame(frameEdges)
-	f.appendU64(uint64(len(edges)))
+	out := appendUvarint(f.out, uint64(len(edges)))
 	for _, e := range edges {
-		f.appendU64(uint64(e.Set))
-		f.appendU64(uint64(e.Elem))
+		out = appendUvarint(out, uint64(e.Set))
+		out = appendUvarint(out, uint64(e.Elem))
 	}
+	f.out = out
 	return f.endFrame()
 }
 
 // parseEdgesInto decodes an edges body into dst, validating the count
 // against the ring buffer capacity and every edge against the session
 // shape. It returns the number of edges decoded.
+//
+// The hot loop is a windowed batch decoder in the same shape as
+// stream.File's FillBatch: while a worst-case edge (two maximal varints)
+// provably fits in the remaining bytes, an unrolled 1–2-byte fast path
+// decodes without per-byte bounds checks; the last few edges fall back to
+// the generic decoder against the exact window edge. Semantics are pinned
+// to the per-edge binary.Uvarint reference by TestParseEdgesMatchesReference.
 func parseEdgesInto(body []byte, dst []stream.Edge, n, m int) (int, error) {
-	c := cursor{b: body}
-	k := c.u64()
-	if c.err != nil {
-		return 0, c.err
+	k, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrWire)
 	}
 	if k == 0 || k > uint64(len(dst)) {
 		return 0, fmt.Errorf("%w: edge batch of %d (limit %d)", ErrWire, k, len(dst))
 	}
-	for i := 0; i < int(k); i++ {
-		s, u := c.u64(), c.u64()
-		if c.err != nil {
-			return 0, c.err
+	b := body[sz:]
+	um, un := uint64(m), uint64(n)
+	pos, i := 0, 0
+	for fastEnd := len(b) - 2*binary.MaxVarintLen64; i < int(k) && pos <= fastEnd; i++ {
+		var s, u uint64
+		if c0 := b[pos]; c0 < 0x80 {
+			s, pos = uint64(c0), pos+1
+		} else if c1 := b[pos+1]; c1 < 0x80 {
+			s, pos = uint64(c0&0x7f)|uint64(c1)<<7, pos+2
+		} else {
+			v, w := binary.Uvarint(b[pos:])
+			if w <= 0 {
+				return 0, fmt.Errorf("%w: truncated varint", ErrWire)
+			}
+			s, pos = v, pos+w
 		}
-		if s >= uint64(m) || u >= uint64(n) {
+		if c0 := b[pos]; c0 < 0x80 {
+			u, pos = uint64(c0), pos+1
+		} else if c1 := b[pos+1]; c1 < 0x80 {
+			u, pos = uint64(c0&0x7f)|uint64(c1)<<7, pos+2
+		} else {
+			v, w := binary.Uvarint(b[pos:])
+			if w <= 0 {
+				return 0, fmt.Errorf("%w: truncated varint", ErrWire)
+			}
+			u, pos = v, pos+w
+		}
+		if s >= um || u >= un {
 			return 0, fmt.Errorf("%w: edge (%d,%d) out of range for n=%d m=%d", ErrWire, s, u, n, m)
 		}
 		dst[i] = stream.Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}
 	}
-	return int(k), c.done()
+	for ; i < int(k); i++ {
+		s, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrWire)
+		}
+		pos += w
+		u, w2 := binary.Uvarint(b[pos:])
+		if w2 <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrWire)
+		}
+		pos += w2
+		if s >= um || u >= un {
+			return 0, fmt.Errorf("%w: edge (%d,%d) out of range for n=%d m=%d", ErrWire, s, u, n, m)
+		}
+		dst[i] = stream.Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}
+	}
+	if pos != len(b) {
+		return 0, fmt.Errorf("%w: %d trailing bytes in frame", ErrWire, len(b)-pos)
+	}
+	return int(k), nil
 }
 
 // writeFlush, writeDetach and writeFinish send the body-less control
@@ -365,10 +606,11 @@ func (f *frameIO) writeHelloAck(token string, pos int, trace obs.TraceID) error 
 
 // parseHelloAck accepts both ack formats: the v1 two-field body and the v2
 // body with 16 trailing trace bytes, so a new client interoperates with an
-// old server's ack.
-func parseHelloAck(body []byte) (token string, pos int, trace obs.TraceID, err error) {
+// old server's ack. want is the token the client asked for ("" when the
+// server mints one); an echo of it decodes without allocating.
+func parseHelloAck(body []byte, want string) (token string, pos int, trace obs.TraceID, err error) {
 	c := cursor{b: body}
-	token = c.str()
+	token = c.strEcho(want)
 	pos = int(c.u64())
 	if c.err == nil && len(c.b) == obs.TraceIDLen {
 		copy(trace[:], c.raw(obs.TraceIDLen))

@@ -1,0 +1,172 @@
+package serve
+
+// Property test for the blocked edges-frame decoder: parseEdgesInto's
+// unrolled fast path, binary.Uvarint fallback and guarded tail loop must
+// agree byte-for-byte with the obvious per-edge reference decoder — same
+// accepted edges, same rejections — across every varint width, truncation
+// point and range violation. The reference below is the decoder the
+// transport shipped with before the blocked rewrite.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"streamcover/internal/setcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/xrand"
+)
+
+// parseEdgesReference is the straightforward one-varint-at-a-time decoder
+// parseEdgesInto must match exactly (on accepted input and on the
+// typed-error contract for rejected input).
+func parseEdgesReference(body []byte, dst []stream.Edge, n, m int) (int, error) {
+	k, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrWire)
+	}
+	if k == 0 || k > uint64(len(dst)) {
+		return 0, fmt.Errorf("%w: edge batch of %d (limit %d)", ErrWire, k, len(dst))
+	}
+	b := body[sz:]
+	um, un := uint64(m), uint64(n)
+	for i := 0; i < int(k); i++ {
+		s, w := binary.Uvarint(b)
+		if w <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrWire)
+		}
+		b = b[w:]
+		u, w2 := binary.Uvarint(b)
+		if w2 <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrWire)
+		}
+		b = b[w2:]
+		if s >= um || u >= un {
+			return 0, fmt.Errorf("%w: edge (%d,%d) out of range for n=%d m=%d", ErrWire, s, u, n, m)
+		}
+		dst[i] = stream.Edge{Set: setcover.SetID(s), Elem: setcover.Element(u)}
+	}
+	if len(b) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes in frame", ErrWire, len(b))
+	}
+	return int(k), nil
+}
+
+// varintValueOfWidth picks a random value whose unsigned varint encoding
+// is exactly w bytes (1..10), so bodies cover every decode path: the
+// unrolled 1- and 2-byte cases, the Uvarint fallback, and 10-byte maximal
+// encodings.
+func varintValueOfWidth(rng *xrand.Rand, w int) uint64 {
+	if w == 1 {
+		return uint64(rng.IntN(1 << 7))
+	}
+	lo := uint64(1) << (7 * (w - 1))
+	var hi uint64
+	if w == 10 {
+		hi = math.MaxUint64
+	} else {
+		hi = uint64(1)<<(7*w) - 1
+	}
+	span := hi - lo + 1
+	if span == 0 { // w == 10: the span wraps; any offset is in range
+		return lo + rng.Uint64()
+	}
+	return lo + rng.Uint64()%span
+}
+
+func TestParseEdgesMatchesReference(t *testing.T) {
+	rng := xrand.New(20260809)
+	dst := make([]stream.Edge, MaxBatch)
+	ref := make([]stream.Edge, MaxBatch)
+
+	check := func(tag string, body []byte, n, m int) {
+		t.Helper()
+		for i := range dst {
+			dst[i], ref[i] = stream.Edge{}, stream.Edge{}
+		}
+		gotK, gotErr := parseEdgesInto(body, dst, n, m)
+		refK, refErr := parseEdgesReference(body, ref, n, m)
+		if (gotErr == nil) != (refErr == nil) {
+			t.Fatalf("%s: error mismatch: blocked=%v reference=%v", tag, gotErr, refErr)
+		}
+		if gotErr != nil {
+			if !errors.Is(gotErr, ErrWire) || !errors.Is(refErr, ErrWire) {
+				t.Fatalf("%s: untyped rejection: blocked=%v reference=%v", tag, gotErr, refErr)
+			}
+			return
+		}
+		if gotK != refK {
+			t.Fatalf("%s: count mismatch: blocked=%d reference=%d", tag, gotK, refK)
+		}
+		for i := 0; i < gotK; i++ {
+			if dst[i] != ref[i] {
+				t.Fatalf("%s: edge %d mismatch: blocked=%+v reference=%+v", tag, i, dst[i], ref[i])
+			}
+		}
+	}
+
+	// encodeBody builds a count-prefixed edges body out of raw (set, elem)
+	// varint value pairs, bypassing writeEdges' range clamps so the body
+	// can carry values far beyond any session shape.
+	encodeBody := func(k uint64, vals []uint64) []byte {
+		body := binary.AppendUvarint(nil, k)
+		for _, v := range vals {
+			body = binary.AppendUvarint(body, v)
+		}
+		return body
+	}
+
+	// Random widths, huge shape: every value valid, so the mixed-width
+	// decode paths agree on accepted input. Shapes beyond 2^32 keep the
+	// wide varints in range.
+	const hugeN, hugeM = math.MaxInt64, math.MaxInt64
+	for round := 0; round < 200; round++ {
+		k := 1 + rng.IntN(64)
+		vals := make([]uint64, 0, 2*k)
+		for i := 0; i < 2*k; i++ {
+			vals = append(vals, varintValueOfWidth(rng, 1+rng.IntN(9)))
+		}
+		body := encodeBody(uint64(k), vals)
+		check(fmt.Sprintf("mixed-width round %d", round), body, hugeN, hugeM)
+
+		// Every truncation of the same body must also agree (and reject).
+		cut := rng.IntN(len(body))
+		check(fmt.Sprintf("truncated round %d cut=%d", round, cut), body[:cut], hugeN, hugeM)
+
+		// Trailing garbage after a complete batch must agree too.
+		check(fmt.Sprintf("trailing round %d", round), append(body, 0x01), hugeN, hugeM)
+	}
+
+	// Out-of-range edges under a small shape: rejection must be identical
+	// whether the offending value decodes in the fast path or the tail.
+	for round := 0; round < 100; round++ {
+		n, m := 1+rng.IntN(300), 1+rng.IntN(4000)
+		k := 1 + rng.IntN(32)
+		vals := make([]uint64, 0, 2*k)
+		for i := 0; i < k; i++ {
+			vals = append(vals, rng.Uint64()%(uint64(m)*2), rng.Uint64()%(uint64(n)*2))
+		}
+		body := encodeBody(uint64(k), vals)
+		check(fmt.Sprintf("range round %d n=%d m=%d", round, n, m), body, n, m)
+	}
+
+	// Boundary batches: a full MaxBatch body (tail loop reached exactly at
+	// the window guard), a single edge, and the malformed empty/oversized
+	// counts.
+	full := make([]uint64, 2*MaxBatch)
+	for i := range full {
+		full[i] = varintValueOfWidth(rng, 1+i%2)
+	}
+	check("max batch", encodeBody(MaxBatch, full), hugeN, hugeM)
+	check("single edge", encodeBody(1, []uint64{5, 7}), hugeN, hugeM)
+	check("zero count", encodeBody(0, nil), hugeN, hugeM)
+	check("oversized count", encodeBody(MaxBatch+1, nil), hugeN, hugeM)
+	check("empty body", nil, hugeN, hugeM)
+	// A maximal varint with its 10th byte's high bit set overflows: both
+	// decoders must reject it the same way wherever it lands.
+	overflow := encodeBody(2, []uint64{1})
+	overflow = append(overflow, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	check("overflow varint", overflow, hugeN, hugeM)
+}

@@ -101,7 +101,7 @@ func TestWireHelloAckCompat(t *testing.T) {
 	body := roundTrip(t, func(f *frameIO) error {
 		return f.writeHelloAck("tok", 500, obs.TraceID{})
 	}, frameHelloAck)
-	token, pos, trace, err := parseHelloAck(body)
+	token, pos, trace, err := parseHelloAck(body, "")
 	if err != nil {
 		t.Fatalf("old-format ack rejected: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestWireHelloAckCompat(t *testing.T) {
 	body = roundTrip(t, func(f *frameIO) error {
 		return f.writeHelloAck("tok", 500, want)
 	}, frameHelloAck)
-	token, pos, trace, err = parseHelloAck(body)
+	token, pos, trace, err = parseHelloAck(body, "")
 	if err != nil {
 		t.Fatalf("v2 ack rejected: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestWireHelloAckCompat(t *testing.T) {
 		f.out = append(f.out, 1, 2, 3)
 		return f.endFrame()
 	}, frameHelloAck)
-	if _, _, _, err := parseHelloAck(bad); !errors.Is(err, ErrWire) {
+	if _, _, _, err := parseHelloAck(bad, ""); !errors.Is(err, ErrWire) {
 		t.Fatalf("mangled ack tail accepted: %v", err)
 	}
 }

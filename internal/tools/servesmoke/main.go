@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"streamcover/internal/serve"
@@ -39,7 +40,17 @@ import (
 
 func main() {
 	storeKind := flag.String("store", "dir", "checkpoint store backend to exercise: dir or mem")
+	contend := flag.Int("contend", 0,
+		"run the lock-stripe contention leg instead: this many concurrent sessions on one server, results cross-checked")
 	flag.Parse()
+	if *contend > 0 {
+		if err := runContend(*storeKind, *contend); err != nil {
+			fmt.Fprintf(os.Stderr, "serve-smoke[%s,contend=%d]: FAIL: %v\n", *storeKind, *contend, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serve-smoke[%s,contend=%d]: PASS\n", *storeKind, *contend)
+		return
+	}
 	if err := run(*storeKind); err != nil {
 		fmt.Fprintf(os.Stderr, "serve-smoke[%s]: FAIL: %v\n", *storeKind, err)
 		os.Exit(1)
@@ -110,6 +121,80 @@ func run(storeKind string) error {
 		return fmt.Errorf("drain-restart: %w", err)
 	}
 	fmt.Printf("serve-smoke: drain-restart ok (resumed across a server restart)\n")
+	return nil
+}
+
+// runContend hammers one server with many concurrent sessions on the same
+// deterministic workload: every open/close crosses the lifecycle manager's
+// lock stripes and the frameIO/ring free-lists at once, so under `go run
+// -race` this leg is the striped manager's data-race probe. Every session
+// must produce the byte-identical reference fingerprint.
+func runContend(storeKind string, sessions int) error {
+	var st serve.CheckpointStore
+	switch storeKind {
+	case "dir":
+		dir, err := os.MkdirTemp("", "servesmoke-contend")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fs, err := serve.NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		st = fs
+	case "mem":
+		st = serve.NewMemStore()
+	default:
+		return fmt.Errorf("unknown -store %q (want dir or mem)", storeKind)
+	}
+
+	const n, m, opt = 300, 4000, 8
+	w := workload.Planted(xrand.New(101), n, m, opt, 0)
+	edges := stream.Arrange(w.Inst, stream.Random, xrand.New(102))
+	cfg := serve.Config{Algo: "kk", N: n, M: m, StreamLen: len(edges), Seed: 7}
+
+	srv, err := serve.NewServer(serve.ServerConfig{Addr: "127.0.0.1:0", Store: st})
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), dialTimeout)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	}()
+
+	ref, err := reference(srv.Addr(), cfg, edges)
+	if err != nil {
+		return fmt.Errorf("reference session: %w", err)
+	}
+
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := reference(srv.Addr(), cfg, edges)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = compare(ref, res)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("session %d of %d: %w", i, sessions, err)
+		}
+	}
 	return nil
 }
 

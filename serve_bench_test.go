@@ -26,7 +26,14 @@ import (
 // benchServeEndToEnd runs the 64-session loopback workload against a server
 // carrying the given observability handle (nil = uninstrumented).
 func benchServeEndToEnd(b *testing.B, so *obs.ServeObs) {
-	const n, m, opt, sessions = 300, 4000, 8, 64
+	benchServeSessions(b, so, 64)
+}
+
+// benchServeSessions runs the loopback workload with a configurable number
+// of concurrent sessions per op (the scaling axis of
+// BenchmarkServeSessionsScaling).
+func benchServeSessions(b *testing.B, so *obs.ServeObs, sessions int) {
+	const n, m, opt = 300, 4000, 8
 	w := PlantedWorkload(NewRand(11), n, m, opt, 0)
 	edges := Arrange(w.Inst, RandomOrder, NewRand(23))
 	cfg := ServeConfig{Algo: "kk", N: n, M: m, StreamLen: len(edges), Seed: 42}
@@ -96,11 +103,25 @@ func benchServeEndToEnd(b *testing.B, so *obs.ServeObs) {
 			}
 		}
 	}
-	b.ReportMetric(float64(len(edges)*sessions), "edges/op")
-	b.ReportMetric(sessions, "sessions/op")
+	reportThroughput(b, len(edges)*sessions)
+	b.ReportMetric(float64(sessions), "sessions/op")
 }
 
 func BenchmarkServeEndToEnd(b *testing.B) { benchServeEndToEnd(b, nil) }
+
+// BenchmarkServeSessionsScaling sweeps the concurrent-session count, so the
+// transport's fixed sizes (read windows, the write-coalescing threshold,
+// the lifecycle lock-stripe count) have a measured basis across load
+// levels rather than a single 64-session point. Watch edges/sec/core stay
+// flat as sessions grow: on one core the sweep measures scheduling and
+// contention overhead, not parallel speedup.
+func BenchmarkServeSessionsScaling(b *testing.B) {
+	for _, sessions := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			benchServeSessions(b, nil, sessions)
+		})
+	}
+}
 
 // BenchmarkServeEndToEndObsOff is the uninstrumented baseline of the pair
 // (same as BenchmarkServeEndToEnd, named so scbenchdiff lines it up against
