@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke serve-smoke stat-smoke sweep-smoke kernel-smoke fuzz-smoke fmt vet examples clean
+.PHONY: build test race bench bench-save bench-diff experiments experiments-full check paper-check obs-smoke resume-smoke serve-smoke stat-smoke sweep-smoke kernel-smoke cluster-smoke fuzz-smoke fmt vet examples clean
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Snapshot the perf-tracked benchmarks (EndToEnd*, Scaling) into the next
-# BENCH_<n>.json; three -count samples are folded to the per-benchmark noise
-# floor (min ns/op, max throughput) by scbenchdiff. bench-diff compares the
-# two most recent snapshots and fails on ns/op, allocs/op or throughput
+# Snapshot the perf-tracked benchmarks (EndToEnd*, Scaling, Adoption) into the
+# next BENCH_<n>.json; three -count samples are folded to the per-benchmark
+# noise floor (min ns/op, max throughput) by scbenchdiff. bench-diff compares
+# the two most recent snapshots and fails on ns/op, allocs/op or throughput
 # regression beyond the threshold.
 bench-save:
-	$(GO) test -run '^$$' -bench 'EndToEnd|Scaling' -benchmem -count 3 . | $(GO) run ./cmd/scbenchdiff -save
+	$(GO) test -run '^$$' -bench 'EndToEnd|Scaling|Adoption' -benchmem -count 3 . | $(GO) run ./cmd/scbenchdiff -save
 
 bench-diff:
 	$(GO) run ./cmd/scbenchdiff -diff
@@ -46,6 +46,7 @@ check:
 	$(GO) test -run '^$$' -bench EndToEnd -benchtime 1x .
 	$(MAKE) kernel-smoke
 	$(MAKE) stat-smoke
+	$(MAKE) cluster-smoke
 
 # Re-evaluate every paper-predicted shape; non-zero exit on mismatch.
 paper-check:
@@ -83,6 +84,19 @@ serve-smoke:
 # (obsoff), where trace identity and readiness must still hold.
 stat-smoke:
 	$(GO) run ./internal/tools/statsmoke
+
+# Sharded-cluster chaos smoke (DESIGN.md §4k): real scrouter/scserve/scfeed
+# processes — a store-only scrouter serving the shared SCSTOR1 checkpoint
+# store, three scserve -store cluster shards, a consistent-hash routing
+# scrouter, and scfeed -cluster driving 64 concurrent sessions while two
+# shards are SIGTERMed mid-stream. Every severed session resumes through the
+# router and is adopted by a survivor; the sorted token/fingerprint file must
+# be byte-identical to an undisturbed single-shard run, and scstat -fleet
+# must show the killed shards down. Runs in the default build and with every
+# binary race-instrumented.
+cluster-smoke:
+	$(GO) run ./internal/tools/clustersmoke
+	$(GO) run ./internal/tools/clustersmoke -race
 
 # Scheduler determinism smoke: a small sweep grid run with -workers=1 and
 # -workers=4 must produce byte-identical tables and CSV (DESIGN.md §4e).

@@ -2,6 +2,7 @@ package streamcover
 
 import (
 	"io"
+	"time"
 
 	"streamcover/internal/adversarial"
 	"streamcover/internal/core"
@@ -449,6 +450,13 @@ type (
 	ServeFeeder = serve.Feeder
 	// ServeFactory builds one algorithm copy for a session configuration.
 	ServeFactory = serve.Factory
+	// ServeRouter is the cluster front door: it places sessions on shards
+	// via a consistent-hash ring over the resume token and splices the
+	// connection, failing over in ring order when a shard is down.
+	ServeRouter = serve.Router
+	// ServeRouterConfig shapes a ServeRouter (listen address, shard set,
+	// ring replicas, failover cooldowns).
+	ServeRouterConfig = serve.RouterConfig
 )
 
 // NewServeServer builds a serving instance (and its session manager).
@@ -464,6 +472,26 @@ func NewServeMemStore() ServeCheckpointStore { return serve.NewMemStore() }
 
 // DialServe connects a client to a running server.
 func DialServe(addr string) (*ServeClient, error) { return serve.Dial(addr) }
+
+// NewServeRouter builds the consistent-hash session router over a shard
+// set. Placement is locality, not correctness: back the shards with a
+// shared checkpoint store (NewServeClusterStore) and any shard can adopt
+// any session.
+func NewServeRouter(cfg ServeRouterConfig) (*ServeRouter, error) { return serve.NewRouter(cfg) }
+
+// NewServeClusterStore returns a CheckpointStore speaking the SCSTOR1
+// protocol to a shared store server — the piece that makes a sharded
+// cluster's checkpoints reachable from every shard. timeout bounds each
+// round trip (0 picks the default).
+func NewServeClusterStore(addr string, timeout time.Duration) ServeCheckpointStore {
+	return serve.NewClusterStore(addr, timeout)
+}
+
+// NewServeStoreServer serves an existing CheckpointStore over SCSTOR1 so a
+// fleet of shards can share it.
+func NewServeStoreServer(backing ServeCheckpointStore) (*serve.StoreServer, error) {
+	return serve.NewStoreServer(backing)
+}
 
 // RegisterServeAlgorithm adds a factory so embedders can serve their own
 // streaming algorithms through the session manager.

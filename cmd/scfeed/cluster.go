@@ -1,0 +1,246 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"streamcover/internal/obs"
+	"streamcover/internal/serve"
+	"streamcover/internal/stream"
+)
+
+// The -cluster mode is the chaos half of the cluster correctness story:
+// it drives many concurrent sessions through an scrouter, SIGTERMs shard
+// processes at chosen points in the aggregate stream, and rides out every
+// severed splice by resuming through the router — so a surviving shard
+// adopts the checkpoint. Each session's final fingerprint must be
+// byte-identical to an uninterrupted single-shard run of the same stream;
+// the -fingerprints file is the byte-comparable evidence.
+
+// killPoint fires SIGTERM at pid once the aggregate number of edges sent
+// across every worker crosses at.
+type killPoint struct {
+	at    int64
+	pid   int
+	fired atomic.Bool
+}
+
+// parseKills parses the -kill schedule: comma-separated "EDGES:PID" pairs.
+func parseKills(s string) ([]*killPoint, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []*killPoint
+	for _, part := range strings.Split(s, ",") {
+		at, pid, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("kill point %q is not EDGES:PID", part)
+		}
+		edges, err := strconv.ParseInt(at, 10, 64)
+		if err != nil || edges < 0 {
+			return nil, fmt.Errorf("kill point %q: bad edge count", part)
+		}
+		p, err := strconv.Atoi(pid)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("kill point %q: bad pid", part)
+		}
+		out = append(out, &killPoint{at: edges, pid: p})
+	}
+	return out, nil
+}
+
+// chaosState is the shared cross-worker state: the aggregate edge counter
+// that drives the kill schedule, and tallies for the summary line.
+type chaosState struct {
+	sent    atomic.Int64
+	kills   []*killPoint
+	killed  atomic.Int32
+	resumes atomic.Int32
+	rehello atomic.Int32
+}
+
+// advance credits n freshly sent edges and fires any kill point the
+// aggregate has crossed. Exactly one worker fires each point.
+func (cs *chaosState) advance(n int) {
+	total := cs.sent.Add(int64(n))
+	for _, kp := range cs.kills {
+		if total >= kp.at && kp.fired.CompareAndSwap(false, true) {
+			if err := syscall.Kill(kp.pid, syscall.SIGTERM); err != nil {
+				fmt.Fprintf(os.Stderr, "scfeed: kill pid %d: %v\n", kp.pid, err)
+			} else {
+				cs.killed.Add(1)
+				fmt.Printf("scfeed: chaos: SIGTERM pid %d at aggregate edge %d\n", kp.pid, total)
+			}
+		}
+	}
+}
+
+// clusterRun drives -sessions concurrent sessions through the router at
+// addr, each feeding the full stream, surviving shard kills by resuming.
+func clusterRun(addr, in string, cfg serve.Config, batch, sessions int, prefix, killSpec, fpOut string, timeout, window time.Duration) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	hdr, edges, err := stream.Decode(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cfg.N, cfg.M, cfg.StreamLen = hdr.N, hdr.M, hdr.E
+
+	kills, err := parseKills(killSpec)
+	if err != nil {
+		return fmt.Errorf("-kill: %w", err)
+	}
+	cs := &chaosState{kills: kills}
+
+	type outcome struct {
+		token string
+		fp    uint64
+		err   error
+	}
+	results := make([]outcome, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			token := fmt.Sprintf("%s%04d", prefix, i)
+			fp, err := chaosSession(addr, token, cfg, edges, batch, cs, timeout, window)
+			results[i] = outcome{token: token, fp: fp, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var failed int
+	lines := make([]string, 0, sessions)
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "scfeed: session %s: %v\n", r.token, r.err)
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s %#016x", r.token, r.fp))
+	}
+	sort.Strings(lines)
+	body := strings.Join(lines, "\n")
+	if len(lines) > 0 {
+		body += "\n"
+	}
+	if fpOut != "" {
+		if err := os.WriteFile(fpOut, []byte(body), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(body)
+	}
+
+	distinct := make(map[uint64]bool)
+	for _, r := range results {
+		if r.err == nil {
+			distinct[r.fp] = true
+		}
+	}
+	fmt.Printf("scfeed: cluster run: sessions=%d ok=%d kills=%d resumes=%d rehellos=%d distinct-fingerprints=%d\n",
+		sessions, sessions-failed, cs.killed.Load(), cs.resumes.Load(), cs.rehello.Load(), len(distinct))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sessions failed", failed, sessions)
+	}
+	return nil
+}
+
+// chaosSession runs one token through the cluster to completion. Every
+// transport failure — a shard SIGTERMed mid-splice, a router failover
+// racing a drain — is ridden out by reconnecting and resuming; when the
+// shard died before its drain checkpoint became visible the session
+// re-hellos from position zero, which is byte-equivalent because the
+// server-side algorithm is deterministic in (cfg, edges).
+func chaosSession(addr, token string, cfg serve.Config, edges []stream.Edge, batch int, cs *chaosState, timeout, window time.Duration) (uint64, error) {
+	if batch <= 0 || batch > serve.MaxBatch {
+		batch = serve.MaxBatch
+	}
+	deadline := time.Now().Add(window)
+	started := false
+	unknown := 0 // consecutive unknown-session resumes
+	var lastErr error
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		if attempt > 0 {
+			backoff := 50 * time.Millisecond * time.Duration(attempt)
+			if backoff > 500*time.Millisecond {
+				backoff = 500 * time.Millisecond
+			}
+			time.Sleep(backoff)
+		}
+		c, err := serve.Dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.Timeout = timeout
+		if started {
+			c.Trace = obs.TraceID{} // the checkpoint's trace wins
+			if _, err := c.Resume(token, cfg); err != nil {
+				c.Close()
+				lastErr = err
+				if errors.Is(err, serve.ErrUnknownSession) {
+					// The owning shard died before its checkpoint landed
+					// (or was killed without a drain). Give a just-drained
+					// shard a moment to publish, then start over from zero.
+					if unknown++; unknown >= 3 {
+						started = false
+						cs.rehello.Add(1)
+					}
+				} else {
+					unknown = 0
+				}
+				continue
+			}
+			unknown = 0
+			cs.resumes.Add(1)
+		} else {
+			if _, err := c.Hello(token, cfg); err != nil {
+				c.Close()
+				lastErr = err
+				continue
+			}
+			started = true
+		}
+		fp, err := feedRemaining(c, edges, batch, cs)
+		c.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return fp, nil
+	}
+	return 0, fmt.Errorf("gave up after %v: %w", window, lastErr)
+}
+
+// feedRemaining streams edges from the client's current position in
+// batches, crediting the chaos counter per batch, then finishes.
+func feedRemaining(c *serve.Client, edges []stream.Edge, batch int, cs *chaosState) (uint64, error) {
+	for pos := c.Pos(); pos < len(edges); pos = c.Pos() {
+		end := pos + batch
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if err := c.SendBatch(edges[pos:end]); err != nil {
+			return 0, err
+		}
+		cs.advance(end - pos)
+	}
+	res, err := c.Finish()
+	if err != nil {
+		return 0, err
+	}
+	return res.Fingerprint(), nil
+}

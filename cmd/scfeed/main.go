@@ -15,6 +15,19 @@
 // must match the uninterrupted run byte for byte. Which checkpoint store
 // backs the resume (scserve -store dir|mem) is invisible on this side of
 // the wire — the client only ever sees positions.
+//
+// -cluster turns scfeed into the chaos driver for a sharded cluster:
+//
+//	scfeed -cluster -addr <scrouter> -in stream.scs -algo kk \
+//	    -sessions 64 -kill 20000:1234,60000:1235 -fingerprints got.txt
+//
+// It drives -sessions concurrent sessions through the router, SIGTERMs
+// the listed shard PIDs once the aggregate edge count crosses each
+// threshold, and rides out every severed splice by resuming — the router
+// places the resume on a surviving shard, which adopts the checkpoint
+// from the shared store. The -fingerprints file (sorted "token
+// fingerprint" lines) must be byte-identical to one produced by an
+// undisturbed run.
 package main
 
 import (
@@ -45,6 +58,13 @@ func run() int {
 		killAfter = flag.Int("kill-after", 0, "drop the connection after sending N edges, without detaching (0 = off)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-operation network deadline")
 		traceHex  = flag.String("trace", "", "session trace ID as 32 hex digits (empty mints one for new sessions; resumed sessions keep the checkpoint's)")
+
+		cluster     = flag.Bool("cluster", false, "chaos mode: drive -sessions concurrent sessions through an scrouter at -addr, surviving shard kills by resuming")
+		sessions    = flag.Int("sessions", 8, "concurrent sessions in -cluster mode")
+		tokenPrefix = flag.String("token-prefix", "cl", "session token prefix in -cluster mode (tokens are <prefix>0000..)")
+		kill        = flag.String("kill", "", "chaos kill schedule: comma-separated EDGES:PID pairs — SIGTERM PID once the aggregate edges sent crosses EDGES")
+		fpOut       = flag.String("fingerprints", "", "write sorted \"token fingerprint\" lines to this file in -cluster mode (\"\" = stdout)")
+		retryWindow = flag.Duration("retry-window", 2*time.Minute, "how long each -cluster session keeps retrying through kills before giving up")
 	)
 	flag.Parse()
 
@@ -55,6 +75,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "scfeed: -trace: %v\n", err)
 			return 1
 		}
+	}
+	if *cluster {
+		if err := clusterRun(*addr, *in, serveConfig(*algo, *alpha, *seed, *copies), *batch, *sessions, *tokenPrefix, *kill, *fpOut, *timeout, *retryWindow); err != nil {
+			fmt.Fprintf(os.Stderr, "scfeed: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if err := feed(*addr, *in, serveConfig(*algo, *alpha, *seed, *copies), *batch, *token, trace, *resume, *detach, *killAfter, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "scfeed: %v\n", err)

@@ -1,0 +1,205 @@
+// Command scrouter is the cluster front door: it places SCWIRE1 sessions
+// on scserve shards via a consistent-hash ring keyed by the session's
+// resume token, splicing each connection to its shard. When a shard is
+// unreachable the connection fails over to the next owner in ring order —
+// correct because every shard shares one checkpoint store, so any shard
+// can adopt any session's checkpoint.
+//
+// It can also host that shared store: -store-listen serves the SCSTOR1
+// checkpoint-store protocol over a dir- or mem-backed store, so a minimal
+// cluster is one scrouter plus N scserve -store cluster processes. With
+// -store-listen and no -shards it runs store-only, which lets a cluster
+// come up store-first: start the store, start shards pointing at it, then
+// start the routing scrouter over the shard addresses.
+//
+// Usage:
+//
+//	scrouter -listen 127.0.0.1:7700 \
+//	    -shards 127.0.0.1:7601,127.0.0.1:7602,127.0.0.1:7603 \
+//	    -store-listen 127.0.0.1:7710 -store-backend mem
+//
+// SIGINT/SIGTERM shuts down: splices are severed (the shards checkpoint
+// their sessions), then the embedded store server drains its in-flight
+// requests and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamcover/internal/cli"
+	"streamcover/internal/obs"
+	"streamcover/internal/serve"
+	"streamcover/internal/serve/store"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:7700", "TCP listen address for client connections (\":0\" picks a free port)")
+		shards       = flag.String("shards", "", "comma-separated scserve shard addresses forming the ring (required)")
+		replicas     = flag.Int("replicas", 0, "virtual nodes per shard on the ring (0 = default)")
+		dialTimeout  = flag.Duration("dial-timeout", 5*time.Second, "per-shard backend dial deadline")
+		downCooldown = flag.Duration("down-cooldown", 2*time.Second, "how long an unreachable shard is skipped before re-probing")
+		storeListen  = flag.String("store-listen", "", "also serve the shared SCSTOR1 checkpoint store on this address (\"\" = don't)")
+		storeBackend = flag.String("store-backend", "mem", "backing store behind -store-listen: mem or dir")
+		dir          = flag.String("dir", "scrouter-ckpt", "directory for the dir store backend")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for splices to sever")
+	)
+	obsOpt := cli.RegisterObsFlags(flag.CommandLine)
+	flag.Parse()
+
+	members := splitShards(*shards)
+	if len(members) == 0 && *storeListen == "" {
+		fmt.Fprintln(os.Stderr, "scrouter: -shards is required (comma-separated scserve addresses), unless running store-only with -store-listen")
+		return 2
+	}
+
+	session, err := cli.StartObs(*obsOpt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scrouter: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := session.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scrouter: %v\n", err)
+		}
+	}()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	// The embedded shared store, when asked for: the piece every shard
+	// reaches, which is what makes kill-anywhere/resume-anywhere correct.
+	var storeSrv *store.StoreServer
+	if *storeListen != "" {
+		var backing serve.CheckpointStore
+		switch *storeBackend {
+		case "mem":
+			backing = store.NewMemStore()
+		case "dir":
+			fs, err := store.NewFileStore(*dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scrouter: %v\n", err)
+				return 1
+			}
+			backing = fs
+		default:
+			fmt.Fprintf(os.Stderr, "scrouter: unknown -store-backend %q (want mem or dir)\n", *storeBackend)
+			return 2
+		}
+		srv, err := store.NewStoreServer(backing)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scrouter: %v\n", err)
+			return 1
+		}
+		if err := srv.Listen(*storeListen); err != nil {
+			fmt.Fprintf(os.Stderr, "scrouter: store listen: %v\n", err)
+			return 1
+		}
+		storeSrv = srv
+		go func() {
+			if err := srv.Serve(); err != nil {
+				logger.Printf("scrouter: store server: %v", err)
+			}
+		}()
+		fmt.Printf("scrouter: shared store on %s (%s)\n", srv.Addr(), *storeBackend)
+	}
+
+	// Store-only mode: no shard set yet — serve just the shared store, so a
+	// cluster can be brought up store-first (shards need the store address
+	// before they start, and the router needs the shard addresses).
+	if len(members) == 0 {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		sig := <-sigs
+		logger.Printf("scrouter: %v: shutting down store", sig)
+		session.Hub().SetReady(false)
+		if err := storeSrv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scrouter: store shutdown: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	router, err := serve.NewRouter(serve.RouterConfig{
+		Addr:         *listen,
+		Shards:       members,
+		Replicas:     *replicas,
+		DialTimeout:  *dialTimeout,
+		DownCooldown: *downCooldown,
+		Obs:          obs.RouterObsFor(),
+		Log:          logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scrouter: %v\n", err)
+		return 1
+	}
+	if err := router.Listen(); err != nil {
+		fmt.Fprintf(os.Stderr, "scrouter: %v\n", err)
+		return 1
+	}
+	fmt.Printf("scrouter: routing on %s (shards: %s)\n", router.Addr(), strings.Join(members, ","))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- router.Serve() }()
+
+	shutdown := func() int {
+		session.Hub().SetReady(false)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := 0
+		if err := router.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "scrouter: shutdown: %v\n", err)
+			code = 1
+		} else {
+			<-done
+		}
+		if storeSrv != nil {
+			if err := storeSrv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "scrouter: store shutdown: %v\n", err)
+				code = 1
+			}
+		}
+		return code
+	}
+
+	select {
+	case sig := <-sigs:
+		logger.Printf("scrouter: %v: shutting down", sig)
+		if code := shutdown(); code != 0 {
+			return code
+		}
+		logger.Printf("scrouter: drained cleanly")
+		return 0
+	case err := <-done:
+		if storeSrv != nil {
+			storeSrv.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scrouter: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// splitShards parses the -shards list, dropping empty entries.
+func splitShards(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

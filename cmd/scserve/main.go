@@ -14,7 +14,10 @@
 // -store selects the checkpoint backend: "dir" (default) persists each
 // detached session as <token>.ckpt under -dir and survives restarts;
 // "mem" keeps checkpoints in process memory — resumes work across
-// disconnects but not across a process restart.
+// disconnects but not across a process restart; "cluster" speaks SCSTOR1
+// to the shared store server at -store-addr, letting any shard behind an
+// scrouter adopt any session's checkpoint (-shard names this process on
+// its wide events).
 //
 // SIGINT/SIGTERM drains gracefully: new sessions are refused, open
 // connections are woken, and every attached session is checkpointed before
@@ -43,7 +46,10 @@ func run() int {
 	var (
 		listen       = flag.String("listen", "127.0.0.1:7600", "TCP listen address (\":0\" picks a free port)")
 		dir          = flag.String("dir", "scserve-ckpt", "directory for detach checkpoints (-store dir)")
-		storeKind    = flag.String("store", "dir", "checkpoint store backend: dir (durable files under -dir) or mem (in-process)")
+		storeKind    = flag.String("store", "dir", "checkpoint store backend: dir (durable files under -dir), mem (in-process), or cluster (shared SCSTOR1 server at -store-addr)")
+		storeAddr    = flag.String("store-addr", "", "SCSTOR1 shared store server address (required with -store cluster)")
+		storeTimeout = flag.Duration("store-timeout", 0, "per-request deadline against the cluster store (0 = default)")
+		shard        = flag.String("shard", "", "shard name stamped on this server's wide events (cluster deployments)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "detach a session after this long without a frame (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to checkpoint")
@@ -104,8 +110,14 @@ func run() int {
 		ckpt, where = fs, "dir "+*dir
 	case "mem":
 		ckpt, where = serve.NewMemStore(), "mem (lost on restart)"
+	case "cluster":
+		if *storeAddr == "" {
+			fmt.Fprintln(os.Stderr, "scserve: -store cluster requires -store-addr")
+			return 2
+		}
+		ckpt, where = serve.NewClusterStore(*storeAddr, *storeTimeout), "cluster "+*storeAddr
 	default:
-		fmt.Fprintf(os.Stderr, "scserve: unknown -store %q (want dir or mem)\n", *storeKind)
+		fmt.Fprintf(os.Stderr, "scserve: unknown -store %q (want dir, mem, or cluster)\n", *storeKind)
 		return 2
 	}
 
@@ -121,6 +133,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scserve: %v\n", err)
 		return 1
+	}
+	if *shard != "" {
+		srv.Manager().SetShard(*shard)
 	}
 	if err := srv.Listen(); err != nil {
 		fmt.Fprintf(os.Stderr, "scserve: %v\n", err)

@@ -31,6 +31,7 @@ type Hub struct {
 	runObs   [numAlgos]*RunObs
 	prefetch *PrefetchObs
 	serve    *ServeObs
+	router   *RouterObs
 	sessions *SessionTable
 }
 
@@ -164,6 +165,26 @@ func (h *Hub) Serve() *ServeObs {
 // is installed.
 func ServeObsFor() *ServeObs {
 	return Global().Serve()
+}
+
+// Router returns the hub's cluster-router handle, creating it on first
+// use.
+func (h *Hub) Router() *RouterObs {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.router == nil {
+		h.router = NewRouterObs(h.reg)
+	}
+	return h.router
+}
+
+// RouterObsFor returns the global hub's router handle, or nil when no hub
+// is installed.
+func RouterObsFor() *RouterObs {
+	return Global().Router()
 }
 
 // Snapshot captures the full observability surface.

@@ -1,0 +1,57 @@
+package obs
+
+// RouterObs instruments the cluster router: ring placements, failovers
+// past dead shards, and rejected connections. Nil-safe like every handle
+// in this package — a nil receiver ignores every update.
+type RouterObs struct {
+	placements  *Counter
+	failovers   *Counter
+	rejects     *Counter
+	connsActive *Gauge
+}
+
+// NewRouterObs registers the router series on reg.
+func NewRouterObs(reg *Registry) *RouterObs {
+	if reg == nil {
+		return nil
+	}
+	return &RouterObs{
+		placements: reg.Counter("streamcover_router_placements_total",
+			"Connections placed on a shard via the consistent-hash ring."),
+		failovers: reg.Counter("streamcover_router_failovers_total",
+			"Placements that skipped one or more unreachable shards."),
+		rejects: reg.Counter("streamcover_router_rejects_total",
+			"Connections rejected because no live shard could be dialed."),
+		connsActive: reg.Gauge("streamcover_router_conns_active",
+			"Client connections currently spliced to a shard."),
+	}
+}
+
+// Placement records one successful shard placement; failedOver reports
+// whether any dead shard had to be skipped to reach it.
+func (r *RouterObs) Placement(failedOver bool) {
+	if !Enabled || r == nil {
+		return
+	}
+	r.placements.Inc()
+	if failedOver {
+		r.failovers.Inc()
+	}
+	r.connsActive.Add(1)
+}
+
+// Reject records a connection with no live shard to go to.
+func (r *RouterObs) Reject() {
+	if !Enabled || r == nil {
+		return
+	}
+	r.rejects.Inc()
+}
+
+// SpliceDone records a placed connection ending.
+func (r *RouterObs) SpliceDone() {
+	if !Enabled || r == nil {
+		return
+	}
+	r.connsActive.Add(-1)
+}

@@ -19,6 +19,8 @@ type ServeObs struct {
 	sessionsActive  *Gauge
 	sessionsTotal   *Counter
 	resumesTotal    *Counter
+	adoptionsTotal  *Counter
+	adoptionNs      *Histogram
 	batches         *Counter
 	edges           *Counter
 	ingestStalls    *Counter
@@ -60,6 +62,10 @@ func NewServeObs(reg *Registry, sessions *SessionTable) *ServeObs {
 			"Sessions ever opened (hello frames accepted)."),
 		resumesTotal: reg.Counter("streamcover_serve_resumes_total",
 			"Sessions resumed from a checkpoint after a disconnect."),
+		adoptionsTotal: reg.Counter("streamcover_serve_adoptions_total",
+			"Resumes that adopted a checkpoint written by another shard."),
+		adoptionNs: reg.Histogram("streamcover_serve_adoption_ns",
+			"Cross-shard adoption latency, nanoseconds (store Get + checkpoint restore)."),
 		batches: reg.Counter("streamcover_serve_batches_total",
 			"Edge batches ingested over the wire."),
 		edges: reg.Counter("streamcover_serve_edges_total",
@@ -176,6 +182,17 @@ func (s *ServeObs) SessionClosed() {
 		return
 	}
 	s.sessionsActive.Add(-1)
+}
+
+// Adoption records one cross-shard checkpoint adoption: a resume restoring
+// a checkpoint this process never wrote, ns covering store fetch plus
+// restore.
+func (s *ServeObs) Adoption(ns int64) {
+	if !Enabled || s == nil {
+		return
+	}
+	s.adoptionsTotal.Inc()
+	s.adoptionNs.Observe(ns)
 }
 
 // Batch records one ingested edge batch.

@@ -32,9 +32,16 @@ type SessionEvent struct {
 	// "disconnect", "drain", or an error string).
 	Cause string `json:"cause,omitempty"`
 
-	// Store names the checkpoint-store backend ("dir", "mem") on
-	// detach/resume events — the events whose durability depends on it.
+	// Store names the checkpoint-store backend ("dir", "mem", "cluster")
+	// on detach/resume events — the events whose durability depends on it.
 	Store string `json:"store,omitempty"`
+
+	// Shard names the serving process that emitted the event (scserve
+	// -shard), so a fleet's merged event streams stay attributable.
+	Shard string `json:"shard,omitempty"`
+	// Adopted rides on session_resume: true when the checkpoint was
+	// written by a different process — a cross-shard adoption.
+	Adopted bool `json:"adopted,omitempty"`
 }
 
 // Lifecycle event names, so emitters and tests share one spelling.

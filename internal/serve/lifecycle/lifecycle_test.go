@@ -2,6 +2,8 @@ package lifecycle
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"streamcover/internal/obs"
@@ -161,6 +163,137 @@ func TestLifecycleMintSkipsStoredTokens(t *testing.T) {
 	}
 	if _, rpos, err := mgrB.Resume("s000001", obs.TraceID{}, cfg); err != nil || rpos != len(edges)/2 {
 		t.Fatalf("resume after restart: pos=%d err=%v", rpos, err)
+	}
+}
+
+// TestLifecycleMintSharedStore is the cluster mint-collision regression:
+// two managers (two shards) sharing one store, both with fresh counters
+// and neither's first session checkpointed, must not hand out the same
+// token. Before the store-side Reserve, both would List an empty store,
+// see no local attachment of s000001, and mint it twice.
+func TestLifecycleMintSharedStore(t *testing.T) {
+	cfg := testConfig()
+	st := store.NewMemStore()
+	shardA, err := NewManager(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardB, err := NewManager(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := mustOpen(t, shardA, "", cfg)
+	sb := mustOpen(t, shardB, "", cfg)
+	if sa.Token() == sb.Token() {
+		t.Fatalf("two shards minted the same token %q against a shared store", sa.Token())
+	}
+}
+
+// TestLifecycleMintSharedStoreRace hammers the same property concurrently:
+// every token minted across two shards over a shared store is unique.
+func TestLifecycleMintSharedStoreRace(t *testing.T) {
+	cfg := testConfig()
+	st := store.NewMemStore()
+	var mu sync.Mutex
+	seen := make(map[string]string)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		mgr, err := NewManager(st, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := fmt.Sprintf("shard%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				s, err := mgr.Open("", obs.TraceID{}, cfg)
+				if err != nil {
+					t.Errorf("%s: %v", shard, err)
+					return
+				}
+				mu.Lock()
+				if prev, dup := seen[s.Token()]; dup {
+					t.Errorf("token %q minted by both %s and %s", s.Token(), prev, shard)
+				}
+				seen[s.Token()] = shard
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 32 {
+		t.Fatalf("minted %d distinct tokens, want 32", len(seen))
+	}
+}
+
+// TestLifecycleResumeMintMarker: a token whose shard died between mint and
+// first checkpoint holds only the reservation marker; resuming it must
+// report unknown-session (the client re-hellos from zero), not feed the
+// marker to the checkpoint decoder.
+func TestLifecycleResumeMintMarker(t *testing.T) {
+	cfg := testConfig()
+	st := store.NewMemStore()
+	if won, err := st.Reserve("s000001"); err != nil || !won {
+		t.Fatalf("Reserve = (%v, %v)", won, err)
+	}
+	mgr, err := NewManager(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mgr.Resume("s000001", obs.TraceID{}, cfg); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("Resume of a mint marker = %v, want ErrUnknownSession", err)
+	}
+}
+
+// TestLifecycleAdoptionMetrics: a resume restoring a checkpoint written by
+// a different manager counts as an adoption exactly once; a local
+// detach/resume cycle on the same token afterwards does not.
+func TestLifecycleAdoptionMetrics(t *testing.T) {
+	cfg := testConfig()
+	edges := testEdges(cfg)
+	st := store.NewMemStore()
+	shardA, err := NewManager(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := obs.NewHub(1)
+	shardB, err := NewManager(st, hub.Serve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardB.SetShard("shard-b")
+
+	adoptions := func() float64 {
+		var v float64
+		for _, p := range hub.Snapshot().Metrics {
+			if p.Name == "streamcover_serve_adoptions_total" {
+				v = p.Value
+			}
+		}
+		return v
+	}
+
+	sa := mustOpen(t, shardA, "adoptme", cfg)
+	feed(sa, edges[:len(edges)/2])
+	if _, err := shardA.Detach(sa, "shard-kill"); err != nil {
+		t.Fatal(err)
+	}
+	sb, pos, err := shardB.Resume("adoptme", obs.TraceID{}, cfg)
+	if err != nil || pos != len(edges)/2 {
+		t.Fatalf("adopting resume: pos=%d err=%v", pos, err)
+	}
+	if got := adoptions(); got != 1 {
+		t.Fatalf("adoptions_total = %v after a cross-shard resume, want 1", got)
+	}
+	if _, err := shardB.Detach(sb, "local-cycle"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := shardB.Resume("adoptme", obs.TraceID{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := adoptions(); got != 1 {
+		t.Fatalf("adoptions_total = %v after a local reattach, want still 1", got)
 	}
 }
 

@@ -62,12 +62,19 @@ type managerStripe struct {
 type Manager struct {
 	store     store.CheckpointStore
 	storeName string
+	shard     string // set by SetShard before serving starts
 	so        *obs.ServeObs
 
 	draining atomic.Bool
 
 	mintMu sync.Mutex // serializes server-chosen token assignment
 	nextID uint64     // guarded by mintMu
+
+	// localCkpt remembers every token this process has checkpointed, so a
+	// resume can tell a local reattach from a cross-shard adoption (a
+	// checkpoint some other process wrote into the shared store).
+	ckptMu    sync.Mutex
+	localCkpt map[string]struct{}
 
 	stripes [lockStripes]managerStripe
 }
@@ -82,12 +89,21 @@ func NewManager(st store.CheckpointStore, so *obs.ServeObs) (*Manager, error) {
 	if named, ok := st.(fmt.Stringer); ok {
 		name = named.String()
 	}
-	m := &Manager{store: st, storeName: name, so: so}
+	m := &Manager{store: st, storeName: name, so: so, localCkpt: make(map[string]struct{})}
 	for i := range m.stripes {
 		m.stripes[i].active = make(map[string]*Session)
 	}
 	return m, nil
 }
+
+// SetShard names this serving process on every wide event it emits, so a
+// fleet's merged event streams stay attributable. Call before the manager
+// starts serving connections; the field is read without synchronization
+// afterwards.
+func (m *Manager) SetShard(shard string) { m.shard = shard }
+
+// Shard reports the shard name ("" for a standalone server).
+func (m *Manager) Shard() string { return m.shard }
 
 // Store exposes the manager's checkpoint store (tests and tooling inspect
 // it).
@@ -150,17 +166,26 @@ func (m *Manager) attached(token string) bool {
 // in-memory counter resets on restart, and colliding with a detached
 // checkpoint left by the previous process would let Finish delete state a
 // client still intends to resume.
-func (m *Manager) mintToken() (string, error) {
+//
+// The List snapshot alone is not enough once several shards mint against
+// one shared store: two shards can List, see the same gap, and both hand
+// out the same token. When the store can Reserve (every shipped backend
+// can), the candidate is atomically claimed in the store itself before it
+// is returned — losing the race just advances to the next candidate.
+// reserved reports whether such a store-side reservation is being held;
+// the caller owns it (checkpoint over it, or Delete it on failure).
+func (m *Manager) mintToken() (tok string, reserved bool, err error) {
 	m.mintMu.Lock()
 	defer m.mintMu.Unlock()
 	held, err := m.store.List()
 	if err != nil {
-		return "", fmt.Errorf("serve: minting token: %w", err)
+		return "", false, fmt.Errorf("serve: minting token: %w", err)
 	}
 	taken := make(map[string]struct{}, len(held))
 	for _, t := range held {
 		taken[t] = struct{}{}
 	}
+	reserver, canReserve := m.store.(store.Reserver)
 	for {
 		m.nextID++
 		tok := fmt.Sprintf("s%06d", m.nextID)
@@ -170,7 +195,19 @@ func (m *Manager) mintToken() (string, error) {
 		if m.attached(tok) {
 			continue
 		}
-		return tok, nil
+		if !canReserve {
+			return tok, false, nil
+		}
+		won, err := reserver.Reserve(tok)
+		if err != nil {
+			return "", false, fmt.Errorf("serve: minting token: %w", err)
+		}
+		if !won {
+			// Another shard minted (or a client checkpointed) this token
+			// after our List snapshot; keep walking the counter.
+			continue
+		}
+		return tok, true, nil
 	}
 }
 
@@ -187,18 +224,22 @@ func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*Session, e
 	if m.draining.Load() {
 		return nil, ErrDraining
 	}
+	minted := false
 	if token == "" {
 		for {
-			t, err := m.mintToken()
+			t, reserved, err := m.mintToken()
 			if err != nil {
 				return nil, err
 			}
 			if err := m.claim(t, nil); err == nil {
-				token = t
+				token, minted = t, reserved
 				break
 			}
 			// An explicit hello raced us to the minted token between mint
-			// and claim; mint the next one.
+			// and claim; drop any store-side reservation and mint the next.
+			if reserved {
+				m.store.Delete(t)
+			}
 		}
 	} else {
 		if !store.ValidToken(token) {
@@ -211,6 +252,9 @@ func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*Session, e
 	alg, err := Build(cfg)
 	if err != nil {
 		m.unclaim(token)
+		if minted {
+			m.store.Delete(token)
+		}
 		return nil, err
 	}
 	if trace.IsZero() {
@@ -218,11 +262,16 @@ func (m *Manager) Open(token string, trace obs.TraceID, cfg Config) (*Session, e
 	}
 	tslot := m.so.AcquireSession(token, cfg.Algo, trace, false, 0)
 	s := newSession(token, trace, cfg, alg, 0, m.so, tslot)
+	// A minted token holds a store-side reservation blob; marking the
+	// session persisted makes Finish delete it, exactly as it would a real
+	// detach checkpoint.
+	s.persisted = minted
 	m.adopt(token, s)
 	m.so.SessionOpened(false)
 	if m.so.Eventing() {
 		m.so.Event(obs.SessionEvent{
 			Event: obs.EventSessionOpen, Token: token, Trace: trace.String(), Algo: cfg.Algo,
+			Shard: m.shard,
 		})
 	}
 	return s, nil
@@ -267,11 +316,22 @@ func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*Session,
 		}
 		return nil, 0, fmt.Errorf("serve: resume %q: %w", token, err)
 	}
+	if store.IsMintMarker(blob) {
+		// The token is a mint reservation that never checkpointed — its
+		// shard died before the first detach. There is no state to restore;
+		// unknown-session tells the client to re-hello from position zero.
+		m.unclaim(token)
+		return nil, 0, fmt.Errorf("%w: %q was minted but never checkpointed", ErrUnknownSession, token)
+	}
 	m.so.StoreGet(len(blob), time.Since(t0).Nanoseconds())
 	pos, ckptTrace, err := stream.ReadCheckpointTraced(bytes.NewReader(blob), alg)
 	if err != nil {
 		m.unclaim(token)
 		return nil, 0, fmt.Errorf("serve: resume %q: %w", token, err)
+	}
+	adopted := !m.checkpointedHere(token)
+	if adopted {
+		m.so.Adoption(time.Since(t0).Nanoseconds())
 	}
 	if !ckptTrace.IsZero() {
 		trace = ckptTrace
@@ -286,10 +346,19 @@ func (m *Manager) Resume(token string, trace obs.TraceID, cfg Config) (*Session,
 	if m.so.Eventing() {
 		m.so.Event(obs.SessionEvent{
 			Event: obs.EventSessionResume, Token: token, Trace: trace.String(), Algo: cfg.Algo,
-			Edges: int64(pos), Store: m.storeName,
+			Edges: int64(pos), Store: m.storeName, Shard: m.shard, Adopted: adopted,
 		})
 	}
 	return s, pos, nil
+}
+
+// checkpointedHere reports whether this process ever wrote a checkpoint
+// for token — false means a resume of it is a cross-shard adoption.
+func (m *Manager) checkpointedHere(token string) bool {
+	m.ckptMu.Lock()
+	_, ok := m.localCkpt[token]
+	m.ckptMu.Unlock()
+	return ok
 }
 
 // putCheckpoint serializes s's state at pos into a trace-stamped SCCKPT1
@@ -307,6 +376,9 @@ func (m *Manager) putCheckpoint(s *Session, pos int) (int, error) {
 	}
 	m.so.StorePut(n, time.Since(t0).Nanoseconds())
 	s.persisted = true
+	m.ckptMu.Lock()
+	m.localCkpt[s.token] = struct{}{}
+	m.ckptMu.Unlock()
 	return n, nil
 }
 
@@ -335,7 +407,7 @@ func (m *Manager) Detach(s *Session, cause string) (int, error) {
 		m.so.Event(obs.SessionEvent{
 			Event: obs.EventSessionDetach, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
 			Edges: int64(pos), IngestStalls: s.tslot.Stalls(), CheckpointBytes: int64(n), Cause: cause,
-			Store: m.storeName,
+			Store: m.storeName, Shard: m.shard,
 		})
 	}
 	s.retire()
@@ -358,7 +430,7 @@ func (m *Manager) Finish(s *Session) (Result, error) {
 	if m.so.Eventing() {
 		m.so.Event(obs.SessionEvent{
 			Event: obs.EventSessionFinish, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
-			Edges: int64(res.Edges), IngestStalls: s.tslot.Stalls(),
+			Edges: int64(res.Edges), IngestStalls: s.tslot.Stalls(), Shard: m.shard,
 		})
 	}
 	s.retire()
@@ -374,7 +446,7 @@ func (m *Manager) fail(s *Session, cause string, err error) {
 	if m.so.Eventing() {
 		m.so.Event(obs.SessionEvent{
 			Event: obs.EventSessionFail, Token: s.token, Trace: s.trace.String(), Algo: s.cfg.Algo,
-			IngestStalls: s.tslot.Stalls(), Cause: cause + ": " + err.Error(),
+			IngestStalls: s.tslot.Stalls(), Cause: cause + ": " + err.Error(), Shard: m.shard,
 		})
 	}
 }
@@ -392,7 +464,7 @@ func (m *Manager) release(token string) {
 func (m *Manager) Drain() {
 	if !m.draining.Swap(true) {
 		if m.so.Eventing() {
-			m.so.Event(obs.SessionEvent{Event: obs.EventServerDrain, Active: int64(m.Active())})
+			m.so.Event(obs.SessionEvent{Event: obs.EventServerDrain, Active: int64(m.Active()), Shard: m.shard})
 		}
 	}
 }

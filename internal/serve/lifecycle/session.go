@@ -122,8 +122,8 @@ type Session struct {
 
 	stopped   bool // worker has exited (finish or stop delivered)
 	persisted bool // this session's lifetime wrote or read a store checkpoint
-	so      *obs.ServeObs
-	tslot   *obs.SessionSlot // per-session telemetry row (nil when off)
+	so        *obs.ServeObs
+	tslot     *obs.SessionSlot // per-session telemetry row (nil when off)
 }
 
 // newSession wraps alg (built for cfg) in a pooled ring and starts the

@@ -1,0 +1,269 @@
+// Package ring is the placement layer of the serving cluster: a
+// consistent-hash ring mapping session tokens to shard members so that a
+// fixed membership places every token deterministically, load spreads
+// evenly across members, and a membership change moves only ~1/n of the
+// token space. The router keys the ring by the existing resume token —
+// the same identity that keys checkpoints in the shared store — so the
+// shard a resume routes to is a pure function of (token, live membership),
+// and any shard the ring picks can adopt the session's checkpoint.
+//
+// The ring is deliberately a value-semantics data structure with no
+// locking or I/O: the router owns one under its own mutex, tests drive it
+// directly, and the SCRING1 codec snapshots membership for logging,
+// diagnostics and cross-process exchange.
+package ring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per member when New is given
+// zero. 128 vnodes keeps the max/mean load ratio tight (see the balance
+// property test) while the ring stays small enough that rebuilding it on a
+// membership change is microseconds.
+const DefaultReplicas = 128
+
+// maxMemberLen bounds one member name in the SCRING1 codec, so a corrupt
+// length prefix cannot provoke a pathological allocation.
+const maxMemberLen = 256
+
+// ErrCodec reports malformed SCRING1 bytes: bad magic, bad CRC, truncated
+// or oversized fields.
+var ErrCodec = errors.New("ring: bad SCRING1 encoding")
+
+// ringMagic opens every SCRING1 snapshot.
+const ringMagic = "SCRING1\n"
+
+// vnode is one virtual point on the ring: a hash position owned by a
+// member.
+type vnode struct {
+	hash  uint64
+	owner int // index into members
+}
+
+// Ring is a consistent-hash ring over named members (shard addresses).
+// Not safe for concurrent use; the router guards its ring with its own
+// mutex and tests drive it single-threaded.
+type Ring struct {
+	replicas int
+	members  []string // sorted member names
+	vnodes   []vnode  // sorted by hash
+}
+
+// New builds a ring with the given virtual-node count per member
+// (0 picks DefaultReplicas) and initial membership. Duplicate members
+// collapse to one.
+func New(replicas int, members ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas}
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+// Replicas reports the virtual-node count per member.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the membership, sorted. The slice is a copy.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	return i < len(r.members) && r.members[i] == member
+}
+
+// Add inserts a member (no-op if present). Placement of tokens not owned
+// by the new member is unchanged — the minimal-movement property the
+// property tests pin.
+func (r *Ring) Add(member string) {
+	if member == "" || r.Has(member) {
+		return
+	}
+	r.members = append(r.members, member)
+	sort.Strings(r.members)
+	r.rebuild()
+}
+
+// Remove deletes a member (no-op if absent). Tokens it owned redistribute
+// across the survivors; every other token keeps its owner.
+func (r *Ring) Remove(member string) {
+	i := sort.SearchStrings(r.members, member)
+	if i >= len(r.members) || r.members[i] != member {
+		return
+	}
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	r.rebuild()
+}
+
+// rebuild regenerates the vnode table from the member list. Vnode hashes
+// depend only on (member, replica index), so the same membership always
+// yields the same ring regardless of insertion order.
+func (r *Ring) rebuild() {
+	r.vnodes = r.vnodes[:0]
+	if cap(r.vnodes) < len(r.members)*r.replicas {
+		r.vnodes = make([]vnode, 0, len(r.members)*r.replicas)
+	}
+	for mi, m := range r.members {
+		for i := 0; i < r.replicas; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: vnodeHash(m, i), owner: mi})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		va, vb := r.vnodes[a], r.vnodes[b]
+		if va.hash != vb.hash {
+			return va.hash < vb.hash
+		}
+		// Hash ties (astronomically rare) break by owner so placement
+		// stays deterministic for a fixed membership.
+		return va.owner < vb.owner
+	})
+}
+
+// Lookup places token on its owning member. ok is false on an empty ring.
+func (r *Ring) Lookup(token string) (member string, ok bool) {
+	if len(r.vnodes) == 0 {
+		return "", false
+	}
+	i := r.search(tokenHash(token))
+	return r.members[r.vnodes[i].owner], true
+}
+
+// Owners returns up to n distinct members in ring order starting from
+// token's position: the placement target first, then the failover
+// sequence a router walks when the target is unreachable. n <= 0 returns
+// every member in ring order from the token.
+func (r *Ring) Owners(token string, n int) []string {
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	start := r.search(tokenHash(token))
+	for i := 0; len(out) < n && i < len(r.vnodes); i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.owner] {
+			seen[v.owner] = true
+			out = append(out, r.members[v.owner])
+		}
+	}
+	return out
+}
+
+// search finds the first vnode at or clockwise-after h (wrapping).
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		return 0
+	}
+	return i
+}
+
+// tokenHash maps a session token to its ring position. FNV-1a mixed
+// through a splitmix64 finalizer: FNV alone clusters sequential tokens
+// (s000001, s000002, ...) into nearby positions; the finalizer spreads
+// them uniformly.
+func tokenHash(token string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(token); i++ {
+		h = (h ^ uint64(token[i])) * 1099511628211
+	}
+	return mix64(h)
+}
+
+// vnodeHash positions replica i of a member on the ring.
+func vnodeHash(member string, i int) uint64 {
+	h := uint64(14695981039346656037)
+	for j := 0; j < len(member); j++ {
+		h = (h ^ uint64(member[j])) * 1099511628211
+	}
+	h = (h ^ uint64(i)) * 1099511628211
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Encode snapshots the ring's membership as SCRING1 bytes: magic, uvarint
+// replica count, uvarint member count, length-prefixed members, CRC-32
+// trailer over everything after the magic. Decode(Encode(r)) reproduces
+// placement exactly — the vnode table is a pure function of what is
+// encoded.
+func (r *Ring) Encode() []byte {
+	b := []byte(ringMagic)
+	body := binary.AppendUvarint(nil, uint64(r.replicas))
+	body = binary.AppendUvarint(body, uint64(len(r.members)))
+	for _, m := range r.members {
+		body = binary.AppendUvarint(body, uint64(len(m)))
+		body = append(body, m...)
+	}
+	b = append(b, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(b, crc[:]...)
+}
+
+// Decode rebuilds a ring from SCRING1 bytes, rejecting bad magic, a CRC
+// mismatch, truncation, trailing bytes, oversized fields and duplicate
+// members.
+func Decode(b []byte) (*Ring, error) {
+	if len(b) < len(ringMagic)+4 || string(b[:len(ringMagic)]) != ringMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCodec)
+	}
+	body, trailer := b[len(ringMagic):len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCodec)
+	}
+	replicas, n := binary.Uvarint(body)
+	if n <= 0 || replicas == 0 || replicas > 1<<16 {
+		return nil, fmt.Errorf("%w: replica count", ErrCodec)
+	}
+	body = body[n:]
+	count, n := binary.Uvarint(body)
+	if n <= 0 || count > 1<<16 {
+		return nil, fmt.Errorf("%w: member count", ErrCodec)
+	}
+	body = body[n:]
+	members := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(body)
+		if n <= 0 || l == 0 || l > maxMemberLen || l > uint64(len(body)-n) {
+			return nil, fmt.Errorf("%w: member %d length", ErrCodec, i)
+		}
+		body = body[n:]
+		members = append(members, string(body[:l]))
+		body = body[l:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(body))
+	}
+	r := New(int(replicas), members...)
+	if r.Len() != int(count) {
+		return nil, fmt.Errorf("%w: duplicate members", ErrCodec)
+	}
+	return r, nil
+}

@@ -1,0 +1,247 @@
+package ring
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// testTokens generates a deterministic mixed token population: the
+// sequential server-minted shapes (s000001...) that FNV alone would
+// cluster, plus client-chosen names.
+func testTokens(n int) []string {
+	toks := make([]string, 0, n)
+	for i := 0; len(toks) < n; i++ {
+		switch i % 3 {
+		case 0:
+			toks = append(toks, fmt.Sprintf("s%06d", i))
+		case 1:
+			toks = append(toks, fmt.Sprintf("cl%04d", i))
+		default:
+			toks = append(toks, fmt.Sprintf("session-%x", uint64(i)*0x9e3779b97f4a7c15))
+		}
+	}
+	return toks[:n]
+}
+
+func shards(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("127.0.0.1:%d", 7600+i)
+	}
+	return out
+}
+
+// TestRingBalance pins the load-spread property the cluster's capacity
+// planning rests on: across 1–64 shards at the default vnode count, the
+// most-loaded shard carries at most twice the mean (empirically ~1.3x;
+// the bound leaves slack so the test is not brittle to the hash).
+func TestRingBalance(t *testing.T) {
+	tokens := testTokens(20000)
+	for _, n := range []int{1, 2, 3, 4, 8, 16, 32, 64} {
+		r := New(0, shards(n)...)
+		counts := make(map[string]int, n)
+		for _, tok := range tokens {
+			m, ok := r.Lookup(tok)
+			if !ok {
+				t.Fatalf("n=%d: Lookup failed on a populated ring", n)
+			}
+			counts[m]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d shards received tokens", n, len(counts))
+		}
+		mean := float64(len(tokens)) / float64(n)
+		for m, c := range counts {
+			if ratio := float64(c) / mean; ratio > 2.0 {
+				t.Errorf("n=%d: shard %s carries %.2fx the mean load (%d tokens)", n, m, ratio, c)
+			}
+		}
+	}
+}
+
+// TestRingDeterministic: placement is a pure function of (token,
+// membership) — identical across ring instances, insertion orders and an
+// Encode/Decode round trip.
+func TestRingDeterministic(t *testing.T) {
+	members := shards(5)
+	a := New(0, members...)
+	b := New(0, members[4], members[2], members[0], members[3], members[1])
+	c, err := Decode(a.Encode())
+	if err != nil {
+		t.Fatalf("Decode(Encode): %v", err)
+	}
+	for _, tok := range testTokens(2000) {
+		ma, _ := a.Lookup(tok)
+		mb, _ := b.Lookup(tok)
+		mc, _ := c.Lookup(tok)
+		if ma != mb || ma != mc {
+			t.Fatalf("placement of %q differs: %s / %s (reordered) / %s (decoded)", tok, ma, mb, mc)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a shard to an n-shard ring moves
+// ~1/(n+1) of tokens, and every moved token moves TO the new shard —
+// no token shuffles between survivors.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	tokens := testTokens(20000)
+	for _, n := range []int{1, 2, 3, 7, 15, 31} {
+		r := New(0, shards(n)...)
+		before := make(map[string]string, len(tokens))
+		for _, tok := range tokens {
+			before[tok], _ = r.Lookup(tok)
+		}
+		joined := fmt.Sprintf("127.0.0.1:%d", 9000+n)
+		r.Add(joined)
+		moved := 0
+		for _, tok := range tokens {
+			after, _ := r.Lookup(tok)
+			if after != before[tok] {
+				moved++
+				if after != joined {
+					t.Fatalf("n=%d: token %q moved %s -> %s, not to the joining shard", n, tok, before[tok], after)
+				}
+			}
+		}
+		expect := float64(len(tokens)) / float64(n+1)
+		if f := float64(moved); f < 0.5*expect || f > 2.0*expect {
+			t.Errorf("n=%d: join moved %d tokens, want ~%.0f (1/%d of the space)", n, moved, expect, n+1)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a shard reassigns exactly the
+// tokens it owned; every other token keeps its owner. This is the
+// property cross-shard drain rests on — a SIGTERM'd shard's sessions
+// redistribute, everyone else's placement is untouched.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	tokens := testTokens(20000)
+	for _, n := range []int{2, 3, 8, 16} {
+		members := shards(n)
+		r := New(0, members...)
+		before := make(map[string]string, len(tokens))
+		for _, tok := range tokens {
+			before[tok], _ = r.Lookup(tok)
+		}
+		gone := members[n/2]
+		r.Remove(gone)
+		for _, tok := range tokens {
+			after, _ := r.Lookup(tok)
+			if before[tok] == gone {
+				if after == gone {
+					t.Fatalf("n=%d: token %q still places on the removed shard", n, tok)
+				}
+			} else if after != before[tok] {
+				t.Fatalf("n=%d: token %q moved %s -> %s though its shard survived", n, tok, before[tok], after)
+			}
+		}
+	}
+}
+
+// TestRingOwners: the failover sequence starts with the Lookup placement,
+// lists distinct members only, and covers the whole membership.
+func TestRingOwners(t *testing.T) {
+	r := New(0, shards(5)...)
+	for _, tok := range testTokens(200) {
+		first, _ := r.Lookup(tok)
+		owners := r.Owners(tok, 0)
+		if len(owners) != 5 {
+			t.Fatalf("Owners(%q) returned %d members, want 5", tok, len(owners))
+		}
+		if owners[0] != first {
+			t.Fatalf("Owners(%q)[0] = %s, Lookup = %s", tok, owners[0], first)
+		}
+		seen := map[string]bool{}
+		for _, m := range owners {
+			if seen[m] {
+				t.Fatalf("Owners(%q) repeats %s", tok, m)
+			}
+			seen[m] = true
+		}
+		if got := r.Owners(tok, 2); len(got) != 2 || got[0] != owners[0] || got[1] != owners[1] {
+			t.Fatalf("Owners(%q, 2) = %v, want prefix of %v", tok, got, owners)
+		}
+	}
+}
+
+// TestRingMembership covers the member-set bookkeeping: idempotent Add,
+// no-op Remove of absent members, empty-ring Lookup.
+func TestRingMembership(t *testing.T) {
+	r := New(4)
+	if _, ok := r.Lookup("tok"); ok {
+		t.Fatal("Lookup succeeded on an empty ring")
+	}
+	if r.Owners("tok", 3) != nil {
+		t.Fatal("Owners returned members on an empty ring")
+	}
+	r.Add("a")
+	r.Add("a")
+	r.Add("") // empty member names are ignored
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Members = %v, want [a]", got)
+	}
+	r.Remove("absent")
+	if r.Len() != 1 || !r.Has("a") {
+		t.Fatalf("Remove(absent) changed membership: %v", r.Members())
+	}
+	r.Remove("a")
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after removing its only member: %v", r.Members())
+	}
+}
+
+// TestRingCodecRoundTrip pins the SCRING1 snapshot format: membership and
+// replica count survive, and corruption in any byte is rejected.
+func TestRingCodecRoundTrip(t *testing.T) {
+	r := New(32, "10.0.0.1:7600", "10.0.0.2:7600", "10.0.0.3:7600")
+	enc := r.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Replicas() != 32 || !reflect.DeepEqual(got.Members(), r.Members()) {
+		t.Fatalf("round trip lost state: replicas=%d members=%v", got.Replicas(), got.Members())
+	}
+	// Any single flipped byte must fail (magic, body, or CRC).
+	for i := range enc {
+		bad := bytes.Clone(enc)
+		bad[i] ^= 0xFF
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("Decode accepted a corrupted snapshot (byte %d flipped)", i)
+		}
+	}
+	for _, truncated := range [][]byte{nil, enc[:4], enc[:len(enc)-1], enc[:len(ringMagic)]} {
+		if _, err := Decode(truncated); err == nil {
+			t.Fatalf("Decode accepted truncated input of %d bytes", len(truncated))
+		}
+	}
+	if _, err := Decode(append(bytes.Clone(enc), 0)); err == nil {
+		t.Fatal("Decode accepted trailing garbage")
+	}
+}
+
+// FuzzRingCodec hammers Decode with arbitrary bytes (it must never panic
+// or over-allocate) and pins that whatever decodes re-encodes to an
+// equivalent ring.
+func FuzzRingCodec(f *testing.F) {
+	f.Add([]byte(ringMagic))
+	f.Add(New(0, "a", "b").Encode())
+	f.Add(New(1, "127.0.0.1:7600").Encode())
+	f.Add(New(512, "x", "y", "z").Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(r.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of a valid ring failed: %v", err)
+		}
+		if again.Replicas() != r.Replicas() || !reflect.DeepEqual(again.Members(), r.Members()) {
+			t.Fatalf("Encode/Decode not stable: %v/%d vs %v/%d",
+				r.Members(), r.Replicas(), again.Members(), again.Replicas())
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"streamcover/internal/obs"
+	"streamcover/internal/serve/store"
+)
+
+// testCluster is an in-process cluster: one shared SCSTOR1 store server,
+// n scserve-shaped shards each holding a ClusterStore client for it, and
+// a router over the shard set.
+type testCluster struct {
+	router *Router
+	shards map[string]*Server // shard address -> its server
+}
+
+func startCluster(t testing.TB, n int) *testCluster {
+	t.Helper()
+	storeSrv, err := store.NewStoreServer(store.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storeSrv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go storeSrv.Serve()
+	t.Cleanup(func() { storeSrv.Close() })
+
+	tc := &testCluster{shards: make(map[string]*Server, n)}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		srv := startServer(t, ServerConfig{
+			Store: store.NewClusterStore(storeSrv.Addr(), 10*time.Second),
+		})
+		tc.shards[srv.Addr()] = srv
+		addrs = append(addrs, srv.Addr())
+	}
+	r, err := NewRouter(RouterConfig{
+		Addr:         "127.0.0.1:0",
+		Shards:       addrs,
+		DialTimeout:  5 * time.Second,
+		DownCooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			t.Errorf("router shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("router serve: %v", err)
+		}
+	})
+	tc.router = r
+	return tc
+}
+
+// killShard shuts one shard down, checkpointing its sessions into the
+// shared store — the in-process equivalent of SIGTERM on an scserve.
+func (tc *testCluster) killShard(t testing.TB, addr string) {
+	t.Helper()
+	srv, ok := tc.shards[addr]
+	if !ok {
+		t.Fatalf("no shard at %q", addr)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("killing shard %s: %v", addr, err)
+	}
+}
+
+func dialRouter(t testing.TB, tc *testCluster) *Client {
+	t.Helper()
+	c, err := Dial(tc.router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.Timeout = 30 * time.Second
+	return c
+}
+
+// TestRouterSessionMatchesLocalRun: a session fed through the router is
+// byte-identical to a local run — the splice adds nothing and loses
+// nothing.
+func TestRouterSessionMatchesLocalRun(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	want := localReference(t, cfg, edges)
+
+	tc := startCluster(t, 3)
+	c := dialRouter(t, tc)
+	if _, err := c.Hello("routed-session", cfg); err != nil {
+		t.Fatal(err)
+	}
+	fd := Feeder{Edges: edges, Batch: 500}
+	res, err := fd.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("routed fingerprint %016x != local %016x", res.Fingerprint(), want.Fingerprint())
+	}
+}
+
+// TestRouterMintedTokensSpread: empty-token hellos round-robin across the
+// shards (held open concurrently, each of 3 sessions lands on its own
+// shard), and the shared store keeps the minted tokens distinct even
+// though every shard's counter starts at zero.
+func TestRouterMintedTokensSpread(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	tc := startCluster(t, 3)
+
+	tokens := make(map[string]bool)
+	for i := 0; i < 3; i++ {
+		c := dialRouter(t, tc)
+		tok, err := c.Hello("", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tokens[tok] {
+			t.Fatalf("router session %d got duplicate minted token %q", i, tok)
+		}
+		tokens[tok] = true
+	}
+	for addr, srv := range tc.shards {
+		if got := srv.Manager().Active(); got != 1 {
+			t.Errorf("shard %s holds %d active sessions, want 1 (round-robin spread)", addr, got)
+		}
+	}
+}
+
+// TestRouterCrossShardAdoption is the tentpole invariant end to end, in
+// process: place a session, feed half, kill its shard, resume through the
+// router — a survivor adopts the checkpoint from the shared store — and
+// the final fingerprint is byte-identical to an uninterrupted run, with
+// the trace ID surviving the hop.
+func TestRouterCrossShardAdoption(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	want := localReference(t, cfg, edges)
+
+	tc := startCluster(t, 3)
+	const token = "adopt-me"
+	owner := tc.router.ShardFor(token)
+	if owner == "" {
+		t.Fatal("ring placed the token nowhere")
+	}
+
+	c1 := dialRouter(t, tc)
+	if _, err := c1.Hello(token, cfg); err != nil {
+		t.Fatal(err)
+	}
+	trace := c1.Trace
+	if trace.IsZero() {
+		t.Fatal("hello ack carried no trace")
+	}
+	half := len(edges) / 2
+	fd := Feeder{Edges: edges, Batch: 500}
+	if err := fd.RunUntil(c1, half); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the owner. Shutdown waits for its handlers, so the detach
+	// checkpoint is durably in the shared store when this returns.
+	tc.killShard(t, owner)
+
+	c2 := dialRouter(t, tc)
+	c2.Trace = obs.TraceID{}
+	pos, err := c2.Resume(token, cfg)
+	if err != nil {
+		t.Fatalf("resume after shard kill: %v", err)
+	}
+	if pos != half {
+		t.Fatalf("resume position %d, want %d", pos, half)
+	}
+	if c2.Trace != trace {
+		t.Fatalf("trace did not survive adoption: %s != %s", c2.Trace, trace)
+	}
+	res, err := fd.Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("adopted fingerprint %016x != uninterrupted %016x", res.Fingerprint(), want.Fingerprint())
+	}
+}
+
+// TestRouterAllShardsDead: with every shard down the router replies with a
+// shutdown-class error frame instead of hanging or dropping the
+// connection silently.
+func TestRouterAllShardsDead(t *testing.T) {
+	edges := testEdges(t)
+	cfg := testConfig(edges)
+	tc := startCluster(t, 2)
+	for addr := range tc.shards {
+		tc.killShard(t, addr)
+	}
+	c := dialRouter(t, tc)
+	_, err := c.Hello("doomed", cfg)
+	if err == nil {
+		t.Fatal("hello succeeded with every shard dead")
+	}
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("error %v is not the shutdown class", err)
+	}
+}
+
+// TestRouterRejectsGarbage: a connection that is not SCWIRE1 gets an error
+// frame (or a drop), never a splice.
+func TestRouterRejectsGarbage(t *testing.T) {
+	tc := startCluster(t, 1)
+	conn, err := net.Dial("tcp", tc.router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	n, _ := conn.Read(buf)
+	// Either the router closed the connection (n == 0) or it sent an
+	// SCWIRE1 error frame; both are acceptable, a splice is not. An error
+	// frame starts with a 4-byte length and frameError type.
+	if n >= 5 && buf[4] != frameError {
+		t.Fatalf("router replied with non-error frame type 0x%02x to garbage", buf[4])
+	}
+}
+
+// TestRouterConfigValidation pins constructor errors.
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Fatal("NewRouter with no shards succeeded")
+	}
+	if _, err := NewRouter(RouterConfig{Shards: []string{"a:1", "a:1"}}); err == nil {
+		t.Fatal("NewRouter with duplicate shards succeeded")
+	}
+}

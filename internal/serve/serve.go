@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"time"
+
 	"streamcover/internal/obs"
 	"streamcover/internal/serve/lifecycle"
 	"streamcover/internal/serve/store"
@@ -35,6 +37,10 @@ type Factory = lifecycle.Factory
 
 // CheckpointStore persists detach checkpoints. See store.CheckpointStore.
 type CheckpointStore = store.CheckpointStore
+
+// StoreServer serves a CheckpointStore over the SCSTOR1 protocol. See
+// store.StoreServer.
+type StoreServer = store.StoreServer
 
 // MaxBatch is the largest number of edges one edges frame may carry.
 const MaxBatch = lifecycle.MaxBatch
@@ -78,3 +84,17 @@ func NewFileStore(dir string) (*store.FileStore, error) { return store.NewFileSt
 // NewMemStore returns the in-process checkpoint store: dirless and fast
 // for tests, non-durable across processes.
 func NewMemStore() *store.MemStore { return store.NewMemStore() }
+
+// NewClusterStore returns the shared cluster store client: a
+// CheckpointStore speaking SCSTOR1 to a store server every shard reaches,
+// which is what lets any shard adopt any session's checkpoint. timeout
+// bounds each round trip (0 picks store.DefaultStoreTimeout).
+func NewClusterStore(addr string, timeout time.Duration) *store.ClusterStore {
+	return store.NewClusterStore(addr, timeout)
+}
+
+// NewStoreServer wraps a backing store for SCSTOR1 network service — the
+// shared-store side of the cluster tier.
+func NewStoreServer(backing store.CheckpointStore) (*store.StoreServer, error) {
+	return store.NewStoreServer(backing)
+}

@@ -87,6 +87,41 @@ func (s *FileStore) Delete(token string) error {
 	return nil
 }
 
+// Reserve atomically claims token if no checkpoint file exists: the mint
+// marker is staged in a temp file and hard-linked into place — link(2)
+// fails with EEXIST when the target exists, which makes the existence
+// check and the claim a single atomic filesystem operation even across
+// processes sharing the directory.
+func (s *FileStore) Reserve(token string) (bool, error) {
+	if err := checkToken(token); err != nil {
+		return false, err
+	}
+	f, err := os.CreateTemp(s.dir, token+".mint*")
+	if err != nil {
+		return false, fmt.Errorf("store: reserve %q: %w", token, err)
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp)
+	if _, err := f.Write(mintMarker); err != nil {
+		f.Close()
+		return false, fmt.Errorf("store: reserve %q: %w", token, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return false, fmt.Errorf("store: reserve %q: %w", token, err)
+	}
+	if err := f.Close(); err != nil {
+		return false, fmt.Errorf("store: reserve %q: %w", token, err)
+	}
+	if err := os.Link(tmp, s.path(token)); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: reserve %q: %w", token, err)
+	}
+	return true, nil
+}
+
 // List returns the tokens holding checkpoints, sorted. Stray files —
 // in-flight temp files, anything not shaped like `<token>.ckpt` — are
 // ignored rather than surfaced, so an interrupted Put can never make the

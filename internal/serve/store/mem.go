@@ -73,6 +73,23 @@ func (s *MemStore) Delete(token string) error {
 	return nil
 }
 
+// Reserve atomically claims token if nothing is stored under it, by
+// storing the mint marker under the write lock — the check and the claim
+// are one critical section, so concurrent minters of the same token get
+// exactly one winner.
+func (s *MemStore) Reserve(token string) (bool, error) {
+	if err := checkToken(token); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[token]; ok {
+		return false, nil
+	}
+	s.blobs[token] = MintMarker()
+	return true, nil
+}
+
 // List returns the tokens holding checkpoints, sorted.
 func (s *MemStore) List() ([]string, error) {
 	s.mu.RLock()

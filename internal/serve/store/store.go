@@ -24,6 +24,10 @@ import (
 // detached here" from real storage failures.
 var ErrNotFound = errors.New("store: checkpoint not found")
 
+// errInvalidToken is the typed cause behind every token-validation
+// failure, so the cluster protocol can carry the class across the wire.
+var errInvalidToken = errors.New("invalid session token")
+
 // CheckpointStore persists one checkpoint blob per session token. The
 // contract every implementation must honor (pinned by the shared
 // conformance suite in this package's tests):
@@ -73,10 +77,43 @@ func ValidToken(t string) bool {
 	return true
 }
 
+// Reserver is the optional store capability the cluster's mint path
+// requires: Reserve atomically claims token if and only if the store holds
+// nothing under it, returning whether this caller won. Two shards minting
+// against a shared store race through Reserve — exactly one wins, so the
+// same token can never be handed to two different sessions. The winner's
+// reservation is a real stored blob (the mint marker): it occupies the
+// token in List, Get and later Reserves until the session either
+// checkpoints over it or Finishes (which Deletes it).
+//
+// All stores in this package implement Reserver. The lifecycle manager
+// falls back to its local bookkeeping for a store that does not.
+type Reserver interface {
+	Reserve(token string) (bool, error)
+}
+
+// mintMarker is the blob a Reserve stores to occupy a freshly minted
+// token before its first checkpoint. It is deliberately not a valid
+// SCCKPT1 envelope: a Resume that Gets it knows the session never
+// detached and reports unknown-session instead of feeding garbage to the
+// checkpoint decoder.
+var mintMarker = []byte("SCMINT1\n")
+
+// MintMarker returns a fresh copy of the mint-reservation blob.
+func MintMarker() []byte {
+	return append([]byte(nil), mintMarker...)
+}
+
+// IsMintMarker reports whether blob is a mint reservation rather than a
+// real checkpoint.
+func IsMintMarker(blob []byte) bool {
+	return len(blob) == len(mintMarker) && string(blob) == string(mintMarker)
+}
+
 // checkToken is the shared Put/Get/Delete guard.
 func checkToken(token string) error {
 	if !ValidToken(token) {
-		return fmt.Errorf("store: invalid session token %q", token)
+		return fmt.Errorf("store: %w %q", errInvalidToken, token)
 	}
 	return nil
 }

@@ -2,14 +2,19 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"net"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestStoreConformance runs every backend through the shared contract
@@ -29,6 +34,7 @@ func TestStoreConformance(t *testing.T) {
 			return fs
 		}},
 		{"mem", func(t *testing.T) CheckpointStore { return NewMemStore() }},
+		{"cluster", func(t *testing.T) CheckpointStore { return openClusterStore(t) }},
 	}
 	for _, b := range backends {
 		t.Run(b.name, func(t *testing.T) {
@@ -41,8 +47,32 @@ func TestStoreConformance(t *testing.T) {
 			t.Run("no-aliasing", func(t *testing.T) { testNoAliasing(t, b.open(t)) })
 			t.Run("rejects-bad-tokens", func(t *testing.T) { testRejectsBadTokens(t, b.open(t)) })
 			t.Run("concurrent", func(t *testing.T) { testConcurrent(t, b.open(t)) })
+			t.Run("adoption-race", func(t *testing.T) { testAdoptionRace(t, b.open(t)) })
+			t.Run("reserve", func(t *testing.T) { testReserve(t, b.open(t)) })
+			t.Run("reserve-race", func(t *testing.T) { testReserveRace(t, b.open(t)) })
 		})
 	}
+}
+
+// openClusterStore spins up an in-process SCSTOR1 server over a MemStore
+// and returns a client for it, so the network-backed store runs the exact
+// conformance suite the local backends do.
+func openClusterStore(t *testing.T) *ClusterStore {
+	t.Helper()
+	srv, err := NewStoreServer(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	cs := NewClusterStore(srv.Addr(), 10*time.Second)
+	t.Cleanup(func() {
+		cs.Close()
+		srv.Close()
+	})
+	return cs
 }
 
 func testPutGetRoundTrip(t *testing.T, st CheckpointStore) {
@@ -207,6 +237,229 @@ func testConcurrent(t *testing.T, st CheckpointStore) {
 	wg.Wait()
 }
 
+// testAdoptionRace is the cluster-adoption contention pattern: several
+// goroutines hammer Put/Get/Delete on the SAME token — the shape of two
+// shards checkpointing and adopting one session around a kill. A reader
+// must only ever observe ErrNotFound or one complete write: every blob
+// carries a CRC-32 trailer over its payload, and a torn read fails it.
+func testAdoptionRace(t *testing.T, st CheckpointStore) {
+	const writers, readers, rounds = 4, 4, 40
+	mkBlob := func(w, r int) []byte {
+		payload := bytes.Repeat([]byte{byte(1 + w*16 + r%16)}, 256+w*64+r)
+		b := append([]byte(nil), payload...)
+		return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	}
+	intact := func(b []byte) bool {
+		if len(b) < 4 {
+			return false
+		}
+		payload, trailer := b[:len(b)-4], b[len(b)-4:]
+		return crc32.ChecksumIEEE(payload) == binary.LittleEndian.Uint32(trailer)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := st.Put("adopt", mkBlob(w, r)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if r%8 == 7 { // a Finish landing amid the checkpoint churn
+					if err := st.Delete("adopt"); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("writer %d: delete: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds*2; r++ {
+				blob, err := st.Get("adopt")
+				if err != nil {
+					if !errors.Is(err, ErrNotFound) {
+						t.Errorf("reader %d: %v", g, err)
+						return
+					}
+					continue
+				}
+				if !intact(blob) {
+					t.Errorf("reader %d observed a torn blob (%d bytes)", g, len(blob))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// testReserve pins the Reserver contract every backend must carry for the
+// cluster mint path: first Reserve wins, the reservation occupies the
+// token everywhere (Get, List, later Reserves), a real checkpoint keeps it
+// occupied, and Delete frees it.
+func testReserve(t *testing.T, st CheckpointStore) {
+	r, ok := st.(Reserver)
+	if !ok {
+		t.Fatalf("%T does not implement Reserver", st)
+	}
+	won, err := r.Reserve("mint")
+	if err != nil || !won {
+		t.Fatalf("first Reserve = (%v, %v), want win", won, err)
+	}
+	if won, err = r.Reserve("mint"); err != nil || won {
+		t.Fatalf("second Reserve = (%v, %v), want loss", won, err)
+	}
+	blob, err := st.Get("mint")
+	if err != nil {
+		t.Fatalf("Get of a reserved token: %v", err)
+	}
+	if !IsMintMarker(blob) {
+		t.Fatalf("reservation blob = %q, want the mint marker", blob)
+	}
+	if tokens, _ := st.List(); !reflect.DeepEqual(tokens, []string{"mint"}) {
+		t.Fatalf("List after Reserve = %v, want [mint]", tokens)
+	}
+	// The session checkpoints over its reservation; the token stays taken.
+	if _, err := st.Put("mint", []byte("SCCKPT1\nreal checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if won, err = r.Reserve("mint"); err != nil || won {
+		t.Fatalf("Reserve over a checkpoint = (%v, %v), want loss", won, err)
+	}
+	// Finish deletes; the token is mintable again.
+	if err := st.Delete("mint"); err != nil {
+		t.Fatal(err)
+	}
+	if won, err = r.Reserve("mint"); err != nil || !won {
+		t.Fatalf("Reserve after Delete = (%v, %v), want win", won, err)
+	}
+	if _, err := r.Reserve("../escape"); err == nil {
+		t.Fatal("Reserve accepted an invalid token")
+	}
+}
+
+// testReserveRace is the mint-collision core: concurrent Reserves of one
+// token get exactly one winner, every round.
+func testReserveRace(t *testing.T, st CheckpointStore) {
+	r, ok := st.(Reserver)
+	if !ok {
+		t.Fatalf("%T does not implement Reserver", st)
+	}
+	for round := 0; round < 8; round++ {
+		tok := fmt.Sprintf("mint%03d", round)
+		var wins atomic.Int32
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				won, err := r.Reserve(tok)
+				if err != nil {
+					t.Errorf("Reserve(%q): %v", tok, err)
+					return
+				}
+				if won {
+					wins.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if wins.Load() != 1 {
+			t.Fatalf("round %d: %d Reserve winners, want exactly 1", round, wins.Load())
+		}
+	}
+}
+
+// TestClusterStoreRedial pins the client's transparent-reconnect behavior:
+// a pooled connection severed under it (store server restarted on the same
+// address) must heal with a single redial, not surface an error.
+func TestClusterStoreRedial(t *testing.T) {
+	srv, err := NewStoreServer(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	addr := srv.Addr()
+	cs := NewClusterStore(addr, 10*time.Second)
+	defer cs.Close()
+	if _, err := cs.Put("tok", []byte("before restart")); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address; the pooled connection is
+	// now dead and the MemStore behind it is fresh.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewStoreServer(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err = srv2.Listen(addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	go srv2.Serve()
+	defer srv2.Close()
+	if _, err := cs.Put("tok", []byte("after restart")); err != nil {
+		t.Fatalf("Put through a severed pooled connection: %v", err)
+	}
+	got, err := cs.Get("tok")
+	if err != nil || string(got) != "after restart" {
+		t.Fatalf("Get after redial = %q, %v", got, err)
+	}
+}
+
+// TestStoreServerRejectsGarbage: a connection that opens with the wrong
+// magic or ships a corrupt frame is dropped without wedging the server.
+func TestStoreServerRejectsGarbage(t *testing.T) {
+	srv, err := NewStoreServer(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	for _, junk := range [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		append([]byte(StoreMagic), 0xFF, 0xFF, 0xFF, 0x7F),                     // absurd frame length
+		append([]byte(StoreMagic), 4, 0, 0, 0, 'j', 'u', 'n', 'k', 0, 0, 0, 0), // bad CRC
+	} {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(junk)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 64)
+		if n, err := conn.Read(buf); err == nil {
+			t.Fatalf("server replied %q to garbage instead of dropping the connection", buf[:n])
+		}
+		conn.Close()
+	}
+	// The server still serves real clients afterwards.
+	cs := NewClusterStore(srv.Addr(), 10*time.Second)
+	defer cs.Close()
+	if _, err := cs.Put("ok", []byte("fine")); err != nil {
+		t.Fatalf("healthy client after garbage connections: %v", err)
+	}
+}
+
 // TestFileStoreLayoutCompat pins the on-disk contract: a FileStore writes
 // exactly `<token>.ckpt` holding exactly the Put bytes — the layout every
 // pre-store scserve wrote — and reads checkpoints left by such a server.
@@ -309,5 +562,8 @@ func TestStoreStringNames(t *testing.T) {
 	}
 	if NewMemStore().String() != "mem" {
 		t.Fatalf("MemStore.String() = %q, want mem", NewMemStore().String())
+	}
+	if cs := NewClusterStore("127.0.0.1:1", 0); cs.String() != "cluster" {
+		t.Fatalf("ClusterStore.String() = %q, want cluster", cs.String())
 	}
 }

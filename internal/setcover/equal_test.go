@@ -12,11 +12,11 @@ func TestInstanceEqual(t *testing.T) {
 		t.Fatal("instance not equal to itself")
 	}
 	cases := []*Instance{
-		MustNewInstance(4, [][]Element{{0, 1}, {2}}),      // different n
-		MustNewInstance(3, [][]Element{{0, 1}}),           // different m
-		MustNewInstance(3, [][]Element{{0, 1}, {1}}),      // different membership
-		MustNewInstance(3, [][]Element{{0, 1, 2}, {2}}),   // different size
-		MustNewInstance(3, [][]Element{{2}, {0, 1}}),      // sets swapped
+		MustNewInstance(4, [][]Element{{0, 1}, {2}}),    // different n
+		MustNewInstance(3, [][]Element{{0, 1}}),         // different m
+		MustNewInstance(3, [][]Element{{0, 1}, {1}}),    // different membership
+		MustNewInstance(3, [][]Element{{0, 1, 2}, {2}}), // different size
+		MustNewInstance(3, [][]Element{{2}, {0, 1}}),    // sets swapped
 	}
 	for i, c := range cases {
 		if a.Equal(c) {

@@ -1,0 +1,348 @@
+// Command clustersmoke is the `make cluster-smoke` harness: the sharded
+// serving tier exercised as real processes over real TCP, with real kills.
+//
+//  1. Golden leg: a store-only scrouter (shared SCSTOR1 store), one
+//     scserve shard, a routing scrouter, and `scfeed -cluster` driving 64
+//     sessions to completion undisturbed. The sorted token/fingerprint
+//     file it writes is the golden.
+//  2. Chaos leg: the same store-first bring-up with three shards, and
+//     `scfeed -cluster` with a -kill schedule that SIGTERMs two shards
+//     mid-stream. Severed sessions resume through the router and are
+//     adopted by survivors from the shared store.
+//  3. The two fingerprint files must be byte-identical — kills, failover
+//     and adoption must not perturb one byte of observable output.
+//  4. `scstat -fleet -json` over the shard obs addresses must report the
+//     killed shards down and the survivor healthy — the fleet view stays
+//     usable mid-incident.
+//
+// Pass -race to build every binary with the race detector.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+
+	"streamcover/internal/stream"
+)
+
+func main() {
+	race := flag.Bool("race", false, "build the binaries with -race")
+	sessions := flag.Int("sessions", 64, "concurrent sessions per leg")
+	flag.Parse()
+	if err := run(*race, *sessions); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster-smoke: PASS")
+}
+
+const opTimeout = 120 * time.Second
+
+var (
+	storeRe  = regexp.MustCompile(`scrouter: shared store on (\S+)`)
+	routeRe  = regexp.MustCompile(`scrouter: routing on (\S+)`)
+	serveRe  = regexp.MustCompile(`scserve: listening on (\S+)`)
+	obsRe    = regexp.MustCompile(`obs: serving metrics on http://(\S+)/metrics`)
+	killsRe  = regexp.MustCompile(`kills=(\d+)`)
+	resumeRe = regexp.MustCompile(`resumes=(\d+)`)
+)
+
+func run(race bool, sessions int) error {
+	dir, err := os.MkdirTemp("", "clustersmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bins := map[string]string{}
+	for _, b := range []struct{ name, pkg string }{
+		{"scgen", "./cmd/scgen"},
+		{"scserve", "./cmd/scserve"},
+		{"scrouter", "./cmd/scrouter"},
+		{"scfeed", "./cmd/scfeed"},
+		{"scstat", "./cmd/scstat"},
+	} {
+		out := filepath.Join(dir, b.name)
+		args := []string{"build", "-o", out}
+		if race {
+			args = append(args, "-race")
+		}
+		cmd := exec.Command("go", append(args, b.pkg)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", b.name, err)
+		}
+		bins[b.name] = out
+	}
+
+	streamFile := filepath.Join(dir, "stream.scs")
+	gen := exec.Command(bins["scgen"], "-workload", "planted", "-n", "300", "-m", "4000",
+		"-opt", "8", "-order", "random", "-seed", "1", "-out", streamFile)
+	gen.Stdout, gen.Stderr = os.Stdout, os.Stderr
+	if err := gen.Run(); err != nil {
+		return fmt.Errorf("scgen: %w", err)
+	}
+	// The kill schedule is expressed in aggregate edges sent across every
+	// session, so it needs the per-session stream length.
+	f, err := os.Open(streamFile)
+	if err != nil {
+		return err
+	}
+	hdr, _, err := stream.Decode(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("decoding %s: %w", streamFile, err)
+	}
+	aggregate := int64(hdr.E) * int64(sessions)
+
+	goldenFile := filepath.Join(dir, "golden.txt")
+	if err := leg(bins, streamFile, goldenFile, sessions, 1, 0, aggregate); err != nil {
+		return fmt.Errorf("golden leg: %w", err)
+	}
+	fmt.Printf("cluster-smoke: golden leg ok (%d sessions, 1 shard, no kills)\n", sessions)
+
+	chaosFile := filepath.Join(dir, "chaos.txt")
+	if err := leg(bins, streamFile, chaosFile, sessions, 3, 2, aggregate); err != nil {
+		return fmt.Errorf("chaos leg: %w", err)
+	}
+	fmt.Printf("cluster-smoke: chaos leg ok (%d sessions, 3 shards, 2 mid-stream kills)\n", sessions)
+
+	golden, err := os.ReadFile(goldenFile)
+	if err != nil {
+		return err
+	}
+	chaos, err := os.ReadFile(chaosFile)
+	if err != nil {
+		return err
+	}
+	if len(golden) == 0 {
+		return fmt.Errorf("golden fingerprint file is empty")
+	}
+	if !bytes.Equal(golden, chaos) {
+		return fmt.Errorf("chaos fingerprints differ from golden — kills changed observable output\n--- golden ---\n%s--- chaos ---\n%s", golden, chaos)
+	}
+	fmt.Printf("cluster-smoke: %d fingerprints byte-identical across golden and chaos runs\n", sessions)
+	return nil
+}
+
+// proc is one managed child process with its parsed banner addresses.
+type proc struct {
+	cmd    *exec.Cmd
+	stdout io.Reader
+	stderr io.Reader
+}
+
+// start launches bin, wiring pipes for banner parsing.
+func start(bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", filepath.Base(bin), err)
+	}
+	return &proc{cmd: cmd, stdout: stdout, stderr: stderr}, nil
+}
+
+// drain discards the rest of both pipes so the child never blocks on a
+// full pipe buffer.
+func (p *proc) drain() {
+	go func() { _, _ = io.Copy(io.Discard, p.stdout) }()
+	go func() { _, _ = io.Copy(io.Discard, p.stderr) }()
+}
+
+func (p *proc) kill() {
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+// leg brings up one cluster (store, shards, router), drives it with
+// scfeed -cluster, and — when kills > 0 — SIGTERMs that many shards
+// mid-stream and checks the fleet view afterwards.
+func leg(bins map[string]string, streamFile, fpFile string, sessions, shards, kills int, aggregate int64) error {
+	// 1. Store-only scrouter: the shared checkpoint store comes up first.
+	storeProc, err := start(bins["scrouter"], "-store-listen", "127.0.0.1:0", "-store-backend", "mem")
+	if err != nil {
+		return err
+	}
+	defer storeProc.kill()
+	storeAddr, err := awaitBanner(storeProc.stdout, storeRe)
+	if err != nil {
+		return fmt.Errorf("store address: %w", err)
+	}
+	storeProc.drain()
+
+	// 2. Shards: each binds :0 and reports its address; all share the store.
+	shardProcs := make([]*proc, shards)
+	shardAddrs := make([]string, shards)
+	obsAddrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("shard%d", i+1)
+		p, err := start(bins["scserve"],
+			"-listen", "127.0.0.1:0",
+			"-store", "cluster", "-store-addr", storeAddr,
+			"-shard", name,
+			"-obs-listen", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer p.kill()
+		if shardAddrs[i], err = awaitBanner(p.stdout, serveRe); err != nil {
+			return fmt.Errorf("%s address: %w", name, err)
+		}
+		if obsAddrs[i], err = awaitBanner(p.stderr, obsRe); err != nil {
+			return fmt.Errorf("%s obs address: %w", name, err)
+		}
+		p.drain()
+		shardProcs[i] = p
+	}
+
+	// 3. Routing scrouter over the resolved shard addresses.
+	routerProc, err := start(bins["scrouter"],
+		"-listen", "127.0.0.1:0",
+		"-shards", joinComma(shardAddrs),
+		"-down-cooldown", "250ms")
+	if err != nil {
+		return err
+	}
+	defer routerProc.kill()
+	routerAddr, err := awaitBanner(routerProc.stdout, routeRe)
+	if err != nil {
+		return fmt.Errorf("router address: %w", err)
+	}
+	routerProc.drain()
+
+	// 4. Drive the cluster. The kill schedule SIGTERMs the last `kills`
+	// shards at ~20% and ~45% of the aggregate stream — mid-stream by
+	// construction, early enough that adopted sessions still have most of
+	// their edges ahead of them.
+	feedArgs := []string{
+		"-cluster", "-addr", routerAddr, "-in", streamFile,
+		"-algo", "kk", "-seed", "7",
+		"-sessions", strconv.Itoa(sessions),
+		"-fingerprints", fpFile,
+	}
+	if kills > 0 {
+		if kills >= len(shardProcs) {
+			return fmt.Errorf("cannot kill %d of %d shards and keep a survivor", kills, len(shardProcs))
+		}
+		spec := ""
+		for k := 0; k < kills; k++ {
+			at := aggregate * int64(20+25*k) / 100
+			victim := shardProcs[len(shardProcs)-1-k]
+			if spec != "" {
+				spec += ","
+			}
+			spec += fmt.Sprintf("%d:%d", at, victim.cmd.Process.Pid)
+		}
+		feedArgs = append(feedArgs, "-kill", spec)
+	}
+	feed := exec.Command(bins["scfeed"], feedArgs...)
+	out, err := feed.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("scfeed -cluster: %v\n%s", err, clip(string(out)))
+	}
+	if kills > 0 {
+		km := killsRe.FindSubmatch(out)
+		if km == nil || string(km[1]) != strconv.Itoa(kills) {
+			return fmt.Errorf("expected kills=%d in scfeed summary:\n%s", kills, clip(string(out)))
+		}
+		rm := resumeRe.FindSubmatch(out)
+		if rm == nil {
+			return fmt.Errorf("no resumes= tally in scfeed summary:\n%s", clip(string(out)))
+		}
+		if n, _ := strconv.Atoi(string(rm[1])); n == 0 {
+			return fmt.Errorf("chaos leg finished with zero resumes — the kills missed every session:\n%s", clip(string(out)))
+		}
+
+		// 5. Fleet view mid-incident: the killed shards report down, the
+		// survivor healthy.
+		if err := checkFleet(bins["scstat"], obsAddrs, kills); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkFleet runs scstat -fleet -json over every shard's obs address and
+// asserts the kill count is reflected: that many members unreachable, the
+// rest healthy.
+func checkFleet(scstat string, obsAddrs []string, kills int) error {
+	out, err := exec.Command(scstat, "-fleet", "-addr", joinComma(obsAddrs), "-json").Output()
+	if err != nil {
+		return fmt.Errorf("scstat -fleet: %w", err)
+	}
+	var sts []struct {
+		Healthy bool   `json:"healthy"`
+		Err     string `json:"err"`
+	}
+	if err := json.Unmarshal(out, &sts); err != nil {
+		return fmt.Errorf("scstat -fleet output: %w\n%s", err, out)
+	}
+	if len(sts) != len(obsAddrs) {
+		return fmt.Errorf("fleet view has %d members, want %d", len(sts), len(obsAddrs))
+	}
+	down, up := 0, 0
+	for _, st := range sts {
+		if st.Err != "" {
+			down++
+		} else if st.Healthy {
+			up++
+		}
+	}
+	if down != kills || up != len(obsAddrs)-kills {
+		return fmt.Errorf("fleet view after %d kills: %d down, %d healthy (want %d down, %d healthy)\n%s",
+			kills, down, up, kills, len(obsAddrs)-kills, out)
+	}
+	return nil
+}
+
+func joinComma(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ","
+		}
+		out += x
+	}
+	return out
+}
+
+// awaitBanner reads r until re matches, returning the first capture group.
+func awaitBanner(r io.Reader, re *regexp.Regexp) (string, error) {
+	buf := make([]byte, 0, 4096)
+	tmp := make([]byte, 512)
+	deadline := time.Now().Add(opTimeout)
+	for time.Now().Before(deadline) {
+		n, err := r.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if m := re.FindSubmatch(buf); m != nil {
+			return string(m[1]), nil
+		}
+		if err != nil {
+			return "", fmt.Errorf("process exited before its banner: %q", buf)
+		}
+	}
+	return "", fmt.Errorf("timed out waiting for banner %v; output so far: %q", re, buf)
+}
+
+func clip(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "\n... (clipped)"
+	}
+	return s
+}
